@@ -1,0 +1,165 @@
+// Benchmarks regenerating each figure of the paper's evaluation (§9). Run
+// the full-size versions with cmd/ssbench; these testing.B entry points
+// keep every experiment wired into `go test -bench` with moderate sizes.
+//
+//	go test -bench 'Fig6a' -benchtime 1x
+//	go test -bench . -benchmem
+package structream_test
+
+import (
+	"runtime"
+	"runtime/debug"
+	"testing"
+	"time"
+
+	"structream/internal/experiments"
+	"structream/internal/yahoo"
+)
+
+const benchEvents = 1_000_000
+
+// benchSetup applies the harness's measurement conditions: a generous GC
+// target (as JVM streaming benchmarks run with large heaps) and a clean
+// heap at the timer start. The returned restore runs at bench end.
+func benchSetup(b *testing.B) {
+	b.Helper()
+	old := debug.SetGCPercent(800)
+	b.Cleanup(func() { debug.SetGCPercent(old) })
+	runtime.GC()
+}
+
+// ---------------------------------------------------------------- Fig 6a
+
+// BenchmarkFig6aStructuredStreaming measures this repository's engine on
+// the Yahoo! benchmark (paper: 65M records/s on 40 EC2 cores).
+func BenchmarkFig6aStructuredStreaming(b *testing.B) {
+	w := yahoo.Generate(benchEvents, 100, 1_000_000, 42)
+	benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := yahoo.RunStructuredStreaming(w, b.TempDir(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.RecordsPerSec, "records/s")
+	}
+	b.SetBytes(int64(benchEvents))
+}
+
+// BenchmarkFig6aDataflow measures the Flink-like record-at-a-time baseline
+// (paper: 33M records/s).
+func BenchmarkFig6aDataflow(b *testing.B) {
+	w := yahoo.Generate(benchEvents, 100, 1_000_000, 42)
+	benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := yahoo.RunDataflow(w, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.RecordsPerSec, "records/s")
+	}
+	b.SetBytes(int64(benchEvents))
+}
+
+// BenchmarkFig6aBusStream measures the Kafka-Streams-like bus-per-record
+// baseline (paper: 0.7M records/s).
+func BenchmarkFig6aBusStream(b *testing.B) {
+	w := yahoo.Generate(benchEvents, 100, 1_000_000, 42)
+	benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := yahoo.RunBusStream(w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.RecordsPerSec, "records/s")
+	}
+	b.SetBytes(int64(benchEvents))
+}
+
+// ---------------------------------------------------------------- Fig 6b
+
+// BenchmarkFig6bScaling calibrates the virtual cluster from a real run and
+// sweeps 1→20 nodes (paper: near-linear, 11.5M → 225M records/s).
+func BenchmarkFig6bScaling(b *testing.B) {
+	model, err := experiments.CalibrateYahoo(benchEvents, func() string { return b.TempDir() })
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig6b(model, []int{1, 5, 10, 20}, 1_000_000_000, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := r.Points[len(r.Points)-1]
+		b.ReportMetric(last.RecordsPerSec, "records/s@20nodes")
+		b.ReportMetric(last.Speedup, "speedup@20nodes")
+	}
+}
+
+// ---------------------------------------------------------------- Fig 7
+
+// BenchmarkFig7ContinuousLatency measures continuous-mode p50 latency at a
+// moderate rate (paper: <10ms at half the microbatch max).
+func BenchmarkFig7ContinuousLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunFig7([]int64{100_000}, 1200*time.Millisecond,
+			func() string { return b.TempDir() })
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Points[0].P50Millis, "p50-ms")
+		b.ReportMetric(r.Points[0].P99Millis, "p99-ms")
+		b.ReportMetric(r.MicrobatchMaxThroughput, "microbatch-max-records/s")
+	}
+}
+
+// ---------------------------------------------------------------- §7.3
+
+// BenchmarkRunOnceSavings quantifies the run-once trigger's cost savings
+// (paper: up to 10×).
+func BenchmarkRunOnceSavings(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunRunOnce(500_000, func() string { return b.TempDir() })
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Savings, "x-cost-savings")
+	}
+}
+
+// ---------------------------------------------------------------- §6.2
+
+// BenchmarkRecoveryAblation compares fine-grained task retry against
+// whole-topology rollback after an injected failure.
+func BenchmarkRecoveryAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunRecovery(500_000, func() string { return b.TempDir() })
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SSOverheadPct, "%task-retry-overhead")
+		b.ReportMetric(float64(r.DFReprocessedRecs), "records-reprocessed-by-rollback")
+	}
+}
+
+// ---------------------------------------------------------------- §7.3b
+
+// BenchmarkAdaptiveBatching measures the backlog catch-up behaviour.
+func BenchmarkAdaptiveBatching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.RunAdaptive(50_000, 3, func() string { return b.TempDir() })
+		if err != nil {
+			b.Fatal(err)
+		}
+		var catchup int64
+		for _, e := range r.Trace {
+			if e.InputRows > catchup {
+				catchup = e.InputRows
+			}
+		}
+		b.ReportMetric(float64(catchup), "catch-up-epoch-rows")
+	}
+}

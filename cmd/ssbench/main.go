@@ -1,0 +1,112 @@
+// Command ssbench regenerates every figure in the paper's evaluation (§9)
+// plus the operational ablations, printing the same rows/series the paper
+// reports:
+//
+//	ssbench -experiment fig6a     Yahoo! benchmark vs the two baselines
+//	ssbench -experiment fig6b     scaling sweep over the virtual cluster
+//	ssbench -experiment fig7      continuous-mode latency vs input rate
+//	ssbench -experiment runonce   §7.3 run-once trigger cost savings
+//	ssbench -experiment recovery  §6.2 task recovery vs topology rollback
+//	ssbench -experiment adaptive  §7.3 adaptive batching after downtime
+//	ssbench -experiment all       everything, in order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"structream/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig6a, fig6b, fig7, runonce, recovery, adaptive or all")
+		events     = flag.Int("events", 4_000_000, "workload size for fig6a/fig6b calibration")
+		rounds     = flag.Int("rounds", 3, "measurement rounds per engine (best kept)")
+		rateSecs   = flag.Float64("rate-seconds", 1.5, "seconds per rate point in fig7")
+	)
+	flag.Parse()
+
+	tempDir := func() string {
+		dir, err := os.MkdirTemp("", "ssbench-*")
+		if err != nil {
+			fatal(err)
+		}
+		return dir
+	}
+
+	run := func(name string, fn func() error) {
+		if *experiment != "all" && *experiment != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Println()
+	}
+
+	run("fig6a", func() error {
+		r, err := experiments.RunFig6a(*events, *rounds, tempDir)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+		return nil
+	})
+
+	run("fig6b", func() error {
+		model, err := experiments.CalibrateYahoo(*events, tempDir)
+		if err != nil {
+			return err
+		}
+		r, err := experiments.RunFig6b(model, []int{1, 5, 10, 20}, 1_000_000_000, 1000)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+		return nil
+	})
+
+	run("fig7", func() error {
+		r, err := experiments.RunFig7(nil, time.Duration(*rateSecs*float64(time.Second)), tempDir)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+		return nil
+	})
+
+	run("runonce", func() error {
+		r, err := experiments.RunRunOnce(2_000_000, tempDir)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+		return nil
+	})
+
+	run("recovery", func() error {
+		r, err := experiments.RunRecovery(2_000_000, tempDir)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+		return nil
+	})
+
+	run("adaptive", func() error {
+		r, err := experiments.RunAdaptive(100_000, 3, tempDir)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+		return nil
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ssbench:", err)
+	os.Exit(1)
+}

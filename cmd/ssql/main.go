@@ -1,0 +1,158 @@
+// Command ssql runs a SQL query over JSON-lines files, in batch mode or as
+// an incrementally maintained stream:
+//
+//	ssql -table events=./data -schema 'country string, latency double, time timestamp' \
+//	     -query 'SELECT country, count(*) AS c FROM events GROUP BY country'
+//
+//	ssql -stream events=./incoming -schema '...' -mode complete -watch \
+//	     -query 'SELECT country, count(*) FROM events GROUP BY country'
+//
+// With -watch the query keeps running: drop new files into the directory
+// and each trigger prints the updated result, demonstrating the paper's
+// §4.1 quickstart end to end.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	structream "structream"
+	"structream/internal/sql"
+)
+
+func main() {
+	var (
+		tableFlag  = flag.String("table", "", "static input, name=dir (JSON-lines files)")
+		streamFlag = flag.String("stream", "", "streaming input, name=dir (JSON-lines files)")
+		schemaFlag = flag.String("schema", "", "input schema: 'col type, col type, ...'")
+		query      = flag.String("query", "", "SQL query (required)")
+		mode       = flag.String("mode", "complete", "output mode for streaming: append, update or complete")
+		watch      = flag.Bool("watch", false, "keep running, re-triggering as new files arrive")
+		interval   = flag.Duration("interval", time.Second, "trigger interval with -watch")
+		checkpoint = flag.String("checkpoint", "", "checkpoint directory (streaming)")
+	)
+	flag.Parse()
+	if *query == "" {
+		fatal(fmt.Errorf("-query is required"))
+	}
+
+	s := structream.NewSession()
+	schema, err := parseSchema(*schemaFlag)
+	if err != nil {
+		fatal(err)
+	}
+	streaming := false
+	if *tableFlag != "" {
+		name, dir, err := splitBinding(*tableFlag)
+		if err != nil {
+			fatal(err)
+		}
+		df, err := s.Read().Format("json").Schema(schema).Load(dir)
+		if err != nil {
+			fatal(err)
+		}
+		s.CreateView(name, df)
+	}
+	if *streamFlag != "" {
+		name, dir, err := splitBinding(*streamFlag)
+		if err != nil {
+			fatal(err)
+		}
+		df, err := s.ReadStream().Format("json").Schema(schema).Option("name", name).Load(dir)
+		if err != nil {
+			fatal(err)
+		}
+		s.CreateView(name, df)
+		streaming = true
+	}
+
+	df, err := s.SQL(*query)
+	if err != nil {
+		fatal(err)
+	}
+
+	if !streaming {
+		if err := df.Show(os.Stdout, 100); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	outputMode := structream.Complete
+	switch *mode {
+	case "append":
+		outputMode = structream.Append
+	case "update":
+		outputMode = structream.Update
+	case "complete":
+	default:
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+	ckpt := *checkpoint
+	if ckpt == "" {
+		dir, err := os.MkdirTemp("", "ssql-ckpt-*")
+		if err != nil {
+			fatal(err)
+		}
+		ckpt = dir
+	}
+	trigger := structream.Once()
+	if *watch {
+		trigger = structream.ProcessingTime(*interval)
+	}
+	q, err := df.WriteStream().Format("console").OutputMode(outputMode).
+		Trigger(trigger).Checkpoint(ckpt).Start("")
+	if err != nil {
+		fatal(err)
+	}
+	if !*watch {
+		if err := q.AwaitTermination(); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Fprintf(os.Stderr, "ssql: watching; checkpoint at %s (Ctrl-C to stop)\n", ckpt)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	if err := q.Stop(); err != nil {
+		fatal(err)
+	}
+}
+
+// parseSchema parses "name type, name type, ...".
+func parseSchema(s string) (structream.Schema, error) {
+	if strings.TrimSpace(s) == "" {
+		return structream.Schema{}, fmt.Errorf("-schema is required, e.g. 'country string, latency double'")
+	}
+	var fields []structream.Field
+	for _, part := range strings.Split(s, ",") {
+		tokens := strings.Fields(strings.TrimSpace(part))
+		if len(tokens) != 2 {
+			return structream.Schema{}, fmt.Errorf("bad schema column %q (want 'name type')", part)
+		}
+		typ, ok := sql.TypeByName(strings.ToLower(tokens[1]))
+		if !ok {
+			return structream.Schema{}, fmt.Errorf("unknown type %q for column %q", tokens[1], tokens[0])
+		}
+		fields = append(fields, structream.Field{Name: tokens[0], Type: typ})
+	}
+	return structream.NewSchema(fields...), nil
+}
+
+func splitBinding(s string) (name, dir string, err error) {
+	i := strings.IndexByte(s, '=')
+	if i <= 0 || i == len(s)-1 {
+		return "", "", fmt.Errorf("bad binding %q (want name=dir)", s)
+	}
+	return s[:i], s[i+1:], nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ssql:", err)
+	os.Exit(1)
+}

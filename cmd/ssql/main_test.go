@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+
+	structream "structream"
+)
+
+func TestParseSchema(t *testing.T) {
+	s, err := parseSchema("country string, latency double, time timestamp, n bigint, ok bool")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		name string
+		typ  structream.DataType
+	}{
+		{"country", structream.String},
+		{"latency", structream.Float64},
+		{"time", structream.Timestamp},
+		{"n", structream.Int64},
+		{"ok", structream.Bool},
+	}
+	if s.Len() != len(want) {
+		t.Fatalf("schema = %s", s)
+	}
+	for i, w := range want {
+		if s.Field(i).Name != w.name || s.Field(i).Type != w.typ {
+			t.Errorf("field %d = %v, want %v", i, s.Field(i), w)
+		}
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	for _, bad := range []string{"", "justname", "a string, b", "x frobnicate"} {
+		if _, err := parseSchema(bad); err == nil {
+			t.Errorf("parseSchema(%q) should error", bad)
+		}
+	}
+}
+
+func TestSplitBinding(t *testing.T) {
+	name, dir, err := splitBinding("events=/data/in")
+	if err != nil || name != "events" || dir != "/data/in" {
+		t.Errorf("got %q %q err=%v", name, dir, err)
+	}
+	for _, bad := range []string{"", "noequals", "=dir", "name="} {
+		if _, _, err := splitBinding(bad); err == nil {
+			t.Errorf("splitBinding(%q) should error", bad)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+// Sessionization reproduces the paper's Figure 3: mapGroupsWithState
+// tracks the number of events per user session, where a session is a
+// series of events from the same user with gaps under 30 minutes, closed
+// by an event-time timeout once the watermark passes the gap.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	structream "structream"
+)
+
+var eventSchema = structream.NewSchema(
+	structream.Field{Name: "userId", Type: structream.Int64},
+	structream.Field{Name: "page", Type: structream.String},
+	structream.Field{Name: "time", Type: structream.Timestamp},
+)
+
+const minute = int64(60) * 1_000_000 // µs
+
+func main() {
+	s := structream.NewSession()
+	events, feed := s.MemoryStream("events", eventSchema)
+
+	// The Figure 3 update function: track the number of events for each
+	// key as state, return it as the result, time out after 30 minutes.
+	updateFunc := func(key structream.Row, values []structream.Row, state structream.GroupState) structream.Row {
+		if state.HasTimedOut() {
+			total := state.Get()[0].(int64)
+			state.Remove()
+			return structream.Row{key[0], total, true}
+		}
+		var totalEvents int64
+		if state.Exists() {
+			totalEvents = state.Get()[0].(int64)
+		}
+		totalEvents += int64(len(values))
+		state.Update(structream.Row{totalEvents})
+		state.SetTimeoutDuration(30 * time.Minute) // interpreted in event time below
+		var maxTs int64
+		for _, v := range values {
+			if ts, ok := v[2].(int64); ok && ts > maxTs {
+				maxTs = ts
+			}
+		}
+		state.SetTimeoutTimestamp(maxTs + 30*minute)
+		return structream.Row{key[0], totalEvents, false}
+	}
+
+	lens := events.
+		WithWatermark("time", 0).
+		GroupByKey(structream.Col("userId")).
+		MapGroupsWithState(
+			structream.NewSchema(
+				structream.Field{Name: "userId", Type: structream.Int64},
+				structream.Field{Name: "events", Type: structream.Int64},
+				structream.Field{Name: "closed", Type: structream.Bool},
+			),
+			structream.NewSchema(structream.Field{Name: "count", Type: structream.Int64}),
+			structream.EventTimeTimeout,
+			updateFunc,
+		)
+
+	ckpt, _ := os.MkdirTemp("", "sessions-ckpt-*")
+	defer os.RemoveAll(ckpt)
+	q, err := lens.WriteStream().
+		Format("memory").QueryName("lens").
+		OutputMode(structream.Update).
+		Trigger(structream.ProcessingTime(50 * time.Millisecond)).
+		Checkpoint(ckpt).
+		Start("")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer q.Stop()
+
+	// Two users browse; user 7 clicks three pages, user 9 clicks once.
+	feed.AddData(
+		structream.Row{int64(7), "/home", 1 * minute},
+		structream.Row{int64(7), "/search", 3 * minute},
+		structream.Row{int64(9), "/home", 5 * minute},
+		structream.Row{int64(7), "/buy", 6 * minute},
+	)
+	must(q.ProcessAllAvailable())
+	show(s, "== live sessions ==")
+
+	// Time passes: an unrelated event an hour later pushes the watermark
+	// past both users' 30-minute gaps, closing their sessions via the
+	// event-time timeout.
+	feed.AddData(structream.Row{int64(1), "/late", 70 * minute})
+	must(q.ProcessAllAvailable())
+	must(q.ProcessAllAvailable()) // timeouts fire on the epoch after the watermark advance
+	show(s, "== after 30-minute gap: sessions closed ==")
+}
+
+func show(s *structream.Session, header string) {
+	fmt.Println(header)
+	tbl, err := s.Table("lens")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tbl.Show(os.Stdout, 20); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

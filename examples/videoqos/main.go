@@ -1,0 +1,103 @@
+// Videoqos reproduces the paper's §8.2/§8.3 monitoring use cases: client
+// quality metrics stream in, are joined against a table of Internet
+// Autonomous Systems, aggregated per AS over 1-minute event-time windows
+// with a watermark, and an alert query flags poorly performing ASes — the
+// game-latency workflow where "the streaming job triggers an alert, and IT
+// staff can contact the AS in question".
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	structream "structream"
+)
+
+const minute = int64(60) * 1_000_000 // µs
+
+var metricSchema = structream.NewSchema(
+	structream.Field{Name: "client_ip", Type: structream.String},
+	structream.Field{Name: "asn", Type: structream.Int64},
+	structream.Field{Name: "latency_ms", Type: structream.Float64},
+	structream.Field{Name: "buffering", Type: structream.Bool},
+	structream.Field{Name: "ts", Type: structream.Timestamp},
+)
+
+func main() {
+	s := structream.NewSession()
+	metrics, feed := s.MemoryStream("metrics", metricSchema)
+
+	// Static AS registry.
+	s.RegisterTable("asns", structream.NewSchema(
+		structream.Field{Name: "as_id", Type: structream.Int64},
+		structream.Field{Name: "as_name", Type: structream.String},
+	), []structream.Row{
+		{int64(100), "GoodNet"},
+		{int64(200), "SlowTel"},
+	})
+	asns, err := s.Table("asns")
+	must(err)
+
+	// Per-AS quality over 1-minute windows, with a 30s watermark so state
+	// is bounded and results finalize (append mode).
+	quality := metrics.
+		WithWatermark("ts", 30*time.Second).
+		Join(asns, structream.Eq(structream.Col("asn"), structream.Col("as_id")), structream.InnerJoin).
+		GroupBy(
+			structream.WindowOf(structream.Col("ts"), time.Minute, 0),
+			structream.Col("as_name"),
+		).
+		Agg(
+			structream.Avg(structream.Col("latency_ms")).As("avg_latency"),
+			structream.CountAll().As("samples"),
+		)
+
+	ckpt, _ := os.MkdirTemp("", "qos-*")
+	defer os.RemoveAll(ckpt)
+	q, err := quality.WriteStream().Format("memory").QueryName("quality").
+		OutputMode(structream.Append). // finalized windows only: "final" results downstream can trust
+		Trigger(structream.ProcessingTime(50 * time.Millisecond)).
+		Checkpoint(ckpt).Start("")
+	must(err)
+	defer q.Stop()
+
+	// Minute 0: SlowTel clients suffer; GoodNet is fine.
+	feed.AddData(
+		structream.Row{"1.1.1.1", int64(100), 35.0, false, 10_000_000},
+		structream.Row{"1.1.1.2", int64(100), 42.0, false, 20_000_000},
+		structream.Row{"2.2.2.1", int64(200), 180.0, true, 15_000_000},
+		structream.Row{"2.2.2.2", int64(200), 240.0, true, 30_000_000},
+	)
+	must(q.ProcessAllAvailable())
+	fmt.Println("== minute 0 in flight (append mode: nothing final yet) ==")
+	show(s, "quality")
+
+	// Minute 2 arrives; the watermark passes minute 0's window end and the
+	// finalized per-AS quality rows appear exactly once.
+	feed.AddData(structream.Row{"1.1.1.1", int64(100), 38.0, false, 2 * minute})
+	must(q.ProcessAllAvailable())
+	must(q.ProcessAllAvailable())
+	fmt.Println("== minute 0 finalized ==")
+	show(s, "quality")
+
+	// The alert query runs interactively over the same result table —
+	// streaming, interactive and batch share one API (§8.1's key point).
+	alerts, err := s.SQL(`SELECT as_name, avg_latency FROM quality WHERE avg_latency > 100`)
+	must(err)
+	fmt.Println("== alert: ASes above 100 ms average ==")
+	must(alerts.Show(os.Stdout, 10))
+}
+
+func show(s *structream.Session, table string) {
+	tbl, err := s.Table(table)
+	must(err)
+	must(tbl.Show(os.Stdout, 20))
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+package structream
+
+import (
+	"time"
+
+	"structream/internal/sql"
+)
+
+// Col references a column by (optionally qualified) name.
+func Col(name string) Expr { return sql.Col(name) }
+
+// Lit builds a literal from a Go value; int, time.Time and time.Duration
+// are normalized to the engine's representations.
+func Lit(v any) Expr { return sql.Lit(v) }
+
+// As names the result of an expression (SELECT expr AS name).
+func As(e Expr, name string) Expr { return sql.As(e, name) }
+
+// Comparison operators.
+func Eq(l, r Expr) Expr { return sql.Eq(l, r) }
+func Ne(l, r Expr) Expr { return sql.Ne(l, r) }
+func Lt(l, r Expr) Expr { return sql.Lt(l, r) }
+func Le(l, r Expr) Expr { return sql.Le(l, r) }
+func Gt(l, r Expr) Expr { return sql.Gt(l, r) }
+func Ge(l, r Expr) Expr { return sql.Ge(l, r) }
+
+// Arithmetic operators. Div always yields a double, as in Spark SQL.
+func Add(l, r Expr) Expr { return sql.Add(l, r) }
+func Sub(l, r Expr) Expr { return sql.Sub(l, r) }
+func Mul(l, r Expr) Expr { return sql.Mul(l, r) }
+func Div(l, r Expr) Expr { return sql.Div(l, r) }
+
+// Boolean connectives with SQL three-valued semantics.
+func And(l, r Expr) Expr { return sql.And(l, r) }
+func Or(l, r Expr) Expr  { return sql.Or(l, r) }
+func Not(e Expr) Expr    { return sql.Not(e) }
+
+// NULL tests.
+func IsNull(e Expr) Expr    { return sql.IsNull(e) }
+func IsNotNull(e Expr) Expr { return sql.IsNotNull(e) }
+
+// Like matches a string against a SQL LIKE pattern (% and _).
+func Like(e Expr, pattern string) Expr {
+	return sql.NewBinary(sql.OpLike, e, sql.Lit(pattern))
+}
+
+// Cast converts an expression to the target type with SQL CAST semantics.
+func Cast(e Expr, to DataType) Expr { return sql.NewCast(e, to) }
+
+// Call invokes a built-in scalar function by name (upper, date_trunc,
+// json_get, coalesce, ...).
+func Call(name string, args ...Expr) Expr { return sql.NewFunc(name, args...) }
+
+// WindowOf assigns event-time windows of the given size to a timestamp
+// column, as in the paper's window($"time", "1h", "5m"). A zero slide means
+// tumbling windows; a smaller slide produces sliding windows (each row maps
+// to size/slide windows). Use it as a GroupBy key; the result column is
+// named "window".
+func WindowOf(timeCol Expr, size, slide time.Duration) Expr {
+	return sql.NewWindow(timeCol, size, slide)
+}
+
+// CaseWhen builds a searched CASE expression from alternating condition /
+// result pairs plus a final ELSE value: CaseWhen(c1, r1, c2, r2, elseVal).
+func CaseWhen(args ...Expr) Expr {
+	c := &sql.Case{}
+	n := len(args)
+	pairs := n / 2
+	for i := 0; i < pairs; i++ {
+		c.Whens = append(c.Whens, sql.WhenClause{When: args[2*i], Then: args[2*i+1]})
+	}
+	if n%2 == 1 {
+		c.Else = args[n-1]
+	}
+	return c
+}
+
+// AggColumn is an aggregate with an output column name, used by
+// GroupedData.Agg.
+type AggColumn struct {
+	agg  *sql.AggExpr
+	name string
+}
+
+// As renames the aggregate output column.
+func (a AggColumn) As(name string) AggColumn { return AggColumn{agg: a.agg, name: name} }
+
+func newAggColumn(agg *sql.AggExpr) AggColumn {
+	return AggColumn{agg: agg, name: agg.String()}
+}
+
+// CountAll counts rows: count(*).
+func CountAll() AggColumn { return newAggColumn(sql.CountAll()) }
+
+// Count counts non-call rows of an expression: count(e).
+func Count(e Expr) AggColumn { return newAggColumn(sql.Count(e)) }
+
+// Sum sums a numeric expression.
+func Sum(e Expr) AggColumn { return newAggColumn(sql.SumOf(e)) }
+
+// Avg averages a numeric expression.
+func Avg(e Expr) AggColumn { return newAggColumn(sql.AvgOf(e)) }
+
+// Min takes the minimum of an orderable expression.
+func Min(e Expr) AggColumn { return newAggColumn(sql.MinOf(e)) }
+
+// Max takes the maximum of an orderable expression.
+func Max(e Expr) AggColumn { return newAggColumn(sql.MaxOf(e)) }
+
+// First keeps the first non-NULL value seen.
+func First(e Expr) AggColumn { return newAggColumn(sql.NewAgg(sql.AggFirst, e)) }
+
+// Last keeps the last non-NULL value seen.
+func Last(e Expr) AggColumn { return newAggColumn(sql.NewAgg(sql.AggLast, e)) }
+
+// CountDistinct counts distinct values exactly.
+func CountDistinct(e Expr) AggColumn { return newAggColumn(sql.NewAgg(sql.AggCountDistinct, e)) }
+
+// ApproxCountDistinct counts distinct values with a HyperLogLog sketch.
+func ApproxCountDistinct(e Expr) AggColumn {
+	return newAggColumn(sql.NewAgg(sql.AggApproxCountDistinct, e))
+}
+
+// Stddev computes the sample standard deviation.
+func Stddev(e Expr) AggColumn { return newAggColumn(sql.NewAgg(sql.AggStddev, e)) }
+
+// Variance computes the sample variance.
+func Variance(e Expr) AggColumn { return newAggColumn(sql.NewAgg(sql.AggVariance, e)) }

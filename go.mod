@@ -1,0 +1,3 @@
+module structream
+
+go 1.22

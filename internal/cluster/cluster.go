@@ -1,0 +1,374 @@
+// Package cluster implements the task-based execution substrate that the
+// paper's microbatch mode inherits from Spark (§6.2): stages of small
+// independent tasks scheduled over worker nodes, with retry on task
+// failure, speculative backup copies for stragglers, and dynamic rescaling.
+// Fault and straggler injection hooks make the §6.2 recovery claims
+// testable. A separate virtual-time scheduler (virtual.go) replays measured
+// task costs over simulated multi-node clusters for the Fig 6b scaling
+// experiment, since this reproduction runs on a single core.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Task is one unit of work in a stage. Fn must be safe to execute more than
+// once (attempts may race with a speculative copy); the first completion
+// wins, exactly as in Spark.
+type Task struct {
+	// Index identifies the task within its stage (its partition).
+	Index int
+	// Fn performs the work and returns the task result.
+	Fn func() (any, error)
+}
+
+// Config describes the simulated cluster.
+type Config struct {
+	// Nodes is the initial number of worker nodes.
+	Nodes int
+	// SlotsPerNode is the task slots (cores) per node.
+	SlotsPerNode int
+	// MaxAttempts bounds retries per task (default 4, like Spark).
+	MaxAttempts int
+	// SpeculationMultiplier launches a backup copy of a task running longer
+	// than this multiple of the median completed task duration (0 disables
+	// speculation). 1.5 matches Spark's default quantile behaviour roughly.
+	SpeculationMultiplier float64
+	// SpeculationMinRuntime avoids speculating on very short tasks.
+	SpeculationMinRuntime time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes <= 0 {
+		c.Nodes = 1
+	}
+	if c.SlotsPerNode <= 0 {
+		c.SlotsPerNode = 1
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.SpeculationMinRuntime <= 0 {
+		c.SpeculationMinRuntime = 20 * time.Millisecond
+	}
+	return c
+}
+
+// Cluster executes stages of tasks over simulated nodes.
+type Cluster struct {
+	cfg Config
+
+	mu        sync.Mutex
+	nodes     []*node
+	nextNode  int64
+	taskFail  func(taskIndex, attempt, nodeID int) error
+	slowdowns map[int]float64
+
+	// Metrics.
+	tasksRun    int64
+	tasksFailed int64
+	speculated  int64
+}
+
+type node struct {
+	id      int
+	slots   chan struct{}
+	removed bool
+}
+
+// New creates a cluster.
+func New(cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	c := &Cluster{cfg: cfg, slowdowns: map[int]float64{}}
+	for i := 0; i < cfg.Nodes; i++ {
+		c.addNodeLocked()
+	}
+	return c
+}
+
+func (c *Cluster) addNodeLocked() *node {
+	n := &node{id: int(c.nextNode), slots: make(chan struct{}, c.cfg.SlotsPerNode)}
+	c.nextNode++
+	for i := 0; i < c.cfg.SlotsPerNode; i++ {
+		n.slots <- struct{}{}
+	}
+	c.nodes = append(c.nodes, n)
+	return n
+}
+
+// AddNode scales the cluster up by one node and returns its id.
+func (c *Cluster) AddNode() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.addNodeLocked().id
+}
+
+// RemoveNode scales the cluster down. Running tasks finish; new tasks skip
+// the node.
+func (c *Cluster) RemoveNode(id int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, n := range c.nodes {
+		if n.id == id {
+			n.removed = true
+			c.nodes = append(c.nodes[:i], c.nodes[i+1:]...)
+			return
+		}
+	}
+}
+
+// NumNodes reports the current node count.
+func (c *Cluster) NumNodes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.nodes)
+}
+
+// InjectTaskFailure installs a fault hook: when it returns non-nil, that
+// task attempt fails with the returned error instead of running.
+func (c *Cluster) InjectTaskFailure(fn func(taskIndex, attempt, nodeID int) error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.taskFail = fn
+}
+
+// InjectSlowdown makes a node run tasks slower by the given factor (>1),
+// simulating a straggler.
+func (c *Cluster) InjectSlowdown(nodeID int, factor float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.slowdowns[nodeID] = factor
+}
+
+// Stats reports counters for monitoring and tests.
+func (c *Cluster) Stats() (run, failed, speculated int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.tasksRun, c.tasksFailed, c.speculated
+}
+
+// acquireSlot blocks until any node has a free slot and returns it.
+func (c *Cluster) acquireSlot() *node {
+	for {
+		c.mu.Lock()
+		nodes := append([]*node(nil), c.nodes...)
+		c.mu.Unlock()
+		if len(nodes) == 0 {
+			time.Sleep(time.Millisecond)
+			continue
+		}
+		// Try non-blocking acquisition first, round-robin-ish.
+		for _, n := range nodes {
+			select {
+			case <-n.slots:
+				if n.removed {
+					continue
+				}
+				return n
+			default:
+			}
+		}
+		// All busy: wait briefly on the first node's slot.
+		select {
+		case <-nodes[0].slots:
+			if !nodes[0].removed {
+				return nodes[0]
+			}
+		case <-time.After(200 * time.Microsecond):
+		}
+	}
+}
+
+func (c *Cluster) releaseSlot(n *node) {
+	select {
+	case n.slots <- struct{}{}:
+	default:
+	}
+}
+
+// taskState tracks one logical task across attempts.
+type taskState struct {
+	mu       sync.Mutex
+	done     bool
+	result   any
+	err      error
+	attempts int
+	started  time.Time
+	running  int
+}
+
+// RunStage executes all tasks, blocking until every one has a result (or a
+// task exhausts its attempts). Results are ordered by task index. This is
+// the fine-grained recovery path of §6.2: a failed task is retried alone,
+// in parallel, with no whole-topology rollback.
+func (c *Cluster) RunStage(tasks []Task) ([]any, error) {
+	states := make([]*taskState, len(tasks))
+	for i := range states {
+		states[i] = &taskState{}
+	}
+	errCh := make(chan error, len(tasks)+8)
+	doneCh := make(chan struct{}, len(tasks))
+
+	var launch func(i int, speculative bool)
+	launch = func(i int, speculative bool) {
+		st := states[i]
+		for {
+			st.mu.Lock()
+			if st.done || st.attempts >= c.cfg.MaxAttempts {
+				st.mu.Unlock()
+				return
+			}
+			attempt := st.attempts
+			st.attempts++
+			st.running++
+			if st.running == 1 {
+				st.started = time.Now()
+			}
+			st.mu.Unlock()
+
+			n := c.acquireSlot()
+			result, err := c.runAttempt(tasks[i], attempt, n)
+			c.releaseSlot(n)
+
+			st.mu.Lock()
+			st.running--
+			if st.done {
+				st.mu.Unlock()
+				return // another attempt won
+			}
+			if err == nil {
+				st.done = true
+				st.result = result
+				st.mu.Unlock()
+				doneCh <- struct{}{}
+				return
+			}
+			exhausted := st.attempts >= c.cfg.MaxAttempts && st.running == 0
+			st.mu.Unlock()
+			c.mu.Lock()
+			c.tasksFailed++
+			c.mu.Unlock()
+			if exhausted {
+				errCh <- fmt.Errorf("cluster: task %d failed after %d attempts: %w", i, c.cfg.MaxAttempts, err)
+				return
+			}
+			if speculative {
+				return // backups do not retry; the original owns retries
+			}
+		}
+	}
+
+	for i := range tasks {
+		go launch(i, false)
+	}
+
+	// Speculation monitor: while tasks run, launch backup copies of
+	// laggards (straggler mitigation, §6.2).
+	stop := make(chan struct{})
+	var monWG sync.WaitGroup
+	if c.cfg.SpeculationMultiplier > 0 {
+		monWG.Add(1)
+		go func() {
+			defer monWG.Done()
+			ticker := time.NewTicker(5 * time.Millisecond)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+				}
+				var durations []time.Duration
+				now := time.Now()
+				for _, st := range states {
+					st.mu.Lock()
+					if st.done {
+						durations = append(durations, 0)
+					}
+					st.mu.Unlock()
+				}
+				if len(durations)*2 < len(states) {
+					continue // need half the stage done to judge the median
+				}
+				for i, st := range states {
+					st.mu.Lock()
+					runningLong := !st.done && st.running == 1 &&
+						now.Sub(st.started) > c.cfg.SpeculationMinRuntime &&
+						st.attempts < c.cfg.MaxAttempts
+					st.mu.Unlock()
+					if runningLong {
+						c.mu.Lock()
+						c.speculated++
+						c.mu.Unlock()
+						go launch(i, true)
+					}
+				}
+			}
+		}()
+	}
+
+	// Wait for every task to complete once (a zombie straggler attempt may
+	// keep running after its backup copy won; it releases its slot on its
+	// own, exactly as Spark lets superseded attempts finish).
+	var stageErr error
+	for completed := 0; completed < len(tasks) && stageErr == nil; {
+		select {
+		case <-doneCh:
+			completed++
+		case err := <-errCh:
+			stageErr = err
+		}
+	}
+	close(stop)
+	monWG.Wait()
+	if stageErr != nil {
+		return nil, stageErr
+	}
+	out := make([]any, len(tasks))
+	for i, st := range states {
+		st.mu.Lock()
+		if !st.done {
+			st.mu.Unlock()
+			return nil, fmt.Errorf("cluster: task %d did not complete", i)
+		}
+		out[i] = st.result
+		st.mu.Unlock()
+	}
+	return out, nil
+}
+
+func (c *Cluster) runAttempt(t Task, attempt int, n *node) (any, error) {
+	c.mu.Lock()
+	c.tasksRun++
+	failHook := c.taskFail
+	slowdown := c.slowdowns[n.id]
+	c.mu.Unlock()
+	if failHook != nil {
+		if err := failHook(t.Index, attempt, n.id); err != nil {
+			return nil, err
+		}
+	}
+	start := time.Now()
+	result, err := t.Fn()
+	if err != nil {
+		return nil, err
+	}
+	if slowdown > 1 {
+		time.Sleep(time.Duration(float64(time.Since(start)) * (slowdown - 1)))
+	}
+	return result, nil
+}
+
+// MedianDuration is a small helper exported for tests and the bench
+// harness.
+func MedianDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)/2]
+}

@@ -1,0 +1,260 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunStageBasic(t *testing.T) {
+	c := New(Config{Nodes: 2, SlotsPerNode: 2})
+	tasks := make([]Task, 10)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{Index: i, Fn: func() (any, error) { return i * i, nil }}
+	}
+	results, err := c.RunStage(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r != i*i {
+			t.Errorf("result %d = %v", i, r)
+		}
+	}
+	run, failed, _ := c.Stats()
+	if run != 10 || failed != 0 {
+		t.Errorf("run=%d failed=%d", run, failed)
+	}
+}
+
+func TestTaskRetryOnFailure(t *testing.T) {
+	c := New(Config{Nodes: 2, SlotsPerNode: 1})
+	// Task 3 fails on its first two attempts, succeeds on the third.
+	c.InjectTaskFailure(func(taskIndex, attempt, nodeID int) error {
+		if taskIndex == 3 && attempt < 2 {
+			return errors.New("injected fault")
+		}
+		return nil
+	})
+	tasks := make([]Task, 5)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{Index: i, Fn: func() (any, error) { return i, nil }}
+	}
+	results, err := c.RunStage(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[3] != 3 {
+		t.Errorf("result = %v", results[3])
+	}
+	_, failed, _ := c.Stats()
+	if failed != 2 {
+		t.Errorf("failed = %d, want 2", failed)
+	}
+}
+
+func TestTaskExhaustsAttempts(t *testing.T) {
+	c := New(Config{Nodes: 1, SlotsPerNode: 1, MaxAttempts: 3})
+	c.InjectTaskFailure(func(taskIndex, attempt, nodeID int) error {
+		if taskIndex == 0 {
+			return errors.New("always fails")
+		}
+		return nil
+	})
+	_, err := c.RunStage([]Task{{Index: 0, Fn: func() (any, error) { return nil, nil }}})
+	if err == nil {
+		t.Fatal("expected stage failure")
+	}
+}
+
+func TestTaskFnErrorRetries(t *testing.T) {
+	var calls int32
+	c := New(Config{Nodes: 1, SlotsPerNode: 1})
+	task := Task{Index: 0, Fn: func() (any, error) {
+		if atomic.AddInt32(&calls, 1) < 3 {
+			return nil, errors.New("transient")
+		}
+		return "ok", nil
+	}}
+	results, err := c.RunStage([]Task{task})
+	if err != nil || results[0] != "ok" {
+		t.Fatalf("results=%v err=%v", results, err)
+	}
+}
+
+func TestRescaling(t *testing.T) {
+	c := New(Config{Nodes: 1, SlotsPerNode: 1})
+	id := c.AddNode()
+	if c.NumNodes() != 2 {
+		t.Errorf("nodes = %d", c.NumNodes())
+	}
+	c.RemoveNode(id)
+	if c.NumNodes() != 1 {
+		t.Errorf("nodes = %d", c.NumNodes())
+	}
+	// Work still completes after scale-down.
+	results, err := c.RunStage([]Task{{Index: 0, Fn: func() (any, error) { return 1, nil }}})
+	if err != nil || results[0] != 1 {
+		t.Fatalf("results=%v err=%v", results, err)
+	}
+}
+
+func TestSpeculativeExecution(t *testing.T) {
+	c := New(Config{Nodes: 2, SlotsPerNode: 2, SpeculationMultiplier: 1.5,
+		SpeculationMinRuntime: 10 * time.Millisecond})
+	var slowRuns int32
+	tasks := make([]Task, 8)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{Index: i, Fn: func() (any, error) {
+			if i == 7 {
+				// Straggling attempt: the first run is very slow, a backup
+				// copy returns quickly.
+				if atomic.AddInt32(&slowRuns, 1) == 1 {
+					time.Sleep(300 * time.Millisecond)
+				}
+				return "done", nil
+			}
+			time.Sleep(time.Millisecond)
+			return "done", nil
+		}}
+	}
+	start := time.Now()
+	results, err := c.RunStage(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[7] != "done" {
+		t.Errorf("result = %v", results[7])
+	}
+	_, _, speculated := c.Stats()
+	if speculated == 0 {
+		t.Error("no speculative copies launched for the straggler")
+	}
+	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
+		t.Errorf("stage took %v; speculation should beat the 300ms straggler", elapsed)
+	}
+}
+
+func TestInjectSlowdownStillCorrect(t *testing.T) {
+	c := New(Config{Nodes: 2, SlotsPerNode: 1})
+	c.InjectSlowdown(0, 3.0)
+	tasks := make([]Task, 6)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{Index: i, Fn: func() (any, error) {
+			time.Sleep(time.Millisecond)
+			return i, nil
+		}}
+	}
+	results, err := c.RunStage(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		if results[i] != i {
+			t.Errorf("result %d = %v", i, results[i])
+		}
+	}
+}
+
+// ---------------------------------------------------------------- virtual
+
+func TestVirtualStageMakespan(t *testing.T) {
+	v := &VirtualCluster{Nodes: 2, SlotsPerNode: 2}
+	// 8 tasks of 1s on 4 slots = 2s makespan.
+	span, err := v.RunStage(UniformStage(8, 8.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(span-2.0) > 1e-9 {
+		t.Errorf("makespan = %v", span)
+	}
+	if v.Clock() != span {
+		t.Errorf("clock = %v", v.Clock())
+	}
+}
+
+func TestVirtualTaskOverhead(t *testing.T) {
+	v := &VirtualCluster{Nodes: 1, SlotsPerNode: 1, TaskOverheadSec: 0.1}
+	span, _ := v.RunStage(UniformStage(5, 5.0))
+	if math.Abs(span-5.5) > 1e-9 {
+		t.Errorf("makespan = %v", span)
+	}
+}
+
+func TestVirtualStragglerNode(t *testing.T) {
+	v := &VirtualCluster{Nodes: 2, SlotsPerNode: 1, NodeSpeed: map[int]float64{1: 0.5}}
+	// 2 tasks of 1s: fast node does one in 1s, slow node takes 2s.
+	span, _ := v.RunStage(UniformStage(2, 2.0))
+	if math.Abs(span-2.0) > 1e-9 {
+		t.Errorf("makespan = %v", span)
+	}
+}
+
+func TestVirtualScalingIsNearLinear(t *testing.T) {
+	// The property behind Fig 6b: with per-task overhead small relative to
+	// work, doubling nodes roughly halves the makespan.
+	model := EpochModel{
+		MapCostPerRecord:     100e-9,
+		ReduceCostPerGroup:   1e-6,
+		ShuffleCostPerRecord: 50e-9,
+		EpochOverheadSec:     0.01,
+	}
+	// Large epochs amortize the fixed per-epoch overhead, as sustained
+	// throughput measurement does.
+	const records, shuffled, groups = 100_000_000, 10_000, 100
+	spanFor := func(nodes int) float64 {
+		v := &VirtualCluster{Nodes: nodes, SlotsPerNode: 8, TaskOverheadSec: 0.001}
+		span, err := v.SimulateEpoch(model, records, shuffled, groups, nodes*8, nodes*8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return span
+	}
+	t1, t20 := spanFor(1), spanFor(20)
+	speedup := t1 / t20
+	if speedup < 14 || speedup > 20.5 {
+		t.Errorf("1→20 node speedup = %.1f, want near-linear (14–20)", speedup)
+	}
+}
+
+func TestVirtualErrors(t *testing.T) {
+	v := &VirtualCluster{}
+	if _, err := v.RunStage(UniformStage(1, 1)); err == nil {
+		t.Error("zero-node virtual cluster should error")
+	}
+}
+
+func TestMedianDuration(t *testing.T) {
+	ds := []time.Duration{3, 1, 2}
+	if MedianDuration(ds) != 2 {
+		t.Error("median")
+	}
+	if MedianDuration(nil) != 0 {
+		t.Error("empty median")
+	}
+}
+
+func BenchmarkRunStageOverhead(b *testing.B) {
+	c := New(Config{Nodes: 1, SlotsPerNode: 1})
+	task := []Task{{Index: 0, Fn: func() (any, error) { return nil, nil }}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.RunStage(task); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ExampleVirtualCluster() {
+	v := &VirtualCluster{Nodes: 4, SlotsPerNode: 2}
+	span, _ := v.RunStage(UniformStage(16, 16))
+	fmt.Printf("%.1fs\n", span)
+	// Output: 2.0s
+}

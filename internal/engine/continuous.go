@@ -1,0 +1,282 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"structream/internal/incremental"
+	"structream/internal/metrics"
+	"structream/internal/sinks"
+	"structream/internal/sources"
+	"structream/internal/wal"
+)
+
+// continuousExec implements continuous processing mode (§6.3): long-lived
+// per-partition workers process records as soon as they arrive instead of
+// waiting for a trigger, while the master coordinates epoch markers off
+// the critical path — it periodically snapshots every partition's offset
+// and logs the epoch, so commits never block record processing. Only
+// map-like queries (no shuffle) are supported, as in Spark 2.3, and
+// delivery between epoch markers is at-least-once on replay.
+type continuousExec struct {
+	q    *incremental.Query
+	sink sinks.Sink
+	opts Options
+
+	wal *wal.Log
+	log *metrics.EventLog
+	reg *metrics.Registry
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+
+	mu        sync.Mutex
+	current   map[string]sources.Offsets // live read positions
+	lastEnd   map[string]sources.Offsets // offsets at the last epoch mark
+	epoch     int64
+	workerSeq int64
+	err       error
+}
+
+// waitable lets a source block efficiently for new data; sources without
+// it are polled.
+type waitable interface {
+	WaitForData(partition int, offset int64, timeout time.Duration) bool
+}
+
+// startContinuous validates and launches the continuous engine.
+func startContinuous(q *incremental.Query, srcs map[string]sources.Source, sink sinks.Sink, opts Options, trig ContinuousTrigger) (*StreamingQuery, error) {
+	if q.Stateful != nil {
+		return nil, fmt.Errorf("engine: continuous processing supports only map-like queries (no aggregation, join between streams, or stateful operators); use the microbatch trigger")
+	}
+	if opts.Checkpoint == "" {
+		return nil, fmt.Errorf("engine: a checkpoint directory is required")
+	}
+	w, err := wal.Open(opts.Checkpoint)
+	if err != nil {
+		return nil, err
+	}
+	ce := &continuousExec{
+		q: q, sink: sink, opts: opts,
+		wal:     w,
+		log:     metrics.NewEventLog(opts.EventLogWriter),
+		reg:     metrics.NewRegistry(),
+		stopCh:  make(chan struct{}),
+		current: map[string]sources.Offsets{},
+		lastEnd: map[string]sources.Offsets{},
+	}
+
+	// Recover: resume from the latest logged epoch's end offsets.
+	rp, err := w.Recover()
+	if err != nil {
+		return nil, err
+	}
+	ce.epoch = rp.NextEpoch
+	if latest, ok, err := w.LatestOffsets(); err != nil {
+		return nil, err
+	} else if ok {
+		for _, s := range latest.Sources {
+			ce.current[s.Source] = append(sources.Offsets(nil), s.End...)
+			ce.lastEnd[s.Source] = append(sources.Offsets(nil), s.End...)
+		}
+	}
+
+	sq := &StreamingQuery{
+		name:   opts.Name,
+		cont:   ce,
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}
+
+	// Launch one long-lived worker per (pipeline, partition) — §6.3: "the
+	// master launches long-running tasks on each partition"; a failed
+	// worker would simply be relaunched.
+	for _, p := range q.Pipelines {
+		src, ok := srcs[p.SourceName]
+		if !ok {
+			return nil, fmt.Errorf("engine: no source bound for stream %q", p.SourceName)
+		}
+		name := src.Name()
+		if _, ok := ce.current[name]; !ok {
+			var start sources.Offsets
+			if opts.StartFromLatest {
+				start, err = src.Latest()
+			} else {
+				start, err = src.Earliest()
+			}
+			if err != nil {
+				return nil, err
+			}
+			ce.current[name] = start
+			ce.lastEnd[name] = start.Clone()
+		}
+		for part := 0; part < src.Partitions(); part++ {
+			ce.wg.Add(1)
+			ce.workerSeq++
+			go ce.worker(p, src, part, ce.workerSeq)
+		}
+	}
+
+	// Epoch coordinator.
+	interval := trig.EpochInterval
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	ce.wg.Add(1)
+	go ce.coordinator(interval)
+
+	go func() {
+		ce.wg.Wait()
+		if err := ce.getErr(); err != nil {
+			sq.setErr(err)
+		}
+		close(sq.doneCh)
+	}()
+	return sq, nil
+}
+
+func (ce *continuousExec) stop() {
+	select {
+	case <-ce.stopCh:
+	default:
+		close(ce.stopCh)
+	}
+}
+
+func (ce *continuousExec) getErr() error {
+	ce.mu.Lock()
+	defer ce.mu.Unlock()
+	return ce.err
+}
+
+func (ce *continuousExec) setErr(err error) {
+	ce.mu.Lock()
+	if ce.err == nil {
+		ce.err = err
+	}
+	ce.mu.Unlock()
+	ce.stop()
+}
+
+// worker continuously drains one partition of one source. Each delivery
+// carries a worker-unique Sub id so sinks keep all sub-batches of an epoch.
+func (ce *continuousExec) worker(pipe *incremental.Pipeline, src sources.Source, part int, workerID int64) {
+	defer ce.wg.Done()
+	const maxPoll = 4096
+	var seq int64
+	for {
+		select {
+		case <-ce.stopCh:
+			return
+		default:
+		}
+		ce.mu.Lock()
+		off := ce.current[src.Name()][part]
+		epoch := ce.epoch
+		ce.mu.Unlock()
+
+		latest, err := src.Latest()
+		if err != nil {
+			ce.setErr(err)
+			return
+		}
+		if latest[part] <= off {
+			// Idle: block on the source if it supports waiting, else poll.
+			if w, ok := src.(waitable); ok {
+				w.WaitForData(part, off, 5*time.Millisecond)
+			} else {
+				time.Sleep(200 * time.Microsecond)
+			}
+			continue
+		}
+		to := latest[part]
+		if to > off+maxPoll {
+			to = off + maxPoll
+		}
+		raw, err := src.Read(part, off, to)
+		if err != nil {
+			ce.setErr(err)
+			return
+		}
+		rows := pipe.Process(raw)
+		if len(rows) > 0 {
+			seq++
+			if err := ce.sink.AddBatch(sinks.Batch{
+				Epoch:  epoch,
+				Sub:    workerID<<32 | seq,
+				Mode:   ce.q.Mode,
+				Schema: ce.q.OutSchema,
+				Rows:   rows,
+			}); err != nil {
+				ce.setErr(err)
+				return
+			}
+		}
+		ce.mu.Lock()
+		ce.current[src.Name()][part] = to
+		ce.mu.Unlock()
+		ce.reg.Counter("inputRows").Add(int64(len(raw)))
+		ce.reg.Counter("outputRows").Add(int64(len(rows)))
+	}
+}
+
+// coordinator periodically snapshots offsets and commits epochs — the
+// master "is not on the critical path" (§6.3).
+func (ce *continuousExec) coordinator(interval time.Duration) {
+	defer ce.wg.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ce.stopCh:
+			ce.markEpoch() // final epoch on shutdown
+			return
+		case <-ticker.C:
+			ce.markEpoch()
+		}
+	}
+}
+
+func (ce *continuousExec) markEpoch() {
+	ce.mu.Lock()
+	epoch := ce.epoch
+	entry := wal.Entry{Epoch: epoch}
+	var progressed bool
+	var totalIn int64
+	for name, cur := range ce.current {
+		start := ce.lastEnd[name]
+		end := cur.Clone()
+		entry.Sources = append(entry.Sources, wal.SourceOffsets{Source: name, Start: start.Clone(), End: end})
+		for i := range end {
+			if end[i] > start[i] {
+				progressed = true
+				totalIn += end[i] - start[i]
+			}
+		}
+	}
+	if !progressed {
+		ce.mu.Unlock()
+		return
+	}
+	for name := range ce.current {
+		ce.lastEnd[name] = ce.current[name].Clone()
+	}
+	ce.epoch++
+	ce.mu.Unlock()
+
+	if err := ce.wal.WriteOffsets(entry); err != nil {
+		ce.setErr(err)
+		return
+	}
+	if err := ce.wal.WriteCommit(epoch); err != nil {
+		ce.setErr(err)
+		return
+	}
+	ce.reg.Counter("epochs").Add(1)
+	ce.log.Emit(metrics.QueryProgress{
+		QueryName:    ce.opts.Name,
+		Epoch:        epoch,
+		NumInputRows: totalIn,
+	})
+}

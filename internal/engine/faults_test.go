@@ -1,0 +1,179 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+	"time"
+
+	"structream/internal/cluster"
+	"structream/internal/msgbus"
+	"structream/internal/sinks"
+	"structream/internal/sources"
+	"structream/internal/sql"
+	"structream/internal/sql/codec"
+	"structream/internal/sql/logical"
+)
+
+// TestEngineSurvivesTaskFailures injects transient failures into map and
+// reduce task attempts; results must be exactly correct (the §6.2
+// fine-grained recovery path, inside a live epoch).
+func TestEngineSurvivesTaskFailures(t *testing.T) {
+	parts := make([][]sql.Row, 4)
+	var wantTotal float64
+	for i := 0; i < 400; i++ {
+		v := float64(i)
+		wantTotal += v
+		parts[i%4] = append(parts[i%4], sql.Row{fmt.Sprintf("k%d", i%5), v, int64(0)})
+	}
+	src := sources.NewPartitionedSource("events", eventsSchema, parts)
+	clus := cluster.New(cluster.Config{Nodes: 2, SlotsPerNode: 2})
+	attempts := map[int]int{}
+	clus.InjectTaskFailure(func(taskIndex, attempt, nodeID int) error {
+		attempts[taskIndex]++
+		if attempt == 0 && taskIndex%2 == 0 {
+			return errors.New("injected transient failure")
+		}
+		return nil
+	})
+	q := compile(t, countByKey(streamScan("events")), logical.Complete, nil)
+	sink := sinks.NewMemorySink()
+	sq := startQuery(t, q, map[string]sources.Source{"events": src}, sink, Options{
+		Cluster: clus, NumPartitions: 4,
+	})
+	if err := sq.ProcessAllAvailable(); err != nil {
+		t.Fatal(err)
+	}
+	var gotTotal float64
+	var gotCount int64
+	for _, r := range sink.Rows() {
+		gotCount += r[1].(int64)
+		gotTotal += r[2].(float64)
+	}
+	if gotCount != 400 || gotTotal != wantTotal {
+		t.Errorf("count=%d total=%v, want 400/%v", gotCount, gotTotal, wantTotal)
+	}
+	_, failed, _ := clus.Stats()
+	if failed == 0 {
+		t.Error("no failures were actually injected")
+	}
+}
+
+// TestEngineSurvivesStragglerWithSpeculation runs an epoch on a cluster
+// with one slowed node and speculation enabled; results stay exact.
+func TestEngineSurvivesStragglerWithSpeculation(t *testing.T) {
+	parts := make([][]sql.Row, 4)
+	for i := 0; i < 200; i++ {
+		parts[i%4] = append(parts[i%4], sql.Row{"k", 1.0, int64(0)})
+	}
+	src := sources.NewPartitionedSource("events", eventsSchema, parts)
+	clus := cluster.New(cluster.Config{
+		Nodes: 2, SlotsPerNode: 2,
+		SpeculationMultiplier: 1.5,
+		SpeculationMinRuntime: 5 * time.Millisecond,
+	})
+	clus.InjectSlowdown(0, 5.0)
+	q := compile(t, countByKey(streamScan("events")), logical.Complete, nil)
+	sink := sinks.NewMemorySink()
+	sq := startQuery(t, q, map[string]sources.Source{"events": src}, sink, Options{
+		Cluster: clus, NumPartitions: 4,
+	})
+	if err := sq.ProcessAllAvailable(); err != nil {
+		t.Fatal(err)
+	}
+	rows := sink.Rows()
+	if len(rows) != 1 || rows[0][1] != int64(200) {
+		t.Errorf("rows = %v", sortedStrings(rows))
+	}
+}
+
+// TestEngineFailsAfterAttemptsExhausted: a permanently failing task
+// surfaces as a query error, not a hang or wrong answer.
+func TestEngineFailsAfterAttemptsExhausted(t *testing.T) {
+	src := sources.NewMemorySource("events", eventsSchema)
+	src.AddData(sql.Row{"a", 1.0, 0})
+	clus := cluster.New(cluster.Config{Nodes: 1, SlotsPerNode: 1, MaxAttempts: 2})
+	clus.InjectTaskFailure(func(taskIndex, attempt, nodeID int) error {
+		return errors.New("permanent failure")
+	})
+	q := compile(t, countByKey(streamScan("events")), logical.Complete, nil)
+	sq := startQuery(t, q, map[string]sources.Source{"events": src}, sinks.NewMemorySink(), Options{
+		Cluster: clus,
+	})
+	if err := sq.ProcessAllAvailable(); err == nil {
+		t.Fatal("permanently failing task must fail the query")
+	}
+}
+
+// TestBusToBusPipelineExactlyOnce chains two queries through the bus with
+// a transactional sink — the §6.3 "stream to stream map operations" use
+// case — and verifies no duplicates even when the first query's epochs
+// replay.
+func TestBusToBusPipelineExactlyOnce(t *testing.T) {
+	broker := msgbus.NewBroker()
+	in, _ := broker.CreateTopic("in", 2)
+	mid, _ := broker.CreateTopic("mid", 2)
+	control, _ := broker.CreateTopic("mid-commits", 1)
+
+	// Query 1: in → transform → mid (transactional).
+	src1 := sources.NewCodecBusSource("in", in, eventsSchema)
+	plan1 := &logical.Project{Child: &logical.Filter{
+		Child: streamScan("in"), Cond: sql.Gt(sql.Col("v"), sql.Lit(0.0))},
+		Exprs: []sql.Expr{sql.Col("k"), sql.Col("v"), sql.Col("ts")}}
+	q1 := compile(t, plan1, logical.Append, nil)
+	busSink := sinks.NewBusSink(mid)
+	txSink, err := sinks.NewTransactionalBusSink(busSink, control)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt1 := t.TempDir()
+	sq1 := startQuery(t, q1, map[string]sources.Source{"in": src1}, txSink, Options{Checkpoint: ckpt1})
+
+	// Query 2: mid → counts.
+	src2 := sources.NewCodecBusSource("mid", mid, eventsSchema)
+	q2 := compile(t, countByKey(&logical.Scan{Name: "mid", Streaming: true, Out: eventsSchema}), logical.Complete, nil)
+	sink2 := sinks.NewMemorySink()
+	sq2 := startQuery(t, q2, map[string]sources.Source{"mid": src2}, sink2, Options{Checkpoint: t.TempDir()})
+
+	for i := 0; i < 20; i++ {
+		in.Append(i%2, msgbus.Record{Value: codec.EncodeRow(sql.Row{"a", float64(i%3 - 1), int64(0)})})
+	}
+	if err := sq1.ProcessAllAvailable(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash of query 1 after its epoch's offsets were logged:
+	// delete the commit marker and restart; the replay hits the
+	// transactional sink, which must not duplicate records in `mid`.
+	sq1.Stop()
+	mustRemoveLastCommit(t, ckpt1)
+	q1b := compile(t, plan1, logical.Append, nil)
+	sq1b := startQuery(t, q1b, map[string]sources.Source{"in": src1}, txSink, Options{Checkpoint: ckpt1})
+	if err := sq1b.ProcessAllAvailable(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := sq2.ProcessAllAvailable(); err != nil {
+		t.Fatal(err)
+	}
+	rows := sink2.Rows()
+	// 20 inputs, v cycles -1,0,1 → 6 rows with v=1 pass the filter; the
+	// count must be exactly 6 despite the replay.
+	if len(rows) != 1 || rows[0][1] != int64(6) {
+		t.Errorf("rows = %v, want count 6 (exactly-once through the bus)", sortedStrings(rows))
+	}
+}
+
+func mustRemoveLastCommit(t *testing.T, ckpt string) {
+	t.Helper()
+	commits, err := filepath.Glob(filepath.Join(ckpt, "commits", "*.json"))
+	if err != nil || len(commits) == 0 {
+		t.Fatalf("commits=%v err=%v", commits, err)
+	}
+	sort.Strings(commits)
+	if err := os.Remove(commits[len(commits)-1]); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,559 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"structream/internal/cluster"
+	"structream/internal/incremental"
+	"structream/internal/metrics"
+	"structream/internal/sinks"
+	"structream/internal/sources"
+	"structream/internal/sql"
+	"structream/internal/sql/codec"
+	"structream/internal/sql/logical"
+	"structream/internal/state"
+	"structream/internal/wal"
+)
+
+// Options configures a streaming query execution.
+type Options struct {
+	// Name labels the query in progress events.
+	Name string
+	// Checkpoint is the directory holding the write-ahead log and state
+	// store. Required.
+	Checkpoint string
+	// Trigger selects the execution cadence (default: ProcessingTime(0),
+	// i.e. run epochs back to back as data arrives).
+	Trigger Trigger
+	// NumPartitions is the shuffle/state partition count (default 4).
+	NumPartitions int
+	// MaxRecordsPerTrigger caps records per epoch per source (0 =
+	// unlimited). With the default unlimited setting the engine exhibits
+	// the paper's adaptive batching: a backlog produces proportionally
+	// larger epochs until the query catches up (§7.3).
+	MaxRecordsPerTrigger int64
+	// Cluster executes map and reduce stages; nil uses a single-node
+	// in-process cluster.
+	Cluster *cluster.Cluster
+	// StartFromEarliest makes a fresh query begin at the sources' earliest
+	// offsets rather than their current head (default true).
+	StartFromLatest bool
+	// EventLogWriter receives JSON progress lines (§7.4); may be nil.
+	EventLogWriter io.Writer
+	// StateSnapshotInterval overrides the state store's full-snapshot
+	// cadence (default 10 epochs).
+	StateSnapshotInterval int64
+	// RetainEpochs bounds checkpoint growth: every RetainEpochs epochs the
+	// engine purges WAL entries and state files older than the retention
+	// horizon (keeping everything needed to recover, plus that many epochs
+	// of manual-rollback headroom). 0 disables garbage collection.
+	RetainEpochs int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Trigger == nil {
+		o.Trigger = ProcessingTimeTrigger{}
+	}
+	if o.NumPartitions <= 0 {
+		o.NumPartitions = 4
+	}
+	if o.Name == "" {
+		o.Name = "query"
+	}
+	return o
+}
+
+// exec is the microbatch execution of one query.
+type exec struct {
+	q    *incremental.Query
+	sink sinks.Sink
+	opts Options
+
+	pipes []boundPipeline
+	wal   *wal.Log
+	prov  *state.Provider
+	clus  *cluster.Cluster
+	log   *metrics.EventLog
+	reg   *metrics.Registry
+
+	mu               sync.Mutex // serializes epoch execution
+	nextEpoch        int64
+	lastStateVersion int64 // last committed state version, -1 before any
+	watermark        int64
+	perPipeMax       []int64 // max event time seen per pipeline
+	committed        map[string]sources.Offsets
+	needFlush        bool // run one empty epoch to apply a watermark advance
+	alwaysRun        bool // processing-time timeouts need epochs regardless
+}
+
+type boundPipeline struct {
+	pipe *incremental.Pipeline
+	src  sources.Source
+}
+
+// newExec wires a compiled query to its sources and recovers WAL state.
+func newExec(q *incremental.Query, srcs map[string]sources.Source, sink sinks.Sink, opts Options) (*exec, error) {
+	opts = opts.withDefaults()
+	if opts.Checkpoint == "" {
+		return nil, fmt.Errorf("engine: a checkpoint directory is required")
+	}
+	w, err := wal.Open(opts.Checkpoint)
+	if err != nil {
+		return nil, err
+	}
+	prov := state.NewProvider(opts.Checkpoint)
+	if opts.StateSnapshotInterval > 0 {
+		prov.SnapshotInterval = opts.StateSnapshotInterval
+	}
+	clus := opts.Cluster
+	if clus == nil {
+		clus = cluster.New(cluster.Config{Nodes: 1, SlotsPerNode: 2})
+	}
+	e := &exec{
+		q: q, sink: sink, opts: opts,
+		wal: w, prov: prov, clus: clus,
+		log:              metrics.NewEventLog(opts.EventLogWriter),
+		reg:              metrics.NewRegistry(),
+		lastStateVersion: -1,
+		committed:        map[string]sources.Offsets{},
+		perPipeMax:       make([]int64, len(q.Pipelines)),
+	}
+	for i := range e.perPipeMax {
+		e.perPipeMax[i] = -1
+	}
+	for _, p := range q.Pipelines {
+		src, ok := srcs[p.SourceName]
+		if !ok {
+			return nil, fmt.Errorf("engine: no source bound for stream %q", p.SourceName)
+		}
+		e.pipes = append(e.pipes, boundPipeline{pipe: p, src: src})
+	}
+	if mg, ok := q.Stateful.(*incremental.FlatMapGroupsWithState); ok {
+		e.alwaysRun = mg.Timeout == logical.ProcessingTimeTimeout
+	}
+	if err := e.recover(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// recover implements the §6.1 restart protocol.
+func (e *exec) recover() error {
+	rp, err := e.wal.Recover()
+	if err != nil {
+		return err
+	}
+	e.nextEpoch = rp.NextEpoch
+	e.watermark = rp.Watermark
+
+	// Determine committed start offsets.
+	if latest, ok, err := e.wal.LatestOffsets(); err != nil {
+		return err
+	} else if ok {
+		for _, s := range latest.Sources {
+			e.committed[s.Source] = append(sources.Offsets(nil), s.End...)
+		}
+	}
+	// Last durable state version at or below the epoch before the next.
+	v, err := e.stateVersionAtOrBelow(rp.NextEpoch - 1)
+	if err != nil {
+		return err
+	}
+	e.lastStateVersion = v
+	if rp.Replay != nil {
+		// Re-run the possibly-partial epoch with identical offsets; the
+		// sink's idempotence absorbs the duplicate delivery.
+		prevVersion, err := e.stateVersionAtOrBelow(rp.Replay.Epoch - 1)
+		if err != nil {
+			return err
+		}
+		e.lastStateVersion = prevVersion
+		ranges := map[string][2]sources.Offsets{}
+		for _, s := range rp.Replay.Sources {
+			ranges[s.Source] = [2]sources.Offsets{s.Start, s.End}
+		}
+		e.watermark = rp.Replay.Watermark
+		if err := e.runEpoch(rp.Replay.Epoch, ranges, true); err != nil {
+			return fmt.Errorf("engine: recovery replay of epoch %d: %w", rp.Replay.Epoch, err)
+		}
+	}
+	return nil
+}
+
+// stateVersionAtOrBelow finds the newest committed state version ≤ v for
+// the query's stateful operator, or -1.
+func (e *exec) stateVersionAtOrBelow(v int64) (int64, error) {
+	if e.q.Stateful == nil {
+		return v, nil
+	}
+	best := int64(-1)
+	for p := 0; p < e.opts.NumPartitions; p++ {
+		vs, err := e.prov.Versions(state.ID{Operator: e.q.Stateful.Name(), Partition: p})
+		if err != nil {
+			return -1, err
+		}
+		for _, x := range vs {
+			if x <= v && x > best {
+				best = x
+			}
+		}
+	}
+	return best, nil
+}
+
+// planEpoch decides the next epoch's offset ranges; ok is false when no
+// epoch should run.
+func (e *exec) planEpoch() (map[string][2]sources.Offsets, bool, error) {
+	ranges := map[string][2]sources.Offsets{}
+	hasData := false
+	seen := map[string]bool{}
+	for _, bp := range e.pipes {
+		name := bp.src.Name()
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		latest, err := bp.src.Latest()
+		if err != nil {
+			return nil, false, err
+		}
+		start, ok := e.committed[name]
+		if !ok {
+			if e.opts.StartFromLatest {
+				start = latest.Clone()
+			} else {
+				start, err = bp.src.Earliest()
+				if err != nil {
+					return nil, false, err
+				}
+			}
+			e.committed[name] = start
+		}
+		end := latest.Clone()
+		if cap := e.opts.MaxRecordsPerTrigger; cap > 0 {
+			perPart := cap / int64(len(end))
+			if perPart == 0 {
+				perPart = 1
+			}
+			for i := range end {
+				if end[i]-start[i] > perPart {
+					end[i] = start[i] + perPart
+				}
+			}
+		}
+		for i := range end {
+			if end[i] > start[i] {
+				hasData = true
+			}
+			if end[i] < start[i] {
+				end[i] = start[i] // source truncation should not regress
+			}
+		}
+		ranges[name] = [2]sources.Offsets{start.Clone(), end}
+	}
+	if !hasData && !e.needFlush && !e.alwaysRun {
+		return nil, false, nil
+	}
+	return ranges, true, nil
+}
+
+// RunAvailable executes epochs until no more data is available; it returns
+// the number of epochs run. This is both the test helper and the body of
+// the Once/AvailableNow triggers.
+func (e *exec) RunAvailable() (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for {
+		ranges, ok, err := e.planEpoch()
+		if err != nil {
+			return n, err
+		}
+		if !ok {
+			return n, nil
+		}
+		if err := e.runEpoch(e.nextEpoch, ranges, false); err != nil {
+			return n, err
+		}
+		n++
+		if e.alwaysRun {
+			// Processing-time-timeout queries would loop forever here; one
+			// pass per call.
+			ranges, more, err := e.planEpoch()
+			_ = ranges
+			if err != nil || !more {
+				return n, err
+			}
+		}
+	}
+}
+
+// runOnce executes at most one epoch (Trigger.Once).
+func (e *exec) runOnce() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	ranges, ok, err := e.planEpoch()
+	if err != nil || !ok {
+		return err
+	}
+	return e.runEpoch(e.nextEpoch, ranges, false)
+}
+
+// mapResult is one map task's output.
+type mapResult struct {
+	side    int
+	buckets [][]sql.Row // by reduce partition; nil for map-only queries
+	direct  []sql.Row   // map-only output
+	maxTs   int64
+	rows    int64
+}
+
+// runEpoch executes one epoch end to end. Caller holds e.mu.
+func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, replay bool) error {
+	start := time.Now()
+	nPart := e.opts.NumPartitions
+
+	// Log the epoch definition before any work (§6.1 step 1).
+	entry := wal.Entry{Epoch: epoch, Watermark: e.watermark}
+	for name, r := range ranges {
+		entry.Sources = append(entry.Sources, wal.SourceOffsets{Source: name, Start: r[0], End: r[1]})
+	}
+	if err := e.wal.WriteOffsets(entry); err != nil {
+		return err
+	}
+
+	// ---- map stage: one task per (pipeline, source partition).
+	type taskSpec struct {
+		pipeIdx int
+		part    int
+	}
+	var specs []taskSpec
+	for i, bp := range e.pipes {
+		r := ranges[bp.src.Name()]
+		for p := 0; p < bp.src.Partitions(); p++ {
+			if p < len(r[0]) && r[1][p] > r[0][p] {
+				specs = append(specs, taskSpec{pipeIdx: i, part: p})
+			}
+		}
+	}
+	tasks := make([]cluster.Task, len(specs))
+	for ti, spec := range specs {
+		spec := spec
+		bp := e.pipes[spec.pipeIdx]
+		r := ranges[bp.src.Name()]
+		tasks[ti] = cluster.Task{Index: ti, Fn: func() (any, error) {
+			raw, err := bp.src.Read(spec.part, r[0][spec.part], r[1][spec.part])
+			if err != nil {
+				return nil, err
+			}
+			res := &mapResult{side: bp.pipe.Side, maxTs: -1, rows: int64(len(raw))}
+			if bp.pipe.WatermarkEval != nil {
+				for _, row := range raw {
+					if ts, ok := bp.pipe.WatermarkEval(row).(int64); ok && ts > res.maxTs {
+						res.maxTs = ts
+					}
+				}
+			}
+			if bp.pipe.KeyEvals == nil {
+				res.direct = bp.pipe.Process(raw)
+				return res, nil
+			}
+			// Push rows straight into shuffle buckets: no intermediate
+			// materialization between the fused pipeline and the shuffle.
+			res.buckets = make([][]sql.Row, nPart)
+			key := make([]sql.Value, len(bp.pipe.KeyEvals))
+			bp.pipe.ProcessTo(raw, func(row sql.Row) {
+				for k, ev := range bp.pipe.KeyEvals {
+					key[k] = ev(row)
+				}
+				b := int(codec.HashKey(key) % uint64(nPart))
+				res.buckets[b] = append(res.buckets[b], row)
+			})
+			return res, nil
+		}}
+	}
+	results, err := e.clus.RunStage(tasks)
+	if err != nil {
+		return err
+	}
+
+	var inputRows int64
+	var stageRows []sql.Row
+	// inputsByPart[p][side] collects shuffle rows.
+	inputsByPart := make([][][]sql.Row, nPart)
+	for p := range inputsByPart {
+		inputsByPart[p] = make([][]sql.Row, 2)
+	}
+	pipeMaxSeen := make([]int64, len(e.pipes))
+	for i := range pipeMaxSeen {
+		pipeMaxSeen[i] = -1
+	}
+	for ti, r := range results {
+		res := r.(*mapResult)
+		inputRows += res.rows
+		if res.maxTs > pipeMaxSeen[specs[ti].pipeIdx] {
+			pipeMaxSeen[specs[ti].pipeIdx] = res.maxTs
+		}
+		if res.buckets == nil {
+			stageRows = append(stageRows, res.direct...)
+			continue
+		}
+		for p, b := range res.buckets {
+			if len(b) > 0 {
+				inputsByPart[p][res.side] = append(inputsByPart[p][res.side], b...)
+			}
+		}
+	}
+	for i, m := range pipeMaxSeen {
+		if m > e.perPipeMax[i] {
+			e.perPipeMax[i] = m
+		}
+	}
+
+	// ---- reduce stage: stateful operator per partition.
+	var stateRows, stateBytes int64
+	if op := e.q.Stateful; op != nil {
+		ctx := &incremental.EpochContext{
+			Epoch:     epoch,
+			Watermark: e.watermark,
+			ProcTime:  time.Now().UnixMicro(),
+			Mode:      e.q.Mode,
+		}
+		prevVersion := e.lastStateVersion
+		reduceTasks := make([]cluster.Task, nPart)
+		type reduceResult struct {
+			rows []sql.Row
+			keys int64
+		}
+		for p := 0; p < nPart; p++ {
+			p := p
+			reduceTasks[p] = cluster.Task{Index: p, Fn: func() (any, error) {
+				store, err := e.prov.Open(state.ID{Operator: op.Name(), Partition: p}, prevVersion)
+				if err != nil {
+					return nil, err
+				}
+				out, err := op.Process(ctx, store, inputsByPart[p])
+				if err != nil {
+					store.Abort()
+					return nil, err
+				}
+				if err := store.Commit(epoch); err != nil {
+					return nil, err
+				}
+				return &reduceResult{rows: out, keys: int64(store.NumKeys())}, nil
+			}}
+		}
+		reduceResults, err := e.clus.RunStage(reduceTasks)
+		if err != nil {
+			return err
+		}
+		for _, r := range reduceResults {
+			rr := r.(*reduceResult)
+			stageRows = append(stageRows, rr.rows...)
+			stateRows += rr.keys
+		}
+		e.lastStateVersion = epoch
+		if du, err := e.prov.DiskUsage(); err == nil {
+			stateBytes = du
+		}
+	}
+
+	// ---- post stage + sink commit.
+	outRows, err := e.q.Post(stageRows)
+	if err != nil {
+		return err
+	}
+	if err := e.sink.AddBatch(sinks.Batch{
+		Epoch:    epoch,
+		Mode:     e.q.Mode,
+		Schema:   e.q.OutSchema,
+		Rows:     outRows,
+		KeyArity: e.q.KeyArity,
+	}); err != nil {
+		return err
+	}
+	if err := e.wal.WriteCommit(epoch); err != nil {
+		return err
+	}
+
+	// Advance bookkeeping for the next epoch.
+	for name, r := range ranges {
+		e.committed[name] = r[1].Clone()
+	}
+	if epoch >= e.nextEpoch {
+		e.nextEpoch = epoch + 1
+	}
+	oldWM := e.watermark
+	e.advanceWatermark()
+	e.needFlush = e.q.Stateful != nil && (e.watermark > oldWM)
+
+	// Periodic checkpoint garbage collection: retain the last RetainEpochs
+	// epochs for manual rollback, purge everything older.
+	if keep := e.opts.RetainEpochs; keep > 0 && epoch > keep && epoch%keep == 0 {
+		horizon := epoch - keep
+		if err := e.wal.Purge(horizon); err != nil {
+			return err
+		}
+		if e.q.Stateful != nil {
+			if err := e.prov.Maintenance(horizon); err != nil {
+				return err
+			}
+		}
+	}
+
+	elapsed := time.Since(start)
+	e.reg.Counter("inputRows").Add(inputRows)
+	e.reg.Counter("outputRows").Add(int64(len(outRows)))
+	e.reg.Counter("epochs").Add(1)
+	e.reg.Gauge("watermarkMicros").Set(e.watermark)
+	e.reg.Gauge("stateRows").Set(stateRows)
+	endTotals := map[string]int64{}
+	for name, r := range ranges {
+		endTotals[name] = r[1].Total()
+	}
+	e.log.Emit(metrics.QueryProgress{
+		QueryName:        e.opts.Name,
+		Epoch:            epoch,
+		NumInputRows:     inputRows,
+		NumOutputRows:    int64(len(outRows)),
+		ProcessingMillis: elapsed.Milliseconds(),
+		WatermarkMicros:  e.watermark,
+		StateRows:        stateRows,
+		StateBytes:       stateBytes,
+		InputRowsPerSec:  float64(inputRows) / max(elapsed.Seconds(), 1e-9),
+		SourceOffsets:    endTotals,
+	})
+	return nil
+}
+
+// advanceWatermark recomputes the global watermark: the minimum over
+// watermarked pipelines of (max event time − delay), never regressing
+// (§4.3.1). It takes effect for the NEXT epoch.
+func (e *exec) advanceWatermark() {
+	candidate := int64(-1)
+	for i, bp := range e.pipes {
+		if bp.pipe.WatermarkEval == nil {
+			continue
+		}
+		if e.perPipeMax[i] < 0 {
+			return // a watermarked source with no data yet holds the line
+		}
+		wm := e.perPipeMax[i] - bp.pipe.WatermarkDelay
+		if candidate < 0 || wm < candidate {
+			candidate = wm
+		}
+	}
+	if candidate > e.watermark {
+		e.watermark = candidate
+	}
+}
+
+func max[T int64 | float64](a, b T) T {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,201 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"structream/internal/incremental"
+	"structream/internal/metrics"
+	"structream/internal/sinks"
+	"structream/internal/sources"
+	"structream/internal/wal"
+)
+
+// StreamingQuery is the handle to a running query, mirroring the paper's
+// query management API: stop it, wait for it, inspect progress, or drive
+// it synchronously in tests.
+type StreamingQuery struct {
+	name string
+	exec *exec
+	cont *continuousExec // non-nil in continuous mode
+
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	stopOnce sync.Once
+
+	mu  sync.Mutex
+	err error
+}
+
+// Start begins executing a compiled incremental query against the given
+// sources and sink. The trigger in opts selects microbatch (default) or
+// continuous execution.
+func Start(q *incremental.Query, srcs map[string]sources.Source, sink sinks.Sink, opts Options) (*StreamingQuery, error) {
+	opts = opts.withDefaults()
+	if ct, ok := opts.Trigger.(ContinuousTrigger); ok {
+		return startContinuous(q, srcs, sink, opts, ct)
+	}
+	e, err := newExec(q, srcs, sink, opts)
+	if err != nil {
+		return nil, err
+	}
+	sq := &StreamingQuery{
+		name:   opts.Name,
+		exec:   e,
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+	}
+	go sq.loop()
+	return sq, nil
+}
+
+// loop is the trigger-driven driver goroutine.
+func (q *StreamingQuery) loop() {
+	defer close(q.doneCh)
+	switch trig := q.exec.opts.Trigger.(type) {
+	case OnceTrigger:
+		q.setErr(q.exec.runOnce())
+	case AvailableNowTrigger:
+		_, err := q.exec.RunAvailable()
+		q.setErr(err)
+	case ProcessingTimeTrigger:
+		interval := trig.Interval
+		if interval <= 0 {
+			interval = time.Millisecond
+		}
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-q.stopCh:
+				return
+			case <-ticker.C:
+				if _, err := q.exec.RunAvailable(); err != nil {
+					q.setErr(err)
+					return
+				}
+			}
+		}
+	default:
+		q.setErr(fmt.Errorf("engine: unknown trigger %T", q.exec.opts.Trigger))
+	}
+}
+
+func (q *StreamingQuery) setErr(err error) {
+	if err == nil {
+		return
+	}
+	q.mu.Lock()
+	if q.err == nil {
+		q.err = err
+	}
+	q.mu.Unlock()
+}
+
+// Err returns the query's terminal error, if any.
+func (q *StreamingQuery) Err() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.err
+}
+
+// Name returns the query name.
+func (q *StreamingQuery) Name() string { return q.name }
+
+// Stop terminates the query gracefully and waits for the driver loop to
+// exit. The WAL and state store retain everything needed to restart from
+// where it left off (§7.1: code updates are "stop, update, restart").
+func (q *StreamingQuery) Stop() error {
+	q.stopOnce.Do(func() { close(q.stopCh) })
+	if q.cont != nil {
+		q.cont.stop()
+	}
+	<-q.doneCh
+	return q.Err()
+}
+
+// AwaitTermination blocks until the query stops on its own (Once /
+// AvailableNow triggers, or a failure).
+func (q *StreamingQuery) AwaitTermination() error {
+	<-q.doneCh
+	return q.Err()
+}
+
+// ProcessAllAvailable synchronously runs epochs until every source is
+// drained — the deterministic test and example driver (microbatch only).
+func (q *StreamingQuery) ProcessAllAvailable() error {
+	if q.exec == nil {
+		return fmt.Errorf("engine: ProcessAllAvailable is not available in continuous mode")
+	}
+	if err := q.Err(); err != nil {
+		return err
+	}
+	_, err := q.exec.RunAvailable()
+	q.setErr(err)
+	return err
+}
+
+// EventLog exposes the query's progress events (§7.4).
+func (q *StreamingQuery) EventLog() *metrics.EventLog {
+	if q.exec != nil {
+		return q.exec.log
+	}
+	return q.cont.log
+}
+
+// Metrics exposes the query's metric registry.
+func (q *StreamingQuery) Metrics() *metrics.Registry {
+	if q.exec != nil {
+		return q.exec.reg
+	}
+	return q.cont.reg
+}
+
+// LastProgress returns the most recent progress event, if any.
+func (q *StreamingQuery) LastProgress() (metrics.QueryProgress, bool) {
+	recent := q.EventLog().Recent(1)
+	if len(recent) == 0 {
+		return metrics.QueryProgress{}, false
+	}
+	return recent[0], true
+}
+
+// Watermark returns the current event-time watermark in µs.
+func (q *StreamingQuery) Watermark() int64 {
+	if q.exec == nil {
+		return 0
+	}
+	q.exec.mu.Lock()
+	defer q.exec.mu.Unlock()
+	return q.exec.watermark
+}
+
+// Rollback rewinds a STOPPED query's checkpoint so that epochs after keep
+// are forgotten (§7.2 manual rollback). The caller should also roll back
+// the sink (file sinks expose Rollback; memory sinks Truncate) and then
+// restart the query, which will recompute from the retained prefix.
+func Rollback(checkpoint string, keep int64) error {
+	w, err := wal.Open(checkpoint)
+	if err != nil {
+		return err
+	}
+	return w.RollbackTo(keep)
+}
+
+// ----------------------------------------------------------------
+
+// RunBatch executes a compiled incremental query once over all currently
+// available data without any checkpoint — the hybrid execution path (§7.3)
+// used by tests and the run-once examples when durability is not needed.
+// It returns the sink untouched otherwise.
+func RunBatch(q *incremental.Query, srcs map[string]sources.Source, sink sinks.Sink, checkpoint string) error {
+	sq, err := Start(q, srcs, sink, Options{
+		Checkpoint: checkpoint,
+		Trigger:    OnceTrigger{},
+	})
+	if err != nil {
+		return err
+	}
+	return sq.AwaitTermination()
+}

@@ -1,0 +1,40 @@
+// Package engine implements query execution (§6 of the paper): the
+// microbatch mode that runs each epoch as a stage of fine-grained tasks
+// over the cluster substrate, the low-latency continuous mode for map-like
+// queries, triggers, watermark tracking, exactly-once recovery from the
+// write-ahead log and state store, and the operational features of §7
+// (restart/code update, manual rollback, run-once execution, adaptive
+// batching, progress monitoring).
+package engine
+
+import "time"
+
+// Trigger controls when the engine computes a new increment (§4: "triggers
+// control how often the engine will attempt to compute a new result and
+// update the output sink").
+type Trigger interface{ isTrigger() }
+
+// ProcessingTimeTrigger fires an epoch every Interval of processing time.
+// A zero interval re-triggers as fast as epochs complete.
+type ProcessingTimeTrigger struct{ Interval time.Duration }
+
+func (ProcessingTimeTrigger) isTrigger() {}
+
+// OnceTrigger processes exactly one epoch covering all data available at
+// start, then stops — the §7.3 "run-once" trigger customers use to run
+// streaming jobs as scheduled batch jobs at up to 10× lower cost.
+type OnceTrigger struct{}
+
+func (OnceTrigger) isTrigger() {}
+
+// AvailableNowTrigger processes all data available at start, possibly over
+// multiple rate-limited epochs, then stops.
+type AvailableNowTrigger struct{}
+
+func (AvailableNowTrigger) isTrigger() {}
+
+// ContinuousTrigger selects the continuous processing mode (§6.3) with the
+// given epoch (checkpoint) interval.
+type ContinuousTrigger struct{ EpochInterval time.Duration }
+
+func (ContinuousTrigger) isTrigger() {}

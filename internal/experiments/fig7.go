@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"structream/internal/engine"
+	"structream/internal/incremental"
+	"structream/internal/msgbus"
+	"structream/internal/sinks"
+	"structream/internal/sources"
+	"structream/internal/sql"
+	"structream/internal/sql/analysis"
+	"structream/internal/sql/codec"
+	"structream/internal/sql/logical"
+	"structream/internal/sql/optimizer"
+)
+
+// fig7Schema is the map job's record layout: a value plus the produce-time
+// wall clock, which the sink subtracts from arrival time to get latency.
+var fig7Schema = sql.NewSchema(
+	sql.Field{Name: "value", Type: sql.TypeInt64},
+	sql.Field{Name: "produced", Type: sql.TypeTimestamp},
+)
+
+// LatencyPoint is one input rate in the Fig 7 sweep.
+type LatencyPoint struct {
+	TargetRate   int64
+	AchievedRate float64
+	P50Millis    float64
+	P99Millis    float64
+	Backlogged   bool
+	Samples      int
+}
+
+// Fig7Result is the continuous-processing latency experiment (paper: <10 ms
+// latency at half the microbatch max throughput; the dashed line is the
+// microbatch maximum).
+type Fig7Result struct {
+	Points                  []LatencyPoint
+	MicrobatchMaxThroughput float64
+}
+
+// String renders the Fig 7 series.
+func (r Fig7Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig 7 — continuous mode latency vs input rate (map job, bus source → sink)\n")
+	for _, p := range r.Points {
+		flag := ""
+		if p.Backlogged {
+			flag = "  [saturated: backlog forming]"
+		}
+		fmt.Fprintf(&b, "  rate %9d rec/s: achieved %9.0f rec/s  p50 %7.2f ms  p99 %7.2f ms  (%d samples)%s\n",
+			p.TargetRate, p.AchievedRate, p.P50Millis, p.P99Millis, p.Samples, flag)
+	}
+	fmt.Fprintf(&b, "  microbatch max throughput (dashed line): %.0f records/s\n", r.MicrobatchMaxThroughput)
+	return b.String()
+}
+
+// fig7Query compiles the map-only query: filter odd values, project both
+// columns (keeping `produced` so the sink can measure latency).
+func fig7Query() (*incremental.Query, error) {
+	plan := logical.Plan(&logical.Project{
+		Child: &logical.Filter{
+			Child: &logical.Scan{Name: "in", Streaming: true, Out: fig7Schema},
+			Cond:  sql.Ge(sql.Col("value"), sql.Lit(0)),
+		},
+		Exprs: []sql.Expr{sql.Col("value"), sql.Col("produced")},
+	})
+	analyzed, err := analysis.Analyze(plan)
+	if err != nil {
+		return nil, err
+	}
+	return incremental.Compile(optimizer.Optimize(analyzed), logical.Append, nil)
+}
+
+// latencySink records per-record latencies (arrival − produce time).
+type latencySink struct {
+	mu          sync.Mutex
+	latencies   []float64 // ms
+	rows        int64
+	collectFrom time.Time
+}
+
+// AddBatch implements sinks.Sink.
+func (s *latencySink) AddBatch(b sinks.Batch) error {
+	now := time.Now()
+	nowUs := now.UnixMicro()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rows += int64(len(b.Rows))
+	if now.Before(s.collectFrom) {
+		return nil // warmup
+	}
+	for _, r := range b.Rows {
+		if ts, ok := r[1].(int64); ok {
+			s.latencies = append(s.latencies, float64(nowUs-ts)/1000.0)
+		}
+	}
+	return nil
+}
+
+func (s *latencySink) snapshot() ([]float64, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]float64(nil), s.latencies...), s.rows
+}
+
+// RunFig7 sweeps input rates through the continuous engine, measuring
+// per-record end-to-end latency, then measures the microbatch engine's max
+// bulk throughput on the same query for the dashed line.
+func RunFig7(rates []int64, perRate time.Duration, tempDir func() string) (Fig7Result, error) {
+	if len(rates) == 0 {
+		rates = []int64{50_000, 100_000, 200_000, 400_000, 800_000, 1_600_000}
+	}
+	if perRate <= 0 {
+		perRate = 1500 * time.Millisecond
+	}
+	var out Fig7Result
+	for _, rate := range rates {
+		p, err := runFig7Point(rate, perRate, tempDir())
+		if err != nil {
+			return Fig7Result{}, err
+		}
+		out.Points = append(out.Points, p)
+	}
+	mb, err := microbatchMaxThroughput(tempDir())
+	if err != nil {
+		return Fig7Result{}, err
+	}
+	out.MicrobatchMaxThroughput = mb
+	return out, nil
+}
+
+func runFig7Point(rate int64, duration time.Duration, ckpt string) (LatencyPoint, error) {
+	const partitions = 4
+	broker := msgbus.NewBroker()
+	topic, err := broker.CreateTopic("in", partitions)
+	if err != nil {
+		return LatencyPoint{}, err
+	}
+	q, err := fig7Query()
+	if err != nil {
+		return LatencyPoint{}, err
+	}
+	sink := &latencySink{collectFrom: time.Now().Add(duration / 3)}
+	src := sources.NewCodecBusSource("in", topic, fig7Schema)
+	sq, err := engine.Start(q, map[string]sources.Source{"in": src}, sink, engine.Options{
+		Checkpoint: ckpt,
+		Trigger:    engine.ContinuousTrigger{EpochInterval: 50 * time.Millisecond},
+	})
+	if err != nil {
+		return LatencyPoint{}, err
+	}
+
+	// Paced producer: every tick produce tick×rate records round-robin.
+	start := time.Now()
+	deadline := start.Add(duration)
+	var produced int64
+	tick := time.Millisecond
+	var value int64
+	enc := codec.NewEncoder(32)
+	for now := time.Now(); now.Before(deadline); now = time.Now() {
+		target := int64(float64(rate) * now.Sub(start).Seconds())
+		for produced < target {
+			enc.Reset()
+			enc.PutRow(sql.Row{value, time.Now().UnixMicro()})
+			payload := append([]byte(nil), enc.Bytes()...)
+			if _, err := topic.Append(int(value)%partitions, msgbus.Record{Value: payload}); err != nil {
+				sq.Stop()
+				return LatencyPoint{}, err
+			}
+			value++
+			produced++
+		}
+		time.Sleep(tick)
+	}
+	elapsed := time.Since(start)
+	// Give the engine a moment to drain, then check for backlog.
+	time.Sleep(50 * time.Millisecond)
+	consumed := sq.Metrics().Counter("inputRows").Value()
+	if err := sq.Stop(); err != nil {
+		return LatencyPoint{}, err
+	}
+	lat, _ := sink.snapshot()
+	backlogged := float64(produced-consumed) > 0.05*float64(produced)
+	p := LatencyPoint{
+		TargetRate:   rate,
+		AchievedRate: float64(consumed) / elapsed.Seconds(),
+		Backlogged:   backlogged,
+		Samples:      len(lat),
+	}
+	if len(lat) > 0 {
+		sort.Float64s(lat)
+		p.P50Millis = lat[len(lat)/2]
+		p.P99Millis = lat[len(lat)*99/100]
+	}
+	return p, nil
+}
+
+// microbatchMaxThroughput bulk-processes a preloaded topic with the same
+// query under the microbatch engine.
+func microbatchMaxThroughput(ckpt string) (float64, error) {
+	const n = 2_000_000
+	const partitions = 4
+	broker := msgbus.NewBroker()
+	topic, err := broker.CreateTopic("in", partitions)
+	if err != nil {
+		return 0, err
+	}
+	enc := codec.NewEncoder(32)
+	recs := make([][]msgbus.Record, partitions)
+	for i := int64(0); i < n; i++ {
+		enc.Reset()
+		enc.PutRow(sql.Row{i, int64(0)})
+		p := int(i) % partitions
+		recs[p] = append(recs[p], msgbus.Record{Value: append([]byte(nil), enc.Bytes()...)})
+	}
+	for p := 0; p < partitions; p++ {
+		if _, err := topic.Append(p, recs[p]...); err != nil {
+			return 0, err
+		}
+	}
+	q, err := fig7Query()
+	if err != nil {
+		return 0, err
+	}
+	sink := sinks.NewMemorySink()
+	src := sources.NewCodecBusSource("in", topic, fig7Schema)
+	start := time.Now()
+	sq, err := engine.Start(q, map[string]sources.Source{"in": src}, sink, engine.Options{
+		Checkpoint: ckpt,
+		Trigger:    engine.OnceTrigger{},
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := sq.AwaitTermination(); err != nil {
+		return 0, err
+	}
+	return n / time.Since(start).Seconds(), nil
+}

@@ -1,0 +1,146 @@
+// Package incremental implements the heart of the paper's contribution
+// (§5.2): turning an analyzed, optimized *static* relational plan into an
+// incrementally executable streaming plan. The compiled form splits the
+// query at its stateful boundary: stateless map pipelines run over each
+// source partition (filters, projections, window assignment, stream-static
+// joins, fused exactly as in batch mode), rows shuffle by key to a stateful
+// operator backed by the versioned state store, and a small driver-side
+// post stage computes the final result shape. Each stateful operator
+// carries its own intra-DAG output behaviour, so users never specify
+// per-operator modes by hand — the engine derives everything from the
+// query and the sink's output mode, which is the design §4.2 argues for.
+package incremental
+
+import (
+	"structream/internal/sql"
+	"structream/internal/sql/logical"
+	"structream/internal/state"
+)
+
+// EpochContext carries the per-epoch execution parameters into stateful
+// operators.
+type EpochContext struct {
+	// Epoch is the epoch id; committed state uses it as the store version.
+	Epoch int64
+	// Watermark is the event-time watermark in µs computed at the end of
+	// the previous epoch (0 = no watermark yet). Gating on the previous
+	// epoch's value matches Spark and keeps results deterministic per
+	// epoch.
+	Watermark int64
+	// ProcTime is the processing time in µs for this epoch, used by
+	// processing-time timeouts.
+	ProcTime int64
+	// Mode is the sink output mode of the query.
+	Mode logical.OutputMode
+}
+
+// StatefulOp is a reduce-side streaming operator processing one state
+// partition per epoch. inputs is indexed by side (joins have two sides;
+// everything else uses inputs[0]).
+type StatefulOp interface {
+	// Name identifies the operator's state in the store ("agg-0", ...).
+	Name() string
+	// OutputSchema is the schema of rows Process emits.
+	OutputSchema() sql.Schema
+	// Process folds this epoch's shuffled input into state and returns
+	// the rows to emit for this partition under ctx.Mode.
+	Process(ctx *EpochContext, store *state.Store, inputs [][]sql.Row) ([]sql.Row, error)
+}
+
+// RowEmit pushes one row to the next pipeline stage.
+type RowEmit func(sql.Row)
+
+// StageFactory instantiates one pipeline stage: given the downstream emit
+// function it returns this stage's emit plus an optional flush invoked
+// after the task's last row (used by blocking stages like map-side partial
+// aggregation). The factory is called once per task, so all mutable stage
+// state (arenas, scratch encoders, hash tables being filled) is private to
+// that task — which is what makes concurrent map tasks safe.
+type StageFactory func(next RowEmit) (RowEmit, func())
+
+// Pipeline is the stateless map-side program for one streaming source
+// leaf. Stages compose push-style into a single per-row path with no
+// intermediate batch materialization — the engine's equivalent of
+// whole-stage code generation, and the mechanism behind the paper's
+// throughput claims (§5.3, §9.1).
+type Pipeline struct {
+	// SourceName matches the Scan leaf (and WAL source entry).
+	SourceName string
+	// Side is the stateful stage input this pipeline feeds (0, or 1 for
+	// the right side of a stream-stream join).
+	Side int
+	// Stages are the fused row transformations, leaf first.
+	Stages []StageFactory
+	// KeyEvals route stage output rows to state partitions; nil for
+	// map-only queries.
+	KeyEvals []func(sql.Row) sql.Value
+	// WatermarkEval extracts the event-time value from a *raw source row*
+	// for watermark tracking; nil when the source has no watermark.
+	WatermarkEval func(sql.Row) sql.Value
+	// WatermarkDelay is the declared lateness bound in µs.
+	WatermarkDelay int64
+}
+
+// Process runs one task's rows through a freshly instantiated fused
+// pipeline and returns the stage-output rows.
+func (p *Pipeline) Process(rows []sql.Row) []sql.Row {
+	var out []sql.Row
+	sink := func(r sql.Row) { out = append(out, r) }
+	emit, flushes := p.instantiate(sink)
+	for _, r := range rows {
+		emit(r)
+	}
+	for _, f := range flushes {
+		f()
+	}
+	return out
+}
+
+// ProcessTo runs one task's rows, pushing outputs to sink directly (used
+// by the engine to route into shuffle buckets without materializing).
+func (p *Pipeline) ProcessTo(rows []sql.Row, sink RowEmit) {
+	emit, flushes := p.instantiate(sink)
+	for _, r := range rows {
+		emit(r)
+	}
+	for _, f := range flushes {
+		f()
+	}
+}
+
+// instantiate composes the stages around sink. Flushes are returned in
+// leaf-to-boundary order so a flushed stage's output still flows through
+// later stages' already-live emits.
+func (p *Pipeline) instantiate(sink RowEmit) (RowEmit, []func()) {
+	emit := sink
+	var flushes []func()
+	for i := len(p.Stages) - 1; i >= 0; i-- {
+		var flush func()
+		emit, flush = p.Stages[i](emit)
+		if flush != nil {
+			flushes = append([]func(){flush}, flushes...)
+		}
+	}
+	return emit, flushes
+}
+
+// Query is a fully compiled incremental query.
+type Query struct {
+	// Pipelines lists the per-source map programs.
+	Pipelines []*Pipeline
+	// Stateful is the single stateful stage, nil for map-only queries.
+	Stateful StatefulOp
+	// Post computes the final driver-side shape (HAVING, projection, sort,
+	// limit) over the stateful stage's emitted rows. For map-only queries
+	// it is the identity.
+	Post func(rows []sql.Row) ([]sql.Row, error)
+	// OutSchema is the sink-facing schema.
+	OutSchema sql.Schema
+	// KeyArity is the number of leading key columns in the output (for
+	// update-mode sinks); 0 when the whole row is the key.
+	KeyArity int
+	// Mode is the validated output mode.
+	Mode logical.OutputMode
+	// HasWatermark reports whether any pipeline tracks a watermark.
+	HasWatermark bool
+}

@@ -1,0 +1,297 @@
+package incremental
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"structream/internal/sql"
+	"structream/internal/sql/codec"
+	"structream/internal/sql/logical"
+	"structream/internal/state"
+)
+
+// StreamStreamJoin is the symmetric hash join between two streams (§5.2):
+// each side's rows are buffered in the state store keyed by the equi-join
+// key; new rows probe the opposite side's buffer. With watermarks, buffered
+// rows whose event time has passed are evicted — and for outer joins, an
+// evicted unmatched row on the preserved side is emitted null-padded at
+// that point, which is why the analyzer requires the join condition of an
+// outer stream-stream join to involve a watermarked column.
+type StreamStreamJoin struct {
+	OpName string
+	Type   logical.JoinType // Inner, LeftOuter or RightOuter
+	// LeftArity/RightArity are the row widths of each side.
+	LeftArity, RightArity int
+	// Residual is the non-equi part of the condition, bound over the
+	// concatenated (left ++ right) row; nil when purely equi.
+	Residual func(sql.Row) sql.Value
+	// LeftEventIdx/RightEventIdx locate each side's watermarked event-time
+	// column (-1 = none; that side's state is never evicted).
+	LeftEventIdx, RightEventIdx int
+	Out                         sql.Schema
+}
+
+// Name implements StatefulOp.
+func (j *StreamStreamJoin) Name() string { return j.OpName }
+
+// OutputSchema implements StatefulOp.
+func (j *StreamStreamJoin) OutputSchema() sql.Schema { return j.Out }
+
+// joinEntry is one buffered row on one side.
+type joinEntry struct {
+	row     sql.Row
+	matched bool
+	ts      int64 // event time, -1 unknown
+}
+
+func encodeEntries(entries []joinEntry) []byte {
+	out := binary.AppendUvarint(nil, uint64(len(entries)))
+	for _, e := range entries {
+		rb := codec.EncodeRow(e.row)
+		out = binary.AppendUvarint(out, uint64(len(rb)))
+		out = append(out, rb...)
+		if e.matched {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+		out = binary.AppendVarint(out, e.ts)
+	}
+	return out
+}
+
+func decodeEntries(data []byte) ([]joinEntry, error) {
+	n, w := binary.Uvarint(data)
+	if w <= 0 {
+		return nil, fmt.Errorf("incremental: corrupt join state")
+	}
+	pos := w
+	out := make([]joinEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		rl, w := binary.Uvarint(data[pos:])
+		if w <= 0 || pos+w+int(rl)+1 > len(data) {
+			return nil, fmt.Errorf("incremental: corrupt join entry")
+		}
+		pos += w
+		row, err := codec.DecodeRow(data[pos : pos+int(rl)])
+		if err != nil {
+			return nil, err
+		}
+		pos += int(rl)
+		matched := data[pos] == 1
+		pos++
+		ts, w := binary.Varint(data[pos:])
+		if w <= 0 {
+			return nil, fmt.Errorf("incremental: corrupt join entry ts")
+		}
+		pos += w
+		out = append(out, joinEntry{row: row, matched: matched, ts: ts})
+	}
+	return out, nil
+}
+
+const (
+	sideLeft  byte = 'L'
+	sideRight byte = 'R'
+)
+
+// stateKey prefixes the equi-key bytes with the side marker. The equi-key
+// values are already part of the shuffle routing, so rows of both sides
+// with equal keys land in the same partition's store.
+func stateKey(side byte, keyBytes []byte) []byte {
+	return append([]byte{side}, keyBytes...)
+}
+
+// shuffle rows for the join are [equiKeys..., eventTs, originalRow...]:
+// the compiler prepends the routing key and event timestamp so Process can
+// slice them off without re-evaluating expressions.
+
+// JoinShuffleRow builds the shuffle row for one side.
+func JoinShuffleRow(key []sql.Value, ts int64, row sql.Row) sql.Row {
+	out := make(sql.Row, 0, len(key)+1+len(row))
+	out = append(out, key...)
+	out = append(out, ts)
+	out = append(out, row...)
+	return out
+}
+
+// Process implements StatefulOp. inputs[0] is the left side's shuffle rows,
+// inputs[1] the right side's; NumShuffleKeys leading columns route.
+func (j *StreamStreamJoin) Process(ctx *EpochContext, store *state.Store, inputs [][]sql.Row) ([]sql.Row, error) {
+	if len(inputs) < 2 {
+		return nil, fmt.Errorf("incremental: stream-stream join needs two inputs")
+	}
+	var out []sql.Row
+
+	emit := func(left, right sql.Row) {
+		row := make(sql.Row, j.LeftArity+j.RightArity)
+		if left != nil {
+			copy(row, left)
+		}
+		if right != nil {
+			copy(row[j.LeftArity:], right)
+		}
+		if j.Residual != nil && left != nil && right != nil {
+			if b, ok := j.Residual(row).(bool); !ok || !b {
+				return
+			}
+		}
+		out = append(out, row)
+	}
+	// residualOK checks the residual without emitting (for match marking).
+	residualOK := func(left, right sql.Row) bool {
+		if j.Residual == nil {
+			return true
+		}
+		row := make(sql.Row, j.LeftArity+j.RightArity)
+		copy(row, left)
+		copy(row[j.LeftArity:], right)
+		b, ok := j.Residual(row).(bool)
+		return ok && b
+	}
+
+	// numKeys derives from the shuffle row layout: keys + ts + payload.
+	process := func(rows []sql.Row, ownSide, otherSide byte, ownArity int) error {
+		for _, sr := range rows {
+			nkeys := len(sr) - 1 - ownArity
+			if nkeys < 0 {
+				return fmt.Errorf("incremental: malformed join shuffle row")
+			}
+			key := sr[:nkeys]
+			ts, _ := sr[nkeys].(int64)
+			row := append(sql.Row(nil), sr[nkeys+1:]...)
+			keyBytes := codec.EncodeValues(key)
+
+			// Skip NULL keys: they can never match, and buffering them
+			// would leak state.
+			nullKey := false
+			for _, k := range key {
+				if k == nil {
+					nullKey = true
+				}
+			}
+
+			matched := false
+			if !nullKey {
+				if data, ok := store.Get(stateKey(otherSide, keyBytes)); ok {
+					entries, err := decodeEntries(data)
+					if err != nil {
+						return err
+					}
+					changed := false
+					for i := range entries {
+						var l, r sql.Row
+						if ownSide == sideLeft {
+							l, r = row, entries[i].row
+						} else {
+							l, r = entries[i].row, row
+						}
+						if residualOK(l, r) {
+							emit(l, r)
+							matched = true
+							if !entries[i].matched {
+								entries[i].matched = true
+								changed = true
+							}
+						}
+					}
+					if changed {
+						store.Put(stateKey(otherSide, keyBytes), encodeEntries(entries))
+					}
+				}
+			}
+
+			// Buffer the row on its own side for future matches.
+			if !nullKey {
+				var entries []joinEntry
+				if data, ok := store.Get(stateKey(ownSide, keyBytes)); ok {
+					var err error
+					entries, err = decodeEntries(data)
+					if err != nil {
+						return err
+					}
+				}
+				entries = append(entries, joinEntry{row: row, matched: matched, ts: ts})
+				store.Put(stateKey(ownSide, keyBytes), encodeEntries(entries))
+			} else if ownSide == sideLeft && j.Type == logical.LeftOuterJoin {
+				emit(row, nil) // NULL-keyed preserved row can never match
+			} else if ownSide == sideRight && j.Type == logical.RightOuterJoin {
+				emit(nil, row)
+			}
+		}
+		return nil
+	}
+
+	// Left rows first (probing committed right state), then right rows
+	// (probing left state including this epoch's additions): every
+	// cross-epoch pair matches exactly once.
+	if err := process(inputs[0], sideLeft, sideRight, j.LeftArity); err != nil {
+		return nil, err
+	}
+	if err := process(inputs[1], sideRight, sideLeft, j.RightArity); err != nil {
+		return nil, err
+	}
+
+	// Watermark eviction: drop expired entries; on the preserved side of an
+	// outer join, emit unmatched expired rows null-padded.
+	if ctx.Watermark > 0 {
+		type rewrite struct {
+			key  []byte
+			data []byte // nil = remove
+		}
+		var changes []rewrite
+		var iterErr error
+		store.Iterate(func(k, v []byte) bool {
+			if len(k) == 0 {
+				return true
+			}
+			side := k[0]
+			eventIdx := j.LeftEventIdx
+			if side == sideRight {
+				eventIdx = j.RightEventIdx
+			}
+			if eventIdx < 0 {
+				return true
+			}
+			entries, err := decodeEntries(v)
+			if err != nil {
+				iterErr = err
+				return false
+			}
+			kept := entries[:0:0]
+			for _, e := range entries {
+				if e.ts >= 0 && e.ts < ctx.Watermark {
+					if !e.matched {
+						if side == sideLeft && j.Type == logical.LeftOuterJoin {
+							emit(e.row, nil)
+						} else if side == sideRight && j.Type == logical.RightOuterJoin {
+							emit(nil, e.row)
+						}
+					}
+					continue
+				}
+				kept = append(kept, e)
+			}
+			if len(kept) != len(entries) {
+				key := append([]byte(nil), k...)
+				if len(kept) == 0 {
+					changes = append(changes, rewrite{key: key})
+				} else {
+					changes = append(changes, rewrite{key: key, data: encodeEntries(kept)})
+				}
+			}
+			return true
+		})
+		if iterErr != nil {
+			return nil, iterErr
+		}
+		for _, c := range changes {
+			if c.data == nil {
+				store.Remove(c.key)
+			} else {
+				store.Put(c.key, c.data)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,371 @@
+package incremental
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"structream/internal/sql"
+	"structream/internal/sql/codec"
+	"structream/internal/sql/logical"
+	"structream/internal/state"
+)
+
+// StatefulAggregate is the streaming aggregation operator (§5.2: "an
+// aggregation in the user query might be mapped to a StatefulAggregate
+// operator that tracks open groups inside the state store"). Map tasks
+// partially aggregate and ship serialized buffers; this reduce-side
+// operator merges them into long-lived per-key buffers and emits according
+// to the output mode:
+//
+//   - Complete: every group, every epoch.
+//   - Update:   only groups whose buffers changed this epoch.
+//   - Append:   only groups finalized by the watermark, exactly once, after
+//     which their state is dropped.
+//
+// With a watermark, expired groups are evicted in every mode — this is how
+// "the system forgets state for old windows after a timeout" (§4.1).
+type StatefulAggregate struct {
+	// OpName is the state-store operator id.
+	OpName string
+	// NumKeys is the grouping-key arity; shuffle rows are
+	// [keys..., buf1, buf2, ...].
+	NumKeys int
+	// Aggs are the bound aggregates (buffer factories).
+	Aggs []sql.BoundAgg
+	// EventKeyIdx is the key column carrying event time (a window or
+	// watermarked timestamp); -1 when the aggregation has no event-time
+	// key.
+	EventKeyIdx int
+	// Out is the operator's output schema: keys then aggregate results.
+	Out sql.Schema
+}
+
+// Name implements StatefulOp.
+func (a *StatefulAggregate) Name() string { return a.OpName }
+
+// OutputSchema implements StatefulOp.
+func (a *StatefulAggregate) OutputSchema() sql.Schema { return a.Out }
+
+// partialAgg is a small map-side hash aggregator that renders its groups
+// as shuffle rows. The compiler installs it as the blocking terminal stage
+// of each map pipeline.
+type partialAgg struct {
+	keyEvals []func(sql.Row) sql.Value
+	aggs     []sql.BoundAgg
+	groups   map[string]*partialGroup
+	order    []string
+	scratch  []sql.Value
+	enc      *codec.Encoder
+}
+
+type partialGroup struct {
+	key  []sql.Value
+	bufs []sql.AggBuffer
+}
+
+func newPartialAgg(keyEvals []func(sql.Row) sql.Value, aggs []sql.BoundAgg) *partialAgg {
+	return &partialAgg{
+		keyEvals: keyEvals,
+		aggs:     aggs,
+		groups:   map[string]*partialGroup{},
+		scratch:  make([]sql.Value, len(keyEvals)),
+		enc:      codec.NewEncoder(64),
+	}
+}
+
+// update is the map-side per-record hot path: the key is encoded into a
+// reused buffer and looked up without allocating (Go elides the
+// string([]byte) conversion in map index expressions); only first-seen
+// groups materialize their key.
+func (p *partialAgg) update(r sql.Row) {
+	for i, e := range p.keyEvals {
+		p.scratch[i] = e(r)
+	}
+	p.enc.Reset()
+	for _, v := range p.scratch {
+		p.enc.PutValue(v)
+	}
+	g, ok := p.groups[string(p.enc.Bytes())]
+	if !ok {
+		key := append([]sql.Value(nil), p.scratch...)
+		g = &partialGroup{key: key, bufs: make([]sql.AggBuffer, len(p.aggs))}
+		for i, a := range p.aggs {
+			g.bufs[i] = a.NewBuffer()
+		}
+		ks := string(p.enc.Bytes())
+		p.groups[ks] = g
+		p.order = append(p.order, ks)
+	}
+	for i, a := range p.aggs {
+		if a.Input == nil {
+			g.bufs[i].Update(nil)
+			continue
+		}
+		if v := a.Input(r); v != nil {
+			g.bufs[i].Update(v)
+		}
+	}
+}
+
+func (p *partialAgg) shuffleRows() []sql.Row {
+	out := make([]sql.Row, 0, len(p.order))
+	for _, ks := range p.order {
+		g := p.groups[ks]
+		row := make(sql.Row, 0, len(g.key)+len(g.bufs))
+		row = append(row, g.key...)
+		for _, b := range g.bufs {
+			row = append(row, codec.EncodeValues(b.Serialize()))
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// encodeState packs all aggregate buffers into one state-store value.
+func encodeAggState(bufs []sql.AggBuffer) []byte {
+	var out []byte
+	for _, b := range bufs {
+		enc := codec.EncodeValues(b.Serialize())
+		out = binary.AppendUvarint(out, uint64(len(enc)))
+		out = append(out, enc...)
+	}
+	return out
+}
+
+func (a *StatefulAggregate) decodeAggState(data []byte) ([]sql.AggBuffer, error) {
+	bufs := make([]sql.AggBuffer, len(a.Aggs))
+	pos := 0
+	for i, agg := range a.Aggs {
+		n, w := binary.Uvarint(data[pos:])
+		if w <= 0 || pos+w+int(n) > len(data) {
+			return nil, fmt.Errorf("incremental: corrupt aggregate state for %s", a.OpName)
+		}
+		pos += w
+		vals, err := codec.DecodeValues(data[pos : pos+int(n)])
+		if err != nil {
+			return nil, fmt.Errorf("incremental: %v", err)
+		}
+		pos += int(n)
+		buf := agg.NewBuffer()
+		if err := buf.Deserialize(vals); err != nil {
+			return nil, err
+		}
+		bufs[i] = buf
+	}
+	return bufs, nil
+}
+
+// Process implements StatefulOp.
+func (a *StatefulAggregate) Process(ctx *EpochContext, store *state.Store, inputs [][]sql.Row) ([]sql.Row, error) {
+	changed := map[string][]sql.Value{} // encoded key → key values
+	var changedOrder []string
+	for _, r := range inputs[0] {
+		key := append([]sql.Value(nil), r[:a.NumKeys]...)
+		// Drop data later than the watermark allows: its group was (or will
+		// be) finalized and evicted, and merging it would resurrect the
+		// group and violate append-mode's emit-once guarantee.
+		if a.EventKeyIdx >= 0 && ctx.Watermark > 0 && groupExpired(key[a.EventKeyIdx], ctx.Watermark) {
+			continue
+		}
+		keyBytes := codec.EncodeValues(key)
+		// Merge the incoming partial buffers into stored state.
+		incoming := make([]sql.AggBuffer, len(a.Aggs))
+		for i := range a.Aggs {
+			enc, ok := r[a.NumKeys+i].([]byte)
+			if !ok {
+				return nil, fmt.Errorf("incremental: bad shuffle row for %s", a.OpName)
+			}
+			vals, err := codec.DecodeValues(enc)
+			if err != nil {
+				return nil, err
+			}
+			buf := a.Aggs[i].NewBuffer()
+			if err := buf.Deserialize(vals); err != nil {
+				return nil, err
+			}
+			incoming[i] = buf
+		}
+		var merged []sql.AggBuffer
+		if existing, ok := store.Get(keyBytes); ok {
+			bufs, err := a.decodeAggState(existing)
+			if err != nil {
+				return nil, err
+			}
+			for i := range bufs {
+				bufs[i].Merge(incoming[i])
+			}
+			merged = bufs
+		} else {
+			merged = incoming
+		}
+		store.Put(keyBytes, encodeAggState(merged))
+		ks := string(keyBytes)
+		if _, seen := changed[ks]; !seen {
+			changed[ks] = key
+			changedOrder = append(changedOrder, ks)
+		}
+	}
+
+	var out []sql.Row
+	emitRow := func(key []sql.Value, bufs []sql.AggBuffer) {
+		row := make(sql.Row, 0, len(key)+len(bufs))
+		row = append(row, key...)
+		for _, b := range bufs {
+			row = append(row, b.Result())
+		}
+		out = append(out, row)
+	}
+
+	switch ctx.Mode {
+	case logical.Complete:
+		var iterErr error
+		store.Iterate(func(k, v []byte) bool {
+			key, err := codec.DecodeValues(k)
+			if err != nil {
+				iterErr = err
+				return false
+			}
+			bufs, err := a.decodeAggState(v)
+			if err != nil {
+				iterErr = err
+				return false
+			}
+			emitRow(key, bufs)
+			return true
+		})
+		if iterErr != nil {
+			return nil, iterErr
+		}
+	case logical.Update:
+		for _, ks := range changedOrder {
+			v, ok := store.Get([]byte(ks))
+			if !ok {
+				continue
+			}
+			bufs, err := a.decodeAggState(v)
+			if err != nil {
+				return nil, err
+			}
+			emitRow(changed[ks], bufs)
+		}
+	case logical.Append:
+		// Emission happens only via watermark finalization below.
+	}
+
+	// Watermark pass: finalize (append) and evict expired groups.
+	if ctx.Watermark > 0 && a.EventKeyIdx >= 0 {
+		type expired struct {
+			key []sql.Value
+			raw []byte
+		}
+		var dead []expired
+		var iterErr error
+		store.Iterate(func(k, v []byte) bool {
+			key, err := codec.DecodeValues(k)
+			if err != nil {
+				iterErr = err
+				return false
+			}
+			if groupExpired(key[a.EventKeyIdx], ctx.Watermark) {
+				dead = append(dead, expired{key: key, raw: append([]byte(nil), k...)})
+				if ctx.Mode == logical.Append {
+					bufs, err := a.decodeAggState(v)
+					if err != nil {
+						iterErr = err
+						return false
+					}
+					emitRow(key, bufs)
+				}
+			}
+			return true
+		})
+		if iterErr != nil {
+			return nil, iterErr
+		}
+		for _, d := range dead {
+			store.Remove(d.raw)
+		}
+	}
+	return out, nil
+}
+
+// groupExpired reports whether an event-time key value is entirely below
+// the watermark: a window is expired once its End has passed; a raw
+// timestamp once the timestamp itself has.
+func groupExpired(v sql.Value, watermark int64) bool {
+	switch x := v.(type) {
+	case sql.Window:
+		return x.End <= watermark
+	case int64:
+		return x < watermark
+	default:
+		return false
+	}
+}
+
+// ---------------------------------------------------------------- dedup
+
+// StreamingDedup implements streaming SELECT DISTINCT and
+// dropDuplicates(cols): the first row per key is emitted, later duplicates
+// are dropped, and when an event-time column is watermarked, keys older
+// than the watermark are forgotten (bounding state, §4.3.1).
+type StreamingDedup struct {
+	OpName string
+	// KeyIdxs selects the duplicate-key columns; nil keys on the whole row.
+	KeyIdxs []int
+	// EventIdx is the watermarked event-time column within the row; -1
+	// disables eviction (state grows without bound, as in Spark when
+	// deduplicating without a watermark).
+	EventIdx int
+	Out      sql.Schema
+}
+
+// Name implements StatefulOp.
+func (d *StreamingDedup) Name() string { return d.OpName }
+
+// OutputSchema implements StatefulOp.
+func (d *StreamingDedup) OutputSchema() sql.Schema { return d.Out }
+
+// Process implements StatefulOp.
+func (d *StreamingDedup) Process(ctx *EpochContext, store *state.Store, inputs [][]sql.Row) ([]sql.Row, error) {
+	var out []sql.Row
+	for _, r := range inputs[0] {
+		var key []byte
+		if d.KeyIdxs == nil {
+			key = codec.EncodeValues(r)
+		} else {
+			key = codec.EncodeValues(r.Project(d.KeyIdxs))
+		}
+		if _, seen := store.Get(key); seen {
+			continue
+		}
+		var ts int64 = -1
+		if d.EventIdx >= 0 {
+			if v, ok := r[d.EventIdx].(int64); ok {
+				ts = v
+			}
+			// Rows already below the watermark are "too late" and dropped
+			// entirely, matching late-data semantics.
+			if ts >= 0 && ctx.Watermark > 0 && ts < ctx.Watermark {
+				continue
+			}
+		}
+		store.Put(key, binary.AppendVarint(nil, ts))
+		out = append(out, r)
+	}
+	// Evict keys whose event time has passed the watermark.
+	if d.EventIdx >= 0 && ctx.Watermark > 0 {
+		var dead [][]byte
+		store.Iterate(func(k, v []byte) bool {
+			ts, _ := binary.Varint(v)
+			if ts >= 0 && ts < ctx.Watermark {
+				dead = append(dead, append([]byte(nil), k...))
+			}
+			return true
+		})
+		for _, k := range dead {
+			store.Remove(k)
+		}
+	}
+	return out, nil
+}

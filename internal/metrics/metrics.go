@@ -1,0 +1,166 @@
+// Package metrics implements the monitoring surface of §7.4: counters and
+// gauges in a registry, per-epoch QueryProgress events, and a structured
+// JSON event log that operators can tail or ship to external tools.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter.
+func (c *Counter) Add(delta int64) { c.v.Add(delta) }
+
+// Value reads the counter.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a point-in-time metric.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry is a named collection of metrics.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: map[string]*Counter{}, gauges: map[string]*Gauge{}}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Snapshot renders all metrics as a sorted name→value map.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters)+len(r.gauges))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
+// Names lists metric names sorted.
+func (r *Registry) Names() []string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// QueryProgress describes one epoch of a streaming query, mirroring
+// Spark's StreamingQueryProgress events.
+type QueryProgress struct {
+	QueryName        string           `json:"queryName"`
+	Epoch            int64            `json:"epoch"`
+	NumInputRows     int64            `json:"numInputRows"`
+	NumOutputRows    int64            `json:"numOutputRows"`
+	ProcessingMillis int64            `json:"processingMillis"`
+	WatermarkMicros  int64            `json:"watermarkMicros"`
+	StateRows        int64            `json:"stateRows"`
+	StateBytes       int64            `json:"stateBytes"`
+	InputRowsPerSec  float64          `json:"inputRowsPerSecond"`
+	SourceOffsets    map[string]int64 `json:"sourceEndOffsetTotals,omitempty"`
+}
+
+// Listener receives progress events.
+type Listener func(p QueryProgress)
+
+// EventLog fans progress events out to listeners and optionally appends
+// them as JSON lines to a writer.
+type EventLog struct {
+	mu        sync.Mutex
+	listeners []Listener
+	w         io.Writer
+	history   []QueryProgress
+	// HistoryLimit bounds retained events (default 1024).
+	HistoryLimit int
+}
+
+// NewEventLog creates an event log; w may be nil.
+func NewEventLog(w io.Writer) *EventLog {
+	return &EventLog{w: w, HistoryLimit: 1024}
+}
+
+// AddListener registers a listener for future events.
+func (l *EventLog) AddListener(fn Listener) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.listeners = append(l.listeners, fn)
+}
+
+// Emit publishes one progress event.
+func (l *EventLog) Emit(p QueryProgress) {
+	l.mu.Lock()
+	listeners := append([]Listener(nil), l.listeners...)
+	l.history = append(l.history, p)
+	if limit := l.HistoryLimit; limit > 0 && len(l.history) > limit {
+		l.history = l.history[len(l.history)-limit:]
+	}
+	w := l.w
+	l.mu.Unlock()
+	if w != nil {
+		data, err := json.Marshal(p)
+		if err == nil {
+			fmt.Fprintf(w, "%s\n", data)
+		}
+	}
+	for _, fn := range listeners {
+		fn(p)
+	}
+}
+
+// Recent returns up to n most recent events, oldest first.
+func (l *EventLog) Recent(n int) []QueryProgress {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n <= 0 || n > len(l.history) {
+		n = len(l.history)
+	}
+	out := make([]QueryProgress, n)
+	copy(out, l.history[len(l.history)-n:])
+	return out
+}

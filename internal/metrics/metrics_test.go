@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCountersAndGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rows").Add(5)
+	r.Counter("rows").Add(3) // same counter instance
+	r.Gauge("watermark").Set(42)
+	r.Gauge("watermark").Set(99)
+	snap := r.Snapshot()
+	if snap["rows"] != 8 || snap["watermark"] != 99 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "rows" || names[1] != "watermark" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != 8000 {
+		t.Errorf("n = %d", got)
+	}
+}
+
+func TestEventLogListenersAndHistory(t *testing.T) {
+	l := NewEventLog(nil)
+	var got []QueryProgress
+	l.AddListener(func(p QueryProgress) { got = append(got, p) })
+	for i := 0; i < 5; i++ {
+		l.Emit(QueryProgress{Epoch: int64(i), NumInputRows: int64(i * 10)})
+	}
+	if len(got) != 5 {
+		t.Fatalf("listener saw %d events", len(got))
+	}
+	recent := l.Recent(2)
+	if len(recent) != 2 || recent[0].Epoch != 3 || recent[1].Epoch != 4 {
+		t.Errorf("recent = %v", recent)
+	}
+	all := l.Recent(0)
+	if len(all) != 5 {
+		t.Errorf("all = %d", len(all))
+	}
+}
+
+func TestEventLogHistoryLimit(t *testing.T) {
+	l := NewEventLog(nil)
+	l.HistoryLimit = 3
+	for i := 0; i < 10; i++ {
+		l.Emit(QueryProgress{Epoch: int64(i)})
+	}
+	recent := l.Recent(0)
+	if len(recent) != 3 || recent[0].Epoch != 7 {
+		t.Errorf("recent = %v", recent)
+	}
+}
+
+func TestEventLogJSONOutput(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewEventLog(&buf)
+	l.Emit(QueryProgress{QueryName: "q", Epoch: 7, NumInputRows: 100, WatermarkMicros: 5})
+	line := strings.TrimSpace(buf.String())
+	var p QueryProgress
+	if err := json.Unmarshal([]byte(line), &p); err != nil {
+		t.Fatalf("bad JSON %q: %v", line, err)
+	}
+	if p.QueryName != "q" || p.Epoch != 7 || p.WatermarkMicros != 5 {
+		t.Errorf("parsed = %+v", p)
+	}
+}

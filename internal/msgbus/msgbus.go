@@ -1,0 +1,278 @@
+// Package msgbus implements an in-process, partitioned, replayable message
+// bus — the engine's stand-in for Apache Kafka or Amazon Kinesis. It
+// provides exactly the properties Structured Streaming requires of an input
+// source (§3, §6.1 of the paper): topics divided into ordered partitions,
+// offset-addressed reads so any epoch can be re-read after a failure, and
+// bounded retention with explicit earliest offsets so rollback limits are
+// observable. Producers and the broker are safe for concurrent use.
+package msgbus
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+)
+
+// Record is one message in a partition. Offset is assigned by the broker at
+// append time; Timestamp is the event time in µs carried with the record.
+type Record struct {
+	Offset    int64
+	Timestamp int64
+	Key       []byte
+	Value     []byte
+}
+
+// Broker holds a set of topics.
+type Broker struct {
+	mu     sync.RWMutex
+	topics map[string]*Topic
+}
+
+// NewBroker creates an empty broker.
+func NewBroker() *Broker {
+	return &Broker{topics: map[string]*Topic{}}
+}
+
+// CreateTopic creates a topic with the given partition count. Creating an
+// existing topic with the same partition count is a no-op; with a different
+// count it errors (repartitioning is not supported, as in Kafka).
+func (b *Broker) CreateTopic(name string, partitions int) (*Topic, error) {
+	if partitions <= 0 {
+		return nil, fmt.Errorf("msgbus: topic %q needs at least one partition", name)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t, ok := b.topics[name]; ok {
+		if len(t.parts) != partitions {
+			return nil, fmt.Errorf("msgbus: topic %q already exists with %d partitions", name, len(t.parts))
+		}
+		return t, nil
+	}
+	t := &Topic{name: name, parts: make([]*partition, partitions)}
+	for i := range t.parts {
+		t.parts[i] = &partition{notify: make(chan struct{})}
+	}
+	b.topics[name] = t
+	return t, nil
+}
+
+// Topic returns a topic by name.
+func (b *Broker) Topic(name string) (*Topic, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	t, ok := b.topics[name]
+	return t, ok
+}
+
+// DeleteTopic removes a topic entirely.
+func (b *Broker) DeleteTopic(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.topics, name)
+}
+
+// Topics lists topic names.
+func (b *Broker) Topics() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.topics))
+	for name := range b.topics {
+		out = append(out, name)
+	}
+	return out
+}
+
+// Topic is a named, partitioned log.
+type Topic struct {
+	name  string
+	parts []*partition
+	rr    int64 // round-robin counter for keyless produce
+	rrMu  sync.Mutex
+}
+
+// partition is one ordered log segment.
+type partition struct {
+	mu      sync.Mutex
+	records []Record
+	base    int64 // offset of records[0]; earlier records were trimmed
+	next    int64 // next offset to assign
+	notify  chan struct{}
+}
+
+// Name returns the topic name.
+func (t *Topic) Name() string { return t.name }
+
+// Partitions returns the partition count.
+func (t *Topic) Partitions() int { return len(t.parts) }
+
+// Append appends records to a specific partition, assigning offsets. It
+// returns the offset of the first appended record.
+func (t *Topic) Append(part int, recs ...Record) (int64, error) {
+	if part < 0 || part >= len(t.parts) {
+		return 0, fmt.Errorf("msgbus: partition %d out of range for topic %q", part, t.name)
+	}
+	p := t.parts[part]
+	p.mu.Lock()
+	first := p.next
+	for i := range recs {
+		recs[i].Offset = p.next
+		p.next++
+	}
+	p.records = append(p.records, recs...)
+	close(p.notify)
+	p.notify = make(chan struct{})
+	p.mu.Unlock()
+	return first, nil
+}
+
+// Produce routes one record to a partition — by key hash when a key is
+// present, round-robin otherwise — and appends it.
+func (t *Topic) Produce(key, value []byte, timestamp int64) (partIdx int, offset int64, err error) {
+	if len(key) > 0 {
+		h := fnv.New32a()
+		h.Write(key)
+		partIdx = int(h.Sum32() % uint32(len(t.parts)))
+	} else {
+		t.rrMu.Lock()
+		partIdx = int(t.rr % int64(len(t.parts)))
+		t.rr++
+		t.rrMu.Unlock()
+	}
+	offset, err = t.Append(partIdx, Record{Timestamp: timestamp, Key: key, Value: value})
+	return partIdx, offset, err
+}
+
+// ErrOffsetOutOfRange is returned when a fetch asks for data that was
+// trimmed by retention — the situation that bounds manual rollback (§7.2).
+type ErrOffsetOutOfRange struct {
+	Topic     string
+	Partition int
+	Requested int64
+	Earliest  int64
+}
+
+// Error implements error.
+func (e *ErrOffsetOutOfRange) Error() string {
+	return fmt.Sprintf("msgbus: offset %d out of range for %s[%d] (earliest retained %d)",
+		e.Requested, e.Topic, e.Partition, e.Earliest)
+}
+
+// Fetch reads up to maxRecords from a partition starting at offset. It
+// returns the records and the offset to resume from. Reading at the head
+// returns an empty slice. Reading below the earliest retained offset
+// returns ErrOffsetOutOfRange.
+func (t *Topic) Fetch(part int, offset int64, maxRecords int) ([]Record, int64, error) {
+	if part < 0 || part >= len(t.parts) {
+		return nil, 0, fmt.Errorf("msgbus: partition %d out of range for topic %q", part, t.name)
+	}
+	p := t.parts[part]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if offset < p.base {
+		return nil, 0, &ErrOffsetOutOfRange{Topic: t.name, Partition: part, Requested: offset, Earliest: p.base}
+	}
+	if offset >= p.next {
+		return nil, offset, nil
+	}
+	start := int(offset - p.base)
+	end := len(p.records)
+	if maxRecords > 0 && start+maxRecords < end {
+		end = start + maxRecords
+	}
+	out := make([]Record, end-start)
+	copy(out, p.records[start:end])
+	return out, p.base + int64(end), nil
+}
+
+// FetchRange reads records with offsets in [from, to).
+func (t *Topic) FetchRange(part int, from, to int64) ([]Record, error) {
+	if to < from {
+		return nil, fmt.Errorf("msgbus: bad range [%d, %d)", from, to)
+	}
+	recs, _, err := t.Fetch(part, from, int(to-from))
+	return recs, err
+}
+
+// LatestOffsets returns, per partition, the offset one past the last record
+// (the offset the next produced record will get).
+func (t *Topic) LatestOffsets() []int64 {
+	out := make([]int64, len(t.parts))
+	for i, p := range t.parts {
+		p.mu.Lock()
+		out[i] = p.next
+		p.mu.Unlock()
+	}
+	return out
+}
+
+// EarliestOffsets returns, per partition, the earliest retained offset.
+func (t *Topic) EarliestOffsets() []int64 {
+	out := make([]int64, len(t.parts))
+	for i, p := range t.parts {
+		p.mu.Lock()
+		out[i] = p.base
+		p.mu.Unlock()
+	}
+	return out
+}
+
+// TrimBefore drops records with offsets below keep in one partition,
+// simulating retention expiry.
+func (t *Topic) TrimBefore(part int, keep int64) error {
+	if part < 0 || part >= len(t.parts) {
+		return fmt.Errorf("msgbus: partition %d out of range", part)
+	}
+	p := t.parts[part]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if keep <= p.base {
+		return nil
+	}
+	if keep > p.next {
+		keep = p.next
+	}
+	drop := int(keep - p.base)
+	p.records = append([]Record(nil), p.records[drop:]...)
+	p.base = keep
+	return nil
+}
+
+// WaitForData blocks until the partition holds data at or past offset, or
+// the timeout elapses. It reports whether data is available.
+func (t *Topic) WaitForData(part int, offset int64, timeout time.Duration) bool {
+	deadline := time.Now().Add(timeout)
+	for {
+		p := t.parts[part]
+		p.mu.Lock()
+		if offset < p.next {
+			p.mu.Unlock()
+			return true
+		}
+		ch := p.notify
+		p.mu.Unlock()
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return false
+		}
+		timer := time.NewTimer(remaining)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+			return false
+		}
+	}
+}
+
+// TotalRecords reports the number of retained records across partitions,
+// for monitoring and tests.
+func (t *Topic) TotalRecords() int64 {
+	var n int64
+	for _, p := range t.parts {
+		p.mu.Lock()
+		n += int64(len(p.records))
+		p.mu.Unlock()
+	}
+	return n
+}

@@ -1,0 +1,277 @@
+package msgbus
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTopic(t *testing.T, parts int) *Topic {
+	t.Helper()
+	b := NewBroker()
+	topic, err := b.CreateTopic("test", parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topic
+}
+
+func TestAppendFetch(t *testing.T) {
+	topic := newTopic(t, 1)
+	first, err := topic.Append(0,
+		Record{Value: []byte("a"), Timestamp: 1},
+		Record{Value: []byte("b"), Timestamp: 2},
+	)
+	if err != nil || first != 0 {
+		t.Fatalf("first=%d err=%v", first, err)
+	}
+	recs, next, err := topic.Fetch(0, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || next != 2 {
+		t.Fatalf("recs=%v next=%d", recs, next)
+	}
+	if recs[0].Offset != 0 || recs[1].Offset != 1 {
+		t.Errorf("offsets = %d, %d", recs[0].Offset, recs[1].Offset)
+	}
+	if string(recs[0].Value) != "a" {
+		t.Errorf("value = %q", recs[0].Value)
+	}
+}
+
+func TestFetchAtHeadReturnsEmpty(t *testing.T) {
+	topic := newTopic(t, 1)
+	recs, next, err := topic.Fetch(0, 0, 10)
+	if err != nil || len(recs) != 0 || next != 0 {
+		t.Fatalf("recs=%v next=%d err=%v", recs, next, err)
+	}
+}
+
+func TestFetchMaxRecords(t *testing.T) {
+	topic := newTopic(t, 1)
+	for i := 0; i < 10; i++ {
+		topic.Append(0, Record{Value: []byte{byte(i)}})
+	}
+	recs, next, err := topic.Fetch(0, 0, 3)
+	if err != nil || len(recs) != 3 || next != 3 {
+		t.Fatalf("recs=%d next=%d err=%v", len(recs), next, err)
+	}
+	recs, next, _ = topic.Fetch(0, next, 100)
+	if len(recs) != 7 || next != 10 {
+		t.Fatalf("second fetch: %d next=%d", len(recs), next)
+	}
+}
+
+func TestReplayability(t *testing.T) {
+	// The core property the engine relies on: the same offset range always
+	// returns the same records.
+	topic := newTopic(t, 1)
+	for i := 0; i < 100; i++ {
+		topic.Append(0, Record{Value: []byte(fmt.Sprint(i))})
+	}
+	a, _ := topic.FetchRange(0, 10, 20)
+	b, _ := topic.FetchRange(0, 10, 20)
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatalf("lens %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if string(a[i].Value) != string(b[i].Value) || a[i].Offset != b[i].Offset {
+			t.Fatalf("replay mismatch at %d", i)
+		}
+	}
+}
+
+func TestProduceKeyRouting(t *testing.T) {
+	topic := newTopic(t, 4)
+	// The same key always lands in the same partition.
+	p1, _, _ := topic.Produce([]byte("user-1"), []byte("x"), 0)
+	p2, _, _ := topic.Produce([]byte("user-1"), []byte("y"), 0)
+	if p1 != p2 {
+		t.Errorf("same key routed to %d then %d", p1, p2)
+	}
+	// Keyless produce round-robins over all partitions.
+	seen := map[int]bool{}
+	for i := 0; i < 8; i++ {
+		p, _, _ := topic.Produce(nil, []byte("z"), 0)
+		seen[p] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("round robin covered %d of 4 partitions", len(seen))
+	}
+}
+
+func TestRetentionTrim(t *testing.T) {
+	topic := newTopic(t, 1)
+	for i := 0; i < 10; i++ {
+		topic.Append(0, Record{Value: []byte{byte(i)}})
+	}
+	if err := topic.TrimBefore(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := topic.EarliestOffsets()[0]; got != 4 {
+		t.Errorf("earliest = %d", got)
+	}
+	// Reading below the earliest offset errors like Kafka.
+	_, _, err := topic.Fetch(0, 2, 10)
+	var oor *ErrOffsetOutOfRange
+	if err == nil {
+		t.Fatal("expected offset-out-of-range error")
+	}
+	if ok := asOOR(err, &oor); !ok || oor.Earliest != 4 {
+		t.Errorf("err = %v", err)
+	}
+	// Offsets are stable across trims.
+	recs, _, err := topic.Fetch(0, 4, 1)
+	if err != nil || recs[0].Value[0] != 4 {
+		t.Errorf("record at 4 = %v err=%v", recs, err)
+	}
+	// Trimming past the head clamps.
+	if err := topic.TrimBefore(0, 99); err != nil {
+		t.Fatal(err)
+	}
+	if got := topic.EarliestOffsets()[0]; got != 10 {
+		t.Errorf("earliest after over-trim = %d", got)
+	}
+}
+
+func asOOR(err error, out **ErrOffsetOutOfRange) bool {
+	e, ok := err.(*ErrOffsetOutOfRange)
+	if ok {
+		*out = e
+	}
+	return ok
+}
+
+func TestLatestOffsets(t *testing.T) {
+	topic := newTopic(t, 2)
+	topic.Append(0, Record{}, Record{})
+	topic.Append(1, Record{})
+	latest := topic.LatestOffsets()
+	if latest[0] != 2 || latest[1] != 1 {
+		t.Errorf("latest = %v", latest)
+	}
+}
+
+func TestWaitForData(t *testing.T) {
+	topic := newTopic(t, 1)
+	if topic.WaitForData(0, 0, 10*time.Millisecond) {
+		t.Error("wait should time out on empty partition")
+	}
+	done := make(chan bool, 1)
+	go func() {
+		done <- topic.WaitForData(0, 0, 2*time.Second)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	topic.Append(0, Record{Value: []byte("x")})
+	select {
+	case ok := <-done:
+		if !ok {
+			t.Error("wait should succeed after append")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("wait did not wake up")
+	}
+}
+
+func TestConcurrentProducers(t *testing.T) {
+	topic := newTopic(t, 4)
+	const producers, each = 8, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if _, _, err := topic.Produce([]byte(fmt.Sprint(id)), []byte("v"), int64(i)); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	if got := topic.TotalRecords(); got != producers*each {
+		t.Errorf("total = %d, want %d", got, producers*each)
+	}
+	// Offsets within each partition must be dense and unique.
+	for part := 0; part < 4; part++ {
+		recs, _, err := topic.Fetch(part, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs2, _, _ := topic.Fetch(part, 0, producers*each)
+		if len(recs) != 0 && len(recs2) == 0 {
+			t.Fatal("fetch inconsistency")
+		}
+		for i, r := range recs2 {
+			if r.Offset != int64(i) {
+				t.Fatalf("partition %d offset %d at index %d", part, r.Offset, i)
+			}
+		}
+	}
+}
+
+func TestTopicErrors(t *testing.T) {
+	b := NewBroker()
+	if _, err := b.CreateTopic("bad", 0); err == nil {
+		t.Error("zero partitions should error")
+	}
+	topic, _ := b.CreateTopic("t", 2)
+	if _, err := b.CreateTopic("t", 2); err != nil {
+		t.Errorf("idempotent create failed: %v", err)
+	}
+	if _, err := b.CreateTopic("t", 3); err == nil {
+		t.Error("repartition should error")
+	}
+	if _, err := topic.Append(5, Record{}); err == nil {
+		t.Error("bad partition append should error")
+	}
+	if _, _, err := topic.Fetch(5, 0, 1); err == nil {
+		t.Error("bad partition fetch should error")
+	}
+	if _, err := topic.FetchRange(0, 5, 2); err == nil {
+		t.Error("inverted range should error")
+	}
+	if _, ok := b.Topic("missing"); ok {
+		t.Error("missing topic lookup should fail")
+	}
+}
+
+func TestDeleteTopic(t *testing.T) {
+	b := NewBroker()
+	b.CreateTopic("t", 1)
+	b.DeleteTopic("t")
+	if _, ok := b.Topic("t"); ok {
+		t.Error("topic should be deleted")
+	}
+	if got := len(b.Topics()); got != 0 {
+		t.Errorf("topics = %d", got)
+	}
+}
+
+func BenchmarkProduceFetch(b *testing.B) {
+	broker := NewBroker()
+	topic, _ := broker.CreateTopic("bench", 4)
+	payload := make([]byte, 64)
+	b.ReportAllocs()
+	b.SetBytes(64)
+	var off int64
+	for i := 0; i < b.N; i++ {
+		if _, _, err := topic.Produce(nil, payload, 0); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 0 {
+			for p := 0; p < 4; p++ {
+				recs, next, err := topic.Fetch(p, off/4, 1024)
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = recs
+				_ = next
+			}
+			off += 1024
+		}
+	}
+}

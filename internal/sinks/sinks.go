@@ -1,0 +1,212 @@
+// Package sinks implements streaming output connectors. Sinks are
+// idempotent by epoch (§3, §6.1 of the paper): re-delivering an epoch's
+// batch after a failure replay leaves the sink's contents identical, which
+// combined with the write-ahead log yields exactly-once output. Sinks that
+// cannot be idempotent on their own (the message bus) get a transactional
+// wrapper that records committed epochs.
+package sinks
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"structream/internal/sql"
+	"structream/internal/sql/codec"
+	"structream/internal/sql/logical"
+)
+
+// Batch is one epoch's output delivered to a sink.
+type Batch struct {
+	Epoch int64
+	// Sub distinguishes multiple deliveries within one epoch: the
+	// continuous engine emits sub-batches per partition poll, each with a
+	// unique Sub. Microbatch epochs always use Sub 0, and replaying an
+	// (Epoch, Sub) pair replaces its previous content.
+	Sub    int64
+	Mode   logical.OutputMode
+	Schema sql.Schema
+	Rows   []sql.Row
+	// KeyArity is the number of leading columns forming the logical key in
+	// Update mode (0 means the whole row is the key).
+	KeyArity int
+}
+
+// Sink receives epoch batches. AddBatch must be idempotent in Epoch: the
+// engine may re-deliver the last epoch after recovery.
+type Sink interface {
+	AddBatch(b Batch) error
+}
+
+// ---------------------------------------------------------------- memory
+
+// MemorySink accumulates the result table in memory and serves consistent
+// snapshots for interactive queries — the paper's "output to an in-memory
+// Spark table that users can query interactively" (§3).
+type MemorySink struct {
+	mu       sync.Mutex
+	schema   sql.Schema
+	byEpoch  map[epochSub][]sql.Row // append mode: rows per (epoch, sub)
+	complete []sql.Row              // complete mode: latest full table
+	keyed    map[string]sql.Row     // update mode: upsert by key
+	keyOrder []string
+	mode     logical.OutputMode
+	hasMode  bool
+	epochs   []epochSub
+}
+
+type epochSub struct{ epoch, sub int64 }
+
+// NewMemorySink creates an empty memory sink.
+func NewMemorySink() *MemorySink {
+	return &MemorySink{byEpoch: map[epochSub][]sql.Row{}, keyed: map[string]sql.Row{}}
+}
+
+// AddBatch implements Sink.
+func (s *MemorySink) AddBatch(b Batch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.schema = b.Schema
+	if s.hasMode && s.mode != b.Mode {
+		return fmt.Errorf("sinks: memory sink mode changed from %s to %s", s.mode, b.Mode)
+	}
+	s.mode, s.hasMode = b.Mode, true
+	switch b.Mode {
+	case logical.Complete:
+		s.complete = cloneRows(b.Rows)
+	case logical.Append:
+		key := epochSub{epoch: b.Epoch, sub: b.Sub}
+		if _, seen := s.byEpoch[key]; !seen {
+			s.epochs = append(s.epochs, key)
+			sort.Slice(s.epochs, func(i, j int) bool {
+				if s.epochs[i].epoch != s.epochs[j].epoch {
+					return s.epochs[i].epoch < s.epochs[j].epoch
+				}
+				return s.epochs[i].sub < s.epochs[j].sub
+			})
+		}
+		s.byEpoch[key] = cloneRows(b.Rows) // replace: idempotent replay
+	case logical.Update:
+		ka := b.KeyArity
+		if ka <= 0 || ka > b.Schema.Len() {
+			ka = b.Schema.Len()
+		}
+		for _, r := range b.Rows {
+			k := codec.KeyString(r[:ka])
+			if _, ok := s.keyed[k]; !ok {
+				s.keyOrder = append(s.keyOrder, k)
+			}
+			s.keyed[k] = r.Clone()
+		}
+	}
+	return nil
+}
+
+// Schema returns the sink's current schema.
+func (s *MemorySink) Schema() sql.Schema {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.schema
+}
+
+// Rows returns a consistent snapshot of the result table.
+func (s *MemorySink) Rows() []sql.Row {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch s.mode {
+	case logical.Complete:
+		return cloneRows(s.complete)
+	case logical.Update:
+		out := make([]sql.Row, 0, len(s.keyed))
+		for _, k := range s.keyOrder {
+			out = append(out, s.keyed[k].Clone())
+		}
+		return out
+	default:
+		var out []sql.Row
+		for _, e := range s.epochs {
+			out = append(out, cloneRows(s.byEpoch[e])...)
+		}
+		return out
+	}
+}
+
+// RowsForEpoch returns the rows appended by one epoch (append mode).
+func (s *MemorySink) RowsForEpoch(epoch int64) []sql.Row {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []sql.Row
+	for _, e := range s.epochs {
+		if e.epoch == epoch {
+			out = append(out, cloneRows(s.byEpoch[e])...)
+		}
+	}
+	return out
+}
+
+// Truncate drops output from epochs greater than keep, the sink-side part
+// of a manual rollback.
+func (s *MemorySink) Truncate(keep int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kept := s.epochs[:0]
+	for _, e := range s.epochs {
+		if e.epoch <= keep {
+			kept = append(kept, e)
+		} else {
+			delete(s.byEpoch, e)
+		}
+	}
+	s.epochs = kept
+}
+
+func cloneRows(rows []sql.Row) []sql.Row {
+	out := make([]sql.Row, len(rows))
+	for i, r := range rows {
+		out[i] = r.Clone()
+	}
+	return out
+}
+
+// ---------------------------------------------------------------- console
+
+// ConsoleSink renders each batch to a writer, like the paper's console
+// format for debugging.
+type ConsoleSink struct {
+	mu sync.Mutex
+	W  io.Writer
+	// MaxRows bounds output per batch; 0 = unlimited.
+	MaxRows int
+}
+
+// NewConsoleSink creates a console sink writing to w.
+func NewConsoleSink(w io.Writer) *ConsoleSink { return &ConsoleSink{W: w} }
+
+// AddBatch implements Sink.
+func (s *ConsoleSink) AddBatch(b Batch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fmt.Fprintf(s.W, "-------------------------------------------\nBatch: %d (%s mode)\n", b.Epoch, b.Mode)
+	fmt.Fprintf(s.W, "%v\n", b.Schema.Names())
+	for i, r := range b.Rows {
+		if s.MaxRows > 0 && i >= s.MaxRows {
+			fmt.Fprintf(s.W, "... (%d more rows)\n", len(b.Rows)-i)
+			break
+		}
+		fmt.Fprintln(s.W, r.String())
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------- foreach
+
+// ForeachSink invokes a user function per batch — the escape hatch for
+// custom integrations. The function must itself be idempotent by epoch for
+// exactly-once semantics; otherwise the pipeline is at-least-once.
+type ForeachSink struct {
+	Fn func(b Batch) error
+}
+
+// AddBatch implements Sink.
+func (s *ForeachSink) AddBatch(b Batch) error { return s.Fn(b) }

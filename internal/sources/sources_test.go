@@ -1,0 +1,197 @@
+package sources
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"structream/internal/msgbus"
+	"structream/internal/sql"
+	"structream/internal/sql/codec"
+)
+
+var testSchema = sql.NewSchema(
+	sql.Field{Name: "id", Type: sql.TypeInt64},
+	sql.Field{Name: "name", Type: sql.TypeString},
+)
+
+func TestOffsetsHelpers(t *testing.T) {
+	o := Offsets{1, 2, 3}
+	c := o.Clone()
+	c[0] = 99
+	if o[0] != 1 {
+		t.Error("Clone must not alias")
+	}
+	if !o.Equal(Offsets{1, 2, 3}) || o.Equal(Offsets{1, 2}) || o.Equal(Offsets{1, 2, 4}) {
+		t.Error("Equal broken")
+	}
+	if o.Total() != 6 {
+		t.Error("Total broken")
+	}
+}
+
+func TestBusSource(t *testing.T) {
+	b := msgbus.NewBroker()
+	topic, _ := b.CreateTopic("events", 2)
+	src := NewCodecBusSource("events", topic, testSchema)
+	if src.Partitions() != 2 || src.Name() != "events" {
+		t.Fatal("metadata wrong")
+	}
+	topic.Append(0, msgbus.Record{Value: codec.EncodeRow(sql.Row{int64(1), "a"})})
+	topic.Append(0, msgbus.Record{Value: codec.EncodeRow(sql.Row{int64(2), "b"})})
+	topic.Append(1, msgbus.Record{Value: codec.EncodeRow(sql.Row{int64(3), "c"})})
+
+	latest, err := src.Latest()
+	if err != nil || latest[0] != 2 || latest[1] != 1 {
+		t.Fatalf("latest = %v err=%v", latest, err)
+	}
+	rows, err := src.Read(0, 0, 2)
+	if err != nil || len(rows) != 2 || rows[1][1] != "b" {
+		t.Fatalf("rows = %v err=%v", rows, err)
+	}
+	// Replay: same range, same rows.
+	rows2, _ := src.Read(0, 0, 2)
+	if rows2[0][0] != rows[0][0] {
+		t.Error("replay mismatch")
+	}
+	// Corrupt records are skipped, not fatal.
+	topic.Append(1, msgbus.Record{Value: []byte("garbage")})
+	rows3, err := src.Read(1, 0, 2)
+	if err != nil || len(rows3) != 1 {
+		t.Errorf("rows3 = %v err=%v", rows3, err)
+	}
+}
+
+func TestMemorySource(t *testing.T) {
+	src := NewMemorySource("mem", testSchema)
+	src.AddData(sql.Row{1, "x"}, sql.Row{2, "y"}) // plain ints get normalized
+	latest, _ := src.Latest()
+	if latest[0] != 2 {
+		t.Fatalf("latest = %v", latest)
+	}
+	rows, err := src.Read(0, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0] != int64(1) {
+		t.Errorf("normalization failed: %T", rows[0][0])
+	}
+	if _, err := src.Read(0, 0, 5); err == nil {
+		t.Error("out-of-bounds read should error")
+	}
+	if _, err := src.Read(1, 0, 1); err == nil {
+		t.Error("bad partition should error")
+	}
+	earliest, _ := src.Earliest()
+	if earliest[0] != 0 {
+		t.Error("earliest should be 0")
+	}
+}
+
+func writeJSONFile(t *testing.T, dir, name, content string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileSource(t *testing.T) {
+	dir := t.TempDir()
+	schema := sql.NewSchema(
+		sql.Field{Name: "country", Type: sql.TypeString},
+		sql.Field{Name: "clicks", Type: sql.TypeInt64},
+		sql.Field{Name: "time", Type: sql.TypeTimestamp},
+	)
+	src := NewFileSource("json", dir, schema)
+	latest, err := src.Latest()
+	if err != nil || latest[0] != 0 {
+		t.Fatalf("latest on empty dir = %v err=%v", latest, err)
+	}
+	writeJSONFile(t, dir, "a.json", `{"country":"CA","clicks":3,"time":"2018-06-10T00:00:00Z"}
+{"country":"US","clicks":5}
+`)
+	writeJSONFile(t, dir, "_hidden.json", `{"country":"XX"}`)
+	writeJSONFile(t, dir, "b.json.tmp", `{"country":"YY"}`)
+	latest, _ = src.Latest()
+	if latest[0] != 1 {
+		t.Fatalf("latest = %v (hidden/tmp files must be ignored)", latest)
+	}
+	rows, err := src.Read(0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0] != "CA" || rows[0][1] != int64(3) {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[1][2] != nil {
+		t.Error("missing field should be NULL")
+	}
+	if ts, ok := rows[0][2].(int64); !ok || ts <= 0 {
+		t.Errorf("timestamp coercion = %v", rows[0][2])
+	}
+	// New file appears → new offset; earlier offsets still return the same
+	// data (stable discovery order).
+	writeJSONFile(t, dir, "b.json", `{"country":"DE","clicks":1}`)
+	latest, _ = src.Latest()
+	if latest[0] != 2 {
+		t.Fatalf("latest = %v", latest)
+	}
+	again, _ := src.Read(0, 0, 1)
+	if len(again) != 2 || again[0][0] != "CA" {
+		t.Error("replay of file range changed")
+	}
+	rows2, _ := src.Read(0, 1, 2)
+	if len(rows2) != 1 || rows2[0][0] != "DE" {
+		t.Errorf("rows2 = %v", rows2)
+	}
+}
+
+func TestFileSourceBadJSON(t *testing.T) {
+	dir := t.TempDir()
+	src := NewFileSource("json", dir, testSchema)
+	writeJSONFile(t, dir, "bad.json", "{not json\n")
+	src.Latest()
+	if _, err := src.Read(0, 0, 1); err == nil {
+		t.Error("bad JSON should surface an error (the §7.2 scenario)")
+	}
+}
+
+func TestRateSourceDeterministic(t *testing.T) {
+	src := NewRateSource("rate", 4, 4_000_000, 0)
+	src.SetAvailable(1000)
+	latest, _ := src.Latest()
+	if latest[2] != 1000 {
+		t.Fatalf("latest = %v", latest)
+	}
+	a, err := src.Read(2, 100, 200)
+	if err != nil || len(a) != 100 {
+		t.Fatalf("read: %v err=%v", len(a), err)
+	}
+	b, _ := src.Read(2, 100, 200)
+	for i := range a {
+		if a[i][0] != b[i][0] || a[i][1] != b[i][1] {
+			t.Fatal("rate source must be deterministic")
+		}
+	}
+	// Values enumerate p + off*n.
+	if a[0][0] != int64(2+100*4) {
+		t.Errorf("value = %v", a[0][0])
+	}
+	// Timestamps advance at the per-partition rate (1M rows/s/part → 1 µs).
+	if a[1][1].(int64)-a[0][1].(int64) != 1 {
+		t.Errorf("timestamp delta = %d", a[1][1].(int64)-a[0][1].(int64))
+	}
+}
+
+func TestRateSourceAdvance(t *testing.T) {
+	src := NewRateSource("rate", 1, 10, 0)
+	src.Advance(5)
+	src.Advance(5)
+	latest, _ := src.Latest()
+	if latest[0] != 10 {
+		t.Errorf("latest = %v", latest)
+	}
+	if _, err := src.Read(9, 0, 1); err == nil {
+		t.Error("bad partition should error")
+	}
+}

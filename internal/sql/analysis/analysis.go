@@ -1,0 +1,200 @@
+// Package analysis implements the first stage of query planning (§5.1 of
+// the paper): resolving and type-checking the logical plan, rewriting
+// event-time window grouping into explicit window-assignment operators, and
+// validating that a streaming query is executable incrementally under the
+// chosen output mode.
+package analysis
+
+import (
+	"fmt"
+
+	"structream/internal/sql"
+	"structream/internal/sql/logical"
+)
+
+// WindowColumn is the name given to the column produced by window()
+// grouping, matching Spark's "window" struct column.
+const WindowColumn = "window"
+
+// Analyze resolves the plan: every expression must bind against its input
+// schema, window() grouping keys are rewritten to WindowAssign operators,
+// and structural rules (nested aggregates, union arity) are enforced. It
+// returns the rewritten plan.
+func Analyze(plan logical.Plan) (logical.Plan, error) {
+	rewritten, err := rewriteWindows(plan)
+	if err != nil {
+		return nil, err
+	}
+	if err := validate(rewritten); err != nil {
+		return nil, err
+	}
+	return rewritten, nil
+}
+
+// rewriteWindows replaces window() expressions used as grouping keys with a
+// WindowAssign operator below the aggregate plus a reference to its output
+// column. This is how sliding windows get their explode semantics.
+func rewriteWindows(plan logical.Plan) (logical.Plan, error) {
+	var rewriteErr error
+	out := logical.Transform(plan, func(p logical.Plan) logical.Plan {
+		agg, ok := p.(*logical.Aggregate)
+		if !ok {
+			return p
+		}
+		var windows []*sql.WindowExpr
+		for _, k := range agg.Keys {
+			if w, ok := k.(*sql.WindowExpr); ok {
+				windows = append(windows, w)
+			}
+		}
+		if len(windows) == 0 {
+			return p
+		}
+		if len(windows) > 1 {
+			rewriteErr = fmt.Errorf("analysis: at most one window() grouping expression is supported, found %d", len(windows))
+			return p
+		}
+		child := &logical.WindowAssign{Child: agg.Child, Window: windows[0], Name: WindowColumn}
+		keys := make([]sql.Expr, len(agg.Keys))
+		for i, k := range agg.Keys {
+			if _, ok := k.(*sql.WindowExpr); ok {
+				keys[i] = sql.As(sql.Col(WindowColumn), WindowColumn)
+			} else {
+				keys[i] = k
+			}
+		}
+		return &logical.Aggregate{Child: child, Keys: keys, Aggs: agg.Aggs}
+	})
+	if rewriteErr != nil {
+		return nil, rewriteErr
+	}
+	// Also rewrite window() references in projections above the aggregate:
+	// "SELECT window(time, ...), count(*) ... GROUP BY window(time, ...)"
+	// projects the same window expression, which after the rewrite is simply
+	// the window column.
+	out = logical.Transform(out, func(p logical.Plan) logical.Plan {
+		proj, ok := p.(*logical.Project)
+		if !ok {
+			return p
+		}
+		if !planHasWindowColumn(proj.Child) {
+			return p
+		}
+		exprs := make([]sql.Expr, len(proj.Exprs))
+		for i, e := range proj.Exprs {
+			exprs[i] = sql.TransformExpr(e, func(x sql.Expr) sql.Expr {
+				if _, ok := x.(*sql.WindowExpr); ok {
+					return sql.As(sql.Col(WindowColumn), WindowColumn)
+				}
+				return x
+			})
+		}
+		return &logical.Project{Child: proj.Child, Exprs: exprs}
+	})
+	return out, nil
+}
+
+func planHasWindowColumn(p logical.Plan) bool {
+	s, err := p.Schema()
+	if err != nil {
+		return false
+	}
+	return s.IndexOf(WindowColumn) >= 0
+}
+
+// validate checks the plan is fully resolvable and structurally sound.
+func validate(plan logical.Plan) error {
+	var firstErr error
+	record := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	logical.Walk(plan, func(p logical.Plan) {
+		// Schema computation binds every expression in the node.
+		if _, err := p.Schema(); err != nil {
+			record(err)
+			return
+		}
+		switch n := p.(type) {
+		case *logical.Aggregate:
+			for _, k := range n.Keys {
+				if sql.ContainsAgg(k) {
+					record(fmt.Errorf("analysis: aggregate function in GROUP BY key %s", k))
+				}
+			}
+			for _, na := range n.Aggs {
+				if na.Agg.Child != nil && sql.ContainsAgg(na.Agg.Child) {
+					record(fmt.Errorf("analysis: nested aggregate %s", na.Agg))
+				}
+			}
+		case *logical.Filter:
+			in, err := n.Child.Schema()
+			if err != nil {
+				record(err)
+				return
+			}
+			b, err := n.Cond.Bind(in)
+			if err != nil {
+				record(err)
+				return
+			}
+			if b.Type != sql.TypeBool && b.Type != sql.TypeNull {
+				record(fmt.Errorf("analysis: WHERE condition must be boolean, got %s in %s", b.Type, n.Cond))
+			}
+		case *logical.Join:
+			if n.Cond != nil {
+				s, err := n.Schema()
+				if err != nil {
+					record(err)
+					return
+				}
+				// For semi/anti joins the condition sees both sides even
+				// though the output is left-only.
+				if n.Type == logical.LeftSemiJoin || n.Type == logical.LeftAntiJoin {
+					l, _ := n.Left.Schema()
+					r, err := n.Right.Schema()
+					if err != nil {
+						record(err)
+						return
+					}
+					s = l.Concat(r)
+				}
+				b, err := n.Cond.Bind(s)
+				if err != nil {
+					record(err)
+					return
+				}
+				if b.Type != sql.TypeBool && b.Type != sql.TypeNull {
+					record(fmt.Errorf("analysis: join condition must be boolean, got %s", b.Type))
+				}
+			}
+		case *logical.Distinct:
+			in, err := n.Child.Schema()
+			if err != nil {
+				record(err)
+				return
+			}
+			for _, col := range n.Cols {
+				if _, err := in.Resolve(col); err != nil {
+					record(fmt.Errorf("analysis: dropDuplicates: %v", err))
+				}
+			}
+		case *logical.WithWatermark:
+			in, err := n.Child.Schema()
+			if err != nil {
+				record(err)
+				return
+			}
+			idx, err := in.Resolve(n.Column)
+			if err != nil {
+				record(fmt.Errorf("analysis: watermark column: %v", err))
+				return
+			}
+			if ft := in.Field(idx).Type; ft != sql.TypeTimestamp && ft != sql.TypeInt64 {
+				record(fmt.Errorf("analysis: watermark column %q must be a timestamp, got %s", n.Column, ft))
+			}
+		}
+	})
+	return firstErr
+}

@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"structream/internal/sql"
+	"structream/internal/sql/logical"
+)
+
+func streamScan(name string) *logical.Scan {
+	return &logical.Scan{Name: name, Streaming: true, Out: sql.NewSchema(
+		sql.Field{Name: "k", Type: sql.TypeInt64},
+		sql.Field{Name: "v", Type: sql.TypeFloat64},
+		sql.Field{Name: "ts", Type: sql.TypeTimestamp},
+	)}
+}
+
+func staticScan(name string) *logical.Scan {
+	return &logical.Scan{Name: name, Out: sql.NewSchema(
+		sql.Field{Name: "k", Type: sql.TypeInt64},
+		sql.Field{Name: "label", Type: sql.TypeString},
+	)}
+}
+
+func countByKey(child logical.Plan, keys ...sql.Expr) *logical.Aggregate {
+	return &logical.Aggregate{Child: child, Keys: keys,
+		Aggs: []logical.NamedAgg{{Agg: sql.CountAll(), Name: "cnt"}}}
+}
+
+func TestAnalyzeRewritesWindowKeys(t *testing.T) {
+	w := sql.NewWindow(sql.Col("ts"), 10*time.Second, 0)
+	agg := countByKey(streamScan("s"), w)
+	out, err := Analyze(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wa *logical.WindowAssign
+	logical.Walk(out, func(p logical.Plan) {
+		if x, ok := p.(*logical.WindowAssign); ok {
+			wa = x
+		}
+	})
+	if wa == nil {
+		t.Fatalf("no WindowAssign inserted:\n%s", logical.Explain(out))
+	}
+	if wa.Name != WindowColumn {
+		t.Errorf("window column = %q", wa.Name)
+	}
+	schema, err := out.Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema.Field(0).Name != "window" || schema.Field(0).Type != sql.TypeWindow {
+		t.Errorf("schema = %s", schema)
+	}
+}
+
+func TestAnalyzeRejectsTwoWindows(t *testing.T) {
+	w1 := sql.NewWindow(sql.Col("ts"), 10*time.Second, 0)
+	w2 := sql.NewWindow(sql.Col("ts"), 20*time.Second, 0)
+	if _, err := Analyze(countByKey(streamScan("s"), w1, w2)); err == nil {
+		t.Error("two window keys should be rejected")
+	}
+}
+
+func TestAnalyzeRejectsUnresolvable(t *testing.T) {
+	bad := &logical.Filter{Child: streamScan("s"), Cond: sql.Gt(sql.Col("nope"), sql.Lit(1))}
+	if _, err := Analyze(bad); err == nil {
+		t.Error("unresolvable column should fail analysis")
+	}
+}
+
+func TestAnalyzeRejectsNonBooleanFilter(t *testing.T) {
+	bad := &logical.Filter{Child: streamScan("s"), Cond: sql.Add(sql.Col("k"), sql.Lit(1))}
+	if _, err := Analyze(bad); err == nil || !strings.Contains(err.Error(), "boolean") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestAnalyzeRejectsNestedAgg(t *testing.T) {
+	bad := &logical.Aggregate{Child: streamScan("s"),
+		Aggs: []logical.NamedAgg{{Agg: sql.SumOf(sql.SumOf(sql.Col("v"))), Name: "x"}}}
+	if _, err := Analyze(bad); err == nil {
+		t.Error("nested aggregate should fail")
+	}
+}
+
+func TestAnalyzeRejectsAggInGroupBy(t *testing.T) {
+	bad := countByKey(streamScan("s"), sql.SumOf(sql.Col("v")))
+	if _, err := Analyze(bad); err == nil {
+		t.Error("aggregate in GROUP BY should fail")
+	}
+}
+
+func TestAnalyzeWatermarkColumn(t *testing.T) {
+	good := &logical.WithWatermark{Child: streamScan("s"), Column: "ts", Delay: 1}
+	if _, err := Analyze(good); err != nil {
+		t.Errorf("valid watermark rejected: %v", err)
+	}
+	badCol := &logical.WithWatermark{Child: streamScan("s"), Column: "nope", Delay: 1}
+	if _, err := Analyze(badCol); err == nil {
+		t.Error("watermark on missing column should fail")
+	}
+	badType := &logical.WithWatermark{Child: streamScan("s"), Column: "v", Delay: 1}
+	if _, err := Analyze(badType); err == nil {
+		t.Error("watermark on non-timestamp column should fail")
+	}
+}
+
+func TestWatermarksCollection(t *testing.T) {
+	p := &logical.Filter{
+		Child: &logical.WithWatermark{Child: streamScan("s"), Column: "ts", Delay: 5_000_000},
+		Cond:  sql.Gt(sql.Col("v"), sql.Lit(0)),
+	}
+	ws := Watermarks(p)
+	if len(ws) != 1 || ws[0].Column != "ts" || ws[0].Delay != 5_000_000 {
+		t.Errorf("watermarks = %v", ws)
+	}
+}
+
+// ---------------------------------------------------------------- §5.1
+
+func TestCompleteModeRequiresAggregation(t *testing.T) {
+	noAgg := &logical.Project{Child: streamScan("s"), Exprs: []sql.Expr{sql.Col("k")}}
+	if err := CheckStreaming(noAgg, logical.Complete); err == nil {
+		t.Error("complete mode without aggregation should be rejected")
+	}
+	agg := countByKey(streamScan("s"), sql.Col("k"))
+	if err := CheckStreaming(agg, logical.Complete); err != nil {
+		t.Errorf("complete mode with aggregation rejected: %v", err)
+	}
+}
+
+func TestAppendModeAggregationNeedsWatermark(t *testing.T) {
+	// Aggregation keyed by a plain column: not allowed in append mode (the
+	// paper's example: counts by country can never be finalized).
+	agg := countByKey(streamScan("s"), sql.Col("k"))
+	if err := CheckStreaming(agg, logical.Append); err == nil {
+		t.Error("append aggregation without watermark should be rejected")
+	}
+	// With watermark + window grouping it is allowed.
+	w := sql.NewWindow(sql.Col("ts"), 10*time.Second, 0)
+	withWM := countByKey(
+		&logical.WithWatermark{Child: streamScan("s"), Column: "ts", Delay: 1_000_000}, w)
+	analyzed, err := Analyze(withWM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckStreaming(analyzed, logical.Append); err != nil {
+		t.Errorf("windowed watermarked append aggregation rejected: %v", err)
+	}
+	// Update mode allows it regardless.
+	if err := CheckStreaming(agg, logical.Update); err != nil {
+		t.Errorf("update mode rejected: %v", err)
+	}
+}
+
+func TestMultipleAggregationsRejected(t *testing.T) {
+	inner := countByKey(streamScan("s"), sql.Col("k"))
+	outer := &logical.Aggregate{Child: inner,
+		Aggs: []logical.NamedAgg{{Agg: sql.SumOf(sql.Col("cnt")), Name: "total"}}}
+	if err := CheckStreaming(outer, logical.Update); err == nil {
+		t.Error("two streaming aggregations should be rejected (§5.2)")
+	}
+}
+
+func TestSortOnlyInCompleteMode(t *testing.T) {
+	agg := countByKey(streamScan("s"), sql.Col("k"))
+	sorted := &logical.Sort{Child: agg, Orders: []logical.SortOrder{{Expr: sql.Col("cnt"), Desc: true}}}
+	if err := CheckStreaming(sorted, logical.Complete); err != nil {
+		t.Errorf("sort after aggregation in complete mode rejected: %v", err)
+	}
+	if err := CheckStreaming(sorted, logical.Update); err == nil {
+		t.Error("sort in update mode should be rejected")
+	}
+	rawSort := &logical.Sort{Child: streamScan("s"), Orders: []logical.SortOrder{{Expr: sql.Col("k")}}}
+	if err := CheckStreaming(rawSort, logical.Complete); err == nil {
+		t.Error("sorting a raw stream should be rejected")
+	}
+}
+
+func TestLimitOnStreamRejectedOutsideComplete(t *testing.T) {
+	lim := &logical.Limit{Child: streamScan("s"), N: 5}
+	if err := CheckStreaming(lim, logical.Append); err == nil {
+		t.Error("limit in append mode should be rejected")
+	}
+}
+
+func TestStreamingJoinMatrix(t *testing.T) {
+	stream, static := streamScan("s"), staticScan("t")
+	cond := sql.Eq(sql.Col("s.k"), sql.Col("t.k"))
+
+	okCases := []*logical.Join{
+		{Left: stream, Right: static, Type: logical.InnerJoin, Cond: cond},
+		{Left: stream, Right: static, Type: logical.LeftOuterJoin, Cond: cond},
+		{Left: static, Right: stream, Type: logical.RightOuterJoin, Cond: cond},
+		{Left: stream, Right: static, Type: logical.LeftSemiJoin, Cond: cond},
+	}
+	for _, j := range okCases {
+		if err := CheckStreaming(j, logical.Append); err != nil {
+			t.Errorf("%s stream-static join rejected: %v", j.Type, err)
+		}
+	}
+	badCases := []*logical.Join{
+		{Left: stream, Right: static, Type: logical.FullOuterJoin, Cond: cond},
+		{Left: static, Right: stream, Type: logical.LeftOuterJoin, Cond: cond},
+		{Left: stream, Right: static, Type: logical.RightOuterJoin, Cond: cond},
+	}
+	for _, j := range badCases {
+		if err := CheckStreaming(j, logical.Append); err == nil {
+			t.Errorf("%s join with static preserved side should be rejected", j.Type)
+		}
+	}
+}
+
+func TestStreamStreamJoin(t *testing.T) {
+	s1, s2 := streamScan("a"), streamScan("b")
+	cond := sql.Eq(sql.Col("a.k"), sql.Col("b.k"))
+	inner := &logical.Join{Left: s1, Right: s2, Type: logical.InnerJoin, Cond: cond}
+	if err := CheckStreaming(inner, logical.Append); err != nil {
+		t.Errorf("inner stream-stream join rejected: %v", err)
+	}
+	// Outer stream-stream join without watermark in the condition: rejected.
+	outer := &logical.Join{Left: s1, Right: s2, Type: logical.LeftOuterJoin, Cond: cond}
+	if err := CheckStreaming(outer, logical.Append); err == nil {
+		t.Error("outer stream-stream join without watermark should be rejected")
+	}
+	// With a watermarked time column referenced in the condition: allowed.
+	wmLeft := &logical.WithWatermark{Child: s1, Column: "ts", Delay: 1_000_000}
+	condTime := sql.And(cond, sql.Gt(sql.Col("a.ts"), sql.Col("b.ts")))
+	outerWM := &logical.Join{Left: wmLeft, Right: s2, Type: logical.LeftOuterJoin, Cond: condTime}
+	if err := CheckStreaming(outerWM, logical.Append); err != nil {
+		t.Errorf("watermarked outer stream-stream join rejected: %v", err)
+	}
+}
+
+func TestBatchPlanRejectedByStreamingCheck(t *testing.T) {
+	if err := CheckStreaming(staticScan("t"), logical.Append); err == nil {
+		t.Error("batch-only plan should be rejected by CheckStreaming")
+	}
+}
+
+func TestMapGroupsBelowAggRejected(t *testing.T) {
+	mg := &logical.MapGroups{
+		Child: countByKey(streamScan("s"), sql.Col("k")),
+		Keys:  []sql.Expr{sql.Col("k")},
+		Func:  func(sql.Row, []sql.Row, logical.GroupState) []sql.Row { return nil },
+		Out:   sql.NewSchema(sql.Field{Name: "x", Type: sql.TypeInt64}),
+	}
+	if err := CheckStreaming(mg, logical.Update); err == nil {
+		t.Error("stateful operator below aggregation should be rejected")
+	}
+}
+
+func TestAnalyzeDropDuplicatesColumns(t *testing.T) {
+	good := &logical.Distinct{Child: streamScan("s"), Cols: []string{"k"}}
+	if _, err := Analyze(good); err != nil {
+		t.Errorf("valid dropDuplicates rejected: %v", err)
+	}
+	bad := &logical.Distinct{Child: streamScan("s"), Cols: []string{"nope"}}
+	if _, err := Analyze(bad); err == nil {
+		t.Error("dropDuplicates on a missing column should fail analysis")
+	}
+}

@@ -1,0 +1,258 @@
+package analysis
+
+import (
+	"fmt"
+
+	"structream/internal/sql"
+	"structream/internal/sql/logical"
+)
+
+// WatermarkSpec describes an event-time watermark declared on a stream.
+type WatermarkSpec struct {
+	Column string
+	Delay  int64 // µs
+}
+
+// Watermarks collects every watermark declaration in the plan, outermost
+// last. Different input streams can carry different watermarks (§4.3.1).
+func Watermarks(plan logical.Plan) []WatermarkSpec {
+	var out []WatermarkSpec
+	logical.Walk(plan, func(p logical.Plan) {
+		if w, ok := p.(*logical.WithWatermark); ok {
+			out = append(out, WatermarkSpec{Column: w.Column, Delay: w.Delay})
+		}
+	})
+	return out
+}
+
+// CheckStreaming validates that an analyzed streaming plan can execute
+// incrementally under the requested output mode, implementing the rules of
+// §5.1: which operator/mode combinations the engine allows.
+//
+// Supported streaming queries (as of the paper's Spark 2.3 description):
+// any number of selections and projections; SELECT DISTINCT; inner,
+// left-outer and right-outer joins between a stream and a table or between
+// two streams (outer joins against a stream require a watermark); stateful
+// operators; up to one aggregation; sorting only after aggregation in
+// complete mode.
+func CheckStreaming(plan logical.Plan, mode logical.OutputMode) error {
+	if !logical.IsStreaming(plan) {
+		return fmt.Errorf("analysis: plan has no streaming source; run it as a batch query")
+	}
+
+	var (
+		streamingAggs  int
+		hasAgg         *logical.Aggregate
+		aggIsWindowed  bool
+		aggOnWatermark bool
+		sortCount      int
+		sortAboveAgg   bool
+		limitOnStream  bool
+		mapGroupsCount int
+		firstErr       error
+	)
+	record := func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	watermarked := map[string]bool{}
+	for _, w := range Watermarks(plan) {
+		watermarked[w.Column] = true
+	}
+
+	// seenAgg tracks whether an aggregate exists below the current node
+	// while walking top-down.
+	var walk func(p logical.Plan, aggAbove bool)
+	walk = func(p logical.Plan, aggAbove bool) {
+		streaming := logical.IsStreaming(p)
+		switch n := p.(type) {
+		case *logical.Aggregate:
+			if streaming {
+				streamingAggs++
+				hasAgg = n
+				if streamingAggs > 1 {
+					record(fmt.Errorf("analysis: multiple streaming aggregations are not supported (§5.2: up to one aggregation)"))
+				}
+				for _, k := range n.Keys {
+					if c, ok := underlyingColumn(k); ok {
+						if c == WindowColumn {
+							aggIsWindowed = true
+						}
+						if watermarked[c] {
+							aggOnWatermark = true
+						}
+					}
+				}
+				// A window assigned over a watermarked column also counts.
+				logical.Walk(n.Child, func(q logical.Plan) {
+					if wa, ok := q.(*logical.WindowAssign); ok {
+						if c, ok := underlyingColumn(wa.Window.Time); ok && watermarked[c] {
+							aggOnWatermark = true
+						}
+					}
+				})
+			}
+			walk(n.Child, aggAbove)
+			return
+		case *logical.Sort:
+			if streaming {
+				sortCount++
+				childHasAgg := false
+				logical.Walk(n.Child, func(q logical.Plan) {
+					if _, ok := q.(*logical.Aggregate); ok {
+						childHasAgg = true
+					}
+				})
+				sortAboveAgg = childHasAgg
+			}
+		case *logical.Limit:
+			if streaming {
+				limitOnStream = true
+			}
+		case *logical.MapGroups:
+			if streaming {
+				mapGroupsCount++
+				aggBelow := false
+				logical.Walk(n.Child, func(q logical.Plan) {
+					if _, ok := q.(*logical.Aggregate); ok {
+						aggBelow = true
+					}
+				})
+				if aggBelow {
+					record(fmt.Errorf("analysis: stateful operator over the output of an aggregation is not supported in streaming queries"))
+				}
+			}
+		case *logical.Join:
+			if err := checkStreamingJoin(n, watermarked); err != nil {
+				record(err)
+			}
+		}
+		above := aggAbove
+		if _, ok := p.(*logical.Aggregate); ok {
+			above = true
+		}
+		for _, c := range p.Children() {
+			walk(c, above)
+		}
+	}
+	walk(plan, false)
+	if firstErr != nil {
+		return firstErr
+	}
+
+	// Mode-specific rules.
+	switch mode {
+	case logical.Complete:
+		if streamingAggs == 0 {
+			return fmt.Errorf("analysis: complete output mode requires an aggregation (the engine must be able to re-emit the whole result table; state must be proportional to the number of result keys)")
+		}
+		// Sorting is permitted in complete mode, only above the aggregate.
+		if sortCount > 0 && !sortAboveAgg {
+			return fmt.Errorf("analysis: sorting a raw stream is not supported; ORDER BY requires complete mode and must follow the aggregation")
+		}
+	case logical.Append:
+		if sortCount > 0 {
+			return fmt.Errorf("analysis: ORDER BY is only supported in complete output mode")
+		}
+		if limitOnStream {
+			return fmt.Errorf("analysis: LIMIT on a streaming query is only supported in complete output mode")
+		}
+		if hasAgg != nil && !(aggIsWindowed && aggOnWatermark || aggOnWatermark) {
+			return fmt.Errorf("analysis: append output mode with aggregation requires grouping by an event-time window over a watermarked column: the engine can only emit a group once its watermark guarantees no more input for it (§5.1: append output must be monotonic)")
+		}
+	case logical.Update:
+		if sortCount > 0 {
+			return fmt.Errorf("analysis: ORDER BY is only supported in complete output mode")
+		}
+		if limitOnStream {
+			return fmt.Errorf("analysis: LIMIT on a streaming query is only supported in complete output mode")
+		}
+	}
+	return nil
+}
+
+// checkStreamingJoin enforces the join support matrix for streams.
+func checkStreamingJoin(j *logical.Join, watermarked map[string]bool) error {
+	leftStream := logical.IsStreaming(j.Left)
+	rightStream := logical.IsStreaming(j.Right)
+	if !leftStream && !rightStream {
+		return nil
+	}
+	switch j.Type {
+	case logical.FullOuterJoin:
+		return fmt.Errorf("analysis: full outer join is not supported on streams")
+	case logical.LeftSemiJoin, logical.LeftAntiJoin:
+		if rightStream {
+			return fmt.Errorf("analysis: %s join with a streaming right side is not supported", j.Type)
+		}
+		return nil
+	}
+	if leftStream && rightStream {
+		if j.Cond == nil {
+			return fmt.Errorf("analysis: stream-stream join requires a join condition")
+		}
+		// Outer stream-stream joins need a watermarked column in the join
+		// condition so the engine can eventually emit null-padded rows and
+		// evict state (§5.2).
+		if j.Type == logical.LeftOuterJoin || j.Type == logical.RightOuterJoin {
+			if !condReferencesWatermark(j.Cond, watermarked) {
+				return fmt.Errorf("analysis: outer join between two streams requires the join condition to involve a watermarked column (§5.2)")
+			}
+		}
+		return nil
+	}
+	// Stream-static joins: the static side may not be the preserved side of
+	// an outer join against a stream (result would need retraction).
+	if j.Type == logical.LeftOuterJoin && !leftStream {
+		return fmt.Errorf("analysis: left outer join with a static left side and streaming right side is not supported")
+	}
+	if j.Type == logical.RightOuterJoin && !rightStream {
+		return fmt.Errorf("analysis: right outer join with a streaming left side and static right side is not supported")
+	}
+	return nil
+}
+
+func condReferencesWatermark(cond sql.Expr, watermarked map[string]bool) bool {
+	found := false
+	sql.WalkExpr(cond, func(e sql.Expr) {
+		if c, ok := e.(*sql.Column); ok {
+			name := c.Name
+			if i := lastDot(name); i >= 0 {
+				name = name[i+1:]
+			}
+			if watermarked[name] {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+func lastDot(s string) int {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '.' {
+			return i
+		}
+	}
+	return -1
+}
+
+// underlyingColumn unwraps aliases to find a bare column reference.
+func underlyingColumn(e sql.Expr) (string, bool) {
+	for {
+		switch x := e.(type) {
+		case *sql.Alias:
+			e = x.Child
+		case *sql.Column:
+			name := x.Name
+			if i := lastDot(name); i >= 0 {
+				name = name[i+1:]
+			}
+			return name, true
+		default:
+			return "", false
+		}
+	}
+}

@@ -1,0 +1,626 @@
+package sql
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strings"
+	"time"
+)
+
+// FuncCall is a call to a named scalar function. Aggregate function calls
+// are represented by AggExpr; the parser decides which one to build based on
+// the function name.
+type FuncCall struct {
+	Name string
+	Args []Expr
+}
+
+// NewFunc builds a scalar function call.
+func NewFunc(name string, args ...Expr) *FuncCall {
+	return &FuncCall{Name: strings.ToLower(name), Args: args}
+}
+
+func (f *FuncCall) String() string {
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", f.Name, strings.Join(parts, ", "))
+}
+func (f *FuncCall) Children() []Expr { return f.Args }
+func (f *FuncCall) WithChildren(children []Expr) Expr {
+	return &FuncCall{Name: f.Name, Args: children}
+}
+
+// scalarImpl describes one registered scalar function.
+type scalarImpl struct {
+	minArgs, maxArgs int // maxArgs < 0 means variadic
+	// resultType computes the output type from resolved argument types.
+	resultType func(args []Type) (Type, error)
+	// eval computes the value from evaluated argument values.
+	eval func(args []Value) Value
+}
+
+// IsScalarFunc reports whether name is a registered scalar function.
+func IsScalarFunc(name string) bool {
+	_, ok := scalarFuncs[strings.ToLower(name)]
+	return ok
+}
+
+// Bind resolves the function against the registry and compiles it.
+func (f *FuncCall) Bind(schema Schema) (BoundExpr, error) {
+	impl, ok := scalarFuncs[f.Name]
+	if !ok {
+		return BoundExpr{}, fmt.Errorf("sql: unknown function %q", f.Name)
+	}
+	if len(f.Args) < impl.minArgs || (impl.maxArgs >= 0 && len(f.Args) > impl.maxArgs) {
+		return BoundExpr{}, fmt.Errorf("sql: function %s called with %d arguments", f.Name, len(f.Args))
+	}
+	bound := make([]BoundExpr, len(f.Args))
+	argTypes := make([]Type, len(f.Args))
+	for i, a := range f.Args {
+		b, err := a.Bind(schema)
+		if err != nil {
+			return BoundExpr{}, err
+		}
+		bound[i] = b
+		argTypes[i] = b.Type
+	}
+	resType, err := impl.resultType(argTypes)
+	if err != nil {
+		return BoundExpr{}, fmt.Errorf("sql: %s: %v", f.Name, err)
+	}
+	evals := make([]func(Row) Value, len(bound))
+	for i, b := range bound {
+		evals[i] = b.Eval
+	}
+	fn := impl.eval
+	eval := func(row Row) Value {
+		args := make([]Value, len(evals))
+		for i, e := range evals {
+			args[i] = e(row)
+		}
+		return fn(args)
+	}
+	return BoundExpr{Type: resType, Eval: eval}, nil
+}
+
+// fixedType returns a resultType function that always yields t.
+func fixedType(t Type) func([]Type) (Type, error) {
+	return func([]Type) (Type, error) { return t, nil }
+}
+
+// sameAsArg returns a resultType function yielding the type of argument i.
+func sameAsArg(i int) func([]Type) (Type, error) {
+	return func(args []Type) (Type, error) { return args[i], nil }
+}
+
+func nullSafe1(f func(Value) Value) func([]Value) Value {
+	return func(args []Value) Value {
+		if args[0] == nil {
+			return nil
+		}
+		return f(args[0])
+	}
+}
+
+func nullSafe2(f func(a, b Value) Value) func([]Value) Value {
+	return func(args []Value) Value {
+		if args[0] == nil || args[1] == nil {
+			return nil
+		}
+		return f(args[0], args[1])
+	}
+}
+
+func float1(f func(float64) float64) func([]Value) Value {
+	return nullSafe1(func(v Value) Value {
+		x, ok := AsFloat64(v)
+		if !ok {
+			return nil
+		}
+		r := f(x)
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			return nil
+		}
+		return r
+	})
+}
+
+func str1(f func(string) Value) func([]Value) Value {
+	return nullSafe1(func(v Value) Value {
+		s, ok := v.(string)
+		if !ok {
+			s = AsString(v)
+		}
+		return f(s)
+	})
+}
+
+func str2(f func(a, b string) Value) func([]Value) Value {
+	return nullSafe2(func(a, b Value) Value {
+		as, aok := a.(string)
+		bs, bok := b.(string)
+		if !aok || !bok {
+			return nil
+		}
+		return f(as, bs)
+	})
+}
+
+// scalarFuncs is the registry of built-in scalar functions.
+var scalarFuncs = map[string]scalarImpl{
+	// ------------------------------------------------------ math
+	"abs": {1, 1, sameAsArg(0), nullSafe1(func(v Value) Value {
+		switch x := v.(type) {
+		case int64:
+			if x < 0 {
+				return -x
+			}
+			return x
+		case float64:
+			return math.Abs(x)
+		}
+		return nil
+	})},
+	"ceil":  {1, 1, fixedType(TypeInt64), float1Int(math.Ceil)},
+	"floor": {1, 1, fixedType(TypeInt64), float1Int(math.Floor)},
+	"round": {1, 2, fixedType(TypeFloat64), func(args []Value) Value {
+		if args[0] == nil {
+			return nil
+		}
+		x, ok := AsFloat64(args[0])
+		if !ok {
+			return nil
+		}
+		digits := int64(0)
+		if len(args) == 2 {
+			if d, ok := AsInt64(args[1]); ok {
+				digits = d
+			}
+		}
+		p := math.Pow(10, float64(digits))
+		return math.Round(x*p) / p
+	}},
+	"sqrt":  {1, 1, fixedType(TypeFloat64), float1(math.Sqrt)},
+	"exp":   {1, 1, fixedType(TypeFloat64), float1(math.Exp)},
+	"ln":    {1, 1, fixedType(TypeFloat64), float1(math.Log)},
+	"log10": {1, 1, fixedType(TypeFloat64), float1(math.Log10)},
+	"pow": {2, 2, fixedType(TypeFloat64), nullSafe2(func(a, b Value) Value {
+		x, xok := AsFloat64(a)
+		y, yok := AsFloat64(b)
+		if !xok || !yok {
+			return nil
+		}
+		return math.Pow(x, y)
+	})},
+	"greatest": {2, -1, sameAsArg(0), func(args []Value) Value {
+		var best Value
+		for _, v := range args {
+			if v == nil {
+				continue
+			}
+			if best == nil || Compare(v, best) > 0 {
+				best = v
+			}
+		}
+		return best
+	}},
+	"least": {2, -1, sameAsArg(0), func(args []Value) Value {
+		var best Value
+		for _, v := range args {
+			if v == nil {
+				continue
+			}
+			if best == nil || Compare(v, best) < 0 {
+				best = v
+			}
+		}
+		return best
+	}},
+	// ------------------------------------------------------ strings
+	"length": {1, 1, fixedType(TypeInt64), str1(func(s string) Value { return int64(len(s)) })},
+	"upper":  {1, 1, fixedType(TypeString), str1(func(s string) Value { return strings.ToUpper(s) })},
+	"lower":  {1, 1, fixedType(TypeString), str1(func(s string) Value { return strings.ToLower(s) })},
+	"trim":   {1, 1, fixedType(TypeString), str1(func(s string) Value { return strings.TrimSpace(s) })},
+	"ltrim":  {1, 1, fixedType(TypeString), str1(func(s string) Value { return strings.TrimLeft(s, " \t\n\r") })},
+	"rtrim":  {1, 1, fixedType(TypeString), str1(func(s string) Value { return strings.TrimRight(s, " \t\n\r") })},
+	"reverse": {1, 1, fixedType(TypeString), str1(func(s string) Value {
+		r := []rune(s)
+		for i, j := 0, len(r)-1; i < j; i, j = i+1, j-1 {
+			r[i], r[j] = r[j], r[i]
+		}
+		return string(r)
+	})},
+	"concat": {1, -1, fixedType(TypeString), func(args []Value) Value {
+		var b strings.Builder
+		for _, v := range args {
+			if v == nil {
+				return nil
+			}
+			b.WriteString(AsString(v))
+		}
+		return b.String()
+	}},
+	"contains":    {2, 2, fixedType(TypeBool), str2(func(a, b string) Value { return strings.Contains(a, b) })},
+	"starts_with": {2, 2, fixedType(TypeBool), str2(func(a, b string) Value { return strings.HasPrefix(a, b) })},
+	"ends_with":   {2, 2, fixedType(TypeBool), str2(func(a, b string) Value { return strings.HasSuffix(a, b) })},
+	"instr": {2, 2, fixedType(TypeInt64), str2(func(a, b string) Value {
+		return int64(strings.Index(a, b) + 1)
+	})},
+	"replace": {3, 3, fixedType(TypeString), func(args []Value) Value {
+		if args[0] == nil || args[1] == nil || args[2] == nil {
+			return nil
+		}
+		s, ok1 := args[0].(string)
+		old, ok2 := args[1].(string)
+		repl, ok3 := args[2].(string)
+		if !ok1 || !ok2 || !ok3 {
+			return nil
+		}
+		return strings.ReplaceAll(s, old, repl)
+	}},
+	"substring": {2, 3, fixedType(TypeString), func(args []Value) Value {
+		if args[0] == nil || args[1] == nil {
+			return nil
+		}
+		s, ok := args[0].(string)
+		if !ok {
+			return nil
+		}
+		start, ok := AsInt64(args[1])
+		if !ok {
+			return nil
+		}
+		// SQL substring is 1-based.
+		if start > 0 {
+			start--
+		} else if start < 0 {
+			start = int64(len(s)) + start
+		}
+		if start < 0 {
+			start = 0
+		}
+		if start > int64(len(s)) {
+			return ""
+		}
+		end := int64(len(s))
+		if len(args) == 3 && args[2] != nil {
+			if n, ok := AsInt64(args[2]); ok && start+n < end {
+				end = start + n
+			}
+		}
+		if end < start {
+			end = start
+		}
+		return s[start:end]
+	}},
+	"split_part": {3, 3, fixedType(TypeString), func(args []Value) Value {
+		if args[0] == nil || args[1] == nil || args[2] == nil {
+			return nil
+		}
+		s, ok1 := args[0].(string)
+		sep, ok2 := args[1].(string)
+		idx, ok3 := AsInt64(args[2])
+		if !ok1 || !ok2 || !ok3 || idx < 1 {
+			return nil
+		}
+		parts := strings.Split(s, sep)
+		if int(idx) > len(parts) {
+			return ""
+		}
+		return parts[idx-1]
+	}},
+	"lpad": {3, 3, fixedType(TypeString), padFunc(true)},
+	"rpad": {3, 3, fixedType(TypeString), padFunc(false)},
+	// ------------------------------------------------------ null handling
+	"coalesce": {1, -1, func(args []Type) (Type, error) {
+		t := TypeNull
+		var ok bool
+		for _, a := range args {
+			if t, ok = CommonType(t, a); !ok {
+				return TypeNull, fmt.Errorf("incompatible coalesce argument types")
+			}
+		}
+		return t, nil
+	}, func(args []Value) Value {
+		for _, v := range args {
+			if v != nil {
+				return v
+			}
+		}
+		return nil
+	}},
+	"ifnull": {2, 2, sameAsArg(0), func(args []Value) Value {
+		if args[0] != nil {
+			return args[0]
+		}
+		return args[1]
+	}},
+	"nullif": {2, 2, sameAsArg(0), func(args []Value) Value {
+		if args[0] == nil || args[1] == nil {
+			return args[0]
+		}
+		if Compare(args[0], args[1]) == 0 {
+			return nil
+		}
+		return args[0]
+	}},
+	"if": {3, 3, sameAsArg(1), func(args []Value) Value {
+		if b, ok := args[0].(bool); ok && b {
+			return args[1]
+		}
+		return args[2]
+	}},
+	// ------------------------------------------------------ time
+	"to_timestamp": {1, 1, fixedType(TypeTimestamp), nullSafe1(func(v Value) Value {
+		switch x := v.(type) {
+		case int64:
+			return x
+		case string:
+			if us, err := ParseTimestamp(x); err == nil {
+				return us
+			}
+			return nil
+		case float64:
+			return int64(x * 1e6)
+		}
+		return nil
+	})},
+	"unix_micros": {1, 1, fixedType(TypeInt64), nullSafe1(func(v Value) Value {
+		if us, ok := v.(int64); ok {
+			return us
+		}
+		return nil
+	})},
+	"timestamp_micros": {1, 1, fixedType(TypeTimestamp), nullSafe1(func(v Value) Value {
+		if us, ok := AsInt64(v); ok {
+			return us
+		}
+		return nil
+	})},
+	"date_trunc": {2, 2, fixedType(TypeTimestamp), func(args []Value) Value {
+		if args[0] == nil || args[1] == nil {
+			return nil
+		}
+		unit, ok1 := args[0].(string)
+		us, ok2 := args[1].(int64)
+		if !ok1 || !ok2 {
+			return nil
+		}
+		t := time.UnixMicro(us).UTC()
+		switch strings.ToLower(unit) {
+		case "second":
+			t = t.Truncate(time.Second)
+		case "minute":
+			t = t.Truncate(time.Minute)
+		case "hour":
+			t = t.Truncate(time.Hour)
+		case "day":
+			t = time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC)
+		case "month":
+			t = time.Date(t.Year(), t.Month(), 1, 0, 0, 0, 0, time.UTC)
+		case "year":
+			t = time.Date(t.Year(), 1, 1, 0, 0, 0, 0, time.UTC)
+		default:
+			return nil
+		}
+		return t.UnixMicro()
+	}},
+	"year":   {1, 1, fixedType(TypeInt64), timePart(func(t time.Time) int64 { return int64(t.Year()) })},
+	"month":  {1, 1, fixedType(TypeInt64), timePart(func(t time.Time) int64 { return int64(t.Month()) })},
+	"day":    {1, 1, fixedType(TypeInt64), timePart(func(t time.Time) int64 { return int64(t.Day()) })},
+	"hour":   {1, 1, fixedType(TypeInt64), timePart(func(t time.Time) int64 { return int64(t.Hour()) })},
+	"minute": {1, 1, fixedType(TypeInt64), timePart(func(t time.Time) int64 { return int64(t.Minute()) })},
+	"second": {1, 1, fixedType(TypeInt64), timePart(func(t time.Time) int64 { return int64(t.Second()) })},
+	// window_start/window_end project the bounds out of a window value.
+	"window_start": {1, 1, fixedType(TypeTimestamp), nullSafe1(func(v Value) Value {
+		if w, ok := v.(Window); ok {
+			return w.Start
+		}
+		return nil
+	})},
+	"window_end": {1, 1, fixedType(TypeTimestamp), nullSafe1(func(v Value) Value {
+		if w, ok := v.(Window); ok {
+			return w.End
+		}
+		return nil
+	})},
+	// ------------------------------------------------------ misc
+	"hash": {1, -1, fixedType(TypeInt64), func(args []Value) Value {
+		h := fnv.New64a()
+		for _, v := range args {
+			fmt.Fprint(h, AsString(v), "\x00")
+		}
+		return int64(h.Sum64())
+	}},
+	// json_get extracts a top-level string/number/bool field from a JSON
+	// object encoded as a string; used heavily by ETL examples.
+	"json_get": {2, 2, fixedType(TypeString), str2(func(doc, field string) Value {
+		v, ok := jsonExtract(doc, field)
+		if !ok {
+			return nil
+		}
+		return v
+	})},
+}
+
+func float1Int(f func(float64) float64) func([]Value) Value {
+	return nullSafe1(func(v Value) Value {
+		x, ok := AsFloat64(v)
+		if !ok {
+			return nil
+		}
+		return int64(f(x))
+	})
+}
+
+func timePart(f func(time.Time) int64) func([]Value) Value {
+	return nullSafe1(func(v Value) Value {
+		us, ok := v.(int64)
+		if !ok {
+			return nil
+		}
+		return f(time.UnixMicro(us).UTC())
+	})
+}
+
+func padFunc(left bool) func([]Value) Value {
+	return func(args []Value) Value {
+		if args[0] == nil || args[1] == nil || args[2] == nil {
+			return nil
+		}
+		s, ok1 := args[0].(string)
+		n, ok2 := AsInt64(args[1])
+		pad, ok3 := args[2].(string)
+		if !ok1 || !ok2 || !ok3 || pad == "" {
+			return nil
+		}
+		if int64(len(s)) >= n {
+			return s[:n]
+		}
+		var b strings.Builder
+		if !left {
+			b.WriteString(s)
+		}
+		for int64(b.Len()+len(s)) < n && left || int64(b.Len()) < n && !left {
+			b.WriteString(pad)
+			if left && int64(b.Len()+len(s)) >= n {
+				break
+			}
+			if !left && int64(b.Len()) >= n {
+				break
+			}
+		}
+		if left {
+			prefix := b.String()
+			if int64(len(prefix)+len(s)) > n {
+				prefix = prefix[:n-int64(len(s))]
+			}
+			return prefix + s
+		}
+		out := b.String()
+		if int64(len(out)) > n {
+			out = out[:n]
+		}
+		return out
+	}
+}
+
+// jsonExtract pulls a top-level scalar field out of a flat JSON object
+// without materializing the whole document. It is a deliberately small
+// extractor for ETL predicates; full JSON decoding lives in the sources.
+func jsonExtract(doc, field string) (string, bool) {
+	needle := `"` + field + `"`
+	i := strings.Index(doc, needle)
+	if i < 0 {
+		return "", false
+	}
+	rest := doc[i+len(needle):]
+	j := strings.IndexByte(rest, ':')
+	if j < 0 {
+		return "", false
+	}
+	rest = strings.TrimLeft(rest[j+1:], " \t\n")
+	if rest == "" {
+		return "", false
+	}
+	if rest[0] == '"' {
+		end := 1
+		for end < len(rest) {
+			if rest[end] == '\\' {
+				end += 2
+				continue
+			}
+			if rest[end] == '"' {
+				return rest[1:end], true
+			}
+			end++
+		}
+		return "", false
+	}
+	end := strings.IndexAny(rest, ",}] \t\n")
+	if end < 0 {
+		end = len(rest)
+	}
+	val := rest[:end]
+	if val == "null" {
+		return "", false
+	}
+	return val, true
+}
+
+// ---------------------------------------------------------------- window()
+
+// WindowExpr assigns event-time windows of the given size and slide to a
+// timestamp column, as in the paper's `window($"time", "1h", "5m")`. A
+// tumbling window (Slide == Size) produces one window per row; a sliding
+// window produces Size/Slide windows per row, which the planner implements
+// by exploding the input (exactly as Spark SQL does).
+type WindowExpr struct {
+	Time  Expr
+	Size  int64 // µs
+	Slide int64 // µs; equals Size for tumbling windows
+}
+
+// NewWindow builds a window-assignment expression. A zero slide means
+// tumbling (slide = size).
+func NewWindow(timeCol Expr, size, slide time.Duration) *WindowExpr {
+	sz := size.Microseconds()
+	sl := slide.Microseconds()
+	if sl == 0 {
+		sl = sz
+	}
+	return &WindowExpr{Time: timeCol, Size: sz, Slide: sl}
+}
+
+func (w *WindowExpr) String() string {
+	return fmt.Sprintf("window(%s, %dus, %dus)", w.Time, w.Size, w.Slide)
+}
+func (w *WindowExpr) Children() []Expr { return []Expr{w.Time} }
+func (w *WindowExpr) WithChildren(children []Expr) Expr {
+	return &WindowExpr{Time: children[0], Size: w.Size, Slide: w.Slide}
+}
+
+// Bind compiles the tumbling-window fast path: the single window containing
+// the row's event time. Sliding windows must be planned via a WindowAssign
+// operator (the analyzer enforces this); if one reaches Bind directly it
+// evaluates to the newest containing window.
+func (w *WindowExpr) Bind(schema Schema) (BoundExpr, error) {
+	t, err := w.Time.Bind(schema)
+	if err != nil {
+		return BoundExpr{}, err
+	}
+	if t.Type != TypeTimestamp && t.Type != TypeInt64 {
+		return BoundExpr{}, fmt.Errorf("sql: window() requires a timestamp column, got %s", t.Type)
+	}
+	te, size, slide := t.Eval, w.Size, w.Slide
+	eval := func(row Row) Value {
+		v, ok := te(row).(int64)
+		if !ok {
+			return nil
+		}
+		start := v - ((v%slide)+slide)%slide
+		return Window{Start: start, End: start + size}
+	}
+	return BoundExpr{Type: TypeWindow, Eval: eval}, nil
+}
+
+// Windows returns every window containing event time ts, oldest first.
+func (w *WindowExpr) Windows(ts int64) []Window {
+	n := int(w.Size / w.Slide)
+	if w.Size%w.Slide != 0 {
+		n++
+	}
+	out := make([]Window, 0, n)
+	lastStart := ts - ((ts%w.Slide)+w.Slide)%w.Slide
+	for start := lastStart; start > ts-w.Size; start -= w.Slide {
+		out = append(out, Window{Start: start, End: start + w.Size})
+	}
+	// Reverse to oldest-first order.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}

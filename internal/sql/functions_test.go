@@ -1,0 +1,176 @@
+package sql
+
+import (
+	"testing"
+	"time"
+)
+
+// evalFunc evaluates a scalar function call over literals.
+func evalFunc(t *testing.T, name string, args ...any) Value {
+	t.Helper()
+	exprs := make([]Expr, len(args))
+	for i, a := range args {
+		if e, ok := a.(Expr); ok {
+			exprs[i] = e
+		} else {
+			exprs[i] = Lit(a)
+		}
+	}
+	b, err := NewFunc(name, exprs...).Bind(Schema{})
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return b.Eval(nil)
+}
+
+func TestMathFunctions(t *testing.T) {
+	cases := []struct {
+		name string
+		args []any
+		want Value
+	}{
+		{"abs", []any{-5}, int64(5)},
+		{"abs", []any{-2.5}, 2.5},
+		{"ceil", []any{1.2}, int64(2)},
+		{"floor", []any{1.8}, int64(1)},
+		{"round", []any{1.567, 2}, 1.57},
+		{"round", []any{2.5}, 3.0},
+		{"sqrt", []any{16.0}, 4.0},
+		{"sqrt", []any{-1.0}, nil}, // NaN results become NULL
+		{"pow", []any{2, 10}, 1024.0},
+		{"greatest", []any{3, 9, 5}, int64(9)},
+		{"least", []any{3, 9, 5}, int64(3)},
+		{"greatest", []any{nil, 4}, int64(4)}, // NULLs skipped
+	}
+	for _, c := range cases {
+		if got := evalFunc(t, c.name, c.args...); got != c.want {
+			t.Errorf("%s(%v) = %v, want %v", c.name, c.args, got, c.want)
+		}
+	}
+}
+
+func TestStringFunctions(t *testing.T) {
+	cases := []struct {
+		name string
+		args []any
+		want Value
+	}{
+		{"length", []any{"hello"}, int64(5)},
+		{"upper", []any{"abc"}, "ABC"},
+		{"lower", []any{"ABC"}, "abc"},
+		{"trim", []any{"  x "}, "x"},
+		{"reverse", []any{"abc"}, "cba"},
+		{"concat", []any{"a", 1, "b"}, "a1b"},
+		{"concat", []any{"a", nil}, nil},
+		{"contains", []any{"hello", "ell"}, true},
+		{"starts_with", []any{"hello", "he"}, true},
+		{"ends_with", []any{"hello", "lo"}, true},
+		{"instr", []any{"hello", "l"}, int64(3)},
+		{"replace", []any{"aaa", "a", "b"}, "bbb"},
+		{"substring", []any{"hello", 2}, "ello"},
+		{"substring", []any{"hello", 2, 3}, "ell"},
+		{"substring", []any{"hello", -3}, "llo"},
+		{"substring", []any{"hello", 99}, ""},
+		{"split_part", []any{"a,b,c", ",", 2}, "b"},
+		{"split_part", []any{"a,b,c", ",", 9}, ""},
+	}
+	for _, c := range cases {
+		if got := evalFunc(t, c.name, c.args...); got != c.want {
+			t.Errorf("%s(%v) = %v, want %v", c.name, c.args, got, c.want)
+		}
+	}
+}
+
+func TestNullFunctions(t *testing.T) {
+	if got := evalFunc(t, "coalesce", nil, nil, 3); got != int64(3) {
+		t.Errorf("coalesce = %v", got)
+	}
+	if got := evalFunc(t, "ifnull", nil, "d"); got != "d" {
+		t.Errorf("ifnull = %v", got)
+	}
+	if got := evalFunc(t, "nullif", 3, 3); got != nil {
+		t.Errorf("nullif(3,3) = %v", got)
+	}
+	if got := evalFunc(t, "nullif", 3, 4); got != int64(3) {
+		t.Errorf("nullif(3,4) = %v", got)
+	}
+	if got := evalFunc(t, "if", true, "a", "b"); got != "a" {
+		t.Errorf("if(true) = %v", got)
+	}
+	if got := evalFunc(t, "if", nil, "a", "b"); got != "b" {
+		t.Errorf("if(NULL) takes the else branch, got %v", got)
+	}
+}
+
+func TestTimeFunctions(t *testing.T) {
+	ts := time.Date(2018, 6, 10, 13, 45, 30, 0, time.UTC)
+	us := ts.UnixMicro()
+	if got := evalFunc(t, "year", TimestampLit(us)); got != int64(2018) {
+		t.Errorf("year = %v", got)
+	}
+	if got := evalFunc(t, "month", TimestampLit(us)); got != int64(6) {
+		t.Errorf("month = %v", got)
+	}
+	if got := evalFunc(t, "hour", TimestampLit(us)); got != int64(13) {
+		t.Errorf("hour = %v", got)
+	}
+	trunc := evalFunc(t, "date_trunc", "hour", TimestampLit(us))
+	if trunc != time.Date(2018, 6, 10, 13, 0, 0, 0, time.UTC).UnixMicro() {
+		t.Errorf("date_trunc hour = %v", trunc)
+	}
+	if got := evalFunc(t, "to_timestamp", "2018-06-10 13:45:30"); got != us {
+		t.Errorf("to_timestamp = %v, want %v", got, us)
+	}
+	if got := evalFunc(t, "to_timestamp", "garbage"); got != nil {
+		t.Errorf("to_timestamp(garbage) = %v", got)
+	}
+}
+
+func TestWindowBoundsFunctions(t *testing.T) {
+	w := Window{Start: 100, End: 200}
+	if got := evalFunc(t, "window_start", Lit(w)); got != int64(100) {
+		t.Errorf("window_start = %v", got)
+	}
+	if got := evalFunc(t, "window_end", Lit(w)); got != int64(200) {
+		t.Errorf("window_end = %v", got)
+	}
+}
+
+func TestJSONGet(t *testing.T) {
+	doc := `{"country": "CA", "latency": 42.5, "ok": true, "nested": {"x": 1}}`
+	cases := map[string]Value{
+		"country": "CA",
+		"latency": "42.5",
+		"ok":      "true",
+		"missing": nil,
+	}
+	for field, want := range cases {
+		if got := evalFunc(t, "json_get", doc, field); got != want {
+			t.Errorf("json_get(%q) = %v, want %v", field, got, want)
+		}
+	}
+	if got := evalFunc(t, "json_get", `{"s": "a\"b"}`, "s"); got != `a\"b` && got != `a"b` {
+		t.Errorf("escaped json_get = %v", got)
+	}
+}
+
+func TestUnknownFunction(t *testing.T) {
+	if _, err := NewFunc("no_such_fn", Lit(1)).Bind(Schema{}); err == nil {
+		t.Error("unknown function should fail to bind")
+	}
+	if _, err := NewFunc("abs").Bind(Schema{}); err == nil {
+		t.Error("arity error should fail to bind")
+	}
+}
+
+func TestHashDeterministic(t *testing.T) {
+	a := evalFunc(t, "hash", "x", 1)
+	b := evalFunc(t, "hash", "x", 1)
+	if a != b {
+		t.Error("hash must be deterministic")
+	}
+	c := evalFunc(t, "hash", "x", 2)
+	if a == c {
+		t.Error("different inputs should hash differently (overwhelmingly)")
+	}
+}

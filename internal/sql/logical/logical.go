@@ -1,0 +1,543 @@
+// Package logical defines the logical query plan: the tree the SQL parser
+// and the DataFrame API produce, the analyzer validates, the optimizer
+// rewrites, and the incrementalizer turns into a streaming physical plan.
+package logical
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"structream/internal/sql"
+)
+
+// Plan is a node in a logical query plan tree.
+type Plan interface {
+	// Schema computes the node's output schema from its children. It
+	// returns an error when the node references unresolvable columns; the
+	// analyzer surfaces these.
+	Schema() (sql.Schema, error)
+	// Children returns the direct child plans.
+	Children() []Plan
+	// WithChildren rebuilds the node with new children (same arity).
+	WithChildren(children []Plan) Plan
+	// String renders a one-line description for EXPLAIN output.
+	String() string
+}
+
+// IsStreaming reports whether any leaf below p is a streaming source.
+func IsStreaming(p Plan) bool {
+	if s, ok := p.(*Scan); ok {
+		return s.Streaming
+	}
+	for _, c := range p.Children() {
+		if IsStreaming(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// Transform rewrites a plan bottom-up.
+func Transform(p Plan, fn func(Plan) Plan) Plan {
+	children := p.Children()
+	if len(children) > 0 {
+		newChildren := make([]Plan, len(children))
+		changed := false
+		for i, c := range children {
+			newChildren[i] = Transform(c, fn)
+			if newChildren[i] != c {
+				changed = true
+			}
+		}
+		if changed {
+			p = p.WithChildren(newChildren)
+		}
+	}
+	return fn(p)
+}
+
+// Walk visits the plan pre-order.
+func Walk(p Plan, fn func(Plan)) {
+	fn(p)
+	for _, c := range p.Children() {
+		Walk(c, fn)
+	}
+}
+
+// Explain renders the plan tree indented, one node per line.
+func Explain(p Plan) string {
+	var b strings.Builder
+	var rec func(Plan, int)
+	rec = func(n Plan, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.String())
+		b.WriteByte('\n')
+		for _, c := range n.Children() {
+			rec(c, depth+1)
+		}
+	}
+	rec(p, 0)
+	return b.String()
+}
+
+// ---------------------------------------------------------------- Scan
+
+// Scan is a leaf: a named table or stream with a known schema. Handle is an
+// opaque reference the execution layer resolves to actual data (a static
+// table, a source connector, or a per-epoch batch).
+type Scan struct {
+	Name      string
+	Out       sql.Schema
+	Streaming bool
+	Handle    any
+}
+
+// Schema returns the declared schema.
+func (s *Scan) Schema() (sql.Schema, error) { return s.Out, nil }
+
+// Children returns nil: Scan is a leaf.
+func (s *Scan) Children() []Plan                  { return nil }
+func (s *Scan) WithChildren(children []Plan) Plan { return s }
+func (s *Scan) String() string {
+	kind := "Scan"
+	if s.Streaming {
+		kind = "StreamingScan"
+	}
+	return fmt.Sprintf("%s %s %s", kind, s.Name, s.Out)
+}
+
+// ---------------------------------------------------------------- Project
+
+// Project computes a list of expressions over each input row.
+type Project struct {
+	Child Plan
+	Exprs []sql.Expr
+}
+
+// Schema derives output fields from the projection expressions.
+func (p *Project) Schema() (sql.Schema, error) {
+	in, err := p.Child.Schema()
+	if err != nil {
+		return sql.Schema{}, err
+	}
+	fields := make([]sql.Field, len(p.Exprs))
+	for i, e := range p.Exprs {
+		b, err := e.Bind(in)
+		if err != nil {
+			return sql.Schema{}, err
+		}
+		fields[i] = sql.Field{Name: sql.OutputName(e), Type: b.Type}
+	}
+	return sql.Schema{Fields: fields}, nil
+}
+
+func (p *Project) Children() []Plan { return []Plan{p.Child} }
+func (p *Project) WithChildren(children []Plan) Plan {
+	return &Project{Child: children[0], Exprs: p.Exprs}
+}
+func (p *Project) String() string { return "Project " + exprList(p.Exprs) }
+
+// ---------------------------------------------------------------- Filter
+
+// Filter keeps rows where Cond evaluates to true.
+type Filter struct {
+	Child Plan
+	Cond  sql.Expr
+}
+
+// Schema passes through the child schema.
+func (f *Filter) Schema() (sql.Schema, error) { return f.Child.Schema() }
+func (f *Filter) Children() []Plan            { return []Plan{f.Child} }
+func (f *Filter) WithChildren(children []Plan) Plan {
+	return &Filter{Child: children[0], Cond: f.Cond}
+}
+func (f *Filter) String() string { return fmt.Sprintf("Filter %s", f.Cond) }
+
+// ---------------------------------------------------------------- Aggregate
+
+// NamedAgg is one aggregate output column.
+type NamedAgg struct {
+	Agg  *sql.AggExpr
+	Name string
+}
+
+// Aggregate groups by key expressions and computes aggregates per group.
+// The output schema is the group keys followed by the aggregates.
+type Aggregate struct {
+	Child Plan
+	Keys  []sql.Expr
+	Aggs  []NamedAgg
+}
+
+// Schema is group-key fields followed by aggregate fields.
+func (a *Aggregate) Schema() (sql.Schema, error) {
+	in, err := a.Child.Schema()
+	if err != nil {
+		return sql.Schema{}, err
+	}
+	fields := make([]sql.Field, 0, len(a.Keys)+len(a.Aggs))
+	for _, k := range a.Keys {
+		b, err := k.Bind(in)
+		if err != nil {
+			return sql.Schema{}, err
+		}
+		fields = append(fields, sql.Field{Name: sql.OutputName(k), Type: b.Type})
+	}
+	for _, na := range a.Aggs {
+		b, err := na.Agg.BindAgg(in)
+		if err != nil {
+			return sql.Schema{}, err
+		}
+		fields = append(fields, sql.Field{Name: na.Name, Type: b.ResultType})
+	}
+	return sql.Schema{Fields: fields}, nil
+}
+
+func (a *Aggregate) Children() []Plan { return []Plan{a.Child} }
+func (a *Aggregate) WithChildren(children []Plan) Plan {
+	return &Aggregate{Child: children[0], Keys: a.Keys, Aggs: a.Aggs}
+}
+func (a *Aggregate) String() string {
+	aggs := make([]string, len(a.Aggs))
+	for i, na := range a.Aggs {
+		aggs[i] = fmt.Sprintf("%s AS %s", na.Agg, na.Name)
+	}
+	return fmt.Sprintf("Aggregate keys=%s aggs=[%s]", exprList(a.Keys), strings.Join(aggs, ", "))
+}
+
+// ---------------------------------------------------------------- Join
+
+// JoinType enumerates the supported join types.
+type JoinType int
+
+// Join types. Streaming supports Inner, LeftOuter and RightOuter per the
+// paper (§5.2); FullOuter is batch-only.
+const (
+	InnerJoin JoinType = iota
+	LeftOuterJoin
+	RightOuterJoin
+	FullOuterJoin
+	LeftSemiJoin
+	LeftAntiJoin
+)
+
+// String names the join type in SQL style.
+func (t JoinType) String() string {
+	switch t {
+	case InnerJoin:
+		return "INNER"
+	case LeftOuterJoin:
+		return "LEFT OUTER"
+	case RightOuterJoin:
+		return "RIGHT OUTER"
+	case FullOuterJoin:
+		return "FULL OUTER"
+	case LeftSemiJoin:
+		return "LEFT SEMI"
+	case LeftAntiJoin:
+		return "LEFT ANTI"
+	default:
+		return fmt.Sprintf("JOIN(%d)", int(t))
+	}
+}
+
+// Join combines two inputs on a condition.
+type Join struct {
+	Left, Right Plan
+	Type        JoinType
+	Cond        sql.Expr // nil means cross product (batch only)
+}
+
+// Schema concatenates both sides (left then right), except for semi/anti
+// joins which keep only the left side.
+func (j *Join) Schema() (sql.Schema, error) {
+	l, err := j.Left.Schema()
+	if err != nil {
+		return sql.Schema{}, err
+	}
+	if j.Type == LeftSemiJoin || j.Type == LeftAntiJoin {
+		return l, nil
+	}
+	r, err := j.Right.Schema()
+	if err != nil {
+		return sql.Schema{}, err
+	}
+	return l.Concat(r), nil
+}
+
+func (j *Join) Children() []Plan { return []Plan{j.Left, j.Right} }
+func (j *Join) WithChildren(children []Plan) Plan {
+	return &Join{Left: children[0], Right: children[1], Type: j.Type, Cond: j.Cond}
+}
+func (j *Join) String() string {
+	if j.Cond == nil {
+		return fmt.Sprintf("Join %s", j.Type)
+	}
+	return fmt.Sprintf("Join %s ON %s", j.Type, j.Cond)
+}
+
+// ---------------------------------------------------------------- Sort
+
+// SortOrder is one ORDER BY term.
+type SortOrder struct {
+	Expr sql.Expr
+	Desc bool
+}
+
+// Sort orders rows by the given terms.
+type Sort struct {
+	Child  Plan
+	Orders []SortOrder
+}
+
+// Schema passes through the child schema.
+func (s *Sort) Schema() (sql.Schema, error) { return s.Child.Schema() }
+func (s *Sort) Children() []Plan            { return []Plan{s.Child} }
+func (s *Sort) WithChildren(children []Plan) Plan {
+	return &Sort{Child: children[0], Orders: s.Orders}
+}
+func (s *Sort) String() string {
+	parts := make([]string, len(s.Orders))
+	for i, o := range s.Orders {
+		dir := "ASC"
+		if o.Desc {
+			dir = "DESC"
+		}
+		parts[i] = fmt.Sprintf("%s %s", o.Expr, dir)
+	}
+	return "Sort " + strings.Join(parts, ", ")
+}
+
+// ---------------------------------------------------------------- Limit
+
+// Limit keeps the first N rows.
+type Limit struct {
+	Child Plan
+	N     int64
+}
+
+// Schema passes through the child schema.
+func (l *Limit) Schema() (sql.Schema, error) { return l.Child.Schema() }
+func (l *Limit) Children() []Plan            { return []Plan{l.Child} }
+func (l *Limit) WithChildren(children []Plan) Plan {
+	return &Limit{Child: children[0], N: l.N}
+}
+func (l *Limit) String() string { return fmt.Sprintf("Limit %d", l.N) }
+
+// ---------------------------------------------------------------- Distinct
+
+// Distinct removes duplicate rows (SELECT DISTINCT). In a streaming plan it
+// becomes a stateful deduplication operator. When Cols is non-empty, only
+// those columns form the duplicate key and the first full row per key is
+// kept (Spark's dropDuplicates(cols)).
+type Distinct struct {
+	Child Plan
+	Cols  []string
+}
+
+// Schema passes through the child schema.
+func (d *Distinct) Schema() (sql.Schema, error) { return d.Child.Schema() }
+func (d *Distinct) Children() []Plan            { return []Plan{d.Child} }
+func (d *Distinct) WithChildren(children []Plan) Plan {
+	return &Distinct{Child: children[0], Cols: d.Cols}
+}
+func (d *Distinct) String() string {
+	if len(d.Cols) == 0 {
+		return "Distinct"
+	}
+	return "Distinct on " + strings.Join(d.Cols, ", ")
+}
+
+// ---------------------------------------------------------------- Union
+
+// Union concatenates two inputs with identical schemas (UNION ALL).
+type Union struct {
+	Left, Right Plan
+}
+
+// Schema validates that both sides agree and returns the left schema.
+func (u *Union) Schema() (sql.Schema, error) {
+	l, err := u.Left.Schema()
+	if err != nil {
+		return sql.Schema{}, err
+	}
+	r, err := u.Right.Schema()
+	if err != nil {
+		return sql.Schema{}, err
+	}
+	if len(l.Fields) != len(r.Fields) {
+		return sql.Schema{}, fmt.Errorf("logical: UNION arity mismatch: %s vs %s", l, r)
+	}
+	for i := range l.Fields {
+		if _, ok := sql.CommonType(l.Fields[i].Type, r.Fields[i].Type); !ok {
+			return sql.Schema{}, fmt.Errorf("logical: UNION column %d type mismatch: %s vs %s",
+				i, l.Fields[i].Type, r.Fields[i].Type)
+		}
+	}
+	return l, nil
+}
+
+func (u *Union) Children() []Plan { return []Plan{u.Left, u.Right} }
+func (u *Union) WithChildren(children []Plan) Plan {
+	return &Union{Left: children[0], Right: children[1]}
+}
+func (u *Union) String() string { return "Union" }
+
+// ---------------------------------------------------------------- Alias
+
+// SubqueryAlias names a sub-plan and qualifies its columns, so joins can
+// reference "alias.column".
+type SubqueryAlias struct {
+	Child Plan
+	Alias string
+}
+
+// Schema qualifies every child column with the alias.
+func (s *SubqueryAlias) Schema() (sql.Schema, error) {
+	c, err := s.Child.Schema()
+	if err != nil {
+		return sql.Schema{}, err
+	}
+	return c.Qualify(s.Alias), nil
+}
+
+func (s *SubqueryAlias) Children() []Plan { return []Plan{s.Child} }
+func (s *SubqueryAlias) WithChildren(children []Plan) Plan {
+	return &SubqueryAlias{Child: children[0], Alias: s.Alias}
+}
+func (s *SubqueryAlias) String() string { return "SubqueryAlias " + s.Alias }
+
+// ---------------------------------------------------------------- Window
+
+// WindowAssign adds an event-time window column (named Name) computed from
+// the window spec, exploding each row into one output row per containing
+// window when the spec is sliding.
+type WindowAssign struct {
+	Child  Plan
+	Window *sql.WindowExpr
+	Name   string
+}
+
+// Schema is the child schema plus the window column.
+func (w *WindowAssign) Schema() (sql.Schema, error) {
+	c, err := w.Child.Schema()
+	if err != nil {
+		return sql.Schema{}, err
+	}
+	return c.Concat(sql.Schema{Fields: []sql.Field{{Name: w.Name, Type: sql.TypeWindow}}}), nil
+}
+
+func (w *WindowAssign) Children() []Plan { return []Plan{w.Child} }
+func (w *WindowAssign) WithChildren(children []Plan) Plan {
+	return &WindowAssign{Child: children[0], Window: w.Window, Name: w.Name}
+}
+func (w *WindowAssign) String() string {
+	return fmt.Sprintf("WindowAssign %s AS %s", w.Window, w.Name)
+}
+
+// ---------------------------------------------------------------- Watermark
+
+// WithWatermark declares an event-time column and a lateness delay for the
+// subtree below it (§4.3.1 of the paper). The engine computes the watermark
+// as max(eventTime) − Delay across the stream.
+type WithWatermark struct {
+	Child  Plan
+	Column string
+	Delay  int64 // µs
+}
+
+// Schema passes through the child schema.
+func (w *WithWatermark) Schema() (sql.Schema, error) { return w.Child.Schema() }
+func (w *WithWatermark) Children() []Plan            { return []Plan{w.Child} }
+func (w *WithWatermark) WithChildren(children []Plan) Plan {
+	return &WithWatermark{Child: children[0], Column: w.Column, Delay: w.Delay}
+}
+func (w *WithWatermark) String() string {
+	return fmt.Sprintf("WithWatermark %s delay=%s", w.Column, time.Duration(w.Delay)*time.Microsecond)
+}
+
+// ---------------------------------------------------------------- Stateful
+
+// TimeoutKind selects how mapGroupsWithState timeouts are interpreted.
+type TimeoutKind int
+
+// Timeout kinds for stateful operators.
+const (
+	NoTimeout TimeoutKind = iota
+	ProcessingTimeTimeout
+	EventTimeTimeout
+)
+
+// GroupState is the per-key state handle passed to a stateful update
+// function, mirroring the paper's GroupState[S] (§4.3.2). State is a row
+// whose schema the operator declares.
+type GroupState interface {
+	// Exists reports whether state is currently stored for the key.
+	Exists() bool
+	// Get returns the stored state row; nil when !Exists().
+	Get() sql.Row
+	// Update replaces the state row for the key.
+	Update(state sql.Row)
+	// Remove drops the key from the store.
+	Remove()
+	// SetTimeoutDuration arms a processing-time timeout for the key.
+	SetTimeoutDuration(d time.Duration)
+	// SetTimeoutTimestamp arms an event-time timeout (µs since epoch);
+	// the key times out when the watermark passes it.
+	SetTimeoutTimestamp(us int64)
+	// HasTimedOut reports whether this invocation is a timeout callback
+	// (no new values for the key).
+	HasTimedOut() bool
+	// Watermark returns the current event-time watermark in µs, or 0 when
+	// no watermark is set.
+	Watermark() int64
+	// ProcessingTime returns the current processing time in µs.
+	ProcessingTime() int64
+}
+
+// UpdateFunc is the user-defined function of flatMapGroupsWithState: given
+// a key, the new values for that key since the last call, and the state
+// handle, it returns zero or more output rows. mapGroupsWithState is the
+// special case returning exactly one row.
+type UpdateFunc func(key sql.Row, values []sql.Row, state GroupState) []sql.Row
+
+// MapGroups is the flatMapGroupsWithState / mapGroupsWithState logical
+// operator: custom per-key stateful processing that still fits the
+// incremental model and also runs in batch jobs (where Func is called once
+// per key).
+type MapGroups struct {
+	Child Plan
+	// Keys are the grouping expressions (groupByKey).
+	Keys []sql.Expr
+	// KeyNames name the key columns visible to the update function.
+	KeyNames []string
+	// Func is the user update function.
+	Func UpdateFunc
+	// StateSchema declares the state row layout for checkpointing.
+	StateSchema sql.Schema
+	// Out is the schema of rows returned by Func (excluding keys).
+	Out sql.Schema
+	// Timeout selects timeout semantics.
+	Timeout TimeoutKind
+}
+
+// Schema returns the user-declared output schema.
+func (m *MapGroups) Schema() (sql.Schema, error) { return m.Out, nil }
+func (m *MapGroups) Children() []Plan            { return []Plan{m.Child} }
+func (m *MapGroups) WithChildren(children []Plan) Plan {
+	out := *m
+	out.Child = children[0]
+	return &out
+}
+func (m *MapGroups) String() string {
+	return fmt.Sprintf("MapGroupsWithState keys=%s out=%s", exprList(m.Keys), m.Out)
+}
+
+func exprList(exprs []sql.Expr) string {
+	parts := make([]string, len(exprs))
+	for i, e := range exprs {
+		parts[i] = e.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}

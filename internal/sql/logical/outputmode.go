@@ -1,0 +1,50 @@
+package logical
+
+import "fmt"
+
+// OutputMode specifies how the result table is written to the sink (§4.2 of
+// the paper): the whole table each trigger, only appended rows, or in-place
+// updates of changed keys.
+type OutputMode int
+
+// The three sink output modes.
+const (
+	// Append only adds records to the sink; a record is never changed once
+	// written. Aggregations require event-time watermarks in this mode.
+	Append OutputMode = iota
+	// Update writes only the keys whose values changed since the last
+	// trigger; the sink updates them in place.
+	Update
+	// Complete rewrites the entire result table on every trigger. Only
+	// permitted for aggregation queries whose state is proportional to the
+	// result size (§5.1).
+	Complete
+)
+
+// String names the mode as in the paper's API.
+func (m OutputMode) String() string {
+	switch m {
+	case Append:
+		return "append"
+	case Update:
+		return "update"
+	case Complete:
+		return "complete"
+	default:
+		return fmt.Sprintf("outputmode(%d)", int(m))
+	}
+}
+
+// ParseOutputMode parses an output mode name.
+func ParseOutputMode(s string) (OutputMode, error) {
+	switch s {
+	case "append":
+		return Append, nil
+	case "update":
+		return Update, nil
+	case "complete":
+		return Complete, nil
+	default:
+		return Append, fmt.Errorf("logical: unknown output mode %q (want append, update or complete)", s)
+	}
+}

@@ -1,0 +1,219 @@
+// Package parser implements the SQL dialect of structream: a hand-written
+// lexer and recursive-descent parser producing logical plans. The dialect
+// covers the query shapes the paper's engine supports (§5.2): selections,
+// projections, DISTINCT, joins, one aggregation with GROUP BY/HAVING,
+// ORDER BY, LIMIT, event-time window() grouping and watermark hints.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokKeyword
+	tokSymbol
+)
+
+// token is one lexical token with its source position for error messages.
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased; identifiers keep original case
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokString:
+		return fmt.Sprintf("'%s'", t.text)
+	default:
+		return t.text
+	}
+}
+
+// keywords recognized by the lexer. Anything else alphabetic is an
+// identifier.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "AS": true, "AND": true,
+	"OR": true, "NOT": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true, "FULL": true,
+	"OUTER": true, "ON": true, "DISTINCT": true, "CASE": true, "WHEN": true,
+	"THEN": true, "ELSE": true, "END": true, "CAST": true, "IN": true,
+	"LIKE": true, "BETWEEN": true, "IS": true, "ASC": true, "DESC": true,
+	"UNION": true, "ALL": true, "INTERVAL": true, "TIMESTAMP": true,
+	"WATERMARK": true, "WITH": true, "SEMI": true, "ANTI": true, "CROSS": true,
+}
+
+// lexer scans SQL text into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front; queries are small.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(rune(c)):
+		for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		word := l.src[start:l.pos]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return token{kind: tokKeyword, text: up, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: word, pos: start}, nil
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+		seenDot, seenExp := false, false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch >= '0' && ch <= '9' {
+				l.pos++
+				continue
+			}
+			if ch == '.' && !seenDot && !seenExp {
+				seenDot = true
+				l.pos++
+				continue
+			}
+			if (ch == 'e' || ch == 'E') && !seenExp {
+				seenExp = true
+				l.pos++
+				if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+					l.pos++
+				}
+				continue
+			}
+			break
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+	case c == '\'' || c == '"':
+		quote := c
+		l.pos++
+		var b strings.Builder
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if ch == quote {
+				// Doubled quote is an escaped quote.
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == quote {
+					b.WriteByte(quote)
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				kind := tokString
+				if quote == '"' {
+					// Double quotes delimit identifiers, as in standard SQL.
+					kind = tokIdent
+				}
+				return token{kind: kind, text: b.String(), pos: start}, nil
+			}
+			if ch == '\\' && l.pos+1 < len(l.src) {
+				l.pos++
+				switch l.src[l.pos] {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				default:
+					b.WriteByte(l.src[l.pos])
+				}
+				l.pos++
+				continue
+			}
+			b.WriteByte(ch)
+			l.pos++
+		}
+		return token{}, fmt.Errorf("parser: unterminated string at offset %d", start)
+	case c == '`':
+		l.pos++
+		end := strings.IndexByte(l.src[l.pos:], '`')
+		if end < 0 {
+			return token{}, fmt.Errorf("parser: unterminated backquoted identifier at offset %d", start)
+		}
+		text := l.src[l.pos : l.pos+end]
+		l.pos += end + 1
+		return token{kind: tokIdent, text: text, pos: start}, nil
+	default:
+		// Multi-character symbols first.
+		for _, sym := range []string{"<=", ">=", "<>", "!=", "=="} {
+			if strings.HasPrefix(l.src[l.pos:], sym) {
+				l.pos += len(sym)
+				return token{kind: tokSymbol, text: sym, pos: start}, nil
+			}
+		}
+		if strings.ContainsRune("+-*/%(),=<>.", rune(c)) {
+			l.pos++
+			return token{kind: tokSymbol, text: string(c), pos: start}, nil
+		}
+		return token{}, fmt.Errorf("parser: unexpected character %q at offset %d", c, l.pos)
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// Line comments.
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		// Block comments.
+		if c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*' {
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+				return
+			}
+			l.pos += end + 4
+			continue
+		}
+		return
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

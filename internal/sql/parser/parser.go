@@ -1,0 +1,1043 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"structream/internal/sql"
+	"structream/internal/sql/logical"
+)
+
+// Catalog resolves table and stream names referenced in FROM clauses to
+// leaf plans. The session layer implements it over registered views.
+type Catalog interface {
+	// ResolveTable returns the leaf plan for a named table or stream.
+	ResolveTable(name string) (logical.Plan, error)
+}
+
+// Parse parses a SQL query against a catalog and returns its logical plan.
+func Parse(src string, catalog Catalog) (logical.Plan, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, catalog: catalog, src: src}
+	plan, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errorf("unexpected %s after end of query", p.peek())
+	}
+	return plan, nil
+}
+
+// ParseExpr parses a standalone scalar expression (used by the DataFrame
+// API's ExprString helper and by filter pushdown configuration).
+func ParseExpr(src string) (sql.Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errorf("unexpected %s after end of expression", p.peek())
+	}
+	return e, nil
+}
+
+type parser struct {
+	toks    []token
+	pos     int
+	catalog Catalog
+	src     string
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// at reports whether the current token matches kind (and text, if given).
+func (p *parser) at(kind tokenKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+// accept consumes the current token when it matches.
+func (p *parser) accept(kind tokenKind, text string) bool {
+	if p.at(kind, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.accept(tokKeyword, kw) {
+		return p.errorf("expected %s, found %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.accept(tokSymbol, sym) {
+		return p.errorf("expected %q, found %s", sym, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("parser: %s (at offset %d in %q)",
+		fmt.Sprintf(format, args...), p.peek().pos, truncate(p.src, 80))
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// ---------------------------------------------------------------- query
+
+// parseQuery handles SELECT ... [UNION ALL SELECT ...].
+func (p *parser) parseQuery() (logical.Plan, error) {
+	left, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "UNION") {
+		if !p.accept(tokKeyword, "ALL") {
+			return nil, p.errorf("only UNION ALL is supported")
+		}
+		right, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		left = &logical.Union{Left: left, Right: right}
+	}
+	return left, nil
+}
+
+// selectItem is one SELECT-list entry prior to aggregation splitting.
+type selectItem struct {
+	expr sql.Expr
+	star bool
+}
+
+func (p *parser) parseSelect() (logical.Plan, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	distinct := p.accept(tokKeyword, "DISTINCT")
+
+	// SELECT list.
+	var items []selectItem
+	for {
+		if p.accept(tokSymbol, "*") {
+			items = append(items, selectItem{star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if p.accept(tokKeyword, "AS") {
+				name := p.advance()
+				if name.kind != tokIdent {
+					return nil, p.errorf("expected alias name, found %s", name)
+				}
+				e = sql.As(e, name.text)
+			} else if p.at(tokIdent, "") {
+				// Implicit alias: SELECT expr name
+				e = sql.As(e, p.advance().text)
+			}
+			items = append(items, selectItem{expr: e})
+		}
+		if !p.accept(tokSymbol, ",") {
+			break
+		}
+	}
+
+	// FROM.
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	plan, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+
+	// Joins.
+	for {
+		jt, isJoin, err := p.parseJoinType()
+		if err != nil {
+			return nil, err
+		}
+		if !isJoin {
+			break
+		}
+		right, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		var cond sql.Expr
+		if p.accept(tokKeyword, "ON") {
+			cond, err = p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+		} else if jt != logical.InnerJoin {
+			return nil, p.errorf("%s JOIN requires ON clause", jt)
+		}
+		plan = &logical.Join{Left: plan, Right: right, Type: jt, Cond: cond}
+	}
+
+	// WHERE.
+	if p.accept(tokKeyword, "WHERE") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		plan = &logical.Filter{Child: plan, Cond: cond}
+	}
+
+	// GROUP BY.
+	var groupBy []sql.Expr
+	if p.accept(tokKeyword, "GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			groupBy = append(groupBy, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+
+	// HAVING.
+	var having sql.Expr
+	if p.accept(tokKeyword, "HAVING") {
+		having, err = p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	plan, err = p.buildSelect(plan, items, groupBy, having)
+	if err != nil {
+		return nil, err
+	}
+	if distinct {
+		plan = &logical.Distinct{Child: plan}
+	}
+
+	// ORDER BY.
+	if p.accept(tokKeyword, "ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		var orders []logical.SortOrder
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			desc := false
+			if p.accept(tokKeyword, "DESC") {
+				desc = true
+			} else {
+				p.accept(tokKeyword, "ASC")
+			}
+			orders = append(orders, logical.SortOrder{Expr: e, Desc: desc})
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		plan = &logical.Sort{Child: plan, Orders: orders}
+	}
+
+	// LIMIT.
+	if p.accept(tokKeyword, "LIMIT") {
+		t := p.advance()
+		if t.kind != tokNumber {
+			return nil, p.errorf("expected LIMIT count, found %s", t)
+		}
+		n, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil || n < 0 {
+			return nil, p.errorf("bad LIMIT %q", t.text)
+		}
+		plan = &logical.Limit{Child: plan, N: n}
+	}
+	return plan, nil
+}
+
+// buildSelect assembles Project/Aggregate nodes from the SELECT list,
+// splitting aggregate calls from group keys the way SQL semantics demand.
+func (p *parser) buildSelect(child logical.Plan, items []selectItem, groupBy []sql.Expr, having sql.Expr) (logical.Plan, error) {
+	hasAgg := having != nil && sql.ContainsAgg(having)
+	for _, it := range items {
+		if it.expr != nil && sql.ContainsAgg(it.expr) {
+			hasAgg = true
+		}
+	}
+	if len(groupBy) == 0 && !hasAgg {
+		// Plain projection.
+		var exprs []sql.Expr
+		for _, it := range items {
+			if it.star {
+				schema, err := child.Schema()
+				if err != nil {
+					return nil, err
+				}
+				for _, name := range schema.Names() {
+					exprs = append(exprs, sql.Col(name))
+				}
+				continue
+			}
+			exprs = append(exprs, it.expr)
+		}
+		return &logical.Project{Child: child, Exprs: exprs}, nil
+	}
+
+	// Aggregation. Collect aggregate calls from the select list and HAVING,
+	// build Aggregate(keys, aggs), then project the final shape on top.
+	agg := &logical.Aggregate{Child: child, Keys: groupBy}
+	aggNameOf := func(a *sql.AggExpr) string {
+		name := fmt.Sprintf("__agg%d", len(agg.Aggs))
+		agg.Aggs = append(agg.Aggs, logical.NamedAgg{Agg: a, Name: name})
+		return name
+	}
+	// replaceAggs swaps AggExpr subtrees for references to aggregate output
+	// columns, and group-key expressions for their output column names.
+	keyName := func(e sql.Expr) (string, bool) {
+		for _, k := range groupBy {
+			if k.String() == e.String() {
+				return sql.OutputName(k), true
+			}
+		}
+		return "", false
+	}
+	replaceAggs := func(e sql.Expr) (sql.Expr, error) {
+		var rewriteErr error
+		out := sql.TransformExpr(e, func(x sql.Expr) sql.Expr {
+			if a, ok := x.(*sql.AggExpr); ok {
+				return sql.Col(aggNameOf(a))
+			}
+			if name, ok := keyName(x); ok {
+				if _, isCol := x.(*sql.Column); !isCol {
+					return sql.Col(name)
+				}
+			}
+			return x
+		})
+		return out, rewriteErr
+	}
+
+	var finalExprs []sql.Expr
+	for _, it := range items {
+		if it.star {
+			return nil, p.errorf("SELECT * cannot be combined with GROUP BY")
+		}
+		name := sql.OutputName(it.expr)
+		rewritten, err := replaceAggs(it.expr)
+		if err != nil {
+			return nil, err
+		}
+		finalExprs = append(finalExprs, sql.As(rewritten, name))
+	}
+	var plan logical.Plan = agg
+	if having != nil {
+		h, err := replaceAggs(having)
+		if err != nil {
+			return nil, err
+		}
+		plan = &logical.Filter{Child: plan, Cond: h}
+	}
+	return &logical.Project{Child: plan, Exprs: finalExprs}, nil
+}
+
+// parseJoinType consumes a join prefix if present.
+func (p *parser) parseJoinType() (logical.JoinType, bool, error) {
+	switch {
+	case p.accept(tokKeyword, "JOIN"), func() bool {
+		if p.at(tokKeyword, "INNER") {
+			p.advance()
+			return true
+		}
+		return false
+	}():
+		if p.peek().kind == tokKeyword && p.peek().text == "JOIN" {
+			p.advance()
+		}
+		return logical.InnerJoin, true, nil
+	case p.accept(tokKeyword, "LEFT"):
+		p.accept(tokKeyword, "OUTER")
+		if p.accept(tokKeyword, "SEMI") {
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return 0, false, err
+			}
+			return logical.LeftSemiJoin, true, nil
+		}
+		if p.accept(tokKeyword, "ANTI") {
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return 0, false, err
+			}
+			return logical.LeftAntiJoin, true, nil
+		}
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return 0, false, err
+		}
+		return logical.LeftOuterJoin, true, nil
+	case p.accept(tokKeyword, "RIGHT"):
+		p.accept(tokKeyword, "OUTER")
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return 0, false, err
+		}
+		return logical.RightOuterJoin, true, nil
+	case p.accept(tokKeyword, "FULL"):
+		p.accept(tokKeyword, "OUTER")
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return 0, false, err
+		}
+		return logical.FullOuterJoin, true, nil
+	case p.accept(tokKeyword, "CROSS"):
+		if err := p.expectKeyword("JOIN"); err != nil {
+			return 0, false, err
+		}
+		return logical.InnerJoin, true, nil
+	default:
+		return 0, false, nil
+	}
+}
+
+// parseTableRef parses a named table (with optional alias) or a
+// parenthesized subquery.
+func (p *parser) parseTableRef() (logical.Plan, error) {
+	if p.accept(tokSymbol, "(") {
+		sub, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		alias, ok, err := p.parseAlias()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, p.errorf("subquery requires an alias")
+		}
+		return &logical.SubqueryAlias{Child: sub, Alias: alias}, nil
+	}
+	t := p.advance()
+	if t.kind != tokIdent {
+		return nil, p.errorf("expected table name, found %s", t)
+	}
+	if p.catalog == nil {
+		return nil, p.errorf("no catalog available to resolve table %q", t.text)
+	}
+	plan, err := p.catalog.ResolveTable(t.text)
+	if err != nil {
+		return nil, err
+	}
+	alias, ok, err := p.parseAlias()
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		return &logical.SubqueryAlias{Child: plan, Alias: alias}, nil
+	}
+	return &logical.SubqueryAlias{Child: plan, Alias: t.text}, nil
+}
+
+func (p *parser) parseAlias() (string, bool, error) {
+	if p.accept(tokKeyword, "AS") {
+		t := p.advance()
+		if t.kind != tokIdent {
+			return "", false, p.errorf("expected alias, found %s", t)
+		}
+		return t.text, true, nil
+	}
+	if p.at(tokIdent, "") {
+		return p.advance().text, true, nil
+	}
+	return "", false, nil
+}
+
+// ---------------------------------------------------------------- exprs
+
+// parseExpr parses with precedence: OR < AND < NOT < predicate < additive <
+// multiplicative < unary < primary.
+func (p *parser) parseExpr() (sql.Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (sql.Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = sql.Or(left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (sql.Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept(tokKeyword, "AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = sql.And(left, right)
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (sql.Expr, error) {
+	if p.accept(tokKeyword, "NOT") {
+		child, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return sql.Not(child), nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (sql.Expr, error) {
+	left, err := p.parseAdditive()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(tokSymbol, "="), p.at(tokSymbol, "=="):
+			p.advance()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = sql.Eq(left, r)
+		case p.at(tokSymbol, "<>"), p.at(tokSymbol, "!="):
+			p.advance()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = sql.Ne(left, r)
+		case p.at(tokSymbol, "<"):
+			p.advance()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = sql.Lt(left, r)
+		case p.at(tokSymbol, "<="):
+			p.advance()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = sql.Le(left, r)
+		case p.at(tokSymbol, ">"):
+			p.advance()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = sql.Gt(left, r)
+		case p.at(tokSymbol, ">="):
+			p.advance()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = sql.Ge(left, r)
+		case p.at(tokKeyword, "LIKE"):
+			p.advance()
+			r, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = sql.NewBinary(sql.OpLike, left, r)
+		case p.at(tokKeyword, "BETWEEN"):
+			p.advance()
+			lo, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.parseAdditive()
+			if err != nil {
+				return nil, err
+			}
+			left = sql.And(sql.Ge(left, lo), sql.Le(left, hi))
+		case p.at(tokKeyword, "IS"):
+			p.advance()
+			if p.accept(tokKeyword, "NOT") {
+				if err := p.expectKeyword("NULL"); err != nil {
+					return nil, err
+				}
+				left = sql.IsNotNull(left)
+			} else {
+				if err := p.expectKeyword("NULL"); err != nil {
+					return nil, err
+				}
+				left = sql.IsNull(left)
+			}
+		case p.at(tokKeyword, "IN"):
+			p.advance()
+			if err := p.expectSymbol("("); err != nil {
+				return nil, err
+			}
+			var list []sql.Expr
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				list = append(list, e)
+				if !p.accept(tokSymbol, ",") {
+					break
+				}
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			left = &sql.InList{Child: left, List: list}
+		case p.at(tokKeyword, "NOT"):
+			// "x NOT IN (...)", "x NOT LIKE y", "x NOT BETWEEN a AND b"
+			p.advance()
+			inner, err := p.parseNotSuffix(left)
+			if err != nil {
+				return nil, err
+			}
+			left = sql.Not(inner)
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseNotSuffix(left sql.Expr) (sql.Expr, error) {
+	switch {
+	case p.accept(tokKeyword, "IN"):
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var list []sql.Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return &sql.InList{Child: left, List: list}, nil
+	case p.accept(tokKeyword, "LIKE"):
+		r, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return sql.NewBinary(sql.OpLike, left, r), nil
+	case p.accept(tokKeyword, "BETWEEN"):
+		lo, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdditive()
+		if err != nil {
+			return nil, err
+		}
+		return sql.And(sql.Ge(left, lo), sql.Le(left, hi)), nil
+	default:
+		return nil, p.errorf("expected IN, LIKE or BETWEEN after NOT, found %s", p.peek())
+	}
+}
+
+func (p *parser) parseAdditive() (sql.Expr, error) {
+	left, err := p.parseMultiplicative()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(tokSymbol, "+"):
+			p.advance()
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = sql.Add(left, r)
+		case p.at(tokSymbol, "-"):
+			p.advance()
+			r, err := p.parseMultiplicative()
+			if err != nil {
+				return nil, err
+			}
+			left = sql.Sub(left, r)
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseMultiplicative() (sql.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.at(tokSymbol, "*"):
+			p.advance()
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = sql.Mul(left, r)
+		case p.at(tokSymbol, "/"):
+			p.advance()
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = sql.Div(left, r)
+		case p.at(tokSymbol, "%"):
+			p.advance()
+			r, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = sql.NewBinary(sql.OpMod, left, r)
+		default:
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (sql.Expr, error) {
+	if p.accept(tokSymbol, "-") {
+		child, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := child.(*sql.Literal); ok {
+			switch v := lit.Val.(type) {
+			case int64:
+				return &sql.Literal{Val: -v, Type: lit.Type}, nil
+			case float64:
+				return &sql.Literal{Val: -v, Type: lit.Type}, nil
+			}
+		}
+		return sql.Neg(child), nil
+	}
+	p.accept(tokSymbol, "+")
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (sql.Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.advance()
+		if !strings.ContainsAny(t.text, ".eE") {
+			n, err := strconv.ParseInt(t.text, 10, 64)
+			if err == nil {
+				return &sql.Literal{Val: n, Type: sql.TypeInt64}, nil
+			}
+		}
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errorf("bad number %q", t.text)
+		}
+		return &sql.Literal{Val: f, Type: sql.TypeFloat64}, nil
+	case t.kind == tokString:
+		p.advance()
+		return &sql.Literal{Val: t.text, Type: sql.TypeString}, nil
+	case t.kind == tokKeyword:
+		switch t.text {
+		case "NULL":
+			p.advance()
+			return &sql.Literal{Val: nil, Type: sql.TypeNull}, nil
+		case "TRUE":
+			p.advance()
+			return &sql.Literal{Val: true, Type: sql.TypeBool}, nil
+		case "FALSE":
+			p.advance()
+			return &sql.Literal{Val: false, Type: sql.TypeBool}, nil
+		case "CASE":
+			return p.parseCase()
+		case "CAST":
+			return p.parseCast()
+		case "INTERVAL":
+			p.advance()
+			return p.parseIntervalLiteral()
+		case "TIMESTAMP":
+			p.advance()
+			lit := p.advance()
+			if lit.kind != tokString {
+				return nil, p.errorf("expected string after TIMESTAMP, found %s", lit)
+			}
+			us, err := sql.ParseTimestamp(lit.text)
+			if err != nil {
+				return nil, p.errorf("%v", err)
+			}
+			return sql.TimestampLit(us), nil
+		case "DISTINCT":
+			return nil, p.errorf("DISTINCT is only valid directly after SELECT or inside count()")
+		}
+		return nil, p.errorf("unexpected keyword %s in expression", t.text)
+	case t.kind == tokIdent:
+		p.advance()
+		name := t.text
+		// Qualified column a.b
+		for p.at(tokSymbol, ".") {
+			p.advance()
+			part := p.advance()
+			if part.kind != tokIdent && part.kind != tokKeyword {
+				return nil, p.errorf("expected identifier after '.', found %s", part)
+			}
+			name += "." + part.text
+		}
+		if p.at(tokSymbol, "(") {
+			return p.parseCall(name)
+		}
+		return sql.Col(name), nil
+	case t.kind == tokSymbol && t.text == "(":
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errorf("unexpected %s in expression", t)
+	}
+}
+
+// parseCall parses fn(args...), routing aggregate names to AggExpr, the
+// window() function to WindowExpr, and everything else to FuncCall.
+func (p *parser) parseCall(name string) (sql.Expr, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	lower := strings.ToLower(name)
+
+	// count(*) and count(DISTINCT x).
+	if lower == "count" {
+		if p.accept(tokSymbol, "*") {
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return sql.CountAll(), nil
+		}
+		if p.accept(tokKeyword, "DISTINCT") {
+			arg, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return sql.NewAgg(sql.AggCountDistinct, arg), nil
+		}
+	}
+
+	var args []sql.Expr
+	if !p.at(tokSymbol, ")") {
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, e)
+			if !p.accept(tokSymbol, ",") {
+				break
+			}
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+
+	if kind, ok := sql.AggKindByName(lower); ok {
+		if len(args) != 1 {
+			return nil, p.errorf("aggregate %s takes exactly one argument", lower)
+		}
+		return sql.NewAgg(kind, args[0]), nil
+	}
+	if lower == "window" {
+		if len(args) < 2 || len(args) > 3 {
+			return nil, p.errorf("window(timeCol, size[, slide]) takes 2 or 3 arguments")
+		}
+		size, err := intervalArg(args[1])
+		if err != nil {
+			return nil, p.errorf("window size: %v", err)
+		}
+		slide := size
+		if len(args) == 3 {
+			slide, err = intervalArg(args[2])
+			if err != nil {
+				return nil, p.errorf("window slide: %v", err)
+			}
+		}
+		return &sql.WindowExpr{Time: args[0], Size: size, Slide: slide}, nil
+	}
+	if !sql.IsScalarFunc(lower) {
+		return nil, p.errorf("unknown function %q", name)
+	}
+	return sql.NewFunc(lower, args...), nil
+}
+
+// intervalArg extracts a duration (µs) from an interval or string literal.
+func intervalArg(e sql.Expr) (int64, error) {
+	lit, ok := e.(*sql.Literal)
+	if !ok {
+		return 0, fmt.Errorf("must be a literal interval")
+	}
+	switch v := lit.Val.(type) {
+	case int64:
+		if lit.Type == sql.TypeInterval {
+			return v, nil
+		}
+		return v * int64(time.Second/time.Microsecond), nil
+	case string:
+		return sql.ParseInterval(v)
+	default:
+		return 0, fmt.Errorf("must be an interval literal, got %s", lit)
+	}
+}
+
+// parseIntervalLiteral handles INTERVAL '10 seconds' and INTERVAL 10 SECONDS
+// (the unit keyword form is lexed as an identifier).
+func (p *parser) parseIntervalLiteral() (sql.Expr, error) {
+	t := p.advance()
+	switch t.kind {
+	case tokString:
+		us, err := sql.ParseInterval(t.text)
+		if err != nil {
+			return nil, p.errorf("%v", err)
+		}
+		return sql.IntervalLit(us), nil
+	case tokNumber:
+		unit := p.advance()
+		if unit.kind != tokIdent {
+			return nil, p.errorf("expected interval unit after INTERVAL %s", t.text)
+		}
+		us, err := sql.ParseInterval(t.text + " " + unit.text)
+		if err != nil {
+			return nil, p.errorf("%v", err)
+		}
+		return sql.IntervalLit(us), nil
+	default:
+		return nil, p.errorf("expected interval literal, found %s", t)
+	}
+}
+
+func (p *parser) parseCase() (sql.Expr, error) {
+	if err := p.expectKeyword("CASE"); err != nil {
+		return nil, err
+	}
+	c := &sql.Case{}
+	for p.accept(tokKeyword, "WHEN") {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("THEN"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Whens = append(c.Whens, sql.WhenClause{When: cond, Then: then})
+	}
+	if len(c.Whens) == 0 {
+		return nil, p.errorf("CASE requires at least one WHEN clause")
+	}
+	if p.accept(tokKeyword, "ELSE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		c.Else = e
+	}
+	if err := p.expectKeyword("END"); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (p *parser) parseCast() (sql.Expr, error) {
+	if err := p.expectKeyword("CAST"); err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	child, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	t := p.advance()
+	var typeName string
+	switch t.kind {
+	case tokIdent:
+		typeName = strings.ToLower(t.text)
+	case tokKeyword:
+		typeName = strings.ToLower(t.text)
+	default:
+		return nil, p.errorf("expected type name in CAST, found %s", t)
+	}
+	typ, ok := sql.TypeByName(typeName)
+	if !ok {
+		return nil, p.errorf("unknown type %q in CAST", typeName)
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return sql.NewCast(child, typ), nil
+}

@@ -1,0 +1,383 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"structream/internal/sql"
+	"structream/internal/sql/logical"
+)
+
+// testCatalog resolves a few fixed tables.
+type testCatalog struct{}
+
+func (testCatalog) ResolveTable(name string) (logical.Plan, error) {
+	switch strings.ToLower(name) {
+	case "events":
+		return &logical.Scan{Name: "events", Streaming: true, Out: sql.NewSchema(
+			sql.Field{Name: "user_id", Type: sql.TypeInt64},
+			sql.Field{Name: "country", Type: sql.TypeString},
+			sql.Field{Name: "latency", Type: sql.TypeFloat64},
+			sql.Field{Name: "time", Type: sql.TypeTimestamp},
+		)}, nil
+	case "campaigns":
+		return &logical.Scan{Name: "campaigns", Out: sql.NewSchema(
+			sql.Field{Name: "ad_id", Type: sql.TypeInt64},
+			sql.Field{Name: "campaign_id", Type: sql.TypeInt64},
+		)}, nil
+	default:
+		return nil, fmt.Errorf("unknown table %q", name)
+	}
+}
+
+func mustParse(t *testing.T, src string) logical.Plan {
+	t.Helper()
+	p, err := Parse(src, testCatalog{})
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return p
+}
+
+func mustSchema(t *testing.T, p logical.Plan) sql.Schema {
+	t.Helper()
+	s, err := p.Schema()
+	if err != nil {
+		t.Fatalf("Schema: %v (plan:\n%s)", err, logical.Explain(p))
+	}
+	return s
+}
+
+func TestSelectStar(t *testing.T) {
+	p := mustParse(t, "SELECT * FROM events")
+	s := mustSchema(t, p)
+	if s.Len() != 4 {
+		t.Errorf("schema = %s", s)
+	}
+	if _, ok := p.(*logical.Project); !ok {
+		t.Errorf("top plan = %T", p)
+	}
+}
+
+func TestSelectExprsAndAliases(t *testing.T) {
+	p := mustParse(t, "SELECT user_id AS uid, latency * 2 doubled, upper(country) FROM events")
+	s := mustSchema(t, p)
+	want := []string{"uid", "doubled", "upper(country)"}
+	for i, name := range want {
+		if s.Field(i).Name != name {
+			t.Errorf("field %d = %q, want %q", i, s.Field(i).Name, name)
+		}
+	}
+	if s.Field(1).Type != sql.TypeFloat64 {
+		t.Errorf("doubled type = %s", s.Field(1).Type)
+	}
+}
+
+func TestWhereOperatorPrecedence(t *testing.T) {
+	p := mustParse(t, "SELECT user_id FROM events WHERE latency > 1 + 2 * 3 AND country = 'CA' OR user_id = 5")
+	f := findFilter(p)
+	if f == nil {
+		t.Fatal("no filter in plan")
+	}
+	// OR binds loosest: ((latency > 7 AND country='CA') OR user_id=5)
+	top, ok := f.Cond.(*sql.Binary)
+	if !ok || top.Op != sql.OpOr {
+		t.Fatalf("top cond = %s", f.Cond)
+	}
+	left, ok := top.L.(*sql.Binary)
+	if !ok || left.Op != sql.OpAnd {
+		t.Fatalf("left of OR = %s", top.L)
+	}
+	cmp := left.L.(*sql.Binary)
+	add := cmp.R.(*sql.Binary)
+	if add.Op != sql.OpAdd {
+		t.Fatalf("expected 1 + (2*3), got %s", cmp.R)
+	}
+	if mul, ok := add.R.(*sql.Binary); !ok || mul.Op != sql.OpMul {
+		t.Fatalf("* should bind tighter than +: %s", add.R)
+	}
+}
+
+func findFilter(p logical.Plan) *logical.Filter {
+	var out *logical.Filter
+	logical.Walk(p, func(n logical.Plan) {
+		if f, ok := n.(*logical.Filter); ok && out == nil {
+			out = f
+		}
+	})
+	return out
+}
+
+func findAggregate(p logical.Plan) *logical.Aggregate {
+	var out *logical.Aggregate
+	logical.Walk(p, func(n logical.Plan) {
+		if a, ok := n.(*logical.Aggregate); ok && out == nil {
+			out = a
+		}
+	})
+	return out
+}
+
+func TestGroupByCount(t *testing.T) {
+	p := mustParse(t, "SELECT country, count(*) AS cnt FROM events GROUP BY country")
+	agg := findAggregate(p)
+	if agg == nil {
+		t.Fatal("no aggregate")
+	}
+	if len(agg.Keys) != 1 || len(agg.Aggs) != 1 {
+		t.Fatalf("agg = %s", agg)
+	}
+	s := mustSchema(t, p)
+	if s.Field(0).Name != "country" || s.Field(1).Name != "cnt" {
+		t.Errorf("schema = %s", s)
+	}
+	if s.Field(1).Type != sql.TypeInt64 {
+		t.Errorf("cnt type = %s", s.Field(1).Type)
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	p := mustParse(t, `SELECT country, avg(latency) AS al FROM events
+		GROUP BY country HAVING avg(latency) > 100 AND count(*) > 5`)
+	s := mustSchema(t, p)
+	if s.Len() != 2 {
+		t.Errorf("schema = %s", s)
+	}
+	agg := findAggregate(p)
+	// avg appears twice (select + having) and count once; the HAVING avg is
+	// a separate buffer, which is acceptable; at minimum 2 aggregates exist.
+	if len(agg.Aggs) < 2 {
+		t.Errorf("aggs = %v", agg)
+	}
+}
+
+func TestAggExprArithmetic(t *testing.T) {
+	p := mustParse(t, "SELECT sum(latency) / count(*) AS manual_avg FROM events")
+	s := mustSchema(t, p)
+	if s.Field(0).Name != "manual_avg" || s.Field(0).Type != sql.TypeFloat64 {
+		t.Errorf("schema = %s", s)
+	}
+}
+
+func TestWindowGrouping(t *testing.T) {
+	p := mustParse(t, `SELECT window(time, '10 seconds'), count(*) AS cnt
+		FROM events GROUP BY window(time, '10 seconds')`)
+	agg := findAggregate(p)
+	if agg == nil {
+		t.Fatal("no aggregate")
+	}
+	if _, ok := agg.Keys[0].(*sql.WindowExpr); !ok {
+		t.Fatalf("group key = %T", agg.Keys[0])
+	}
+	w := agg.Keys[0].(*sql.WindowExpr)
+	if w.Size != 10_000_000 || w.Slide != 10_000_000 {
+		t.Errorf("window = %v", w)
+	}
+}
+
+func TestSlidingWindowCall(t *testing.T) {
+	p := mustParse(t, `SELECT count(*) FROM events GROUP BY window(time, '1 hour', '5 minutes')`)
+	agg := findAggregate(p)
+	w := agg.Keys[0].(*sql.WindowExpr)
+	if w.Size != 3_600_000_000 || w.Slide != 300_000_000 {
+		t.Errorf("window = %+v", w)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	p := mustParse(t, `SELECT e.user_id, c.campaign_id FROM events e
+		JOIN campaigns c ON e.user_id = c.ad_id WHERE c.campaign_id > 10`)
+	var join *logical.Join
+	logical.Walk(p, func(n logical.Plan) {
+		if j, ok := n.(*logical.Join); ok {
+			join = j
+		}
+	})
+	if join == nil || join.Type != logical.InnerJoin {
+		t.Fatalf("join = %v", join)
+	}
+	s := mustSchema(t, p)
+	if s.Len() != 2 {
+		t.Errorf("schema = %s", s)
+	}
+}
+
+func TestJoinVariants(t *testing.T) {
+	for _, c := range []struct {
+		sql  string
+		want logical.JoinType
+	}{
+		{"LEFT JOIN", logical.LeftOuterJoin},
+		{"LEFT OUTER JOIN", logical.LeftOuterJoin},
+		{"RIGHT JOIN", logical.RightOuterJoin},
+		{"FULL OUTER JOIN", logical.FullOuterJoin},
+		{"INNER JOIN", logical.InnerJoin},
+		{"LEFT SEMI JOIN", logical.LeftSemiJoin},
+		{"LEFT ANTI JOIN", logical.LeftAntiJoin},
+	} {
+		p := mustParse(t, fmt.Sprintf(
+			"SELECT events.user_id FROM events %s campaigns ON events.user_id = campaigns.ad_id", c.sql))
+		var join *logical.Join
+		logical.Walk(p, func(n logical.Plan) {
+			if j, ok := n.(*logical.Join); ok {
+				join = j
+			}
+		})
+		if join == nil || join.Type != c.want {
+			t.Errorf("%s: join = %v", c.sql, join)
+		}
+	}
+}
+
+func TestOrderLimitDistinct(t *testing.T) {
+	p := mustParse(t, "SELECT DISTINCT country FROM events ORDER BY country DESC LIMIT 10")
+	lim, ok := p.(*logical.Limit)
+	if !ok || lim.N != 10 {
+		t.Fatalf("top = %T", p)
+	}
+	sort, ok := lim.Child.(*logical.Sort)
+	if !ok || !sort.Orders[0].Desc {
+		t.Fatalf("sort = %v", lim.Child)
+	}
+	if _, ok := sort.Child.(*logical.Distinct); !ok {
+		t.Fatalf("distinct missing: %T", sort.Child)
+	}
+}
+
+func TestSubquery(t *testing.T) {
+	p := mustParse(t, `SELECT cnt FROM (SELECT country, count(*) AS cnt FROM events GROUP BY country) t WHERE cnt > 3`)
+	s := mustSchema(t, p)
+	if s.Len() != 1 || s.Field(0).Name != "cnt" {
+		t.Errorf("schema = %s", s)
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	p := mustParse(t, "SELECT country FROM events UNION ALL SELECT country FROM events")
+	if _, ok := p.(*logical.Union); !ok {
+		t.Fatalf("top = %T", p)
+	}
+	mustSchema(t, p)
+}
+
+func TestLiteralForms(t *testing.T) {
+	e, err := ParseExpr("CAST('5' AS bigint) + 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Bind(sql.Schema{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Eval(nil); got != int64(7) {
+		t.Errorf("eval = %v", got)
+	}
+	for _, src := range []string{
+		"1.5e3", "-42", "TRUE", "FALSE", "NULL", "'str''with quote'",
+		"TIMESTAMP '2018-06-10 00:00:00'", "INTERVAL '10 seconds'", "INTERVAL 5 minutes",
+	} {
+		if _, err := ParseExpr(src); err != nil {
+			t.Errorf("ParseExpr(%q): %v", src, err)
+		}
+	}
+}
+
+func TestCaseWhenParsing(t *testing.T) {
+	e, err := ParseExpr("CASE WHEN 1 > 2 THEN 'a' WHEN 2 > 1 THEN 'b' ELSE 'c' END")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Bind(sql.Schema{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Eval(nil); got != "b" {
+		t.Errorf("CASE = %v", got)
+	}
+}
+
+func TestPredicateForms(t *testing.T) {
+	cases := map[string]any{
+		"5 BETWEEN 1 AND 10":     true,
+		"5 NOT BETWEEN 1 AND 10": false,
+		"'abc' LIKE 'a%'":        true,
+		"'abc' NOT LIKE 'a%'":    false,
+		"3 IN (1, 2, 3)":         true,
+		"3 NOT IN (1, 2)":        true,
+		"NULL IS NULL":           true,
+		"NULL IS NOT NULL":       false,
+		"NOT FALSE":              true,
+	}
+	for src, want := range cases {
+		e, err := ParseExpr(src)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", src, err)
+			continue
+		}
+		b, err := e.Bind(sql.Schema{})
+		if err != nil {
+			t.Errorf("Bind(%q): %v", src, err)
+			continue
+		}
+		if got := b.Eval(nil); got != want {
+			t.Errorf("%q = %v, want %v", src, got, want)
+		}
+	}
+}
+
+func TestCountDistinctParsing(t *testing.T) {
+	p := mustParse(t, "SELECT count(DISTINCT country) FROM events")
+	agg := findAggregate(p)
+	if agg.Aggs[0].Agg.Kind != sql.AggCountDistinct {
+		t.Errorf("kind = %v", agg.Aggs[0].Agg.Kind)
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	mustParse(t, `-- leading comment
+		SELECT country /* block */ FROM events -- trailing`)
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM events",
+		"SELECT * FROM",
+		"SELECT * FROM nosuchtable",
+		"SELECT * FROM events WHERE",
+		"SELECT * FROM events LIMIT 'x'",
+		"SELECT * FROM events GROUP BY",
+		"SELECT a FROM events UNION SELECT a FROM events", // UNION without ALL
+		"SELECT no_such_func(1) FROM events",
+		"SELECT * FROM (SELECT country FROM events)", // subquery without alias
+		"SELECT CASE END FROM events",
+		"SELECT * FROM events extra garbage tokens here ~~",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src, testCatalog{}); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestStarWithGroupByRejected(t *testing.T) {
+	if _, err := Parse("SELECT * FROM events GROUP BY country", testCatalog{}); err == nil {
+		t.Error("SELECT * with GROUP BY should be rejected")
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	if _, err := Parse("SELECT 'oops FROM events", testCatalog{}); err == nil {
+		t.Error("unterminated string should be a lex error")
+	}
+}
+
+func TestBackquotedIdentifier(t *testing.T) {
+	p := mustParse(t, "SELECT `country` FROM events")
+	s := mustSchema(t, p)
+	if s.Field(0).Name != "country" {
+		t.Errorf("schema = %s", s)
+	}
+}

@@ -1,0 +1,156 @@
+package physical
+
+import (
+	"fmt"
+	"testing"
+
+	"structream/internal/sql"
+	"structream/internal/sql/codec"
+)
+
+// Micro-benchmarks quantifying the execution-layer design choices that
+// produce the Fig 6a gap: slab-allocated rows vs per-row allocation, and
+// alloc-free hash-aggregation key lookups vs naive per-row key strings.
+// Run with: go test ./internal/sql/physical -bench Ablation -benchmem
+
+func benchRows(n int) []sql.Row {
+	rows := make([]sql.Row, n)
+	for i := range rows {
+		rows[i] = sql.Row{fmt.Sprintf("k%d", i%100), int64(i), float64(i)}
+	}
+	return rows
+}
+
+func BenchmarkAblationProjectArena(b *testing.B) {
+	rows := benchRows(10_000)
+	evals := []func(sql.Row) sql.Value{
+		func(r sql.Row) sql.Value { return r[0] },
+		func(r sql.Row) sql.Value { return r[2] },
+	}
+	fn := ProjectFunc(evals)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(rows)))
+	for i := 0; i < b.N; i++ {
+		fn(rows)
+	}
+}
+
+// BenchmarkAblationProjectPerRowAlloc is the same projection with the
+// naive one-make-per-row strategy the arena replaced.
+func BenchmarkAblationProjectPerRowAlloc(b *testing.B) {
+	rows := benchRows(10_000)
+	evals := []func(sql.Row) sql.Value{
+		func(r sql.Row) sql.Value { return r[0] },
+		func(r sql.Row) sql.Value { return r[2] },
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(rows)))
+	for i := 0; i < b.N; i++ {
+		out := make([]sql.Row, len(rows))
+		for j, r := range rows {
+			nr := make(sql.Row, len(evals))
+			for k, e := range evals {
+				nr[k] = e(r)
+			}
+			out[j] = nr
+		}
+		_ = out
+	}
+}
+
+func BenchmarkAblationHashAggScratchKey(b *testing.B) {
+	rows := benchRows(10_000)
+	schema := sql.NewSchema(
+		sql.Field{Name: "k", Type: sql.TypeString},
+		sql.Field{Name: "n", Type: sql.TypeInt64},
+		sql.Field{Name: "v", Type: sql.TypeFloat64},
+	)
+	agg, err := sql.CountAll().BindAgg(schema)
+	if err != nil {
+		b.Fatal(err)
+	}
+	keyEval := []func(sql.Row) sql.Value{func(r sql.Row) sql.Value { return r[0] }}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(rows)))
+	for i := 0; i < b.N; i++ {
+		h := NewHashAggregator(keyEval, []sql.BoundAgg{agg})
+		for _, r := range rows {
+			h.Update(r)
+		}
+	}
+}
+
+// BenchmarkAblationHashAggNaiveKey allocates a key slice and key string
+// per row — the strategy the scratch-encoder lookup replaced.
+func BenchmarkAblationHashAggNaiveKey(b *testing.B) {
+	rows := benchRows(10_000)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(rows)))
+	for i := 0; i < b.N; i++ {
+		groups := map[string]int64{}
+		for _, r := range rows {
+			key := make([]sql.Value, 1)
+			key[0] = r[0]
+			groups[codec.KeyString(key)]++
+		}
+		_ = groups
+	}
+}
+
+func BenchmarkFusedFilterProjectPipeline(b *testing.B) {
+	rows := benchRows(10_000)
+	src := NewSliceSource(sql.NewSchema(
+		sql.Field{Name: "k", Type: sql.TypeString},
+		sql.Field{Name: "n", Type: sql.TypeInt64},
+		sql.Field{Name: "v", Type: sql.TypeFloat64},
+	), rows)
+	b.ReportAllocs()
+	b.SetBytes(int64(len(rows)))
+	for i := 0; i < b.N; i++ {
+		src2 := NewSliceSource(src.Sch, rows)
+		op := NewFused(
+			NewFused(NewScan(src2), src.Sch, FilterFunc(func(r sql.Row) sql.Value {
+				return r[1].(int64)%2 == int64(0)
+			})),
+			src.Sch,
+			ProjectFunc([]func(sql.Row) sql.Value{func(r sql.Row) sql.Value { return r[0] }}),
+		)
+		if _, err := Drain(op); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkHashJoinBuildProbe(b *testing.B) {
+	leftSchema := sql.NewSchema(
+		sql.Field{Name: "a", Type: sql.TypeInt64},
+		sql.Field{Name: "x", Type: sql.TypeString},
+	)
+	rightSchema := sql.NewSchema(
+		sql.Field{Name: "b", Type: sql.TypeInt64},
+		sql.Field{Name: "y", Type: sql.TypeString},
+	)
+	var left, right []sql.Row
+	for i := 0; i < 5000; i++ {
+		left = append(left, sql.Row{int64(i % 1000), "l"})
+	}
+	for i := 0; i < 1000; i++ {
+		right = append(right, sql.Row{int64(i), "r"})
+	}
+	cond := sql.Eq(sql.Col("a"), sql.Col("b"))
+	b.ReportAllocs()
+	b.SetBytes(int64(len(left)))
+	for i := 0; i < b.N; i++ {
+		j, err := NewHashJoin(
+			NewScan(NewSliceSource(leftSchema, left)),
+			NewScan(NewSliceSource(rightSchema, right)),
+			0, cond, leftSchema.Concat(rightSchema))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows, err := Drain(j)
+		if err != nil || len(rows) != 5000 {
+			b.Fatalf("rows=%d err=%v", len(rows), err)
+		}
+	}
+}

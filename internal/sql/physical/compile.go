@@ -1,0 +1,251 @@
+package physical
+
+import (
+	"fmt"
+
+	"structream/internal/sql"
+	"structream/internal/sql/logical"
+)
+
+// ScanResolver maps a logical Scan leaf to a concrete RowSource. The batch
+// session resolves tables to their stored rows; the streaming engine
+// resolves stream scans to the current epoch's data.
+type ScanResolver func(scan *logical.Scan) (RowSource, error)
+
+// Compile lowers an analyzed, optimized logical plan to a physical operator
+// tree for batch execution. Streaming plans are lowered by the incremental
+// package instead, which substitutes stateful operators.
+func Compile(plan logical.Plan, resolve ScanResolver) (Operator, error) {
+	switch n := plan.(type) {
+	case *logical.Scan:
+		src, err := resolve(n)
+		if err != nil {
+			return nil, err
+		}
+		return NewScan(src), nil
+
+	case *logical.SubqueryAlias:
+		child, err := Compile(n.Child, resolve)
+		if err != nil {
+			return nil, err
+		}
+		schema, err := n.Schema()
+		if err != nil {
+			return nil, err
+		}
+		return NewAlias(child, schema), nil
+
+	case *logical.Filter:
+		child, err := Compile(n.Child, resolve)
+		if err != nil {
+			return nil, err
+		}
+		b, err := n.Cond.Bind(child.Schema())
+		if err != nil {
+			return nil, err
+		}
+		return NewFused(child, child.Schema(), FilterFunc(b.Eval)), nil
+
+	case *logical.Project:
+		child, err := Compile(n.Child, resolve)
+		if err != nil {
+			return nil, err
+		}
+		evals, schema, err := BindProjection(n.Exprs, child.Schema())
+		if err != nil {
+			return nil, err
+		}
+		return NewFused(child, schema, ProjectFunc(evals)), nil
+
+	case *logical.WindowAssign:
+		child, err := Compile(n.Child, resolve)
+		if err != nil {
+			return nil, err
+		}
+		t, err := n.Window.Time.Bind(child.Schema())
+		if err != nil {
+			return nil, err
+		}
+		schema, err := n.Schema()
+		if err != nil {
+			return nil, err
+		}
+		return NewFused(child, schema, WindowAssignFunc(t.Eval, n.Window)), nil
+
+	case *logical.WithWatermark:
+		// Watermarks are metadata for the streaming engine; in batch
+		// execution they are a no-op passthrough.
+		return Compile(n.Child, resolve)
+
+	case *logical.Aggregate:
+		child, err := Compile(n.Child, resolve)
+		if err != nil {
+			return nil, err
+		}
+		keyEvals, aggs, schema, err := BindAggregate(n, child.Schema())
+		if err != nil {
+			return nil, err
+		}
+		return NewAggregate(child, schema, keyEvals, aggs), nil
+
+	case *logical.Join:
+		left, err := Compile(n.Left, resolve)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Compile(n.Right, resolve)
+		if err != nil {
+			return nil, err
+		}
+		schema, err := n.Schema()
+		if err != nil {
+			return nil, err
+		}
+		return NewHashJoin(left, right, n.Type, n.Cond, schema)
+
+	case *logical.Sort:
+		child, err := Compile(n.Child, resolve)
+		if err != nil {
+			return nil, err
+		}
+		orders, err := BindSortOrders(n.Orders, child.Schema())
+		if err != nil {
+			return nil, err
+		}
+		return NewSort(child, orders), nil
+
+	case *logical.Limit:
+		child, err := Compile(n.Child, resolve)
+		if err != nil {
+			return nil, err
+		}
+		return NewLimit(child, n.N), nil
+
+	case *logical.Distinct:
+		child, err := Compile(n.Child, resolve)
+		if err != nil {
+			return nil, err
+		}
+		keyIdxs, err := ResolveColumns(n.Cols, child.Schema())
+		if err != nil {
+			return nil, err
+		}
+		return NewDistinct(child, keyIdxs), nil
+
+	case *logical.Union:
+		left, err := Compile(n.Left, resolve)
+		if err != nil {
+			return nil, err
+		}
+		right, err := Compile(n.Right, resolve)
+		if err != nil {
+			return nil, err
+		}
+		schema, err := n.Schema()
+		if err != nil {
+			return nil, err
+		}
+		return NewUnion(schema, left, right), nil
+
+	case *logical.MapGroups:
+		child, err := Compile(n.Child, resolve)
+		if err != nil {
+			return nil, err
+		}
+		keyEvals, err := BindKeyExprs(n.Keys, child.Schema())
+		if err != nil {
+			return nil, err
+		}
+		return NewMapGroupsBatch(child, n.Out, keyEvals, n.Func), nil
+
+	default:
+		return nil, fmt.Errorf("physical: no batch implementation for %T", plan)
+	}
+}
+
+// BindProjection binds projection expressions, returning the evaluators and
+// the output schema.
+func BindProjection(exprs []sql.Expr, in sql.Schema) ([]func(sql.Row) sql.Value, sql.Schema, error) {
+	evals := make([]func(sql.Row) sql.Value, len(exprs))
+	fields := make([]sql.Field, len(exprs))
+	for i, e := range exprs {
+		b, err := e.Bind(in)
+		if err != nil {
+			return nil, sql.Schema{}, err
+		}
+		evals[i] = b.Eval
+		fields[i] = sql.Field{Name: sql.OutputName(e), Type: b.Type}
+	}
+	return evals, sql.Schema{Fields: fields}, nil
+}
+
+// BindKeyExprs binds a list of grouping key expressions.
+func BindKeyExprs(keys []sql.Expr, in sql.Schema) ([]func(sql.Row) sql.Value, error) {
+	evals := make([]func(sql.Row) sql.Value, len(keys))
+	for i, k := range keys {
+		b, err := k.Bind(in)
+		if err != nil {
+			return nil, err
+		}
+		evals[i] = b.Eval
+	}
+	return evals, nil
+}
+
+// BindAggregate binds an Aggregate node's keys and aggregate functions
+// against the input schema, returning the pieces the hash aggregator needs
+// plus the output schema.
+func BindAggregate(a *logical.Aggregate, in sql.Schema) ([]func(sql.Row) sql.Value, []sql.BoundAgg, sql.Schema, error) {
+	keyEvals, err := BindKeyExprs(a.Keys, in)
+	if err != nil {
+		return nil, nil, sql.Schema{}, err
+	}
+	aggs := make([]sql.BoundAgg, len(a.Aggs))
+	fields := make([]sql.Field, 0, len(a.Keys)+len(a.Aggs))
+	for _, k := range a.Keys {
+		b, err := k.Bind(in)
+		if err != nil {
+			return nil, nil, sql.Schema{}, err
+		}
+		fields = append(fields, sql.Field{Name: sql.OutputName(k), Type: b.Type})
+	}
+	for i, na := range a.Aggs {
+		ba, err := na.Agg.BindAgg(in)
+		if err != nil {
+			return nil, nil, sql.Schema{}, err
+		}
+		aggs[i] = ba
+		fields = append(fields, sql.Field{Name: na.Name, Type: ba.ResultType})
+	}
+	return keyEvals, aggs, sql.Schema{Fields: fields}, nil
+}
+
+// ResolveColumns maps column names to ordinals in schema; nil input yields
+// nil output (meaning "all columns" to callers).
+func ResolveColumns(names []string, schema sql.Schema) ([]int, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	out := make([]int, len(names))
+	for i, name := range names {
+		idx, err := schema.Resolve(name)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = idx
+	}
+	return out, nil
+}
+
+// BindSortOrders binds ORDER BY terms.
+func BindSortOrders(orders []logical.SortOrder, in sql.Schema) ([]BoundSortOrder, error) {
+	out := make([]BoundSortOrder, len(orders))
+	for i, o := range orders {
+		b, err := o.Expr.Bind(in)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = BoundSortOrder{Eval: b.Eval, Desc: o.Desc}
+	}
+	return out, nil
+}

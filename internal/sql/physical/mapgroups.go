@@ -1,0 +1,142 @@
+package physical
+
+import (
+	"time"
+
+	"structream/internal/sql"
+	"structream/internal/sql/codec"
+	"structream/internal/sql/logical"
+)
+
+// GroupStateImpl is the concrete logical.GroupState handle. The batch
+// operator uses it directly (state never pre-exists and timeouts never
+// fire, per §4.3.2: "in batch mode the update function is called once");
+// the streaming stateful operator loads/saves it against the state store.
+type GroupStateImpl struct {
+	StateRow   sql.Row
+	Present    bool
+	Removed    bool
+	Dirty      bool
+	TimeoutAt  int64 // µs; 0 = no timeout armed
+	TimedOut   bool
+	WM         int64 // current event-time watermark, µs
+	Now        int64 // current processing time, µs
+	EventTimed bool  // event-time (vs processing-time) timeout semantics
+}
+
+// Exists reports whether state is stored for the key.
+func (g *GroupStateImpl) Exists() bool { return g.Present && !g.Removed }
+
+// Get returns the state row, nil when absent.
+func (g *GroupStateImpl) Get() sql.Row {
+	if !g.Exists() {
+		return nil
+	}
+	return g.StateRow
+}
+
+// Update replaces the state row.
+func (g *GroupStateImpl) Update(state sql.Row) {
+	g.StateRow = state
+	g.Present = true
+	g.Removed = false
+	g.Dirty = true
+}
+
+// Remove drops the key's state.
+func (g *GroupStateImpl) Remove() {
+	g.Removed = true
+	g.Dirty = true
+	g.StateRow = nil
+}
+
+// SetTimeoutDuration arms a processing-time timeout d from now.
+func (g *GroupStateImpl) SetTimeoutDuration(d time.Duration) {
+	g.TimeoutAt = g.Now + d.Microseconds()
+	g.Dirty = true
+}
+
+// SetTimeoutTimestamp arms an event-time timeout: the key times out when
+// the watermark passes us.
+func (g *GroupStateImpl) SetTimeoutTimestamp(us int64) {
+	g.TimeoutAt = us
+	g.EventTimed = true
+	g.Dirty = true
+}
+
+// HasTimedOut reports whether this call is a timeout callback.
+func (g *GroupStateImpl) HasTimedOut() bool { return g.TimedOut }
+
+// Watermark returns the current event-time watermark in µs.
+func (g *GroupStateImpl) Watermark() int64 { return g.WM }
+
+// ProcessingTime returns the current processing time in µs.
+func (g *GroupStateImpl) ProcessingTime() int64 { return g.Now }
+
+// mapGroupsOp executes flatMapGroupsWithState in batch mode: all rows for a
+// key are collected and the update function is invoked exactly once per key
+// with empty initial state.
+type mapGroupsOp struct {
+	child    Operator
+	keyEvals []func(sql.Row) sql.Value
+	fn       logical.UpdateFunc
+	schema   sql.Schema
+	done     bool
+}
+
+// NewMapGroupsBatch builds the batch-mode stateful operator.
+func NewMapGroupsBatch(child Operator, schema sql.Schema, keyEvals []func(sql.Row) sql.Value, fn logical.UpdateFunc) Operator {
+	return &mapGroupsOp{child: child, keyEvals: keyEvals, fn: fn, schema: schema}
+}
+
+func (m *mapGroupsOp) Schema() sql.Schema { return m.schema }
+func (m *mapGroupsOp) Open() error        { return m.child.Open() }
+
+func (m *mapGroupsOp) Next() ([]sql.Row, error) {
+	if m.done {
+		return nil, nil
+	}
+	m.done = true
+	type group struct {
+		key  sql.Row
+		rows []sql.Row
+	}
+	groups := map[string]*group{}
+	var order []string
+	for {
+		batch, err := m.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if batch == nil {
+			break
+		}
+		for _, r := range batch {
+			key := make(sql.Row, len(m.keyEvals))
+			for i, e := range m.keyEvals {
+				key[i] = e(r)
+			}
+			ks := codec.KeyString(key)
+			g, ok := groups[ks]
+			if !ok {
+				g = &group{key: key}
+				groups[ks] = g
+				order = append(order, ks)
+			}
+			g.rows = append(g.rows, r)
+		}
+	}
+	now := time.Now().UnixMicro()
+	var out []sql.Row
+	for _, ks := range order {
+		g := groups[ks]
+		state := &GroupStateImpl{Now: now}
+		out = append(out, m.fn(g.key, g.rows, state)...)
+	}
+	if len(out) == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+func (m *mapGroupsOp) Close() error { return m.child.Close() }

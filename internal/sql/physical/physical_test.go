@@ -1,0 +1,424 @@
+package physical
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"structream/internal/sql"
+	"structream/internal/sql/analysis"
+	"structream/internal/sql/logical"
+	"structream/internal/sql/optimizer"
+	"structream/internal/sql/parser"
+)
+
+// testCatalog serves two small tables: events and campaigns.
+type testCatalog struct {
+	events    []sql.Row
+	campaigns []sql.Row
+}
+
+var eventsSchema = sql.NewSchema(
+	sql.Field{Name: "user_id", Type: sql.TypeInt64},
+	sql.Field{Name: "country", Type: sql.TypeString},
+	sql.Field{Name: "latency", Type: sql.TypeFloat64},
+	sql.Field{Name: "time", Type: sql.TypeTimestamp},
+	sql.Field{Name: "ad_id", Type: sql.TypeInt64},
+)
+
+var campaignsSchema = sql.NewSchema(
+	sql.Field{Name: "ad_id", Type: sql.TypeInt64},
+	sql.Field{Name: "campaign_id", Type: sql.TypeInt64},
+)
+
+func newTestCatalog() *testCatalog {
+	sec := int64(1_000_000)
+	return &testCatalog{
+		events: []sql.Row{
+			{int64(1), "CA", 10.0, 1 * sec, int64(100)},
+			{int64(2), "CA", 20.0, 12 * sec, int64(101)},
+			{int64(3), "US", 30.0, 22 * sec, int64(100)},
+			{int64(4), "US", 40.0, 23 * sec, int64(102)},
+			{int64(5), "DE", 50.0, 35 * sec, int64(999)}, // no campaign
+			{int64(1), "CA", 60.0, 41 * sec, int64(101)},
+		},
+		campaigns: []sql.Row{
+			{int64(100), int64(1000)},
+			{int64(101), int64(1000)},
+			{int64(102), int64(2000)},
+		},
+	}
+}
+
+func (c *testCatalog) ResolveTable(name string) (logical.Plan, error) {
+	switch strings.ToLower(name) {
+	case "events":
+		return &logical.Scan{Name: "events", Out: eventsSchema, Handle: c.events}, nil
+	case "campaigns":
+		return &logical.Scan{Name: "campaigns", Out: campaignsSchema, Handle: c.campaigns}, nil
+	default:
+		return nil, fmt.Errorf("unknown table %q", name)
+	}
+}
+
+func (c *testCatalog) resolver(scan *logical.Scan) (RowSource, error) {
+	rows, ok := scan.Handle.([]sql.Row)
+	if !ok {
+		return nil, fmt.Errorf("bad handle for %s", scan.Name)
+	}
+	return NewSliceSource(scan.Out, rows), nil
+}
+
+// runSQL executes a SQL query end to end through parse → analyze →
+// optimize → compile → drain.
+func runSQL(t *testing.T, cat *testCatalog, query string) []sql.Row {
+	t.Helper()
+	plan, err := parser.Parse(query, cat)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	analyzed, err := analysis.Analyze(plan)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	optimized := optimizer.Optimize(analyzed)
+	op, err := Compile(optimized, cat.resolver)
+	if err != nil {
+		t.Fatalf("compile: %v\nplan:\n%s", err, logical.Explain(optimized))
+	}
+	rows, err := Drain(op)
+	if err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	return rows
+}
+
+// rowsToStrings renders rows sorted for order-independent comparison.
+func rowsToStrings(rows []sql.Row) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = r.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func expectRows(t *testing.T, got []sql.Row, want ...string) {
+	t.Helper()
+	gs := rowsToStrings(got)
+	sort.Strings(want)
+	if len(gs) != len(want) {
+		t.Fatalf("got %d rows %v, want %d %v", len(gs), gs, len(want), want)
+	}
+	for i := range gs {
+		if gs[i] != want[i] {
+			t.Errorf("row %d: got %s, want %s", i, gs[i], want[i])
+		}
+	}
+}
+
+func TestSelectWhere(t *testing.T) {
+	got := runSQL(t, newTestCatalog(), "SELECT user_id, latency FROM events WHERE country = 'CA'")
+	expectRows(t, got, "[1, 10.0]", "[2, 20.0]", "[1, 60.0]")
+}
+
+func TestProjectionExpressions(t *testing.T) {
+	got := runSQL(t, newTestCatalog(),
+		"SELECT user_id * 10 AS x, lower(country) FROM events WHERE latency >= 50")
+	expectRows(t, got, "[50, de]", "[10, ca]")
+}
+
+func TestGroupByCount(t *testing.T) {
+	got := runSQL(t, newTestCatalog(),
+		"SELECT country, count(*) AS cnt FROM events GROUP BY country")
+	expectRows(t, got, "[CA, 3]", "[US, 2]", "[DE, 1]")
+}
+
+func TestGroupByMultipleAggs(t *testing.T) {
+	got := runSQL(t, newTestCatalog(), `SELECT country, sum(latency) AS s,
+		avg(latency) AS a, min(latency) AS lo, max(latency) AS hi
+		FROM events GROUP BY country`)
+	expectRows(t, got,
+		"[CA, 90.0, 30.0, 10.0, 60.0]",
+		"[US, 70.0, 35.0, 30.0, 40.0]",
+		"[DE, 50.0, 50.0, 50.0, 50.0]")
+}
+
+func TestGlobalAggregate(t *testing.T) {
+	got := runSQL(t, newTestCatalog(), "SELECT count(*) AS n, sum(latency) AS s FROM events")
+	expectRows(t, got, "[6, 210.0]")
+}
+
+func TestGlobalAggregateEmptyInput(t *testing.T) {
+	cat := newTestCatalog()
+	cat.events = nil
+	got := runSQL(t, cat, "SELECT count(*) AS n, max(latency) AS m FROM events")
+	expectRows(t, got, "[0, NULL]")
+}
+
+func TestHaving(t *testing.T) {
+	got := runSQL(t, newTestCatalog(),
+		"SELECT country, count(*) AS cnt FROM events GROUP BY country HAVING count(*) > 1")
+	expectRows(t, got, "[CA, 3]", "[US, 2]")
+}
+
+func TestInnerJoin(t *testing.T) {
+	got := runSQL(t, newTestCatalog(), `SELECT e.user_id, c.campaign_id
+		FROM events e JOIN campaigns c ON e.ad_id = c.ad_id`)
+	expectRows(t, got, "[1, 1000]", "[2, 1000]", "[3, 1000]", "[4, 2000]", "[1, 1000]")
+}
+
+func TestLeftOuterJoin(t *testing.T) {
+	got := runSQL(t, newTestCatalog(), `SELECT e.user_id, c.campaign_id
+		FROM events e LEFT JOIN campaigns c ON e.ad_id = c.ad_id WHERE e.country = 'DE'`)
+	expectRows(t, got, "[5, NULL]")
+}
+
+func TestRightOuterJoin(t *testing.T) {
+	cat := newTestCatalog()
+	cat.campaigns = append(cat.campaigns, sql.Row{int64(555), int64(3000)})
+	got := runSQL(t, cat, `SELECT e.user_id, c.campaign_id
+		FROM events e RIGHT JOIN campaigns c ON e.ad_id = c.ad_id HAVING 1 = 1`)
+	// 5 matched rows plus the unmatched campaign null-padded on the left.
+	if len(got) != 6 {
+		t.Fatalf("rows = %v", rowsToStrings(got))
+	}
+	found := false
+	for _, r := range got {
+		if r[0] == nil && r[1] == int64(3000) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("missing null-padded unmatched right row")
+	}
+}
+
+func TestSemiAntiJoin(t *testing.T) {
+	semi := runSQL(t, newTestCatalog(), `SELECT user_id FROM events
+		LEFT SEMI JOIN campaigns ON events.ad_id = campaigns.ad_id`)
+	if len(semi) != 5 {
+		t.Errorf("semi join rows = %v", rowsToStrings(semi))
+	}
+	anti := runSQL(t, newTestCatalog(), `SELECT user_id FROM events
+		LEFT ANTI JOIN campaigns ON events.ad_id = campaigns.ad_id`)
+	expectRows(t, anti, "[5]")
+}
+
+func TestJoinWithResidual(t *testing.T) {
+	got := runSQL(t, newTestCatalog(), `SELECT e.user_id FROM events e
+		JOIN campaigns c ON e.ad_id = c.ad_id AND e.latency > 25`)
+	// Users 3 and 4 plus user 1's second event (latency 60, ad 101).
+	expectRows(t, got, "[3]", "[4]", "[1]")
+}
+
+func TestJoinNullKeysDontMatch(t *testing.T) {
+	cat := newTestCatalog()
+	cat.events = append(cat.events, sql.Row{int64(9), "FR", 1.0, int64(0), nil})
+	got := runSQL(t, cat, `SELECT e.user_id FROM events e JOIN campaigns c ON e.ad_id = c.ad_id`)
+	for _, r := range got {
+		if r[0] == int64(9) {
+			t.Error("NULL join key must not match")
+		}
+	}
+}
+
+func TestOrderByLimit(t *testing.T) {
+	got := runSQL(t, newTestCatalog(),
+		"SELECT user_id, latency FROM events ORDER BY latency DESC LIMIT 2")
+	if len(got) != 2 || got[0][1] != 60.0 || got[1][1] != 50.0 {
+		t.Errorf("rows = %v", got)
+	}
+}
+
+func TestOrderByAscNullsFirst(t *testing.T) {
+	cat := newTestCatalog()
+	cat.events = append(cat.events, sql.Row{int64(9), "FR", nil, int64(0), nil})
+	got := runSQL(t, cat, "SELECT latency FROM events ORDER BY latency")
+	if got[0][0] != nil {
+		t.Errorf("NULL should sort first: %v", got)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	got := runSQL(t, newTestCatalog(), "SELECT DISTINCT country FROM events")
+	expectRows(t, got, "[CA]", "[US]", "[DE]")
+}
+
+func TestUnionAll(t *testing.T) {
+	got := runSQL(t, newTestCatalog(),
+		"SELECT country FROM events WHERE user_id = 1 UNION ALL SELECT country FROM events WHERE user_id = 3")
+	expectRows(t, got, "[CA]", "[CA]", "[US]")
+}
+
+func TestTumblingWindowAggregate(t *testing.T) {
+	got := runSQL(t, newTestCatalog(), `SELECT window(time, '10 seconds') AS w, count(*) AS cnt
+		FROM events GROUP BY window(time, '10 seconds')`)
+	// Buckets: [0,10): t=1 → 1; [10,20): t=12 → 1; [20,30): 22,23 → 2;
+	// [30,40): 35 → 1; [40,50): 41 → 1.
+	if len(got) != 5 {
+		t.Fatalf("windows = %v", rowsToStrings(got))
+	}
+	var total int64
+	for _, r := range got {
+		if _, ok := r[0].(sql.Window); !ok {
+			t.Fatalf("first column should be a window, got %T", r[0])
+		}
+		total += r[1].(int64)
+	}
+	if total != 6 {
+		t.Errorf("total count = %d", total)
+	}
+}
+
+func TestSlidingWindowAggregate(t *testing.T) {
+	got := runSQL(t, newTestCatalog(), `SELECT count(*) AS cnt
+		FROM events GROUP BY window(time, '20 seconds', '10 seconds')`)
+	// Each event lands in exactly 2 windows; total count doubles.
+	var total int64
+	for _, r := range got {
+		total += r[0].(int64)
+	}
+	if total != 12 {
+		t.Errorf("total = %d, want 12", total)
+	}
+}
+
+func TestWindowBoundsProjection(t *testing.T) {
+	got := runSQL(t, newTestCatalog(), `SELECT window_start(w) AS s, cnt FROM
+		(SELECT window(time, '10 seconds') AS w, count(*) AS cnt FROM events GROUP BY window(time, '10 seconds')) t
+		WHERE cnt > 1`)
+	if len(got) != 1 || got[0][0] != int64(20_000_000) {
+		t.Errorf("rows = %v", rowsToStrings(got))
+	}
+}
+
+func TestSubqueryWithFilterPushdown(t *testing.T) {
+	got := runSQL(t, newTestCatalog(), `SELECT uid FROM
+		(SELECT user_id AS uid, latency AS l FROM events) t WHERE l > 45`)
+	expectRows(t, got, "[5]", "[1]")
+}
+
+func TestCaseExpression(t *testing.T) {
+	got := runSQL(t, newTestCatalog(), `SELECT DISTINCT
+		CASE WHEN latency < 25 THEN 'low' WHEN latency < 45 THEN 'mid' ELSE 'high' END AS band
+		FROM events`)
+	expectRows(t, got, "[low]", "[mid]", "[high]")
+}
+
+func TestCountDistinctQuery(t *testing.T) {
+	got := runSQL(t, newTestCatalog(), "SELECT count(DISTINCT country) AS c FROM events")
+	expectRows(t, got, "[3]")
+}
+
+func TestMapGroupsBatch(t *testing.T) {
+	cat := newTestCatalog()
+	plan, err := parser.Parse("SELECT user_id, latency FROM events", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg := &logical.MapGroups{
+		Child:    plan,
+		Keys:     []sql.Expr{sql.Col("user_id")},
+		KeyNames: []string{"user_id"},
+		Func: func(key sql.Row, values []sql.Row, state logical.GroupState) []sql.Row {
+			if state.Exists() {
+				t.Error("batch mode must start with empty state")
+			}
+			var total float64
+			for _, v := range values {
+				total += v[1].(float64)
+			}
+			return []sql.Row{{key[0], total}}
+		},
+		Out: sql.NewSchema(
+			sql.Field{Name: "user_id", Type: sql.TypeInt64},
+			sql.Field{Name: "total", Type: sql.TypeFloat64},
+		),
+	}
+	analyzed, err := analysis.Analyze(mg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := Compile(analyzed, cat.resolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Drain(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expectRows(t, rows, "[1, 70.0]", "[2, 20.0]", "[3, 30.0]", "[4, 40.0]", "[5, 50.0]")
+}
+
+func TestFusionCollapsesChains(t *testing.T) {
+	cat := newTestCatalog()
+	plan, err := parser.Parse(
+		"SELECT user_id FROM (SELECT user_id, latency FROM events WHERE latency > 5) t WHERE latency < 100", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analyzed, err := analysis.Analyze(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optimized := optimizer.Optimize(analyzed)
+	op, err := Compile(optimized, cat.resolver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count the fused chain depth: the whole select/filter pipeline should
+	// collapse into very few operators above the scan.
+	depth := 0
+	for cur := op; cur != nil; {
+		depth++
+		switch c := cur.(type) {
+		case *fusedOp:
+			cur = c.child
+		case *aliasOp:
+			cur = c.child
+		case *scanOp:
+			cur = nil
+		default:
+			cur = nil
+		}
+	}
+	if depth > 4 {
+		t.Errorf("pipeline depth %d; fusion is not collapsing chains", depth)
+	}
+	rows, err := Drain(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Errorf("rows = %v", rowsToStrings(rows))
+	}
+}
+
+func TestExtractEquiKeys(t *testing.T) {
+	left := sql.NewSchema(sql.Field{Name: "a", Type: sql.TypeInt64}, sql.Field{Name: "b", Type: sql.TypeInt64})
+	right := sql.NewSchema(sql.Field{Name: "c", Type: sql.TypeInt64}, sql.Field{Name: "d", Type: sql.TypeInt64})
+	cond := sql.And(sql.Eq(sql.Col("a"), sql.Col("c")), sql.Gt(sql.Col("b"), sql.Col("d")))
+	keys := ExtractEquiKeys(cond, left, right)
+	if len(keys.Left) != 1 || keys.Left[0].String() != "a" || keys.Right[0].String() != "c" {
+		t.Errorf("keys = %+v", keys)
+	}
+	if keys.Residual == nil {
+		t.Error("expected residual predicate")
+	}
+	// Reversed sides also extract.
+	cond2 := sql.Eq(sql.Col("d"), sql.Col("b"))
+	keys2 := ExtractEquiKeys(cond2, left, right)
+	if len(keys2.Left) != 1 || keys2.Left[0].String() != "b" {
+		t.Errorf("keys2 = %+v", keys2)
+	}
+}
+
+func TestDrainEmptyScan(t *testing.T) {
+	src := NewSliceSource(eventsSchema, nil)
+	rows, err := Drain(NewScan(src))
+	if err != nil || len(rows) != 0 {
+		t.Errorf("rows=%v err=%v", rows, err)
+	}
+}

@@ -1,0 +1,147 @@
+package physical
+
+import (
+	"sort"
+
+	"structream/internal/sql"
+	"structream/internal/sql/codec"
+)
+
+// BoundSortOrder is one compiled ORDER BY term.
+type BoundSortOrder struct {
+	Eval func(sql.Row) sql.Value
+	Desc bool
+}
+
+// SortRows orders rows in place by the given terms (NULLs first on ASC).
+func SortRows(rows []sql.Row, orders []BoundSortOrder) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, o := range orders {
+			c := sql.Compare(o.Eval(rows[i]), o.Eval(rows[j]))
+			if c == 0 {
+				continue
+			}
+			if o.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+}
+
+// sortOp is the blocking sort operator.
+type sortOp struct {
+	child  Operator
+	orders []BoundSortOrder
+	done   bool
+}
+
+// NewSort builds a sort operator; orders must be bound against child's
+// schema.
+func NewSort(child Operator, orders []BoundSortOrder) Operator {
+	return &sortOp{child: child, orders: orders}
+}
+
+func (s *sortOp) Schema() sql.Schema { return s.child.Schema() }
+func (s *sortOp) Open() error        { return s.child.Open() }
+func (s *sortOp) Next() ([]sql.Row, error) {
+	if s.done {
+		return nil, nil
+	}
+	s.done = true
+	var all []sql.Row
+	for {
+		batch, err := s.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if batch == nil {
+			break
+		}
+		all = append(all, batch...)
+	}
+	if len(all) == 0 {
+		return nil, nil
+	}
+	SortRows(all, s.orders)
+	return all, nil
+}
+func (s *sortOp) Close() error { return s.child.Close() }
+
+// limitOp truncates the stream to the first n rows.
+type limitOp struct {
+	child Operator
+	n     int64
+	seen  int64
+}
+
+// NewLimit builds a limit operator.
+func NewLimit(child Operator, n int64) Operator {
+	return &limitOp{child: child, n: n}
+}
+
+func (l *limitOp) Schema() sql.Schema { return l.child.Schema() }
+func (l *limitOp) Open() error        { return l.child.Open() }
+func (l *limitOp) Next() ([]sql.Row, error) {
+	if l.seen >= l.n {
+		return nil, nil
+	}
+	batch, err := l.child.Next()
+	if err != nil || batch == nil {
+		return nil, err
+	}
+	if l.seen+int64(len(batch)) > l.n {
+		batch = batch[:l.n-l.seen]
+	}
+	l.seen += int64(len(batch))
+	if len(batch) == 0 {
+		return nil, nil
+	}
+	return batch, nil
+}
+func (l *limitOp) Close() error { return l.child.Close() }
+
+// distinctOp drops duplicate rows using an encoded-key hash set. keyIdxs
+// selects the columns forming the duplicate key (nil = whole row), so it
+// implements both SELECT DISTINCT and dropDuplicates(cols).
+type distinctOp struct {
+	child   Operator
+	keyIdxs []int
+	seen    map[string]bool
+}
+
+// NewDistinct builds a streaming-friendly distinct operator (it emits each
+// first occurrence as soon as it is seen). keyIdxs selects the key columns;
+// nil keys on the whole row.
+func NewDistinct(child Operator, keyIdxs []int) Operator {
+	return &distinctOp{child: child, keyIdxs: keyIdxs, seen: map[string]bool{}}
+}
+
+func (d *distinctOp) Schema() sql.Schema { return d.child.Schema() }
+func (d *distinctOp) Open() error        { return d.child.Open() }
+func (d *distinctOp) Next() ([]sql.Row, error) {
+	for {
+		batch, err := d.child.Next()
+		if err != nil || batch == nil {
+			return nil, err
+		}
+		out := batch[:0:0]
+		for _, r := range batch {
+			var ks string
+			if d.keyIdxs == nil {
+				ks = codec.KeyString(r)
+			} else {
+				ks = codec.KeyString(r.Project(d.keyIdxs))
+			}
+			if !d.seen[ks] {
+				d.seen[ks] = true
+				out = append(out, r)
+			}
+		}
+		if len(out) > 0 {
+			return out, nil
+		}
+	}
+}
+func (d *distinctOp) Close() error { return d.child.Close() }

@@ -1,0 +1,159 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Field describes one column of a schema.
+type Field struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered list of named, typed columns. Schemas are immutable
+// by convention: operations return new schemas.
+type Schema struct {
+	Fields []Field
+}
+
+// NewSchema builds a schema from alternating name/type pairs.
+func NewSchema(fields ...Field) Schema { return Schema{Fields: fields} }
+
+// Len returns the number of columns.
+func (s Schema) Len() int { return len(s.Fields) }
+
+// IndexOf returns the ordinal of the named column (case-insensitive), or -1.
+// An ambiguous name (two columns with the same name, as can occur after a
+// join) returns -2 so callers can report a useful error.
+func (s Schema) IndexOf(name string) int {
+	found := -1
+	for i, f := range s.Fields {
+		if strings.EqualFold(f.Name, name) {
+			if found >= 0 {
+				return -2
+			}
+			found = i
+		}
+	}
+	return found
+}
+
+// Resolve looks up a column name, possibly qualified as "table.column".
+// Qualified lookups match a field named "table.column" first, then the bare
+// column name.
+func (s Schema) Resolve(name string) (int, error) {
+	idx := s.IndexOf(name)
+	if idx == -2 {
+		return 0, fmt.Errorf("sql: ambiguous column reference %q", name)
+	}
+	if idx >= 0 {
+		return idx, nil
+	}
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		return s.Resolve(name[i+1:])
+	}
+	// A bare name also matches a single qualified field "alias.name".
+	found := -1
+	for i, f := range s.Fields {
+		if j := strings.LastIndexByte(f.Name, '.'); j >= 0 && strings.EqualFold(f.Name[j+1:], name) {
+			if found >= 0 {
+				return 0, fmt.Errorf("sql: ambiguous column reference %q", name)
+			}
+			found = i
+		}
+	}
+	if found >= 0 {
+		return found, nil
+	}
+	return 0, fmt.Errorf("sql: column %q not found in schema %s", name, s)
+}
+
+// Field returns the field at ordinal i.
+func (s Schema) Field(i int) Field { return s.Fields[i] }
+
+// Names returns the column names in order.
+func (s Schema) Names() []string {
+	names := make([]string, len(s.Fields))
+	for i, f := range s.Fields {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// Concat returns the concatenation of two schemas (used by joins).
+func (s Schema) Concat(other Schema) Schema {
+	fields := make([]Field, 0, len(s.Fields)+len(other.Fields))
+	fields = append(fields, s.Fields...)
+	fields = append(fields, other.Fields...)
+	return Schema{Fields: fields}
+}
+
+// Qualify returns a copy of the schema with every column prefixed by
+// "alias." so joins can disambiguate both sides.
+func (s Schema) Qualify(alias string) Schema {
+	fields := make([]Field, len(s.Fields))
+	for i, f := range s.Fields {
+		name := f.Name
+		if j := strings.LastIndexByte(name, '.'); j >= 0 {
+			name = name[j+1:]
+		}
+		fields[i] = Field{Name: alias + "." + name, Type: f.Type}
+	}
+	return Schema{Fields: fields}
+}
+
+// Equal reports whether two schemas have identical names and types.
+func (s Schema) Equal(other Schema) bool {
+	if len(s.Fields) != len(other.Fields) {
+		return false
+	}
+	for i := range s.Fields {
+		if s.Fields[i] != other.Fields[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schema as "name: type, ...".
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('[')
+	for i, f := range s.Fields {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s: %s", f.Name, f.Type)
+	}
+	b.WriteByte(']')
+	return b.String()
+}
+
+// Row is one record: a slice of values positionally matching a schema.
+type Row []Value
+
+// Clone returns a copy of the row that shares no backing storage.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// String renders the row for debugging and console sinks.
+func (r Row) String() string {
+	parts := make([]string, len(r))
+	for i, v := range r {
+		parts[i] = AsString(v)
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// Project returns a new row containing the values at the given ordinals.
+func (r Row) Project(ordinals []int) Row {
+	out := make(Row, len(ordinals))
+	for i, ord := range ordinals {
+		out[i] = r[ord]
+	}
+	return out
+}

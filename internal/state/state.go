@@ -1,0 +1,464 @@
+// Package state implements Structured Streaming's versioned state store
+// (§6.1 of the paper): the durable key-value storage behind stateful
+// operators (aggregations, dedup, stream joins, mapGroupsWithState). Each
+// (operator, partition) pair owns one store. Commits are keyed by epoch:
+// committing version v writes an incremental delta file, with a full
+// snapshot every few versions, and any committed version can be reloaded —
+// which is what makes recovery-to-epoch and manual rollback (§7.2) work.
+package state
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ID identifies one operator's state for one partition.
+type ID struct {
+	Operator  string
+	Partition int
+}
+
+// String renders the ID for paths and errors.
+func (id ID) String() string { return fmt.Sprintf("%s/%d", id.Operator, id.Partition) }
+
+// Provider manages the stores under one checkpoint directory.
+type Provider struct {
+	dir string
+	// SnapshotInterval controls how many delta versions accumulate before a
+	// full snapshot is written. The paper notes checkpoints are written
+	// asynchronously and need not happen on every epoch; snapshots here are
+	// the equivalent heavyweight artifact.
+	SnapshotInterval int64
+
+	mu    sync.Mutex
+	cache map[ID]*Store
+}
+
+// NewProvider creates a provider rooted at dir.
+func NewProvider(dir string) *Provider {
+	return &Provider{dir: dir, SnapshotInterval: 10, cache: map[ID]*Store{}}
+}
+
+// Dir returns the provider's root directory.
+func (p *Provider) Dir() string { return p.dir }
+
+// Open returns the store for id positioned at the given committed version.
+// Version -1 means empty (before any epoch). When the cached live store is
+// already at that version it is reused without touching disk; otherwise the
+// state is reconstructed from the latest snapshot at or below version plus
+// the delta files after it.
+func (p *Provider) Open(id ID, version int64) (*Store, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s, ok := p.cache[id]; ok && s.version == version {
+		return s, nil
+	}
+	s := &Store{
+		id:       id,
+		dir:      filepath.Join(p.dir, "state", id.Operator, strconv.Itoa(id.Partition)),
+		provider: p,
+		data:     map[string][]byte{},
+		version:  -1,
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("state: %w", err)
+	}
+	if version >= 0 {
+		if err := s.loadVersion(version); err != nil {
+			return nil, err
+		}
+	}
+	p.cache[id] = s
+	return s, nil
+}
+
+// Maintenance deletes snapshot and delta files no longer needed to
+// reconstruct any version newer than keepFrom, across all stores on disk.
+func (p *Provider) Maintenance(keepFrom int64) error {
+	root := filepath.Join(p.dir, "state")
+	return filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		v, kind, ok := parseStateFile(d.Name())
+		if !ok {
+			return nil
+		}
+		// A delta at version v is needed while any version >= v might be
+		// reloaded; keep everything >= the newest snapshot <= keepFrom.
+		// Conservative rule: delete files strictly older than keepFrom only
+		// when a snapshot exists at or after their version but <= keepFrom.
+		dir := filepath.Dir(path)
+		snap, found, err := latestSnapshotAtOrBelow(dir, keepFrom)
+		if err != nil {
+			return err
+		}
+		if !found {
+			return nil
+		}
+		if v < snap || (v == snap && kind == kindDelta) {
+			return os.Remove(path)
+		}
+		return nil
+	})
+}
+
+const (
+	kindDelta    = "delta"
+	kindSnapshot = "snapshot"
+)
+
+func parseStateFile(name string) (version int64, kind string, ok bool) {
+	for _, k := range []string{kindDelta, kindSnapshot} {
+		suffix := "." + k
+		if strings.HasSuffix(name, suffix) {
+			v, err := strconv.ParseInt(strings.TrimSuffix(name, suffix), 10, 64)
+			if err != nil {
+				return 0, "", false
+			}
+			return v, k, true
+		}
+	}
+	return 0, "", false
+}
+
+func latestSnapshotAtOrBelow(dir string, version int64) (int64, bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, false, err
+	}
+	best, found := int64(-1), false
+	for _, e := range entries {
+		v, kind, ok := parseStateFile(e.Name())
+		if ok && kind == kindSnapshot && v <= version && v > best {
+			best, found = v, true
+		}
+	}
+	return best, found, nil
+}
+
+// Store is the live state for one (operator, partition). It is not safe
+// for concurrent use; each partition is processed by one task at a time.
+type Store struct {
+	id       ID
+	dir      string
+	provider *Provider
+	version  int64 // last committed version
+	data     map[string][]byte
+
+	// pendingPut/pendingDel stage uncommitted mutations of the current
+	// epoch. Commit writes them as the next delta; Abort reloads.
+	pendingPut map[string][]byte
+	pendingDel map[string]bool
+}
+
+// ID returns the store's identity.
+func (s *Store) ID() ID { return s.id }
+
+// Version returns the last committed version (-1 when empty/new).
+func (s *Store) Version() int64 { return s.version }
+
+// Get returns the value for key, honoring uncommitted changes.
+func (s *Store) Get(key []byte) ([]byte, bool) {
+	k := string(key)
+	if s.pendingDel[k] {
+		return nil, false
+	}
+	if v, ok := s.pendingPut[k]; ok {
+		return v, true
+	}
+	v, ok := s.data[k]
+	return v, ok
+}
+
+// Put stages a key/value write for the current epoch.
+func (s *Store) Put(key, value []byte) {
+	if s.pendingPut == nil {
+		s.pendingPut = map[string][]byte{}
+		s.pendingDel = map[string]bool{}
+	}
+	k := string(key)
+	delete(s.pendingDel, k)
+	s.pendingPut[k] = append([]byte(nil), value...)
+}
+
+// Remove stages a deletion.
+func (s *Store) Remove(key []byte) {
+	if s.pendingPut == nil {
+		s.pendingPut = map[string][]byte{}
+		s.pendingDel = map[string]bool{}
+	}
+	k := string(key)
+	delete(s.pendingPut, k)
+	s.pendingDel[k] = true
+}
+
+// Iterate visits every live key/value (committed plus staged), stopping
+// early when fn returns false. Iteration order is unspecified.
+func (s *Store) Iterate(fn func(key, value []byte) bool) {
+	for k, v := range s.data {
+		if s.pendingDel[k] {
+			continue
+		}
+		if pv, ok := s.pendingPut[k]; ok {
+			v = pv
+		}
+		if !fn([]byte(k), v) {
+			return
+		}
+	}
+	for k, v := range s.pendingPut {
+		if _, existed := s.data[k]; existed {
+			continue
+		}
+		if !fn([]byte(k), v) {
+			return
+		}
+	}
+}
+
+// NumKeys reports the live key count including staged changes.
+func (s *Store) NumKeys() int {
+	n := len(s.data)
+	for k := range s.pendingDel {
+		if _, ok := s.data[k]; ok {
+			n--
+		}
+	}
+	for k := range s.pendingPut {
+		if _, ok := s.data[k]; !ok {
+			n++
+		}
+	}
+	return n
+}
+
+// Commit durably writes the staged changes as the delta for version, folds
+// them into the live map, and writes a full snapshot every SnapshotInterval
+// versions. Committing with no staged changes still records the (empty)
+// version so recovery can find it.
+func (s *Store) Commit(version int64) error {
+	if version <= s.version {
+		return fmt.Errorf("state: commit version %d not after current %d for %s", version, s.version, s.id)
+	}
+	if err := s.writeDelta(version); err != nil {
+		return err
+	}
+	for k, v := range s.pendingPut {
+		s.data[k] = v
+	}
+	for k := range s.pendingDel {
+		delete(s.data, k)
+	}
+	s.pendingPut, s.pendingDel = nil, nil
+	s.version = version
+	interval := s.provider.SnapshotInterval
+	if interval > 0 && version%interval == 0 {
+		if err := s.writeSnapshot(version); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Abort discards staged changes.
+func (s *Store) Abort() {
+	s.pendingPut, s.pendingDel = nil, nil
+}
+
+// ---------------------------------------------------------------- files
+
+// Record framing: op byte (1=put, 2=del), uvarint key length, key bytes,
+// and for puts a uvarint value length plus value bytes.
+const (
+	opPut byte = 1
+	opDel byte = 2
+)
+
+func (s *Store) writeDelta(version int64) error {
+	var buf []byte
+	// Deterministic order keeps files byte-stable for identical commits.
+	keys := make([]string, 0, len(s.pendingPut)+len(s.pendingDel))
+	for k := range s.pendingPut {
+		keys = append(keys, k)
+	}
+	for k := range s.pendingDel {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if s.pendingDel[k] {
+			buf = append(buf, opDel)
+			buf = binary.AppendUvarint(buf, uint64(len(k)))
+			buf = append(buf, k...)
+			continue
+		}
+		v := s.pendingPut[k]
+		buf = append(buf, opPut)
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+		buf = binary.AppendUvarint(buf, uint64(len(v)))
+		buf = append(buf, v...)
+	}
+	return atomicWrite(filepath.Join(s.dir, fmt.Sprintf("%d.%s", version, kindDelta)), buf)
+}
+
+func (s *Store) writeSnapshot(version int64) error {
+	var buf []byte
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := s.data[k]
+		buf = append(buf, opPut)
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+		buf = binary.AppendUvarint(buf, uint64(len(v)))
+		buf = append(buf, v...)
+	}
+	return atomicWrite(filepath.Join(s.dir, fmt.Sprintf("%d.%s", version, kindSnapshot)), buf)
+}
+
+func atomicWrite(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("state: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("state: %w", err)
+	}
+	return nil
+}
+
+// loadVersion reconstructs the store's map as of the given version.
+func (s *Store) loadVersion(version int64) error {
+	s.data = map[string][]byte{}
+	s.pendingPut, s.pendingDel = nil, nil
+	snap, haveSnap, err := latestSnapshotAtOrBelow(s.dir, version)
+	if err != nil {
+		return fmt.Errorf("state: %w", err)
+	}
+	from := int64(0)
+	if haveSnap {
+		if err := s.applyFile(filepath.Join(s.dir, fmt.Sprintf("%d.%s", snap, kindSnapshot))); err != nil {
+			return err
+		}
+		from = snap + 1
+	}
+	for v := from; v <= version; v++ {
+		path := filepath.Join(s.dir, fmt.Sprintf("%d.%s", v, kindDelta))
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			// Missing versions are legal: the engine commits state only on
+			// epochs that touched this operator partition.
+			continue
+		}
+		if err := s.applyFile(path); err != nil {
+			return err
+		}
+	}
+	s.version = version
+	return nil
+}
+
+func (s *Store) applyFile(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("state: %w", err)
+	}
+	pos := 0
+	for pos < len(data) {
+		op := data[pos]
+		pos++
+		klen, n := binary.Uvarint(data[pos:])
+		if n <= 0 || pos+n+int(klen) > len(data) {
+			return fmt.Errorf("state: corrupt file %s at %d", path, pos)
+		}
+		pos += n
+		key := string(data[pos : pos+int(klen)])
+		pos += int(klen)
+		switch op {
+		case opPut:
+			vlen, n := binary.Uvarint(data[pos:])
+			if n <= 0 || pos+n+int(vlen) > len(data) {
+				return fmt.Errorf("state: corrupt file %s at %d", path, pos)
+			}
+			pos += n
+			s.data[key] = append([]byte(nil), data[pos:pos+int(vlen)]...)
+			pos += int(vlen)
+		case opDel:
+			delete(s.data, key)
+		default:
+			return fmt.Errorf("state: corrupt file %s: bad op %d", path, op)
+		}
+	}
+	return nil
+}
+
+// Versions lists the committed versions reconstructable on disk for id.
+func (p *Provider) Versions(id ID) ([]int64, error) {
+	dir := filepath.Join(p.dir, "state", id.Operator, strconv.Itoa(id.Partition))
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("state: %w", err)
+	}
+	seen := map[int64]bool{}
+	for _, e := range entries {
+		if v, _, ok := parseStateFile(e.Name()); ok {
+			seen[v] = true
+		}
+	}
+	out := make([]int64, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// DiskUsage reports total bytes of state files under the provider, for
+// monitoring.
+func (p *Provider) DiskUsage() (int64, error) {
+	var total int64
+	err := filepath.WalkDir(filepath.Join(p.dir, "state"), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		if d.IsDir() {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			if os.IsNotExist(err) {
+				return nil
+			}
+			return err
+		}
+		total += info.Size()
+		return nil
+	})
+	if err == io.EOF {
+		err = nil
+	}
+	return total, err
+}

@@ -1,0 +1,286 @@
+// Package wal implements Structured Streaming's write-ahead log (§6.1 of
+// the paper): a durable record of which input offsets each epoch covers and
+// which epochs have been committed to the sink. Entries are human-readable
+// JSON — deliberately, so administrators can inspect the log and perform
+// manual rollbacks (§7.2) with ordinary tools. All writes are atomic via
+// write-to-temp-then-rename.
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// SourceOffsets records one input source's offset range for an epoch: the
+// engine will read exactly [Start[i], End[i]) from partition i.
+type SourceOffsets struct {
+	Source string  `json:"source"`
+	Start  []int64 `json:"start"`
+	End    []int64 `json:"end"`
+}
+
+// Entry is one offsets-log record: the definition of an epoch.
+type Entry struct {
+	Epoch     int64           `json:"epoch"`
+	Timestamp string          `json:"timestamp"`
+	Watermark int64           `json:"watermarkMicros"`
+	Sources   []SourceOffsets `json:"sources"`
+}
+
+// Commit is one commit-log record, written after the sink durably holds the
+// epoch's output.
+type Commit struct {
+	Epoch     int64  `json:"epoch"`
+	Timestamp string `json:"timestamp"`
+}
+
+// Log is a write-ahead log rooted at a checkpoint directory, holding an
+// offsets log and a commit log.
+type Log struct {
+	dir        string
+	offsetsDir string
+	commitsDir string
+}
+
+// Open creates or opens the log under dir.
+func Open(dir string) (*Log, error) {
+	l := &Log{
+		dir:        dir,
+		offsetsDir: filepath.Join(dir, "offsets"),
+		commitsDir: filepath.Join(dir, "commits"),
+	}
+	for _, d := range []string{l.offsetsDir, l.commitsDir} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("wal: %w", err)
+		}
+	}
+	return l, nil
+}
+
+// Dir returns the checkpoint root.
+func (l *Log) Dir() string { return l.dir }
+
+func epochFile(dir string, epoch int64) string {
+	return filepath.Join(dir, fmt.Sprintf("%012d.json", epoch))
+}
+
+// writeAtomic writes data to path via a temp file and rename, so readers
+// never observe a partial file even across crashes.
+func writeAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// WriteOffsets durably records an epoch's offset ranges. Writing the same
+// epoch twice with identical content is idempotent; differing content is an
+// error, because an epoch's definition must never change once logged (this
+// is what makes replay deterministic).
+func (l *Log) WriteOffsets(e Entry) error {
+	if e.Timestamp == "" {
+		e.Timestamp = time.Now().UTC().Format(time.RFC3339Nano)
+	}
+	path := epochFile(l.offsetsDir, e.Epoch)
+	if existing, ok, err := l.ReadOffsets(e.Epoch); err != nil {
+		return err
+	} else if ok {
+		if sameEpochDefinition(existing, e) {
+			return nil
+		}
+		return fmt.Errorf("wal: epoch %d already logged with different offsets", e.Epoch)
+	}
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return writeAtomic(path, append(data, '\n'))
+}
+
+func sameEpochDefinition(a, b Entry) bool {
+	if a.Epoch != b.Epoch || len(a.Sources) != len(b.Sources) {
+		return false
+	}
+	for i := range a.Sources {
+		x, y := a.Sources[i], b.Sources[i]
+		if x.Source != y.Source || len(x.Start) != len(y.Start) || len(x.End) != len(y.End) {
+			return false
+		}
+		for j := range x.Start {
+			if x.Start[j] != y.Start[j] {
+				return false
+			}
+		}
+		for j := range x.End {
+			if x.End[j] != y.End[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ReadOffsets loads one epoch's entry; ok is false when it does not exist.
+func (l *Log) ReadOffsets(epoch int64) (Entry, bool, error) {
+	data, err := os.ReadFile(epochFile(l.offsetsDir, epoch))
+	if os.IsNotExist(err) {
+		return Entry{}, false, nil
+	}
+	if err != nil {
+		return Entry{}, false, fmt.Errorf("wal: %w", err)
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return Entry{}, false, fmt.Errorf("wal: corrupt offsets entry %d: %w", epoch, err)
+	}
+	return e, true, nil
+}
+
+// listEpochs returns the sorted epoch numbers present in dir.
+func listEpochs(dir string) ([]int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	var out []int64
+	for _, de := range entries {
+		name := de.Name()
+		if filepath.Ext(name) != ".json" {
+			continue
+		}
+		n, err := strconv.ParseInt(name[:len(name)-len(".json")], 10, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// Epochs lists the epochs with offsets entries, ascending.
+func (l *Log) Epochs() ([]int64, error) { return listEpochs(l.offsetsDir) }
+
+// LatestOffsets returns the highest-numbered offsets entry.
+func (l *Log) LatestOffsets() (Entry, bool, error) {
+	epochs, err := l.Epochs()
+	if err != nil || len(epochs) == 0 {
+		return Entry{}, false, err
+	}
+	return l.ReadOffsets(epochs[len(epochs)-1])
+}
+
+// WriteCommit records that an epoch's output is durably in the sink.
+func (l *Log) WriteCommit(epoch int64) error {
+	c := Commit{Epoch: epoch, Timestamp: time.Now().UTC().Format(time.RFC3339Nano)}
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	return writeAtomic(epochFile(l.commitsDir, epoch), append(data, '\n'))
+}
+
+// Commits lists committed epochs, ascending.
+func (l *Log) Commits() ([]int64, error) { return listEpochs(l.commitsDir) }
+
+// LatestCommit returns the highest committed epoch; ok is false when no
+// epoch has committed yet.
+func (l *Log) LatestCommit() (int64, bool, error) {
+	commits, err := l.Commits()
+	if err != nil || len(commits) == 0 {
+		return 0, false, err
+	}
+	return commits[len(commits)-1], true, nil
+}
+
+// RollbackTo removes every offsets and commit entry with epoch > keep,
+// implementing manual rollback (§7.2): after restart the engine re-plans
+// from the prefix ending at keep. RollbackTo(-1) clears the whole log.
+func (l *Log) RollbackTo(keep int64) error {
+	for _, dir := range []string{l.offsetsDir, l.commitsDir} {
+		epochs, err := listEpochs(dir)
+		if err != nil {
+			return err
+		}
+		// Delete newest-first so a crash mid-rollback leaves a contiguous,
+		// consistent prefix.
+		for i := len(epochs) - 1; i >= 0; i-- {
+			if epochs[i] <= keep {
+				break
+			}
+			if err := os.Remove(epochFile(dir, epochs[i])); err != nil {
+				return fmt.Errorf("wal: rollback: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// Purge removes entries older than before (exclusive), bounding log growth.
+// The latest committed epoch is always retained.
+func (l *Log) Purge(before int64) error {
+	latest, ok, err := l.LatestCommit()
+	if err != nil {
+		return err
+	}
+	if ok && before > latest {
+		before = latest
+	}
+	for _, dir := range []string{l.offsetsDir, l.commitsDir} {
+		epochs, err := listEpochs(dir)
+		if err != nil {
+			return err
+		}
+		for _, e := range epochs {
+			if e >= before {
+				break
+			}
+			if err := os.Remove(epochFile(dir, e)); err != nil {
+				return fmt.Errorf("wal: purge: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// RecoveryPoint describes where a restarted query resumes: the next epoch
+// to run, and the epoch whose output may be partially written (needs
+// re-running with identical offsets) if any.
+type RecoveryPoint struct {
+	// NextEpoch is the epoch id the engine should execute next.
+	NextEpoch int64
+	// Replay, when non-nil, is a logged-but-uncommitted epoch that must be
+	// re-executed with exactly these offsets before new epochs start.
+	Replay *Entry
+	// Watermark is the event-time watermark to restore, from the most
+	// recent offsets entry.
+	Watermark int64
+}
+
+// Recover computes the recovery point from the log state, implementing the
+// restart protocol of §6.1: find the last epoch not committed to the sink,
+// re-run it with the same offsets, then continue.
+func (l *Log) Recover() (RecoveryPoint, error) {
+	latest, ok, err := l.LatestOffsets()
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	if !ok {
+		return RecoveryPoint{NextEpoch: 0}, nil
+	}
+	committed, anyCommit, err := l.LatestCommit()
+	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	rp := RecoveryPoint{NextEpoch: latest.Epoch + 1, Watermark: latest.Watermark}
+	if !anyCommit || committed < latest.Epoch {
+		rp.Replay = &latest
+	}
+	return rp, nil
+}

@@ -1,0 +1,268 @@
+package wal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func openLog(t *testing.T) *Log {
+	t.Helper()
+	l, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func entry(epoch int64, start, end int64) Entry {
+	return Entry{
+		Epoch:   epoch,
+		Sources: []SourceOffsets{{Source: "kafka/topic", Start: []int64{start}, End: []int64{end}}},
+	}
+}
+
+func TestWriteReadOffsets(t *testing.T) {
+	l := openLog(t)
+	e := entry(0, 0, 100)
+	e.Watermark = 42
+	if err := l.WriteOffsets(e); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := l.ReadOffsets(0)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if got.Epoch != 0 || got.Watermark != 42 || got.Sources[0].End[0] != 100 {
+		t.Errorf("entry = %+v", got)
+	}
+	if got.Timestamp == "" {
+		t.Error("timestamp should be auto-filled")
+	}
+}
+
+func TestOffsetsAreHumanReadableJSON(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir)
+	l.WriteOffsets(entry(3, 10, 20))
+	data, err := os.ReadFile(filepath.Join(dir, "offsets", "000000000003.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Indented JSON with named fields, per §7.2: admins read this by hand.
+	if !strings.Contains(string(data), "\n  \"sources\"") {
+		t.Errorf("offsets entry not human-readable:\n%s", data)
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+}
+
+func TestIdempotentRewriteSameEpoch(t *testing.T) {
+	l := openLog(t)
+	if err := l.WriteOffsets(entry(0, 0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	// Same definition: fine (recovery re-logs the replayed epoch).
+	if err := l.WriteOffsets(entry(0, 0, 10)); err != nil {
+		t.Errorf("idempotent rewrite failed: %v", err)
+	}
+	// Different definition: must be rejected.
+	if err := l.WriteOffsets(entry(0, 0, 99)); err == nil {
+		t.Error("conflicting epoch definition accepted")
+	}
+}
+
+func TestCommitsAndLatest(t *testing.T) {
+	l := openLog(t)
+	for e := int64(0); e < 3; e++ {
+		if err := l.WriteOffsets(entry(e, e*10, e*10+10)); err != nil {
+			t.Fatal(err)
+		}
+		if err := l.WriteCommit(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	latest, ok, err := l.LatestCommit()
+	if err != nil || !ok || latest != 2 {
+		t.Errorf("latest commit = %d ok=%v err=%v", latest, ok, err)
+	}
+	le, ok, _ := l.LatestOffsets()
+	if !ok || le.Epoch != 2 {
+		t.Errorf("latest offsets = %+v", le)
+	}
+	epochs, _ := l.Epochs()
+	if len(epochs) != 3 || epochs[0] != 0 || epochs[2] != 2 {
+		t.Errorf("epochs = %v", epochs)
+	}
+}
+
+func TestRecoverFreshLog(t *testing.T) {
+	l := openLog(t)
+	rp, err := l.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.NextEpoch != 0 || rp.Replay != nil {
+		t.Errorf("rp = %+v", rp)
+	}
+}
+
+func TestRecoverCleanShutdown(t *testing.T) {
+	l := openLog(t)
+	l.WriteOffsets(entry(0, 0, 10))
+	l.WriteCommit(0)
+	l.WriteOffsets(entry(1, 10, 25))
+	l.WriteCommit(1)
+	rp, err := l.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.NextEpoch != 2 || rp.Replay != nil {
+		t.Errorf("rp = %+v", rp)
+	}
+}
+
+func TestRecoverUncommittedEpochReplays(t *testing.T) {
+	l := openLog(t)
+	l.WriteOffsets(entry(0, 0, 10))
+	l.WriteCommit(0)
+	l.WriteOffsets(entry(1, 10, 25)) // crash before commit
+	rp, err := l.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.NextEpoch != 2 {
+		t.Errorf("next = %d", rp.NextEpoch)
+	}
+	if rp.Replay == nil || rp.Replay.Epoch != 1 || rp.Replay.Sources[0].End[0] != 25 {
+		t.Errorf("replay = %+v", rp.Replay)
+	}
+}
+
+func TestRecoverFirstEpochUncommitted(t *testing.T) {
+	l := openLog(t)
+	l.WriteOffsets(entry(0, 0, 10))
+	rp, err := l.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Replay == nil || rp.Replay.Epoch != 0 || rp.NextEpoch != 1 {
+		t.Errorf("rp = %+v", rp)
+	}
+}
+
+func TestRollback(t *testing.T) {
+	l := openLog(t)
+	for e := int64(0); e < 5; e++ {
+		l.WriteOffsets(entry(e, e*10, e*10+10))
+		l.WriteCommit(e)
+	}
+	if err := l.RollbackTo(1); err != nil {
+		t.Fatal(err)
+	}
+	epochs, _ := l.Epochs()
+	if len(epochs) != 2 || epochs[1] != 1 {
+		t.Errorf("epochs after rollback = %v", epochs)
+	}
+	commits, _ := l.Commits()
+	if len(commits) != 2 {
+		t.Errorf("commits after rollback = %v", commits)
+	}
+	rp, _ := l.Recover()
+	if rp.NextEpoch != 2 || rp.Replay != nil {
+		t.Errorf("rp after rollback = %+v", rp)
+	}
+	// Rollback to -1 clears everything.
+	if err := l.RollbackTo(-1); err != nil {
+		t.Fatal(err)
+	}
+	epochs, _ = l.Epochs()
+	if len(epochs) != 0 {
+		t.Errorf("epochs = %v", epochs)
+	}
+}
+
+func TestPurgeKeepsLatestCommit(t *testing.T) {
+	l := openLog(t)
+	for e := int64(0); e < 5; e++ {
+		l.WriteOffsets(entry(e, e*10, e*10+10))
+		l.WriteCommit(e)
+	}
+	if err := l.Purge(99); err != nil {
+		t.Fatal(err)
+	}
+	epochs, _ := l.Epochs()
+	if len(epochs) != 1 || epochs[0] != 4 {
+		t.Errorf("purge must retain the latest committed epoch; epochs = %v", epochs)
+	}
+}
+
+func TestPurgeBounded(t *testing.T) {
+	l := openLog(t)
+	for e := int64(0); e < 5; e++ {
+		l.WriteOffsets(entry(e, 0, 1))
+		l.WriteCommit(e)
+	}
+	l.Purge(3)
+	epochs, _ := l.Epochs()
+	if len(epochs) != 2 || epochs[0] != 3 {
+		t.Errorf("epochs = %v", epochs)
+	}
+}
+
+func TestReopenSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	l1, _ := Open(dir)
+	l1.WriteOffsets(entry(0, 0, 7))
+	l1.WriteCommit(0)
+	// "Restart": open a fresh Log over the same directory.
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := l2.ReadOffsets(0)
+	if !ok || got.Sources[0].End[0] != 7 {
+		t.Errorf("entry after reopen = %+v ok=%v", got, ok)
+	}
+}
+
+func TestCorruptEntrySurfacesError(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir)
+	l.WriteOffsets(entry(0, 0, 7))
+	os.WriteFile(filepath.Join(dir, "offsets", "000000000000.json"), []byte("{garbage"), 0o644)
+	if _, _, err := l.ReadOffsets(0); err == nil {
+		t.Error("corrupt entry should error")
+	}
+}
+
+func TestForeignFilesIgnored(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir)
+	os.WriteFile(filepath.Join(dir, "offsets", "README.txt"), []byte("hi"), 0o644)
+	os.WriteFile(filepath.Join(dir, "offsets", "xyz.json"), []byte("{}"), 0o644)
+	l.WriteOffsets(entry(0, 0, 1))
+	epochs, err := l.Epochs()
+	if err != nil || len(epochs) != 1 {
+		t.Errorf("epochs = %v err=%v", epochs, err)
+	}
+}
+
+func TestMultiSourceEntry(t *testing.T) {
+	l := openLog(t)
+	e := Entry{Epoch: 0, Sources: []SourceOffsets{
+		{Source: "tcp_logs", Start: []int64{0, 0}, End: []int64{5, 9}},
+		{Source: "dhcp_logs", Start: []int64{2}, End: []int64{4}},
+	}}
+	if err := l.WriteOffsets(e); err != nil {
+		t.Fatal(err)
+	}
+	got, _, _ := l.ReadOffsets(0)
+	if len(got.Sources) != 2 || got.Sources[1].Source != "dhcp_logs" {
+		t.Errorf("entry = %+v", got)
+	}
+}

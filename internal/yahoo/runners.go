@@ -1,0 +1,239 @@
+package yahoo
+
+import (
+	"fmt"
+	"time"
+
+	structream "structream"
+	"structream/internal/baselines/busstream"
+	"structream/internal/baselines/dataflow"
+	"structream/internal/cluster"
+	"structream/internal/msgbus"
+	"structream/internal/sinks"
+	"structream/internal/sources"
+	"structream/internal/sql"
+)
+
+// windowStart floors an event time to its 10-second window.
+func windowStart(ts int64) int64 {
+	win := WindowSize.Microseconds()
+	return ts - ts%win
+}
+
+// RunStructuredStreaming executes the benchmark query on this repository's
+// engine through its public API: filter → project → stream-static join →
+// event-time window → count, in update mode, processing the whole
+// preloaded workload and reporting bulk throughput (the "maximum stable
+// throughput" proxy on a single core). checkpoint must be a fresh
+// directory; partitions controls source and shuffle parallelism.
+func RunStructuredStreaming(w *Workload, checkpoint string, partitions int) (Result, error) {
+	if partitions <= 0 {
+		partitions = 1
+	}
+	s := structream.NewSession()
+	src := sources.NewPartitionedSource("ad_events", EventSchema, w.Partition(partitions))
+	events := s.RegisterStream("ad_events", src)
+	s.RegisterTable("campaigns", CampaignSchema, w.Campaigns)
+	campaigns, err := s.Table("campaigns")
+	if err != nil {
+		return Result{}, err
+	}
+
+	query := events.
+		Where(structream.Eq(structream.Col("event_type"), structream.Lit("view"))).
+		SelectNames("ad_id", "event_time").
+		Join(campaigns, structream.Eq(structream.Col("ad_id"), structream.Col("c_ad_id")), structream.InnerJoin).
+		GroupBy(structream.WindowOf(structream.Col("event_time"), WindowSize, 0), structream.Col("campaign_id")).
+		Count()
+
+	sink := sinks.NewMemorySink()
+	clus := cluster.New(cluster.Config{Nodes: 1, SlotsPerNode: partitions})
+	writer := query.WriteStream().
+		OutputMode(structream.Update).
+		Sink(sink).
+		Cluster(clus).
+		Partitions(partitions).
+		Trigger(structream.ProcessingTime(time.Hour)). // driven manually below
+		Checkpoint(checkpoint)
+
+	start := time.Now()
+	q, err := writer.Start("")
+	if err != nil {
+		return Result{}, err
+	}
+	defer q.Stop()
+	if err := q.ProcessAllAvailable(); err != nil {
+		return Result{}, err
+	}
+	elapsed := time.Since(start)
+
+	got := map[string]int64{}
+	for _, r := range sink.Rows() {
+		win := r[0].(sql.Window)
+		got[fmt.Sprintf("%d/%d", r[1], win.Start)] = r[2].(int64)
+	}
+	if err := verify(w, got); err != nil {
+		return Result{}, fmt.Errorf("structured streaming: %w", err)
+	}
+	return Result{
+		Engine:        "structured-streaming",
+		Records:       int64(len(w.Events)),
+		Elapsed:       elapsed,
+		RecordsPerSec: float64(len(w.Events)) / elapsed.Seconds(),
+		Groups:        len(got),
+	}, nil
+}
+
+// BuildDataflowTopology constructs the benchmark pipeline for the
+// Flink-like engine: a map stage (filter, project, hash-join against the
+// in-memory campaign table) keyed into a windowed count, with aligned
+// checkpoints every 100k records. Exposed so the recovery ablation can
+// drive the same topology manually.
+func BuildDataflowTopology(w *Workload, parallelism int) *dataflow.Topology {
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+	adTable := w.AdToCampaign
+	topo := dataflow.NewTopology()
+	topo.CheckpointEvery = 100_000
+	topo.AddStage("map-join", parallelism, nil, func() dataflow.Operator {
+		return &dataflow.MapOperator{Fn: func(row sql.Row) sql.Row {
+			if row[4] != "view" {
+				return nil
+			}
+			campaign, ok := adTable[row[2].(int64)]
+			if !ok {
+				return nil
+			}
+			return sql.Row{campaign, windowStart(row[5].(int64))}
+		}}
+	})
+	topo.AddStage("window-count", parallelism, func(row sql.Row) string {
+		return fmt.Sprintf("%d/%d", row[0], row[1])
+	}, func() dataflow.Operator {
+		return &dataflow.KeyedReduceOperator{
+			KeyFn: func(row sql.Row) string {
+				return fmt.Sprintf("%d/%d", row[0], row[1])
+			},
+			UpdateFn: func(state any, row sql.Row) (any, sql.Row) {
+				var n int64
+				if state != nil {
+					n = state.(int64)
+				}
+				return n + 1, nil
+			},
+		}
+	})
+	return topo
+}
+
+// DrainDataflowCounts reads the (campaign/window → count) result out of
+// the topology's keyed stage.
+func DrainDataflowCounts(topo *dataflow.Topology) map[string]int64 {
+	got := map[string]int64{}
+	for _, op := range topo.Stage(1) {
+		for key, v := range op.(*dataflow.KeyedReduceOperator).State() {
+			got[key] += v.(int64)
+		}
+	}
+	return got
+}
+
+// RunDataflow executes the benchmark on the Flink-like record-at-a-time
+// engine.
+func RunDataflow(w *Workload, parallelism int) (Result, error) {
+	if parallelism <= 0 {
+		parallelism = 1
+	}
+	topo := BuildDataflowTopology(w, parallelism)
+
+	start := time.Now()
+	var err error
+	if parallelism == 1 {
+		err = topo.Run(w.Events)
+	} else {
+		err = topo.RunPartitioned(w.Partition(parallelism))
+	}
+	if err != nil {
+		return Result{}, err
+	}
+	elapsed := time.Since(start)
+
+	got := DrainDataflowCounts(topo)
+	if err := verify(w, got); err != nil {
+		return Result{}, fmt.Errorf("dataflow: %w", err)
+	}
+	return Result{
+		Engine:        "dataflow (Flink-like)",
+		Records:       int64(len(w.Events)),
+		Elapsed:       elapsed,
+		RecordsPerSec: float64(len(w.Events)) / elapsed.Seconds(),
+		Groups:        len(got),
+	}, nil
+}
+
+// RunBusStream executes the benchmark on the Kafka-Streams-like engine:
+// every intermediate record is produced to a repartition topic and read
+// back, and every count update appends to a changelog topic.
+func RunBusStream(w *Workload) (Result, error) {
+	broker := msgbus.NewBroker()
+	adTable := w.AdToCampaign
+	topo, err := busstream.NewTopology(broker, "yahoo", 1,
+		&busstream.MapProcessor{Fn: func(row sql.Row) sql.Row {
+			if row[4] != "view" {
+				return nil
+			}
+			campaign, ok := adTable[row[2].(int64)]
+			if !ok {
+				return nil
+			}
+			return sql.Row{campaign, windowStart(row[5].(int64))}
+		}},
+		func(row sql.Row) string { return fmt.Sprintf("%d/%d", row[0], row[1]) },
+		func(prev, row sql.Row) sql.Row {
+			var n int64
+			if prev != nil {
+				n = prev[0].(int64)
+			}
+			return sql.Row{n + 1}
+		})
+	if err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	if err := topo.Run(w.Events); err != nil {
+		return Result{}, err
+	}
+	elapsed := time.Since(start)
+
+	got := map[string]int64{}
+	for key, row := range topo.Table().View() {
+		got[key] = row[0].(int64)
+	}
+	if err := verify(w, got); err != nil {
+		return Result{}, fmt.Errorf("busstream: %w", err)
+	}
+	return Result{
+		Engine:        "busstream (KStreams-like)",
+		Records:       int64(len(w.Events)),
+		Elapsed:       elapsed,
+		RecordsPerSec: float64(len(w.Events)) / elapsed.Seconds(),
+		Groups:        len(got),
+	}, nil
+}
+
+// verify cross-checks an engine's (campaign/window → count) output against
+// the reference result. Every engine must produce identical counts before
+// its throughput number means anything.
+func verify(w *Workload, got map[string]int64) error {
+	want := w.ExpectedWindows()
+	if len(got) != len(want) {
+		return fmt.Errorf("group count mismatch: got %d, want %d", len(got), len(want))
+	}
+	for key, n := range want {
+		if got[key] != n {
+			return fmt.Errorf("group %s: got %d, want %d", key, got[key], n)
+		}
+	}
+	return nil
+}

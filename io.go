@@ -1,0 +1,39 @@
+package structream
+
+import (
+	"structream/internal/msgbus"
+	"structream/internal/sql"
+	"structream/internal/sql/codec"
+)
+
+// Topic is a message-bus topic handle (the Kafka stand-in).
+type Topic = msgbus.Topic
+
+// Broker is the in-process message bus.
+type Broker = msgbus.Broker
+
+// ProduceRow encodes a row in the engine's binary format and produces it
+// to the topic with the given event timestamp (µs). Rows produced this way
+// are readable by bus-format stream sources.
+func ProduceRow(topic *Topic, row Row, eventTime int64) error {
+	normalized := make(Row, len(row))
+	for i, v := range row {
+		normalized[i] = normalize(v)
+	}
+	_, _, err := topic.Produce(nil, codec.EncodeRow(normalized), eventTime)
+	return err
+}
+
+// ProduceKeyedRow is ProduceRow with a partition key, so all rows with the
+// same key land in the same partition (preserving their relative order).
+func ProduceKeyedRow(topic *Topic, key []byte, row Row, eventTime int64) error {
+	normalized := make(Row, len(row))
+	for i, v := range row {
+		normalized[i] = normalize(v)
+	}
+	_, _, err := topic.Produce(key, codec.EncodeRow(normalized), eventTime)
+	return err
+}
+
+// normalize converts convenience Go values to engine representations.
+func normalize(v Value) Value { return sql.Normalize(v) }

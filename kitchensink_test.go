@@ -1,0 +1,166 @@
+package structream
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestKitchenSink drives most of the system at once through the public
+// API: a watermarked stream, a stream-static join, a sliding-window
+// aggregation with multiple aggregate functions, a HAVING filter and a
+// projection — across many epochs with a mid-run restart — and checks the
+// final update-mode result table against an independently computed
+// reference. This is the "whole paper in one query" test.
+func TestKitchenSink(t *testing.T) {
+	const minute = int64(60) * 1_000_000
+
+	schema := NewSchema(
+		Field{Name: "device", Type: String},
+		Field{Name: "latency", Type: Float64},
+		Field{Name: "ts", Type: Timestamp},
+	)
+	s := NewSession()
+	df, feed := s.MemoryStream("metrics", schema)
+	s.RegisterTable("owners", NewSchema(
+		Field{Name: "dev", Type: String},
+		Field{Name: "owner", Type: String},
+	), []Row{{"d0", "alice"}, {"d1", "bob"}, {"d2", "alice"}})
+	owners, err := s.Table("owners")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sliding 2-minute windows advancing by 1 minute, per owner; keep only
+	// busy groups; project a derived column.
+	query := df.
+		WithWatermark("ts", 5*time.Minute).
+		Join(owners, Eq(Col("device"), Col("dev")), InnerJoin).
+		GroupBy(WindowOf(Col("ts"), 2*time.Minute, time.Minute), Col("owner")).
+		Agg(
+			CountAll().As("n"),
+			Avg(Col("latency")).As("avg_latency"),
+			Max(Col("latency")).As("worst"),
+		).
+		Where(Gt(Col("n"), Lit(1)))
+
+	// Collect through a Foreach sink shared across restarts (a memory sink
+	// would start empty after each restart, as in Spark): upsert by
+	// (window, owner), keeping each group's latest update.
+	got := map[string]Row{}
+	ckpt := t.TempDir()
+	start := func() *StreamingQuery {
+		q, err := query.WriteStream().
+			Foreach(func(epoch int64, rows []Row) error {
+				for _, r := range rows {
+					w := r[0].(Window)
+					got[fmt.Sprintf("%d/%s", w.Start, r[1])] = r
+				}
+				return nil
+			}).
+			OutputMode(Update).Trigger(ProcessingTime(time.Hour)).
+			Checkpoint(ckpt).Start("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+
+	// Reference model.
+	type group struct {
+		n     int64
+		total float64
+		worst float64
+	}
+	ref := map[string]*group{}
+	addRef := func(device string, latency float64, ts int64) {
+		owner := map[string]string{"d0": "alice", "d1": "bob", "d2": "alice"}[device]
+		if owner == "" {
+			return
+		}
+		// Sliding windows containing ts: starts at floor(ts/1min)*1min and
+		// the previous minute.
+		base := ts - ts%minute
+		for _, startTs := range []int64{base - minute, base} {
+			if ts >= startTs && ts < startTs+2*minute {
+				key := fmt.Sprintf("%d/%s", startTs, owner)
+				g := ref[key]
+				if g == nil {
+					g = &group{}
+					ref[key] = g
+				}
+				g.n++
+				g.total += latency
+				if latency > g.worst {
+					g.worst = latency
+				}
+			}
+		}
+	}
+
+	// Event times advance with jitter bounded well inside the 5-minute
+	// watermark delay, so no record is ever late (the reference model does
+	// not simulate late-data dropping; TestStatefulAggregateDropsLateData
+	// covers that separately).
+	rng := rand.New(rand.NewSource(4))
+	clock := int64(0)
+	q := start()
+	for step := 0; step < 12; step++ {
+		if step == 6 { // mid-run restart ("code update")
+			if err := q.Stop(); err != nil {
+				t.Fatal(err)
+			}
+			q = start()
+		}
+		for i := 0; i < 1+rng.Intn(8); i++ {
+			device := fmt.Sprintf("d%d", rng.Intn(4)) // d3 has no owner: dropped by the join
+			latency := float64(rng.Intn(200))
+			clock += int64(rng.Intn(20)) * minute / 60   // advance up to 20s
+			ts := clock - int64(rng.Intn(120))*minute/60 // jitter up to 2min back
+			if ts < 0 {
+				ts = 0
+			}
+			feed.AddData(Row{device, latency, ts})
+			addRef(device, latency, ts)
+		}
+		if err := q.ProcessAllAvailable(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	defer q.Stop()
+
+	wantCount := 0
+	for key, g := range ref {
+		if g.n <= 1 {
+			continue // HAVING n > 1
+		}
+		wantCount++
+		r, ok := got[key]
+		if !ok {
+			t.Errorf("missing group %s", key)
+			continue
+		}
+		if r[2] != g.n {
+			t.Errorf("group %s: n = %v, want %d", key, r[2], g.n)
+		}
+		avg := g.total / float64(g.n)
+		if diff := r[3].(float64) - avg; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("group %s: avg = %v, want %v", key, r[3], avg)
+		}
+		if r[4] != g.worst {
+			t.Errorf("group %s: worst = %v, want %v", key, r[4], g.worst)
+		}
+	}
+	if len(got) != wantCount {
+		t.Errorf("result has %d groups, reference %d", len(got), wantCount)
+	}
+	// The batch execution of the very same DataFrame agrees with streaming.
+	batchRows, err := query.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batchRows) != wantCount {
+		t.Errorf("batch run: %d groups, want %d (hybrid execution must agree)", len(batchRows), wantCount)
+	}
+}
