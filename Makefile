@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test test-short verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Quick tier: skips the crash-recovery torture sweep.
+test-short:
+	$(GO) test -short ./...
+
+# Full verification: vet + race detector across everything.
+verify:
+	./scripts/verify.sh
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .

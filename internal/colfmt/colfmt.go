@@ -15,6 +15,7 @@ import (
 	"path/filepath"
 	"sort"
 
+	"structream/internal/fsx"
 	"structream/internal/sql"
 	"structream/internal/sql/codec"
 )
@@ -339,11 +340,9 @@ func DropSegmentsAfter(dir string, keep int64) error {
 }
 
 func atomicWrite(path string, data []byte) error {
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("colfmt: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
+	// The hardened filesystem fsyncs the file and its parent directory, so
+	// a committed segment or manifest survives a power loss.
+	if err := fsx.WriteAtomic(fsx.Real(), path, data, 0o644); err != nil {
 		return fmt.Errorf("colfmt: %w", err)
 	}
 	return nil

@@ -53,7 +53,7 @@ func startContinuous(q *incremental.Query, srcs map[string]sources.Source, sink 
 	if opts.Checkpoint == "" {
 		return nil, fmt.Errorf("engine: a checkpoint directory is required")
 	}
-	w, err := wal.Open(opts.Checkpoint)
+	w, err := wal.OpenFS(opts.FS, opts.Checkpoint)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 	"testing"
 	"time"
 
@@ -31,9 +32,13 @@ func TestEngineSurvivesTaskFailures(t *testing.T) {
 	}
 	src := sources.NewPartitionedSource("events", eventsSchema, parts)
 	clus := cluster.New(cluster.Config{Nodes: 2, SlotsPerNode: 2})
+	// The hook runs from concurrent task goroutines; guard the map.
+	var attemptsMu sync.Mutex
 	attempts := map[int]int{}
 	clus.InjectTaskFailure(func(taskIndex, attempt, nodeID int) error {
+		attemptsMu.Lock()
 		attempts[taskIndex]++
+		attemptsMu.Unlock()
 		if attempt == 0 && taskIndex%2 == 0 {
 			return errors.New("injected transient failure")
 		}

@@ -3,10 +3,12 @@ package engine
 import (
 	"fmt"
 	"io"
+	"math/rand"
 	"sync"
 	"time"
 
 	"structream/internal/cluster"
+	"structream/internal/fsx"
 	"structream/internal/incremental"
 	"structream/internal/metrics"
 	"structream/internal/sinks"
@@ -51,6 +53,17 @@ type Options struct {
 	// horizon (keeping everything needed to recover, plus that many epochs
 	// of manual-rollback headroom). 0 disables garbage collection.
 	RetainEpochs int64
+	// FS is the filesystem for the checkpoint (WAL + state store). Nil uses
+	// the hardened real filesystem (fsync of files and parent directories);
+	// tests inject fsx.FaultFS, benchmarks may pass fsx.NoSync().
+	FS fsx.FS
+	// MaxIORetries bounds how many times a transient I/O error (EIO,
+	// ENOSPC, ...) on a source read or sink write is retried before the
+	// epoch fails (default 3; negative disables retry).
+	MaxIORetries int
+	// RetryBackoff is the base delay of the exponential backoff between
+	// retries; each attempt doubles it and adds jitter (default 2ms).
+	RetryBackoff time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -62,6 +75,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Name == "" {
 		o.Name = "query"
+	}
+	if o.FS == nil {
+		o.FS = fsx.Real()
+	}
+	if o.MaxIORetries == 0 {
+		o.MaxIORetries = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 2 * time.Millisecond
 	}
 	return o
 }
@@ -100,11 +122,11 @@ func newExec(q *incremental.Query, srcs map[string]sources.Source, sink sinks.Si
 	if opts.Checkpoint == "" {
 		return nil, fmt.Errorf("engine: a checkpoint directory is required")
 	}
-	w, err := wal.Open(opts.Checkpoint)
+	w, err := wal.OpenFS(opts.FS, opts.Checkpoint)
 	if err != nil {
 		return nil, err
 	}
-	prov := state.NewProvider(opts.Checkpoint)
+	prov := state.NewProviderFS(opts.FS, opts.Checkpoint)
 	if opts.StateSnapshotInterval > 0 {
 		prov.SnapshotInterval = opts.StateSnapshotInterval
 	}
@@ -146,6 +168,9 @@ func (e *exec) recover() error {
 	if err != nil {
 		return err
 	}
+	// Corrupt uncommitted tail entries (torn by a crash) were dropped and
+	// will be re-planned; surface that the durability layer caught them.
+	e.reg.Counter("corruptionsDetected").Add(int64(len(rp.DroppedCorrupt)))
 	e.nextEpoch = rp.NextEpoch
 	e.watermark = rp.Watermark
 
@@ -302,6 +327,24 @@ func (e *exec) runOnce() error {
 	return e.runEpoch(e.nextEpoch, ranges, false)
 }
 
+// withRetry runs fn, retrying transient I/O errors (EIO, ENOSPC, injected
+// fsx.ErrTransient) up to MaxIORetries times with exponential backoff plus
+// jitter. Non-transient errors — crashes, corruption, logic errors — fail
+// immediately: retrying those would mask real damage.
+func (e *exec) withRetry(fn func() error) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = fn()
+		if err == nil || !fsx.IsTransient(err) || attempt >= e.opts.MaxIORetries {
+			return err
+		}
+		e.reg.Counter("ioRetries").Add(1)
+		backoff := e.opts.RetryBackoff << attempt
+		backoff += time.Duration(rand.Int63n(int64(backoff)/2 + 1))
+		time.Sleep(backoff)
+	}
+}
+
 // mapResult is one map task's output.
 type mapResult struct {
 	side    int
@@ -345,8 +388,12 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 		bp := e.pipes[spec.pipeIdx]
 		r := ranges[bp.src.Name()]
 		tasks[ti] = cluster.Task{Index: ti, Fn: func() (any, error) {
-			raw, err := bp.src.Read(spec.part, r[0][spec.part], r[1][spec.part])
-			if err != nil {
+			var raw []sql.Row
+			if err := e.withRetry(func() error {
+				var rerr error
+				raw, rerr = bp.src.Read(spec.part, r[0][spec.part], r[1][spec.part])
+				return rerr
+			}); err != nil {
 				return nil, err
 			}
 			res := &mapResult{side: bp.pipe.Side, maxTs: -1, rows: int64(len(raw))}
@@ -466,12 +513,14 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 	if err != nil {
 		return err
 	}
-	if err := e.sink.AddBatch(sinks.Batch{
-		Epoch:    epoch,
-		Mode:     e.q.Mode,
-		Schema:   e.q.OutSchema,
-		Rows:     outRows,
-		KeyArity: e.q.KeyArity,
+	if err := e.withRetry(func() error {
+		return e.sink.AddBatch(sinks.Batch{
+			Epoch:    epoch,
+			Mode:     e.q.Mode,
+			Schema:   e.q.OutSchema,
+			Rows:     outRows,
+			KeyArity: e.q.KeyArity,
+		})
 	}); err != nil {
 		return err
 	}
@@ -515,16 +564,18 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 		endTotals[name] = r[1].Total()
 	}
 	e.log.Emit(metrics.QueryProgress{
-		QueryName:        e.opts.Name,
-		Epoch:            epoch,
-		NumInputRows:     inputRows,
-		NumOutputRows:    int64(len(outRows)),
-		ProcessingMillis: elapsed.Milliseconds(),
-		WatermarkMicros:  e.watermark,
-		StateRows:        stateRows,
-		StateBytes:       stateBytes,
-		InputRowsPerSec:  float64(inputRows) / max(elapsed.Seconds(), 1e-9),
-		SourceOffsets:    endTotals,
+		QueryName:           e.opts.Name,
+		Epoch:               epoch,
+		NumInputRows:        inputRows,
+		NumOutputRows:       int64(len(outRows)),
+		ProcessingMillis:    elapsed.Milliseconds(),
+		WatermarkMicros:     e.watermark,
+		StateRows:           stateRows,
+		StateBytes:          stateBytes,
+		InputRowsPerSec:     float64(inputRows) / max(elapsed.Seconds(), 1e-9),
+		SourceOffsets:       endTotals,
+		IORetries:           e.reg.Counter("ioRetries").Value(),
+		CorruptionsDetected: e.reg.Counter("corruptionsDetected").Value(),
 	})
 	return nil
 }

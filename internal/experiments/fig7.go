@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"structream/internal/engine"
+	"structream/internal/fsx"
 	"structream/internal/incremental"
 	"structream/internal/msgbus"
 	"structream/internal/sinks"
@@ -151,6 +152,8 @@ func runFig7Point(rate int64, duration time.Duration, ckpt string) (LatencyPoint
 	sq, err := engine.Start(q, map[string]sources.Source{"in": src}, sink, engine.Options{
 		Checkpoint: ckpt,
 		Trigger:    engine.ContinuousTrigger{EpochInterval: 50 * time.Millisecond},
+		// The experiment measures engine latency, not disk durability cost.
+		FS: fsx.NoSync(),
 	})
 	if err != nil {
 		return LatencyPoint{}, err
@@ -234,6 +237,7 @@ func microbatchMaxThroughput(ckpt string) (float64, error) {
 	sq, err := engine.Start(q, map[string]sources.Source{"in": src}, sink, engine.Options{
 		Checkpoint: ckpt,
 		Trigger:    engine.OnceTrigger{},
+		FS:         fsx.NoSync(),
 	})
 	if err != nil {
 		return 0, err

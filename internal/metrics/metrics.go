@@ -104,6 +104,13 @@ type QueryProgress struct {
 	StateBytes       int64            `json:"stateBytes"`
 	InputRowsPerSec  float64          `json:"inputRowsPerSecond"`
 	SourceOffsets    map[string]int64 `json:"sourceEndOffsetTotals,omitempty"`
+	// IORetries is the cumulative count of transient I/O failures absorbed
+	// by retry (source reads, sink writes) since the query started.
+	IORetries int64 `json:"ioRetries,omitempty"`
+	// CorruptionsDetected is the cumulative count of corrupt records the
+	// durability layer detected and safely recovered from (e.g. a torn
+	// uncommitted WAL tail dropped during restart).
+	CorruptionsDetected int64 `json:"corruptionsDetected,omitempty"`
 }
 
 // Listener receives progress events.

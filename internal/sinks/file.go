@@ -3,10 +3,11 @@ package sinks
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 	"path/filepath"
+	"sort"
 
 	"structream/internal/colfmt"
+	"structream/internal/fsx"
 	"structream/internal/msgbus"
 	"structream/internal/sql"
 	"structream/internal/sql/codec"
@@ -73,25 +74,38 @@ func (s *FileSink) Rollback(keep int64) error {
 // ---------------------------------------------------------------- json
 
 // JSONFileSink writes one JSON-lines file per epoch — human-inspectable
-// output for the examples. Epoch-named files make replays idempotent.
+// output for the examples. Epoch-named files plus atomic replacement make
+// replays idempotent: re-running an epoch with the same offsets produces
+// the same bytes in the same file.
 type JSONFileSink struct {
 	Dir string
+	// FS overrides the filesystem (fault injection in tests); nil means the
+	// hardened real filesystem.
+	FS fsx.FS
 }
 
 // NewJSONFileSink creates a JSON-lines file sink.
 func NewJSONFileSink(dir string) *JSONFileSink { return &JSONFileSink{Dir: dir} }
 
+func (s *JSONFileSink) fsys() fsx.FS {
+	if s.FS != nil {
+		return s.FS
+	}
+	return fsx.Real()
+}
+
 // AddBatch implements Sink.
 func (s *JSONFileSink) AddBatch(b Batch) error {
-	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+	fsys := s.fsys()
+	if err := fsys.MkdirAll(s.Dir, 0o755); err != nil {
 		return fmt.Errorf("sinks: %w", err)
 	}
 	name := fmt.Sprintf("part-%012d.json", b.Epoch)
 	if b.Mode == logical.Complete {
 		name = "result.json" // complete mode keeps a single current file
 	}
-	var buf []byte
 	names := b.Schema.Names()
+	lines := make([]string, 0, len(b.Rows))
 	for _, r := range b.Rows {
 		obj := make(map[string]any, len(names))
 		for i, n := range names {
@@ -101,14 +115,18 @@ func (s *JSONFileSink) AddBatch(b Batch) error {
 		if err != nil {
 			return fmt.Errorf("sinks: %w", err)
 		}
-		buf = append(buf, line...)
+		lines = append(lines, string(line))
+	}
+	// Canonical line order: row order out of a shuffled aggregation is not
+	// deterministic, but a replayed epoch must overwrite its file with
+	// byte-identical contents for exactly-once output to be checkable.
+	sort.Strings(lines)
+	var buf []byte
+	for _, l := range lines {
+		buf = append(buf, l...)
 		buf = append(buf, '\n')
 	}
-	tmp := filepath.Join(s.Dir, name+".tmp")
-	if err := os.WriteFile(tmp, buf, 0o644); err != nil {
-		return fmt.Errorf("sinks: %w", err)
-	}
-	if err := os.Rename(tmp, filepath.Join(s.Dir, name)); err != nil {
+	if err := fsx.WriteAtomic(fsys, filepath.Join(s.Dir, name), buf, 0o644); err != nil {
 		return fmt.Errorf("sinks: %w", err)
 	}
 	return nil

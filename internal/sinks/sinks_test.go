@@ -2,11 +2,14 @@ package sinks
 
 import (
 	"bytes"
+	"errors"
 	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"structream/internal/colfmt"
+	"structream/internal/fsx"
 	"structream/internal/msgbus"
 	"structream/internal/sql"
 	"structream/internal/sql/logical"
@@ -218,5 +221,77 @@ func TestBusSinkAndTransactionalWrapper(t *testing.T) {
 	multi, _ := broker.CreateTopic("multi", 2)
 	if _, err := NewTransactionalBusSink(inner, multi); err == nil {
 		t.Error("multi-partition control topic should be rejected")
+	}
+}
+
+func TestJSONFileSinkReplayIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	s := NewJSONFileSink(dir)
+	// Epoch 1 writes, then "crashes" before the commit marker; recovery
+	// replays it with identical offsets but rows in a different order.
+	s.AddBatch(batch(0, logical.Append, sql.Row{"CA", int64(1)}))
+	s.AddBatch(batch(1, logical.Append, sql.Row{"US", int64(2)}, sql.Row{"BR", int64(3)}))
+	before, err := os.ReadFile(filepath.Join(dir, "part-000000000001.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddBatch(batch(1, logical.Append, sql.Row{"BR", int64(3)}, sql.Row{"US", int64(2)})); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.ReadFile(filepath.Join(dir, "part-000000000001.json"))
+	if !bytes.Equal(before, after) {
+		t.Errorf("replayed epoch file differs:\n%s\nvs\n%s", before, after)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 2 {
+		t.Errorf("replay must not create extra files: %v", entries)
+	}
+}
+
+func TestJSONFileSinkCompleteReplayIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	s := NewJSONFileSink(dir)
+	s.AddBatch(batch(0, logical.Complete, sql.Row{"CA", int64(1)}))
+	s.AddBatch(batch(1, logical.Complete, sql.Row{"CA", int64(4)}, sql.Row{"US", int64(2)}))
+	before, err := os.ReadFile(filepath.Join(dir, "result.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay of epoch 1 overwrites result.json with the same bytes.
+	s.AddBatch(batch(1, logical.Complete, sql.Row{"US", int64(2)}, sql.Row{"CA", int64(4)}))
+	after, _ := os.ReadFile(filepath.Join(dir, "result.json"))
+	if !bytes.Equal(before, after) {
+		t.Errorf("replayed result.json differs:\n%s\nvs\n%s", before, after)
+	}
+	if entries, _ := os.ReadDir(dir); len(entries) != 1 {
+		t.Errorf("complete mode must keep a single file: %v", entries)
+	}
+}
+
+func TestJSONFileSinkCrashLeavesNoTornFile(t *testing.T) {
+	dir := t.TempDir()
+	ffs := fsx.NewFaultFS(fsx.NoSync())
+	s := &JSONFileSink{Dir: dir, FS: ffs}
+	if err := s.AddBatch(batch(0, logical.Append, sql.Row{"CA", int64(1)})); err != nil {
+		t.Fatal(err)
+	}
+	// Crash during epoch 1's data write: the torn bytes stay in the .tmp
+	// file, never visible under the part- name.
+	ffs.CrashAt, ffs.Mode = ffs.Ops()+1, fsx.CrashTorn
+	err := s.AddBatch(batch(1, logical.Append, sql.Row{"US", int64(2)}))
+	if !errors.Is(err, fsx.ErrCrash) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, serr := os.Stat(filepath.Join(dir, "part-000000000001.json")); !os.IsNotExist(serr) {
+		t.Error("torn write became visible under the final name")
+	}
+	// Restart: a fresh sink replays the epoch and overwrites cleanly.
+	s2 := NewJSONFileSink(dir)
+	if err := s2.AddBatch(batch(1, logical.Append, sql.Row{"US", int64(2)})); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(filepath.Join(dir, "part-000000000001.json"))
+	if !strings.Contains(string(got), `"US"`) {
+		t.Errorf("replayed file = %q", got)
 	}
 }

@@ -1,0 +1,122 @@
+package state
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"structream/internal/fsx"
+)
+
+// storeDir is where the test store's files live under the provider root.
+func storeDir(root string) string { return filepath.Join(root, "state", "agg", "0") }
+
+// commitVersions builds a store with deltas at versions 0..n-1 (snapshot
+// interval 3) and returns the provider root.
+func commitVersions(t *testing.T, n int64) string {
+	t.Helper()
+	root := t.TempDir()
+	p := NewProvider(root)
+	p.SnapshotInterval = 3
+	s := open(t, p, -1)
+	for v := int64(0); v < n; v++ {
+		s.Put([]byte{byte('a' + v)}, []byte{byte('0' + v)})
+		if err := s.Commit(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestLoadVersionNamesTruncatedDelta(t *testing.T) {
+	root := commitVersions(t, 5)
+	victim := filepath.Join(storeDir(root), "4.delta")
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(victim, data[:len(data)-3], 0o644)
+	// A fresh provider (no cache) must refuse to load the torn version.
+	_, err = NewProvider(root).Open(ID{Operator: "agg", Partition: 0}, 4)
+	if err == nil {
+		t.Fatal("truncated delta loaded without error")
+	}
+	if !strings.Contains(err.Error(), "4.delta") || !fsx.IsCorrupt(err) {
+		t.Errorf("error should be a corruption naming 4.delta: %v", err)
+	}
+}
+
+func TestLoadVersionNamesBitFlippedSnapshot(t *testing.T) {
+	root := commitVersions(t, 5)
+	victim := filepath.Join(storeDir(root), "3.snapshot")
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	os.WriteFile(victim, data, 0o644)
+	_, err = NewProvider(root).Open(ID{Operator: "agg", Partition: 0}, 4)
+	if err == nil {
+		t.Fatal("bit-flipped snapshot loaded without error")
+	}
+	if !strings.Contains(err.Error(), "3.snapshot") || !fsx.IsCorrupt(err) {
+		t.Errorf("error should be a corruption naming 3.snapshot: %v", err)
+	}
+}
+
+func TestCorruptUncommittedTailDoesNotPoisonRecovery(t *testing.T) {
+	root := commitVersions(t, 5)
+	// The crash tore the in-flight delta for version 5 (uncommitted: the
+	// WAL has no commit for its epoch), so recovery reopens version 4.
+	torn := filepath.Join(storeDir(root), "5.delta")
+	os.WriteFile(torn, []byte("half a rec"), 0o644)
+	s, err := NewProvider(root).Open(ID{Operator: "agg", Partition: 0}, 4)
+	if err != nil {
+		t.Fatalf("corrupt tail past the recovery version must not matter: %v", err)
+	}
+	if v, ok := s.Get([]byte("e")); !ok || string(v) != "4" {
+		t.Errorf("recovered value = %q ok=%v", v, ok)
+	}
+	// Re-committing version 5 overwrites the torn file with a good one.
+	s.Put([]byte("f"), []byte("5"))
+	if err := s.Commit(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewProvider(root).Open(ID{Operator: "agg", Partition: 0}, 5); err != nil {
+		t.Errorf("recommitted version unreadable: %v", err)
+	}
+}
+
+func TestOpenReclaimsOrphanedTmp(t *testing.T) {
+	root := commitVersions(t, 2)
+	orphan := filepath.Join(storeDir(root), "2.delta.tmp")
+	os.WriteFile(orphan, []byte("partial"), 0o644)
+	if _, err := NewProvider(root).Open(ID{Operator: "agg", Partition: 0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Error("orphaned tmp file not reclaimed by Open")
+	}
+}
+
+func TestFaultFSProviderRoundTrip(t *testing.T) {
+	root := t.TempDir()
+	ffs := fsx.NewFaultFS(fsx.NoSync())
+	p := NewProviderFS(ffs, root)
+	s := open(t, p, -1)
+	s.Put([]byte("k"), []byte("v"))
+	if err := s.Commit(0); err != nil {
+		t.Fatal(err)
+	}
+	if ffs.Ops() == 0 {
+		t.Error("commit performed no counted operations")
+	}
+	got, err := NewProvider(root).Open(ID{Operator: "agg", Partition: 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := got.Get([]byte("k")); !ok || string(v) != "v" {
+		t.Errorf("value = %q ok=%v", v, ok)
+	}
+}

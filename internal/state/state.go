@@ -11,12 +11,15 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+
+	"structream/internal/fsx"
 )
 
 // ID identifies one operator's state for one partition.
@@ -30,6 +33,7 @@ func (id ID) String() string { return fmt.Sprintf("%s/%d", id.Operator, id.Parti
 
 // Provider manages the stores under one checkpoint directory.
 type Provider struct {
+	fs  fsx.FS
 	dir string
 	// SnapshotInterval controls how many delta versions accumulate before a
 	// full snapshot is written. The paper notes checkpoints are written
@@ -41,9 +45,14 @@ type Provider struct {
 	cache map[ID]*Store
 }
 
-// NewProvider creates a provider rooted at dir.
-func NewProvider(dir string) *Provider {
-	return &Provider{dir: dir, SnapshotInterval: 10, cache: map[ID]*Store{}}
+// NewProvider creates a provider rooted at dir on the hardened real
+// filesystem.
+func NewProvider(dir string) *Provider { return NewProviderFS(fsx.Real(), dir) }
+
+// NewProviderFS creates a provider rooted at dir on an explicit filesystem
+// (fault injection in tests, alternate durability policies).
+func NewProviderFS(fsys fsx.FS, dir string) *Provider {
+	return &Provider{fs: fsys, dir: dir, SnapshotInterval: 10, cache: map[ID]*Store{}}
 }
 
 // Dir returns the provider's root directory.
@@ -67,8 +76,13 @@ func (p *Provider) Open(id ID, version int64) (*Store, error) {
 		data:     map[string][]byte{},
 		version:  -1,
 	}
-	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+	if err := p.fs.MkdirAll(s.dir, 0o755); err != nil {
 		return nil, fmt.Errorf("state: %w", err)
+	}
+	// Reclaim orphaned temp files from an atomic write a crash interrupted,
+	// so they cannot accumulate across restarts.
+	if _, err := fsx.CleanupTmp(p.fs, s.dir); err != nil {
+		return nil, fmt.Errorf("state: reclaiming orphaned tmp files: %w", err)
 	}
 	if version >= 0 {
 		if err := s.loadVersion(version); err != nil {
@@ -83,16 +97,7 @@ func (p *Provider) Open(id ID, version int64) (*Store, error) {
 // reconstruct any version newer than keepFrom, across all stores on disk.
 func (p *Provider) Maintenance(keepFrom int64) error {
 	root := filepath.Join(p.dir, "state")
-	return filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			if os.IsNotExist(err) {
-				return nil
-			}
-			return err
-		}
-		if d.IsDir() {
-			return nil
-		}
+	return fsx.Walk(p.fs, root, func(path string, d fs.DirEntry) error {
 		v, kind, ok := parseStateFile(d.Name())
 		if !ok {
 			return nil
@@ -102,7 +107,7 @@ func (p *Provider) Maintenance(keepFrom int64) error {
 		// Conservative rule: delete files strictly older than keepFrom only
 		// when a snapshot exists at or after their version but <= keepFrom.
 		dir := filepath.Dir(path)
-		snap, found, err := latestSnapshotAtOrBelow(dir, keepFrom)
+		snap, found, err := latestSnapshotAtOrBelow(p.fs, dir, keepFrom)
 		if err != nil {
 			return err
 		}
@@ -110,7 +115,7 @@ func (p *Provider) Maintenance(keepFrom int64) error {
 			return nil
 		}
 		if v < snap || (v == snap && kind == kindDelta) {
-			return os.Remove(path)
+			return p.fs.Remove(path)
 		}
 		return nil
 	})
@@ -135,8 +140,8 @@ func parseStateFile(name string) (version int64, kind string, ok bool) {
 	return 0, "", false
 }
 
-func latestSnapshotAtOrBelow(dir string, version int64) (int64, bool, error) {
-	entries, err := os.ReadDir(dir)
+func latestSnapshotAtOrBelow(fsys fsx.FS, dir string, version int64) (int64, bool, error) {
+	entries, err := fsys.ReadDir(dir)
 	if err != nil {
 		return 0, false, err
 	}
@@ -313,7 +318,7 @@ func (s *Store) writeDelta(version int64) error {
 		buf = binary.AppendUvarint(buf, uint64(len(v)))
 		buf = append(buf, v...)
 	}
-	return atomicWrite(filepath.Join(s.dir, fmt.Sprintf("%d.%s", version, kindDelta)), buf)
+	return s.atomicWrite(filepath.Join(s.dir, fmt.Sprintf("%d.%s", version, kindDelta)), buf)
 }
 
 func (s *Store) writeSnapshot(version int64) error {
@@ -331,15 +336,15 @@ func (s *Store) writeSnapshot(version int64) error {
 		buf = binary.AppendUvarint(buf, uint64(len(v)))
 		buf = append(buf, v...)
 	}
-	return atomicWrite(filepath.Join(s.dir, fmt.Sprintf("%d.%s", version, kindSnapshot)), buf)
+	return s.atomicWrite(filepath.Join(s.dir, fmt.Sprintf("%d.%s", version, kindSnapshot)), buf)
 }
 
-func atomicWrite(path string, data []byte) error {
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("state: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
+// atomicWrite seals body with a length+CRC32C footer and writes it via
+// temp-file-plus-rename, so a crash can never leave a partially written
+// record in place of a committed version — and if the disk lies (torn
+// write, bit rot), the reader detects it instead of loading wrong state.
+func (s *Store) atomicWrite(path string, body []byte) error {
+	if err := fsx.WriteAtomic(s.provider.fs, path, fsx.Seal(body), 0o644); err != nil {
 		return fmt.Errorf("state: %w", err)
 	}
 	return nil
@@ -349,7 +354,7 @@ func atomicWrite(path string, data []byte) error {
 func (s *Store) loadVersion(version int64) error {
 	s.data = map[string][]byte{}
 	s.pendingPut, s.pendingDel = nil, nil
-	snap, haveSnap, err := latestSnapshotAtOrBelow(s.dir, version)
+	snap, haveSnap, err := latestSnapshotAtOrBelow(s.provider.fs, s.dir, version)
 	if err != nil {
 		return fmt.Errorf("state: %w", err)
 	}
@@ -362,7 +367,7 @@ func (s *Store) loadVersion(version int64) error {
 	}
 	for v := from; v <= version; v++ {
 		path := filepath.Join(s.dir, fmt.Sprintf("%d.%s", v, kindDelta))
-		if _, err := os.Stat(path); os.IsNotExist(err) {
+		if _, err := s.provider.fs.Stat(path); os.IsNotExist(err) {
 			// Missing versions are legal: the engine commits state only on
 			// epochs that touched this operator partition.
 			continue
@@ -376,7 +381,11 @@ func (s *Store) loadVersion(version int64) error {
 }
 
 func (s *Store) applyFile(path string) error {
-	data, err := os.ReadFile(path)
+	raw, err := s.provider.fs.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("state: %w", err)
+	}
+	data, err := fsx.Verify(path, raw)
 	if err != nil {
 		return fmt.Errorf("state: %w", err)
 	}
@@ -412,7 +421,7 @@ func (s *Store) applyFile(path string) error {
 // Versions lists the committed versions reconstructable on disk for id.
 func (p *Provider) Versions(id ID) ([]int64, error) {
 	dir := filepath.Join(p.dir, "state", id.Operator, strconv.Itoa(id.Partition))
-	entries, err := os.ReadDir(dir)
+	entries, err := p.fs.ReadDir(dir)
 	if os.IsNotExist(err) {
 		return nil, nil
 	}
@@ -437,16 +446,7 @@ func (p *Provider) Versions(id ID) ([]int64, error) {
 // monitoring.
 func (p *Provider) DiskUsage() (int64, error) {
 	var total int64
-	err := filepath.WalkDir(filepath.Join(p.dir, "state"), func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			if os.IsNotExist(err) {
-				return nil
-			}
-			return err
-		}
-		if d.IsDir() {
-			return nil
-		}
+	err := fsx.Walk(p.fs, filepath.Join(p.dir, "state"), func(path string, d fs.DirEntry) error {
 		info, err := d.Info()
 		if err != nil {
 			if os.IsNotExist(err) {

@@ -3,7 +3,10 @@
 // which epochs have been committed to the sink. Entries are human-readable
 // JSON — deliberately, so administrators can inspect the log and perform
 // manual rollbacks (§7.2) with ordinary tools. All writes are atomic via
-// write-to-temp-then-rename.
+// write-to-temp-then-rename on a durability-hardened filesystem (fsync of
+// the file and its parent directory), and every entry carries a
+// length + CRC32C frame so truncation and bit rot are detected on read
+// instead of silently replaying the wrong offsets.
 package wal
 
 import (
@@ -14,6 +17,8 @@ import (
 	"sort"
 	"strconv"
 	"time"
+
+	"structream/internal/fsx"
 )
 
 // SourceOffsets records one input source's offset range for an epoch: the
@@ -24,39 +29,60 @@ type SourceOffsets struct {
 	End    []int64 `json:"end"`
 }
 
-// Entry is one offsets-log record: the definition of an epoch.
+// Entry is one offsets-log record: the definition of an epoch. LengthBytes
+// and CRC32C frame the record: they are computed over the entry's JSON
+// encoding with both fields zeroed, so a reader can re-derive and check
+// them. They are advisory for humans and load-bearing for recovery.
 type Entry struct {
 	Epoch     int64           `json:"epoch"`
 	Timestamp string          `json:"timestamp"`
 	Watermark int64           `json:"watermarkMicros"`
 	Sources   []SourceOffsets `json:"sources"`
+
+	LengthBytes int64  `json:"lengthBytes,omitempty"`
+	CRC32C      string `json:"crc32c,omitempty"`
 }
 
 // Commit is one commit-log record, written after the sink durably holds the
-// epoch's output.
+// epoch's output. Only the file's presence is load-bearing; the body is
+// framed like Entry for uniformity.
 type Commit struct {
 	Epoch     int64  `json:"epoch"`
 	Timestamp string `json:"timestamp"`
+
+	LengthBytes int64  `json:"lengthBytes,omitempty"`
+	CRC32C      string `json:"crc32c,omitempty"`
 }
 
 // Log is a write-ahead log rooted at a checkpoint directory, holding an
 // offsets log and a commit log.
 type Log struct {
+	fs         fsx.FS
 	dir        string
 	offsetsDir string
 	commitsDir string
 }
 
-// Open creates or opens the log under dir.
-func Open(dir string) (*Log, error) {
+// Open creates or opens the log under dir on the hardened real filesystem.
+func Open(dir string) (*Log, error) { return OpenFS(fsx.Real(), dir) }
+
+// OpenFS creates or opens the log under dir on an explicit filesystem
+// (fault injection in tests, alternate durability policies). Orphaned
+// "*.tmp" files from atomic writes interrupted by a crash are reclaimed
+// here, so they cannot accumulate across restarts.
+func OpenFS(fsys fsx.FS, dir string) (*Log, error) {
 	l := &Log{
+		fs:         fsys,
 		dir:        dir,
 		offsetsDir: filepath.Join(dir, "offsets"),
 		commitsDir: filepath.Join(dir, "commits"),
 	}
 	for _, d := range []string{l.offsetsDir, l.commitsDir} {
-		if err := os.MkdirAll(d, 0o755); err != nil {
+		if err := fsys.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("wal: %w", err)
+		}
+		if _, err := fsx.CleanupTmp(fsys, d); err != nil {
+			return nil, fmt.Errorf("wal: reclaiming orphaned tmp files: %w", err)
 		}
 	}
 	return l, nil
@@ -71,12 +97,46 @@ func epochFile(dir string, epoch int64) string {
 
 // writeAtomic writes data to path via a temp file and rename, so readers
 // never observe a partial file even across crashes.
-func writeAtomic(path string, data []byte) error {
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
+func (l *Log) writeAtomic(path string, data []byte) error {
+	return fsx.WriteAtomic(l.fs, path, data, 0o644)
+}
+
+// frameJSON marshals v (an *Entry or *Commit with zeroed frame fields),
+// fills the frame from that canonical encoding, and marshals again. The
+// result stays plain indented JSON: framing must not cost the §7.2
+// "admins read this with ordinary tools" property.
+func frameJSON(zeroFramed any, setFrame func(length int64, crc string)) ([]byte, error) {
+	body, err := json.MarshalIndent(zeroFramed, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
 	}
-	return os.Rename(tmp, path)
+	setFrame(int64(len(body)), fmt.Sprintf("%08x", fsx.Checksum(body)))
+	framed, err := json.MarshalIndent(zeroFramed, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	return append(framed, '\n'), nil
+}
+
+// verifyEntryFrame re-derives the frame of a decoded entry and checks it.
+// Entries without a frame (hand-written or pre-framing checkpoints) pass.
+func verifyEntryFrame(path string, e Entry) error {
+	if e.CRC32C == "" && e.LengthBytes == 0 {
+		return nil
+	}
+	wantLen, wantCRC := e.LengthBytes, e.CRC32C
+	e.LengthBytes, e.CRC32C = 0, ""
+	body, err := json.MarshalIndent(&e, "", "  ")
+	if err != nil {
+		return fmt.Errorf("wal: %w", err)
+	}
+	if int64(len(body)) != wantLen {
+		return fmt.Errorf("wal: %w: %s: entry is %d canonical bytes but frame says %d (edited or truncated)", fsx.ErrCorrupt, path, len(body), wantLen)
+	}
+	if got := fmt.Sprintf("%08x", fsx.Checksum(body)); got != wantCRC {
+		return fmt.Errorf("wal: %w: %s: crc32c mismatch (stored %s, computed %s — bit rot or tampering)", fsx.ErrCorrupt, path, wantCRC, got)
+	}
+	return nil
 }
 
 // WriteOffsets durably records an epoch's offset ranges. Writing the same
@@ -96,11 +156,12 @@ func (l *Log) WriteOffsets(e Entry) error {
 		}
 		return fmt.Errorf("wal: epoch %d already logged with different offsets", e.Epoch)
 	}
-	data, err := json.MarshalIndent(e, "", "  ")
+	e.LengthBytes, e.CRC32C = 0, ""
+	data, err := frameJSON(&e, func(n int64, crc string) { e.LengthBytes, e.CRC32C = n, crc })
 	if err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return err
 	}
-	return writeAtomic(path, append(data, '\n'))
+	return l.writeAtomic(path, data)
 }
 
 func sameEpochDefinition(a, b Entry) bool {
@@ -126,9 +187,12 @@ func sameEpochDefinition(a, b Entry) bool {
 	return true
 }
 
-// ReadOffsets loads one epoch's entry; ok is false when it does not exist.
+// ReadOffsets loads and verifies one epoch's entry; ok is false when it
+// does not exist. A truncated, bit-flipped, or otherwise unreadable entry
+// is an error naming the file.
 func (l *Log) ReadOffsets(epoch int64) (Entry, bool, error) {
-	data, err := os.ReadFile(epochFile(l.offsetsDir, epoch))
+	path := epochFile(l.offsetsDir, epoch)
+	data, err := l.fs.ReadFile(path)
 	if os.IsNotExist(err) {
 		return Entry{}, false, nil
 	}
@@ -137,14 +201,17 @@ func (l *Log) ReadOffsets(epoch int64) (Entry, bool, error) {
 	}
 	var e Entry
 	if err := json.Unmarshal(data, &e); err != nil {
-		return Entry{}, false, fmt.Errorf("wal: corrupt offsets entry %d: %w", epoch, err)
+		return Entry{}, false, fmt.Errorf("wal: %w: %s: not valid JSON (truncated write?): %v", fsx.ErrCorrupt, path, err)
+	}
+	if err := verifyEntryFrame(path, e); err != nil {
+		return Entry{}, false, err
 	}
 	return e, true, nil
 }
 
 // listEpochs returns the sorted epoch numbers present in dir.
-func listEpochs(dir string) ([]int64, error) {
-	entries, err := os.ReadDir(dir)
+func (l *Log) listEpochs(dir string) ([]int64, error) {
+	entries, err := l.fs.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("wal: %w", err)
 	}
@@ -165,7 +232,7 @@ func listEpochs(dir string) ([]int64, error) {
 }
 
 // Epochs lists the epochs with offsets entries, ascending.
-func (l *Log) Epochs() ([]int64, error) { return listEpochs(l.offsetsDir) }
+func (l *Log) Epochs() ([]int64, error) { return l.listEpochs(l.offsetsDir) }
 
 // LatestOffsets returns the highest-numbered offsets entry.
 func (l *Log) LatestOffsets() (Entry, bool, error) {
@@ -179,15 +246,15 @@ func (l *Log) LatestOffsets() (Entry, bool, error) {
 // WriteCommit records that an epoch's output is durably in the sink.
 func (l *Log) WriteCommit(epoch int64) error {
 	c := Commit{Epoch: epoch, Timestamp: time.Now().UTC().Format(time.RFC3339Nano)}
-	data, err := json.MarshalIndent(c, "", "  ")
+	data, err := frameJSON(&c, func(n int64, crc string) { c.LengthBytes, c.CRC32C = n, crc })
 	if err != nil {
-		return fmt.Errorf("wal: %w", err)
+		return err
 	}
-	return writeAtomic(epochFile(l.commitsDir, epoch), append(data, '\n'))
+	return l.writeAtomic(epochFile(l.commitsDir, epoch), data)
 }
 
 // Commits lists committed epochs, ascending.
-func (l *Log) Commits() ([]int64, error) { return listEpochs(l.commitsDir) }
+func (l *Log) Commits() ([]int64, error) { return l.listEpochs(l.commitsDir) }
 
 // LatestCommit returns the highest committed epoch; ok is false when no
 // epoch has committed yet.
@@ -204,7 +271,7 @@ func (l *Log) LatestCommit() (int64, bool, error) {
 // from the prefix ending at keep. RollbackTo(-1) clears the whole log.
 func (l *Log) RollbackTo(keep int64) error {
 	for _, dir := range []string{l.offsetsDir, l.commitsDir} {
-		epochs, err := listEpochs(dir)
+		epochs, err := l.listEpochs(dir)
 		if err != nil {
 			return err
 		}
@@ -214,7 +281,7 @@ func (l *Log) RollbackTo(keep int64) error {
 			if epochs[i] <= keep {
 				break
 			}
-			if err := os.Remove(epochFile(dir, epochs[i])); err != nil {
+			if err := l.fs.Remove(epochFile(dir, epochs[i])); err != nil {
 				return fmt.Errorf("wal: rollback: %w", err)
 			}
 		}
@@ -233,7 +300,7 @@ func (l *Log) Purge(before int64) error {
 		before = latest
 	}
 	for _, dir := range []string{l.offsetsDir, l.commitsDir} {
-		epochs, err := listEpochs(dir)
+		epochs, err := l.listEpochs(dir)
 		if err != nil {
 			return err
 		}
@@ -241,7 +308,7 @@ func (l *Log) Purge(before int64) error {
 			if e >= before {
 				break
 			}
-			if err := os.Remove(epochFile(dir, e)); err != nil {
+			if err := l.fs.Remove(epochFile(dir, e)); err != nil {
 				return fmt.Errorf("wal: purge: %w", err)
 			}
 		}
@@ -261,24 +328,70 @@ type RecoveryPoint struct {
 	// Watermark is the event-time watermark to restore, from the most
 	// recent offsets entry.
 	Watermark int64
+	// DroppedCorrupt lists unreadable *uncommitted* tail entries that were
+	// removed during recovery. Losing an uncommitted entry is safe — its
+	// epoch never reached the sink and will simply be re-planned — but the
+	// engine surfaces the count as a corruption metric.
+	DroppedCorrupt []string
 }
 
 // Recover computes the recovery point from the log state, implementing the
 // restart protocol of §6.1: find the last epoch not committed to the sink,
-// re-run it with the same offsets, then continue.
+// re-run it with the same offsets, then continue. Recovery additionally
+// enforces log integrity: the offsets log must be gap-free (a missing
+// intermediate epoch means the checkpoint was damaged — resuming would
+// silently skip input), a corrupt *committed* entry is a hard error naming
+// the file, and a corrupt *uncommitted* tail entry (torn by a crash that
+// beat the atomic rename odds, or bit-rotted) is dropped and re-planned.
 func (l *Log) Recover() (RecoveryPoint, error) {
-	latest, ok, err := l.LatestOffsets()
+	epochs, err := l.Epochs()
 	if err != nil {
 		return RecoveryPoint{}, err
 	}
-	if !ok {
+	if len(epochs) == 0 {
 		return RecoveryPoint{NextEpoch: 0}, nil
+	}
+	for i := 1; i < len(epochs); i++ {
+		if epochs[i] != epochs[i-1]+1 {
+			return RecoveryPoint{}, fmt.Errorf(
+				"wal: offsets log has a gap: epoch %d is followed by %d (epochs %d..%d are missing); the checkpoint is damaged — restore the missing entries or roll back to epoch %d before restarting",
+				epochs[i-1], epochs[i], epochs[i-1]+1, epochs[i]-1, epochs[i-1])
+		}
 	}
 	committed, anyCommit, err := l.LatestCommit()
 	if err != nil {
 		return RecoveryPoint{}, err
 	}
-	rp := RecoveryPoint{NextEpoch: latest.Epoch + 1, Watermark: latest.Watermark}
+
+	var dropped []string
+	last := epochs[len(epochs)-1]
+	latest, ok, rerr := l.ReadOffsets(last)
+	if rerr != nil {
+		if anyCommit && committed >= last {
+			return RecoveryPoint{}, fmt.Errorf("wal: committed epoch %d is unreadable and cannot be dropped: %w", last, rerr)
+		}
+		// The tail entry never committed: drop it and re-plan that epoch.
+		path := epochFile(l.offsetsDir, last)
+		if err := l.fs.Remove(path); err != nil {
+			return RecoveryPoint{}, fmt.Errorf("wal: dropping corrupt uncommitted entry: %w", err)
+		}
+		dropped = append(dropped, path)
+		if len(epochs) == 1 {
+			return RecoveryPoint{NextEpoch: last, DroppedCorrupt: dropped}, nil
+		}
+		last = epochs[len(epochs)-2]
+		latest, ok, rerr = l.ReadOffsets(last)
+		if rerr != nil {
+			// At most one trailing entry can be uncommitted under the §6.1
+			// protocol, so this one was committed — hard error.
+			return RecoveryPoint{}, fmt.Errorf("wal: committed epoch %d is unreadable: %w", last, rerr)
+		}
+	}
+	if !ok {
+		// Raced with a concurrent rollback; treat as fresh.
+		return RecoveryPoint{NextEpoch: 0, DroppedCorrupt: dropped}, nil
+	}
+	rp := RecoveryPoint{NextEpoch: latest.Epoch + 1, Watermark: latest.Watermark, DroppedCorrupt: dropped}
 	if !anyCommit || committed < latest.Epoch {
 		rp.Replay = &latest
 	}

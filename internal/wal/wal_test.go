@@ -266,3 +266,123 @@ func TestMultiSourceEntry(t *testing.T) {
 		t.Errorf("entry = %+v", got)
 	}
 }
+
+func TestOpenReclaimsOrphanedTmpFiles(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir)
+	l.WriteOffsets(entry(0, 0, 7))
+	// Simulate a crash mid-writeAtomic: an orphaned .tmp in each dir.
+	orphanO := filepath.Join(dir, "offsets", "000000000001.json.tmp")
+	orphanC := filepath.Join(dir, "commits", "000000000000.json.tmp")
+	os.WriteFile(orphanO, []byte("partial"), 0o644)
+	os.WriteFile(orphanC, []byte("partial"), 0o644)
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{orphanO, orphanC} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("orphaned tmp file not reclaimed: %s", p)
+		}
+	}
+	// The live entry survived.
+	l2, _ := Open(dir)
+	if _, ok, err := l2.ReadOffsets(0); !ok || err != nil {
+		t.Errorf("live entry lost: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestRecoverDetectsOffsetsGap(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir)
+	for e := int64(0); e < 4; e++ {
+		l.WriteOffsets(entry(e, e*10, e*10+10))
+		l.WriteCommit(e)
+	}
+	// Delete an intermediate epoch file: the log now has a hole.
+	os.Remove(filepath.Join(dir, "offsets", "000000000002.json"))
+	_, err := l.Recover()
+	if err == nil {
+		t.Fatal("gap in offsets log not detected")
+	}
+	if !strings.Contains(err.Error(), "gap") || !strings.Contains(err.Error(), "2") {
+		t.Errorf("gap error not descriptive: %v", err)
+	}
+}
+
+func TestRecoverDropsCorruptUncommittedTail(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir)
+	l.WriteOffsets(entry(0, 0, 10))
+	l.WriteCommit(0)
+	l.WriteOffsets(entry(1, 10, 25)) // crash before commit...
+	tail := filepath.Join(dir, "offsets", "000000000001.json")
+	data, _ := os.ReadFile(tail)
+	os.WriteFile(tail, data[:len(data)/2], 0o644) // ...tears the entry
+	rp, err := l.Recover()
+	if err != nil {
+		t.Fatalf("corrupt uncommitted tail must be recoverable: %v", err)
+	}
+	if len(rp.DroppedCorrupt) != 1 || !strings.Contains(rp.DroppedCorrupt[0], "000000000001.json") {
+		t.Errorf("DroppedCorrupt = %v", rp.DroppedCorrupt)
+	}
+	// The torn epoch is re-planned, not replayed from the torn entry.
+	if rp.NextEpoch != 1 || rp.Replay != nil {
+		t.Errorf("rp = %+v", rp)
+	}
+	if _, err := os.Stat(tail); !os.IsNotExist(err) {
+		t.Error("torn entry should have been removed")
+	}
+}
+
+func TestRecoverCorruptOnlyEntry(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir)
+	l.WriteOffsets(entry(0, 0, 10)) // never committed
+	tail := filepath.Join(dir, "offsets", "000000000000.json")
+	os.WriteFile(tail, []byte("{torn"), 0o644)
+	rp, err := l.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if rp.NextEpoch != 0 || rp.Replay != nil || len(rp.DroppedCorrupt) != 1 {
+		t.Errorf("rp = %+v", rp)
+	}
+}
+
+func TestRecoverCorruptCommittedEntryIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir)
+	l.WriteOffsets(entry(0, 0, 10))
+	l.WriteCommit(0)
+	path := filepath.Join(dir, "offsets", "000000000000.json")
+	os.WriteFile(path, []byte("{torn"), 0o644)
+	_, err := l.Recover()
+	if err == nil {
+		t.Fatal("corrupt committed entry must be a hard error")
+	}
+	if !strings.Contains(err.Error(), "000000000000.json") {
+		t.Errorf("error should name the file: %v", err)
+	}
+}
+
+func TestFrameDetectsInPlaceEdit(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir)
+	l.WriteOffsets(entry(0, 0, 25))
+	path := filepath.Join(dir, "offsets", "000000000000.json")
+	data, _ := os.ReadFile(path)
+	// Flip one digit of the end offset, keeping the file valid JSON of the
+	// same length — only the CRC can catch this.
+	edited := strings.Replace(string(data), "25", "26", 1)
+	if edited == string(data) {
+		t.Fatal("test setup: nothing replaced")
+	}
+	os.WriteFile(path, []byte(edited), 0o644)
+	_, _, err := l.ReadOffsets(0)
+	if err == nil {
+		t.Fatal("in-place edit not detected")
+	}
+	if !strings.Contains(err.Error(), "crc32c") || !strings.Contains(err.Error(), "000000000000.json") {
+		t.Errorf("error should blame the crc and name the file: %v", err)
+	}
+}

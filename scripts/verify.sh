@@ -1,0 +1,10 @@
+#!/bin/sh
+# Full verification: vet + race-enabled tests (torture sweep included).
+# Use `go test -short ./...` for the quick tier that skips the crash sweep.
+set -eu
+cd "$(dirname "$0")/.."
+echo ">> go vet ./..."
+go vet ./...
+echo ">> go test -race ./..."
+go test -race ./...
+echo "verify: OK"
