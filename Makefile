@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short verify bench
+.PHONY: build test test-short verify bench chaos
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,18 @@ test:
 test-short:
 	$(GO) test -short ./...
 
-# Full verification: vet + race detector across everything.
+# Full verification: vet + race detector across everything. Set
+# STRUCTREAM_CHAOS=1 to also run the randomized chaos schedule.
 verify:
 	./scripts/verify.sh
+
+# Randomized fault-injection sweep over the supervised query runtime:
+# crashes, transient fault bursts, and epoch stalls on a random schedule,
+# each round verified to converge to exact output. Bounded wall clock via
+# STRUCTREAM_CHAOS_SECONDS (default 20); STRUCTREAM_CHAOS_SEED reproduces
+# a failing schedule.
+chaos:
+	STRUCTREAM_CHAOS=1 $(GO) test -race -run 'TestChaos' -v -timeout 10m ./internal/supervisor/
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .

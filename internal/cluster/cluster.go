@@ -62,6 +62,7 @@ type Cluster struct {
 	cfg Config
 
 	mu        sync.Mutex
+	slotFree  *sync.Cond // signaled when a slot frees up or topology changes
 	nodes     []*node
 	nextNode  int64
 	taskFail  func(taskIndex, attempt, nodeID int) error
@@ -75,7 +76,7 @@ type Cluster struct {
 
 type node struct {
 	id      int
-	slots   chan struct{}
+	free    int // free task slots, guarded by Cluster.mu
 	removed bool
 }
 
@@ -83,6 +84,7 @@ type node struct {
 func New(cfg Config) *Cluster {
 	cfg = cfg.withDefaults()
 	c := &Cluster{cfg: cfg, slowdowns: map[int]float64{}}
+	c.slotFree = sync.NewCond(&c.mu)
 	for i := 0; i < cfg.Nodes; i++ {
 		c.addNodeLocked()
 	}
@@ -90,11 +92,8 @@ func New(cfg Config) *Cluster {
 }
 
 func (c *Cluster) addNodeLocked() *node {
-	n := &node{id: int(c.nextNode), slots: make(chan struct{}, c.cfg.SlotsPerNode)}
+	n := &node{id: int(c.nextNode), free: c.cfg.SlotsPerNode}
 	c.nextNode++
-	for i := 0; i < c.cfg.SlotsPerNode; i++ {
-		n.slots <- struct{}{}
-	}
 	c.nodes = append(c.nodes, n)
 	return n
 }
@@ -103,11 +102,14 @@ func (c *Cluster) addNodeLocked() *node {
 func (c *Cluster) AddNode() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.addNodeLocked().id
+	n := c.addNodeLocked()
+	c.slotFree.Broadcast()
+	return n.id
 }
 
 // RemoveNode scales the cluster down. Running tasks finish; new tasks skip
-// the node.
+// the node. Waiters are woken so nobody keeps waiting on capacity that no
+// longer exists.
 func (c *Cluster) RemoveNode(id int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -115,6 +117,7 @@ func (c *Cluster) RemoveNode(id int) {
 		if n.id == id {
 			n.removed = true
 			c.nodes = append(c.nodes[:i], c.nodes[i+1:]...)
+			c.slotFree.Broadcast()
 			return
 		}
 	}
@@ -150,43 +153,35 @@ func (c *Cluster) Stats() (run, failed, speculated int64) {
 	return c.tasksRun, c.tasksFailed, c.speculated
 }
 
-// acquireSlot blocks until any node has a free slot and returns it.
+// acquireSlot blocks until a live node has a free slot and claims it.
+// Waiting is a condition-variable park, not a poll: a slot release, an
+// added node, or a removed node wakes waiters exactly once, so draining a
+// removed node cannot spin-burn CPU the way the old channel loop could.
 func (c *Cluster) acquireSlot() *node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for {
-		c.mu.Lock()
-		nodes := append([]*node(nil), c.nodes...)
-		c.mu.Unlock()
-		if len(nodes) == 0 {
-			time.Sleep(time.Millisecond)
-			continue
-		}
-		// Try non-blocking acquisition first, round-robin-ish.
-		for _, n := range nodes {
-			select {
-			case <-n.slots:
-				if n.removed {
-					continue
-				}
+		for _, n := range c.nodes {
+			if n.free > 0 {
+				n.free--
 				return n
-			default:
 			}
 		}
-		// All busy: wait briefly on the first node's slot.
-		select {
-		case <-nodes[0].slots:
-			if !nodes[0].removed {
-				return nodes[0]
-			}
-		case <-time.After(200 * time.Microsecond):
-		}
+		c.slotFree.Wait()
 	}
 }
 
+// releaseSlot returns a claimed slot. A node observed removed after
+// acquisition still gets its token back — the count is simply never
+// handed out again because removed nodes leave c.nodes — so no capacity
+// leaks if the node were ever re-added.
 func (c *Cluster) releaseSlot(n *node) {
-	select {
-	case n.slots <- struct{}{}:
-	default:
+	c.mu.Lock()
+	if n.free < c.cfg.SlotsPerNode {
+		n.free++
 	}
+	c.slotFree.Broadcast()
+	c.mu.Unlock()
 }
 
 // taskState tracks one logical task across attempts.
@@ -198,6 +193,7 @@ type taskState struct {
 	attempts int
 	started  time.Time
 	running  int
+	duration time.Duration // runtime of the attempt that completed the task
 }
 
 // RunStage executes all tasks, blocking until every one has a result (or a
@@ -230,7 +226,9 @@ func (c *Cluster) RunStage(tasks []Task) ([]any, error) {
 			st.mu.Unlock()
 
 			n := c.acquireSlot()
+			attStart := time.Now()
 			result, err := c.runAttempt(tasks[i], attempt, n)
+			attElapsed := time.Since(attStart)
 			c.releaseSlot(n)
 
 			st.mu.Lock()
@@ -242,6 +240,7 @@ func (c *Cluster) RunStage(tasks []Task) ([]any, error) {
 			if err == nil {
 				st.done = true
 				st.result = result
+				st.duration = attElapsed
 				st.mu.Unlock()
 				doneCh <- struct{}{}
 				return
@@ -286,17 +285,25 @@ func (c *Cluster) RunStage(tasks []Task) ([]any, error) {
 				for _, st := range states {
 					st.mu.Lock()
 					if st.done {
-						durations = append(durations, 0)
+						durations = append(durations, st.duration)
 					}
 					st.mu.Unlock()
 				}
 				if len(durations)*2 < len(states) {
 					continue // need half the stage done to judge the median
 				}
+				// A task is a straggler only past multiplier × the median
+				// completed runtime, and never below the minimum runtime —
+				// without the median test, any task slower than the minimum
+				// would get a pointless backup copy.
+				threshold := c.cfg.SpeculationMinRuntime
+				if t := time.Duration(float64(MedianDuration(durations)) * c.cfg.SpeculationMultiplier); t > threshold {
+					threshold = t
+				}
 				for i, st := range states {
 					st.mu.Lock()
 					runningLong := !st.done && st.running == 1 &&
-						now.Sub(st.started) > c.cfg.SpeculationMinRuntime &&
+						now.Sub(st.started) > threshold &&
 						st.attempts < c.cfg.MaxAttempts
 					st.mu.Unlock()
 					if runningLong {

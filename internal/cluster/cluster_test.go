@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -138,6 +139,103 @@ func TestSpeculativeExecution(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 250*time.Millisecond {
 		t.Errorf("stage took %v; speculation should beat the 300ms straggler", elapsed)
+	}
+}
+
+// TestSpeculationRespectsMedianMultiplier is the regression test for the
+// monitor ignoring SpeculationMultiplier: a task moderately slower than
+// the rest — past SpeculationMinRuntime but well under multiplier×median —
+// must NOT get a backup copy.
+func TestSpeculationRespectsMedianMultiplier(t *testing.T) {
+	c := New(Config{Nodes: 2, SlotsPerNode: 2,
+		SpeculationMultiplier: 3.0,
+		SpeculationMinRuntime: time.Millisecond})
+	tasks := make([]Task, 8)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{Index: i, Fn: func() (any, error) {
+			d := 40 * time.Millisecond
+			if i == 7 {
+				d = 60 * time.Millisecond // 1.5× median: not a straggler at 3×
+			}
+			time.Sleep(d)
+			return i, nil
+		}}
+	}
+	if _, err := c.RunStage(tasks); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, speculated := c.Stats(); speculated != 0 {
+		t.Errorf("speculated %d backups for a task under multiplier×median", speculated)
+	}
+}
+
+// TestSpeculationTriggersBeyondMedianMultiplier: the same shape of stage,
+// but with the slow task well past multiplier×median, does get a backup.
+func TestSpeculationTriggersBeyondMedianMultiplier(t *testing.T) {
+	c := New(Config{Nodes: 2, SlotsPerNode: 2,
+		SpeculationMultiplier: 1.5,
+		SpeculationMinRuntime: time.Millisecond})
+	var slowRuns int32
+	tasks := make([]Task, 8)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{Index: i, Fn: func() (any, error) {
+			if i == 7 && atomic.AddInt32(&slowRuns, 1) == 1 {
+				time.Sleep(400 * time.Millisecond) // ≫ 1.5 × ~10ms median
+			} else {
+				time.Sleep(10 * time.Millisecond)
+			}
+			return i, nil
+		}}
+	}
+	start := time.Now()
+	if _, err := c.RunStage(tasks); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, speculated := c.Stats(); speculated == 0 {
+		t.Error("no backup launched for a task far beyond multiplier×median")
+	}
+	if elapsed := time.Since(start); elapsed > 350*time.Millisecond {
+		t.Errorf("stage took %v; the backup copy should beat the straggler", elapsed)
+	}
+}
+
+// TestRemoveNodeWakesWaiters: tasks queued beyond remaining capacity still
+// complete when a node is removed mid-stage, and the blocked acquirers are
+// woken rather than left polling a vanished node's slots.
+func TestRemoveNodeWakesWaiters(t *testing.T) {
+	c := New(Config{Nodes: 2, SlotsPerNode: 1})
+	release := make(chan struct{})
+	var once sync.Once
+	tasks := make([]Task, 6)
+	for i := range tasks {
+		i := i
+		tasks[i] = Task{Index: i, Fn: func() (any, error) {
+			once.Do(func() {
+				c.RemoveNode(1)
+				close(release)
+			})
+			<-release
+			time.Sleep(time.Millisecond)
+			return i, nil
+		}}
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.RunStage(tasks)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stage hung after RemoveNode: waiters were not woken")
+	}
+	if c.NumNodes() != 1 {
+		t.Errorf("nodes = %d", c.NumNodes())
 	}
 }
 

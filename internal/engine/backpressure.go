@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrEpochTimeout marks an epoch that exceeded Options.EpochTimeout: a
+// source, task, or sink hung rather than failed. The epoch watchdog fails
+// the query with this error so a supervisor can classify it as transient
+// and restart from the checkpoint — a hung epoch is indistinguishable from
+// a dead executor, and the remedy is the same (§6.2).
+var ErrEpochTimeout = errors.New("engine: epoch exceeded EpochTimeout")
+
+// minAdaptiveCap is the floor the adaptive limiter will never shrink the
+// per-epoch record cap below, so a struggling query still makes progress.
+const minAdaptiveCap = 16
+
+// aimdLimiter adapts the per-epoch record cap with the classic
+// additive-increase / multiplicative-decrease rule used by admission
+// controllers: when an epoch takes longer than the target latency, the cap
+// collapses to half the observed intake (multiplicative decrease), and
+// while the query keeps up it regrows by cap/8 per epoch (additive-ish
+// increase). Recovery from a backlog therefore degrades into several
+// bounded epochs instead of one giant epoch that blows the trigger
+// interval — the failure mode §7.3's adaptive batching alone does not
+// prevent.
+//
+// cap == 0 means "not engaged": intake is unlimited (or limited only by
+// the static MaxRecordsPerTrigger) until the first overrun is observed.
+type aimdLimiter struct {
+	target time.Duration // per-epoch latency budget
+	floor  int64         // never shrink below this
+	ceil   int64         // never grow beyond this (0 = unbounded)
+	cap    int64         // current cap (0 = not engaged)
+}
+
+// newAIMDLimiter builds a limiter honoring the static cap as ceiling.
+func newAIMDLimiter(target time.Duration, staticCap, floor int64) *aimdLimiter {
+	if floor <= 0 {
+		floor = minAdaptiveCap
+	}
+	if staticCap > 0 && floor > staticCap {
+		floor = staticCap
+	}
+	return &aimdLimiter{target: target, floor: floor, ceil: staticCap}
+}
+
+// Cap returns the current adaptive cap (0 = not engaged / unlimited).
+func (l *aimdLimiter) Cap() int64 { return l.cap }
+
+// Observe feeds one completed epoch's latency and intake into the rule.
+func (l *aimdLimiter) Observe(elapsed time.Duration, inputRows int64) {
+	if l.target <= 0 || inputRows <= 0 {
+		return
+	}
+	if elapsed > l.target {
+		// Multiplicative decrease from what was actually attempted, not
+		// from the stale cap: the first overrun of an uncapped epoch must
+		// engage the limiter at half the intake that hurt.
+		next := inputRows / 2
+		if next < l.floor {
+			next = l.floor
+		}
+		if l.cap == 0 || next < l.cap {
+			l.cap = next
+		}
+		return
+	}
+	if l.cap == 0 {
+		return // keeping up while unlimited: nothing to regrow
+	}
+	if elapsed*2 <= l.target || inputRows < l.cap {
+		// Caught up (latency headroom, or the backlog is drained and
+		// epochs run under the cap): additive increase.
+		step := l.cap / 8
+		if step < 1 {
+			step = 1
+		}
+		l.cap += step
+		if l.ceil > 0 && l.cap > l.ceil {
+			l.cap = l.ceil
+		}
+	}
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"structream/internal/incremental"
@@ -29,14 +30,22 @@ type continuousExec struct {
 	reg *metrics.Registry
 
 	stopCh chan struct{}
+	failCh chan struct{} // closed on the first error; may precede worker exit
 	wg     sync.WaitGroup
 
-	mu        sync.Mutex
-	current   map[string]sources.Offsets // live read positions
-	lastEnd   map[string]sources.Offsets // offsets at the last epoch mark
-	epoch     int64
-	workerSeq int64
-	err       error
+	// budget is the remaining record intake this epoch when
+	// MaxRecordsPerTrigger > 0; workers reserve from it before reading and
+	// idle once it is exhausted, until the next epoch mark refills it.
+	budget atomic.Int64
+
+	mu          sync.Mutex
+	srcs        map[string]sources.Source  // by source name, for the watchdog
+	current     map[string]sources.Offsets // live read positions
+	lastEnd     map[string]sources.Offsets // offsets at the last epoch mark
+	lastAdvance time.Time                  // when any worker last made progress
+	epoch       int64
+	workerSeq   int64
+	err         error
 }
 
 // waitable lets a source block efficiently for new data; sources without
@@ -59,13 +68,17 @@ func startContinuous(q *incremental.Query, srcs map[string]sources.Source, sink 
 	}
 	ce := &continuousExec{
 		q: q, sink: sink, opts: opts,
-		wal:     w,
-		log:     metrics.NewEventLog(opts.EventLogWriter),
-		reg:     metrics.NewRegistry(),
-		stopCh:  make(chan struct{}),
-		current: map[string]sources.Offsets{},
-		lastEnd: map[string]sources.Offsets{},
+		wal:         w,
+		log:         metrics.NewEventLog(opts.EventLogWriter),
+		reg:         metrics.NewRegistry(),
+		stopCh:      make(chan struct{}),
+		failCh:      make(chan struct{}),
+		srcs:        map[string]sources.Source{},
+		current:     map[string]sources.Offsets{},
+		lastEnd:     map[string]sources.Offsets{},
+		lastAdvance: time.Now(),
 	}
+	ce.budget.Store(opts.MaxRecordsPerTrigger)
 
 	// Recover: resume from the latest logged epoch's end offsets.
 	rp, err := w.Recover()
@@ -98,6 +111,7 @@ func startContinuous(q *incremental.Query, srcs map[string]sources.Source, sink 
 			return nil, fmt.Errorf("engine: no source bound for stream %q", p.SourceName)
 		}
 		name := src.Name()
+		ce.srcs[name] = src
 		if _, ok := ce.current[name]; !ok {
 			var start sources.Offsets
 			if opts.StartFromLatest {
@@ -127,11 +141,22 @@ func startContinuous(q *incremental.Query, srcs map[string]sources.Source, sink 
 	go ce.coordinator(interval)
 
 	go func() {
-		ce.wg.Wait()
+		// Clean shutdown waits for every worker; on failure the query must
+		// terminate even if a worker is wedged inside a hung source read or
+		// sink write — that hang is exactly what the watchdog reported.
+		wgDone := make(chan struct{})
+		go func() {
+			ce.wg.Wait()
+			close(wgDone)
+		}()
+		select {
+		case <-wgDone:
+		case <-ce.failCh:
+		}
 		if err := ce.getErr(); err != nil {
 			sq.setErr(err)
 		}
-		close(sq.doneCh)
+		sq.finish()
 	}()
 	return sq, nil
 }
@@ -152,10 +177,14 @@ func (ce *continuousExec) getErr() error {
 
 func (ce *continuousExec) setErr(err error) {
 	ce.mu.Lock()
-	if ce.err == nil {
+	first := ce.err == nil
+	if first {
 		ce.err = err
 	}
 	ce.mu.Unlock()
+	if first {
+		close(ce.failCh)
+	}
 	ce.stop()
 }
 
@@ -194,6 +223,20 @@ func (ce *continuousExec) worker(pipe *incremental.Pipeline, src sources.Source,
 		if to > off+maxPoll {
 			to = off + maxPoll
 		}
+		// Admission control: reserve intake from the epoch budget; an
+		// exhausted budget idles the worker until the next epoch mark
+		// refills it, so a restarted query is not drowned by its backlog.
+		if ce.opts.MaxRecordsPerTrigger > 0 {
+			rem := ce.budget.Load()
+			if rem <= 0 {
+				time.Sleep(200 * time.Microsecond)
+				continue
+			}
+			if to > off+rem {
+				to = off + rem
+			}
+			ce.budget.Add(off - to) // reserve (to-off) records
+		}
 		raw, err := src.Read(part, off, to)
 		if err != nil {
 			ce.setErr(err)
@@ -215,6 +258,7 @@ func (ce *continuousExec) worker(pipe *incremental.Pipeline, src sources.Source,
 		}
 		ce.mu.Lock()
 		ce.current[src.Name()][part] = to
+		ce.lastAdvance = time.Now()
 		ce.mu.Unlock()
 		ce.reg.Counter("inputRows").Add(int64(len(raw)))
 		ce.reg.Counter("outputRows").Add(int64(len(rows)))
@@ -233,9 +277,51 @@ func (ce *continuousExec) coordinator(interval time.Duration) {
 			ce.markEpoch() // final epoch on shutdown
 			return
 		case <-ticker.C:
+			if err := ce.checkStalled(); err != nil {
+				ce.setErr(err)
+				return
+			}
 			ce.markEpoch()
 		}
 	}
+}
+
+// checkStalled is the continuous-mode epoch watchdog: data is pending but
+// no worker has advanced any partition for EpochTimeout — a hung source
+// read or sink write. The query fails with ErrEpochTimeout so a
+// supervisor can restart it from the last epoch mark.
+func (ce *continuousExec) checkStalled() error {
+	if ce.opts.EpochTimeout <= 0 {
+		return nil
+	}
+	ce.mu.Lock()
+	idle := time.Since(ce.lastAdvance)
+	ce.mu.Unlock()
+	if idle <= ce.opts.EpochTimeout {
+		return nil
+	}
+	if ce.opts.MaxRecordsPerTrigger > 0 && ce.budget.Load() <= 0 {
+		return nil // idled by admission control, not hung
+	}
+	pending := false
+	for name, src := range ce.srcs {
+		latest, err := src.Latest()
+		if err != nil {
+			continue // the read path will surface this error itself
+		}
+		ce.mu.Lock()
+		cur := ce.current[name]
+		for i := range latest {
+			if i < len(cur) && latest[i] > cur[i] {
+				pending = true
+			}
+		}
+		ce.mu.Unlock()
+	}
+	if !pending {
+		return nil
+	}
+	return fmt.Errorf("engine: continuous workers made no progress for %v with data pending: %w", idle, ErrEpochTimeout)
 }
 
 func (ce *continuousExec) markEpoch() {
@@ -273,10 +359,16 @@ func (ce *continuousExec) markEpoch() {
 		ce.setErr(err)
 		return
 	}
+	// Refill the admission budget for the next epoch.
+	if cap := ce.opts.MaxRecordsPerTrigger; cap > 0 {
+		ce.budget.Store(cap)
+	}
 	ce.reg.Counter("epochs").Add(1)
 	ce.log.Emit(metrics.QueryProgress{
-		QueryName:    ce.opts.Name,
-		Epoch:        epoch,
-		NumInputRows: totalIn,
+		QueryName:           ce.opts.Name,
+		Epoch:               epoch,
+		NumInputRows:        totalIn,
+		AdmissionCapRecords: ce.opts.MaxRecordsPerTrigger,
+		Restarts:            ce.reg.Counter("restarts").Value(),
 	})
 }

@@ -1,0 +1,235 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"structream/internal/sinks"
+	"structream/internal/sources"
+	"structream/internal/sql"
+	"structream/internal/sql/logical"
+)
+
+// TestQueryStatusLifecycle: Status is settled atomically with Err — once
+// Done() is closed, a terminal status and the matching error are visible,
+// with no window where the query is done but still reads Running.
+func TestQueryStatusLifecycle(t *testing.T) {
+	src := sources.NewMemorySource("events", eventsSchema)
+	q := compile(t, streamScan("events"), logical.Append, nil)
+	sq := startQuery(t, q, map[string]sources.Source{"events": src}, sinks.NewMemorySink(), Options{})
+	if got := sq.Status(); got != StatusRunning {
+		t.Errorf("fresh query status = %v, want Running", got)
+	}
+	if err := sq.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := sq.Status(); got != StatusStopped {
+		t.Errorf("stopped query status = %v, want Stopped", got)
+	}
+
+	// A failing query lands in Failed with Err set by the time Done closes.
+	failing := sources.NewFlakySource(sources.NewMemorySource("events", eventsSchema))
+	failing.FailReads(errors.New("permanent"), 1000)
+	if ms, ok := failing.Inner.(*sources.MemorySource); ok {
+		ms.AddData(sql.Row{"a", 1.0, int64(0)})
+	}
+	q2 := compile(t, streamScan("events"), logical.Append, nil)
+	sq2, err := Start(q2, map[string]sources.Source{"events": failing}, sinks.NewMemorySink(), Options{
+		Checkpoint:   t.TempDir(),
+		Trigger:      OnceTrigger{},
+		MaxIORetries: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-sq2.Done()
+	if got := sq2.Status(); got != StatusFailed {
+		t.Errorf("failed query status = %v, want Failed", got)
+	}
+	if sq2.Err() == nil {
+		t.Error("Failed status must come with a non-nil Err")
+	}
+	sq2.MarkRestarting()
+	if got := sq2.Status(); got != StatusRestarting {
+		t.Errorf("after MarkRestarting status = %v, want Restarting", got)
+	}
+}
+
+// TestEpochWatchdogFailsHungEpoch: a source read that hangs forever fails
+// the epoch with ErrEpochTimeout instead of hanging the query, and the
+// abandoned epoch goroutine cannot commit after release.
+func TestEpochWatchdogFailsHungEpoch(t *testing.T) {
+	inner := sources.NewMemorySource("events", eventsSchema)
+	inner.AddData(sql.Row{"a", 1.0, int64(0)})
+	flaky := sources.NewFlakySource(inner)
+	q := compile(t, streamScan("events"), logical.Append, nil)
+	sink := sinks.NewMemorySink()
+	sq := startQuery(t, q, map[string]sources.Source{"events": flaky}, sink, Options{
+		EpochTimeout: 100 * time.Millisecond,
+	})
+	flaky.StallReads()
+	defer flaky.ReleaseStall()
+	start := time.Now()
+	err := sq.ProcessAllAvailable()
+	if !errors.Is(err, ErrEpochTimeout) {
+		t.Fatalf("hung epoch returned %v, want ErrEpochTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("watchdog took %v to fire", elapsed)
+	}
+	// Releasing the stall lets the abandoned goroutine run; it must abort
+	// before the sink, not deliver a batch for a dead epoch.
+	flaky.ReleaseStall()
+	time.Sleep(50 * time.Millisecond)
+	if rows := sink.Rows(); len(rows) != 0 {
+		t.Errorf("abandoned epoch delivered %d rows to the sink", len(rows))
+	}
+}
+
+// TestContinuousWatchdogFailsStalledWorker: the continuous-mode watchdog
+// fails the query when data is pending but no worker advances.
+func TestContinuousWatchdogFailsStalledWorker(t *testing.T) {
+	inner := sources.NewMemorySource("events", eventsSchema)
+	flaky := sources.NewFlakySource(inner)
+	q := compile(t, streamScan("events"), logical.Append, nil)
+	sq, err := Start(q, map[string]sources.Source{"events": flaky}, sinks.NewMemorySink(), Options{
+		Checkpoint:   t.TempDir(),
+		Trigger:      ContinuousTrigger{EpochInterval: 10 * time.Millisecond},
+		EpochTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sq.Stop()
+	flaky.StallReads()
+	defer flaky.ReleaseStall()
+	inner.AddData(sql.Row{"a", 1.0, int64(0)})
+	select {
+	case <-sq.Done():
+		if err := sq.Err(); !errors.Is(err, ErrEpochTimeout) {
+			t.Fatalf("stalled continuous query returned %v, want ErrEpochTimeout", err)
+		}
+		if sq.Status() != StatusFailed {
+			t.Errorf("status = %v, want Failed", sq.Status())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("continuous watchdog never fired")
+	}
+}
+
+// slowSink delays every AddBatch by an adjustable amount — the congested
+// downstream that backpressure exists for.
+type slowSink struct {
+	inner *sinks.MemorySink
+	mu    sync.Mutex
+	delay time.Duration
+}
+
+func (s *slowSink) AddBatch(b sinks.Batch) error {
+	s.mu.Lock()
+	d := s.delay
+	s.mu.Unlock()
+	time.Sleep(d)
+	return s.inner.AddBatch(b)
+}
+
+func (s *slowSink) setDelay(d time.Duration) {
+	s.mu.Lock()
+	s.delay = d
+	s.mu.Unlock()
+}
+
+// TestAdaptiveBackpressureShrinksAndRegrows: with a congested sink the
+// AIMD limiter shrinks the per-epoch cap below the static
+// MaxRecordsPerTrigger; once the sink recovers the cap regrows. Both
+// transitions must be visible in QueryProgress, and no epoch may ever
+// exceed the static cap.
+func TestAdaptiveBackpressureShrinksAndRegrows(t *testing.T) {
+	src := sources.NewMemorySource("events", eventsSchema)
+	for i := 0; i < 1200; i++ {
+		src.AddData(sql.Row{fmt.Sprintf("k%d", i), float64(i), int64(0)})
+	}
+	q := compile(t, streamScan("events"), logical.Append, nil)
+	sink := &slowSink{inner: sinks.NewMemorySink(), delay: 30 * time.Millisecond}
+	sq := startQuery(t, q, map[string]sources.Source{"events": src}, sink, Options{
+		MaxRecordsPerTrigger: 512,
+		AdaptiveBackpressure: true,
+		BackpressureTarget:   15 * time.Millisecond,
+	})
+	if err := sq.ProcessAllAvailable(); err != nil {
+		t.Fatal(err)
+	}
+	events := sq.EventLog().Recent(0)
+	if len(events) < 3 {
+		t.Fatalf("only %d epochs ran", len(events))
+	}
+	minCap := int64(1 << 62)
+	for _, p := range events {
+		if p.NumInputRows > 512 {
+			t.Errorf("epoch %d admitted %d rows, above the static cap 512", p.Epoch, p.NumInputRows)
+		}
+		if p.AdmissionCapRecords > 0 && p.AdmissionCapRecords < minCap {
+			minCap = p.AdmissionCapRecords
+		}
+	}
+	if minCap >= 512 {
+		t.Fatalf("limiter never shrank the cap (min observed %d)", minCap)
+	}
+
+	// Sink recovers; a fresh backlog should be absorbed under a regrowing
+	// cap.
+	sink.setDelay(0)
+	for i := 0; i < 400; i++ {
+		src.AddData(sql.Row{fmt.Sprintf("g%d", i), float64(i), int64(0)})
+	}
+	if err := sq.ProcessAllAvailable(); err != nil {
+		t.Fatal(err)
+	}
+	last := sq.EventLog().Recent(1)[0]
+	if last.AdmissionCapRecords <= minCap {
+		t.Errorf("cap never regrew: last=%d min=%d", last.AdmissionCapRecords, minCap)
+	}
+	if total := len(sink.inner.Rows()); total != 1600 {
+		t.Errorf("sink rows = %d, want 1600 (backpressure must not drop data)", total)
+	}
+}
+
+// TestContinuousAdmissionBudget: continuous-mode workers respect
+// MaxRecordsPerTrigger per epoch — intake between consecutive epoch marks
+// never exceeds the budget even with a large backlog available.
+func TestContinuousAdmissionBudget(t *testing.T) {
+	src := sources.NewMemorySource("events", eventsSchema)
+	for i := 0; i < 5000; i++ {
+		src.AddData(sql.Row{"k", float64(i), int64(0)})
+	}
+	q := compile(t, streamScan("events"), logical.Append, nil)
+	sink := sinks.NewMemorySink()
+	sq, err := Start(q, map[string]sources.Source{"events": src}, sink, Options{
+		Checkpoint:           t.TempDir(),
+		Trigger:              ContinuousTrigger{EpochInterval: 20 * time.Millisecond},
+		MaxRecordsPerTrigger: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for len(sink.Rows()) < 5000 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := sq.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(sink.Rows()); got != 5000 {
+		t.Fatalf("sink rows = %d, want 5000", got)
+	}
+	for _, p := range sq.EventLog().Recent(0) {
+		// Workers reserve in maxPoll chunks; one in-flight poll per
+		// partition may land just after a mark, so allow that slack.
+		if p.NumInputRows > 300+4096 {
+			t.Errorf("epoch %d admitted %d rows, far above the 300 budget", p.Epoch, p.NumInputRows)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"structream/internal/cluster"
@@ -64,6 +65,24 @@ type Options struct {
 	// RetryBackoff is the base delay of the exponential backoff between
 	// retries; each attempt doubles it and adds jitter (default 2ms).
 	RetryBackoff time.Duration
+	// EpochTimeout fails an epoch (with ErrEpochTimeout) that has not
+	// completed within this duration — the watchdog for hung sources,
+	// tasks, or sinks. 0 disables. A supervised query classifies the
+	// timeout as transient and restarts from the checkpoint.
+	EpochTimeout time.Duration
+	// AdaptiveBackpressure enables the AIMD admission controller: the
+	// per-epoch record cap shrinks multiplicatively when epoch latency
+	// exceeds BackpressureTarget and regrows additively while the query
+	// keeps up. Composes with MaxRecordsPerTrigger, which stays a hard
+	// ceiling.
+	AdaptiveBackpressure bool
+	// BackpressureTarget is the per-epoch latency budget the adaptive
+	// limiter steers toward. 0 derives it from the trigger: the
+	// ProcessingTime interval when one is set, else 100ms.
+	BackpressureTarget time.Duration
+	// MinRecordsPerTrigger floors the adaptive cap so a struggling query
+	// still makes progress (default 16).
+	MinRecordsPerTrigger int64
 }
 
 func (o Options) withDefaults() Options {
@@ -85,6 +104,13 @@ func (o Options) withDefaults() Options {
 	if o.RetryBackoff <= 0 {
 		o.RetryBackoff = 2 * time.Millisecond
 	}
+	if o.AdaptiveBackpressure && o.BackpressureTarget <= 0 {
+		if pt, ok := o.Trigger.(ProcessingTimeTrigger); ok && pt.Interval > 0 {
+			o.BackpressureTarget = pt.Interval
+		} else {
+			o.BackpressureTarget = 100 * time.Millisecond
+		}
+	}
 	return o
 }
 
@@ -101,12 +127,16 @@ type exec struct {
 	log   *metrics.EventLog
 	reg   *metrics.Registry
 
+	limiter   *aimdLimiter // nil unless AdaptiveBackpressure
+	abandoned atomic.Bool  // set by the epoch watchdog; poisons late writes
+
 	mu               sync.Mutex // serializes epoch execution
 	nextEpoch        int64
 	lastStateVersion int64 // last committed state version, -1 before any
 	watermark        int64
 	perPipeMax       []int64 // max event time seen per pipeline
 	committed        map[string]sources.Offsets
+	lastBacklog      int64 // records behind the sources' heads after planning
 	needFlush        bool // run one empty epoch to apply a watermark advance
 	alwaysRun        bool // processing-time timeouts need epochs regardless
 }
@@ -156,6 +186,9 @@ func newExec(q *incremental.Query, srcs map[string]sources.Source, sink sinks.Si
 	if mg, ok := q.Stateful.(*incremental.FlatMapGroupsWithState); ok {
 		e.alwaysRun = mg.Timeout == logical.ProcessingTimeTimeout
 	}
+	if opts.AdaptiveBackpressure {
+		e.limiter = newAIMDLimiter(opts.BackpressureTarget, opts.MaxRecordsPerTrigger, opts.MinRecordsPerTrigger)
+	}
 	if err := e.recover(); err != nil {
 		return nil, err
 	}
@@ -201,7 +234,7 @@ func (e *exec) recover() error {
 			ranges[s.Source] = [2]sources.Offsets{s.Start, s.End}
 		}
 		e.watermark = rp.Replay.Watermark
-		if err := e.runEpoch(rp.Replay.Epoch, ranges, true); err != nil {
+		if err := e.runEpochGuarded(rp.Replay.Epoch, ranges, true); err != nil {
 			return fmt.Errorf("engine: recovery replay of epoch %d: %w", rp.Replay.Epoch, err)
 		}
 	}
@@ -229,12 +262,27 @@ func (e *exec) stateVersionAtOrBelow(v int64) (int64, error) {
 	return best, nil
 }
 
+// admissionCap returns the per-epoch record cap currently in force: the
+// static MaxRecordsPerTrigger, tightened by the adaptive limiter when it
+// has engaged. 0 means unlimited.
+func (e *exec) admissionCap() int64 {
+	cap := e.opts.MaxRecordsPerTrigger
+	if e.limiter != nil {
+		if a := e.limiter.Cap(); a > 0 && (cap == 0 || a < cap) {
+			cap = a
+		}
+	}
+	return cap
+}
+
 // planEpoch decides the next epoch's offset ranges; ok is false when no
-// epoch should run.
+// epoch should run. It also records how many records the sources hold
+// beyond the planned intake (the backlog admission control deferred).
 func (e *exec) planEpoch() (map[string][2]sources.Offsets, bool, error) {
 	ranges := map[string][2]sources.Offsets{}
 	hasData := false
 	seen := map[string]bool{}
+	var backlog int64
 	for _, bp := range e.pipes {
 		name := bp.src.Name()
 		if seen[name] {
@@ -258,7 +306,7 @@ func (e *exec) planEpoch() (map[string][2]sources.Offsets, bool, error) {
 			e.committed[name] = start
 		}
 		end := latest.Clone()
-		if cap := e.opts.MaxRecordsPerTrigger; cap > 0 {
+		if cap := e.admissionCap(); cap > 0 {
 			perPart := cap / int64(len(end))
 			if perPart == 0 {
 				perPart = 1
@@ -276,9 +324,13 @@ func (e *exec) planEpoch() (map[string][2]sources.Offsets, bool, error) {
 			if end[i] < start[i] {
 				end[i] = start[i] // source truncation should not regress
 			}
+			if i < len(latest) && latest[i] > end[i] {
+				backlog += latest[i] - end[i]
+			}
 		}
 		ranges[name] = [2]sources.Offsets{start.Clone(), end}
 	}
+	e.lastBacklog = backlog
 	if !hasData && !e.needFlush && !e.alwaysRun {
 		return nil, false, nil
 	}
@@ -300,7 +352,7 @@ func (e *exec) RunAvailable() (int, error) {
 		if !ok {
 			return n, nil
 		}
-		if err := e.runEpoch(e.nextEpoch, ranges, false); err != nil {
+		if err := e.runEpochGuarded(e.nextEpoch, ranges, false); err != nil {
 			return n, err
 		}
 		n++
@@ -324,7 +376,38 @@ func (e *exec) runOnce() error {
 	if err != nil || !ok {
 		return err
 	}
-	return e.runEpoch(e.nextEpoch, ranges, false)
+	return e.runEpochGuarded(e.nextEpoch, ranges, false)
+}
+
+// runEpochGuarded runs one epoch under the epoch watchdog: if the epoch
+// does not finish within Options.EpochTimeout the query fails with
+// ErrEpochTimeout and the exec is poisoned so the hung goroutine — which
+// cannot be forcibly killed — aborts at its next stage boundary instead of
+// committing after a replacement query has taken over. Caller holds e.mu.
+func (e *exec) runEpochGuarded(epoch int64, ranges map[string][2]sources.Offsets, replay bool) error {
+	if e.opts.EpochTimeout <= 0 {
+		return e.runEpoch(epoch, ranges, replay)
+	}
+	done := make(chan error, 1)
+	go func() { done <- e.runEpoch(epoch, ranges, replay) }()
+	timer := time.NewTimer(e.opts.EpochTimeout)
+	defer timer.Stop()
+	select {
+	case err := <-done:
+		return err
+	case <-timer.C:
+		e.abandoned.Store(true)
+		return fmt.Errorf("engine: epoch %d hung for %v: %w", epoch, e.opts.EpochTimeout, ErrEpochTimeout)
+	}
+}
+
+// checkAbandoned aborts a watchdog-abandoned epoch before it can commit
+// anything a replacement query might be re-running.
+func (e *exec) checkAbandoned(epoch int64, stage string) error {
+	if e.abandoned.Load() {
+		return fmt.Errorf("engine: epoch %d abandoned by watchdog before %s: %w", epoch, stage, ErrEpochTimeout)
+	}
+	return nil
 }
 
 // withRetry runs fn, retrying transient I/O errors (EIO, ENOSPC, injected
@@ -363,6 +446,9 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 	entry := wal.Entry{Epoch: epoch, Watermark: e.watermark}
 	for name, r := range ranges {
 		entry.Sources = append(entry.Sources, wal.SourceOffsets{Source: name, Start: r[0], End: r[1]})
+	}
+	if err := e.checkAbandoned(epoch, "offsets write"); err != nil {
+		return err
 	}
 	if err := e.wal.WriteOffsets(entry); err != nil {
 		return err
@@ -424,6 +510,9 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 	}
 	results, err := e.clus.RunStage(tasks)
 	if err != nil {
+		return err
+	}
+	if err := e.checkAbandoned(epoch, "reduce stage"); err != nil {
 		return err
 	}
 
@@ -513,6 +602,9 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 	if err != nil {
 		return err
 	}
+	if err := e.checkAbandoned(epoch, "sink write"); err != nil {
+		return err
+	}
 	if err := e.withRetry(func() error {
 		return e.sink.AddBatch(sinks.Batch{
 			Epoch:    epoch,
@@ -522,6 +614,9 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 			KeyArity: e.q.KeyArity,
 		})
 	}); err != nil {
+		return err
+	}
+	if err := e.checkAbandoned(epoch, "commit"); err != nil {
 		return err
 	}
 	if err := e.wal.WriteCommit(epoch); err != nil {
@@ -554,28 +649,37 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 	}
 
 	elapsed := time.Since(start)
+	if e.limiter != nil {
+		e.limiter.Observe(elapsed, inputRows)
+		e.reg.Gauge("admissionCapRecords").Set(e.admissionCap())
+	}
 	e.reg.Counter("inputRows").Add(inputRows)
 	e.reg.Counter("outputRows").Add(int64(len(outRows)))
 	e.reg.Counter("epochs").Add(1)
 	e.reg.Gauge("watermarkMicros").Set(e.watermark)
 	e.reg.Gauge("stateRows").Set(stateRows)
+	e.reg.Gauge("backlogRecords").Set(e.lastBacklog)
 	endTotals := map[string]int64{}
 	for name, r := range ranges {
 		endTotals[name] = r[1].Total()
 	}
 	e.log.Emit(metrics.QueryProgress{
-		QueryName:           e.opts.Name,
-		Epoch:               epoch,
-		NumInputRows:        inputRows,
-		NumOutputRows:       int64(len(outRows)),
-		ProcessingMillis:    elapsed.Milliseconds(),
-		WatermarkMicros:     e.watermark,
-		StateRows:           stateRows,
-		StateBytes:          stateBytes,
-		InputRowsPerSec:     float64(inputRows) / max(elapsed.Seconds(), 1e-9),
-		SourceOffsets:       endTotals,
-		IORetries:           e.reg.Counter("ioRetries").Value(),
-		CorruptionsDetected: e.reg.Counter("corruptionsDetected").Value(),
+		QueryName:            e.opts.Name,
+		Epoch:                epoch,
+		NumInputRows:         inputRows,
+		NumOutputRows:        int64(len(outRows)),
+		ProcessingMillis:     elapsed.Milliseconds(),
+		WatermarkMicros:      e.watermark,
+		StateRows:            stateRows,
+		StateBytes:           stateBytes,
+		InputRowsPerSec:      float64(inputRows) / max(elapsed.Seconds(), 1e-9),
+		SourceOffsets:        endTotals,
+		IORetries:            e.reg.Counter("ioRetries").Value(),
+		CorruptionsDetected:  e.reg.Counter("corruptionsDetected").Value(),
+		AdmissionCapRecords:  e.admissionCap(),
+		BacklogRecords:       e.lastBacklog,
+		Restarts:             e.reg.Counter("restarts").Value(),
+		RestartBackoffMillis: e.reg.Gauge("restartBackoffMillis").Value(),
 	})
 	return nil
 }

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"structream/internal/incremental"
@@ -11,6 +12,41 @@ import (
 	"structream/internal/sources"
 	"structream/internal/wal"
 )
+
+// QueryStatus is the lifecycle state of a streaming query. It is updated
+// atomically with the terminal error, so callers never observe a query
+// that is done but has neither a status nor an error — the race that
+// polling Err against AwaitTermination used to allow.
+type QueryStatus int32
+
+const (
+	// StatusRunning: the driver loop is live and processing epochs.
+	StatusRunning QueryStatus = iota
+	// StatusStopped: the query terminated without error (Stop, or a
+	// Once/AvailableNow trigger that finished its work).
+	StatusStopped
+	// StatusFailed: the query terminated with an error; Err() is non-nil.
+	StatusFailed
+	// StatusRestarting: a supervisor has taken the query down and is
+	// backing off before starting a replacement (see internal/supervisor).
+	StatusRestarting
+)
+
+// String renders the status for logs and events.
+func (s QueryStatus) String() string {
+	switch s {
+	case StatusRunning:
+		return "Running"
+	case StatusStopped:
+		return "Stopped"
+	case StatusFailed:
+		return "Failed"
+	case StatusRestarting:
+		return "Restarting"
+	default:
+		return fmt.Sprintf("QueryStatus(%d)", int32(s))
+	}
+}
 
 // StreamingQuery is the handle to a running query, mirroring the paper's
 // query management API: stop it, wait for it, inspect progress, or drive
@@ -23,6 +59,7 @@ type StreamingQuery struct {
 	stopCh   chan struct{}
 	doneCh   chan struct{}
 	stopOnce sync.Once
+	status   atomic.Int32
 
 	mu  sync.Mutex
 	err error
@@ -52,7 +89,7 @@ func Start(q *incremental.Query, srcs map[string]sources.Source, sink sinks.Sink
 
 // loop is the trigger-driven driver goroutine.
 func (q *StreamingQuery) loop() {
-	defer close(q.doneCh)
+	defer q.finish()
 	switch trig := q.exec.opts.Trigger.(type) {
 	case OnceTrigger:
 		q.setErr(q.exec.runOnce())
@@ -82,6 +119,17 @@ func (q *StreamingQuery) loop() {
 	}
 }
 
+// finish settles the terminal status *before* doneCh closes, so a caller
+// woken by AwaitTermination/Done observes status and error atomically.
+func (q *StreamingQuery) finish() {
+	if q.Err() != nil {
+		q.status.Store(int32(StatusFailed))
+	} else {
+		q.status.Store(int32(StatusStopped))
+	}
+	close(q.doneCh)
+}
+
 func (q *StreamingQuery) setErr(err error) {
 	if err == nil {
 		return
@@ -98,6 +146,39 @@ func (q *StreamingQuery) Err() error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.err
+}
+
+// Status returns the query's lifecycle state. Unlike racing Err against
+// AwaitTermination, a terminal status (Stopped/Failed) is only ever
+// observed after the matching error is in place.
+func (q *StreamingQuery) Status() QueryStatus {
+	return QueryStatus(q.status.Load())
+}
+
+// MarkRestarting flags a terminated query as awaiting supervised restart,
+// so holders of the stale handle can distinguish "dead forever" from "a
+// replacement is coming". Only meaningful after termination; a supervisor
+// calls it between QueryFailed and QueryRestarted.
+func (q *StreamingQuery) MarkRestarting() {
+	select {
+	case <-q.doneCh:
+		q.status.Store(int32(StatusRestarting))
+	default:
+	}
+}
+
+// Done returns a channel closed when the query terminates. By then Status
+// and Err are settled.
+func (q *StreamingQuery) Done() <-chan struct{} { return q.doneCh }
+
+// NewFailedQuery returns a handle that is already terminated with err. A
+// supervisor uses it to represent an instance that failed before its
+// driver loop could start, so restart bookkeeping stays uniform.
+func NewFailedQuery(err error) *StreamingQuery {
+	q := &StreamingQuery{stopCh: make(chan struct{}), doneCh: make(chan struct{})}
+	q.setErr(err)
+	q.finish()
+	return q
 }
 
 // Name returns the query name.

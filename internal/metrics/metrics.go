@@ -111,6 +111,19 @@ type QueryProgress struct {
 	// durability layer detected and safely recovered from (e.g. a torn
 	// uncommitted WAL tail dropped during restart).
 	CorruptionsDetected int64 `json:"corruptionsDetected,omitempty"`
+	// AdmissionCapRecords is the per-epoch record cap in force when this
+	// epoch was planned: the static MaxRecordsPerTrigger tightened by the
+	// AIMD adaptive limiter. 0 means unlimited intake.
+	AdmissionCapRecords int64 `json:"admissionCapRecords,omitempty"`
+	// BacklogRecords is how many source records admission control deferred
+	// past this epoch — the distance to the sources' heads at planning time.
+	BacklogRecords int64 `json:"backlogRecords,omitempty"`
+	// Restarts counts supervised restarts of this query across its whole
+	// lifetime (carried over each time the supervisor re-Starts it).
+	Restarts int64 `json:"restarts,omitempty"`
+	// RestartBackoffMillis is the backoff the supervisor slept before the
+	// most recent restart.
+	RestartBackoffMillis int64 `json:"restartBackoffMillis,omitempty"`
 }
 
 // Listener receives progress events.

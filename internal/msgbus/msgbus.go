@@ -89,6 +89,9 @@ type Topic struct {
 	parts []*partition
 	rr    int64 // round-robin counter for keyless produce
 	rrMu  sync.Mutex
+
+	faultMu    sync.Mutex
+	fetchFault func(part int, from int64) error
 }
 
 // partition is one ordered log segment.
@@ -158,6 +161,17 @@ func (e *ErrOffsetOutOfRange) Error() string {
 		e.Requested, e.Topic, e.Partition, e.Earliest)
 }
 
+// InjectFetchFault installs a hook consulted before every Fetch: when it
+// returns non-nil, the fetch fails with that error instead of reading.
+// Chaos tests use it to model a flaky broker connection; nil removes the
+// hook. Fetches are retried by the engine's transient-I/O path when the
+// injected error is transient.
+func (t *Topic) InjectFetchFault(fn func(part int, from int64) error) {
+	t.faultMu.Lock()
+	defer t.faultMu.Unlock()
+	t.fetchFault = fn
+}
+
 // Fetch reads up to maxRecords from a partition starting at offset. It
 // returns the records and the offset to resume from. Reading at the head
 // returns an empty slice. Reading below the earliest retained offset
@@ -165,6 +179,14 @@ func (e *ErrOffsetOutOfRange) Error() string {
 func (t *Topic) Fetch(part int, offset int64, maxRecords int) ([]Record, int64, error) {
 	if part < 0 || part >= len(t.parts) {
 		return nil, 0, fmt.Errorf("msgbus: partition %d out of range for topic %q", part, t.name)
+	}
+	t.faultMu.Lock()
+	fault := t.fetchFault
+	t.faultMu.Unlock()
+	if fault != nil {
+		if err := fault(part, offset); err != nil {
+			return nil, 0, err
+		}
 	}
 	p := t.parts[part]
 	p.mu.Lock()

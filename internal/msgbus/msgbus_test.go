@@ -275,3 +275,36 @@ func BenchmarkProduceFetch(b *testing.B) {
 		}
 	}
 }
+
+func TestInjectFetchFault(t *testing.T) {
+	topic := newTopic(t, 1)
+	if _, err := topic.Append(0, Record{Value: []byte("a")}); err != nil {
+		t.Fatal(err)
+	}
+	injected := fmt.Errorf("flaky broker connection")
+	var calls int
+	topic.InjectFetchFault(func(part int, from int64) error {
+		calls++
+		if calls <= 2 {
+			return injected
+		}
+		return nil
+	})
+	for i := 0; i < 2; i++ {
+		if _, _, err := topic.Fetch(0, 0, 10); err != injected {
+			t.Fatalf("fetch %d err = %v, want injected fault", i, err)
+		}
+	}
+	recs, _, err := topic.Fetch(0, 0, 10)
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("after fault budget: recs=%v err=%v", recs, err)
+	}
+	// nil removes the hook.
+	topic.InjectFetchFault(nil)
+	if _, _, err := topic.Fetch(0, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Errorf("hook consulted %d times, want 3", calls)
+	}
+}

@@ -1,0 +1,116 @@
+package supervisor
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"structream/internal/incremental"
+	"structream/internal/sql"
+	"structream/internal/sql/analysis"
+	"structream/internal/sql/logical"
+	"structream/internal/sql/optimizer"
+)
+
+// The supervisor package sits above the engine, so engine's in-package test
+// helpers are out of reach (importing them back would cycle). These mirror
+// engine_test.go's compile/schema helpers.
+
+var eventsSchema = sql.NewSchema(
+	sql.Field{Name: "k", Type: sql.TypeString},
+	sql.Field{Name: "v", Type: sql.TypeFloat64},
+	sql.Field{Name: "ts", Type: sql.TypeTimestamp},
+)
+
+func streamScan(name string) *logical.Scan {
+	return &logical.Scan{Name: name, Streaming: true, Out: eventsSchema}
+}
+
+// projectionPlan is the standard chaos workload: a deterministic map-only
+// query (k, v*2) whose output row set equals its input row set.
+func projectionPlan() logical.Plan {
+	return &logical.Project{
+		Child: streamScan("events"),
+		Exprs: []sql.Expr{sql.Col("k"), sql.As(sql.Mul(sql.Col("v"), sql.Lit(2.0)), "v2")},
+	}
+}
+
+func compileQuery(t *testing.T, plan logical.Plan, mode logical.OutputMode) *incremental.Query {
+	t.Helper()
+	analyzed, err := analysis.Analyze(plan)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	if err := analysis.CheckStreaming(analyzed, mode); err != nil {
+		t.Fatalf("check streaming: %v", err)
+	}
+	q, err := incremental.Compile(optimizer.Optimize(analyzed), mode, nil)
+	if err != nil {
+		t.Fatalf("incrementalize: %v", err)
+	}
+	return q
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out after %v waiting for %s", timeout, msg)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// snapshotJSONDir reads every .json file in dir, keyed by file name.
+func snapshotJSONDir(t *testing.T, dir string) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return out
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = string(b)
+	}
+	return out
+}
+
+// countJSONLines sums output lines across every epoch file in dir.
+func countJSONLines(t *testing.T, dir string) int {
+	t.Helper()
+	n := 0
+	for _, content := range snapshotJSONDir(t, dir) {
+		n += strings.Count(content, "\n")
+	}
+	return n
+}
+
+// allJSONLines returns every output line in dir, sorted.
+func allJSONLines(t *testing.T, dir string) []string {
+	t.Helper()
+	var lines []string
+	for _, content := range snapshotJSONDir(t, dir) {
+		for _, l := range strings.Split(content, "\n") {
+			if l != "" {
+				lines = append(lines, l)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}

@@ -1,0 +1,473 @@
+// Package supervisor implements the self-healing query lifecycle the
+// paper's operational story assumes but the engine alone does not provide
+// (§6.2, §7.1): a failed driver restarts automatically from the
+// write-ahead log, and the user never babysits the query. A Supervisor
+// owns one query's restart policy — errors are classified transient or
+// fatal, transient failures trigger a re-Start from the checkpoint after
+// exponential backoff with jitter, and a max-restarts-per-window circuit
+// breaker stops a crash loop from spinning forever. Exactly-once output is
+// preserved across restarts because recovery replays the in-flight epoch
+// with identical offsets into idempotent sinks; the supervisor adds only
+// the *automation* and its observability: lifecycle events
+// (QueryStarted/QueryFailed/QueryRestarted/QueryGaveUp) through a listener
+// API and restart/backoff counters threaded into QueryProgress.
+package supervisor
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"structream/internal/engine"
+	"structream/internal/fsx"
+)
+
+// Class is the supervisor's verdict on a query failure.
+type Class int
+
+const (
+	// Transient failures — flaky I/O, a crashed process, a hung epoch —
+	// are the restart-and-recover cases of §6.2.
+	Transient Class = iota
+	// Fatal failures — corrupt committed history, logic errors the caller
+	// marked unrecoverable — would fail again identically after restart.
+	Fatal
+)
+
+// String renders the class.
+func (c Class) String() string {
+	if c == Fatal {
+		return "fatal"
+	}
+	return "transient"
+}
+
+// Classifier maps a query failure to a Class.
+type Classifier func(error) Class
+
+// errFatal is the sentinel wrapped by MarkFatal.
+var errFatal = errors.New("supervisor: fatal")
+
+// MarkFatal wraps err so DefaultClassifier treats it as fatal regardless
+// of its underlying cause.
+func MarkFatal(err error) error {
+	return fmt.Errorf("%w: %w", errFatal, err)
+}
+
+// DefaultClassifier encodes the repo's error taxonomy (DESIGN.md §7):
+//
+//   - transient: retryable I/O (fsx.ErrTransient, EIO/ENOSPC class), a
+//     simulated or real process crash (fsx.ErrCrash — restarting from the
+//     WAL is exactly the §6.1 remedy), and watchdog epoch timeouts
+//     (engine.ErrEpochTimeout — a hang is a crash that forgot to exit);
+//   - fatal: detected corruption of committed history (fsx.ErrCorrupt —
+//     recovery would fail again identically), and anything wrapped by
+//     MarkFatal;
+//   - unknown errors default to transient: the circuit breaker bounds the
+//     damage of optimism, while defaulting to fatal would turn every novel
+//     transient into a dead query.
+func DefaultClassifier(err error) Class {
+	switch {
+	case err == nil:
+		return Transient
+	case errors.Is(err, errFatal), fsx.IsCorrupt(err):
+		return Fatal
+	case fsx.IsTransient(err), errors.Is(err, fsx.ErrCrash), errors.Is(err, engine.ErrEpochTimeout):
+		return Transient
+	default:
+		return Transient
+	}
+}
+
+// Policy is a restart policy: classification, backoff shape, and the
+// circuit breaker.
+type Policy struct {
+	// Classify maps failures to transient/fatal (default DefaultClassifier).
+	Classify Classifier
+	// InitialBackoff is the delay before the first restart (default 10ms).
+	InitialBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 5s).
+	MaxBackoff time.Duration
+	// Multiplier grows the backoff after each consecutive failure
+	// (default 2).
+	Multiplier float64
+	// Jitter is the fraction of the backoff randomized on top of it, so a
+	// fleet of supervised queries does not restart in lockstep
+	// (default 0.2).
+	Jitter float64
+	// MaxRestartsPerWindow is the circuit breaker: more than this many
+	// restarts inside Window means the query gives up even on transient
+	// errors (default 8; negative = unlimited).
+	MaxRestartsPerWindow int
+	// Window is the circuit breaker's sliding window (default 1 minute).
+	Window time.Duration
+	// StableAfter resets the backoff to InitialBackoff once an instance
+	// has run this long without failing (default 10×InitialBackoff).
+	StableAfter time.Duration
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Classify == nil {
+		p.Classify = DefaultClassifier
+	}
+	if p.InitialBackoff <= 0 {
+		p.InitialBackoff = 10 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 5 * time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	} else if p.Jitter == 0 {
+		p.Jitter = 0.2
+	}
+	if p.MaxRestartsPerWindow == 0 {
+		p.MaxRestartsPerWindow = 8
+	}
+	if p.Window <= 0 {
+		p.Window = time.Minute
+	}
+	if p.StableAfter <= 0 {
+		p.StableAfter = 10 * p.InitialBackoff
+	}
+	return p
+}
+
+// EventKind labels a lifecycle event.
+type EventKind int
+
+const (
+	// QueryStarted: an instance of the query began running (the first
+	// start and every restart emit it).
+	QueryStarted EventKind = iota
+	// QueryFailed: an instance terminated with an error.
+	QueryFailed
+	// QueryRestarted: a replacement instance was started after backoff.
+	QueryRestarted
+	// QueryGaveUp: the supervisor stopped restarting — a fatal error or an
+	// open circuit breaker.
+	QueryGaveUp
+	// QueryStopped: the query terminated cleanly (Stop, or a finite
+	// trigger completed).
+	QueryStopped
+)
+
+// String renders the kind.
+func (k EventKind) String() string {
+	switch k {
+	case QueryStarted:
+		return "QueryStarted"
+	case QueryFailed:
+		return "QueryFailed"
+	case QueryRestarted:
+		return "QueryRestarted"
+	case QueryGaveUp:
+		return "QueryGaveUp"
+	case QueryStopped:
+		return "QueryStopped"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one lifecycle transition of a supervised query.
+type Event struct {
+	Kind EventKind
+	// Query is the supervised query's name.
+	Query string
+	// Restart is how many restarts have happened so far (the first start
+	// is 0).
+	Restart int64
+	// Err is the failure that caused a Failed/GaveUp event.
+	Err error
+	// Class is the classification of Err, when Err is set.
+	Class Class
+	// Backoff is the delay slept before a Restarted event.
+	Backoff time.Duration
+	// Time is when the event occurred.
+	Time time.Time
+}
+
+// Spec describes what to supervise: a way to (re)start the query, and the
+// policy to do it under. Start is called once per instance; restart is 0
+// for the first. It must build a fresh StreamingQuery from the same
+// checkpoint so recovery resumes where the failed instance left off —
+// including fresh fault-domain resources (e.g. a new fsx.FaultFS models
+// the restarted process).
+type Spec struct {
+	Name   string
+	Start  func(restart int64) (*engine.StreamingQuery, error)
+	Policy Policy
+}
+
+// Supervisor owns the restart loop of one streaming query.
+type Supervisor struct {
+	spec   Spec
+	policy Policy
+
+	stopCh   chan struct{}
+	doneCh   chan struct{}
+	stopOnce sync.Once
+
+	mu        sync.Mutex
+	sq        *engine.StreamingQuery
+	status    engine.QueryStatus
+	restarts  int64
+	gaveUp    bool
+	err       error
+	listeners []func(Event)
+	events    []Event
+	rng       *rand.Rand
+}
+
+// Supervise starts the query's first instance and the supervision loop.
+// An error from the very first Start is returned synchronously — a query
+// that cannot start at all is a configuration problem, not a failure to
+// heal.
+func Supervise(spec Spec) (*Supervisor, error) {
+	if spec.Start == nil {
+		return nil, fmt.Errorf("supervisor: Spec.Start is required")
+	}
+	if spec.Name == "" {
+		spec.Name = "query"
+	}
+	s := &Supervisor{
+		spec:   spec,
+		policy: spec.Policy.withDefaults(),
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+		rng:    rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+	sq, err := spec.Start(0)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.sq = sq
+	s.status = engine.StatusRunning
+	s.mu.Unlock()
+	s.emit(Event{Kind: QueryStarted, Query: spec.Name})
+	go s.run(sq)
+	return s, nil
+}
+
+// Query returns the current query instance. After a restart this is a new
+// handle; holders of old handles see them as Failed/Restarting.
+func (s *Supervisor) Query() *engine.StreamingQuery {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sq
+}
+
+// Status reports the supervised lifecycle state: Running, Restarting
+// while backing off between instances, Failed after giving up, Stopped
+// after a clean termination.
+func (s *Supervisor) Status() engine.QueryStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.status
+}
+
+// Restarts reports how many times the query has been restarted.
+func (s *Supervisor) Restarts() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.restarts
+}
+
+// Err returns the terminal error after the supervisor gave up, or nil.
+func (s *Supervisor) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// AddListener registers a lifecycle listener for future events.
+func (s *Supervisor) AddListener(fn func(Event)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.listeners = append(s.listeners, fn)
+}
+
+// Events returns the lifecycle history so far.
+func (s *Supervisor) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// Stop terminates supervision and the current query instance, then waits
+// for the loop to exit. A stopped supervisor never restarts.
+func (s *Supervisor) Stop() error {
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	if sq := s.Query(); sq != nil {
+		sq.Stop()
+	}
+	<-s.doneCh
+	return s.Err()
+}
+
+// Wait blocks until the supervisor terminates (clean stop or gave up) and
+// returns the terminal error, if any.
+func (s *Supervisor) Wait() error {
+	<-s.doneCh
+	return s.Err()
+}
+
+// Done returns a channel closed when supervision terminates.
+func (s *Supervisor) Done() <-chan struct{} { return s.doneCh }
+
+func (s *Supervisor) emit(ev Event) {
+	ev.Time = time.Now()
+	s.mu.Lock()
+	ev.Restart = s.restarts
+	s.events = append(s.events, ev)
+	var listeners []func(Event)
+	listeners = append(listeners, s.listeners...)
+	s.mu.Unlock()
+	for _, fn := range listeners {
+		fn(ev)
+	}
+}
+
+func (s *Supervisor) setTerminal(status engine.QueryStatus, err error) {
+	s.mu.Lock()
+	s.status = status
+	if s.err == nil {
+		s.err = err
+	}
+	s.gaveUp = s.gaveUp || status == engine.StatusFailed
+	s.mu.Unlock()
+}
+
+// run is the supervision loop: wait for the instance to terminate,
+// classify, back off, restart — or give up.
+func (s *Supervisor) run(sq *engine.StreamingQuery) {
+	defer close(s.doneCh)
+	backoff := s.policy.InitialBackoff
+	var window []time.Time // restart timestamps inside the breaker window
+	for {
+		started := time.Now()
+		select {
+		case <-sq.Done():
+		case <-s.stopCh:
+			sq.Stop()
+			<-sq.Done()
+		}
+		err := sq.Err()
+
+		select {
+		case <-s.stopCh:
+			// User-requested stop wins over whatever the instance did.
+			s.setTerminal(engine.StatusStopped, nil)
+			s.emit(Event{Kind: QueryStopped, Query: s.spec.Name})
+			return
+		default:
+		}
+		if err == nil {
+			// Clean termination: a finite trigger finished, or Stop was
+			// called directly on the instance.
+			s.setTerminal(engine.StatusStopped, nil)
+			s.emit(Event{Kind: QueryStopped, Query: s.spec.Name})
+			return
+		}
+
+		class := s.policy.Classify(err)
+		s.emit(Event{Kind: QueryFailed, Query: s.spec.Name, Err: err, Class: class})
+		if class == Fatal {
+			s.setTerminal(engine.StatusFailed, err)
+			s.emit(Event{Kind: QueryGaveUp, Query: s.spec.Name, Err: err, Class: class})
+			return
+		}
+
+		// Circuit breaker: too many restarts inside the sliding window.
+		now := time.Now()
+		live := window[:0]
+		for _, t := range window {
+			if now.Sub(t) <= s.policy.Window {
+				live = append(live, t)
+			}
+		}
+		window = live
+		if s.policy.MaxRestartsPerWindow >= 0 && len(window) >= s.policy.MaxRestartsPerWindow {
+			err = fmt.Errorf("supervisor: circuit breaker open (%d restarts in %v): %w",
+				len(window), s.policy.Window, err)
+			s.setTerminal(engine.StatusFailed, err)
+			s.emit(Event{Kind: QueryGaveUp, Query: s.spec.Name, Err: err, Class: class})
+			return
+		}
+
+		// A long stable run earns a backoff reset.
+		if time.Since(started) >= s.policy.StableAfter {
+			backoff = s.policy.InitialBackoff
+		}
+		sleep := backoff
+		if j := s.policy.Jitter; j > 0 {
+			s.mu.Lock()
+			sleep += time.Duration(s.rng.Int63n(int64(float64(backoff)*j) + 1))
+			s.mu.Unlock()
+		}
+		sq.MarkRestarting()
+		s.mu.Lock()
+		s.status = engine.StatusRestarting
+		s.mu.Unlock()
+		timer := time.NewTimer(sleep)
+		select {
+		case <-timer.C:
+		case <-s.stopCh:
+			timer.Stop()
+			s.setTerminal(engine.StatusStopped, nil)
+			s.emit(Event{Kind: QueryStopped, Query: s.spec.Name})
+			return
+		}
+		backoff = time.Duration(float64(backoff) * s.policy.Multiplier)
+		if backoff > s.policy.MaxBackoff {
+			backoff = s.policy.MaxBackoff
+		}
+
+		s.mu.Lock()
+		restarts := s.restarts + 1
+		s.mu.Unlock()
+		next, startErr := s.spec.Start(restarts)
+		if startErr != nil {
+			// A failed restart is itself a failure: classify it and go
+			// around again (or give up) without a live instance.
+			class := s.policy.Classify(startErr)
+			s.emit(Event{Kind: QueryFailed, Query: s.spec.Name, Err: startErr, Class: class})
+			if class == Fatal {
+				s.setTerminal(engine.StatusFailed, startErr)
+				s.emit(Event{Kind: QueryGaveUp, Query: s.spec.Name, Err: startErr, Class: class})
+				return
+			}
+			window = append(window, time.Now())
+			// Model the failed attempt as an already-dead instance so the
+			// loop's Done/Err plumbing stays uniform.
+			sq = deadQuery(startErr)
+			continue
+		}
+		window = append(window, time.Now())
+		s.mu.Lock()
+		s.restarts = restarts
+		s.sq = next
+		s.status = engine.StatusRunning
+		s.mu.Unlock()
+		// Thread lifetime restart/backoff counters into the new instance's
+		// registry so they surface in QueryProgress events.
+		next.Metrics().Counter("restarts").Add(restarts)
+		next.Metrics().Gauge("restartBackoffMillis").Set(sleep.Milliseconds())
+		s.emit(Event{Kind: QueryRestarted, Query: s.spec.Name, Backoff: sleep})
+		s.emit(Event{Kind: QueryStarted, Query: s.spec.Name})
+		sq = next
+	}
+}
+
+// deadQuery builds a terminated query handle carrying err, standing in
+// for an instance that failed to even start.
+func deadQuery(err error) *engine.StreamingQuery {
+	return engine.NewFailedQuery(err)
+}

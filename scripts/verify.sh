@@ -7,4 +7,10 @@ echo ">> go vet ./..."
 go vet ./...
 echo ">> go test -race ./..."
 go test -race ./...
+# Opt-in chaos tier: randomized fault schedule against the supervised
+# runtime (bounded by STRUCTREAM_CHAOS_SECONDS, default 20).
+if [ "${STRUCTREAM_CHAOS:-}" = "1" ]; then
+	echo ">> make chaos (randomized fault schedule)"
+	make chaos
+fi
 echo "verify: OK"
