@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short verify bench chaos
+.PHONY: build test test-short verify bench bench-json chaos
 
 build:
 	$(GO) build ./...
@@ -27,3 +27,10 @@ chaos:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# Machine-readable benchmark report: microbatch throughput with
+# observability on/off (tracing overhead %), epoch p50/p99, and
+# continuous-mode record latency, written to BENCH_<date>.json.
+bench-json:
+	$(GO) run ./cmd/ssbench -experiment bench -events 2000000 -rounds 5 \
+		-json BENCH_$$(date +%F).json

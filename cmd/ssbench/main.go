@@ -8,10 +8,15 @@
 //	ssbench -experiment runonce   §7.3 run-once trigger cost savings
 //	ssbench -experiment recovery  §6.2 task recovery vs topology rollback
 //	ssbench -experiment adaptive  §7.3 adaptive batching after downtime
+//	ssbench -experiment bench     observability bench suite (throughput, p99, tracing overhead)
 //	ssbench -experiment all       everything, in order
+//
+// With -json FILE the bench suite additionally writes its machine-readable
+// report (the BENCH_<date>.json artifact `make bench-json` produces).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,10 +27,11 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig6a, fig6b, fig7, runonce, recovery, adaptive or all")
+		experiment = flag.String("experiment", "all", "fig6a, fig6b, fig7, runonce, recovery, adaptive, bench or all")
 		events     = flag.Int("events", 4_000_000, "workload size for fig6a/fig6b calibration")
 		rounds     = flag.Int("rounds", 3, "measurement rounds per engine (best kept)")
 		rateSecs   = flag.Float64("rate-seconds", 1.5, "seconds per rate point in fig7")
+		jsonOut    = flag.String("json", "", "with -experiment bench, also write the report as JSON to this file")
 	)
 	flag.Parse()
 
@@ -102,6 +108,25 @@ func main() {
 			return err
 		}
 		fmt.Print(r)
+		return nil
+	})
+
+	run("bench", func() error {
+		r, err := experiments.RunBenchSuite(*events, *rounds, tempDir)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r)
+		if *jsonOut != "" {
+			data, err := json.MarshalIndent(r, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("  wrote %s\n", *jsonOut)
+		}
 		return nil
 	})
 }

@@ -9,12 +9,18 @@
 //
 // With -watch the query keeps running: drop new files into the directory
 // and each trigger prints the updated result, demonstrating the paper's
-// §4.1 quickstart end to end.
+// §4.1 quickstart end to end. While watching, the process answers simple
+// commands on stdin — `:status` pretty-prints the last QueryProgress
+// (throughput, duration breakdown, bottleneck stage), `:metrics` dumps the
+// metric registry, `:quit` stops — and -monitor ADDR additionally serves
+// the §7.4 HTTP monitoring endpoint.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
@@ -34,6 +40,7 @@ func main() {
 		watch      = flag.Bool("watch", false, "keep running, re-triggering as new files arrive")
 		interval   = flag.Duration("interval", time.Second, "trigger interval with -watch")
 		checkpoint = flag.String("checkpoint", "", "checkpoint directory (streaming)")
+		monitorAt  = flag.String("monitor", "", "with -watch, serve the HTTP monitoring endpoint on this address (e.g. localhost:8080)")
 	)
 	flag.Parse()
 	if *query == "" {
@@ -115,12 +122,58 @@ func main() {
 		}
 		return
 	}
-	fmt.Fprintf(os.Stderr, "ssql: watching; checkpoint at %s (Ctrl-C to stop)\n", ckpt)
+	if *monitorAt != "" {
+		m, err := s.Monitor(*monitorAt)
+		if err != nil {
+			fatal(err)
+		}
+		defer m.Close()
+		fmt.Fprintf(os.Stderr, "ssql: monitoring at http://%s/queries\n", m.Addr())
+	}
+	fmt.Fprintf(os.Stderr, "ssql: watching; checkpoint at %s (:status, :metrics, :quit or Ctrl-C)\n", ckpt)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
-	<-sig
+	watchREPL(q, os.Stdin, os.Stdout, sig)
 	if err := q.Stop(); err != nil {
 		fatal(err)
+	}
+}
+
+// watchREPL blocks until interrupted or told to :quit, answering :status
+// and :metrics commands with the query's live observability data.
+func watchREPL(q *structream.StreamingQuery, in io.Reader, out io.Writer, sig <-chan os.Signal) {
+	lines := make(chan string)
+	go func() {
+		defer close(lines)
+		sc := bufio.NewScanner(in)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+	}()
+	for {
+		select {
+		case <-sig:
+			return
+		case line, open := <-lines:
+			if !open {
+				// stdin closed (e.g. running under a pipe): keep watching
+				// until the signal arrives.
+				<-sig
+				return
+			}
+			switch cmd := strings.TrimSpace(line); cmd {
+			case "":
+			case ":quit", ":q":
+				return
+			case ":status":
+				p, ok := q.LastProgress()
+				fmt.Fprint(out, formatStatus(q.Name(), q.Status().String(), p, ok))
+			case ":metrics":
+				fmt.Fprint(out, formatMetrics(q.Name(), q.Metrics().Snapshot()))
+			default:
+				fmt.Fprintf(out, "unknown command %q (try :status, :metrics, :quit)\n", cmd)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"structream/internal/metrics"
+)
+
+// statusStages is the display order of the duration breakdown — the
+// epoch's stages in execution order.
+var statusStages = []string{"planning", "getBatch", "execution", "stateCommit", "walCommit", "sinkCommit"}
+
+// formatStatus renders a query's live status for the :status REPL
+// command: the last epoch's throughput, its duration breakdown with the
+// bottleneck stage flagged, and the per-source/sink/state sections.
+func formatStatus(name, status string, p metrics.QueryProgress, ok bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query %q: %s\n", name, status)
+	if !ok {
+		b.WriteString("  no epochs committed yet\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "  epoch %d: %d rows in, %d rows out (%.0f in/s, %.0f out/s)\n",
+		p.Epoch, p.NumInputRows, p.NumOutputRows, p.InputRowsPerSec, p.OutputRowsPerSec)
+	fmt.Fprintf(&b, "  processing time: %v\n", time.Duration(p.ProcessingMicros)*time.Microsecond)
+	if len(p.DurationBreakdown) > 0 {
+		b.WriteString("  duration breakdown:\n")
+		for _, stage := range statusStages {
+			v, present := p.DurationBreakdown[stage]
+			if !present {
+				continue
+			}
+			pct := 0.0
+			if p.ProcessingMicros > 0 {
+				pct = 100 * float64(v) / float64(p.ProcessingMicros)
+			}
+			marker := ""
+			if stage == p.BottleneckStage {
+				marker = "  <- bottleneck"
+			}
+			fmt.Fprintf(&b, "    %-12s %12v %5.1f%%%s\n",
+				stage, time.Duration(v)*time.Microsecond, pct, marker)
+		}
+	}
+	if p.BackpressureDecision != "" {
+		fmt.Fprintf(&b, "  backpressure: %s\n", p.BackpressureDecision)
+	}
+	for _, src := range p.Sources {
+		fmt.Fprintf(&b, "  source %q: %d rows, offsets %v -> %v (read %v)\n",
+			src.Name, src.NumInputRows, src.StartOffsets, src.EndOffsets,
+			time.Duration(src.ReadMicros)*time.Microsecond)
+	}
+	if p.Sink != nil {
+		fmt.Fprintf(&b, "  sink %s: %d rows (write %v)\n",
+			p.Sink.Description, p.Sink.NumOutputRows, time.Duration(p.Sink.WriteMicros)*time.Microsecond)
+	}
+	for _, so := range p.StateOperators {
+		fmt.Fprintf(&b, "  state %q: %d keys, %d bytes, cache %d/%d hit, %d deltas, %d snapshots\n",
+			so.Operator, so.NumRowsTotal, so.StateBytes,
+			so.CacheHits, so.CacheHits+so.CacheMisses, so.DeltasWritten, so.SnapshotsWritten)
+	}
+	if p.WatermarkMicros > 0 {
+		fmt.Fprintf(&b, "  watermark: %dµs\n", p.WatermarkMicros)
+	}
+	return b.String()
+}
+
+// formatMetrics renders a metric registry snapshot for the :metrics REPL
+// command, one sorted `name value` line per metric (histograms appear as
+// their derived .count/.p50/.p95/.p99/.max entries).
+func formatMetrics(name string, snap map[string]int64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "metrics for %q:\n", name)
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  %-28s %d\n", k, snap[k])
+	}
+	return b.String()
+}

@@ -72,6 +72,8 @@ type Cluster struct {
 	tasksRun    int64
 	tasksFailed int64
 	speculated  int64
+	stagesRun   int64
+	taskNanos   int64 // summed attempt wall time — CPU-time-ish occupancy
 }
 
 type node struct {
@@ -153,6 +155,30 @@ func (c *Cluster) Stats() (run, failed, speculated int64) {
 	return c.tasksRun, c.tasksFailed, c.speculated
 }
 
+// DetailedStats is the full counter snapshot for the monitoring surface.
+type DetailedStats struct {
+	TasksRun    int64
+	TasksFailed int64
+	Speculated  int64
+	StagesRun   int64
+	// TaskTime is the summed wall time of every task attempt — together
+	// with stage wall time it shows how well the slots were utilized.
+	TaskTime time.Duration
+}
+
+// DetailedStats reports every scheduler counter at once.
+func (c *Cluster) DetailedStats() DetailedStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return DetailedStats{
+		TasksRun:    c.tasksRun,
+		TasksFailed: c.tasksFailed,
+		Speculated:  c.speculated,
+		StagesRun:   c.stagesRun,
+		TaskTime:    time.Duration(c.taskNanos),
+	}
+}
+
 // acquireSlot blocks until a live node has a free slot and claims it.
 // Waiting is a condition-variable park, not a poll: a slot release, an
 // added node, or a removed node wakes waiters exactly once, so draining a
@@ -201,6 +227,9 @@ type taskState struct {
 // the fine-grained recovery path of §6.2: a failed task is retried alone,
 // in parallel, with no whole-topology rollback.
 func (c *Cluster) RunStage(tasks []Task) ([]any, error) {
+	c.mu.Lock()
+	c.stagesRun++
+	c.mu.Unlock()
 	states := make([]*taskState, len(tasks))
 	for i := range states {
 		states[i] = &taskState{}
@@ -361,11 +390,17 @@ func (c *Cluster) runAttempt(t Task, attempt int, n *node) (any, error) {
 	start := time.Now()
 	result, err := t.Fn()
 	if err != nil {
+		c.mu.Lock()
+		c.taskNanos += time.Since(start).Nanoseconds()
+		c.mu.Unlock()
 		return nil, err
 	}
 	if slowdown > 1 {
 		time.Sleep(time.Duration(float64(time.Since(start)) * (slowdown - 1)))
 	}
+	c.mu.Lock()
+	c.taskNanos += time.Since(start).Nanoseconds()
+	c.mu.Unlock()
 	return result, nil
 }
 

@@ -2,7 +2,10 @@ package engine
 
 import (
 	"errors"
+	"fmt"
 	"time"
+
+	"structream/internal/metrics"
 )
 
 // ErrEpochTimeout marks an epoch that exceeded Options.EpochTimeout: a
@@ -26,6 +29,10 @@ const minAdaptiveCap = 16
 // interval — the failure mode §7.3's adaptive batching alone does not
 // prevent.
 //
+// The limiter reads the per-stage latency histograms the engine maintains
+// so every cap change carries an explanation naming the bottleneck stage
+// and its p95 — visible in QueryProgress.BackpressureDecision.
+//
 // cap == 0 means "not engaged": intake is unlimited (or limited only by
 // the static MaxRecordsPerTrigger) until the first overrun is observed.
 type aimdLimiter struct {
@@ -33,24 +40,51 @@ type aimdLimiter struct {
 	floor  int64         // never shrink below this
 	ceil   int64         // never grow beyond this (0 = unbounded)
 	cap    int64         // current cap (0 = not engaged)
+
+	reg      *metrics.Registry // per-stage histograms for explanations
+	decision string            // latest human-readable verdict
 }
 
-// newAIMDLimiter builds a limiter honoring the static cap as ceiling.
-func newAIMDLimiter(target time.Duration, staticCap, floor int64) *aimdLimiter {
+// newAIMDLimiter builds a limiter honoring the static cap as ceiling. The
+// registry supplies the per-stage latency histograms quoted in decisions;
+// it may be nil (decisions then omit the percentile evidence).
+func newAIMDLimiter(target time.Duration, staticCap, floor int64, reg *metrics.Registry) *aimdLimiter {
 	if floor <= 0 {
 		floor = minAdaptiveCap
 	}
 	if staticCap > 0 && floor > staticCap {
 		floor = staticCap
 	}
-	return &aimdLimiter{target: target, floor: floor, ceil: staticCap}
+	return &aimdLimiter{target: target, floor: floor, ceil: staticCap, reg: reg}
 }
 
 // Cap returns the current adaptive cap (0 = not engaged / unlimited).
 func (l *aimdLimiter) Cap() int64 { return l.cap }
 
-// Observe feeds one completed epoch's latency and intake into the rule.
-func (l *aimdLimiter) Observe(elapsed time.Duration, inputRows int64) {
+// Decision returns the limiter's latest human-readable verdict: what it
+// did to the cap and which stage's latency drove the call. Empty until the
+// limiter first engages.
+func (l *aimdLimiter) Decision() string { return l.decision }
+
+// blame names the dominant DurationBreakdown stage together with its
+// histogram p95 — the evidence a cap change is justified by.
+func (l *aimdLimiter) blame(breakdown map[string]int64) string {
+	stage := metrics.BottleneckStage(breakdown)
+	if stage == "" {
+		return "no stage breakdown"
+	}
+	if l.reg != nil {
+		if h := l.reg.Histogram("stage." + stage + ".us"); h.Count() > 0 {
+			p95 := time.Duration(h.Snapshot().P95) * time.Microsecond
+			return fmt.Sprintf("bottleneck %s (p95 %v)", stage, p95.Round(time.Microsecond))
+		}
+	}
+	return fmt.Sprintf("bottleneck %s", stage)
+}
+
+// Observe feeds one completed epoch's latency, intake, and per-stage
+// duration breakdown into the rule.
+func (l *aimdLimiter) Observe(elapsed time.Duration, inputRows int64, breakdown map[string]int64) {
 	if l.target <= 0 || inputRows <= 0 {
 		return
 	}
@@ -63,7 +97,13 @@ func (l *aimdLimiter) Observe(elapsed time.Duration, inputRows int64) {
 			next = l.floor
 		}
 		if l.cap == 0 || next < l.cap {
+			prev := "∞"
+			if l.cap > 0 {
+				prev = fmt.Sprintf("%d", l.cap)
+			}
 			l.cap = next
+			l.decision = fmt.Sprintf("cap %s→%d: epoch took %v > target %v; %s",
+				prev, next, elapsed.Round(time.Microsecond), l.target, l.blame(breakdown))
 		}
 		return
 	}
@@ -81,5 +121,7 @@ func (l *aimdLimiter) Observe(elapsed time.Duration, inputRows int64) {
 		if l.ceil > 0 && l.cap > l.ceil {
 			l.cap = l.ceil
 		}
+		l.decision = fmt.Sprintf("cap →%d: keeping up (epoch %v ≤ target %v)",
+			l.cap, elapsed.Round(time.Microsecond), l.target)
 	}
 }

@@ -6,10 +6,13 @@ import (
 	"sync/atomic"
 	"time"
 
+	"sort"
+
 	"structream/internal/incremental"
 	"structream/internal/metrics"
 	"structream/internal/sinks"
 	"structream/internal/sources"
+	"structream/internal/trace"
 	"structream/internal/wal"
 )
 
@@ -25,9 +28,10 @@ type continuousExec struct {
 	sink sinks.Sink
 	opts Options
 
-	wal *wal.Log
-	log *metrics.EventLog
-	reg *metrics.Registry
+	wal    *wal.Log
+	log    *metrics.EventLog
+	reg    *metrics.Registry
+	tracer *trace.Tracer // nil when Options.DisableTracing
 
 	stopCh chan struct{}
 	failCh chan struct{} // closed on the first error; may precede worker exit
@@ -38,14 +42,30 @@ type continuousExec struct {
 	// idle once it is exhausted, until the next epoch mark refills it.
 	budget atomic.Int64
 
+	// Workers accumulate their per-stage time here; the coordinator turns
+	// the deltas between epoch marks into the epoch's span tree. In
+	// continuous mode these are summed task times across parallel workers,
+	// not disjoint wall-clock segments, so they can exceed the epoch
+	// interval.
+	procNanos atomic.Int64 // time inside pipeline Process
+	sinkNanos atomic.Int64 // time inside sink AddBatch
+
 	mu          sync.Mutex
-	srcs        map[string]sources.Source  // by source name, for the watchdog
-	current     map[string]sources.Offsets // live read positions
-	lastEnd     map[string]sources.Offsets // offsets at the last epoch mark
-	lastAdvance time.Time                  // when any worker last made progress
+	srcs        map[string]*sources.Instrumented // by source name
+	current     map[string]sources.Offsets       // live read positions
+	lastEnd     map[string]sources.Offsets       // offsets at the last epoch mark
+	lastAdvance time.Time                        // when any worker last made progress
 	epoch       int64
 	workerSeq   int64
 	err         error
+
+	// Coordinator-only epoch-delta bookkeeping (markEpoch runs in one
+	// goroutine, so plain fields suffice).
+	lastMark     time.Time
+	prevOut      int64
+	prevProc     int64
+	prevSink     int64
+	prevSrcStats map[string]sources.SourceStats
 }
 
 // waitable lets a source block efficiently for new data; sources without
@@ -68,15 +88,21 @@ func startContinuous(q *incremental.Query, srcs map[string]sources.Source, sink 
 	}
 	ce := &continuousExec{
 		q: q, sink: sink, opts: opts,
-		wal:         w,
-		log:         metrics.NewEventLog(opts.EventLogWriter),
-		reg:         metrics.NewRegistry(),
-		stopCh:      make(chan struct{}),
-		failCh:      make(chan struct{}),
-		srcs:        map[string]sources.Source{},
-		current:     map[string]sources.Offsets{},
-		lastEnd:     map[string]sources.Offsets{},
-		lastAdvance: time.Now(),
+		wal:          w,
+		log:          metrics.NewEventLog(opts.EventLogWriter),
+		reg:          metrics.NewRegistry(),
+		stopCh:       make(chan struct{}),
+		failCh:       make(chan struct{}),
+		srcs:         map[string]*sources.Instrumented{},
+		current:      map[string]sources.Offsets{},
+		lastEnd:      map[string]sources.Offsets{},
+		lastAdvance:  time.Now(),
+		lastMark:     time.Now(),
+		prevSrcStats: map[string]sources.SourceStats{},
+	}
+	ce.log.SetRegistry(ce.reg)
+	if !opts.DisableTracing {
+		ce.tracer = trace.NewTracer(opts.Name, opts.TraceCapacity)
 	}
 	ce.budget.Store(opts.MaxRecordsPerTrigger)
 
@@ -106,10 +132,11 @@ func startContinuous(q *incremental.Query, srcs map[string]sources.Source, sink 
 	// master launches long-running tasks on each partition"; a failed
 	// worker would simply be relaunched.
 	for _, p := range q.Pipelines {
-		src, ok := srcs[p.SourceName]
+		bound, ok := srcs[p.SourceName]
 		if !ok {
 			return nil, fmt.Errorf("engine: no source bound for stream %q", p.SourceName)
 		}
+		src := sources.Instrument(bound)
 		name := src.Name()
 		ce.srcs[name] = src
 		if _, ok := ce.current[name]; !ok {
@@ -242,16 +269,21 @@ func (ce *continuousExec) worker(pipe *incremental.Pipeline, src sources.Source,
 			ce.setErr(err)
 			return
 		}
+		procStart := time.Now()
 		rows := pipe.Process(raw)
+		ce.procNanos.Add(time.Since(procStart).Nanoseconds())
 		if len(rows) > 0 {
 			seq++
-			if err := ce.sink.AddBatch(sinks.Batch{
+			sinkStart := time.Now()
+			err := ce.sink.AddBatch(sinks.Batch{
 				Epoch:  epoch,
 				Sub:    workerID<<32 | seq,
 				Mode:   ce.q.Mode,
 				Schema: ce.q.OutSchema,
 				Rows:   rows,
-			}); err != nil {
+			})
+			ce.sinkNanos.Add(time.Since(sinkStart).Nanoseconds())
+			if err != nil {
 				ce.setErr(err)
 				return
 			}
@@ -303,7 +335,7 @@ func (ce *continuousExec) checkStalled() error {
 	if ce.opts.MaxRecordsPerTrigger > 0 && ce.budget.Load() <= 0 {
 		return nil // idled by admission control, not hung
 	}
-	pending := false
+	var lagging []string
 	for name, src := range ce.srcs {
 		latest, err := src.Latest()
 		if err != nil {
@@ -311,29 +343,48 @@ func (ce *continuousExec) checkStalled() error {
 		}
 		ce.mu.Lock()
 		cur := ce.current[name]
+		var lag int64
 		for i := range latest {
 			if i < len(cur) && latest[i] > cur[i] {
-				pending = true
+				lag += latest[i] - cur[i]
 			}
 		}
 		ce.mu.Unlock()
+		if lag > 0 {
+			lagging = append(lagging, fmt.Sprintf("%s(+%d records)", name, lag))
+		}
 	}
-	if !pending {
+	if len(lagging) == 0 {
 		return nil
 	}
-	return fmt.Errorf("engine: continuous workers made no progress for %v with data pending: %w", idle, ErrEpochTimeout)
+	sort.Strings(lagging)
+	return fmt.Errorf("engine: continuous workers made no progress for %v with data pending on %v: %w", idle, lagging, ErrEpochTimeout)
 }
 
+// markEpoch snapshots every partition's offset, logs and commits the
+// epoch, and emits the epoch's trace and progress. The epoch's root span
+// covers the whole interval since the previous mark; the getBatch /
+// execution / sinkCommit children carry summed worker task time over that
+// interval (continuous workers run in parallel, so unlike microbatch mode
+// these aggregates are not disjoint wall segments and may exceed the
+// interval).
 func (ce *continuousExec) markEpoch() {
+	planStart := time.Now()
+	type srcRange struct {
+		name       string
+		start, end sources.Offsets
+	}
 	ce.mu.Lock()
 	epoch := ce.epoch
 	entry := wal.Entry{Epoch: epoch}
 	var progressed bool
 	var totalIn int64
+	var ranges []srcRange
 	for name, cur := range ce.current {
 		start := ce.lastEnd[name]
 		end := cur.Clone()
 		entry.Sources = append(entry.Sources, wal.SourceOffsets{Source: name, Start: start.Clone(), End: end})
+		ranges = append(ranges, srcRange{name: name, start: start.Clone(), end: end})
 		for i := range end {
 			if end[i] > start[i] {
 				progressed = true
@@ -350,24 +401,116 @@ func (ce *continuousExec) markEpoch() {
 	}
 	ce.epoch++
 	ce.mu.Unlock()
+	planDur := time.Since(planStart)
 
+	intervalStart := ce.lastMark
+	et := ce.tracer.StartEpochAt(epoch, "continuous", intervalStart)
+	et.AddStage("planning", planStart, planDur)
+
+	spWAL := et.StartSpan("walCommit")
+	walStart := time.Now()
 	if err := ce.wal.WriteOffsets(entry); err != nil {
+		et.Finish()
 		ce.setErr(err)
 		return
 	}
 	if err := ce.wal.WriteCommit(epoch); err != nil {
+		et.Finish()
 		ce.setErr(err)
 		return
 	}
+	et.EndSpan(spWAL)
+	walDur := time.Since(walStart)
 	// Refill the admission budget for the next epoch.
 	if cap := ce.opts.MaxRecordsPerTrigger; cap > 0 {
 		ce.budget.Store(cap)
 	}
+
+	// Worker-stage deltas since the previous mark.
+	now := time.Now()
+	interval := now.Sub(intervalStart)
+	ce.lastMark = now
+	out := ce.reg.Counter("outputRows").Value()
+	proc, sinkN := ce.procNanos.Load(), ce.sinkNanos.Load()
+	outDelta := out - ce.prevOut
+	procDelta := proc - ce.prevProc
+	sinkDelta := sinkN - ce.prevSink
+	ce.prevOut, ce.prevProc, ce.prevSink = out, proc, sinkN
+
+	sort.Slice(ranges, func(i, j int) bool { return ranges[i].name < ranges[j].name })
+	var readDelta int64
+	var srcProgress []metrics.SourceProgress
+	for _, r := range ranges {
+		src := ce.srcs[r.name]
+		st := src.Stats()
+		rd := st.ReadNanos - ce.prevSrcStats[r.name].ReadNanos
+		ce.prevSrcStats[r.name] = st
+		readDelta += rd
+		var n int64
+		for i := range r.end {
+			if i < len(r.start) && r.end[i] > r.start[i] {
+				n += r.end[i] - r.start[i]
+			}
+		}
+		sp := metrics.SourceProgress{
+			Name:            r.name,
+			StartOffsets:    append([]int64(nil), r.start...),
+			EndOffsets:      append([]int64(nil), r.end...),
+			NumInputRows:    n,
+			InputRowsPerSec: metrics.RatePerSec(n, interval),
+			ReadMicros:      rd / 1e3,
+		}
+		if latest, err := src.Latest(); err == nil {
+			sp.LatestOffsets = append([]int64(nil), latest...)
+		}
+		srcProgress = append(srcProgress, sp)
+	}
+
+	et.AddStage("getBatch", intervalStart, time.Duration(readDelta))
+	et.AddStage("execution", intervalStart, time.Duration(procDelta))
+	et.AddStage("stateCommit", intervalStart, 0)
+	et.AddStage("sinkCommit", intervalStart, time.Duration(sinkDelta))
+	et.SetAttr("inputRows", totalIn)
+	et.SetAttr("outputRows", outDelta)
+	et.SetAttr("committed", 1)
+	et.Finish()
+
+	bd := map[string]int64{
+		"planning":    planDur.Microseconds(),
+		"getBatch":    readDelta / 1e3,
+		"execution":   procDelta / 1e3,
+		"stateCommit": 0,
+		"walCommit":   walDur.Microseconds(),
+		"sinkCommit":  sinkDelta / 1e3,
+	}
+	ce.reg.Histogram("epoch.us").Observe(interval.Microseconds())
+	for k, v := range bd {
+		ce.reg.Histogram("stage." + k + ".us").Observe(v)
+	}
+	ws := ce.wal.Stats()
+	ce.reg.Gauge("walOffsetsWritten").Set(ws.OffsetsWritten)
+	ce.reg.Gauge("walCommitsWritten").Set(ws.CommitsWritten)
+	ce.reg.Gauge("walBytesWritten").Set(ws.BytesWritten)
+	ce.reg.Gauge("walWriteMicros").Set(ws.WriteNanos / 1e3)
 	ce.reg.Counter("epochs").Add(1)
 	ce.log.Emit(metrics.QueryProgress{
-		QueryName:           ce.opts.Name,
-		Epoch:               epoch,
-		NumInputRows:        totalIn,
+		QueryName:         ce.opts.Name,
+		Epoch:             epoch,
+		NumInputRows:      totalIn,
+		NumOutputRows:     outDelta,
+		ProcessingMillis:  interval.Milliseconds(),
+		ProcessingMicros:  interval.Microseconds(),
+		InputRowsPerSec:   metrics.RatePerSec(totalIn, interval),
+		OutputRowsPerSec:  metrics.RatePerSec(outDelta, interval),
+		DurationBreakdown: bd,
+		BottleneckStage:   metrics.BottleneckStage(bd),
+		Sources:           srcProgress,
+		Sink: &metrics.SinkProgress{
+			Description:      sinks.Describe(ce.sink),
+			NumOutputRows:    outDelta,
+			OutputRowsPerSec: metrics.RatePerSec(outDelta, interval),
+			WriteMicros:      sinkDelta / 1e3,
+		},
 		AdmissionCapRecords: ce.opts.MaxRecordsPerTrigger,
 		Restarts:            ce.reg.Counter("restarts").Value(),
 	})

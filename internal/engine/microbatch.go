@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -18,6 +19,7 @@ import (
 	"structream/internal/sql/codec"
 	"structream/internal/sql/logical"
 	"structream/internal/state"
+	"structream/internal/trace"
 	"structream/internal/wal"
 )
 
@@ -83,6 +85,12 @@ type Options struct {
 	// MinRecordsPerTrigger floors the adaptive cap so a struggling query
 	// still makes progress (default 16).
 	MinRecordsPerTrigger int64
+	// DisableTracing turns off span-based epoch tracing (§7.4). Tracing is
+	// on by default; its overhead is a few timestamps per epoch stage.
+	DisableTracing bool
+	// TraceCapacity bounds how many finished epoch traces are retained in
+	// the tracer's ring buffer (default 256).
+	TraceCapacity int
 }
 
 func (o Options) withDefaults() Options {
@@ -120,12 +128,14 @@ type exec struct {
 	sink sinks.Sink
 	opts Options
 
-	pipes []boundPipeline
-	wal   *wal.Log
-	prov  *state.Provider
-	clus  *cluster.Cluster
-	log   *metrics.EventLog
-	reg   *metrics.Registry
+	pipes  []boundPipeline
+	wal    *wal.Log
+	prov   *state.Provider
+	clus   *cluster.Cluster
+	log    *metrics.EventLog
+	reg    *metrics.Registry
+	tracer *trace.Tracer                    // nil when Options.DisableTracing
+	isrcs  map[string]*sources.Instrumented // instrumented sources by name
 
 	limiter   *aimdLimiter // nil unless AdaptiveBackpressure
 	abandoned atomic.Bool  // set by the epoch watchdog; poisons late writes
@@ -136,9 +146,10 @@ type exec struct {
 	watermark        int64
 	perPipeMax       []int64 // max event time seen per pipeline
 	committed        map[string]sources.Offsets
-	lastBacklog      int64 // records behind the sources' heads after planning
-	needFlush        bool // run one empty epoch to apply a watermark advance
-	alwaysRun        bool // processing-time timeouts need epochs regardless
+	lastLatest       map[string]sources.Offsets // sources' heads at last planning
+	lastBacklog      int64                      // records behind the sources' heads after planning
+	needFlush        bool                       // run one empty epoch to apply a watermark advance
+	alwaysRun        bool                       // processing-time timeouts need epochs regardless
 }
 
 type boundPipeline struct {
@@ -171,7 +182,13 @@ func newExec(q *incremental.Query, srcs map[string]sources.Source, sink sinks.Si
 		reg:              metrics.NewRegistry(),
 		lastStateVersion: -1,
 		committed:        map[string]sources.Offsets{},
+		lastLatest:       map[string]sources.Offsets{},
+		isrcs:            map[string]*sources.Instrumented{},
 		perPipeMax:       make([]int64, len(q.Pipelines)),
+	}
+	e.log.SetRegistry(e.reg)
+	if !opts.DisableTracing {
+		e.tracer = trace.NewTracer(opts.Name, opts.TraceCapacity)
 	}
 	for i := range e.perPipeMax {
 		e.perPipeMax[i] = -1
@@ -181,13 +198,17 @@ func newExec(q *incremental.Query, srcs map[string]sources.Source, sink sinks.Si
 		if !ok {
 			return nil, fmt.Errorf("engine: no source bound for stream %q", p.SourceName)
 		}
-		e.pipes = append(e.pipes, boundPipeline{pipe: p, src: src})
+		// Every bound source is wrapped so the per-source progress section
+		// and getBatch spans can attribute fetch cost.
+		isrc := sources.Instrument(src)
+		e.isrcs[isrc.Name()] = isrc
+		e.pipes = append(e.pipes, boundPipeline{pipe: p, src: isrc})
 	}
 	if mg, ok := q.Stateful.(*incremental.FlatMapGroupsWithState); ok {
 		e.alwaysRun = mg.Timeout == logical.ProcessingTimeTimeout
 	}
 	if opts.AdaptiveBackpressure {
-		e.limiter = newAIMDLimiter(opts.BackpressureTarget, opts.MaxRecordsPerTrigger, opts.MinRecordsPerTrigger)
+		e.limiter = newAIMDLimiter(opts.BackpressureTarget, opts.MaxRecordsPerTrigger, opts.MinRecordsPerTrigger, e.reg)
 	}
 	if err := e.recover(); err != nil {
 		return nil, err
@@ -234,7 +255,7 @@ func (e *exec) recover() error {
 			ranges[s.Source] = [2]sources.Offsets{s.Start, s.End}
 		}
 		e.watermark = rp.Replay.Watermark
-		if err := e.runEpochGuarded(rp.Replay.Epoch, ranges, true); err != nil {
+		if err := e.runEpochGuarded(rp.Replay.Epoch, ranges, true, time.Now(), 0); err != nil {
 			return fmt.Errorf("engine: recovery replay of epoch %d: %w", rp.Replay.Epoch, err)
 		}
 	}
@@ -305,6 +326,7 @@ func (e *exec) planEpoch() (map[string][2]sources.Offsets, bool, error) {
 			}
 			e.committed[name] = start
 		}
+		e.lastLatest[name] = latest.Clone()
 		end := latest.Clone()
 		if cap := e.admissionCap(); cap > 0 {
 			perPart := cap / int64(len(end))
@@ -345,6 +367,7 @@ func (e *exec) RunAvailable() (int, error) {
 	defer e.mu.Unlock()
 	n := 0
 	for {
+		planStart := time.Now()
 		ranges, ok, err := e.planEpoch()
 		if err != nil {
 			return n, err
@@ -352,7 +375,7 @@ func (e *exec) RunAvailable() (int, error) {
 		if !ok {
 			return n, nil
 		}
-		if err := e.runEpochGuarded(e.nextEpoch, ranges, false); err != nil {
+		if err := e.runEpochGuarded(e.nextEpoch, ranges, false, planStart, time.Since(planStart)); err != nil {
 			return n, err
 		}
 		n++
@@ -372,11 +395,12 @@ func (e *exec) RunAvailable() (int, error) {
 func (e *exec) runOnce() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	planStart := time.Now()
 	ranges, ok, err := e.planEpoch()
 	if err != nil || !ok {
 		return err
 	}
-	return e.runEpochGuarded(e.nextEpoch, ranges, false)
+	return e.runEpochGuarded(e.nextEpoch, ranges, false, planStart, time.Since(planStart))
 }
 
 // runEpochGuarded runs one epoch under the epoch watchdog: if the epoch
@@ -384,12 +408,12 @@ func (e *exec) runOnce() error {
 // ErrEpochTimeout and the exec is poisoned so the hung goroutine — which
 // cannot be forcibly killed — aborts at its next stage boundary instead of
 // committing after a replacement query has taken over. Caller holds e.mu.
-func (e *exec) runEpochGuarded(epoch int64, ranges map[string][2]sources.Offsets, replay bool) error {
+func (e *exec) runEpochGuarded(epoch int64, ranges map[string][2]sources.Offsets, replay bool, planStart time.Time, planDur time.Duration) error {
 	if e.opts.EpochTimeout <= 0 {
-		return e.runEpoch(epoch, ranges, replay)
+		return e.runEpoch(epoch, ranges, replay, planStart, planDur)
 	}
 	done := make(chan error, 1)
-	go func() { done <- e.runEpoch(epoch, ranges, replay) }()
+	go func() { done <- e.runEpoch(epoch, ranges, replay, planStart, planDur) }()
 	timer := time.NewTimer(e.opts.EpochTimeout)
 	defer timer.Stop()
 	select {
@@ -397,6 +421,18 @@ func (e *exec) runEpochGuarded(epoch int64, ranges map[string][2]sources.Offsets
 		return err
 	case <-timer.C:
 		e.abandoned.Store(true)
+		// The in-flight trace names the stage the epoch is stuck in — the
+		// watchdog's verdict is explainable instead of a bare timeout. The
+		// partial trace is sealed and retained for post-mortems.
+		stage := ""
+		if et := e.tracer.InFlight(); et != nil {
+			stage = et.OpenStage()
+			et.SetAttr("abandonedByWatchdog", 1)
+			et.Finish()
+		}
+		if stage != "" {
+			return fmt.Errorf("engine: epoch %d hung for %v in stage %q: %w", epoch, e.opts.EpochTimeout, stage, ErrEpochTimeout)
+		}
 		return fmt.Errorf("engine: epoch %d hung for %v: %w", epoch, e.opts.EpochTimeout, ErrEpochTimeout)
 	}
 }
@@ -438,23 +474,61 @@ type mapResult struct {
 }
 
 // runEpoch executes one epoch end to end. Caller holds e.mu.
-func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, replay bool) error {
+//
+// Every wall-clock section of the epoch is measured into both the span
+// tree (for /queries/{name}/trace) and the DurationBreakdown map (for
+// QueryProgress). The sections are contiguous, so the six breakdown
+// segments — planning, getBatch, execution, stateCommit, walCommit,
+// sinkCommit — sum to ≈ ProcessingMicros. Fused stages are split
+// proportionally: the map stage's wall time divides into getBatch vs
+// execution by the ratio of summed source-read time to summed pipeline
+// time across its tasks, and the reduce stage's wall time divides into
+// stateCommit vs execution by state-store time vs operator time.
+func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, replay bool, planStart time.Time, planDur time.Duration) error {
 	start := time.Now()
 	nPart := e.opts.NumPartitions
 
+	// The trace's root span is backdated to planning so it covers the
+	// epoch's whole extent; a partial tree from a failed or abandoned epoch
+	// is still retained for post-mortems (Finish is idempotent — the
+	// watchdog may have sealed it already).
+	et := e.tracer.StartEpochAt(epoch, "microbatch", planStart)
+	defer et.Finish()
+	if replay {
+		et.SetAttr("replay", 1)
+	}
+	et.AddStage("planning", planStart, planDur)
+	bd := map[string]int64{
+		"planning": planDur.Microseconds(), "getBatch": 0, "execution": 0,
+		"stateCommit": 0, "walCommit": 0, "sinkCommit": 0,
+	}
+	srcStatsBefore := map[string]sources.SourceStats{}
+	for name, is := range e.isrcs {
+		srcStatsBefore[name] = is.Stats()
+	}
+
 	// Log the epoch definition before any work (§6.1 step 1).
+	if err := e.checkAbandoned(epoch, "offsets write"); err != nil {
+		return err
+	}
+	spWAL := et.StartSpan("walCommit")
+	walStart := time.Now()
 	entry := wal.Entry{Epoch: epoch, Watermark: e.watermark}
 	for name, r := range ranges {
 		entry.Sources = append(entry.Sources, wal.SourceOffsets{Source: name, Start: r[0], End: r[1]})
 	}
-	if err := e.checkAbandoned(epoch, "offsets write"); err != nil {
-		return err
-	}
 	if err := e.wal.WriteOffsets(entry); err != nil {
 		return err
 	}
+	et.EndSpan(spWAL)
+	bd["walCommit"] += time.Since(walStart).Microseconds()
 
-	// ---- map stage: one task per (pipeline, source partition).
+	// ---- map stage: one task per (pipeline, source partition). Each task
+	// records its source-read and pipeline time so the fused stage's wall
+	// time can be attributed to getBatch vs execution.
+	mapStart := time.Now()
+	spFetch := et.StartSpan("getBatch")
+	var readNanos, pipeNanos atomic.Int64
 	type taskSpec struct {
 		pipeIdx int
 		part    int
@@ -475,6 +549,7 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 		r := ranges[bp.src.Name()]
 		tasks[ti] = cluster.Task{Index: ti, Fn: func() (any, error) {
 			var raw []sql.Row
+			readStart := time.Now()
 			if err := e.withRetry(func() error {
 				var rerr error
 				raw, rerr = bp.src.Read(spec.part, r[0][spec.part], r[1][spec.part])
@@ -482,6 +557,9 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 			}); err != nil {
 				return nil, err
 			}
+			readNanos.Add(time.Since(readStart).Nanoseconds())
+			pipeStart := time.Now()
+			defer func() { pipeNanos.Add(time.Since(pipeStart).Nanoseconds()) }()
 			res := &mapResult{side: bp.pipe.Side, maxTs: -1, rows: int64(len(raw))}
 			if bp.pipe.WatermarkEval != nil {
 				for _, row := range raw {
@@ -518,6 +596,7 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 
 	var inputRows int64
 	var stageRows []sql.Row
+	perSrcRows := map[string]int64{}
 	// inputsByPart[p][side] collects shuffle rows.
 	inputsByPart := make([][][]sql.Row, nPart)
 	for p := range inputsByPart {
@@ -530,6 +609,7 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 	for ti, r := range results {
 		res := r.(*mapResult)
 		inputRows += res.rows
+		perSrcRows[e.pipes[specs[ti].pipeIdx].src.Name()] += res.rows
 		if res.maxTs > pipeMaxSeen[specs[ti].pipeIdx] {
 			pipeMaxSeen[specs[ti].pipeIdx] = res.maxTs
 		}
@@ -548,10 +628,25 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 			e.perPipeMax[i] = m
 		}
 	}
+	mapWall := time.Since(mapStart)
+	fetchDur := mapWall
+	if rn, pn := readNanos.Load(), pipeNanos.Load(); rn+pn > 0 {
+		fetchDur = time.Duration(float64(mapWall) * float64(rn) / float64(rn+pn))
+	}
+	et.EndSpanWith(spFetch, fetchDur)
+	spFetch.SetAttr("rows", inputRows)
+	spFetch.SetAttr("tasks", int64(len(tasks)))
+	et.AddStage("execution", mapStart.Add(fetchDur), mapWall-fetchDur)
+	bd["getBatch"] += fetchDur.Microseconds()
+	bd["execution"] += (mapWall - fetchDur).Microseconds()
 
-	// ---- reduce stage: stateful operator per partition.
+	// ---- reduce stage: stateful operator per partition. Wall time splits
+	// into stateCommit (store open + commit) vs execution (op.Process).
+	redStart := time.Now()
+	spState := et.StartSpan("stateCommit")
 	var stateRows, stateBytes int64
 	if op := e.q.Stateful; op != nil {
+		var stateNanos, procNanos atomic.Int64
 		ctx := &incremental.EpochContext{
 			Epoch:     epoch,
 			Watermark: e.watermark,
@@ -567,16 +662,23 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 		for p := 0; p < nPart; p++ {
 			p := p
 			reduceTasks[p] = cluster.Task{Index: p, Fn: func() (any, error) {
+				openStart := time.Now()
 				store, err := e.prov.Open(state.ID{Operator: op.Name(), Partition: p}, prevVersion)
+				stateNanos.Add(time.Since(openStart).Nanoseconds())
 				if err != nil {
 					return nil, err
 				}
+				procStart := time.Now()
 				out, err := op.Process(ctx, store, inputsByPart[p])
+				procNanos.Add(time.Since(procStart).Nanoseconds())
 				if err != nil {
 					store.Abort()
 					return nil, err
 				}
-				if err := store.Commit(epoch); err != nil {
+				commitStart := time.Now()
+				err = store.Commit(epoch)
+				stateNanos.Add(time.Since(commitStart).Nanoseconds())
+				if err != nil {
 					return nil, err
 				}
 				return &reduceResult{rows: out, keys: int64(store.NumKeys())}, nil
@@ -595,16 +697,36 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 		if du, err := e.prov.DiskUsage(); err == nil {
 			stateBytes = du
 		}
+		redWall := time.Since(redStart)
+		stateDur := redWall
+		if sn, pn := stateNanos.Load(), procNanos.Load(); sn+pn > 0 {
+			stateDur = time.Duration(float64(redWall) * float64(sn) / float64(sn+pn))
+		}
+		et.EndSpanWith(spState, stateDur)
+		spState.SetAttr("stateRows", stateRows)
+		et.AddStage("execution", redStart.Add(stateDur), redWall-stateDur)
+		bd["stateCommit"] += stateDur.Microseconds()
+		bd["execution"] += (redWall - stateDur).Microseconds()
+	} else {
+		// Stateless epochs still carry the span so every committed epoch
+		// has the complete six-stage tree.
+		et.EndSpanWith(spState, 0)
 	}
 
 	// ---- post stage + sink commit.
+	spPost := et.StartSpan("execution")
+	postStart := time.Now()
 	outRows, err := e.q.Post(stageRows)
 	if err != nil {
 		return err
 	}
+	et.EndSpan(spPost)
+	bd["execution"] += time.Since(postStart).Microseconds()
 	if err := e.checkAbandoned(epoch, "sink write"); err != nil {
 		return err
 	}
+	spSink := et.StartSpan("sinkCommit")
+	sinkStart := time.Now()
 	if err := e.withRetry(func() error {
 		return e.sink.AddBatch(sinks.Batch{
 			Epoch:    epoch,
@@ -616,12 +738,21 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 	}); err != nil {
 		return err
 	}
+	sinkWall := time.Since(sinkStart)
+	et.EndSpan(spSink)
+	spSink.SetAttr("rows", int64(len(outRows)))
+	bd["sinkCommit"] += sinkWall.Microseconds()
 	if err := e.checkAbandoned(epoch, "commit"); err != nil {
 		return err
 	}
+	spCommit := et.StartSpan("walCommit")
+	commitStart := time.Now()
 	if err := e.wal.WriteCommit(epoch); err != nil {
 		return err
 	}
+	et.EndSpan(spCommit)
+	bd["walCommit"] += time.Since(commitStart).Microseconds()
+	et.SetAttr("committed", 1)
 
 	// Advance bookkeeping for the next epoch.
 	for name, r := range ranges {
@@ -635,8 +766,10 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 	e.needFlush = e.q.Stateful != nil && (e.watermark > oldWM)
 
 	// Periodic checkpoint garbage collection: retain the last RetainEpochs
-	// epochs for manual rollback, purge everything older.
+	// epochs for manual rollback, purge everything older. Purge time is
+	// checkpoint-file management, so it lands in the walCommit segment.
 	if keep := e.opts.RetainEpochs; keep > 0 && epoch > keep && epoch%keep == 0 {
+		gcStart := time.Now()
 		horizon := epoch - keep
 		if err := e.wal.Purge(horizon); err != nil {
 			return err
@@ -646,11 +779,26 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 				return err
 			}
 		}
+		gcDur := time.Since(gcStart)
+		et.AddStage("walCommit", gcStart, gcDur).SetAttr("gc", 1)
+		bd["walCommit"] += gcDur.Microseconds()
 	}
 
-	elapsed := time.Since(start)
+	total := planDur + time.Since(start)
+	et.SetAttr("inputRows", inputRows)
+	et.SetAttr("outputRows", int64(len(outRows)))
+
+	// Per-stage latency histograms: the source of p50/p95/p99 in /metrics
+	// and the evidence backing AIMD backpressure decisions.
+	e.reg.Histogram("epoch.us").Observe(total.Microseconds())
+	for k, v := range bd {
+		e.reg.Histogram("stage." + k + ".us").Observe(v)
+	}
+
+	backpressureDecision := ""
 	if e.limiter != nil {
-		e.limiter.Observe(elapsed, inputRows)
+		e.limiter.Observe(total, inputRows, bd)
+		backpressureDecision = e.limiter.Decision()
 		e.reg.Gauge("admissionCapRecords").Set(e.admissionCap())
 	}
 	e.reg.Counter("inputRows").Add(inputRows)
@@ -659,20 +807,80 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 	e.reg.Gauge("watermarkMicros").Set(e.watermark)
 	e.reg.Gauge("stateRows").Set(stateRows)
 	e.reg.Gauge("backlogRecords").Set(e.lastBacklog)
+	ws := e.wal.Stats()
+	e.reg.Gauge("walOffsetsWritten").Set(ws.OffsetsWritten)
+	e.reg.Gauge("walCommitsWritten").Set(ws.CommitsWritten)
+	e.reg.Gauge("walBytesWritten").Set(ws.BytesWritten)
+	e.reg.Gauge("walWriteMicros").Set(ws.WriteNanos / 1e3)
+	cs := e.clus.DetailedStats()
+	e.reg.Gauge("clusterTasksRun").Set(cs.TasksRun)
+	e.reg.Gauge("clusterStagesRun").Set(cs.StagesRun)
+	e.reg.Gauge("clusterTaskMicros").Set(cs.TaskTime.Microseconds())
+
+	// Per-source, per-sink, and per-state-operator progress sections.
 	endTotals := map[string]int64{}
+	srcNames := make([]string, 0, len(ranges))
 	for name, r := range ranges {
 		endTotals[name] = r[1].Total()
+		srcNames = append(srcNames, name)
 	}
+	sort.Strings(srcNames)
+	var srcProgress []metrics.SourceProgress
+	for _, name := range srcNames {
+		r := ranges[name]
+		sp := metrics.SourceProgress{
+			Name:            name,
+			StartOffsets:    append([]int64(nil), r[0]...),
+			EndOffsets:      append([]int64(nil), r[1]...),
+			NumInputRows:    perSrcRows[name],
+			InputRowsPerSec: metrics.RatePerSec(perSrcRows[name], total),
+		}
+		if latest, ok := e.lastLatest[name]; ok {
+			sp.LatestOffsets = append([]int64(nil), latest...)
+		}
+		if is, ok := e.isrcs[name]; ok {
+			sp.ReadMicros = (is.Stats().ReadNanos - srcStatsBefore[name].ReadNanos) / 1e3
+		}
+		srcProgress = append(srcProgress, sp)
+	}
+	sinkProgress := &metrics.SinkProgress{
+		Description:      sinks.Describe(e.sink),
+		NumOutputRows:    int64(len(outRows)),
+		OutputRowsPerSec: metrics.RatePerSec(int64(len(outRows)), total),
+		WriteMicros:      sinkWall.Microseconds(),
+	}
+	var stateOps []metrics.StateOperatorProgress
+	if op := e.q.Stateful; op != nil {
+		ps := e.prov.Stats()
+		stateOps = append(stateOps, metrics.StateOperatorProgress{
+			Operator:         op.Name(),
+			NumRowsTotal:     stateRows,
+			StateBytes:       stateBytes,
+			CacheHits:        ps.CacheHits,
+			CacheMisses:      ps.CacheMisses,
+			SnapshotsWritten: ps.SnapshotsWritten,
+			DeltasWritten:    ps.DeltasWritten,
+		})
+	}
+
 	e.log.Emit(metrics.QueryProgress{
 		QueryName:            e.opts.Name,
 		Epoch:                epoch,
 		NumInputRows:         inputRows,
 		NumOutputRows:        int64(len(outRows)),
-		ProcessingMillis:     elapsed.Milliseconds(),
+		ProcessingMillis:     total.Milliseconds(),
+		ProcessingMicros:     total.Microseconds(),
 		WatermarkMicros:      e.watermark,
 		StateRows:            stateRows,
 		StateBytes:           stateBytes,
-		InputRowsPerSec:      float64(inputRows) / max(elapsed.Seconds(), 1e-9),
+		InputRowsPerSec:      metrics.RatePerSec(inputRows, total),
+		OutputRowsPerSec:     metrics.RatePerSec(int64(len(outRows)), total),
+		DurationBreakdown:    bd,
+		BottleneckStage:      metrics.BottleneckStage(bd),
+		BackpressureDecision: backpressureDecision,
+		Sources:              srcProgress,
+		Sink:                 sinkProgress,
+		StateOperators:       stateOps,
 		SourceOffsets:        endTotals,
 		IORetries:            e.reg.Counter("ioRetries").Value(),
 		CorruptionsDetected:  e.reg.Counter("corruptionsDetected").Value(),
@@ -704,11 +912,4 @@ func (e *exec) advanceWatermark() {
 	if candidate > e.watermark {
 		e.watermark = candidate
 	}
-}
-
-func max[T int64 | float64](a, b T) T {
-	if a > b {
-		return a
-	}
-	return b
 }

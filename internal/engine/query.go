@@ -10,6 +10,7 @@ import (
 	"structream/internal/metrics"
 	"structream/internal/sinks"
 	"structream/internal/sources"
+	"structream/internal/trace"
 	"structream/internal/wal"
 )
 
@@ -223,6 +224,18 @@ func (q *StreamingQuery) EventLog() *metrics.EventLog {
 		return q.exec.log
 	}
 	return q.cont.log
+}
+
+// Tracer exposes the query's epoch tracer, or nil when tracing is
+// disabled (Options.DisableTracing) or the handle never started a query.
+func (q *StreamingQuery) Tracer() *trace.Tracer {
+	if q.exec != nil {
+		return q.exec.tracer
+	}
+	if q.cont != nil {
+		return q.cont.tracer
+	}
+	return nil
 }
 
 // Metrics exposes the query's metric registry.

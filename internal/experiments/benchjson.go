@@ -1,0 +1,233 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"time"
+
+	"structream/internal/engine"
+	"structream/internal/fsx"
+	"structream/internal/msgbus"
+	"structream/internal/sinks"
+	"structream/internal/sources"
+	"structream/internal/sql"
+	"structream/internal/sql/codec"
+)
+
+// BenchScenario is one machine-readable benchmark result in a BenchReport.
+type BenchScenario struct {
+	Name          string  `json:"name"`
+	Mode          string  `json:"mode"`
+	Traced        bool    `json:"traced"`
+	Events        int64   `json:"events"`
+	Epochs        int64   `json:"epochs,omitempty"`
+	ElapsedMillis int64   `json:"elapsedMillis"`
+	RowsPerSec    float64 `json:"rowsPerSec"`
+	// EpochP50Us/EpochP99Us come from the engine's own epoch.us latency
+	// histogram (microbatch scenarios).
+	EpochP50Us int64 `json:"epochP50Us,omitempty"`
+	EpochP99Us int64 `json:"epochP99Us,omitempty"`
+	// LatencyP50Ms/LatencyP99Ms are per-record end-to-end latencies
+	// (continuous scenario).
+	LatencyP50Ms float64 `json:"latencyP50Ms,omitempty"`
+	LatencyP99Ms float64 `json:"latencyP99Ms,omitempty"`
+}
+
+// BenchReport is the JSON document `make bench-json` writes to
+// BENCH_<date>.json: per-scenario throughput and tail latency, plus the
+// measured overhead of the observability layer (ISSUE 3 bounds it at 5%).
+type BenchReport struct {
+	GeneratedAt string          `json:"generatedAt"`
+	GoMaxProcs  int             `json:"goMaxProcs"`
+	Events      int             `json:"events"`
+	Rounds      int             `json:"rounds"`
+	Scenarios   []BenchScenario `json:"scenarios"`
+	// TracingOverheadPct is (untraced − traced) / untraced × 100 on
+	// microbatch throughput, computed from each variant's median round.
+	// Rounds alternate which variant runs first (a run measurably benefits
+	// from the warmed CPU/cache state its predecessor leaves behind) and
+	// the median discards frequency-boost outliers, so what remains is the
+	// tracing cost itself. Negative values are run noise (traced won).
+	TracingOverheadPct float64 `json:"tracingOverheadPct"`
+}
+
+// String renders the report for the terminal.
+func (r BenchReport) String() string {
+	var b strings.Builder
+	b.WriteString("Bench — observability-aware benchmark suite\n")
+	for _, sc := range r.Scenarios {
+		fmt.Fprintf(&b, "  %-32s %10.0f rows/s", sc.Name, sc.RowsPerSec)
+		if sc.EpochP99Us > 0 {
+			fmt.Fprintf(&b, "   epoch p50 %6dµs  p99 %6dµs", sc.EpochP50Us, sc.EpochP99Us)
+		}
+		if sc.LatencyP99Ms > 0 {
+			fmt.Fprintf(&b, "   record p50 %.2fms  p99 %.2fms", sc.LatencyP50Ms, sc.LatencyP99Ms)
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "  tracing+histogram overhead on microbatch throughput: %.2f%%\n", r.TracingOverheadPct)
+	return b.String()
+}
+
+// median returns the middle value of xs (mean of the two middles for even
+// lengths), 0 when empty.
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
+}
+
+// runMicrobatchBench bulk-processes n preloaded records with the map query
+// under the microbatch engine, split into ~16 rate-limited epochs so the
+// epoch.us histogram has enough samples for percentiles.
+func runMicrobatchBench(n int64, disableTracing bool, ckpt string) (BenchScenario, error) {
+	const partitions = 4
+	broker := msgbus.NewBroker()
+	topic, err := broker.CreateTopic("in", partitions)
+	if err != nil {
+		return BenchScenario{}, err
+	}
+	enc := codec.NewEncoder(32)
+	recs := make([][]msgbus.Record, partitions)
+	for i := int64(0); i < n; i++ {
+		enc.Reset()
+		enc.PutRow(sql.Row{i, int64(0)})
+		p := int(i) % partitions
+		recs[p] = append(recs[p], msgbus.Record{Value: append([]byte(nil), enc.Bytes()...)})
+	}
+	for p := 0; p < partitions; p++ {
+		if _, err := topic.Append(p, recs[p]...); err != nil {
+			return BenchScenario{}, err
+		}
+	}
+	q, err := fig7Query()
+	if err != nil {
+		return BenchScenario{}, err
+	}
+	src := sources.NewCodecBusSource("in", topic, fig7Schema)
+	start := time.Now()
+	sq, err := engine.Start(q, map[string]sources.Source{"in": src}, sinks.NewMemorySink(), engine.Options{
+		Checkpoint:           ckpt,
+		Trigger:              engine.AvailableNowTrigger{},
+		MaxRecordsPerTrigger: n/16 + 1,
+		FS:                   fsx.NoSync(),
+		DisableTracing:       disableTracing,
+	})
+	if err != nil {
+		return BenchScenario{}, err
+	}
+	if err := sq.AwaitTermination(); err != nil {
+		return BenchScenario{}, err
+	}
+	elapsed := time.Since(start)
+	snap := sq.Metrics().Snapshot()
+	name := "microbatch-throughput"
+	if disableTracing {
+		name += "-untraced"
+	}
+	return BenchScenario{
+		Name:          name,
+		Mode:          "microbatch",
+		Traced:        !disableTracing,
+		Events:        n,
+		Epochs:        snap["epochs"],
+		ElapsedMillis: elapsed.Milliseconds(),
+		RowsPerSec:    float64(n) / elapsed.Seconds(),
+		EpochP50Us:    snap["epoch.us.p50"],
+		EpochP99Us:    snap["epoch.us.p99"],
+	}, nil
+}
+
+// RunBenchSuite measures the benchmark scenarios behind `make bench-json`:
+// microbatch bulk throughput with observability on and off (best of
+// `rounds` each, standard throughput methodology) and continuous-mode
+// per-record latency at a modest fixed rate.
+func RunBenchSuite(events int, rounds int, tempDir func() string) (BenchReport, error) {
+	if rounds <= 0 {
+		rounds = 3
+	}
+	if events <= 0 {
+		events = 2_000_000
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(800))
+
+	report := BenchReport{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Events:      events,
+		Rounds:      rounds,
+	}
+
+	// One discarded warmup run: the first run through the engine pays
+	// allocator growth and lazy-init costs that would otherwise be charged
+	// to whichever variant happens to go first.
+	if _, err := runMicrobatchBench(int64(events), false, tempDir()); err != nil {
+		return BenchReport{}, err
+	}
+	// Alternating rounds: the variant order flips every round so the warm
+	// second slot benefits each variant equally often; the overhead is then
+	// computed between the two variants' median rounds, which single
+	// frequency-boost or load-spike outliers cannot move. The published
+	// scenario rows keep each variant's best round (throughput convention).
+	var traced, untraced BenchScenario
+	var tracedRates, untracedRates []float64
+	runVariant := func(disableTracing bool) error {
+		runtime.GC()
+		sc, err := runMicrobatchBench(int64(events), disableTracing, tempDir())
+		if err != nil {
+			return err
+		}
+		if disableTracing {
+			untracedRates = append(untracedRates, sc.RowsPerSec)
+			if sc.RowsPerSec > untraced.RowsPerSec {
+				untraced = sc
+			}
+		} else {
+			tracedRates = append(tracedRates, sc.RowsPerSec)
+			if sc.RowsPerSec > traced.RowsPerSec {
+				traced = sc
+			}
+		}
+		return nil
+	}
+	for i := 0; i < rounds; i++ {
+		tracedFirst := i%2 == 0
+		if err := runVariant(!tracedFirst); err != nil {
+			return BenchReport{}, err
+		}
+		if err := runVariant(tracedFirst); err != nil {
+			return BenchReport{}, err
+		}
+	}
+	report.Scenarios = append(report.Scenarios, traced, untraced)
+	if m := median(untracedRates); m > 0 {
+		report.TracingOverheadPct = 100 * (m - median(tracedRates)) / m
+	}
+
+	// Continuous mode: per-record end-to-end latency at a rate well under
+	// the saturation point, the regime the paper's Fig 7 calls out.
+	point, err := runFig7Point(100_000, 1200*time.Millisecond, tempDir())
+	if err != nil {
+		return BenchReport{}, err
+	}
+	report.Scenarios = append(report.Scenarios, BenchScenario{
+		Name:          "continuous-latency",
+		Mode:          "continuous",
+		Traced:        true,
+		Events:        int64(float64(point.TargetRate) * 1.2),
+		ElapsedMillis: 1200,
+		RowsPerSec:    point.AchievedRate,
+		LatencyP50Ms:  point.P50Millis,
+		LatencyP99Ms:  point.P99Millis,
+	})
+	return report, nil
+}

@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestEmitOrderingUnderConcurrency: with many concurrent emitters, every
+// listener observes events in exactly the order they landed in history —
+// the out-of-order fan-out the old unlocked delivery allowed.
+func TestEmitOrderingUnderConcurrency(t *testing.T) {
+	l := NewEventLog(nil)
+	l.HistoryLimit = 0 // retain everything
+	var mu sync.Mutex
+	var seen []int64
+	l.AddListener(func(p QueryProgress) {
+		mu.Lock()
+		seen = append(seen, p.Epoch)
+		mu.Unlock()
+	})
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				l.Emit(QueryProgress{Epoch: int64(w*per + i)})
+			}
+		}()
+	}
+	wg.Wait()
+	history := l.Recent(0)
+	if len(history) != workers*per || len(seen) != workers*per {
+		t.Fatalf("history=%d seen=%d, want %d", len(history), len(seen), workers*per)
+	}
+	for i, p := range history {
+		if seen[i] != p.Epoch {
+			t.Fatalf("delivery order diverged from history at %d: listener saw %d, history has %d",
+				i, seen[i], p.Epoch)
+		}
+	}
+}
+
+// failingWriter fails every write after the first n.
+type failingWriter struct {
+	ok int
+	n  int
+}
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.n++
+	if w.n > w.ok {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestEmitCountsWriterFailures(t *testing.T) {
+	w := &failingWriter{ok: 2}
+	l := NewEventLog(w)
+	reg := NewRegistry()
+	l.SetRegistry(reg)
+	for i := 0; i < 5; i++ {
+		l.Emit(QueryProgress{Epoch: int64(i)})
+	}
+	if got := l.WriteFailures(); got != 3 {
+		t.Errorf("WriteFailures = %d, want 3", got)
+	}
+	if got := reg.Counter("eventLogWriteFailures").Value(); got != 3 {
+		t.Errorf("registry counter = %d, want 3", got)
+	}
+	// Failed writes must not lose the event for history or listeners.
+	if got := len(l.Recent(0)); got != 5 {
+		t.Errorf("history = %d events, want 5", got)
+	}
+}
+
+func TestEvictionCounted(t *testing.T) {
+	l := NewEventLog(nil)
+	l.HistoryLimit = 3
+	for i := 0; i < 10; i++ {
+		l.Emit(QueryProgress{Epoch: int64(i)})
+	}
+	if got := l.Evicted(); got != 7 {
+		t.Errorf("Evicted = %d, want 7", got)
+	}
+	recent := l.Recent(0)
+	if len(recent) != 3 || recent[0].Epoch != 7 {
+		t.Errorf("recent = %+v", recent)
+	}
+}

@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Histogram is a lock-free log-bucketed histogram for latency-style
+// values (non-negative int64s, typically microseconds). Values below 16
+// land in exact unit buckets; above that, buckets are log-spaced with 16
+// sub-buckets per power of two, bounding relative bucket width — and thus
+// worst-case quantile estimation error — to 1/16 ≈ 6.25%. Observe is a
+// single atomic increment, cheap enough for per-stage use on the epoch
+// hot path.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// 16 exact unit buckets + 16 sub-buckets for each of the remaining 59
+// power-of-two ranges of an int64.
+const histBuckets = 16 + 16*59
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v int64) int {
+	if v < 16 {
+		if v < 0 {
+			return 0
+		}
+		return int(v)
+	}
+	n := bits.Len64(uint64(v)) // >= 5
+	top5 := v >> (n - 5)       // in [16, 32)
+	idx := 16*(n-4) + int(top5-16)
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketValue returns a representative value (the bucket midpoint) for a
+// bucket index — the value quantile estimation reports.
+func bucketValue(idx int) int64 {
+	if idx < 16 {
+		return int64(idx)
+	}
+	e := idx/16 - 1 // power-of-two range, 0-based from [16,32)
+	m := idx % 16   // sub-bucket within the range
+	lower := int64(16+m) << e
+	width := int64(1) << e
+	return lower + width/2
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 { return h.sum.Load() }
+
+// Max returns the largest observed value (0 when empty).
+func (h *Histogram) Max() int64 { return h.max.Load() }
+
+// Mean returns the average observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the buckets. The
+// estimate is the midpoint of the bucket holding the rank, so relative
+// error is bounded by the bucket width (≈6.25% above 16, exact below).
+// Returns 0 on an empty histogram; q=1 returns the exact max.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return h.max.Load()
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := int64(q * float64(total-1))
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.counts[i].Load()
+		if cum > rank {
+			v := bucketValue(i)
+			if m := h.max.Load(); v > m {
+				v = m // the top occupied bucket's midpoint may overshoot
+			}
+			return v
+		}
+	}
+	return h.max.Load()
+}
+
+// HistogramSnapshot is a point-in-time summary of a histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P95   int64   `json:"p95"`
+	P99   int64   `json:"p99"`
+	Max   int64   `json:"max"`
+}
+
+// Snapshot summarizes the histogram. Concurrent Observes may land between
+// field reads; each field is individually consistent.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	return HistogramSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}

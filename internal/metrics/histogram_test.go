@@ -1,0 +1,224 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, 15, 16, 17, 100, 1000, 1 << 20, 1<<40 + 12345} {
+		idx := bucketIndex(v)
+		got := bucketValue(idx)
+		var relErr float64
+		if v > 0 {
+			relErr = math.Abs(float64(got-v)) / float64(v)
+		}
+		if v < 16 && got != v {
+			t.Errorf("small value %d mapped to %d", v, got)
+		}
+		if v >= 16 && relErr > 1.0/16 {
+			t.Errorf("value %d → bucket %d → %d (rel err %.3f > 6.25%%)", v, idx, got, relErr)
+		}
+	}
+	// Monotone: bucket index never decreases with the value.
+	prev := -1
+	for v := int64(0); v < 100000; v += 7 {
+		idx := bucketIndex(v)
+		if idx < prev {
+			t.Fatalf("bucketIndex(%d) = %d < previous %d", v, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+// quantileAccuracy observes values, then checks the histogram quantiles
+// against exact percentiles within tol relative error.
+func quantileAccuracy(t *testing.T, name string, values []int64, tol float64) {
+	t.Helper()
+	h := &Histogram{}
+	for _, v := range values {
+		h.Observe(v)
+	}
+	sorted := append([]int64(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, q := range []float64{0.50, 0.95, 0.99} {
+		exact := sorted[int(q*float64(len(sorted)-1))]
+		got := h.Quantile(q)
+		if exact == 0 {
+			if got != 0 {
+				t.Errorf("%s p%v = %d, want 0", name, q*100, got)
+			}
+			continue
+		}
+		relErr := math.Abs(float64(got-exact)) / float64(exact)
+		if relErr > tol {
+			t.Errorf("%s p%v = %d, exact %d (rel err %.3f > %.3f)", name, q*100, got, exact, relErr, tol)
+		}
+	}
+	if h.Quantile(1) != sorted[len(sorted)-1] {
+		t.Errorf("%s p100 = %d, want exact max %d", name, h.Quantile(1), sorted[len(sorted)-1])
+	}
+	if h.Count() != int64(len(values)) {
+		t.Errorf("%s count = %d, want %d", name, h.Count(), len(values))
+	}
+}
+
+func TestQuantileAccuracyUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	values := make([]int64, 20000)
+	for i := range values {
+		values[i] = rng.Int63n(1_000_000) // µs up to 1s
+	}
+	quantileAccuracy(t, "uniform", values, 0.07)
+}
+
+func TestQuantileAccuracyExponential(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	values := make([]int64, 20000)
+	for i := range values {
+		values[i] = int64(rng.ExpFloat64() * 5000) // heavy tail, mean 5ms
+	}
+	quantileAccuracy(t, "exponential", values, 0.07)
+}
+
+func TestQuantileAccuracyBimodal(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	values := make([]int64, 20000)
+	for i := range values {
+		if rng.Intn(10) == 0 {
+			values[i] = 100_000 + rng.Int63n(5_000) // slow mode: ~100ms
+		} else {
+			values[i] = 500 + rng.Int63n(100) // fast mode: ~0.5ms
+		}
+	}
+	quantileAccuracy(t, "bimodal", values, 0.07)
+}
+
+func TestHistogramEmptyAndEdges(t *testing.T) {
+	h := &Histogram{}
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Error("empty histogram must report zeros")
+	}
+	h.Observe(-5) // clamped to 0
+	if h.Quantile(0.5) != 0 || h.Count() != 1 {
+		t.Errorf("negative observation: p50=%d count=%d", h.Quantile(0.5), h.Count())
+	}
+	h2 := &Histogram{}
+	h2.Observe(42)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h2.Quantile(q); got != 42 {
+			t.Errorf("single-value histogram Quantile(%v) = %d, want 42", q, got)
+		}
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines while
+// snapshotting; run under -race.
+func TestHistogramConcurrent(t *testing.T) {
+	h := &Histogram{}
+	var wg sync.WaitGroup
+	const workers, per = 8, 5000
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < per; i++ {
+				h.Observe(rng.Int63n(1_000_000))
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			_ = h.Snapshot()
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+}
+
+func TestRegistryHistograms(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("stage.getBatch.us")
+	if h != r.Histogram("stage.getBatch.us") {
+		t.Fatal("Histogram must return the same instance per name")
+	}
+	h.Observe(100)
+	h.Observe(200)
+	snap := r.Snapshot()
+	if snap["stage.getBatch.us.count"] != 2 {
+		t.Errorf("snapshot count = %d", snap["stage.getBatch.us.count"])
+	}
+	if snap["stage.getBatch.us.max"] != 200 {
+		t.Errorf("snapshot max = %d", snap["stage.getBatch.us.max"])
+	}
+	hs := r.Histograms()
+	if hs["stage.getBatch.us"].Count != 2 {
+		t.Errorf("Histograms() = %+v", hs)
+	}
+}
+
+// TestRegistryConcurrent exercises mixed counter/gauge/histogram access
+// from many goroutines; run under -race.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				r.Counter("c").Add(1)
+				r.Gauge("g").Set(int64(i))
+				r.Histogram("h").Observe(int64(i))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c").Value(); got != 16000 {
+		t.Fatalf("counter = %d, want 16000", got)
+	}
+}
+
+func TestRatePerSec(t *testing.T) {
+	if got := RatePerSec(100, 0); got != 100e6 {
+		t.Errorf("zero-elapsed rate = %v, want 1e8 (floored at 1µs)", got)
+	}
+	if got := RatePerSec(500, time.Second); got != 500 {
+		t.Errorf("rate = %v, want 500", got)
+	}
+	if got := RatePerSec(0, 0); got != 0 {
+		t.Errorf("zero rows rate = %v", got)
+	}
+	if got := RatePerSec(10, 500*time.Nanosecond); math.IsInf(got, 1) || got != 10e6 {
+		t.Errorf("sub-µs rate = %v, want clamped 1e7", got)
+	}
+}
+
+func TestBottleneckStage(t *testing.T) {
+	if got := BottleneckStage(nil); got != "" {
+		t.Errorf("empty breakdown = %q", got)
+	}
+	bd := map[string]int64{"planning": 10, "getBatch": 400, "sinkCommit": 399}
+	if got := BottleneckStage(bd); got != "getBatch" {
+		t.Errorf("bottleneck = %q, want getBatch", got)
+	}
+	tie := map[string]int64{"b": 5, "a": 5}
+	if got := BottleneckStage(tie); got != "a" {
+		t.Errorf("tie bottleneck = %q, want a (alphabetical)", got)
+	}
+}

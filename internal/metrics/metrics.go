@@ -10,6 +10,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically increasing metric.
@@ -32,14 +33,19 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // Registry is a named collection of metrics.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{counters: map[string]*Counter{}, gauges: map[string]*Gauge{}}
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
 }
 
 // Counter returns (creating if needed) the named counter.
@@ -66,16 +72,48 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
-// Snapshot renders all metrics as a sorted name→value map.
+// Histogram returns (creating if needed) the named latency histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot renders all metrics as a sorted name→value map. Histograms
+// contribute derived entries: <name>.count, .p50, .p95, .p99 and .max.
 func (r *Registry) Snapshot() map[string]int64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]int64, len(r.counters)+len(r.gauges))
+	out := make(map[string]int64, len(r.counters)+len(r.gauges)+5*len(r.histograms))
 	for name, c := range r.counters {
 		out[name] = c.Value()
 	}
 	for name, g := range r.gauges {
 		out[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s := h.Snapshot()
+		out[name+".count"] = s.Count
+		out[name+".p50"] = s.P50
+		out[name+".p95"] = s.P95
+		out[name+".p99"] = s.P99
+		out[name+".max"] = s.Max
+	}
+	return out
+}
+
+// Histograms returns a snapshot of every histogram by name.
+func (r *Registry) Histograms() map[string]HistogramSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]HistogramSnapshot, len(r.histograms))
+	for name, h := range r.histograms {
+		out[name] = h.Snapshot()
 	}
 	return out
 }
@@ -91,19 +129,88 @@ func (r *Registry) Names() []string {
 	return names
 }
 
+// RatePerSec derives a rows-per-second rate from a count and an elapsed
+// duration, safe for sub-millisecond (even zero-measured) epochs: the
+// elapsed time is floored at one microsecond instead of dividing by zero.
+func RatePerSec(n int64, elapsed time.Duration) float64 {
+	if elapsed < time.Microsecond {
+		elapsed = time.Microsecond
+	}
+	return float64(n) / elapsed.Seconds()
+}
+
+// SourceProgress is the per-source section of QueryProgress, mirroring
+// Spark's SourceProgress: the offset range this epoch consumed, where the
+// source's head was, and the resulting rates.
+type SourceProgress struct {
+	Name            string  `json:"name"`
+	StartOffsets    []int64 `json:"startOffsets,omitempty"`
+	EndOffsets      []int64 `json:"endOffsets,omitempty"`
+	LatestOffsets   []int64 `json:"latestOffsets,omitempty"`
+	NumInputRows    int64   `json:"numInputRows"`
+	InputRowsPerSec float64 `json:"inputRowsPerSecond"`
+	// ReadMicros is the summed source-read time across this epoch's tasks.
+	ReadMicros int64 `json:"readMicros,omitempty"`
+}
+
+// SinkProgress is the per-sink section of QueryProgress.
+type SinkProgress struct {
+	// Description names the sink kind ("memory", "json", ...).
+	Description      string  `json:"description"`
+	NumOutputRows    int64   `json:"numOutputRows"`
+	OutputRowsPerSec float64 `json:"outputRowsPerSecond"`
+	// WriteMicros is the time spent inside the sink's AddBatch this epoch.
+	WriteMicros int64 `json:"writeMicros,omitempty"`
+}
+
+// StateOperatorProgress is the per-stateful-operator section of
+// QueryProgress: cardinality, footprint, and the state store's cache and
+// file activity, mirroring Spark's stateOperators block.
+type StateOperatorProgress struct {
+	Operator         string `json:"operator"`
+	NumRowsTotal     int64  `json:"numRowsTotal"`
+	StateBytes       int64  `json:"stateBytes"`
+	CacheHits        int64  `json:"cacheHits"`
+	CacheMisses      int64  `json:"cacheMisses"`
+	SnapshotsWritten int64  `json:"snapshotsWritten"`
+	DeltasWritten    int64  `json:"deltasWritten"`
+}
+
 // QueryProgress describes one epoch of a streaming query, mirroring
 // Spark's StreamingQueryProgress events.
 type QueryProgress struct {
-	QueryName        string           `json:"queryName"`
-	Epoch            int64            `json:"epoch"`
-	NumInputRows     int64            `json:"numInputRows"`
-	NumOutputRows    int64            `json:"numOutputRows"`
-	ProcessingMillis int64            `json:"processingMillis"`
-	WatermarkMicros  int64            `json:"watermarkMicros"`
-	StateRows        int64            `json:"stateRows"`
-	StateBytes       int64            `json:"stateBytes"`
-	InputRowsPerSec  float64          `json:"inputRowsPerSecond"`
-	SourceOffsets    map[string]int64 `json:"sourceEndOffsetTotals,omitempty"`
+	QueryName        string  `json:"queryName"`
+	Epoch            int64   `json:"epoch"`
+	NumInputRows     int64   `json:"numInputRows"`
+	NumOutputRows    int64   `json:"numOutputRows"`
+	ProcessingMillis int64   `json:"processingMillis"`
+	WatermarkMicros  int64   `json:"watermarkMicros"`
+	StateRows        int64   `json:"stateRows"`
+	StateBytes       int64   `json:"stateBytes"`
+	InputRowsPerSec  float64 `json:"inputRowsPerSecond"`
+	OutputRowsPerSec float64 `json:"outputRowsPerSecond"`
+	// ProcessingMicros is the epoch's wall time at µs resolution;
+	// ProcessingMillis is this rounded down. Sub-millisecond epochs report
+	// 0 ms but keep a meaningful µs figure, which is what rates and the
+	// DurationBreakdown sum are derived from.
+	ProcessingMicros int64 `json:"processingMicros"`
+	// DurationBreakdown splits ProcessingMicros into disjoint wall-clock
+	// stage segments (µs): planning, getBatch, execution, stateCommit,
+	// walCommit, sinkCommit. The values sum to ≈ ProcessingMicros.
+	DurationBreakdown map[string]int64 `json:"durationUs,omitempty"`
+	// BottleneckStage names the largest DurationBreakdown segment — what
+	// the adaptive backpressure limiter blames when it shrinks the cap.
+	BottleneckStage string `json:"bottleneckStage,omitempty"`
+	// BackpressureDecision is the AIMD limiter's latest human-readable
+	// verdict ("cap 4096→1024: ... bottleneck sinkCommit (p95 34ms)"),
+	// derived from the per-stage latency histograms. Empty while the
+	// limiter is disengaged.
+	BackpressureDecision string           `json:"backpressureDecision,omitempty"`
+	Sources              []SourceProgress `json:"sources,omitempty"`
+	Sink                 *SinkProgress    `json:"sink,omitempty"`
+	// StateOperators reports per-stateful-operator state store activity.
+	StateOperators []StateOperatorProgress `json:"stateOperators,omitempty"`
+	SourceOffsets  map[string]int64        `json:"sourceEndOffsetTotals,omitempty"`
 	// IORetries is the cumulative count of transient I/O failures absorbed
 	// by retry (source reads, sink writes) since the query started.
 	IORetries int64 `json:"ioRetries,omitempty"`
@@ -126,23 +233,61 @@ type QueryProgress struct {
 	RestartBackoffMillis int64 `json:"restartBackoffMillis,omitempty"`
 }
 
+// BottleneckStage names the largest segment of a duration breakdown, or
+// "" when the breakdown is empty. Ties break alphabetically so the result
+// is deterministic.
+func BottleneckStage(breakdown map[string]int64) string {
+	best, bestV := "", int64(-1)
+	names := make([]string, 0, len(breakdown))
+	for name := range breakdown {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if v := breakdown[name]; v > bestV {
+			best, bestV = name, v
+		}
+	}
+	return best
+}
+
 // Listener receives progress events.
 type Listener func(p QueryProgress)
 
 // EventLog fans progress events out to listeners and optionally appends
-// them as JSON lines to a writer.
+// them as JSON lines to a writer. Delivery is totally ordered: the order
+// events land in history is the order every listener observes and the
+// order JSON lines hit the writer, even under concurrent emitters. Writer
+// failures are not swallowed — they are counted (WriteFailures, and the
+// eventLogWriteFailures counter of an attached registry).
 type EventLog struct {
+	// emitMu serializes whole emissions, pinning listener/writer delivery
+	// to history order. Listeners must not call Emit re-entrantly.
+	emitMu sync.Mutex
+	// mu guards listeners and history for concurrent readers.
 	mu        sync.Mutex
 	listeners []Listener
 	w         io.Writer
 	history   []QueryProgress
 	// HistoryLimit bounds retained events (default 1024).
 	HistoryLimit int
+
+	writeFailures atomic.Int64
+	evicted       atomic.Int64
+	reg           *Registry
 }
 
 // NewEventLog creates an event log; w may be nil.
 func NewEventLog(w io.Writer) *EventLog {
 	return &EventLog{w: w, HistoryLimit: 1024}
+}
+
+// SetRegistry mirrors the log's delivery counters (eventLogWriteFailures,
+// eventLogEvicted) into a metric registry.
+func (l *EventLog) SetRegistry(r *Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.reg = r
 }
 
 // AddListener registers a listener for future events.
@@ -152,21 +297,46 @@ func (l *EventLog) AddListener(fn Listener) {
 	l.listeners = append(l.listeners, fn)
 }
 
-// Emit publishes one progress event.
+// WriteFailures counts JSON-line writes that failed (marshal or writer
+// error). The events still reached history and listeners.
+func (l *EventLog) WriteFailures() int64 { return l.writeFailures.Load() }
+
+// Evicted counts events dropped from history by HistoryLimit.
+func (l *EventLog) Evicted() int64 { return l.evicted.Load() }
+
+// Emit publishes one progress event: history first, then the writer, then
+// every listener, all under the emission lock so concurrent emitters
+// cannot interleave deliveries out of history order.
 func (l *EventLog) Emit(p QueryProgress) {
+	l.emitMu.Lock()
+	defer l.emitMu.Unlock()
+
 	l.mu.Lock()
-	listeners := append([]Listener(nil), l.listeners...)
 	l.history = append(l.history, p)
 	if limit := l.HistoryLimit; limit > 0 && len(l.history) > limit {
-		l.history = l.history[len(l.history)-limit:]
+		n := len(l.history) - limit
+		l.history = l.history[n:]
+		l.evicted.Add(int64(n))
 	}
+	listeners := append([]Listener(nil), l.listeners...)
 	w := l.w
+	reg := l.reg
 	l.mu.Unlock()
+
 	if w != nil {
 		data, err := json.Marshal(p)
 		if err == nil {
-			fmt.Fprintf(w, "%s\n", data)
+			_, err = fmt.Fprintf(w, "%s\n", data)
 		}
+		if err != nil {
+			l.writeFailures.Add(1)
+			if reg != nil {
+				reg.Counter("eventLogWriteFailures").Add(1)
+			}
+		}
+	}
+	if reg != nil && l.evicted.Load() > 0 {
+		reg.Gauge("eventLogEvicted").Set(l.evicted.Load())
 	}
 	for _, fn := range listeners {
 		fn(p)

@@ -1,0 +1,229 @@
+// Package monitor exposes running streaming queries over HTTP — the live
+// half of the paper's §7.4 monitoring surface. A Server renders each
+// query's metric registry (counters, gauges, latency-histogram
+// percentiles), its recent QueryProgress events, and its epoch traces in
+// Chrome trace_event format, so `curl | jq` and chrome://tracing both work
+// against a live engine:
+//
+//	GET /metrics                         all queries' metrics (JSON; ?format=text for plain text)
+//	GET /queries                         query summaries
+//	GET /queries/{name}/progress         recent progress events (?n=K, default 1)
+//	GET /queries/{name}/trace            epoch traces (Chrome trace_event; ?format=jsonl for JSON lines)
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"structream/internal/engine"
+	"structream/internal/metrics"
+)
+
+// Server is an HTTP monitoring endpoint over a set of streaming queries.
+// Queries register by name; registering a second query under the same
+// name replaces the first (the supervisor restart pattern: the
+// replacement query takes over its predecessor's monitoring slot).
+type Server struct {
+	mu      sync.Mutex
+	names   []string // registration order
+	queries map[string]*engine.StreamingQuery
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// New creates a Server with no queries registered.
+func New() *Server {
+	return &Server{queries: map[string]*engine.StreamingQuery{}}
+}
+
+// Register adds (or replaces) a query under its name.
+func (s *Server) Register(q *engine.StreamingQuery) {
+	if q == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, seen := s.queries[q.Name()]; !seen {
+		s.names = append(s.names, q.Name())
+	}
+	s.queries[q.Name()] = q
+}
+
+// snapshot returns the registered queries in registration order.
+func (s *Server) snapshot() []*engine.StreamingQuery {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*engine.StreamingQuery, 0, len(s.names))
+	for _, name := range s.names {
+		out = append(out, s.queries[name])
+	}
+	return out
+}
+
+func (s *Server) query(name string) (*engine.StreamingQuery, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	q, ok := s.queries[name]
+	return q, ok
+}
+
+// Handler returns the Server's routing handler — what Serve mounts, and
+// what tests drive through net/http/httptest.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /queries", s.handleQueries)
+	mux.HandleFunc("GET /queries/{name}/progress", s.handleProgress)
+	mux.HandleFunc("GET /queries/{name}/trace", s.handleTrace)
+	return mux
+}
+
+// Serve starts listening on addr (e.g. "localhost:8080", ":0" for an
+// ephemeral port) and serves in a background goroutine. It returns the
+// bound address, useful when addr requested port 0.
+func (s *Server) Serve(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: s.Handler()}
+	s.mu.Lock()
+	s.ln = ln
+	s.httpSrv = srv
+	s.mu.Unlock()
+	go srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the listening address, or "" before Serve.
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops the listener. Registered queries are unaffected.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.httpSrv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+// writeJSON renders v with stable formatting for golden tests.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone: nothing to do
+}
+
+// handleMetrics renders every query's metric snapshot. JSON by default;
+// ?format=text emits `<query>.<metric> <value>` lines for scraping with
+// grep-shaped tooling.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	queries := s.snapshot()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, q := range queries {
+			snap := q.Metrics().Snapshot()
+			keys := make([]string, 0, len(snap))
+			for k := range snap {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(w, "%s.%s %d\n", q.Name(), k, snap[k])
+			}
+		}
+		return
+	}
+	out := map[string]map[string]int64{}
+	for _, q := range queries {
+		out[q.Name()] = q.Metrics().Snapshot()
+	}
+	writeJSON(w, out)
+}
+
+// QuerySummary is one row of GET /queries.
+type QuerySummary struct {
+	Name   string `json:"name"`
+	Status string `json:"status"`
+	// Epochs is the number of committed epochs since the query started.
+	Epochs int64 `json:"epochs"`
+	// LastProgress is the most recent progress event, if any.
+	LastProgress *metrics.QueryProgress `json:"lastProgress,omitempty"`
+}
+
+func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
+	var out []QuerySummary
+	for _, q := range s.snapshot() {
+		summary := QuerySummary{
+			Name:   q.Name(),
+			Status: q.Status().String(),
+			Epochs: q.Metrics().Counter("epochs").Value(),
+		}
+		if p, ok := q.LastProgress(); ok {
+			p := p
+			summary.LastProgress = &p
+		}
+		out = append(out, summary)
+	}
+	if out == nil {
+		out = []QuerySummary{}
+	}
+	writeJSON(w, out)
+}
+
+func (s *Server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.query(r.PathValue("name"))
+	if !ok {
+		http.Error(w, "unknown query", http.StatusNotFound)
+		return
+	}
+	n := 1
+	if v := r.URL.Query().Get("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 1 {
+			http.Error(w, "n must be a positive integer", http.StatusBadRequest)
+			return
+		}
+		n = parsed
+	}
+	events := q.EventLog().Recent(n)
+	if events == nil {
+		events = []metrics.QueryProgress{}
+	}
+	writeJSON(w, events)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.query(r.PathValue("name"))
+	if !ok {
+		http.Error(w, "unknown query", http.StatusNotFound)
+		return
+	}
+	tr := q.Tracer()
+	if tr == nil {
+		http.Error(w, "tracing disabled for this query", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "jsonl" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		tr.WriteJSON(w) //nolint:errcheck // client gone: nothing to do
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	tr.WriteChrome(w) //nolint:errcheck // client gone: nothing to do
+}

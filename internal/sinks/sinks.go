@@ -39,6 +39,33 @@ type Sink interface {
 	AddBatch(b Batch) error
 }
 
+// Describe names a sink's kind for the monitoring surface ("memory",
+// "console", "columnar-file", ...). Custom sinks may implement
+// `Description() string` to override the fallback type name.
+func Describe(s Sink) string {
+	type described interface{ Description() string }
+	switch v := s.(type) {
+	case described:
+		return v.Description()
+	case *MemorySink:
+		return "memory"
+	case *ConsoleSink:
+		return "console"
+	case *FileSink:
+		return "columnar-file"
+	case *JSONFileSink:
+		return "json-file"
+	case *BusSink:
+		return "bus"
+	case *TransactionalBusSink:
+		return "transactional-bus"
+	case *ForeachSink:
+		return "foreach"
+	default:
+		return fmt.Sprintf("%T", s)
+	}
+}
+
 // ---------------------------------------------------------------- memory
 
 // MemorySink accumulates the result table in memory and serves consistent

@@ -15,14 +15,14 @@ import (
 type FlakySource struct {
 	Inner Source
 
-	mu         sync.Mutex
-	reads      int64
-	failErr    error
-	failLeft   int
-	stalled    bool
-	stallCh    chan struct{}
-	stallSeen  chan struct{} // closed when a reader hits the stall
-	seenFired  bool
+	mu        sync.Mutex
+	reads     int64
+	failErr   error
+	failLeft  int
+	stalled   bool
+	stallCh   chan struct{}
+	stallSeen chan struct{} // closed when a reader hits the stall
+	seenFired bool
 }
 
 // NewFlakySource wraps inner with an empty fault schedule.

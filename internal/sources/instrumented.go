@@ -1,0 +1,95 @@
+package sources
+
+import (
+	"sync/atomic"
+	"time"
+
+	"structream/internal/sql"
+)
+
+// Instrumented wraps a Source with read-side observability counters: how
+// many Read calls ran, how many rows they returned, and how long they
+// took. The engine wraps every bound source so the per-source section of
+// QueryProgress and the getBatch span can attribute fetch cost without the
+// source implementations knowing about metrics.
+type Instrumented struct {
+	Inner Source
+
+	reads     atomic.Int64
+	rows      atomic.Int64
+	readNanos atomic.Int64
+	errors    atomic.Int64
+}
+
+// Instrument wraps src; wrapping an already-instrumented source returns it
+// unchanged so stats are never double-counted.
+func Instrument(src Source) *Instrumented {
+	if in, ok := src.(*Instrumented); ok {
+		return in
+	}
+	return &Instrumented{Inner: src}
+}
+
+// SourceStats is a point-in-time snapshot of a source's read activity.
+type SourceStats struct {
+	Reads     int64
+	Rows      int64
+	ReadNanos int64
+	Errors    int64
+}
+
+// Stats reports the cumulative read counters.
+func (s *Instrumented) Stats() SourceStats {
+	return SourceStats{
+		Reads:     s.reads.Load(),
+		Rows:      s.rows.Load(),
+		ReadNanos: s.readNanos.Load(),
+		Errors:    s.errors.Load(),
+	}
+}
+
+// Name implements Source.
+func (s *Instrumented) Name() string { return s.Inner.Name() }
+
+// Schema implements Source.
+func (s *Instrumented) Schema() sql.Schema { return s.Inner.Schema() }
+
+// Partitions implements Source.
+func (s *Instrumented) Partitions() int { return s.Inner.Partitions() }
+
+// Latest implements Source.
+func (s *Instrumented) Latest() (Offsets, error) { return s.Inner.Latest() }
+
+// Earliest implements Source.
+func (s *Instrumented) Earliest() (Offsets, error) { return s.Inner.Earliest() }
+
+// Read implements Source, timing and counting the inner read.
+func (s *Instrumented) Read(p int, from, to int64) ([]sql.Row, error) {
+	start := time.Now()
+	rows, err := s.Inner.Read(p, from, to)
+	s.readNanos.Add(time.Since(start).Nanoseconds())
+	s.reads.Add(1)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	s.rows.Add(int64(len(rows)))
+	return rows, nil
+}
+
+// WaitForData lets the continuous engine block on the inner source when it
+// supports waiting; otherwise it parks briefly, matching the engine's poll
+// cadence for non-waitable sources.
+func (s *Instrumented) WaitForData(partition int, offset int64, timeout time.Duration) bool {
+	type waitable interface {
+		WaitForData(partition int, offset int64, timeout time.Duration) bool
+	}
+	if w, ok := s.Inner.(waitable); ok {
+		return w.WaitForData(partition, offset, timeout)
+	}
+	if timeout > 200*time.Microsecond {
+		timeout = 200 * time.Microsecond
+	}
+	time.Sleep(timeout)
+	return false
+}

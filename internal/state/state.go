@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"structream/internal/fsx"
 )
@@ -43,6 +44,34 @@ type Provider struct {
 
 	mu    sync.Mutex
 	cache map[ID]*Store
+
+	// Observability counters (§7.4): how often Open was served by the live
+	// cached store vs. reconstructed from disk, and how many delta/snapshot
+	// files commits have written. Exposed via Stats for the per-operator
+	// state section of QueryProgress.
+	cacheHits        atomic.Int64
+	cacheMisses      atomic.Int64
+	deltasWritten    atomic.Int64
+	snapshotsWritten atomic.Int64
+}
+
+// ProviderStats is a point-in-time snapshot of the provider's activity
+// counters.
+type ProviderStats struct {
+	CacheHits        int64
+	CacheMisses      int64
+	DeltasWritten    int64
+	SnapshotsWritten int64
+}
+
+// Stats reports the provider's cumulative cache and file activity.
+func (p *Provider) Stats() ProviderStats {
+	return ProviderStats{
+		CacheHits:        p.cacheHits.Load(),
+		CacheMisses:      p.cacheMisses.Load(),
+		DeltasWritten:    p.deltasWritten.Load(),
+		SnapshotsWritten: p.snapshotsWritten.Load(),
+	}
 }
 
 // NewProvider creates a provider rooted at dir on the hardened real
@@ -67,8 +96,10 @@ func (p *Provider) Open(id ID, version int64) (*Store, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if s, ok := p.cache[id]; ok && s.version == version {
+		p.cacheHits.Add(1)
 		return s, nil
 	}
+	p.cacheMisses.Add(1)
 	s := &Store{
 		id:       id,
 		dir:      filepath.Join(p.dir, "state", id.Operator, strconv.Itoa(id.Partition)),
@@ -318,7 +349,11 @@ func (s *Store) writeDelta(version int64) error {
 		buf = binary.AppendUvarint(buf, uint64(len(v)))
 		buf = append(buf, v...)
 	}
-	return s.atomicWrite(filepath.Join(s.dir, fmt.Sprintf("%d.%s", version, kindDelta)), buf)
+	if err := s.atomicWrite(filepath.Join(s.dir, fmt.Sprintf("%d.%s", version, kindDelta)), buf); err != nil {
+		return err
+	}
+	s.provider.deltasWritten.Add(1)
+	return nil
 }
 
 func (s *Store) writeSnapshot(version int64) error {
@@ -336,7 +371,11 @@ func (s *Store) writeSnapshot(version int64) error {
 		buf = binary.AppendUvarint(buf, uint64(len(v)))
 		buf = append(buf, v...)
 	}
-	return s.atomicWrite(filepath.Join(s.dir, fmt.Sprintf("%d.%s", version, kindSnapshot)), buf)
+	if err := s.atomicWrite(filepath.Join(s.dir, fmt.Sprintf("%d.%s", version, kindSnapshot)), buf); err != nil {
+		return err
+	}
+	s.provider.snapshotsWritten.Add(1)
+	return nil
 }
 
 // atomicWrite seals body with a length+CRC32C footer and writes it via

@@ -1,0 +1,230 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeAndOpenStage(t *testing.T) {
+	tr := NewTracer("q", 8)
+	et := tr.StartEpoch(3, "microbatch")
+	if got := tr.InFlight(); got != et {
+		t.Fatalf("InFlight = %v, want the started epoch", got)
+	}
+
+	plan := et.StartSpan("planning")
+	if got := et.OpenStage(); got != "planning" {
+		t.Errorf("OpenStage = %q, want planning", got)
+	}
+	et.EndSpan(plan)
+
+	fetch := et.StartSpan("getBatch")
+	fetch.SetAttr("rows", 42)
+	child := fetch.Child("source:events")
+	child.End()
+	if got := et.OpenStage(); got != "getBatch" {
+		t.Errorf("OpenStage = %q, want getBatch", got)
+	}
+	et.EndSpan(fetch)
+	if got := et.OpenStage(); got != "" {
+		t.Errorf("OpenStage after all ends = %q, want empty", got)
+	}
+	et.AddStage("sinkCommit", time.Now(), 5*time.Millisecond)
+	et.Finish()
+
+	if tr.InFlight() != nil {
+		t.Error("InFlight should clear after Finish")
+	}
+	got, ok := tr.Epoch(3)
+	if !ok {
+		t.Fatal("epoch 3 not retained")
+	}
+	names := map[string]bool{}
+	for _, c := range got.Root.Children {
+		names[c.Name] = true
+	}
+	for _, want := range []string{"planning", "getBatch", "sinkCommit"} {
+		if !names[want] {
+			t.Errorf("missing child span %q (have %v)", want, got.Root.Children)
+		}
+	}
+	if got.Root.DurationMicros < 0 {
+		t.Errorf("root duration = %d", got.Root.DurationMicros)
+	}
+}
+
+func TestFinishIsIdempotent(t *testing.T) {
+	tr := NewTracer("q", 4)
+	et := tr.StartEpoch(0, "microbatch")
+	et.Finish()
+	et.Finish()
+	if n := len(tr.Epochs()); n != 1 {
+		t.Fatalf("double Finish retained %d traces, want 1", n)
+	}
+}
+
+func TestRingBufferBounds(t *testing.T) {
+	tr := NewTracer("q", 4)
+	for i := int64(0); i < 10; i++ {
+		et := tr.StartEpoch(i, "microbatch")
+		et.Finish()
+	}
+	eps := tr.Epochs()
+	if len(eps) != 4 {
+		t.Fatalf("retained %d, want 4", len(eps))
+	}
+	for i, et := range eps {
+		if want := int64(6 + i); et.Epoch != want {
+			t.Errorf("ring[%d] = epoch %d, want %d (oldest first)", i, et.Epoch, want)
+		}
+	}
+	if _, ok := tr.Epoch(2); ok {
+		t.Error("evicted epoch 2 still retrievable")
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	et := tr.StartEpoch(1, "continuous")
+	if et != nil {
+		t.Fatal("nil tracer must hand out nil epoch traces")
+	}
+	sp := et.StartSpan("planning")
+	sp.SetAttr("rows", 1)
+	sp.Child("x").End()
+	et.EndSpan(sp)
+	et.AddStage("y", time.Now(), time.Second)
+	et.SetAttr("k", 1)
+	if et.OpenStage() != "" {
+		t.Error("nil OpenStage should be empty")
+	}
+	et.Finish()
+	if tr.Epochs() != nil || tr.InFlight() != nil {
+		t.Error("nil tracer accessors should return zero values")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteJSONLines(t *testing.T) {
+	tr := NewTracer("orders", 8)
+	for i := int64(0); i < 3; i++ {
+		et := tr.StartEpoch(i, "microbatch")
+		et.StartSpan("planning").End()
+		et.Finish()
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3", len(lines))
+	}
+	for i, line := range lines {
+		var et struct {
+			Query string `json:"query"`
+			Epoch int64  `json:"epoch"`
+			Root  *Span  `json:"root"`
+		}
+		if err := json.Unmarshal([]byte(line), &et); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", i, err)
+		}
+		if et.Query != "orders" || et.Epoch != int64(i) || et.Root == nil {
+			t.Errorf("line %d = %+v", i, et)
+		}
+	}
+}
+
+func TestWriteChromeFormat(t *testing.T) {
+	tr := NewTracer("q", 8)
+	et := tr.StartEpoch(7, "microbatch")
+	sp := et.StartSpan("getBatch")
+	sp.SetAttr("rows", 10)
+	time.Sleep(time.Millisecond)
+	et.EndSpan(sp)
+	et.Finish()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string           `json:"name"`
+			Ph   string           `json:"ph"`
+			TS   int64            `json:"ts"`
+			Dur  int64            `json:"dur"`
+			TID  int64            `json:"tid"`
+			Args map[string]int64 `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.TraceEvents) != 2 { // root + getBatch
+		t.Fatalf("got %d events, want 2", len(out.TraceEvents))
+	}
+	var sawFetch bool
+	for _, ev := range out.TraceEvents {
+		if ev.Ph != "X" {
+			t.Errorf("event %q ph = %q, want X", ev.Name, ev.Ph)
+		}
+		if ev.TID != 7 {
+			t.Errorf("event %q tid = %d, want epoch 7", ev.Name, ev.TID)
+		}
+		if ev.Dur <= 0 || ev.TS <= 0 {
+			t.Errorf("event %q has ts=%d dur=%d", ev.Name, ev.TS, ev.Dur)
+		}
+		if ev.Name == "getBatch" {
+			sawFetch = true
+			if ev.Args["rows"] != 10 {
+				t.Errorf("getBatch args = %v", ev.Args)
+			}
+		}
+	}
+	if !sawFetch {
+		t.Error("no getBatch event")
+	}
+}
+
+// TestConcurrentSpans: continuous-mode workers attach spans to the same
+// epoch concurrently; must be race-free (run with -race).
+func TestConcurrentSpans(t *testing.T) {
+	tr := NewTracer("q", 16)
+	et := tr.StartEpoch(0, "continuous")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sp := et.StartSpan("read")
+				sp.SetAttr("i", int64(i))
+				et.EndSpan(sp)
+			}
+		}()
+	}
+	var exporters sync.WaitGroup
+	exporters.Add(1)
+	go func() {
+		defer exporters.Done()
+		for i := 0; i < 20; i++ {
+			var buf bytes.Buffer
+			_ = tr.WriteChrome(&buf)
+		}
+	}()
+	wg.Wait()
+	et.Finish()
+	exporters.Wait()
+	got, _ := tr.Epoch(0)
+	if len(got.Root.Children) != 800 {
+		t.Fatalf("children = %d, want 800", len(got.Root.Children))
+	}
+}

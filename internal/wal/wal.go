@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"structream/internal/fsx"
@@ -61,6 +62,36 @@ type Log struct {
 	dir        string
 	offsetsDir string
 	commitsDir string
+
+	// Observability counters (§7.4): cumulative write activity, exposed via
+	// Stats so the monitoring layer can report WAL pressure per query.
+	offsetsWritten atomic.Int64
+	commitsWritten atomic.Int64
+	bytesWritten   atomic.Int64
+	writeNanos     atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the log's write activity.
+type Stats struct {
+	// OffsetsWritten counts durably recorded epoch-offset entries.
+	OffsetsWritten int64
+	// CommitsWritten counts durably recorded epoch commits.
+	CommitsWritten int64
+	// BytesWritten is the total framed bytes handed to the filesystem.
+	BytesWritten int64
+	// WriteNanos is the cumulative wall time spent inside atomic WAL
+	// writes, including fsync.
+	WriteNanos int64
+}
+
+// Stats reports the log's cumulative write counters.
+func (l *Log) Stats() Stats {
+	return Stats{
+		OffsetsWritten: l.offsetsWritten.Load(),
+		CommitsWritten: l.commitsWritten.Load(),
+		BytesWritten:   l.bytesWritten.Load(),
+		WriteNanos:     l.writeNanos.Load(),
+	}
 }
 
 // Open creates or opens the log under dir on the hardened real filesystem.
@@ -98,7 +129,13 @@ func epochFile(dir string, epoch int64) string {
 // writeAtomic writes data to path via a temp file and rename, so readers
 // never observe a partial file even across crashes.
 func (l *Log) writeAtomic(path string, data []byte) error {
-	return fsx.WriteAtomic(l.fs, path, data, 0o644)
+	start := time.Now()
+	err := fsx.WriteAtomic(l.fs, path, data, 0o644)
+	l.writeNanos.Add(time.Since(start).Nanoseconds())
+	if err == nil {
+		l.bytesWritten.Add(int64(len(data)))
+	}
+	return err
 }
 
 // frameJSON marshals v (an *Entry or *Commit with zeroed frame fields),
@@ -161,7 +198,11 @@ func (l *Log) WriteOffsets(e Entry) error {
 	if err != nil {
 		return err
 	}
-	return l.writeAtomic(path, data)
+	if err := l.writeAtomic(path, data); err != nil {
+		return err
+	}
+	l.offsetsWritten.Add(1)
+	return nil
 }
 
 func sameEpochDefinition(a, b Entry) bool {
@@ -250,7 +291,11 @@ func (l *Log) WriteCommit(epoch int64) error {
 	if err != nil {
 		return err
 	}
-	return l.writeAtomic(epochFile(l.commitsDir, epoch), data)
+	if err := l.writeAtomic(epochFile(l.commitsDir, epoch), data); err != nil {
+		return err
+	}
+	l.commitsWritten.Add(1)
+	return nil
 }
 
 // Commits lists committed epochs, ascending.

@@ -7,6 +7,13 @@ echo ">> go vet ./..."
 go vet ./...
 echo ">> go test -race ./..."
 go test -race ./...
+# Bench-suite smoke: a tiny workload through the JSON benchmark path, so
+# `make bench-json` breakage is caught here rather than at report time.
+echo ">> ssbench bench smoke"
+smoke_json="$(mktemp /tmp/structream-bench-XXXXXX.json)"
+go run ./cmd/ssbench -experiment bench -events 100000 -rounds 1 -json "$smoke_json" >/dev/null
+grep -q '"tracingOverheadPct"' "$smoke_json" || { echo "bench smoke: bad report"; exit 1; }
+rm -f "$smoke_json"
 # Opt-in chaos tier: randomized fault schedule against the supervised
 # runtime (bounded by STRUCTREAM_CHAOS_SECONDS, default 20).
 if [ "${STRUCTREAM_CHAOS:-}" = "1" ]; then

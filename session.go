@@ -3,6 +3,7 @@ package structream
 import (
 	"fmt"
 	"structream/internal/engine"
+	"structream/internal/monitor"
 	"structream/internal/sinks"
 	"sync"
 
@@ -19,12 +20,13 @@ import (
 // bus, and the set of active streaming queries. Sessions are safe for
 // concurrent use.
 type Session struct {
-	mu      sync.Mutex
-	tables  map[string]*tableEntry
-	streams map[string]sources.Source
-	views   map[string]*DataFrame
-	queries []*StreamingQuery
-	broker  *msgbus.Broker
+	mu       sync.Mutex
+	tables   map[string]*tableEntry
+	streams  map[string]sources.Source
+	views    map[string]*DataFrame
+	queries  []*StreamingQuery
+	broker   *msgbus.Broker
+	monitors []*monitor.Server
 }
 
 // tableEntry is a static (or snapshot-backed) table. rows is a function so
@@ -188,11 +190,37 @@ func (s *Session) source(name string) (sources.Source, bool) {
 	return src, ok
 }
 
-// trackQuery records an active query.
+// trackQuery records an active query and registers it with every
+// monitoring endpoint the session has opened.
 func (s *Session) trackQuery(q *StreamingQuery) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.queries = append(s.queries, q)
+	mons := append([]*monitor.Server(nil), s.monitors...)
+	s.mu.Unlock()
+	for _, m := range mons {
+		m.Register(q)
+	}
+}
+
+// Monitor starts an HTTP monitoring endpoint (§7.4) serving /metrics,
+// /queries, /queries/{name}/progress, and /queries/{name}/trace for every
+// query in the session — those already running and any started later.
+// addr is a listen address like "localhost:8080"; use ":0" for an
+// ephemeral port and Server.Addr to discover it. Close the returned
+// server to stop listening; the queries keep running.
+func (s *Session) Monitor(addr string) (*monitor.Server, error) {
+	m := monitor.New()
+	s.mu.Lock()
+	s.monitors = append(s.monitors, m)
+	existing := append([]*StreamingQuery(nil), s.queries...)
+	s.mu.Unlock()
+	for _, q := range existing {
+		m.Register(q)
+	}
+	if _, err := m.Serve(addr); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // ActiveQueries returns the session's started streaming queries.
