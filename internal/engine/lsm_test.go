@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"structream/internal/sinks"
+	"structream/internal/sources"
+	"structream/internal/sql"
+	"structream/internal/sql/logical"
+	"structream/internal/state"
+)
+
+// TestLSMBackendSpillsAndRestoresVersions is the acceptance scenario for
+// the larger-than-memtable path: a stateful aggregation whose state is
+// several times the memtable threshold runs under Backend "lsm", spills to
+// SSTables (visible in QueryProgress stateOperators and the metric
+// registry), and after the query stops every committed epoch's state can
+// still be reopened at exactly its version — the §7.2 rollback contract,
+// now served by manifest + delta replay instead of snapshots.
+func TestLSMBackendSpillsAndRestoresVersions(t *testing.T) {
+	const epochs, perEpoch = 5, 64
+	src := sources.NewMemorySource("events", eventsSchema)
+	plan := &logical.Aggregate{
+		Child: streamScan("events"),
+		Keys:  []sql.Expr{sql.Col("k")},
+		Aggs:  []logical.NamedAgg{{Agg: sql.CountAll(), Name: "cnt"}},
+	}
+	q := compile(t, plan, logical.Update, nil)
+	sink := sinks.NewMemorySink()
+	ckpt := t.TempDir()
+	sq := startQuery(t, q, map[string]sources.Source{"events": src}, sink, Options{
+		Checkpoint:         ckpt,
+		NumPartitions:      1,
+		StateBackend:       "lsm",
+		StateMemtableBytes: 2048, // total state is ~10× this: must spill
+	})
+
+	// Every row gets a fresh group key, so state grows by exactly perEpoch
+	// keys per epoch — which makes NumKeys at any historical version exact.
+	for e := 0; e < epochs; e++ {
+		for i := 0; i < perEpoch; i++ {
+			src.AddData(sql.Row{fmt.Sprintf("k%04d", e*perEpoch+i), 1.0, int64(e) * sec})
+		}
+		if err := sq.ProcessAllAvailable(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	p, ok := sq.LastProgress()
+	if !ok || len(p.StateOperators) == 0 {
+		t.Fatalf("no stateOperators in progress: %+v ok=%v", p, ok)
+	}
+	so := p.StateOperators[0]
+	if so.Backend != "lsm" {
+		t.Errorf("stateOperators.backend = %q, want lsm", so.Backend)
+	}
+	if so.SSTables == 0 || so.SSTableBytes == 0 || so.Flushes == 0 {
+		t.Errorf("state never spilled: ssTables=%d bytes=%d flushes=%d", so.SSTables, so.SSTableBytes, so.Flushes)
+	}
+	if so.BlockCacheHits+so.BlockCacheMisses == 0 {
+		t.Error("block cache saw no traffic")
+	}
+	if so.BlockCacheHitRate < 0 || so.BlockCacheHitRate > 1 {
+		t.Errorf("blockCacheHitRate = %v, want within [0,1]", so.BlockCacheHitRate)
+	}
+	if got := sq.Metrics().Gauge("stateSSTables").Value(); got == 0 {
+		t.Error("stateSSTables gauge not populated")
+	}
+	if got := sq.Metrics().Gauge("stateBlockCacheBytes").Value(); got == 0 {
+		t.Error("stateBlockCacheBytes gauge not populated")
+	}
+	if err := sq.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Discover the aggregation's state store (one operator, partition 0).
+	stateRoot := filepath.Join(ckpt, "state")
+	ents, err := os.ReadDir(stateRoot)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("state dir: %v entries err=%v", ents, err)
+	}
+	id := state.ID{Operator: ents[0].Name(), Partition: 0}
+
+	// A cold provider must reopen EVERY committed version with exactly the
+	// key count that version had.
+	prov := state.NewProvider(ckpt)
+	prov.Backend = state.BackendLSM
+	defer prov.Close()
+	versions, err := prov.Versions(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(versions) != epochs {
+		t.Fatalf("committed state versions = %v, want %d of them", versions, epochs)
+	}
+	for _, v := range versions {
+		s, err := prov.Open(id, v)
+		if err != nil {
+			t.Fatalf("reopen version %d: %v", v, err)
+		}
+		if got, want := int64(s.NumKeys()), (v+1)*perEpoch; got != want {
+			t.Errorf("version %d: NumKeys = %d, want %d", v, got, want)
+		}
+	}
+}

@@ -51,6 +51,18 @@ type Options struct {
 	// StateSnapshotInterval overrides the state store's full-snapshot
 	// cadence (default 10 epochs).
 	StateSnapshotInterval int64
+	// StateBackend selects the state storage engine: "memory" (default)
+	// keeps live state in RAM with delta + snapshot files; "lsm" stores it
+	// in a log-structured merge tree (memtable, bloom-filtered SSTables,
+	// shared block cache, size-tiered compaction) so stateful queries can
+	// hold state well beyond RAM.
+	StateBackend string
+	// StateMemtableBytes is the lsm backend's per-store flush threshold
+	// (0 = 4 MiB). State beyond it spills to SSTables.
+	StateMemtableBytes int64
+	// StateBlockCacheBytes bounds the lsm backend's block cache, shared
+	// across all of the query's state partitions (0 = 32 MiB).
+	StateBlockCacheBytes int64
 	// RetainEpochs bounds checkpoint growth: every RetainEpochs epochs the
 	// engine purges WAL entries and state files older than the retention
 	// horizon (keeping everything needed to recover, plus that many epochs
@@ -170,6 +182,15 @@ func newExec(q *incremental.Query, srcs map[string]sources.Source, sink sinks.Si
 	prov := state.NewProviderFS(opts.FS, opts.Checkpoint)
 	if opts.StateSnapshotInterval > 0 {
 		prov.SnapshotInterval = opts.StateSnapshotInterval
+	}
+	switch opts.StateBackend {
+	case "", string(state.BackendMemory):
+	case string(state.BackendLSM):
+		prov.Backend = state.BackendLSM
+		prov.MemtableBytes = opts.StateMemtableBytes
+		prov.BlockCacheBytes = opts.StateBlockCacheBytes
+	default:
+		return nil, fmt.Errorf("engine: unknown state backend %q", opts.StateBackend)
 	}
 	clus := opts.Cluster
 	if clus == nil {
@@ -704,6 +725,10 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 		}
 		et.EndSpanWith(spState, stateDur)
 		spState.SetAttr("stateRows", stateRows)
+		if ps := e.prov.Stats(); ps.Backend == state.BackendLSM {
+			spState.SetAttr("ssTables", ps.SSTables)
+			spState.SetAttr("compactionBytes", ps.CompactionBytes)
+		}
 		et.AddStage("execution", redStart.Add(stateDur), redWall-stateDur)
 		bd["stateCommit"] += stateDur.Microseconds()
 		bd["execution"] += (redWall - stateDur).Microseconds()
@@ -852,7 +877,7 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 	var stateOps []metrics.StateOperatorProgress
 	if op := e.q.Stateful; op != nil {
 		ps := e.prov.Stats()
-		stateOps = append(stateOps, metrics.StateOperatorProgress{
+		sop := metrics.StateOperatorProgress{
 			Operator:         op.Name(),
 			NumRowsTotal:     stateRows,
 			StateBytes:       stateBytes,
@@ -860,7 +885,31 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 			CacheMisses:      ps.CacheMisses,
 			SnapshotsWritten: ps.SnapshotsWritten,
 			DeltasWritten:    ps.DeltasWritten,
-		})
+		}
+		if ps.Backend == state.BackendLSM {
+			sop.Backend = string(ps.Backend)
+			sop.MemtableBytes = ps.MemtableBytes
+			sop.SSTables = ps.SSTables
+			sop.SSTableBytes = ps.SSTableBytes
+			sop.Flushes = ps.Flushes
+			sop.Compactions = ps.Compactions
+			sop.CompactionBytes = ps.CompactionBytes
+			sop.BlockCacheHits = ps.BlockCacheHits
+			sop.BlockCacheMisses = ps.BlockCacheMisses
+			if lookups := ps.BlockCacheHits + ps.BlockCacheMisses; lookups > 0 {
+				sop.BlockCacheHitRate = float64(ps.BlockCacheHits) / float64(lookups)
+			}
+			e.reg.Gauge("stateMemtableBytes").Set(ps.MemtableBytes)
+			e.reg.Gauge("stateSSTables").Set(ps.SSTables)
+			e.reg.Gauge("stateSSTableBytes").Set(ps.SSTableBytes)
+			e.reg.Gauge("stateFlushes").Set(ps.Flushes)
+			e.reg.Gauge("stateCompactions").Set(ps.Compactions)
+			e.reg.Gauge("stateCompactionBytes").Set(ps.CompactionBytes)
+			e.reg.Gauge("stateBlockCacheHits").Set(ps.BlockCacheHits)
+			e.reg.Gauge("stateBlockCacheMisses").Set(ps.BlockCacheMisses)
+			e.reg.Gauge("stateBlockCacheBytes").Set(ps.BlockCacheBytes)
+		}
+		stateOps = append(stateOps, sop)
 	}
 
 	e.log.Emit(metrics.QueryProgress{

@@ -128,6 +128,12 @@ func (q *StreamingQuery) finish() {
 	} else {
 		q.status.Store(int32(StatusStopped))
 	}
+	if q.exec != nil {
+		// Release the state provider's live stores (and, for the lsm
+		// backend, their block-cache residency). Without this every
+		// supervised restart would leak the previous run's stores.
+		q.exec.prov.Close()
+	}
 	close(q.doneCh)
 }
 

@@ -48,22 +48,31 @@ func torturePlan(t *testing.T) *incremental.Query {
 	return compile(t, plan, logical.Update, nil)
 }
 
-// launchTorture starts the torture query over ckpt/sinkDir on fsys and
-// drives it to completion (or to the injected fault). One source partition
-// and one shuffle partition keep the filesystem op schedule fully
-// deterministic, which is what makes crash-at-op-N reproducible.
-func launchTorture(t *testing.T, ckpt, sinkDir string, fsys fsx.FS, rows int) (*StreamingQuery, error) {
+// launchTortureBackend starts the torture query over ckpt/sinkDir on fsys
+// with the given state backend ("" = memory) and drives it to completion
+// (or to the injected fault). One source partition and one shuffle
+// partition keep the filesystem op schedule fully deterministic, which is
+// what makes crash-at-op-N reproducible. The LSM variant runs with a
+// 1-byte memtable threshold so every state commit flushes an SSTable and
+// the tier fills up enough to compact inside the workload — crash points
+// land between flush, compaction output, and manifest writes.
+func launchTortureBackend(t *testing.T, ckpt, sinkDir string, fsys fsx.FS, rows int, backend string) (*StreamingQuery, error) {
 	t.Helper()
 	sink := &sinks.JSONFileSink{Dir: sinkDir, FS: fsys}
-	sq, err := Start(torturePlan(t), map[string]sources.Source{"events": tortureSource(rows)}, sink, Options{
+	opts := Options{
 		Checkpoint:            ckpt,
 		FS:                    fsys,
 		NumPartitions:         1,
 		MaxRecordsPerTrigger:  8,
 		StateSnapshotInterval: 3,
+		StateBackend:          backend,
 		Trigger:               ProcessingTimeTrigger{Interval: time.Hour}, // driven manually
 		RetryBackoff:          time.Microsecond,
-	})
+	}
+	if backend == "lsm" {
+		opts.StateMemtableBytes = 1
+	}
+	sq, err := Start(torturePlan(t), map[string]sources.Source{"events": tortureSource(rows)}, sink, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -71,10 +80,20 @@ func launchTorture(t *testing.T, ckpt, sinkDir string, fsys fsx.FS, rows int) (*
 	return sq, sq.ProcessAllAvailable()
 }
 
+func launchTorture(t *testing.T, ckpt, sinkDir string, fsys fsx.FS, rows int) (*StreamingQuery, error) {
+	t.Helper()
+	return launchTortureBackend(t, ckpt, sinkDir, fsys, rows, "")
+}
+
+func runTortureBackend(t *testing.T, ckpt, sinkDir string, fsys fsx.FS, rows int, backend string) error {
+	t.Helper()
+	_, err := launchTortureBackend(t, ckpt, sinkDir, fsys, rows, backend)
+	return err
+}
+
 func runTorture(t *testing.T, ckpt, sinkDir string, fsys fsx.FS, rows int) error {
 	t.Helper()
-	_, err := launchTorture(t, ckpt, sinkDir, fsys, rows)
-	return err
+	return runTortureBackend(t, ckpt, sinkDir, fsys, rows, "")
 }
 
 // dirContents reads every file in dir into a name→bytes map.
@@ -116,7 +135,8 @@ func sinkDiff(golden, got map[string][]byte) string {
 }
 
 // opCategory maps a traced filesystem op onto the protocol step it belongs
-// to: offsets-write, state-commit, sink-write, or commit-marker (§6.1).
+// to: offsets-write, state-commit, state-structure (LSM flush/compaction
+// outputs and manifests), sink-write, or commit-marker (§6.1).
 func opCategory(t *testing.T, op fsx.Op) string {
 	t.Helper()
 	p := filepath.ToSlash(op.Path)
@@ -127,6 +147,8 @@ func opCategory(t *testing.T, op fsx.Op) string {
 		return "commit-marker"
 	case strings.Contains(p, ".delta") || strings.Contains(p, ".snapshot"):
 		return "state-commit"
+	case strings.Contains(p, ".sst") || strings.Contains(p, ".manifest"):
+		return "state-structure"
 	case strings.Contains(p, "part-") || strings.Contains(p, "result.json"):
 		return "sink-write"
 	default:
@@ -142,12 +164,28 @@ func opCategory(t *testing.T, op fsx.Op) string {
 // byte-identical to a crash-free run. This is the paper's exactly-once
 // claim (§6.1) tested against the failure model it actually depends on.
 func TestCrashRecoveryTorture(t *testing.T) {
+	crashSweepTorture(t, "")
+}
+
+// TestCrashRecoveryTortureLSM repeats the full crash sweep with the LSM
+// state backend, whose commit path adds SSTable flushes, compaction
+// outputs, and manifest writes to the op schedule — so the sweep crashes
+// mid-flush and mid-compaction too. The golden output is produced by the
+// MEMORY backend: every recovery must converge byte-identical not only to
+// its own crash-free run but across backends.
+func TestCrashRecoveryTortureLSM(t *testing.T) {
+	crashSweepTorture(t, "lsm")
+}
+
+func crashSweepTorture(t *testing.T, backend string) {
 	if testing.Short() {
 		t.Skip("crash sweep skipped with -short")
 	}
 	const rows = 48
 
-	// Golden run: clean filesystem, no faults.
+	// Golden run: clean filesystem, no faults, memory backend regardless of
+	// the backend under test — the sink bytes must not depend on the state
+	// backend.
 	goldenSink := t.TempDir()
 	if err := runTorture(t, t.TempDir(), goldenSink, fsx.NoSync(), rows); err != nil {
 		t.Fatalf("golden run: %v", err)
@@ -161,7 +199,7 @@ func TestCrashRecoveryTorture(t *testing.T) {
 	// deterministic op schedule.
 	probe := fsx.NewFaultFS(fsx.NoSync())
 	probeSink := t.TempDir()
-	if err := runTorture(t, t.TempDir(), probeSink, probe, rows); err != nil {
+	if err := runTortureBackend(t, t.TempDir(), probeSink, probe, rows, backend); err != nil {
 		t.Fatalf("probe run: %v", err)
 	}
 	if d := sinkDiff(golden, dirContents(t, probeSink)); d != "" {
@@ -171,6 +209,23 @@ func TestCrashRecoveryTorture(t *testing.T) {
 	total := probe.Ops()
 	if total < 25 {
 		t.Fatalf("workload has only %d mutating ops; need ≥25 crash points", total)
+	}
+	if backend == "lsm" {
+		// The schedule must include more SSTable writes than delta writes:
+		// every commit flushes (1-byte memtable), so any surplus is
+		// compaction output — proof the sweep crosses a compaction.
+		var ssts, deltas int
+		for _, op := range trace {
+			switch {
+			case op.Kind == fsx.OpWrite && strings.Contains(op.Path, ".sst"):
+				ssts++
+			case op.Kind == fsx.OpWrite && strings.Contains(op.Path, ".delta"):
+				deltas++
+			}
+		}
+		if ssts <= deltas {
+			t.Fatalf("schedule has %d SSTable writes vs %d deltas; no compaction inside the sweep", ssts, deltas)
+		}
 	}
 
 	modes := []fsx.CrashMode{fsx.CrashBefore, fsx.CrashTorn, fsx.CrashAfter}
@@ -186,7 +241,7 @@ func TestCrashRecoveryTorture(t *testing.T) {
 		ckpt, sinkDir := t.TempDir(), t.TempDir()
 		ffs := fsx.NewFaultFS(fsx.NoSync())
 		ffs.CrashAt, ffs.Mode = n, mode
-		err := runTorture(t, ckpt, sinkDir, ffs, rows)
+		err := runTortureBackend(t, ckpt, sinkDir, ffs, rows, backend)
 		if !ffs.Crashed() {
 			t.Fatalf("%s: crash never fired (err=%v)", label, err)
 		}
@@ -196,14 +251,18 @@ func TestCrashRecoveryTorture(t *testing.T) {
 		categories[opCategory(t, trace[n-1])]++
 
 		// Restart over the surviving checkpoint on a healthy filesystem.
-		if err := runTorture(t, ckpt, sinkDir, fsx.NoSync(), rows); err != nil {
+		if err := runTortureBackend(t, ckpt, sinkDir, fsx.NoSync(), rows, backend); err != nil {
 			t.Fatalf("%s: restart failed: %v", label, err)
 		}
 		if d := sinkDiff(golden, dirContents(t, sinkDir)); d != "" {
 			t.Fatalf("%s: sink did not converge to the crash-free output:\n%s", label, d)
 		}
 	}
-	for _, cat := range []string{"offsets-write", "state-commit", "sink-write", "commit-marker"} {
+	required := []string{"offsets-write", "state-commit", "sink-write", "commit-marker"}
+	if backend == "lsm" {
+		required = append(required, "state-structure")
+	}
+	for _, cat := range required {
 		if categories[cat] == 0 {
 			t.Errorf("no crash point exercised the %s step (categories: %v)", cat, categories)
 		}
@@ -227,12 +286,17 @@ func TestBitFlipInStateDetectedOnRestart(t *testing.T) {
 	var flipAt int64
 	var victim string
 	for _, op := range probe.Trace() {
-		if op.Kind == fsx.OpWrite && strings.HasSuffix(op.Path, ".delta"+fsx.TmpSuffix) {
+		// The newest state file (delta, or the snapshot shadowing it when
+		// the final commit landed on a snapshot boundary) is always re-read
+		// by the restart's state reload.
+		if op.Kind == fsx.OpWrite &&
+			(strings.HasSuffix(op.Path, ".delta"+fsx.TmpSuffix) ||
+				strings.HasSuffix(op.Path, ".snapshot"+fsx.TmpSuffix)) {
 			flipAt, victim = op.N, strings.TrimSuffix(filepath.Base(op.Path), fsx.TmpSuffix)
 		}
 	}
 	if flipAt == 0 {
-		t.Fatal("probe trace has no delta writes")
+		t.Fatal("probe trace has no state writes")
 	}
 
 	ckpt, sinkDir := t.TempDir(), t.TempDir()

@@ -34,6 +34,14 @@ type BenchScenario struct {
 	// (continuous scenario).
 	LatencyP50Ms float64 `json:"latencyP50Ms,omitempty"`
 	LatencyP99Ms float64 `json:"latencyP99Ms,omitempty"`
+	// Backend/StateKeys/SSTables/Compactions/BlockCacheHitRatePct describe
+	// the state-backend scenarios (stateful group-by-count through the
+	// memory or LSM state store).
+	Backend              string  `json:"backend,omitempty"`
+	StateKeys            int64   `json:"stateKeys,omitempty"`
+	SSTables             int64   `json:"ssTables,omitempty"`
+	Compactions          int64   `json:"compactions,omitempty"`
+	BlockCacheHitRatePct float64 `json:"blockCacheHitRatePct,omitempty"`
 }
 
 // BenchReport is the JSON document `make bench-json` writes to
@@ -65,6 +73,10 @@ func (r BenchReport) String() string {
 		}
 		if sc.LatencyP99Ms > 0 {
 			fmt.Fprintf(&b, "   record p50 %.2fms  p99 %.2fms", sc.LatencyP50Ms, sc.LatencyP99Ms)
+		}
+		if sc.SSTables > 0 {
+			fmt.Fprintf(&b, "   ssts %3d  compactions %2d  cache hit %.1f%%",
+				sc.SSTables, sc.Compactions, sc.BlockCacheHitRatePct)
 		}
 		b.WriteString("\n")
 	}
@@ -229,5 +241,10 @@ func RunBenchSuite(events int, rounds int, tempDir func() string) (BenchReport, 
 		LatencyP50Ms:  point.P50Millis,
 		LatencyP99Ms:  point.P99Millis,
 	})
+
+	// State-backend dimension: memory vs LSM, in- and out-of-memtable.
+	if err := runStateBackendSuite(&report, events, tempDir); err != nil {
+		return BenchReport{}, err
+	}
 	return report, nil
 }

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"structream/internal/engine"
+	"structream/internal/fsx"
+	"structream/internal/incremental"
+	"structream/internal/sinks"
+	"structream/internal/sources"
+	"structream/internal/sql"
+	"structream/internal/sql/analysis"
+	"structream/internal/sql/logical"
+	"structream/internal/sql/optimizer"
+)
+
+// The state-backend dimension of the bench suite: one group-by-key count
+// workload run through both state backends, once with state that fits the
+// memtable and once with state several times larger — the regime the LSM
+// backend exists for. The published rows carry SSTable counts and block
+// cache hit rate so a report reader can see the spill actually happened.
+
+var stateBenchSchema = sql.NewSchema(
+	sql.Field{Name: "k", Type: sql.TypeString},
+	sql.Field{Name: "v", Type: sql.TypeInt64},
+)
+
+func stateBenchQuery() (*incremental.Query, error) {
+	plan := logical.Plan(&logical.Aggregate{
+		Child: &logical.Scan{Name: "in", Streaming: true, Out: stateBenchSchema},
+		Keys:  []sql.Expr{sql.Col("k")},
+		Aggs:  []logical.NamedAgg{{Agg: sql.CountAll(), Name: "cnt"}},
+	})
+	analyzed, err := analysis.Analyze(plan)
+	if err != nil {
+		return nil, err
+	}
+	return incremental.Compile(optimizer.Optimize(analyzed), logical.Update, nil)
+}
+
+// runStateBackendBench bulk-processes n preloaded records whose keys cycle
+// through `keys` distinct groups, with the state store on the given
+// backend. memtableBytes applies only to the LSM backend (0 = default).
+func runStateBackendBench(name string, n, keys int64, backend string, memtableBytes int64, ckpt string) (BenchScenario, error) {
+	src := sources.NewMemorySource("in", stateBenchSchema)
+	rows := make([]sql.Row, n)
+	for i := int64(0); i < n; i++ {
+		rows[i] = sql.Row{fmt.Sprintf("k%07d", i%keys), i}
+	}
+	src.AddData(rows...)
+	q, err := stateBenchQuery()
+	if err != nil {
+		return BenchScenario{}, err
+	}
+	start := time.Now()
+	sq, err := engine.Start(q, map[string]sources.Source{"in": src}, sinks.NewMemorySink(), engine.Options{
+		Checkpoint:           ckpt,
+		Trigger:              engine.AvailableNowTrigger{},
+		MaxRecordsPerTrigger: n/16 + 1,
+		FS:                   fsx.NoSync(),
+		StateBackend:         backend,
+		StateMemtableBytes:   memtableBytes,
+	})
+	if err != nil {
+		return BenchScenario{}, err
+	}
+	if err := sq.AwaitTermination(); err != nil {
+		return BenchScenario{}, err
+	}
+	elapsed := time.Since(start)
+	snap := sq.Metrics().Snapshot()
+	sc := BenchScenario{
+		Name:          name,
+		Mode:          "microbatch",
+		Traced:        true,
+		Backend:       backend,
+		Events:        n,
+		StateKeys:     keys,
+		Epochs:        snap["epochs"],
+		ElapsedMillis: elapsed.Milliseconds(),
+		RowsPerSec:    float64(n) / elapsed.Seconds(),
+		EpochP50Us:    snap["epoch.us.p50"],
+		EpochP99Us:    snap["epoch.us.p99"],
+		SSTables:      snap["stateSSTables"],
+		Compactions:   snap["stateCompactions"],
+	}
+	if traffic := snap["stateBlockCacheHits"] + snap["stateBlockCacheMisses"]; traffic > 0 {
+		sc.BlockCacheHitRatePct = 100 * float64(snap["stateBlockCacheHits"]) / float64(traffic)
+	}
+	return sc, nil
+}
+
+// runStateBackendSuite appends the four state-backend scenarios to the
+// report: {memory, lsm} × {memtable-resident, spilling}.
+func runStateBackendSuite(report *BenchReport, events int, tempDir func() string) error {
+	n := int64(events)
+	smallKeys := n / 200
+	if smallKeys < 1024 {
+		smallKeys = 1024
+	}
+	spillKeys := n / 4
+	// 256 KiB memtable guarantees the spill scenarios actually spill at
+	// smoke-test event counts too; the small scenarios use the default.
+	const spillMemtable = 256 << 10
+	for _, cfg := range []struct {
+		name     string
+		backend  string
+		keys     int64
+		memtable int64
+	}{
+		{"stateful-count-memory-small", "memory", smallKeys, 0},
+		{"stateful-count-lsm-small", "lsm", smallKeys, 0},
+		{"stateful-count-memory-spill", "memory", spillKeys, 0},
+		{"stateful-count-lsm-spill", "lsm", spillKeys, spillMemtable},
+	} {
+		sc, err := runStateBackendBench(cfg.name, n, cfg.keys, cfg.backend, cfg.memtable, tempDir())
+		if err != nil {
+			return fmt.Errorf("%s: %w", cfg.name, err)
+		}
+		report.Scenarios = append(report.Scenarios, sc)
+	}
+	return nil
+}

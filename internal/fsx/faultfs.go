@@ -204,6 +204,15 @@ func (f *FaultFS) ReadFile(path string) ([]byte, error) {
 	return f.inner.ReadFile(path)
 }
 
+// ReadFileRange implements RangeReader: reads die with the simulated
+// process like every other post-crash operation.
+func (f *FaultFS) ReadFileRange(path string, off int64, n int) ([]byte, error) {
+	if err := f.checkAlive("read", path); err != nil {
+		return nil, err
+	}
+	return ReadRange(f.inner, path, off, n)
+}
+
 // ReadDir implements FS.
 func (f *FaultFS) ReadDir(dir string) ([]fs.DirEntry, error) {
 	if err := f.checkAlive("readdir", dir); err != nil {

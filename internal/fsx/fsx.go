@@ -106,7 +106,23 @@ func syncDir(dir string) {
 	d.Close()
 }
 
-func (realFS) ReadFile(path string) ([]byte, error)         { return os.ReadFile(path) }
+func (realFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+// ReadFileRange preads n bytes at off without reading the whole file — the
+// block-granular access path of the LSM state backend's SSTables.
+func (realFS) ReadFileRange(path string, off int64, n int) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, n)
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
 func (realFS) ReadDir(dir string) ([]fs.DirEntry, error)    { return os.ReadDir(dir) }
 func (realFS) Remove(path string) error                     { return os.Remove(path) }
 func (realFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
@@ -128,6 +144,31 @@ func WriteAtomic(fsys FS, path string, data []byte, perm fs.FileMode) error {
 		return err
 	}
 	return fsys.Rename(tmp, path)
+}
+
+// RangeReader is the optional partial-read extension of FS. Implementations
+// serve n bytes at offset off without materializing the rest of the file,
+// which is what makes block-cache-granular SSTable reads cheaper than whole
+// file loads.
+type RangeReader interface {
+	ReadFileRange(path string, off int64, n int) ([]byte, error)
+}
+
+// ReadRange reads [off, off+n) of path. Filesystems implementing
+// RangeReader serve the range directly; anything else falls back to a whole
+// file read plus slicing, which stays correct (just not cheap).
+func ReadRange(fsys FS, path string, off int64, n int) ([]byte, error) {
+	if rr, ok := fsys.(RangeReader); ok {
+		return rr.ReadFileRange(path, off, n)
+	}
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if off < 0 || off+int64(n) > int64(len(data)) {
+		return nil, fmt.Errorf("fsx: range [%d,+%d) outside %s (%d bytes)", off, n, path, len(data))
+	}
+	return data[off : off+int64(n)], nil
 }
 
 // CleanupTmp removes orphaned "*.tmp" files in dir — the debris of atomic

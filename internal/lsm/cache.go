@@ -1,0 +1,120 @@
+package lsm
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// BlockCache is a byte-capacity-bounded LRU over SSTable data blocks,
+// shared by every table of a state provider: hot blocks (recent keys,
+// index-adjacent blocks) stay in memory while cold state pages from disk.
+// Hit/miss counters feed the block-cache hit rate in QueryProgress.
+type BlockCache struct {
+	mu       sync.Mutex
+	capacity int64
+	size     int64
+	order    *list.List // front = most recently used
+	items    map[cacheKey]*list.Element
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type cacheKey struct {
+	table string // table file path (unique per table)
+	block int    // data-block index within the table
+}
+
+type cacheEntry struct {
+	key  cacheKey
+	data []byte
+}
+
+// CacheStats is a point-in-time view of a cache's effectiveness.
+type CacheStats struct {
+	Hits, Misses int64
+	// Bytes is the resident block payload; Entries the block count.
+	Bytes, Entries int64
+}
+
+// NewBlockCache creates a cache bounded to capBytes of block payload.
+// capBytes <= 0 disables caching (every lookup misses).
+func NewBlockCache(capBytes int64) *BlockCache {
+	return &BlockCache{
+		capacity: capBytes,
+		order:    list.New(),
+		items:    map[cacheKey]*list.Element{},
+	}
+}
+
+// Stats reports cumulative hit/miss counts and current residency.
+func (c *BlockCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Bytes:   c.size,
+		Entries: int64(len(c.items)),
+	}
+}
+
+// get returns the cached block, updating recency and counters.
+func (c *BlockCache) get(k cacheKey) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.order.MoveToFront(el)
+		c.hits.Add(1)
+		return el.Value.(*cacheEntry).data, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// put inserts a block, evicting least-recently-used blocks to stay under
+// capacity. Blocks larger than the whole cache are not retained.
+func (c *BlockCache) put(k cacheKey, data []byte) {
+	if c.capacity <= 0 || int64(len(data)) > c.capacity {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.order.MoveToFront(el)
+		c.size += int64(len(data)) - int64(len(el.Value.(*cacheEntry).data))
+		el.Value.(*cacheEntry).data = data
+	} else {
+		c.items[k] = c.order.PushFront(&cacheEntry{key: k, data: data})
+		c.size += int64(len(data))
+	}
+	for c.size > c.capacity {
+		el := c.order.Back()
+		if el == nil {
+			break
+		}
+		ent := el.Value.(*cacheEntry)
+		c.order.Remove(el)
+		delete(c.items, ent.key)
+		c.size -= int64(len(ent.data))
+	}
+}
+
+// dropTable evicts every block of one table — called when a tree closes or
+// a table becomes unreferenced, so a long-lived shared cache does not pin
+// dead tables' blocks.
+func (c *BlockCache) dropTable(table string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		ent := el.Value.(*cacheEntry)
+		if ent.key.table == table {
+			c.order.Remove(el)
+			delete(c.items, ent.key)
+			c.size -= int64(len(ent.data))
+		}
+		el = next
+	}
+}

@@ -1,0 +1,119 @@
+package lsm
+
+// kvIter is the common shape of memtable and SSTable iterators: a primed
+// cursor advanced with next(), exposing the current entry until exhaustion.
+type kvIter interface {
+	// next advances to the following entry; false at exhaustion or error.
+	next() bool
+	entry() (key string, val []byte, tomb bool)
+	error() error
+}
+
+// ----------------------------------------------------------- memtable iter
+
+// memIter walks a snapshot of the memtable in key order.
+type memIter struct {
+	m    *memtable
+	keys []string
+	i    int
+	key  string
+	val  []byte
+	tomb bool
+}
+
+func newMemIter(m *memtable, from string) *memIter {
+	it := &memIter{m: m, keys: m.sortedKeys()}
+	for it.i < len(it.keys) && it.keys[it.i] < from {
+		it.i++
+	}
+	return it
+}
+
+func (it *memIter) next() bool {
+	if it.i >= len(it.keys) {
+		return false
+	}
+	it.key = it.keys[it.i]
+	e := it.m.entries[it.key]
+	it.val, it.tomb = e.value, e.tomb
+	it.i++
+	return true
+}
+
+func (it *memIter) entry() (string, []byte, bool) { return it.key, it.val, it.tomb }
+func (it *memIter) error() error                  { return nil }
+
+// tableIter adapts to kvIter.
+func (it *tableIter) entry() (string, []byte, bool) { return it.key, it.val, it.tomb }
+func (it *tableIter) error() error                  { return it.err }
+
+// ------------------------------------------------------------- merge iter
+
+// mergeIter fuses sources in newest-first priority order into one sorted
+// stream: at each key the newest source wins and older duplicates are
+// consumed silently. Tombstones are surfaced (not elided) so compaction can
+// decide whether dropping them is safe.
+type mergeIter struct {
+	srcs  []kvIter // index 0 = newest
+	valid []bool
+
+	key  string
+	val  []byte
+	tomb bool
+	err  error
+}
+
+func newMergeIter(srcs []kvIter) *mergeIter {
+	m := &mergeIter{srcs: srcs, valid: make([]bool, len(srcs))}
+	for i, s := range srcs {
+		m.valid[i] = s.next()
+		if err := s.error(); err != nil {
+			m.err = err
+		}
+	}
+	return m
+}
+
+func (m *mergeIter) next() bool {
+	if m.err != nil {
+		return false
+	}
+	// Find the smallest key across live sources; lowest index breaks ties,
+	// which is exactly newest-wins.
+	win := -1
+	for i, ok := range m.valid {
+		if !ok {
+			continue
+		}
+		k, _, _ := m.srcs[i].entry()
+		if win < 0 {
+			win = i
+			continue
+		}
+		wk, _, _ := m.srcs[win].entry()
+		if k < wk {
+			win = i
+		}
+	}
+	if win < 0 {
+		return false
+	}
+	m.key, m.val, m.tomb = m.srcs[win].entry()
+	// Consume this key everywhere so shadowed older versions never surface.
+	for i, ok := range m.valid {
+		if !ok {
+			continue
+		}
+		if k, _, _ := m.srcs[i].entry(); k == m.key {
+			m.valid[i] = m.srcs[i].next()
+			if err := m.srcs[i].error(); err != nil {
+				m.err = err
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (m *mergeIter) entry() (string, []byte, bool) { return m.key, m.val, m.tomb }
+func (m *mergeIter) error() error                  { return m.err }

@@ -1,0 +1,347 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"structream/internal/fsx"
+)
+
+// SSTable layout — immutable, sorted, written once via atomic rename:
+//
+//	[data block 0][data block 1]...[bloom filter][block index][footer]
+//
+// Each data block holds ascending entries: uvarint keyLen, key, uvarint
+// vcode where vcode 0 is a tombstone and vcode n>0 means n-1 value bytes
+// follow. Blocks close at ~BlockBytes so point reads touch one block, not
+// the table. The index records every block's first key, extent, entry
+// count, and CRC32C; the bloom filter answers "definitely absent" without
+// touching data blocks at all. The fixed-size footer locates bloom and
+// index and seals them with their own CRC32C — a torn write or bit flip
+// anywhere in the table is detected, never silently misread.
+
+const (
+	tableMagic         = 0x4C534D31 // "LSM1"
+	tableFooterSize    = 8 + 8 + 8 + 8 + 4 + 4
+	defaultBlockBytes  = 4096
+	defaultTierTables  = 4
+	defaultMemtableCap = 4 << 20 // 4 MiB
+)
+
+// blockMeta is one index row describing a data block.
+type blockMeta struct {
+	firstKey string
+	off      int64
+	length   int64
+	crc      uint32
+	entries  int64
+}
+
+// ---------------------------------------------------------------- builder
+
+// tableBuilder accumulates sorted entries into the on-disk table image.
+// Callers must add keys in strictly ascending order.
+type tableBuilder struct {
+	blockBytes int
+	bloomBits  int
+
+	buf      []byte // data blocks emitted so far
+	cur      []byte // open block
+	curFirst string
+	curCount int64
+	index    []blockMeta
+	keys     []string
+	entries  int64
+}
+
+func newTableBuilder(blockBytes, bloomBits int) *tableBuilder {
+	if blockBytes <= 0 {
+		blockBytes = defaultBlockBytes
+	}
+	return &tableBuilder{blockBytes: blockBytes, bloomBits: bloomBits}
+}
+
+func (b *tableBuilder) add(key string, value []byte, tomb bool) {
+	if len(b.cur) == 0 {
+		b.curFirst = key
+	}
+	b.cur = binary.AppendUvarint(b.cur, uint64(len(key)))
+	b.cur = append(b.cur, key...)
+	if tomb {
+		b.cur = binary.AppendUvarint(b.cur, 0)
+	} else {
+		b.cur = binary.AppendUvarint(b.cur, uint64(len(value))+1)
+		b.cur = append(b.cur, value...)
+	}
+	b.curCount++
+	b.keys = append(b.keys, key)
+	b.entries++
+	if len(b.cur) >= b.blockBytes {
+		b.sealBlock()
+	}
+}
+
+func (b *tableBuilder) sealBlock() {
+	if len(b.cur) == 0 {
+		return
+	}
+	b.index = append(b.index, blockMeta{
+		firstKey: b.curFirst,
+		off:      int64(len(b.buf)),
+		length:   int64(len(b.cur)),
+		crc:      fsx.Checksum(b.cur),
+		entries:  b.curCount,
+	})
+	b.buf = append(b.buf, b.cur...)
+	b.cur, b.curFirst, b.curCount = nil, "", 0
+}
+
+// finish seals the open block and appends bloom, index, and footer,
+// returning the complete table image.
+func (b *tableBuilder) finish() []byte {
+	b.sealBlock()
+	bloomOff := int64(len(b.buf))
+	bloom := buildBloom(b.keys, b.bloomBits)
+	b.buf = append(b.buf, bloom...)
+	indexOff := int64(len(b.buf))
+	var idx []byte
+	for _, m := range b.index {
+		idx = binary.AppendUvarint(idx, uint64(len(m.firstKey)))
+		idx = append(idx, m.firstKey...)
+		idx = binary.AppendUvarint(idx, uint64(m.off))
+		idx = binary.AppendUvarint(idx, uint64(m.length))
+		idx = binary.LittleEndian.AppendUint32(idx, m.crc)
+		idx = binary.AppendUvarint(idx, uint64(m.entries))
+	}
+	b.buf = append(b.buf, idx...)
+	metaCRC := fsx.Checksum(b.buf[bloomOff:])
+	b.buf = binary.LittleEndian.AppendUint64(b.buf, uint64(bloomOff))
+	b.buf = binary.LittleEndian.AppendUint64(b.buf, uint64(len(bloom)))
+	b.buf = binary.LittleEndian.AppendUint64(b.buf, uint64(indexOff))
+	b.buf = binary.LittleEndian.AppendUint64(b.buf, uint64(len(idx)))
+	b.buf = binary.LittleEndian.AppendUint32(b.buf, metaCRC)
+	b.buf = binary.LittleEndian.AppendUint32(b.buf, tableMagic)
+	return b.buf
+}
+
+// ---------------------------------------------------------------- reader
+
+// Table is an open immutable SSTable: resident bloom filter and block
+// index, data blocks fetched on demand through the shared cache.
+type Table struct {
+	fsys  fsx.FS
+	path  string
+	cache *BlockCache
+
+	seq     int64
+	size    int64
+	bloom   []byte
+	index   []blockMeta
+	entries int64
+}
+
+// openTable loads a table's footer, bloom filter, and index, verifying the
+// meta checksum. Data blocks stay on disk until a lookup needs them.
+func openTable(fsys fsx.FS, path string, seq int64, cache *BlockCache) (*Table, error) {
+	info, err := fsys.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: %w", err)
+	}
+	size := info.Size()
+	if size < tableFooterSize {
+		return nil, fmt.Errorf("lsm: %w: %s: too short for a table footer (%d bytes)", fsx.ErrCorrupt, path, size)
+	}
+	foot, err := fsx.ReadRange(fsys, path, size-tableFooterSize, tableFooterSize)
+	if err != nil {
+		return nil, fmt.Errorf("lsm: %w", err)
+	}
+	if binary.LittleEndian.Uint32(foot[36:]) != tableMagic {
+		return nil, fmt.Errorf("lsm: %w: %s: bad table magic", fsx.ErrCorrupt, path)
+	}
+	bloomOff := int64(binary.LittleEndian.Uint64(foot[0:]))
+	bloomLen := int64(binary.LittleEndian.Uint64(foot[8:]))
+	indexOff := int64(binary.LittleEndian.Uint64(foot[16:]))
+	indexLen := int64(binary.LittleEndian.Uint64(foot[24:]))
+	metaCRC := binary.LittleEndian.Uint32(foot[32:])
+	metaLen := bloomLen + indexLen
+	if bloomOff < 0 || bloomLen < 0 || indexLen < 0 || indexOff != bloomOff+bloomLen ||
+		bloomOff+metaLen != size-tableFooterSize {
+		return nil, fmt.Errorf("lsm: %w: %s: table footer geometry out of bounds", fsx.ErrCorrupt, path)
+	}
+	meta, err := fsx.ReadRange(fsys, path, bloomOff, int(metaLen))
+	if err != nil {
+		return nil, fmt.Errorf("lsm: %w", err)
+	}
+	if fsx.Checksum(meta) != metaCRC {
+		return nil, fmt.Errorf("lsm: %w: %s: table meta crc mismatch", fsx.ErrCorrupt, path)
+	}
+	t := &Table{fsys: fsys, path: path, cache: cache, seq: seq, size: size, bloom: meta[:bloomLen]}
+	idx := meta[bloomLen:]
+	pos := 0
+	for pos < len(idx) {
+		klen, n := binary.Uvarint(idx[pos:])
+		if n <= 0 || uint64(len(idx)-pos-n) < klen {
+			return nil, fmt.Errorf("lsm: %w: %s: corrupt block index", fsx.ErrCorrupt, path)
+		}
+		pos += n
+		m := blockMeta{firstKey: string(idx[pos : pos+int(klen)])}
+		pos += int(klen)
+		fields := []*int64{&m.off, &m.length, nil, &m.entries}
+		for i, dst := range fields {
+			if i == 2 {
+				if pos+4 > len(idx) {
+					return nil, fmt.Errorf("lsm: %w: %s: corrupt block index", fsx.ErrCorrupt, path)
+				}
+				m.crc = binary.LittleEndian.Uint32(idx[pos:])
+				pos += 4
+				continue
+			}
+			v, n := binary.Uvarint(idx[pos:])
+			if n <= 0 {
+				return nil, fmt.Errorf("lsm: %w: %s: corrupt block index", fsx.ErrCorrupt, path)
+			}
+			*dst = int64(v)
+			pos += n
+		}
+		if m.off < 0 || m.off+m.length > bloomOff {
+			return nil, fmt.Errorf("lsm: %w: %s: block extent outside data section", fsx.ErrCorrupt, path)
+		}
+		t.entries += m.entries
+		t.index = append(t.index, m)
+	}
+	return t, nil
+}
+
+// block fetches data block i, preferring the cache; a disk fetch is
+// CRC-verified before it is trusted or cached.
+func (t *Table) block(i int) ([]byte, error) {
+	key := cacheKey{table: t.path, block: i}
+	if t.cache != nil {
+		if b, ok := t.cache.get(key); ok {
+			return b, nil
+		}
+	}
+	m := t.index[i]
+	data, err := fsx.ReadRange(t.fsys, t.path, m.off, int(m.length))
+	if err != nil {
+		return nil, fmt.Errorf("lsm: %w", err)
+	}
+	if fsx.Checksum(data) != m.crc {
+		return nil, fmt.Errorf("lsm: %w: %s block %d: crc mismatch (bit rot or torn write)", fsx.ErrCorrupt, t.path, i)
+	}
+	if t.cache != nil {
+		t.cache.put(key, data)
+	}
+	return data, nil
+}
+
+// decodeBlockEntry parses one entry at pos, returning the next position.
+func decodeBlockEntry(block []byte, pos int, path string) (key string, val []byte, tomb bool, next int, err error) {
+	klen, n := binary.Uvarint(block[pos:])
+	if n <= 0 || uint64(len(block)-pos-n) < klen {
+		return "", nil, false, 0, fmt.Errorf("lsm: %w: %s: corrupt block entry", fsx.ErrCorrupt, path)
+	}
+	pos += n
+	key = string(block[pos : pos+int(klen)])
+	pos += int(klen)
+	vcode, n := binary.Uvarint(block[pos:])
+	if n <= 0 {
+		return "", nil, false, 0, fmt.Errorf("lsm: %w: %s: corrupt block entry", fsx.ErrCorrupt, path)
+	}
+	pos += n
+	if vcode == 0 {
+		return key, nil, true, pos, nil
+	}
+	vlen := int(vcode - 1)
+	if len(block)-pos < vlen {
+		return "", nil, false, 0, fmt.Errorf("lsm: %w: %s: corrupt block entry", fsx.ErrCorrupt, path)
+	}
+	return key, block[pos : pos+vlen], false, pos + vlen, nil
+}
+
+// get performs a point lookup: bloom, block binary search, in-block scan.
+// ok=false means the table has no record of the key (the caller falls
+// through to older tables); tomb=true means the key is recorded deleted.
+func (t *Table) get(key []byte) (val []byte, tomb, ok bool, err error) {
+	if len(t.index) == 0 || !bloomMayContain(t.bloom, key) {
+		return nil, false, false, nil
+	}
+	ks := string(key)
+	// First block whose firstKey is > ks; the candidate is the one before.
+	i := sort.Search(len(t.index), func(i int) bool { return t.index[i].firstKey > ks })
+	if i == 0 {
+		return nil, false, false, nil
+	}
+	block, err := t.block(i - 1)
+	if err != nil {
+		return nil, false, false, err
+	}
+	for pos := 0; pos < len(block); {
+		k, v, tb, next, err := decodeBlockEntry(block, pos, t.path)
+		if err != nil {
+			return nil, false, false, err
+		}
+		if k == ks {
+			return v, tb, true, nil
+		}
+		if k > ks {
+			return nil, false, false, nil
+		}
+		pos = next
+	}
+	return nil, false, false, nil
+}
+
+// ---------------------------------------------------------------- iterator
+
+// tableIter streams a table's entries in key order, loading blocks lazily.
+// The first next() yields the first entry >= the iterator's lower bound.
+type tableIter struct {
+	t     *Table
+	bi    int
+	block []byte
+	pos   int
+	from  string // entries below this bound are skipped ("" = none)
+
+	key  string
+	val  []byte
+	tomb bool
+	err  error
+}
+
+// iter starts a scan at the first entry >= from ("" scans everything); the
+// lower bound only costs a binary search, not a walk of earlier blocks.
+func (t *Table) iter(from string) *tableIter {
+	it := &tableIter{t: t, from: from}
+	if from != "" {
+		it.bi = sort.Search(len(t.index), func(i int) bool { return t.index[i].firstKey > from })
+		if it.bi > 0 {
+			it.bi--
+		}
+	}
+	return it
+}
+
+// next advances to the following entry; false at exhaustion or error.
+func (it *tableIter) next() bool {
+	for it.err == nil {
+		for it.block == nil || it.pos >= len(it.block) {
+			if it.bi >= len(it.t.index) {
+				return false
+			}
+			b, err := it.t.block(it.bi)
+			if err != nil {
+				it.err = err
+				return false
+			}
+			it.block, it.pos = b, 0
+			it.bi++
+		}
+		it.key, it.val, it.tomb, it.pos, it.err = decodeBlockEntry(it.block, it.pos, it.t.path)
+		if it.err == nil && it.key >= it.from {
+			return true
+		}
+	}
+	return false
+}

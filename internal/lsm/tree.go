@@ -1,0 +1,584 @@
+package lsm
+
+import (
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"structream/internal/fsx"
+)
+
+// Options configures a Tree.
+type Options struct {
+	FS  fsx.FS
+	Dir string
+	// MemtableBytes is the flush threshold: once committed-but-unflushed
+	// state exceeds it, the memtable is sealed into an SSTable. Default 4 MiB.
+	MemtableBytes int64
+	// BlockBytes is the SSTable data-block target size. Default 4 KiB.
+	BlockBytes int
+	// MaxTierTables triggers compaction when this many similar-sized tables
+	// accumulate in one size tier. Default 4.
+	MaxTierTables int
+	// Cache is the shared block cache; nil disables block caching.
+	Cache *BlockCache
+	// BackgroundCompaction moves compaction out of Commit into a goroutine.
+	// The engine keeps it off: synchronous compaction keeps the mutating-op
+	// schedule deterministic, which the crash-sweep torture harness requires.
+	BackgroundCompaction bool
+}
+
+// Stats is a point-in-time view of a tree's shape and write amplification.
+type Stats struct {
+	Version       int64
+	LiveKeys      int64
+	MemtableBytes int64
+	MemtableKeys  int64
+	Tables        int64
+	TableBytes    int64
+	Flushes       int64
+	Compactions   int64
+	// CompactionBytes is the cumulative input rewritten by compaction.
+	CompactionBytes int64
+}
+
+// Tree is one keyed state partition stored as an LSM: a mutable memtable
+// over immutable SSTables, with per-version delta logs and manifests making
+// every committed version individually loadable.
+type Tree struct {
+	fsys fsx.FS
+	dir  string
+	opts Options
+
+	mu        sync.Mutex
+	mem       *memtable
+	tables    []*Table // oldest first; list order is the shadowing authority
+	version   int64
+	nextSeq   int64
+	logFrom   int64 // first delta version held by the memtable
+	liveKeys  int64
+	tableLive int64 // live keys in the table set alone (as of logFrom-1)
+
+	flushes         int64
+	compactions     int64
+	compactionBytes int64
+
+	closed bool
+	bgCh   chan struct{}
+	bgDone chan struct{}
+}
+
+// Open prepares a tree rooted at opts.Dir. The tree starts empty; call Load
+// to position it at a committed version.
+func Open(opts Options) (*Tree, error) {
+	if opts.FS == nil || opts.Dir == "" {
+		return nil, fmt.Errorf("lsm: Options.FS and Options.Dir are required")
+	}
+	if opts.MemtableBytes <= 0 {
+		opts.MemtableBytes = defaultMemtableCap
+	}
+	if opts.BlockBytes <= 0 {
+		opts.BlockBytes = defaultBlockBytes
+	}
+	if opts.MaxTierTables < 2 {
+		opts.MaxTierTables = defaultTierTables
+	}
+	if err := opts.FS.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lsm: %w", err)
+	}
+	t := &Tree{fsys: opts.FS, dir: opts.Dir, opts: opts, mem: newMemtable(), version: -1}
+	if opts.BackgroundCompaction {
+		t.bgCh = make(chan struct{}, 1)
+		t.bgDone = make(chan struct{})
+		go t.bgLoop()
+	}
+	return t, nil
+}
+
+// Load positions the tree at a committed version (-1 = empty): the newest
+// manifest at or below it supplies the table set, and the delta-log suffix
+// replays on top.
+// A missing manifest for the exact version is normal — it is the crash
+// window between delta (durable) and manifest, and after rollback, where
+// older manifests plus deltas still reconstruct the state.
+func (t *Tree) Load(version int64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	l, err := listDir(t.fsys, t.dir)
+	if err != nil {
+		return err
+	}
+	for _, tbl := range t.tables {
+		if t.opts.Cache != nil {
+			t.opts.Cache.dropTable(tbl.path)
+		}
+	}
+	t.tables = nil
+	t.mem = newMemtable()
+	t.version, t.nextSeq, t.logFrom = version, 0, 0
+	t.liveKeys, t.tableLive = 0, 0
+
+	replayFrom := int64(0)
+	if mv, ok := latestManifestAtOrBelow(l, version); ok {
+		m, err := readManifest(t.fsys, t.dir, mv)
+		if err != nil {
+			return err
+		}
+		for _, mt := range m.Tables {
+			tbl, err := openTable(t.fsys, tablePath(t.dir, mt.Seq), mt.Seq, t.opts.Cache)
+			if err != nil {
+				return err
+			}
+			t.tables = append(t.tables, tbl)
+		}
+		t.nextSeq, t.logFrom = m.NextSeq, m.LogFrom
+		// Start from the table-set count; replay re-derives the memtable's
+		// contribution with the same has-key checks the original commits ran.
+		t.liveKeys, t.tableLive = m.TableLive, m.TableLive
+		replayFrom = m.LogFrom
+	}
+	for _, dv := range l.deltas {
+		if dv < replayFrom || dv > version {
+			continue
+		}
+		if err := t.replayDeltaLocked(dv); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replayDeltaLocked folds one delta file into the memtable.
+func (t *Tree) replayDeltaLocked(version int64) error {
+	path := filepath.Join(t.dir, fmt.Sprintf("%d.delta", version))
+	data, err := t.fsys.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("lsm: %w", err)
+	}
+	body, err := fsx.Verify(path, data)
+	if err != nil {
+		return fmt.Errorf("lsm: %w", err)
+	}
+	return DecodeBatch(body,
+		func(key string, value []byte) error {
+			return t.applyPutLocked(key, append([]byte(nil), value...))
+		},
+		func(key string) error { return t.applyDelLocked(key) },
+	)
+}
+
+// hasLocked reports whether key is live in committed state.
+func (t *Tree) hasLocked(key string) (bool, error) {
+	if e, ok := t.mem.get(key); ok {
+		return !e.tomb, nil
+	}
+	kb := []byte(key)
+	for i := len(t.tables) - 1; i >= 0; i-- {
+		_, tomb, ok, err := t.tables[i].get(kb)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return !tomb, nil
+		}
+	}
+	return false, nil
+}
+
+func (t *Tree) applyPutLocked(key string, value []byte) error {
+	has, err := t.hasLocked(key)
+	if err != nil {
+		return err
+	}
+	if !has {
+		t.liveKeys++
+	}
+	t.mem.put(key, value, false)
+	return nil
+}
+
+func (t *Tree) applyDelLocked(key string) error {
+	has, err := t.hasLocked(key)
+	if err != nil {
+		return err
+	}
+	if has {
+		t.liveKeys--
+	}
+	t.mem.put(key, nil, true)
+	return nil
+}
+
+// Get returns the committed value for key. The returned slice aliases
+// internal storage and must not be mutated.
+func (t *Tree) Get(key string) ([]byte, bool, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.mem.get(key); ok {
+		if e.tomb {
+			return nil, false, nil
+		}
+		return e.value, true, nil
+	}
+	kb := []byte(key)
+	for i := len(t.tables) - 1; i >= 0; i-- {
+		v, tomb, ok, err := t.tables[i].get(kb)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			if tomb {
+				return nil, false, nil
+			}
+			return v, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Commit durably applies one version's mutations: the delta log write is
+// the durability point, then the memtable absorbs the batch, spilling to an
+// SSTable past its threshold, compaction folds crowded tiers (synchronously
+// unless background mode is on), and the manifest pins the result. A key in
+// both maps is a delete, matching the delta encoding.
+func (t *Tree) Commit(version int64, puts map[string][]byte, dels map[string]bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if version <= t.version {
+		return fmt.Errorf("lsm: commit version %d not after current %d", version, t.version)
+	}
+	body := EncodeBatch(puts, dels)
+	path := filepath.Join(t.dir, fmt.Sprintf("%d.delta", version))
+	if err := fsx.WriteAtomic(t.fsys, path, fsx.Seal(body), 0o644); err != nil {
+		return fmt.Errorf("lsm: %w", err)
+	}
+	for k, v := range puts {
+		if dels[k] {
+			continue
+		}
+		if err := t.applyPutLocked(k, v); err != nil {
+			return err
+		}
+	}
+	for k := range dels {
+		if err := t.applyDelLocked(k); err != nil {
+			return err
+		}
+	}
+	t.version = version
+	flushed := false
+	if t.mem.bytes >= t.opts.MemtableBytes && t.mem.len() > 0 {
+		if err := t.flushLocked(); err != nil {
+			return err
+		}
+		flushed = true
+	}
+	if t.opts.BackgroundCompaction {
+		if flushed {
+			select {
+			case t.bgCh <- struct{}{}:
+			default:
+			}
+		}
+	} else if err := t.compactLocked(); err != nil {
+		return err
+	}
+	return t.writeManifestLocked()
+}
+
+func (t *Tree) writeManifestLocked() error {
+	m := manifest{
+		Version:   t.version,
+		NextSeq:   t.nextSeq,
+		LogFrom:   t.logFrom,
+		LiveKeys:  t.liveKeys,
+		TableLive: t.tableLive,
+	}
+	for _, tbl := range t.tables {
+		m.Tables = append(m.Tables, manifestTable{Seq: tbl.seq, Bytes: tbl.size, Entries: tbl.entries})
+	}
+	return writeManifest(t.fsys, t.dir, m)
+}
+
+// flushLocked seals the memtable into a new newest SSTable. Tombstones are
+// kept — they must keep shadowing older tables until compaction can prove
+// nothing older remains.
+func (t *Tree) flushLocked() error {
+	b := newTableBuilder(t.opts.BlockBytes, bloomBitsPerKey)
+	for _, k := range t.mem.sortedKeys() {
+		e := t.mem.entries[k]
+		b.add(k, e.value, e.tomb)
+	}
+	seq := t.nextSeq
+	path := tablePath(t.dir, seq)
+	if t.opts.Cache != nil {
+		// After a rollback this seq can overwrite a stale table from the
+		// abandoned timeline; its cached blocks must not survive.
+		t.opts.Cache.dropTable(path)
+	}
+	if err := fsx.WriteAtomic(t.fsys, path, b.finish(), 0o644); err != nil {
+		return fmt.Errorf("lsm: %w", err)
+	}
+	tbl, err := openTable(t.fsys, path, seq, t.opts.Cache)
+	if err != nil {
+		return err
+	}
+	t.nextSeq++
+	t.tables = append(t.tables, tbl)
+	t.mem = newMemtable()
+	t.logFrom = t.version + 1
+	t.tableLive = t.liveKeys
+	t.flushes++
+	return nil
+}
+
+// sizeTier buckets a table by size: tables within a power-of-two band above
+// a 16 KiB base share a tier and are candidates for merging together.
+func sizeTier(bytes int64) int {
+	tier := 0
+	for bytes > 16<<10 {
+		bytes >>= 1
+		tier++
+	}
+	return tier
+}
+
+// compactLocked runs size-tiered compaction to fixpoint: any run of
+// MaxTierTables age-adjacent tables in the same size tier is merged into
+// one. Only age-adjacent tables may merge — skipping a table in the middle
+// would reorder shadowing. Tombstones drop only when the run includes the
+// oldest table, i.e. when nothing older could be resurrected. Input tables
+// are NOT deleted: older manifests still reference them; Maintain garbage-
+// collects unreferenced tables once retention allows.
+func (t *Tree) compactLocked() error {
+	for {
+		i, j := t.findRunLocked()
+		if i < 0 {
+			return nil
+		}
+		if err := t.mergeRunLocked(i, j); err != nil {
+			return err
+		}
+	}
+}
+
+// findRunLocked locates the first maximal age-adjacent same-tier run of at
+// least MaxTierTables tables, returning [-1,-1) if none qualifies.
+func (t *Tree) findRunLocked() (int, int) {
+	for i := 0; i < len(t.tables); {
+		j := i + 1
+		for j < len(t.tables) && sizeTier(t.tables[j].size) == sizeTier(t.tables[i].size) {
+			j++
+		}
+		if j-i >= t.opts.MaxTierTables {
+			return i, j
+		}
+		i = j
+	}
+	return -1, -1
+}
+
+func (t *Tree) mergeRunLocked(i, j int) error {
+	srcs := make([]kvIter, 0, j-i)
+	var inBytes int64
+	for k := j - 1; k >= i; k-- { // newest first
+		srcs = append(srcs, t.tables[k].iter(""))
+		inBytes += t.tables[k].size
+	}
+	mi := newMergeIter(srcs)
+	dropTombs := i == 0
+	b := newTableBuilder(t.opts.BlockBytes, bloomBitsPerKey)
+	for mi.next() {
+		k, v, tomb := mi.entry()
+		if tomb && dropTombs {
+			continue
+		}
+		b.add(k, v, tomb)
+	}
+	if err := mi.error(); err != nil {
+		return err
+	}
+	var out []*Table
+	if b.entries > 0 {
+		seq := t.nextSeq
+		path := tablePath(t.dir, seq)
+		if t.opts.Cache != nil {
+			t.opts.Cache.dropTable(path)
+		}
+		if err := fsx.WriteAtomic(t.fsys, path, b.finish(), 0o644); err != nil {
+			return fmt.Errorf("lsm: %w", err)
+		}
+		tbl, err := openTable(t.fsys, path, seq, t.opts.Cache)
+		if err != nil {
+			return err
+		}
+		t.nextSeq++
+		out = []*Table{tbl}
+	}
+	if t.opts.Cache != nil {
+		for _, tbl := range t.tables[i:j] {
+			t.opts.Cache.dropTable(tbl.path)
+		}
+	}
+	merged := make([]*Table, 0, len(t.tables)-(j-i)+1)
+	merged = append(merged, t.tables[:i]...)
+	merged = append(merged, out...)
+	merged = append(merged, t.tables[j:]...)
+	t.tables = merged
+	t.compactions++
+	t.compactionBytes += inBytes
+	return nil
+}
+
+// Compact runs one synchronous compaction pass and refreshes the current
+// version's manifest if anything changed.
+func (t *Tree) Compact() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	before := t.compactions
+	if err := t.compactLocked(); err != nil {
+		return err
+	}
+	if t.compactions != before && t.version >= 0 {
+		return t.writeManifestLocked()
+	}
+	return nil
+}
+
+func (t *Tree) bgLoop() {
+	defer close(t.bgDone)
+	for range t.bgCh {
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			return
+		}
+		before := t.compactions
+		err := t.compactLocked()
+		if err == nil && t.compactions != before && t.version >= 0 {
+			err = t.writeManifestLocked()
+		}
+		t.mu.Unlock()
+		_ = err // background compaction is advisory; the next Commit retries
+	}
+}
+
+// Range invokes fn for every live key in [from, to] ascending; empty bounds
+// are open. Tombstones and shadowed versions never surface.
+func (t *Tree) Range(from, to string, fn func(key string, value []byte) error) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	srcs := make([]kvIter, 0, len(t.tables)+1)
+	srcs = append(srcs, newMemIter(t.mem, from))
+	for i := len(t.tables) - 1; i >= 0; i-- {
+		srcs = append(srcs, t.tables[i].iter(from))
+	}
+	mi := newMergeIter(srcs)
+	for mi.next() {
+		k, v, tomb := mi.entry()
+		if to != "" && k > to {
+			break
+		}
+		if tomb {
+			continue
+		}
+		if err := fn(k, v); err != nil {
+			return err
+		}
+	}
+	return mi.error()
+}
+
+// NumKeys is the live key count, maintained incrementally — O(1), no scan.
+func (t *Tree) NumKeys() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.liveKeys
+}
+
+// Version is the last committed (or loaded) version.
+func (t *Tree) Version() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.version
+}
+
+// Stats snapshots the tree's shape.
+func (t *Tree) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := Stats{
+		Version:         t.version,
+		LiveKeys:        t.liveKeys,
+		MemtableBytes:   t.mem.bytes,
+		MemtableKeys:    int64(t.mem.len()),
+		Tables:          int64(len(t.tables)),
+		Flushes:         t.flushes,
+		Compactions:     t.compactions,
+		CompactionBytes: t.compactionBytes,
+	}
+	for _, tbl := range t.tables {
+		s.TableBytes += tbl.size
+	}
+	return s
+}
+
+// DiskUsage sums the tree directory's file sizes.
+func (t *Tree) DiskUsage() (int64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	entries, err := t.fsys.ReadDir(t.dir)
+	if err != nil {
+		return 0, fmt.Errorf("lsm: %w", err)
+	}
+	var total int64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if info, err := t.fsys.Stat(filepath.Join(t.dir, e.Name())); err == nil {
+			total += info.Size()
+		}
+	}
+	return total, nil
+}
+
+// Maintain garbage-collects files no committed version >= keepFrom needs:
+// manifests older than the recovery anchor for keepFrom, the delta-log
+// prefix absorbed by every surviving manifest, and SSTables referenced by
+// none of them. The open tree's own tables stay pinned and their cached
+// blocks are dropped when their files go. Returns the removed file names.
+func (t *Tree) Maintain(keepFrom int64) ([]string, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pin := map[int64]bool{}
+	for _, tbl := range t.tables {
+		pin[tbl.seq] = true
+	}
+	return maintainDir(t.fsys, t.dir, keepFrom, pin, t.logFrom, func(path string) {
+		if t.opts.Cache != nil {
+			t.opts.Cache.dropTable(path)
+		}
+	})
+}
+
+// Close releases the tree: stops background compaction and evicts its
+// tables' blocks from the shared cache. The tree must not be used after.
+func (t *Tree) Close() {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.closed = true
+	for _, tbl := range t.tables {
+		if t.opts.Cache != nil {
+			t.opts.Cache.dropTable(tbl.path)
+		}
+	}
+	t.mu.Unlock()
+	if t.bgCh != nil {
+		close(t.bgCh)
+		<-t.bgDone
+	}
+}

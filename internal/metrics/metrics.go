@@ -174,6 +174,18 @@ type StateOperatorProgress struct {
 	CacheMisses      int64  `json:"cacheMisses"`
 	SnapshotsWritten int64  `json:"snapshotsWritten"`
 	DeltasWritten    int64  `json:"deltasWritten"`
+
+	// LSM-backend shape and traffic; zero/omitted under the memory backend.
+	Backend           string  `json:"backend,omitempty"`
+	MemtableBytes     int64   `json:"memtableBytes,omitempty"`
+	SSTables          int64   `json:"ssTables,omitempty"`
+	SSTableBytes      int64   `json:"ssTableBytes,omitempty"`
+	Flushes           int64   `json:"flushes,omitempty"`
+	Compactions       int64   `json:"compactions,omitempty"`
+	CompactionBytes   int64   `json:"compactionBytes,omitempty"`
+	BlockCacheHits    int64   `json:"blockCacheHits,omitempty"`
+	BlockCacheMisses  int64   `json:"blockCacheMisses,omitempty"`
+	BlockCacheHitRate float64 `json:"blockCacheHitRate,omitempty"`
 }
 
 // QueryProgress describes one epoch of a streaming query, mirroring

@@ -1,0 +1,66 @@
+package state
+
+import (
+	"errors"
+	"fmt"
+
+	"structream/internal/lsm"
+)
+
+// lsmBackend stores committed state in an embedded LSM tree: the working
+// set that fits in the memtable and block cache stays in memory, the rest
+// lives in bloom-filtered SSTables on disk. Every epoch commit writes the
+// same per-version delta file the memory backend would (the memtable's
+// write-ahead log), so Versions, retention, and the crash-recovery sweep
+// see an identical file-per-version contract; snapshots are replaced by
+// the tree's manifests, which make every committed version a cheap
+// reference to immutable tables plus a delta-log suffix.
+type lsmBackend struct {
+	provider *Provider
+	tree     *lsm.Tree
+}
+
+var errStopIterate = errors.New("state: stop iteration")
+
+func (b *lsmBackend) get(key string) ([]byte, bool, error) {
+	v, ok, err := b.tree.Get(key)
+	if err != nil {
+		return nil, false, fmt.Errorf("state: %w", err)
+	}
+	return v, ok, nil
+}
+
+func (b *lsmBackend) iterate(fn func(key, value []byte) bool) error {
+	err := b.tree.Range("", "", func(key string, value []byte) error {
+		if !fn([]byte(key), value) {
+			return errStopIterate
+		}
+		return nil
+	})
+	if errors.Is(err, errStopIterate) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("state: %w", err)
+	}
+	return nil
+}
+
+func (b *lsmBackend) numKeys() (int64, error) { return b.tree.NumKeys(), nil }
+
+func (b *lsmBackend) commit(version int64, puts map[string][]byte, dels map[string]bool) error {
+	if err := b.tree.Commit(version, puts, dels); err != nil {
+		return fmt.Errorf("state: %w", err)
+	}
+	b.provider.deltasWritten.Add(1)
+	return nil
+}
+
+func (b *lsmBackend) load(version int64) error {
+	if err := b.tree.Load(version); err != nil {
+		return fmt.Errorf("state: %w", err)
+	}
+	return nil
+}
+
+func (b *lsmBackend) close() { b.tree.Close() }

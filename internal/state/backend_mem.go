@@ -1,0 +1,149 @@
+package state
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"structream/internal/fsx"
+	"structream/internal/lsm"
+)
+
+// memBackend keeps all committed state in one Go map. Durability is a delta
+// file per committed version plus a full snapshot once SnapshotInterval
+// deltas have accumulated since the last one; reloading a version applies
+// the newest snapshot at or below it and the delta files after it. Delta
+// and snapshot records share the framing in internal/lsm (op byte, uvarint
+// key length, key, uvarint value length, value) inside the fsx CRC frame.
+type memBackend struct {
+	provider *Provider
+	dir      string
+	data     map[string][]byte
+	// deltasSinceSnap counts delta files written (or replayed) since the
+	// last snapshot. Snapshot cadence counts actual deltas, not version
+	// numbers: versions are sparse (only epochs that touched this partition
+	// commit), so a version-modulo rule snapshots too rarely — or, for a
+	// store whose versions happen to dodge the modulus, never.
+	deltasSinceSnap int64
+}
+
+func (b *memBackend) get(key string) ([]byte, bool, error) {
+	v, ok := b.data[key]
+	return v, ok, nil
+}
+
+func (b *memBackend) iterate(fn func(key, value []byte) bool) error {
+	for k, v := range b.data {
+		if !fn([]byte(k), v) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (b *memBackend) numKeys() (int64, error) { return int64(len(b.data)), nil }
+
+func (b *memBackend) commit(version int64, puts map[string][]byte, dels map[string]bool) error {
+	path := filepath.Join(b.dir, fmt.Sprintf("%d.%s", version, kindDelta))
+	if err := b.atomicWrite(path, lsm.EncodeBatch(puts, dels)); err != nil {
+		return err
+	}
+	b.provider.deltasWritten.Add(1)
+	for k, v := range puts {
+		if dels[k] {
+			continue
+		}
+		b.data[k] = v
+	}
+	for k := range dels {
+		delete(b.data, k)
+	}
+	b.deltasSinceSnap++
+	interval := b.provider.SnapshotInterval
+	if interval > 0 && b.deltasSinceSnap >= interval {
+		if err := b.writeSnapshot(version); err != nil {
+			return err
+		}
+		b.deltasSinceSnap = 0
+	}
+	return nil
+}
+
+func (b *memBackend) writeSnapshot(version int64) error {
+	path := filepath.Join(b.dir, fmt.Sprintf("%d.%s", version, kindSnapshot))
+	if err := b.atomicWrite(path, lsm.EncodeBatch(b.data, nil)); err != nil {
+		return err
+	}
+	b.provider.snapshotsWritten.Add(1)
+	return nil
+}
+
+// atomicWrite seals body with a length+CRC32C footer and writes it via
+// temp-file-plus-rename, so a crash can never leave a partially written
+// record in place of a committed version — and if the disk lies (torn
+// write, bit rot), the reader detects it instead of loading wrong state.
+func (b *memBackend) atomicWrite(path string, body []byte) error {
+	if err := fsx.WriteAtomic(b.provider.fs, path, fsx.Seal(body), 0o644); err != nil {
+		return fmt.Errorf("state: %w", err)
+	}
+	return nil
+}
+
+// load reconstructs the map as of the given version (-1 = empty).
+func (b *memBackend) load(version int64) error {
+	b.data = map[string][]byte{}
+	b.deltasSinceSnap = 0
+	if version < 0 {
+		return nil
+	}
+	snap, haveSnap, err := latestSnapshotAtOrBelow(b.provider.fs, b.dir, version)
+	if err != nil {
+		return fmt.Errorf("state: %w", err)
+	}
+	from := int64(0)
+	if haveSnap {
+		if err := b.applyFile(filepath.Join(b.dir, fmt.Sprintf("%d.%s", snap, kindSnapshot))); err != nil {
+			return err
+		}
+		from = snap + 1
+	}
+	for v := from; v <= version; v++ {
+		path := filepath.Join(b.dir, fmt.Sprintf("%d.%s", v, kindDelta))
+		if _, err := b.provider.fs.Stat(path); os.IsNotExist(err) {
+			// Missing versions are legal: the engine commits state only on
+			// epochs that touched this operator partition.
+			continue
+		}
+		if err := b.applyFile(path); err != nil {
+			return err
+		}
+		b.deltasSinceSnap++
+	}
+	return nil
+}
+
+func (b *memBackend) applyFile(path string) error {
+	raw, err := b.provider.fs.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("state: %w", err)
+	}
+	data, err := fsx.Verify(path, raw)
+	if err != nil {
+		return fmt.Errorf("state: %w", err)
+	}
+	if err := lsm.DecodeBatch(data,
+		func(key string, value []byte) error {
+			b.data[key] = append([]byte(nil), value...)
+			return nil
+		},
+		func(key string) error {
+			delete(b.data, key)
+			return nil
+		},
+	); err != nil {
+		return fmt.Errorf("state: %w: file %s: %v", fsx.ErrCorrupt, path, err)
+	}
+	return nil
+}
+
+func (b *memBackend) close() {}

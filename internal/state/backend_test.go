@@ -1,0 +1,346 @@
+package state
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// forEachBackend runs a subtest per storage backend with a provider tuned
+// so the lsm variant actually spills: a few-KiB memtable forces SSTables,
+// flushes, and compactions inside ordinary test workloads.
+func forEachBackend(t *testing.T, fn func(t *testing.T, mk func(dir string) *Provider)) {
+	t.Helper()
+	for _, backend := range []Backend{BackendMemory, BackendLSM} {
+		backend := backend
+		t.Run(string(backend), func(t *testing.T) {
+			fn(t, func(dir string) *Provider {
+				p := NewProvider(dir)
+				p.Backend = backend
+				p.MemtableBytes = 2 << 10
+				return p
+			})
+		})
+	}
+}
+
+func TestBackendsRoundTrip(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, mk func(string) *Provider) {
+		p := mk(t.TempDir())
+		s := open(t, p, -1)
+		s.Put([]byte("a"), []byte("1"))
+		s.Put([]byte("b"), []byte("2"))
+		if err := s.Commit(0); err != nil {
+			t.Fatal(err)
+		}
+		s.Remove([]byte("a"))
+		s.Put([]byte("c"), []byte("3"))
+		if err := s.Commit(1); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get([]byte("a")); ok {
+			t.Error("deleted key a still visible")
+		}
+		for k, want := range map[string]string{"b": "2", "c": "3"} {
+			if v, ok := s.Get([]byte(k)); !ok || string(v) != want {
+				t.Errorf("Get(%s) = %q,%v want %q", k, v, ok, want)
+			}
+		}
+		if n := s.NumKeys(); n != 2 {
+			t.Errorf("NumKeys = %d, want 2", n)
+		}
+	})
+}
+
+// TestBackendsAgree drives both backends through one random op schedule and
+// requires identical logical state at the end and at every reloaded
+// version — the memory backend is the oracle for the lsm backend.
+func TestBackendsAgree(t *testing.T) {
+	dirs := map[Backend]string{BackendMemory: t.TempDir(), BackendLSM: t.TempDir()}
+	stores := map[Backend]*Store{}
+	provs := map[Backend]*Provider{}
+	for backend, dir := range dirs {
+		p := NewProvider(dir)
+		p.Backend = backend
+		p.MemtableBytes = 1 << 10
+		provs[backend] = p
+		st, err := p.Open(ID{Operator: "agg", Partition: 0}, -1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores[backend] = st
+	}
+	rng := rand.New(rand.NewSource(42))
+	for v := int64(0); v < 30; v++ {
+		type op struct {
+			del  bool
+			k, v string
+		}
+		var ops []op
+		for n := 0; n < 15; n++ {
+			k := fmt.Sprintf("key-%02d", rng.Intn(60))
+			if rng.Intn(4) == 0 {
+				ops = append(ops, op{del: true, k: k})
+			} else {
+				ops = append(ops, op{k: k, v: strings.Repeat("x", 20+rng.Intn(60))})
+			}
+		}
+		for _, s := range stores {
+			for _, o := range ops {
+				if o.del {
+					s.Remove([]byte(o.k))
+				} else {
+					s.Put([]byte(o.k), []byte(o.v))
+				}
+			}
+			if err := s.Commit(v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	snapshot := func(s *Store) map[string]string {
+		out := map[string]string{}
+		s.Iterate(func(k, v []byte) bool {
+			out[string(k)] = string(v)
+			return true
+		})
+		return out
+	}
+	for _, v := range []int64{0, 9, 17, 29} {
+		var want map[string]string
+		for _, backend := range []Backend{BackendMemory, BackendLSM} {
+			st, err := provs[backend].Open(ID{Operator: "agg", Partition: 0}, v)
+			if err != nil {
+				t.Fatalf("%s reload at %d: %v", backend, v, err)
+			}
+			got := snapshot(st)
+			if want == nil {
+				want = got
+				continue
+			}
+			if len(got) != len(want) {
+				t.Fatalf("version %d: %s has %d keys, memory has %d", v, backend, len(got), len(want))
+			}
+			for k, wv := range want {
+				if got[k] != wv {
+					t.Fatalf("version %d key %s: %s=%q memory=%q", v, k, backend, got[k], wv)
+				}
+			}
+			if st.NumKeys() != len(want) {
+				t.Fatalf("version %d: %s NumKeys=%d want %d", v, backend, st.NumKeys(), len(want))
+			}
+		}
+	}
+	// The lsm store must have actually spilled for this to mean anything.
+	if st := provs[BackendLSM].Stats(); st.SSTables == 0 || st.Flushes == 0 {
+		t.Fatalf("lsm store never spilled: %+v", st)
+	}
+}
+
+// TestSnapshotIntervalCountsDeltas pins the snapshot cadence bugfix: a
+// snapshot lands after exactly SnapshotInterval delta files, counting
+// deltas rather than version numbers — sparse versions (operators that
+// skip epochs) used to dodge the modulo rule and never snapshot.
+func TestSnapshotIntervalCountsDeltas(t *testing.T) {
+	dir := t.TempDir()
+	p := NewProvider(dir)
+	p.SnapshotInterval = 3
+	s := open(t, p, -1)
+	// Sparse odd versions: 1, 3, 5, 7, 9, 11 — none divisible by 3 matter.
+	for _, v := range []int64{1, 3, 5, 7, 9, 11} {
+		s.Put([]byte(fmt.Sprintf("k%d", v)), []byte("v"))
+		if err := s.Commit(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var snaps []string
+	entries, err := os.ReadDir(storeDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".snapshot") {
+			snaps = append(snaps, e.Name())
+		}
+	}
+	// Third delta is version 5, sixth is version 11: exactly two snapshots.
+	want := []string{"11.snapshot", "5.snapshot"}
+	if strings.Join(snaps, ",") != strings.Join(want, ",") {
+		t.Fatalf("snapshots = %v, want %v", snaps, want)
+	}
+	if got := p.Stats().SnapshotsWritten; got != 2 {
+		t.Fatalf("SnapshotsWritten = %d, want 2", got)
+	}
+	// Reload resumes the count: two more commits reach the next boundary.
+	p2 := NewProvider(dir)
+	p2.SnapshotInterval = 3
+	s2 := open(t, p2, 11)
+	s2.Put([]byte("a"), []byte("1"))
+	if err := s2.Commit(12); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(storeDir(dir), "12.snapshot")); err == nil {
+		t.Fatal("snapshot written after only one delta past the boundary")
+	}
+	s2.Put([]byte("b"), []byte("2"))
+	if err := s2.Commit(13); err != nil {
+		t.Fatal(err)
+	}
+	s2.Put([]byte("c"), []byte("3"))
+	if err := s2.Commit(14); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(storeDir(dir), "14.snapshot")); err != nil {
+		t.Fatalf("snapshot missing after three deltas past reload: %v", err)
+	}
+}
+
+func TestProviderClose(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, mk func(string) *Provider) {
+		dir := t.TempDir()
+		p := mk(dir)
+		s := open(t, p, -1)
+		s.Put([]byte("a"), []byte("1"))
+		if err := s.Commit(0); err != nil {
+			t.Fatal(err)
+		}
+		p.Close()
+		p.Close() // idempotent
+		if _, err := p.Open(ID{Operator: "agg", Partition: 0}, 0); err == nil {
+			t.Fatal("Open after Close should fail")
+		}
+		// A fresh provider still reads the durable state.
+		p2 := mk(dir)
+		s2 := open(t, p2, 0)
+		if v, ok := s2.Get([]byte("a")); !ok || string(v) != "1" {
+			t.Fatalf("reload after Close = %q,%v", v, ok)
+		}
+	})
+}
+
+func TestProviderEvict(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, mk func(string) *Provider) {
+		p := mk(t.TempDir())
+		id := ID{Operator: "agg", Partition: 0}
+		s := open(t, p, -1)
+		s.Put([]byte("a"), []byte("1"))
+		if err := s.Commit(0); err != nil {
+			t.Fatal(err)
+		}
+		p.Evict(id)
+		base := p.Stats().CacheHits
+		s2, err := p.Open(id, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Stats().CacheHits != base {
+			t.Fatal("Open after Evict should not be a cache hit")
+		}
+		if v, ok := s2.Get([]byte("a")); !ok || string(v) != "1" {
+			t.Fatalf("reopened store = %q,%v", v, ok)
+		}
+	})
+}
+
+// TestLSMStatsSurface checks the provider exposes the tree's shape: after a
+// spilling workload, SSTable/flush/compaction counters and block-cache
+// traffic are visible — the numbers the monitor endpoint reports.
+func TestLSMStatsSurface(t *testing.T) {
+	p := NewProvider(t.TempDir())
+	p.Backend = BackendLSM
+	p.MemtableBytes = 1 << 10
+	s := open(t, p, -1)
+	payload := bytes.Repeat([]byte("v"), 64)
+	for v := int64(0); v < 40; v++ {
+		for i := 0; i < 8; i++ {
+			s.Put([]byte(fmt.Sprintf("key-%d-%d", v, i)), payload)
+		}
+		if err := s.Commit(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v := int64(0); v < 40; v++ {
+		for i := 0; i < 8; i++ {
+			if _, ok := s.Get([]byte(fmt.Sprintf("key-%d-%d", v, i))); !ok {
+				t.Fatalf("key %d-%d lost", v, i)
+			}
+		}
+	}
+	st := p.Stats()
+	if st.Backend != BackendLSM {
+		t.Fatalf("Backend = %q", st.Backend)
+	}
+	if st.SSTables == 0 || st.SSTableBytes == 0 || st.Flushes == 0 {
+		t.Fatalf("no spill visible in stats: %+v", st)
+	}
+	if st.Compactions == 0 || st.CompactionBytes == 0 {
+		t.Fatalf("no compaction visible in stats: %+v", st)
+	}
+	if st.BlockCacheHits+st.BlockCacheMisses == 0 {
+		t.Fatalf("no block cache traffic: %+v", st)
+	}
+	if st.DeltasWritten != 40 {
+		t.Fatalf("DeltasWritten = %d, want 40", st.DeltasWritten)
+	}
+}
+
+// TestMaintenanceLSM exercises retention GC for lsm directories through the
+// provider path (live tree) and on a cold directory (no open store).
+func TestMaintenanceLSM(t *testing.T) {
+	dir := t.TempDir()
+	p := NewProvider(dir)
+	p.Backend = BackendLSM
+	p.MemtableBytes = 512
+	id := ID{Operator: "agg", Partition: 0}
+	s, err := p.Open(id, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 200)
+	for v := int64(0); v < 30; v++ {
+		s.Put([]byte(fmt.Sprintf("k%d", v)), payload)
+		if err := s.Commit(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	countFiles := func() int {
+		entries, err := os.ReadDir(storeDir(dir))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(entries)
+	}
+	before := countFiles()
+	if err := p.Maintenance(25); err != nil {
+		t.Fatal(err)
+	}
+	if after := countFiles(); after >= before {
+		t.Fatalf("live maintenance removed nothing: %d -> %d files", before, after)
+	}
+	for _, v := range []int64{25, 29} {
+		if _, err := p.Open(id, v); err != nil {
+			t.Fatalf("version %d unloadable after maintenance: %v", v, err)
+		}
+	}
+	// Cold path: a fresh provider that has never opened the store.
+	p2 := NewProvider(dir)
+	p2.Backend = BackendLSM
+	before = countFiles()
+	if err := p2.Maintenance(28); err != nil {
+		t.Fatal(err)
+	}
+	if after := countFiles(); after >= before {
+		t.Fatalf("cold maintenance removed nothing: %d -> %d files", before, after)
+	}
+	s3, err := p2.Open(id, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s3.NumKeys(); got != 30 {
+		t.Fatalf("NumKeys after cold maintenance = %d, want 30", got)
+	}
+}

@@ -48,8 +48,10 @@ func TestLoadVersionNamesTruncatedDelta(t *testing.T) {
 }
 
 func TestLoadVersionNamesBitFlippedSnapshot(t *testing.T) {
+	// Snapshot interval 3 and deltas at versions 0..4 put the snapshot at
+	// version 2 — after exactly three deltas.
 	root := commitVersions(t, 5)
-	victim := filepath.Join(storeDir(root), "3.snapshot")
+	victim := filepath.Join(storeDir(root), "2.snapshot")
 	data, err := os.ReadFile(victim)
 	if err != nil {
 		t.Fatal(err)
@@ -60,8 +62,8 @@ func TestLoadVersionNamesBitFlippedSnapshot(t *testing.T) {
 	if err == nil {
 		t.Fatal("bit-flipped snapshot loaded without error")
 	}
-	if !strings.Contains(err.Error(), "3.snapshot") || !fsx.IsCorrupt(err) {
-		t.Errorf("error should be a corruption naming 3.snapshot: %v", err)
+	if !strings.Contains(err.Error(), "2.snapshot") || !fsx.IsCorrupt(err) {
+		t.Errorf("error should be a corruption naming 2.snapshot: %v", err)
 	}
 }
 

@@ -2,13 +2,18 @@
 // (§6.1 of the paper): the durable key-value storage behind stateful
 // operators (aggregations, dedup, stream joins, mapGroupsWithState). Each
 // (operator, partition) pair owns one store. Commits are keyed by epoch:
-// committing version v writes an incremental delta file, with a full
-// snapshot every few versions, and any committed version can be reloaded —
-// which is what makes recovery-to-epoch and manual rollback (§7.2) work.
+// committing version v durably records that version's mutations, and any
+// committed version can be reloaded — which is what makes recovery-to-epoch
+// and manual rollback (§7.2) work.
+//
+// Storage is pluggable. The memory backend keeps all live state in one Go
+// map, writing delta files plus periodic full snapshots. The lsm backend
+// stores state in an embedded log-structured merge tree (internal/lsm), so
+// state larger than RAM spills to SSTables with bloom filters and a shared
+// block cache while keeping the same per-epoch versioning contract.
 package state
 
 import (
-	"encoding/binary"
 	"fmt"
 	"io"
 	"io/fs"
@@ -21,6 +26,7 @@ import (
 	"sync/atomic"
 
 	"structream/internal/fsx"
+	"structream/internal/lsm"
 )
 
 // ID identifies one operator's state for one partition.
@@ -32,18 +38,39 @@ type ID struct {
 // String renders the ID for paths and errors.
 func (id ID) String() string { return fmt.Sprintf("%s/%d", id.Operator, id.Partition) }
 
+// Backend names a state storage engine.
+type Backend string
+
+const (
+	// BackendMemory keeps live state in a Go map with delta + snapshot files.
+	BackendMemory Backend = "memory"
+	// BackendLSM stores state in a log-structured merge tree: memtable,
+	// SSTables, bloom filters, shared block cache, size-tiered compaction.
+	BackendLSM Backend = "lsm"
+)
+
 // Provider manages the stores under one checkpoint directory.
 type Provider struct {
 	fs  fsx.FS
 	dir string
-	// SnapshotInterval controls how many delta versions accumulate before a
-	// full snapshot is written. The paper notes checkpoints are written
+	// SnapshotInterval controls how many deltas accumulate before the memory
+	// backend writes a full snapshot. The paper notes checkpoints are written
 	// asynchronously and need not happen on every epoch; snapshots here are
 	// the equivalent heavyweight artifact.
 	SnapshotInterval int64
+	// Backend selects the storage engine; empty means BackendMemory.
+	Backend Backend
+	// MemtableBytes is the lsm backend's flush threshold per store
+	// (0 = the lsm package default, 4 MiB).
+	MemtableBytes int64
+	// BlockCacheBytes bounds the lsm block cache shared across this
+	// provider's stores (0 = 32 MiB).
+	BlockCacheBytes int64
 
-	mu    sync.Mutex
-	cache map[ID]*Store
+	mu         sync.Mutex
+	cache      map[ID]*Store
+	closed     bool
+	blockCache *lsm.BlockCache
 
 	// Observability counters (§7.4): how often Open was served by the live
 	// cached store vs. reconstructed from disk, and how many delta/snapshot
@@ -56,22 +83,64 @@ type Provider struct {
 }
 
 // ProviderStats is a point-in-time snapshot of the provider's activity
-// counters.
+// counters. The LSM fields aggregate over the provider's live stores and
+// are zero under the memory backend.
 type ProviderStats struct {
+	Backend          Backend
 	CacheHits        int64
 	CacheMisses      int64
 	DeltasWritten    int64
 	SnapshotsWritten int64
+
+	MemtableBytes    int64 // unflushed state across stores
+	SSTables         int64
+	SSTableBytes     int64
+	Flushes          int64
+	Compactions      int64
+	CompactionBytes  int64 // cumulative bytes rewritten by compaction
+	BlockCacheHits   int64
+	BlockCacheMisses int64
+	BlockCacheBytes  int64 // resident cached block payload
 }
 
 // Stats reports the provider's cumulative cache and file activity.
 func (p *Provider) Stats() ProviderStats {
-	return ProviderStats{
+	st := ProviderStats{
+		Backend:          p.backend(),
 		CacheHits:        p.cacheHits.Load(),
 		CacheMisses:      p.cacheMisses.Load(),
 		DeltasWritten:    p.deltasWritten.Load(),
 		SnapshotsWritten: p.snapshotsWritten.Load(),
 	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range p.cache {
+		lb, ok := s.backend.(*lsmBackend)
+		if !ok {
+			continue
+		}
+		ts := lb.tree.Stats()
+		st.MemtableBytes += ts.MemtableBytes
+		st.SSTables += ts.Tables
+		st.SSTableBytes += ts.TableBytes
+		st.Flushes += ts.Flushes
+		st.Compactions += ts.Compactions
+		st.CompactionBytes += ts.CompactionBytes
+	}
+	if p.blockCache != nil {
+		cs := p.blockCache.Stats()
+		st.BlockCacheHits = cs.Hits
+		st.BlockCacheMisses = cs.Misses
+		st.BlockCacheBytes = cs.Bytes
+	}
+	return st
+}
+
+func (p *Provider) backend() Backend {
+	if p.Backend == "" {
+		return BackendMemory
+	}
+	return p.Backend
 }
 
 // NewProvider creates a provider rooted at dir on the hardened real
@@ -87,48 +156,121 @@ func NewProviderFS(fsys fsx.FS, dir string) *Provider {
 // Dir returns the provider's root directory.
 func (p *Provider) Dir() string { return p.dir }
 
+func (p *Provider) storeDir(id ID) string {
+	return filepath.Join(p.dir, "state", id.Operator, strconv.Itoa(id.Partition))
+}
+
 // Open returns the store for id positioned at the given committed version.
 // Version -1 means empty (before any epoch). When the cached live store is
 // already at that version it is reused without touching disk; otherwise the
-// state is reconstructed from the latest snapshot at or below version plus
-// the delta files after it.
+// state is reconstructed from the backend's files.
 func (p *Provider) Open(id ID, version int64) (*Store, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if s, ok := p.cache[id]; ok && s.version == version {
+	if p.closed {
+		return nil, fmt.Errorf("state: provider for %s is closed", p.dir)
+	}
+	s, cached := p.cache[id]
+	if cached && s.version == version {
 		p.cacheHits.Add(1)
 		return s, nil
 	}
 	p.cacheMisses.Add(1)
-	s := &Store{
-		id:       id,
-		dir:      filepath.Join(p.dir, "state", id.Operator, strconv.Itoa(id.Partition)),
-		provider: p,
-		data:     map[string][]byte{},
-		version:  -1,
-	}
-	if err := p.fs.MkdirAll(s.dir, 0o755); err != nil {
+	dir := p.storeDir(id)
+	if err := p.fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("state: %w", err)
 	}
 	// Reclaim orphaned temp files from an atomic write a crash interrupted,
 	// so they cannot accumulate across restarts.
-	if _, err := fsx.CleanupTmp(p.fs, s.dir); err != nil {
+	if _, err := fsx.CleanupTmp(p.fs, dir); err != nil {
 		return nil, fmt.Errorf("state: reclaiming orphaned tmp files: %w", err)
 	}
-	if version >= 0 {
-		if err := s.loadVersion(version); err != nil {
+	if !cached {
+		backend, err := p.newBackend(dir)
+		if err != nil {
 			return nil, err
 		}
+		s = &Store{id: id, dir: dir, provider: p, backend: backend, version: -1}
 	}
+	s.pendingPut, s.pendingDel, s.err = nil, nil, nil
+	if err := s.backend.load(version); err != nil {
+		if !cached {
+			s.backend.close()
+		}
+		return nil, err
+	}
+	s.version = version
 	p.cache[id] = s
 	return s, nil
 }
 
-// Maintenance deletes snapshot and delta files no longer needed to
-// reconstruct any version newer than keepFrom, across all stores on disk.
+func (p *Provider) newBackend(dir string) (storeBackend, error) {
+	switch p.backend() {
+	case BackendMemory:
+		return &memBackend{provider: p, dir: dir, data: map[string][]byte{}}, nil
+	case BackendLSM:
+		if p.blockCache == nil {
+			capBytes := p.BlockCacheBytes
+			if capBytes <= 0 {
+				capBytes = 32 << 20
+			}
+			p.blockCache = lsm.NewBlockCache(capBytes)
+		}
+		tree, err := lsm.Open(lsm.Options{
+			FS:            p.fs,
+			Dir:           dir,
+			MemtableBytes: p.MemtableBytes,
+			Cache:         p.blockCache,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("state: %w", err)
+		}
+		return &lsmBackend{provider: p, tree: tree}, nil
+	default:
+		return nil, fmt.Errorf("state: unknown backend %q", p.Backend)
+	}
+}
+
+// Close releases every live store and rejects further Opens. Stopped
+// queries must close their provider, otherwise each restart would keep the
+// previous run's stores — and for the lsm backend their block-cache
+// residency — alive forever.
+func (p *Provider) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for id, s := range p.cache {
+		s.backend.close()
+		delete(p.cache, id)
+	}
+}
+
+// Evict drops one store from the live cache, releasing its resources. The
+// next Open reconstructs it from disk.
+func (p *Provider) Evict(id ID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if s, ok := p.cache[id]; ok {
+		s.backend.close()
+		delete(p.cache, id)
+	}
+}
+
+// Maintenance deletes state files no longer needed to reconstruct any
+// version newer than keepFrom, across all stores on disk. Memory-backend
+// directories are pruned by the snapshot rule; lsm directories (identified
+// by their manifests) by manifest/table reachability.
 func (p *Provider) Maintenance(keepFrom int64) error {
 	root := filepath.Join(p.dir, "state")
-	return fsx.Walk(p.fs, root, func(path string, d fs.DirEntry) error {
+	lsmDirs := map[string]bool{}
+	err := fsx.Walk(p.fs, root, func(path string, d fs.DirEntry) error {
+		if strings.HasSuffix(d.Name(), ".manifest") {
+			lsmDirs[filepath.Dir(path)] = true
+			return nil
+		}
 		v, kind, ok := parseStateFile(d.Name())
 		if !ok {
 			return nil
@@ -137,6 +279,8 @@ func (p *Provider) Maintenance(keepFrom int64) error {
 		// reloaded; keep everything >= the newest snapshot <= keepFrom.
 		// Conservative rule: delete files strictly older than keepFrom only
 		// when a snapshot exists at or after their version but <= keepFrom.
+		// LSM directories never contain snapshots, so this pass keeps all
+		// their files and the reachability pass below prunes them.
 		dir := filepath.Dir(path)
 		snap, found, err := latestSnapshotAtOrBelow(p.fs, dir, keepFrom)
 		if err != nil {
@@ -150,6 +294,31 @@ func (p *Provider) Maintenance(keepFrom int64) error {
 		}
 		return nil
 	})
+	if err != nil {
+		return err
+	}
+	byDir := map[string]*Store{}
+	p.mu.Lock()
+	for _, s := range p.cache {
+		byDir[s.dir] = s
+	}
+	p.mu.Unlock()
+	for dir := range lsmDirs {
+		if s, ok := byDir[dir]; ok {
+			if lb, isLSM := s.backend.(*lsmBackend); isLSM {
+				// The live tree prunes its own directory so its open tables
+				// stay pinned and their cached blocks are dropped with them.
+				if _, err := lb.tree.Maintain(keepFrom); err != nil {
+					return err
+				}
+				continue
+			}
+		}
+		if _, err := lsm.MaintainDir(p.fs, dir, keepFrom); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 const (
@@ -186,19 +355,44 @@ func latestSnapshotAtOrBelow(fsys fsx.FS, dir string, version int64) (int64, boo
 	return best, found, nil
 }
 
+// storeBackend is the storage engine behind one Store: committed state,
+// versioned durability, and reconstruction. Staged (uncommitted) mutations
+// live above it in Store.
+type storeBackend interface {
+	// get reads committed state. ok=false means absent.
+	get(key string) (value []byte, ok bool, err error)
+	// iterate visits committed keys; fn returning false stops early.
+	iterate(fn func(key, value []byte) bool) error
+	// numKeys counts committed live keys.
+	numKeys() (int64, error)
+	// commit durably applies one version's staged mutations. A key in both
+	// maps is a delete.
+	commit(version int64, puts map[string][]byte, dels map[string]bool) error
+	// load repositions at a committed version; -1 resets to empty.
+	load(version int64) error
+	// close releases resources; the backend must not be used after.
+	close()
+}
+
 // Store is the live state for one (operator, partition). It is not safe
 // for concurrent use; each partition is processed by one task at a time.
 type Store struct {
 	id       ID
 	dir      string
 	provider *Provider
+	backend  storeBackend
 	version  int64 // last committed version
-	data     map[string][]byte
 
 	// pendingPut/pendingDel stage uncommitted mutations of the current
 	// epoch. Commit writes them as the next delta; Abort reloads.
 	pendingPut map[string][]byte
 	pendingDel map[string]bool
+
+	// err latches the first backend read failure (e.g. a corrupt SSTable
+	// block). Get keeps its (value, ok) signature for operator code, so the
+	// failure surfaces at Commit, failing the epoch instead of silently
+	// committing results computed from wrong state.
+	err error
 }
 
 // ID returns the store's identity.
@@ -207,7 +401,8 @@ func (s *Store) ID() ID { return s.id }
 // Version returns the last committed version (-1 when empty/new).
 func (s *Store) Version() int64 { return s.version }
 
-// Get returns the value for key, honoring uncommitted changes.
+// Get returns the value for key, honoring uncommitted changes. A backend
+// read error reports absent and latches the error for Commit.
 func (s *Store) Get(key []byte) ([]byte, bool) {
 	k := string(key)
 	if s.pendingDel[k] {
@@ -216,8 +411,18 @@ func (s *Store) Get(key []byte) ([]byte, bool) {
 	if v, ok := s.pendingPut[k]; ok {
 		return v, true
 	}
-	v, ok := s.data[k]
+	v, ok, err := s.backend.get(k)
+	if err != nil {
+		s.fail(err)
+		return nil, false
+	}
 	return v, ok
+}
+
+func (s *Store) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
 }
 
 // Put stages a key/value write for the current epoch.
@@ -245,19 +450,32 @@ func (s *Store) Remove(key []byte) {
 // Iterate visits every live key/value (committed plus staged), stopping
 // early when fn returns false. Iteration order is unspecified.
 func (s *Store) Iterate(fn func(key, value []byte) bool) {
-	for k, v := range s.data {
-		if s.pendingDel[k] {
-			continue
+	stopped := false
+	seen := map[string]bool{}
+	err := s.backend.iterate(func(k, v []byte) bool {
+		ks := string(k)
+		if s.pendingDel[ks] {
+			return true
 		}
-		if pv, ok := s.pendingPut[k]; ok {
+		if pv, ok := s.pendingPut[ks]; ok {
+			seen[ks] = true
 			v = pv
 		}
-		if !fn([]byte(k), v) {
-			return
+		if !fn(k, v) {
+			stopped = true
+			return false
 		}
+		return true
+	})
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	if stopped {
+		return
 	}
 	for k, v := range s.pendingPut {
-		if _, existed := s.data[k]; existed {
+		if seen[k] {
 			continue
 		}
 		if !fn([]byte(k), v) {
@@ -268,199 +486,63 @@ func (s *Store) Iterate(fn func(key, value []byte) bool) {
 
 // NumKeys reports the live key count including staged changes.
 func (s *Store) NumKeys() int {
-	n := len(s.data)
+	committed, err := s.backend.numKeys()
+	if err != nil {
+		s.fail(err)
+		return 0
+	}
+	n := int(committed)
 	for k := range s.pendingDel {
-		if _, ok := s.data[k]; ok {
+		if s.committedHas(k) {
 			n--
 		}
 	}
 	for k := range s.pendingPut {
-		if _, ok := s.data[k]; !ok {
+		if !s.committedHas(k) {
 			n++
 		}
 	}
 	return n
 }
 
-// Commit durably writes the staged changes as the delta for version, folds
-// them into the live map, and writes a full snapshot every SnapshotInterval
-// versions. Committing with no staged changes still records the (empty)
-// version so recovery can find it.
+func (s *Store) committedHas(key string) bool {
+	_, ok, err := s.backend.get(key)
+	if err != nil {
+		s.fail(err)
+		return false
+	}
+	return ok
+}
+
+// Commit durably writes the staged changes as the version's delta and folds
+// them into the backend. Committing with no staged changes still records
+// the (empty) version so recovery can find it. A latched read error from
+// earlier in the epoch fails the commit: results computed from unreadable
+// state must not become durable.
 func (s *Store) Commit(version int64) error {
+	if s.err != nil {
+		return fmt.Errorf("state: commit %d for %s aborted by earlier read failure: %w", version, s.id, s.err)
+	}
 	if version <= s.version {
 		return fmt.Errorf("state: commit version %d not after current %d for %s", version, s.version, s.id)
 	}
-	if err := s.writeDelta(version); err != nil {
+	if err := s.backend.commit(version, s.pendingPut, s.pendingDel); err != nil {
 		return err
-	}
-	for k, v := range s.pendingPut {
-		s.data[k] = v
-	}
-	for k := range s.pendingDel {
-		delete(s.data, k)
 	}
 	s.pendingPut, s.pendingDel = nil, nil
 	s.version = version
-	interval := s.provider.SnapshotInterval
-	if interval > 0 && version%interval == 0 {
-		if err := s.writeSnapshot(version); err != nil {
-			return err
-		}
-	}
 	return nil
 }
 
-// Abort discards staged changes.
+// Abort discards staged changes (and any latched read error with them).
 func (s *Store) Abort() {
 	s.pendingPut, s.pendingDel = nil, nil
-}
-
-// ---------------------------------------------------------------- files
-
-// Record framing: op byte (1=put, 2=del), uvarint key length, key bytes,
-// and for puts a uvarint value length plus value bytes.
-const (
-	opPut byte = 1
-	opDel byte = 2
-)
-
-func (s *Store) writeDelta(version int64) error {
-	var buf []byte
-	// Deterministic order keeps files byte-stable for identical commits.
-	keys := make([]string, 0, len(s.pendingPut)+len(s.pendingDel))
-	for k := range s.pendingPut {
-		keys = append(keys, k)
-	}
-	for k := range s.pendingDel {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		if s.pendingDel[k] {
-			buf = append(buf, opDel)
-			buf = binary.AppendUvarint(buf, uint64(len(k)))
-			buf = append(buf, k...)
-			continue
-		}
-		v := s.pendingPut[k]
-		buf = append(buf, opPut)
-		buf = binary.AppendUvarint(buf, uint64(len(k)))
-		buf = append(buf, k...)
-		buf = binary.AppendUvarint(buf, uint64(len(v)))
-		buf = append(buf, v...)
-	}
-	if err := s.atomicWrite(filepath.Join(s.dir, fmt.Sprintf("%d.%s", version, kindDelta)), buf); err != nil {
-		return err
-	}
-	s.provider.deltasWritten.Add(1)
-	return nil
-}
-
-func (s *Store) writeSnapshot(version int64) error {
-	var buf []byte
-	keys := make([]string, 0, len(s.data))
-	for k := range s.data {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		v := s.data[k]
-		buf = append(buf, opPut)
-		buf = binary.AppendUvarint(buf, uint64(len(k)))
-		buf = append(buf, k...)
-		buf = binary.AppendUvarint(buf, uint64(len(v)))
-		buf = append(buf, v...)
-	}
-	if err := s.atomicWrite(filepath.Join(s.dir, fmt.Sprintf("%d.%s", version, kindSnapshot)), buf); err != nil {
-		return err
-	}
-	s.provider.snapshotsWritten.Add(1)
-	return nil
-}
-
-// atomicWrite seals body with a length+CRC32C footer and writes it via
-// temp-file-plus-rename, so a crash can never leave a partially written
-// record in place of a committed version — and if the disk lies (torn
-// write, bit rot), the reader detects it instead of loading wrong state.
-func (s *Store) atomicWrite(path string, body []byte) error {
-	if err := fsx.WriteAtomic(s.provider.fs, path, fsx.Seal(body), 0o644); err != nil {
-		return fmt.Errorf("state: %w", err)
-	}
-	return nil
-}
-
-// loadVersion reconstructs the store's map as of the given version.
-func (s *Store) loadVersion(version int64) error {
-	s.data = map[string][]byte{}
-	s.pendingPut, s.pendingDel = nil, nil
-	snap, haveSnap, err := latestSnapshotAtOrBelow(s.provider.fs, s.dir, version)
-	if err != nil {
-		return fmt.Errorf("state: %w", err)
-	}
-	from := int64(0)
-	if haveSnap {
-		if err := s.applyFile(filepath.Join(s.dir, fmt.Sprintf("%d.%s", snap, kindSnapshot))); err != nil {
-			return err
-		}
-		from = snap + 1
-	}
-	for v := from; v <= version; v++ {
-		path := filepath.Join(s.dir, fmt.Sprintf("%d.%s", v, kindDelta))
-		if _, err := s.provider.fs.Stat(path); os.IsNotExist(err) {
-			// Missing versions are legal: the engine commits state only on
-			// epochs that touched this operator partition.
-			continue
-		}
-		if err := s.applyFile(path); err != nil {
-			return err
-		}
-	}
-	s.version = version
-	return nil
-}
-
-func (s *Store) applyFile(path string) error {
-	raw, err := s.provider.fs.ReadFile(path)
-	if err != nil {
-		return fmt.Errorf("state: %w", err)
-	}
-	data, err := fsx.Verify(path, raw)
-	if err != nil {
-		return fmt.Errorf("state: %w", err)
-	}
-	pos := 0
-	for pos < len(data) {
-		op := data[pos]
-		pos++
-		klen, n := binary.Uvarint(data[pos:])
-		if n <= 0 || pos+n+int(klen) > len(data) {
-			return fmt.Errorf("state: corrupt file %s at %d", path, pos)
-		}
-		pos += n
-		key := string(data[pos : pos+int(klen)])
-		pos += int(klen)
-		switch op {
-		case opPut:
-			vlen, n := binary.Uvarint(data[pos:])
-			if n <= 0 || pos+n+int(vlen) > len(data) {
-				return fmt.Errorf("state: corrupt file %s at %d", path, pos)
-			}
-			pos += n
-			s.data[key] = append([]byte(nil), data[pos:pos+int(vlen)]...)
-			pos += int(vlen)
-		case opDel:
-			delete(s.data, key)
-		default:
-			return fmt.Errorf("state: corrupt file %s: bad op %d", path, op)
-		}
-	}
-	return nil
+	s.err = nil
 }
 
 // Versions lists the committed versions reconstructable on disk for id.
 func (p *Provider) Versions(id ID) ([]int64, error) {
-	dir := filepath.Join(p.dir, "state", id.Operator, strconv.Itoa(id.Partition))
-	entries, err := p.fs.ReadDir(dir)
+	entries, err := p.fs.ReadDir(p.storeDir(id))
 	if os.IsNotExist(err) {
 		return nil, nil
 	}

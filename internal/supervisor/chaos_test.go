@@ -176,6 +176,109 @@ func TestSupervisedQueryConvergesUnderChaos(t *testing.T) {
 	}
 }
 
+// TestSupervisedStatefulLSMConvergesUnderChaos runs the chaos scenario
+// that the projection workload cannot: a stateful aggregation whose state
+// lives in the LSM backend with a memtable small enough that every restart
+// must recover memtable contents, SSTables, and manifests — across a
+// simulated crash mid-epoch and a transient fault burst — and still emit
+// sink files byte-identical to a fault-free run.
+func TestSupervisedStatefulLSMConvergesUnderChaos(t *testing.T) {
+	rows := chaosRows("s", 120) // unique keys: one update line per input row
+	lsmOptions := func(ckpt string, fs fsx.FS) engine.Options {
+		o := chaosOptions(ckpt, fs)
+		o.StateBackend = "lsm"
+		o.StateMemtableBytes = 512 // state is many× this: spills inside the run
+		return o
+	}
+
+	// ---- fault-free baseline (same backend and caps: identical epochs).
+	baseSrc := sources.NewMemorySource("events", eventsSchema)
+	baseSrc.AddData(rows...)
+	baseDir := t.TempDir()
+	baseSQ, err := engine.Start(compileQuery(t, aggregationPlan(), logical.Update),
+		map[string]sources.Source{"events": baseSrc},
+		sinks.NewJSONFileSink(baseDir), lsmOptions(t.TempDir(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, func() bool { return countJSONLines(t, baseDir) == 120 }, "lsm baseline")
+	if err := baseSQ.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	baseline := snapshotJSONDir(t, baseDir)
+
+	// ---- chaos run: crash mid-stream on instance 1, fault burst on 2.
+	inner := sources.NewMemorySource("events", eventsSchema)
+	inner.AddData(rows...)
+	flaky := sources.NewFlakySource(inner)
+	chaosDir := t.TempDir()
+	ckpt := t.TempDir()
+	var instances atomic.Int64
+
+	sup, err := Supervise(Spec{
+		Name: "chaos-lsm",
+		Start: func(restart int64) (*engine.StreamingQuery, error) {
+			n := instances.Add(1)
+			flaky.ReleaseStall()
+			fs := fsx.FS(nil)
+			switch n {
+			case 1:
+				// Crash inside an epoch's state commit: with the LSM backend
+				// the checkpoint ops include SSTable flushes and manifest
+				// writes, so op 14 lands amid the state machinery.
+				ffs := fsx.NewFaultFS(fsx.Real())
+				ffs.CrashAt = 14
+				ffs.Mode = fsx.CrashAfter
+				fs = ffs
+			case 2:
+				flaky.FailReads(fsx.Transient("flaky network"), 9)
+			}
+			q := compileQuery(t, aggregationPlan(), logical.Update)
+			return engine.Start(q, map[string]sources.Source{"events": flaky},
+				sinks.NewJSONFileSink(chaosDir), lsmOptions(ckpt, fs))
+		},
+		Policy: Policy{
+			InitialBackoff:       2 * time.Millisecond,
+			MaxBackoff:           50 * time.Millisecond,
+			MaxRestartsPerWindow: 20,
+			Window:               time.Minute,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sup.Stop()
+
+	waitFor(t, 20*time.Second, func() bool { return countJSONLines(t, chaosDir) == 120 }, "chaos lsm output")
+	if got := instances.Load(); got < 2 {
+		t.Errorf("instances = %d, want >= 2 (crash survived by restart)", got)
+	}
+	var sawCrash bool
+	for _, ev := range sup.Events() {
+		if ev.Kind == QueryFailed && errors.Is(ev.Err, fsx.ErrCrash) {
+			sawCrash = true
+		}
+	}
+	if !sawCrash {
+		t.Error("no QueryFailed event carried the simulated crash")
+	}
+
+	chaos := snapshotJSONDir(t, chaosDir)
+	if len(chaos) != len(baseline) {
+		t.Fatalf("chaos run wrote %d epoch files, baseline %d", len(chaos), len(baseline))
+	}
+	for name, want := range baseline {
+		if got, ok := chaos[name]; !ok {
+			t.Errorf("chaos run is missing %s", name)
+		} else if got != want {
+			t.Errorf("%s differs from the fault-free run:\n  chaos: %q\n  base:  %q", name, got, want)
+		}
+	}
+	if err := sup.Stop(); err != nil {
+		t.Errorf("Stop() = %v", err)
+	}
+}
+
 // TestChaosRandomizedFaultSchedule is the long-running randomized chaos
 // harness behind `make chaos` (gated by STRUCTREAM_CHAOS=1): repeated
 // rounds of supervised runs under a random schedule of crashes, fault

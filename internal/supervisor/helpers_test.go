@@ -38,6 +38,19 @@ func projectionPlan() logical.Plan {
 	}
 }
 
+// aggregationPlan is the stateful chaos workload: count per group key in
+// Update mode. Chaos rows use unique keys, so every input row updates its
+// own group exactly once and total output lines equal total input rows —
+// the same convergence arithmetic the projection workload enjoys, but with
+// a state store that must survive every restart.
+func aggregationPlan() logical.Plan {
+	return &logical.Aggregate{
+		Child: streamScan("events"),
+		Keys:  []sql.Expr{sql.Col("k")},
+		Aggs:  []logical.NamedAgg{{Agg: sql.CountAll(), Name: "cnt"}},
+	}
+}
+
 func compileQuery(t *testing.T, plan logical.Plan, mode logical.OutputMode) *incremental.Query {
 	t.Helper()
 	analyzed, err := analysis.Analyze(plan)

@@ -217,3 +217,92 @@ func TestMonitorSeesLaterQueries(t *testing.T) {
 		t.Fatalf("late query progress: err=%v events=%v", err, events)
 	}
 }
+
+// TestMonitorExposesLSMStateStats drives a spilling LSM-backed aggregation
+// and asserts its storage internals are observable from the outside: the
+// stateOperators section of progress JSON carries backend, SSTable,
+// compaction, and block-cache figures, and the metric registry (both
+// /metrics renderings) carries the matching gauges.
+func TestMonitorExposesLSMStateStats(t *testing.T) {
+	s := NewSession()
+	df, feed := s.MemoryStream("ev", clickSchema)
+	q, err := df.GroupBy(Col("country")).Count().WriteStream().
+		QueryName("lsmq").
+		OutputModeName("update").
+		Option("stateBackend", "lsm").
+		Option("stateMemtableBytes", "512").
+		Foreach(func(epoch int64, rows []Row) error { return nil }).
+		Trigger(ProcessingTime(time.Hour)).Checkpoint(t.TempDir()).Start("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Stop()
+
+	m, err := s.Monitor("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	base := "http://" + m.Addr()
+
+	// Three epochs of 40 unique keys each — ~20× the memtable threshold.
+	for e := 0; e < 3; e++ {
+		rows := make([]Row, 40)
+		for i := range rows {
+			rows[i] = Row{fmt.Sprintf("c%03d", e*40+i), int64(i), 1.0, int64(0)}
+		}
+		feed.AddData(rows...)
+		if err := q.ProcessAllAvailable(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// ---- progress JSON carries the stateOperators LSM section.
+	code, body := getBody(t, base+"/queries/lsmq/progress")
+	if code != http.StatusOK {
+		t.Fatalf("/progress: status %d", code)
+	}
+	var events []metrics.QueryProgress
+	if err := json.Unmarshal(body, &events); err != nil || len(events) == 0 {
+		t.Fatalf("/progress: err=%v\n%s", err, body)
+	}
+	if len(events[0].StateOperators) == 0 {
+		t.Fatalf("/progress: no stateOperators:\n%s", body)
+	}
+	so := events[0].StateOperators[0]
+	if so.Backend != "lsm" {
+		t.Errorf("/progress: backend = %q, want lsm", so.Backend)
+	}
+	if so.SSTables == 0 || so.SSTableBytes == 0 {
+		t.Errorf("/progress: ssTables=%d ssTableBytes=%d, want both > 0", so.SSTables, so.SSTableBytes)
+	}
+	if so.BlockCacheHits+so.BlockCacheMisses == 0 {
+		t.Error("/progress: block cache saw no traffic")
+	}
+	if !strings.Contains(string(body), "blockCacheHitRate") {
+		t.Errorf("/progress: JSON missing blockCacheHitRate:\n%s", body)
+	}
+
+	// ---- both /metrics renderings carry the LSM gauges.
+	code, body = getBody(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	var metricsOut map[string]map[string]int64
+	if err := json.Unmarshal(body, &metricsOut); err != nil {
+		t.Fatalf("/metrics: %v\n%s", err, body)
+	}
+	lq := metricsOut["lsmq"]
+	if lq == nil || lq["stateSSTables"] == 0 {
+		t.Errorf("/metrics: stateSSTables gauge missing or zero: %v", lq)
+	}
+	for _, g := range []string{"stateMemtableBytes", "stateSSTableBytes", "stateFlushes", "stateBlockCacheHits", "stateBlockCacheMisses"} {
+		if _, ok := lq[g]; !ok {
+			t.Errorf("/metrics: missing gauge %q", g)
+		}
+	}
+	code, body = getBody(t, base+"/metrics?format=text")
+	if code != http.StatusOK || !strings.Contains(string(body), "lsmq.stateSSTables") {
+		t.Errorf("/metrics?format=text: status %d, missing lsmq.stateSSTables\n%s", code, body)
+	}
+}

@@ -7,12 +7,18 @@ echo ">> go vet ./..."
 go vet ./...
 echo ">> go test -race ./..."
 go test -race ./...
+# Fuzz smoke: a few seconds of coverage-guided input on the state record
+# framing shared by deltas, snapshots, and LSM batches — round-trips must
+# hold and corrupt input must never panic the decoder.
+echo ">> lsm record-framing fuzz smoke"
+go test -run '^$' -fuzz 'FuzzRecordBatch' -fuzztime 5s ./internal/lsm/
 # Bench-suite smoke: a tiny workload through the JSON benchmark path, so
 # `make bench-json` breakage is caught here rather than at report time.
 echo ">> ssbench bench smoke"
 smoke_json="$(mktemp /tmp/structream-bench-XXXXXX.json)"
 go run ./cmd/ssbench -experiment bench -events 100000 -rounds 1 -json "$smoke_json" >/dev/null
 grep -q '"tracingOverheadPct"' "$smoke_json" || { echo "bench smoke: bad report"; exit 1; }
+grep -q '"stateful-count-lsm-spill"' "$smoke_json" || { echo "bench smoke: missing state-backend scenarios"; exit 1; }
 rm -f "$smoke_json"
 # Opt-in chaos tier: randomized fault schedule against the supervised
 # runtime (bounded by STRUCTREAM_CHAOS_SECONDS, default 20).

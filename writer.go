@@ -84,7 +84,8 @@ func (w *DataStreamWriter) Checkpoint(dir string) *DataStreamWriter {
 	return w
 }
 
-// Option sets a sink/engine option ("partitions", "maxRecordsPerTrigger").
+// Option sets a sink/engine option ("partitions", "maxRecordsPerTrigger",
+// "stateBackend", "stateMemtableBytes", "stateBlockCacheBytes").
 func (w *DataStreamWriter) Option(key, value string) *DataStreamWriter {
 	w.opts[key] = value
 	return w
@@ -194,6 +195,15 @@ func (w *DataStreamWriter) Start(path string) (*StreamingQuery, error) {
 	}
 	if n, err := strconv.ParseInt(w.opts["maxRecordsPerTrigger"], 10, 64); err == nil && n > 0 {
 		opts.MaxRecordsPerTrigger = n
+	}
+	if b := w.opts["stateBackend"]; b != "" {
+		opts.StateBackend = b
+	}
+	if n, err := strconv.ParseInt(w.opts["stateMemtableBytes"], 10, 64); err == nil && n > 0 {
+		opts.StateMemtableBytes = n
+	}
+	if n, err := strconv.ParseInt(w.opts["stateBlockCacheBytes"], 10, 64); err == nil && n > 0 {
+		opts.StateBlockCacheBytes = n
 	}
 	sq, err := engine.Start(q, srcs, sink, opts)
 	if err != nil {
