@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test test-short verify bench bench-json chaos
+.PHONY: build test test-short verify bench bench-json bench-compare chaos
 
 build:
 	$(GO) build ./...
@@ -34,3 +34,10 @@ bench:
 bench-json:
 	$(GO) run ./cmd/ssbench -experiment bench -events 2000000 -rounds 5 \
 		-json BENCH_$$(date +%F).json
+
+# Throughput regression gate: rerun the bench suite and fail if
+# microbatch-throughput drops more than 10% below the newest committed
+# BENCH_<date>.json baseline.
+bench-compare:
+	$(GO) run ./cmd/ssbench -experiment bench -events 2000000 -rounds 3 \
+		-compare "$$(ls BENCH_*.json | sort | tail -1)"

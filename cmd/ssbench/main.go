@@ -32,6 +32,7 @@ func main() {
 		rounds     = flag.Int("rounds", 3, "measurement rounds per engine (best kept)")
 		rateSecs   = flag.Float64("rate-seconds", 1.5, "seconds per rate point in fig7")
 		jsonOut    = flag.String("json", "", "with -experiment bench, also write the report as JSON to this file")
+		compare    = flag.String("compare", "", "with -experiment bench, fail if microbatch-throughput drops >10% below this baseline BENCH json")
 	)
 	flag.Parse()
 
@@ -126,6 +127,16 @@ func main() {
 				return err
 			}
 			fmt.Printf("  wrote %s\n", *jsonOut)
+		}
+		if *compare != "" {
+			baseline, err := os.ReadFile(*compare)
+			if err != nil {
+				return err
+			}
+			if err := experiments.CompareBenchBaseline(baseline, r); err != nil {
+				return err
+			}
+			fmt.Printf("  no throughput regression vs %s\n", *compare)
 		}
 		return nil
 	})

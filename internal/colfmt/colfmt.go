@@ -150,25 +150,24 @@ func ReadSegmentColumns(dir, name string, columns []string) (sql.Schema, [][]sql
 	return schema, cols, err
 }
 
-func readSegmentColumns(dir, name string, wanted []string) (sql.Schema, [][]sql.Value, int, error) {
-	data, err := os.ReadFile(filepath.Join(dir, name))
-	if err != nil {
-		return sql.Schema{}, nil, 0, fmt.Errorf("colfmt: %w", err)
-	}
+// parseSegmentHeader reads a segment's magic, schema, and row count,
+// returning the fields, row count, and the offset of the first column
+// block.
+func parseSegmentHeader(data []byte, name string) ([]sql.Field, int, int, error) {
 	if len(data) < len(magic) || string(data[:len(magic)]) != string(magic) {
-		return sql.Schema{}, nil, 0, fmt.Errorf("colfmt: %s is not a segment file", name)
+		return nil, 0, 0, fmt.Errorf("colfmt: %s is not a segment file", name)
 	}
 	pos := len(magic)
 	ncols, n := binary.Uvarint(data[pos:])
 	if n <= 0 {
-		return sql.Schema{}, nil, 0, fmt.Errorf("colfmt: corrupt header in %s", name)
+		return nil, 0, 0, fmt.Errorf("colfmt: corrupt header in %s", name)
 	}
 	pos += n
 	fields := make([]sql.Field, ncols)
 	for i := range fields {
 		nameLen, n := binary.Uvarint(data[pos:])
 		if n <= 0 || pos+n+int(nameLen)+1 > len(data) {
-			return sql.Schema{}, nil, 0, fmt.Errorf("colfmt: corrupt schema in %s", name)
+			return nil, 0, 0, fmt.Errorf("colfmt: corrupt schema in %s", name)
 		}
 		pos += n
 		fields[i].Name = string(data[pos : pos+int(nameLen)])
@@ -176,12 +175,26 @@ func readSegmentColumns(dir, name string, wanted []string) (sql.Schema, [][]sql.
 		fields[i].Type = sql.Type(data[pos])
 		pos++
 	}
-	fullSchema := sql.Schema{Fields: fields}
 	nrows, n := binary.Uvarint(data[pos:])
 	if n <= 0 {
-		return sql.Schema{}, nil, 0, fmt.Errorf("colfmt: corrupt row count in %s", name)
+		return nil, 0, 0, fmt.Errorf("colfmt: corrupt row count in %s", name)
 	}
 	pos += n
+	return fields, int(nrows), pos, nil
+}
+
+func readSegmentColumns(dir, name string, wanted []string) (sql.Schema, [][]sql.Value, int, error) {
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return sql.Schema{}, nil, 0, fmt.Errorf("colfmt: %w", err)
+	}
+	fields, nrowsInt, pos, err := parseSegmentHeader(data, name)
+	if err != nil {
+		return sql.Schema{}, nil, 0, err
+	}
+	fullSchema := sql.Schema{Fields: fields}
+	ncols := uint64(len(fields))
+	nrows := uint64(nrowsInt)
 
 	// Map wanted column names to ordinals; nil means all.
 	ordinals := make([]int, 0, ncols)

@@ -18,6 +18,7 @@ import (
 	"structream/internal/sql"
 	"structream/internal/sql/codec"
 	"structream/internal/sql/logical"
+	"structream/internal/sql/vec"
 	"structream/internal/state"
 	"structream/internal/trace"
 	"structream/internal/wal"
@@ -97,6 +98,14 @@ type Options struct {
 	// MinRecordsPerTrigger floors the adaptive cap so a struggling query
 	// still makes progress (default 16).
 	MinRecordsPerTrigger int64
+	// Vectorize enables the columnar execution path for the microbatch hot
+	// loop (default on): map tasks decode source batches into typed column
+	// vectors and run filters, projections, tumbling-window assignment and
+	// map-side partial aggregation as kernels, falling back per stage to
+	// the row path when an expression or input does not vectorize. Results
+	// are identical either way. Pass engine.Bool(false) to force the row
+	// path (useful for benchmarking and differential testing).
+	Vectorize *bool
 	// DisableTracing turns off span-based epoch tracing (§7.4). Tracing is
 	// on by default; its overhead is a few timestamps per epoch stage.
 	DisableTracing bool
@@ -104,6 +113,9 @@ type Options struct {
 	// the tracer's ring buffer (default 256).
 	TraceCapacity int
 }
+
+// Bool returns a pointer to v, for the Options.Vectorize field.
+func Bool(v bool) *bool { return &v }
 
 func (o Options) withDefaults() Options {
 	if o.Trigger == nil {
@@ -151,6 +163,12 @@ type exec struct {
 
 	limiter   *aimdLimiter // nil unless AdaptiveBackpressure
 	abandoned atomic.Bool  // set by the epoch watchdog; poisons late writes
+	vectorize bool         // Options.Vectorize resolved (default true)
+	// colSink is non-nil when epochs may deliver columnar: the sink
+	// accepts column batches and the query is a map-only append (no
+	// stateful stage, so Post is the identity). Individual epochs still
+	// fall back to AddBatch when any task left the columnar path.
+	colSink sinks.ColumnSink
 
 	mu               sync.Mutex // serializes epoch execution
 	nextEpoch        int64
@@ -206,6 +224,7 @@ func newExec(q *incremental.Query, srcs map[string]sources.Source, sink sinks.Si
 		lastLatest:       map[string]sources.Offsets{},
 		isrcs:            map[string]*sources.Instrumented{},
 		perPipeMax:       make([]int64, len(q.Pipelines)),
+		vectorize:        opts.Vectorize == nil || *opts.Vectorize,
 	}
 	e.log.SetRegistry(e.reg)
 	if !opts.DisableTracing {
@@ -227,6 +246,9 @@ func newExec(q *incremental.Query, srcs map[string]sources.Source, sink sinks.Si
 	}
 	if mg, ok := q.Stateful.(*incremental.FlatMapGroupsWithState); ok {
 		e.alwaysRun = mg.Timeout == logical.ProcessingTimeTimeout
+	}
+	if cs, ok := sink.(sinks.ColumnSink); ok && e.vectorize && q.Stateful == nil && q.Mode == logical.Append {
+		e.colSink = cs
 	}
 	if opts.AdaptiveBackpressure {
 		e.limiter = newAIMDLimiter(opts.BackpressureTarget, opts.MaxRecordsPerTrigger, opts.MinRecordsPerTrigger, e.reg)
@@ -490,8 +512,41 @@ type mapResult struct {
 	side    int
 	buckets [][]sql.Row // by reduce partition; nil for map-only queries
 	direct  []sql.Row   // map-only output
+	vecOut  *vec.Batch  // map-only output kept columnar for a ColumnSink
 	maxTs   int64
 	rows    int64
+	vecRows int64 // rows that ran the columnar path (≤ rows)
+}
+
+// runVecMapTask is the columnar twin of the map-task body: watermark
+// tracking scans the raw batch's event-time vector, and the pipeline's
+// vector plan runs kernels until rows materialize at the shuffle (or
+// direct-output) boundary.
+func (e *exec) runVecMapTask(bp boundPipeline, batch *vec.Batch, nPart int) *mapResult {
+	res := &mapResult{side: bp.pipe.Side, maxTs: -1, rows: int64(batch.Len), vecRows: int64(batch.Len)}
+	if bp.pipe.WatermarkEval != nil {
+		res.maxTs = vec.MaxInt64(batch.Cols[bp.pipe.WatermarkIdx], batch.Len, -1)
+	}
+	if bp.pipe.KeyEvals == nil {
+		if e.colSink != nil && bp.pipe.FullyVectorized() {
+			// The whole pipeline ran as kernels and the sink takes column
+			// batches: skip row materialization entirely.
+			res.vecOut = bp.pipe.ApplyVec(batch)
+			return res
+		}
+		bp.pipe.ProcessBatchTo(batch, func(row sql.Row) { res.direct = append(res.direct, row) })
+		return res
+	}
+	res.buckets = make([][]sql.Row, nPart)
+	key := make([]sql.Value, len(bp.pipe.KeyEvals))
+	bp.pipe.ProcessBatchTo(batch, func(row sql.Row) {
+		for k, ev := range bp.pipe.KeyEvals {
+			key[k] = ev(row)
+		}
+		b := int(codec.HashKey(key) % uint64(nPart))
+		res.buckets[b] = append(res.buckets[b], row)
+	})
+	return res
 }
 
 // runEpoch executes one epoch end to end. Caller holds e.mu.
@@ -568,10 +623,28 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 		spec := spec
 		bp := e.pipes[spec.pipeIdx]
 		r := ranges[bp.src.Name()]
+		wantVec := e.vectorize && bp.pipe.Vec != nil
 		tasks[ti] = cluster.Task{Index: ti, Fn: func() (any, error) {
 			var raw []sql.Row
+			var batch *vec.Batch
 			readStart := time.Now()
 			if err := e.withRetry(func() error {
+				raw, batch = nil, nil
+				if wantVec {
+					// Columnar fast path: codec-framed sources decode the
+					// range straight into typed vectors; ok=false (type
+					// drift, or no columnar decode) re-reads boxed below.
+					if vr, isVec := bp.src.(sources.VectorReader); isVec {
+						b, ok, rerr := vr.ReadVec(spec.part, r[0][spec.part], r[1][spec.part])
+						if rerr != nil {
+							return rerr
+						}
+						if ok {
+							batch = b
+							return nil
+						}
+					}
+				}
 				var rerr error
 				raw, rerr = bp.src.Read(spec.part, r[0][spec.part], r[1][spec.part])
 				return rerr
@@ -581,6 +654,31 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 			readNanos.Add(time.Since(readStart).Nanoseconds())
 			pipeStart := time.Now()
 			defer func() { pipeNanos.Add(time.Since(pipeStart).Nanoseconds()) }()
+			if batch == nil && wantVec {
+				// The source served rows; vectorize them here unless their
+				// dynamic types drifted from the schema.
+				if b, ok := vec.FromRows(bp.src.Schema(), raw); ok {
+					batch = b
+				}
+			}
+			if batch != nil {
+				// The watermark column must be a typed int64 vector for the
+				// columnar max scan; anything else takes the row path.
+				if bp.pipe.WatermarkEval == nil ||
+					(bp.pipe.WatermarkIdx >= 0 && batch.Cols[bp.pipe.WatermarkIdx].Kind == vec.KindInt64) {
+					return e.runVecMapTask(bp, batch, nPart), nil
+				}
+				if raw == nil {
+					var err error
+					if err = e.withRetry(func() error {
+						var rerr error
+						raw, rerr = bp.src.Read(spec.part, r[0][spec.part], r[1][spec.part])
+						return rerr
+					}); err != nil {
+						return nil, err
+					}
+				}
+			}
 			res := &mapResult{side: bp.pipe.Side, maxTs: -1, rows: int64(len(raw))}
 			if bp.pipe.WatermarkEval != nil {
 				for _, row := range raw {
@@ -615,8 +713,20 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 		return err
 	}
 
-	var inputRows int64
+	var inputRows, vecRows int64
 	var stageRows []sql.Row
+	var vecOuts []*vec.Batch
+	// colOut: every task's map-only output stayed columnar, so the epoch
+	// delivers column batches to the sink. One task falling back to the
+	// row path (type drift, non-int64 watermark column) demotes the whole
+	// epoch — outputs materialize in task order so row ordering matches
+	// the pure row path exactly.
+	colOut := e.colSink != nil
+	for _, r := range results {
+		if res := r.(*mapResult); res.vecOut == nil && len(res.direct) > 0 {
+			colOut = false
+		}
+	}
 	perSrcRows := map[string]int64{}
 	// inputsByPart[p][side] collects shuffle rows.
 	inputsByPart := make([][][]sql.Row, nPart)
@@ -630,9 +740,20 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 	for ti, r := range results {
 		res := r.(*mapResult)
 		inputRows += res.rows
+		vecRows += res.vecRows
 		perSrcRows[e.pipes[specs[ti].pipeIdx].src.Name()] += res.rows
 		if res.maxTs > pipeMaxSeen[specs[ti].pipeIdx] {
 			pipeMaxSeen[specs[ti].pipeIdx] = res.maxTs
+		}
+		if res.vecOut != nil {
+			if colOut {
+				if res.vecOut.NumLive() > 0 {
+					vecOuts = append(vecOuts, res.vecOut)
+				}
+			} else {
+				stageRows = res.vecOut.AppendRows(stageRows)
+			}
+			continue
 		}
 		if res.buckets == nil {
 			stageRows = append(stageRows, res.direct...)
@@ -657,6 +778,9 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 	et.EndSpanWith(spFetch, fetchDur)
 	spFetch.SetAttr("rows", inputRows)
 	spFetch.SetAttr("tasks", int64(len(tasks)))
+	if vecRows > 0 {
+		spFetch.SetAttr("vectorizedRows", vecRows)
+	}
 	et.AddStage("execution", mapStart.Add(fetchDur), mapWall-fetchDur)
 	bd["getBatch"] += fetchDur.Microseconds()
 	bd["execution"] += (mapWall - fetchDur).Microseconds()
@@ -738,12 +862,22 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 		et.EndSpanWith(spState, 0)
 	}
 
-	// ---- post stage + sink commit.
+	// ---- post stage + sink commit. Columnar epochs skip Post: colOut
+	// requires a map-only query, whose compiled Post is the identity.
 	spPost := et.StartSpan("execution")
 	postStart := time.Now()
-	outRows, err := e.q.Post(stageRows)
-	if err != nil {
-		return err
+	var outRows []sql.Row
+	var outCount int64
+	if colOut {
+		for _, vb := range vecOuts {
+			outCount += int64(vb.NumLive())
+		}
+	} else {
+		outRows, err = e.q.Post(stageRows)
+		if err != nil {
+			return err
+		}
+		outCount = int64(len(outRows))
 	}
 	et.EndSpan(spPost)
 	bd["execution"] += time.Since(postStart).Microseconds()
@@ -753,19 +887,24 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 	spSink := et.StartSpan("sinkCommit")
 	sinkStart := time.Now()
 	if err := e.withRetry(func() error {
-		return e.sink.AddBatch(sinks.Batch{
+		b := sinks.Batch{
 			Epoch:    epoch,
 			Mode:     e.q.Mode,
 			Schema:   e.q.OutSchema,
-			Rows:     outRows,
 			KeyArity: e.q.KeyArity,
-		})
+		}
+		if colOut {
+			b.Vecs = vecOuts
+			return e.colSink.AddColumnBatch(b)
+		}
+		b.Rows = outRows
+		return e.sink.AddBatch(b)
 	}); err != nil {
 		return err
 	}
 	sinkWall := time.Since(sinkStart)
 	et.EndSpan(spSink)
-	spSink.SetAttr("rows", int64(len(outRows)))
+	spSink.SetAttr("rows", outCount)
 	bd["sinkCommit"] += sinkWall.Microseconds()
 	if err := e.checkAbandoned(epoch, "commit"); err != nil {
 		return err
@@ -811,7 +950,10 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 
 	total := planDur + time.Since(start)
 	et.SetAttr("inputRows", inputRows)
-	et.SetAttr("outputRows", int64(len(outRows)))
+	et.SetAttr("outputRows", outCount)
+	if vecRows > 0 {
+		et.SetAttr("vectorizedRows", vecRows)
+	}
 
 	// Per-stage latency histograms: the source of p50/p95/p99 in /metrics
 	// and the evidence backing AIMD backpressure decisions.
@@ -827,7 +969,8 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 		e.reg.Gauge("admissionCapRecords").Set(e.admissionCap())
 	}
 	e.reg.Counter("inputRows").Add(inputRows)
-	e.reg.Counter("outputRows").Add(int64(len(outRows)))
+	e.reg.Counter("vectorizedRows").Add(vecRows)
+	e.reg.Counter("outputRows").Add(outCount)
 	e.reg.Counter("epochs").Add(1)
 	e.reg.Gauge("watermarkMicros").Set(e.watermark)
 	e.reg.Gauge("stateRows").Set(stateRows)
@@ -870,8 +1013,8 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 	}
 	sinkProgress := &metrics.SinkProgress{
 		Description:      sinks.Describe(e.sink),
-		NumOutputRows:    int64(len(outRows)),
-		OutputRowsPerSec: metrics.RatePerSec(int64(len(outRows)), total),
+		NumOutputRows:    outCount,
+		OutputRowsPerSec: metrics.RatePerSec(outCount, total),
 		WriteMicros:      sinkWall.Microseconds(),
 	}
 	var stateOps []metrics.StateOperatorProgress
@@ -916,14 +1059,16 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 		QueryName:            e.opts.Name,
 		Epoch:                epoch,
 		NumInputRows:         inputRows,
-		NumOutputRows:        int64(len(outRows)),
+		NumOutputRows:        outCount,
+		Vectorized:           e.vectorize,
+		VectorizedRows:       vecRows,
 		ProcessingMillis:     total.Milliseconds(),
 		ProcessingMicros:     total.Microseconds(),
 		WatermarkMicros:      e.watermark,
 		StateRows:            stateRows,
 		StateBytes:           stateBytes,
 		InputRowsPerSec:      metrics.RatePerSec(inputRows, total),
-		OutputRowsPerSec:     metrics.RatePerSec(int64(len(outRows)), total),
+		OutputRowsPerSec:     metrics.RatePerSec(outCount, total),
 		DurationBreakdown:    bd,
 		BottleneckStage:      metrics.BottleneckStage(bd),
 		BackpressureDecision: backpressureDecision,

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// CompareBenchBaseline is the throughput regression gate behind
+// `make bench-compare`: it fails when the fresh report's
+// microbatch-throughput falls more than 10% below the baseline report
+// (the committed BENCH_<date>.json artifact, passed as raw JSON).
+func CompareBenchBaseline(baselineJSON []byte, r BenchReport) error {
+	var base BenchReport
+	if err := json.Unmarshal(baselineJSON, &base); err != nil {
+		return fmt.Errorf("parse baseline report: %w", err)
+	}
+	const scenario = "microbatch-throughput"
+	find := func(rep BenchReport) (BenchScenario, bool) {
+		for _, sc := range rep.Scenarios {
+			if sc.Name == scenario {
+				return sc, true
+			}
+		}
+		return BenchScenario{}, false
+	}
+	old, ok := find(base)
+	if !ok {
+		return fmt.Errorf("baseline report has no %q scenario", scenario)
+	}
+	cur, ok := find(r)
+	if !ok {
+		return fmt.Errorf("fresh report has no %q scenario", scenario)
+	}
+	if floor := 0.9 * old.RowsPerSec; cur.RowsPerSec < floor {
+		return fmt.Errorf("%s regressed: %.0f rows/s is more than 10%% below the baseline's %.0f",
+			scenario, cur.RowsPerSec, old.RowsPerSec)
+	}
+	return nil
+}

@@ -19,9 +19,13 @@ import (
 
 // BenchScenario is one machine-readable benchmark result in a BenchReport.
 type BenchScenario struct {
-	Name          string  `json:"name"`
-	Mode          string  `json:"mode"`
-	Traced        bool    `json:"traced"`
+	Name   string `json:"name"`
+	Mode   string `json:"mode"`
+	Traced bool   `json:"traced"`
+	// Vectorized records whether the columnar execution path was enabled
+	// for the run (microbatch scenarios; the "-rowpath" variant forces it
+	// off to expose the delta).
+	Vectorized    bool    `json:"vectorized,omitempty"`
 	Events        int64   `json:"events"`
 	Epochs        int64   `json:"epochs,omitempty"`
 	ElapsedMillis int64   `json:"elapsedMillis"`
@@ -60,6 +64,10 @@ type BenchReport struct {
 	// the median discards frequency-boost outliers, so what remains is the
 	// tracing cost itself. Negative values are run noise (traced won).
 	TracingOverheadPct float64 `json:"tracingOverheadPct"`
+	// VectorizationSpeedup is median vectorized ÷ median row-path
+	// microbatch throughput (tracing on for both), i.e. how much the
+	// columnar path buys on this machine.
+	VectorizationSpeedup float64 `json:"vectorizationSpeedup,omitempty"`
 }
 
 // String renders the report for the terminal.
@@ -81,6 +89,9 @@ func (r BenchReport) String() string {
 		b.WriteString("\n")
 	}
 	fmt.Fprintf(&b, "  tracing+histogram overhead on microbatch throughput: %.2f%%\n", r.TracingOverheadPct)
+	if r.VectorizationSpeedup > 0 {
+		fmt.Fprintf(&b, "  vectorized over row-path microbatch throughput: %.2fx\n", r.VectorizationSpeedup)
+	}
 	return b.String()
 }
 
@@ -101,7 +112,7 @@ func median(xs []float64) float64 {
 // runMicrobatchBench bulk-processes n preloaded records with the map query
 // under the microbatch engine, split into ~16 rate-limited epochs so the
 // epoch.us histogram has enough samples for percentiles.
-func runMicrobatchBench(n int64, disableTracing bool, ckpt string) (BenchScenario, error) {
+func runMicrobatchBench(n int64, disableTracing, vectorize bool, ckpt string) (BenchScenario, error) {
 	const partitions = 4
 	broker := msgbus.NewBroker()
 	topic, err := broker.CreateTopic("in", partitions)
@@ -133,6 +144,7 @@ func runMicrobatchBench(n int64, disableTracing bool, ckpt string) (BenchScenari
 		MaxRecordsPerTrigger: n/16 + 1,
 		FS:                   fsx.NoSync(),
 		DisableTracing:       disableTracing,
+		Vectorize:            engine.Bool(vectorize),
 	})
 	if err != nil {
 		return BenchScenario{}, err
@@ -146,10 +158,14 @@ func runMicrobatchBench(n int64, disableTracing bool, ckpt string) (BenchScenari
 	if disableTracing {
 		name += "-untraced"
 	}
+	if !vectorize {
+		name += "-rowpath"
+	}
 	return BenchScenario{
 		Name:          name,
 		Mode:          "microbatch",
 		Traced:        !disableTracing,
+		Vectorized:    vectorize,
 		Events:        n,
 		Epochs:        snap["epochs"],
 		ElapsedMillis: elapsed.Milliseconds(),
@@ -182,7 +198,7 @@ func RunBenchSuite(events int, rounds int, tempDir func() string) (BenchReport, 
 	// One discarded warmup run: the first run through the engine pays
 	// allocator growth and lazy-init costs that would otherwise be charged
 	// to whichever variant happens to go first.
-	if _, err := runMicrobatchBench(int64(events), false, tempDir()); err != nil {
+	if _, err := runMicrobatchBench(int64(events), false, true, tempDir()); err != nil {
 		return BenchReport{}, err
 	}
 	// Alternating rounds: the variant order flips every round so the warm
@@ -194,7 +210,7 @@ func RunBenchSuite(events int, rounds int, tempDir func() string) (BenchReport, 
 	var tracedRates, untracedRates []float64
 	runVariant := func(disableTracing bool) error {
 		runtime.GC()
-		sc, err := runMicrobatchBench(int64(events), disableTracing, tempDir())
+		sc, err := runMicrobatchBench(int64(events), disableTracing, true, tempDir())
 		if err != nil {
 			return err
 		}
@@ -223,6 +239,26 @@ func RunBenchSuite(events int, rounds int, tempDir func() string) (BenchReport, 
 	report.Scenarios = append(report.Scenarios, traced, untraced)
 	if m := median(untracedRates); m > 0 {
 		report.TracingOverheadPct = 100 * (m - median(tracedRates)) / m
+	}
+
+	// Row-path dimension: the same workload with the columnar path forced
+	// off, so the report carries the vectorization delta on this machine.
+	var rowpath BenchScenario
+	var rowpathRates []float64
+	for i := 0; i < rounds; i++ {
+		runtime.GC()
+		sc, err := runMicrobatchBench(int64(events), false, false, tempDir())
+		if err != nil {
+			return BenchReport{}, err
+		}
+		rowpathRates = append(rowpathRates, sc.RowsPerSec)
+		if sc.RowsPerSec > rowpath.RowsPerSec {
+			rowpath = sc
+		}
+	}
+	report.Scenarios = append(report.Scenarios, rowpath)
+	if m := median(rowpathRates); m > 0 {
+		report.VectorizationSpeedup = median(tracedRates) / m
 	}
 
 	// Continuous mode: per-record end-to-end latency at a rate well under

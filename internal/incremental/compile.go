@@ -8,6 +8,7 @@ import (
 	"structream/internal/sql/codec"
 	"structream/internal/sql/logical"
 	"structream/internal/sql/physical"
+	"structream/internal/sql/vec"
 )
 
 // Compile incrementalizes an analyzed, optimized streaming plan for the
@@ -114,6 +115,12 @@ func (c *compiler) finish(q *Query) {
 	for _, p := range q.Pipelines {
 		if p.WatermarkEval != nil {
 			q.HasWatermark = true
+		}
+		// Drop vector plans that cover nothing: a bare scan gains nothing
+		// from the columnar detour, and a nil Vec is the engine's signal
+		// to stay on the row path.
+		if p.Vec != nil && len(p.Vec.Ops) == 0 && p.Vec.Agg == nil {
+			p.Vec = nil
 		}
 	}
 }
@@ -261,7 +268,7 @@ func (c *compiler) stateless(p logical.Plan) ([]*Pipeline, sql.Schema, error) {
 		if !n.Streaming {
 			return nil, sql.Schema{}, fmt.Errorf("incremental: static table %s outside a join is not a stream", n.Name)
 		}
-		return []*Pipeline{{SourceName: n.Name}}, n.Out, nil
+		return []*Pipeline{{SourceName: n.Name, WatermarkIdx: -1, Vec: &VecPlan{}}}, n.Out, nil
 
 	case *logical.SubqueryAlias:
 		pipes, schema, err := c.stateless(n.Child)
@@ -289,6 +296,11 @@ func (c *compiler) stateless(p logical.Plan) ([]*Pipeline, sql.Schema, error) {
 				}
 			}, nil
 		})
+		var vop physical.VecOp
+		if prog, ok := vec.Compile(n.Cond, schema); ok {
+			vop = physical.NewVecFilter(prog)
+		}
+		appendVec(pipes, vop)
 		return pipes, schema, nil
 
 	case *logical.Project:
@@ -311,6 +323,11 @@ func (c *compiler) stateless(p logical.Plan) ([]*Pipeline, sql.Schema, error) {
 				next(nr)
 			}, nil
 		})
+		var vop physical.VecOp
+		if progs, ok := vec.CompileAll(n.Exprs, schema); ok {
+			vop = physical.NewVecProject(progs, outSchema)
+		}
+		appendVec(pipes, vop)
 		return pipes, outSchema, nil
 
 	case *logical.WindowAssign:
@@ -357,7 +374,18 @@ func (c *compiler) stateless(p logical.Plan) ([]*Pipeline, sql.Schema, error) {
 			}, nil
 		})
 		out, err := n.Schema()
-		return pipes, out, err
+		if err != nil {
+			return nil, sql.Schema{}, err
+		}
+		var vop physical.VecOp
+		if tumbling {
+			// Sliding windows explode rows and stay on the row path.
+			if prog, ok := vec.Compile(n.Window.Time, schema); ok && vec.KindOf(prog.Type) == vec.KindInt64 {
+				vop = physical.NewVecWindow(prog, w, out)
+			}
+		}
+		appendVec(pipes, vop)
+		return pipes, out, nil
 
 	case *logical.WithWatermark:
 		pipes, schema, err := c.stateless(n.Child)
@@ -378,6 +406,7 @@ func (c *compiler) stateless(p logical.Plan) ([]*Pipeline, sql.Schema, error) {
 			}
 			i := idx
 			pipe.WatermarkEval = func(r sql.Row) sql.Value { return r[i] }
+			pipe.WatermarkIdx = i
 			pipe.WatermarkDelay = n.Delay
 		}
 		return pipes, schema, nil
@@ -432,6 +461,25 @@ func (c *compiler) sourceSchema(p logical.Plan, name string) (sql.Schema, error)
 func appendStage(pipes []*Pipeline, f StageFactory) {
 	for _, p := range pipes {
 		p.Stages = append(p.Stages, f)
+	}
+}
+
+// appendVec extends each pipeline's vector plan with the columnar twin of
+// the stage appendStage just added. op == nil marks the stage
+// non-vectorizable, which seals the plan: later vectorized stages cannot
+// run before an uncovered row stage, so the columnar prefix stops growing
+// there and ProcessBatchTo hands the remaining stages their rows.
+func appendVec(pipes []*Pipeline, op physical.VecOp) {
+	for _, p := range pipes {
+		v := p.Vec
+		if v == nil || v.sealed {
+			continue
+		}
+		if op == nil || len(v.Ops)+1 != len(p.Stages) {
+			v.sealed = true
+			continue
+		}
+		v.Ops = append(v.Ops, op)
 	}
 }
 
@@ -586,6 +634,7 @@ func (c *compiler) streamStaticJoin(n *logical.Join, streamIsLeft bool) ([]*Pipe
 			}
 		}, nil
 	})
+	appendVec(pipes, nil)
 	if semi || anti {
 		return pipes, streamSchema, nil
 	}
@@ -635,6 +684,23 @@ func (c *compiler) compileAggregate(a *logical.Aggregate, q *Query) (StatefulOp,
 			}
 		}
 	})
+	// The aggregation itself vectorizes when its keys and inputs compile
+	// to kernels AND the vector plan still covers every earlier stage —
+	// otherwise rows would reach the columnar aggregator out of order with
+	// the row stages.
+	vecAgg := compileVecAgg(a, aggs, childSchema)
+	for _, p := range pipes {
+		v := p.Vec
+		if v == nil || v.sealed || len(v.Ops)+1 != len(p.Stages) {
+			continue
+		}
+		if vecAgg == nil {
+			v.sealed = true
+			continue
+		}
+		v.Agg = vecAgg
+		v.sealed = true
+	}
 	routeByLeadingColumns(pipes, len(a.Keys))
 	q.Pipelines = pipes
 	return op, len(a.Keys), nil
@@ -695,6 +761,7 @@ func (c *compiler) compileMapGroups(m *logical.MapGroups, q *Query) (StatefulOp,
 			next(sr)
 		}, nil
 	})
+	appendVec(pipes, nil)
 	routeByLeadingColumns(pipes, nkeys)
 	q.Pipelines = pipes
 	return &FlatMapGroupsWithState{
@@ -778,6 +845,7 @@ func (c *compiler) compileStreamStreamJoin(j *logical.Join, q *Query) (StatefulO
 				next(sr)
 			}, nil
 		})
+		appendVec(pipes, nil)
 		routeByLeadingColumns(pipes, nkeys)
 		return nil
 	}
@@ -805,6 +873,28 @@ func routeByLeadingColumns(pipes []*Pipeline, n int) {
 	for _, p := range pipes {
 		p.KeyEvals = evals
 	}
+}
+
+// compileVecAgg lowers the map-side partial aggregation's grouping keys
+// and aggregate inputs to kernel programs; nil when any expression needs
+// the row path.
+func compileVecAgg(a *logical.Aggregate, aggs []sql.BoundAgg, schema sql.Schema) *VecAggPlan {
+	keyProgs, ok := vec.CompileAll(a.Keys, schema)
+	if !ok {
+		return nil
+	}
+	inProgs := make([]*vec.Program, len(a.Aggs))
+	for i, na := range a.Aggs {
+		if na.Agg.Child == nil {
+			continue // count(*): no input, Update(nil) per row
+		}
+		prog, ok := vec.Compile(na.Agg.Child, schema)
+		if !ok {
+			return nil
+		}
+		inProgs[i] = prog
+	}
+	return &VecAggPlan{KeyProgs: keyProgs, InputProgs: inProgs, Aggs: aggs}
 }
 
 func underlyingColumnName(e sql.Expr) (string, bool) {

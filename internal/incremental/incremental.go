@@ -14,6 +14,8 @@ package incremental
 import (
 	"structream/internal/sql"
 	"structream/internal/sql/logical"
+	"structream/internal/sql/physical"
+	"structream/internal/sql/vec"
 	"structream/internal/state"
 )
 
@@ -77,8 +79,84 @@ type Pipeline struct {
 	// WatermarkEval extracts the event-time value from a *raw source row*
 	// for watermark tracking; nil when the source has no watermark.
 	WatermarkEval func(sql.Row) sql.Value
+	// WatermarkIdx is the raw-source column index behind WatermarkEval, so
+	// the columnar path can scan the vector directly; -1 when unset.
+	WatermarkIdx int
 	// WatermarkDelay is the declared lateness bound in µs.
 	WatermarkDelay int64
+	// Vec is the vectorized variant of a leading prefix of Stages (plus,
+	// optionally, the terminal partial aggregation); nil when nothing in
+	// the pipeline vectorizes. Stages remains the source of truth for
+	// semantics — Vec must produce byte-identical output.
+	Vec *VecPlan
+}
+
+// VecPlan mirrors a pipeline prefix as columnar kernels. Ops[i] computes
+// the same transformation as Stages[i]; rows materialize after the last
+// op and flow through the remaining row stages (none, for fully covered
+// pipelines). When Agg is set, Ops covers every stage but the terminal
+// partial aggregation, which runs columnar too.
+type VecPlan struct {
+	Ops []physical.VecOp
+	Agg *VecAggPlan
+	// sealed stops the compiler extending Ops once a non-vectorizable
+	// stage appears (later stages would run out of order otherwise).
+	sealed bool
+}
+
+// VecAggPlan is the columnar map-side partial aggregation: grouping keys
+// and aggregate inputs evaluate as kernels, and key encoding reads the
+// vectors directly instead of boxing every cell.
+type VecAggPlan struct {
+	// KeyProgs compute the grouping-key columns.
+	KeyProgs []*vec.Program
+	// InputProgs compute each aggregate's input column; a nil entry is an
+	// input-less aggregate (count(*)).
+	InputProgs []*vec.Program
+	// Aggs are the bound aggregates (buffer factories), as in the row path.
+	Aggs []sql.BoundAgg
+}
+
+// ProcessBatchTo is the columnar counterpart of ProcessTo: it runs one
+// task's column batch through the vectorized ops and pushes the resulting
+// rows (or partial-aggregation shuffle rows) to sink. The caller must
+// only invoke it when p.Vec != nil. Stages not covered by the vector plan
+// still run, row-at-a-time, after materialization, so output is identical
+// to ProcessTo over the same logical rows.
+func (p *Pipeline) ProcessBatchTo(b *vec.Batch, sink RowEmit) {
+	for _, op := range p.Vec.Ops {
+		b = op.Apply(b)
+	}
+	if a := p.Vec.Agg; a != nil {
+		h := newPartialAgg(nil, a.Aggs)
+		h.updateBatch(b, a)
+		for _, row := range h.shuffleRows() {
+			sink(row)
+		}
+		return
+	}
+	emit, flushes := p.instantiateFrom(len(p.Vec.Ops), sink)
+	physical.EmitBatchRows(b, emit)
+	for _, f := range flushes {
+		f()
+	}
+}
+
+// FullyVectorized reports whether the vector plan covers every stage with
+// no terminal partial aggregation: ApplyVec alone reproduces the
+// pipeline's output, so a column batch can stay columnar past the map
+// boundary (e.g. straight into a ColumnSink).
+func (p *Pipeline) FullyVectorized() bool {
+	return p.Vec != nil && p.Vec.Agg == nil && len(p.Vec.Ops) == len(p.Stages)
+}
+
+// ApplyVec runs the vector plan's ops over b and returns the transformed
+// batch, still columnar. Only valid when FullyVectorized reports true.
+func (p *Pipeline) ApplyVec(b *vec.Batch) *vec.Batch {
+	for _, op := range p.Vec.Ops {
+		b = op.Apply(b)
+	}
+	return b
 }
 
 // Process runs one task's rows through a freshly instantiated fused
@@ -112,9 +190,15 @@ func (p *Pipeline) ProcessTo(rows []sql.Row, sink RowEmit) {
 // leaf-to-boundary order so a flushed stage's output still flows through
 // later stages' already-live emits.
 func (p *Pipeline) instantiate(sink RowEmit) (RowEmit, []func()) {
+	return p.instantiateFrom(0, sink)
+}
+
+// instantiateFrom composes the stages starting at index first, skipping
+// the prefix already executed columnar.
+func (p *Pipeline) instantiateFrom(first int, sink RowEmit) (RowEmit, []func()) {
 	emit := sink
 	var flushes []func()
-	for i := len(p.Stages) - 1; i >= 0; i-- {
+	for i := len(p.Stages) - 1; i >= first; i-- {
 		var flush func()
 		emit, flush = p.Stages[i](emit)
 		if flush != nil {

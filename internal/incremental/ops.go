@@ -7,6 +7,7 @@ import (
 	"structream/internal/sql"
 	"structream/internal/sql/codec"
 	"structream/internal/sql/logical"
+	"structream/internal/sql/vec"
 	"structream/internal/state"
 )
 
@@ -74,9 +75,8 @@ func newPartialAgg(keyEvals []func(sql.Row) sql.Value, aggs []sql.BoundAgg) *par
 }
 
 // update is the map-side per-record hot path: the key is encoded into a
-// reused buffer and looked up without allocating (Go elides the
-// string([]byte) conversion in map index expressions); only first-seen
-// groups materialize their key.
+// reused buffer and looked up without allocating; only first-seen groups
+// materialize their key.
 func (p *partialAgg) update(r sql.Row) {
 	for i, e := range p.keyEvals {
 		p.scratch[i] = e(r)
@@ -85,17 +85,7 @@ func (p *partialAgg) update(r sql.Row) {
 	for _, v := range p.scratch {
 		p.enc.PutValue(v)
 	}
-	g, ok := p.groups[string(p.enc.Bytes())]
-	if !ok {
-		key := append([]sql.Value(nil), p.scratch...)
-		g = &partialGroup{key: key, bufs: make([]sql.AggBuffer, len(p.aggs))}
-		for i, a := range p.aggs {
-			g.bufs[i] = a.NewBuffer()
-		}
-		ks := string(p.enc.Bytes())
-		p.groups[ks] = g
-		p.order = append(p.order, ks)
-	}
+	g := p.lookup(func() []sql.Value { return append([]sql.Value(nil), p.scratch...) })
 	for i, a := range p.aggs {
 		if a.Input == nil {
 			g.bufs[i].Update(nil)
@@ -104,6 +94,73 @@ func (p *partialAgg) update(r sql.Row) {
 		if v := a.Input(r); v != nil {
 			g.bufs[i].Update(v)
 		}
+	}
+}
+
+// lookup resolves the group for the key currently sitting in p.enc. The
+// encoded bytes are converted to a string exactly once, on the first-seen
+// path, and that one string backs both the map entry and the emission
+// order; the hit-path map index uses the allocation-elided string([]byte)
+// conversion.
+func (p *partialAgg) lookup(boxKey func() []sql.Value) *partialGroup {
+	kb := p.enc.Bytes()
+	g, ok := p.groups[string(kb)]
+	if !ok {
+		g = &partialGroup{key: boxKey(), bufs: make([]sql.AggBuffer, len(p.aggs))}
+		for i, a := range p.aggs {
+			g.bufs[i] = a.NewBuffer()
+		}
+		ks := string(kb)
+		p.groups[ks] = g
+		p.order = append(p.order, ks)
+	}
+	return g
+}
+
+// updateBatch folds the live rows of a column batch into the hash table.
+// Grouping keys hash/encode straight from the key vectors — no per-row
+// boxing on the hit path; only first-seen groups box their key values.
+// Aggregate inputs skip NULL lanes exactly like update's nil check.
+func (p *partialAgg) updateBatch(b *vec.Batch, plan *VecAggPlan) {
+	keys := make([]*vec.Vector, len(plan.KeyProgs))
+	for i, prog := range plan.KeyProgs {
+		keys[i] = prog.Run(b)
+	}
+	ins := make([]*vec.Vector, len(plan.InputProgs))
+	for i, prog := range plan.InputProgs {
+		if prog != nil {
+			ins[i] = prog.Run(b)
+		}
+	}
+	updateLane := func(i int) {
+		p.enc.Reset()
+		codec.VectorKeyString(p.enc, keys, i)
+		g := p.lookup(func() []sql.Value {
+			key := make([]sql.Value, len(keys))
+			for j, kv := range keys {
+				key[j] = kv.Get(i)
+			}
+			return key
+		})
+		for k := range p.aggs {
+			in := ins[k]
+			if in == nil {
+				g.bufs[k].Update(nil)
+				continue
+			}
+			if !in.IsNull(i) {
+				g.bufs[k].Update(in.Get(i))
+			}
+		}
+	}
+	if b.Sel != nil {
+		for _, i := range b.Sel {
+			updateLane(int(i))
+		}
+		return
+	}
+	for i := 0; i < b.Len; i++ {
+		updateLane(i)
 	}
 }
 

@@ -265,7 +265,24 @@ func (t *Tree) Commit(version int64, puts map[string][]byte, dels map[string]boo
 			return err
 		}
 	}
+	prev := t.version
 	t.version = version
+	if err := t.commitTailLocked(); err != nil {
+		// The delta is already durable and the memtable has absorbed the
+		// batch, but the commit as a whole failed: restore the prior
+		// version so the tree does not claim a version its caller never
+		// saw commit. The memtable is not unwound — callers must reload
+		// from disk before retrying the version.
+		t.version = prev
+		return err
+	}
+	return nil
+}
+
+// commitTailLocked is the post-durability half of Commit: spill the
+// memtable past its threshold, fold crowded tiers, pin the result in the
+// manifest.
+func (t *Tree) commitTailLocked() error {
 	flushed := false
 	if t.mem.bytes >= t.opts.MemtableBytes && t.mem.len() > 0 {
 		if err := t.flushLocked(); err != nil {

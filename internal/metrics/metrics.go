@@ -201,6 +201,13 @@ type QueryProgress struct {
 	StateBytes       int64   `json:"stateBytes"`
 	InputRowsPerSec  float64 `json:"inputRowsPerSecond"`
 	OutputRowsPerSec float64 `json:"outputRowsPerSecond"`
+	// Vectorized reports whether the columnar execution path was enabled
+	// for this query (Options.Vectorize); VectorizedRows counts how many of
+	// this epoch's input rows actually ran it — rows fall back to the row
+	// path per task when a batch's types drift or a stage doesn't compile
+	// to kernels.
+	Vectorized     bool  `json:"vectorized,omitempty"`
+	VectorizedRows int64 `json:"vectorizedRows,omitempty"`
 	// ProcessingMicros is the epoch's wall time at µs resolution;
 	// ProcessingMillis is this rounded down. Sub-millisecond epochs report
 	// 0 ms but keep a meaningful µs figure, which is what rates and the

@@ -15,6 +15,7 @@ import (
 	"structream/internal/sql"
 	"structream/internal/sql/codec"
 	"structream/internal/sql/logical"
+	"structream/internal/sql/vec"
 )
 
 // Batch is one epoch's output delivered to a sink.
@@ -28,6 +29,13 @@ type Batch struct {
 	Mode   logical.OutputMode
 	Schema sql.Schema
 	Rows   []sql.Row
+	// Vecs carries the epoch's output as column batches instead of Rows
+	// when the engine kept the pipeline vectorized end to end and the sink
+	// implements ColumnSink. Exactly one of Rows/Vecs is populated.
+	// Ownership transfers with delivery: the engine never mutates a batch
+	// after handing it over, so sinks may retain the vectors without
+	// copying.
+	Vecs []*vec.Batch
 	// KeyArity is the number of leading columns forming the logical key in
 	// Update mode (0 means the whole row is the key).
 	KeyArity int
@@ -37,6 +45,17 @@ type Batch struct {
 // engine may re-deliver the last epoch after recovery.
 type Sink interface {
 	AddBatch(b Batch) error
+}
+
+// ColumnSink is an optional Sink extension for sinks that can absorb
+// column batches without materializing rows first. AddColumnBatch has the
+// same (Epoch, Sub) idempotency contract as AddBatch; the delivered batch
+// has Vecs set and Rows nil. Sinks that only sometimes avoid
+// materialization may call Batch.Vecs[i].AppendRows themselves — the
+// boxed rows are identical to what the row path would have delivered.
+type ColumnSink interface {
+	Sink
+	AddColumnBatch(b Batch) error
 }
 
 // Describe names a sink's kind for the monitoring surface ("memory",
@@ -72,22 +91,31 @@ func Describe(s Sink) string {
 // snapshots for interactive queries — the paper's "output to an in-memory
 // Spark table that users can query interactively" (§3).
 type MemorySink struct {
-	mu       sync.Mutex
-	schema   sql.Schema
-	byEpoch  map[epochSub][]sql.Row // append mode: rows per (epoch, sub)
-	complete []sql.Row              // complete mode: latest full table
-	keyed    map[string]sql.Row     // update mode: upsert by key
-	keyOrder []string
-	mode     logical.OutputMode
-	hasMode  bool
-	epochs   []epochSub
+	mu      sync.Mutex
+	schema  sql.Schema
+	byEpoch map[epochSub][]sql.Row // append mode: rows per (epoch, sub)
+	// vecByEpoch holds epochs delivered columnar (AddColumnBatch). Rows
+	// materialize lazily on first read and memoize into byEpoch; a replay
+	// that re-delivers the (epoch, sub) pair clears whichever
+	// representation it replaces.
+	vecByEpoch map[epochSub][]*vec.Batch
+	complete   []sql.Row          // complete mode: latest full table
+	keyed      map[string]sql.Row // update mode: upsert by key
+	keyOrder   []string
+	mode       logical.OutputMode
+	hasMode    bool
+	epochs     []epochSub
 }
 
 type epochSub struct{ epoch, sub int64 }
 
 // NewMemorySink creates an empty memory sink.
 func NewMemorySink() *MemorySink {
-	return &MemorySink{byEpoch: map[epochSub][]sql.Row{}, keyed: map[string]sql.Row{}}
+	return &MemorySink{
+		byEpoch:    map[epochSub][]sql.Row{},
+		vecByEpoch: map[epochSub][]*vec.Batch{},
+		keyed:      map[string]sql.Row{},
+	}
 }
 
 // AddBatch implements Sink.
@@ -104,16 +132,9 @@ func (s *MemorySink) AddBatch(b Batch) error {
 		s.complete = cloneRows(b.Rows)
 	case logical.Append:
 		key := epochSub{epoch: b.Epoch, sub: b.Sub}
-		if _, seen := s.byEpoch[key]; !seen {
-			s.epochs = append(s.epochs, key)
-			sort.Slice(s.epochs, func(i, j int) bool {
-				if s.epochs[i].epoch != s.epochs[j].epoch {
-					return s.epochs[i].epoch < s.epochs[j].epoch
-				}
-				return s.epochs[i].sub < s.epochs[j].sub
-			})
-		}
+		s.registerEpochLocked(key)
 		s.byEpoch[key] = cloneRows(b.Rows) // replace: idempotent replay
+		delete(s.vecByEpoch, key)
 	case logical.Update:
 		ka := b.KeyArity
 		if ka <= 0 || ka > b.Schema.Len() {
@@ -128,6 +149,64 @@ func (s *MemorySink) AddBatch(b Batch) error {
 		}
 	}
 	return nil
+}
+
+// AddColumnBatch implements ColumnSink: append-mode epochs keep their
+// column batches as delivered, deferring row materialization to the
+// first read. Other output modes need per-row key handling, so they
+// materialize immediately and reuse AddBatch.
+func (s *MemorySink) AddColumnBatch(b Batch) error {
+	if b.Mode != logical.Append {
+		for _, vb := range b.Vecs {
+			b.Rows = vb.AppendRows(b.Rows)
+		}
+		b.Vecs = nil
+		return s.AddBatch(b)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.schema = b.Schema
+	if s.hasMode && s.mode != b.Mode {
+		return fmt.Errorf("sinks: memory sink mode changed from %s to %s", s.mode, b.Mode)
+	}
+	s.mode, s.hasMode = b.Mode, true
+	key := epochSub{epoch: b.Epoch, sub: b.Sub}
+	s.registerEpochLocked(key)
+	s.vecByEpoch[key] = b.Vecs
+	delete(s.byEpoch, key)
+	return nil
+}
+
+// registerEpochLocked records a new (epoch, sub) pair in delivery order.
+func (s *MemorySink) registerEpochLocked(key epochSub) {
+	if _, seen := s.byEpoch[key]; seen {
+		return
+	}
+	if _, seen := s.vecByEpoch[key]; seen {
+		return
+	}
+	s.epochs = append(s.epochs, key)
+	sort.Slice(s.epochs, func(i, j int) bool {
+		if s.epochs[i].epoch != s.epochs[j].epoch {
+			return s.epochs[i].epoch < s.epochs[j].epoch
+		}
+		return s.epochs[i].sub < s.epochs[j].sub
+	})
+}
+
+// epochRowsLocked returns one epoch's rows, materializing (and
+// memoizing) a columnar delivery on first access. Callers must not
+// mutate the result — it backs future reads.
+func (s *MemorySink) epochRowsLocked(key epochSub) []sql.Row {
+	if rows, ok := s.byEpoch[key]; ok {
+		return rows
+	}
+	var rows []sql.Row
+	for _, vb := range s.vecByEpoch[key] {
+		rows = vb.AppendRows(rows)
+	}
+	s.byEpoch[key] = rows
+	return rows
 }
 
 // Schema returns the sink's current schema.
@@ -153,7 +232,7 @@ func (s *MemorySink) Rows() []sql.Row {
 	default:
 		var out []sql.Row
 		for _, e := range s.epochs {
-			out = append(out, cloneRows(s.byEpoch[e])...)
+			out = append(out, cloneRows(s.epochRowsLocked(e))...)
 		}
 		return out
 	}
@@ -166,7 +245,7 @@ func (s *MemorySink) RowsForEpoch(epoch int64) []sql.Row {
 	var out []sql.Row
 	for _, e := range s.epochs {
 		if e.epoch == epoch {
-			out = append(out, cloneRows(s.byEpoch[e])...)
+			out = append(out, cloneRows(s.epochRowsLocked(e))...)
 		}
 	}
 	return out
@@ -183,6 +262,7 @@ func (s *MemorySink) Truncate(keep int64) {
 			kept = append(kept, e)
 		} else {
 			delete(s.byEpoch, e)
+			delete(s.vecByEpoch, e)
 		}
 	}
 	s.epochs = kept

@@ -13,6 +13,7 @@ import (
 	"structream/internal/msgbus"
 	"structream/internal/sql"
 	"structream/internal/sql/logical"
+	"structream/internal/sql/vec"
 )
 
 var schema = sql.NewSchema(
@@ -293,5 +294,90 @@ func TestJSONFileSinkCrashLeavesNoTornFile(t *testing.T) {
 	got, _ := os.ReadFile(filepath.Join(dir, "part-000000000001.json"))
 	if !strings.Contains(string(got), `"US"`) {
 		t.Errorf("replayed file = %q", got)
+	}
+}
+
+// ------------------------------------------------------------- columnar
+
+func colBatch(t *testing.T, epoch int64, rows ...sql.Row) Batch {
+	t.Helper()
+	vb, ok := vec.FromRows(schema, rows)
+	if !ok {
+		t.Fatal("FromRows failed")
+	}
+	return Batch{Epoch: epoch, Mode: logical.Append, Schema: schema,
+		Vecs: []*vec.Batch{vb}, KeyArity: 1}
+}
+
+func TestMemorySinkColumnarAppend(t *testing.T) {
+	s := NewMemorySink()
+	if err := s.AddColumnBatch(colBatch(t, 0, sql.Row{"CA", int64(1)})); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddColumnBatch(colBatch(t, 1, sql.Row{"US", int64(2)}, sql.Row{"MX", int64(3)})); err != nil {
+		t.Fatal(err)
+	}
+	rows := s.Rows()
+	if len(rows) != 3 || rows[0][0] != "CA" || rows[1][0] != "US" || rows[2][0] != "MX" {
+		t.Fatalf("rows = %v", rows)
+	}
+	if got := s.RowsForEpoch(1); len(got) != 2 || got[0][1] != int64(2) {
+		t.Fatalf("epoch rows = %v", got)
+	}
+}
+
+// Replays must replace in both directions: a columnar delivery replacing
+// a row delivery of the same epoch, and vice versa.
+func TestMemorySinkColumnarReplayReplaces(t *testing.T) {
+	s := NewMemorySink()
+	s.AddBatch(batch(0, logical.Append, sql.Row{"CA", int64(1)}))
+	if err := s.AddColumnBatch(colBatch(t, 0, sql.Row{"CA", int64(1)})); err != nil {
+		t.Fatal(err)
+	}
+	if rows := s.Rows(); len(rows) != 1 {
+		t.Fatalf("columnar replay duplicated: %v", rows)
+	}
+	// Read (materializes + memoizes), then replay again row-wise.
+	_ = s.RowsForEpoch(0)
+	s.AddBatch(batch(0, logical.Append, sql.Row{"CA", int64(9)}))
+	rows := s.Rows()
+	if len(rows) != 1 || rows[0][1] != int64(9) {
+		t.Fatalf("row replay after memoized columnar read: %v", rows)
+	}
+}
+
+func TestMemorySinkColumnarTruncate(t *testing.T) {
+	s := NewMemorySink()
+	s.AddColumnBatch(colBatch(t, 0, sql.Row{"CA", int64(1)}))
+	s.AddColumnBatch(colBatch(t, 1, sql.Row{"US", int64(2)}))
+	s.AddColumnBatch(colBatch(t, 2, sql.Row{"MX", int64(3)}))
+	s.Truncate(0)
+	rows := s.Rows()
+	if len(rows) != 1 || rows[0][0] != "CA" {
+		t.Fatalf("rows after truncate = %v", rows)
+	}
+	// A re-delivery of a truncated epoch is a fresh append.
+	s.AddColumnBatch(colBatch(t, 1, sql.Row{"US", int64(2)}))
+	if rows := s.Rows(); len(rows) != 2 {
+		t.Fatalf("rows after re-delivery = %v", rows)
+	}
+}
+
+// Non-append modes have per-row key handling; columnar deliveries
+// materialize and take the row route.
+func TestMemorySinkColumnarUpdateDelegates(t *testing.T) {
+	s := NewMemorySink()
+	vb, ok := vec.FromRows(schema, []sql.Row{{"CA", int64(1)}, {"CA", int64(5)}})
+	if !ok {
+		t.Fatal("FromRows failed")
+	}
+	err := s.AddColumnBatch(Batch{Epoch: 0, Mode: logical.Update, Schema: schema,
+		Vecs: []*vec.Batch{vb}, KeyArity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := s.Rows()
+	if len(rows) != 1 || rows[0][1] != int64(5) {
+		t.Fatalf("update-mode columnar rows = %v", rows)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"structream/internal/sql"
+	"structream/internal/sql/vec"
 )
 
 // Instrumented wraps a Source with read-side observability counters: how
@@ -75,6 +76,30 @@ func (s *Instrumented) Read(p int, from, to int64) ([]sql.Row, error) {
 	}
 	s.rows.Add(int64(len(rows)))
 	return rows, nil
+}
+
+// ReadVec forwards the columnar fast path with the same timing and
+// counting as Read. A fallback outcome (ok=false, no error) charges
+// only time, not a read: the caller's follow-up Read supplies the rows
+// and the counters, so fetches are never double-counted.
+func (s *Instrumented) ReadVec(p int, from, to int64) (*vec.Batch, bool, error) {
+	vr, vok := s.Inner.(VectorReader)
+	if !vok {
+		return nil, false, nil
+	}
+	start := time.Now()
+	b, ok, err := vr.ReadVec(p, from, to)
+	s.readNanos.Add(time.Since(start).Nanoseconds())
+	if err != nil {
+		s.errors.Add(1)
+		return nil, false, err
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	s.reads.Add(1)
+	s.rows.Add(int64(b.Len))
+	return b, true, nil
 }
 
 // WaitForData lets the continuous engine block on the inner source when it

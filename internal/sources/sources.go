@@ -13,6 +13,7 @@ import (
 	"structream/internal/msgbus"
 	"structream/internal/sql"
 	"structream/internal/sql/codec"
+	"structream/internal/sql/vec"
 )
 
 // Offsets is a per-partition position vector. Offsets[i] addresses the next
@@ -61,6 +62,17 @@ type Source interface {
 	Read(p int, from, to int64) ([]sql.Row, error)
 }
 
+// VectorReader is an optional Source extension: ReadVec serves the
+// offset range [from, to) of partition p as a typed column batch,
+// skipping per-row allocation and boxing. ok=false (with no error)
+// means the range cannot be represented columnar — a record's wire
+// types drift from the schema, or the source has no columnar decode —
+// and the caller must re-read the same range through Read, which
+// returns the identical logical rows.
+type VectorReader interface {
+	ReadVec(p int, from, to int64) (b *vec.Batch, ok bool, err error)
+}
+
 // ---------------------------------------------------------------- bus
 
 // RecordDecoder turns a bus record into a row (or skips it by returning
@@ -73,6 +85,10 @@ type BusSource struct {
 	topic  *msgbus.Topic
 	schema sql.Schema
 	decode RecordDecoder
+	// codecFramed marks the decoder as the native binary row codec,
+	// enabling the columnar ReadVec fast path (a custom decoder could
+	// produce anything, so only the native framing vectorizes).
+	codecFramed bool
 }
 
 // NewBusSource creates a source over a topic with a custom decoder.
@@ -81,15 +97,18 @@ func NewBusSource(name string, topic *msgbus.Topic, schema sql.Schema, decode Re
 }
 
 // NewCodecBusSource reads rows encoded with the binary row codec, the
-// engine's native wire format.
+// engine's native wire format. Codec-framed topics also support the
+// columnar ReadVec fast path.
 func NewCodecBusSource(name string, topic *msgbus.Topic, schema sql.Schema) *BusSource {
-	return NewBusSource(name, topic, schema, func(rec msgbus.Record) (sql.Row, bool) {
+	s := NewBusSource(name, topic, schema, func(rec msgbus.Record) (sql.Row, bool) {
 		row, err := codec.DecodeRow(rec.Value)
 		if err != nil || len(row) != schema.Len() {
 			return nil, false
 		}
 		return row, true
 	})
+	s.codecFramed = true
+	return s
 }
 
 // Name implements Source.
@@ -120,6 +139,35 @@ func (s *BusSource) Read(p int, from, to int64) ([]sql.Row, error) {
 		}
 	}
 	return out, nil
+}
+
+// ReadVec implements VectorReader: it decodes the native codec framing
+// straight into typed column vectors, one allocation per column instead
+// of one sql.Row plus one boxed value per cell. Malformed records skip
+// exactly as in Read; a record whose wire types don't match the schema
+// aborts the columnar decode (ok=false) so the caller re-reads boxed —
+// the row path keeps such records, and the two paths must agree.
+func (s *BusSource) ReadVec(p int, from, to int64) (*vec.Batch, bool, error) {
+	if !s.codecFramed {
+		return nil, false, nil
+	}
+	recs, err := s.topic.FetchRange(p, from, to)
+	if err != nil {
+		return nil, false, err
+	}
+	b := vec.NewBatch(s.schema, len(recs))
+	n := 0
+	for _, rec := range recs {
+		added, compat := codec.DecodeRowToBatch(rec.Value, b.Cols, n, len(recs))
+		if !compat {
+			return nil, false, nil
+		}
+		if added {
+			n++
+		}
+	}
+	b.Len = n
+	return b, true, nil
 }
 
 // Topic exposes the underlying topic (used by continuous-mode workers to

@@ -1,0 +1,292 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"structream/internal/sql/vec"
+)
+
+// Typed append methods: each writes exactly the bytes PutValue would for
+// the corresponding boxed value, so columnar callers (grouping-key
+// encoding, shuffle payloads) can skip boxing without changing a single
+// byte on the wire or in state files.
+
+// PutNull appends an SQL NULL.
+func (e *Encoder) PutNull() { e.buf = append(e.buf, tagNull) }
+
+// PutBool appends a bool without boxing.
+func (e *Encoder) PutBool(v bool) {
+	if v {
+		e.buf = append(e.buf, tagTrue)
+	} else {
+		e.buf = append(e.buf, tagFalse)
+	}
+}
+
+// PutInt64 appends an int64 without boxing.
+func (e *Encoder) PutInt64(v int64) {
+	e.buf = append(e.buf, tagInt64)
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+
+// PutFloat64 appends a float64 without boxing.
+func (e *Encoder) PutFloat64(v float64) {
+	e.buf = append(e.buf, tagFloat64)
+	e.buf = binary.BigEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+// PutString appends a string without boxing.
+func (e *Encoder) PutString(v string) {
+	e.buf = append(e.buf, tagString)
+	e.buf = binary.AppendUvarint(e.buf, uint64(len(v)))
+	e.buf = append(e.buf, v...)
+}
+
+// PutWindow appends a window without boxing.
+func (e *Encoder) PutWindow(start, end int64) {
+	e.buf = append(e.buf, tagWindow)
+	e.buf = binary.AppendVarint(e.buf, start)
+	e.buf = binary.AppendVarint(e.buf, end)
+}
+
+// PutVectorValue appends position i of a column vector, boxing only for
+// KindAny columns.
+func (e *Encoder) PutVectorValue(v *vec.Vector, i int) {
+	if v.Kind != vec.KindAny && v.Nulls.Get(i) {
+		e.PutNull()
+		return
+	}
+	switch v.Kind {
+	case vec.KindInt64:
+		e.PutInt64(v.Int64s[i])
+	case vec.KindFloat64:
+		e.PutFloat64(v.Float64s[i])
+	case vec.KindBool:
+		e.PutBool(v.Bools[i])
+	case vec.KindString:
+		e.PutString(v.Strings[i])
+	case vec.KindWindow:
+		e.PutWindow(v.WStarts[i], v.WEnds[i])
+	default:
+		e.PutValue(v.Anys[i])
+	}
+}
+
+// DecodeRowToBatch decodes one length-prefixed encoded row straight into
+// typed column vectors at row slot i — the columnar fast path that skips
+// both the per-row sql.Row allocation and per-cell boxing of DecodeRow.
+//
+//   - added=true, compat=true: the row landed in slot i.
+//   - added=false, compat=true: the row is malformed or has the wrong
+//     arity; the caller skips it, exactly as the boxed decode path does,
+//     and slot i is left clean for reuse.
+//   - compat=false: the row is well-formed but a value's wire tag does
+//     not match its column's vector kind. Typed vectors cannot represent
+//     it, and silently skipping would diverge from the row path (which
+//     keeps such rows), so the caller must redo the whole batch boxed.
+func DecodeRowToBatch(buf []byte, cols []*vec.Vector, i int, nrows int) (added, compat bool) {
+	n, w := binary.Uvarint(buf)
+	pos := w
+	if w <= 0 || int(n) != len(cols) {
+		return false, true
+	}
+	for c := 0; c < len(cols); c++ {
+		if pos >= len(buf) {
+			return abandonRow(cols, i, c)
+		}
+		tag := buf[pos]
+		pos++
+		col := cols[c]
+		if tag == tagNull {
+			if col.Kind == vec.KindAny {
+				col.Anys[i] = nil
+			} else {
+				col.SetNull(i, nrows)
+			}
+			continue
+		}
+		switch col.Kind {
+		case vec.KindInt64:
+			if tag != tagInt64 {
+				return false, false
+			}
+			v, vw := binary.Varint(buf[pos:])
+			if vw <= 0 {
+				return abandonRow(cols, i, c)
+			}
+			pos += vw
+			col.Int64s[i] = v
+		case vec.KindFloat64:
+			if tag != tagFloat64 {
+				return false, false
+			}
+			if pos+8 > len(buf) {
+				return abandonRow(cols, i, c)
+			}
+			col.Float64s[i] = math.Float64frombits(binary.BigEndian.Uint64(buf[pos:]))
+			pos += 8
+		case vec.KindBool:
+			switch tag {
+			case tagTrue:
+				col.Bools[i] = true
+			case tagFalse:
+				col.Bools[i] = false
+			default:
+				return false, false
+			}
+		case vec.KindString:
+			if tag != tagString {
+				return false, false
+			}
+			sl, sw := binary.Uvarint(buf[pos:])
+			if sw <= 0 || pos+sw+int(sl) > len(buf) {
+				return abandonRow(cols, i, c)
+			}
+			pos += sw
+			col.Strings[i] = string(buf[pos : pos+int(sl)])
+			pos += int(sl)
+		case vec.KindWindow:
+			if tag != tagWindow {
+				return false, false
+			}
+			start, w1 := binary.Varint(buf[pos:])
+			if w1 <= 0 {
+				return abandonRow(cols, i, c)
+			}
+			pos += w1
+			end, w2 := binary.Varint(buf[pos:])
+			if w2 <= 0 {
+				return abandonRow(cols, i, c)
+			}
+			pos += w2
+			col.WStarts[i] = start
+			col.WEnds[i] = end
+		default: // KindAny: decode boxed
+			d := Decoder{buf: buf, off: pos - 1}
+			v, err := d.Value()
+			if err != nil {
+				return abandonRow(cols, i, c)
+			}
+			pos = d.off
+			col.Anys[i] = v
+		}
+	}
+	return true, true
+}
+
+// abandonRow clears any null bits the partial decode left in slot i of
+// the first c columns so the slot can host the next record.
+func abandonRow(cols []*vec.Vector, i, c int) (bool, bool) {
+	for j := 0; j < c; j++ {
+		if cols[j].Kind == vec.KindAny {
+			cols[j].Anys[i] = nil
+		} else {
+			cols[j].Nulls.Clear(i)
+		}
+	}
+	return false, true
+}
+
+// DecodeColumnToVector decodes a column block — nrows consecutive tagged
+// values, the layout colfmt segments store — into a typed vector.
+// ok=false (with no error) means a value's wire tag does not match the
+// vector's kind, so the caller must decode the column boxed; a malformed
+// block is an error, exactly as in DecodeValues.
+func DecodeColumnToVector(block []byte, v *vec.Vector, nrows int) (bool, error) {
+	pos := 0
+	for i := 0; i < nrows; i++ {
+		if pos >= len(block) {
+			return false, fmt.Errorf("codec: column block truncated at value %d", i)
+		}
+		tag := block[pos]
+		pos++
+		if tag == tagNull {
+			if v.Kind == vec.KindAny {
+				v.Anys[i] = nil
+			} else {
+				v.SetNull(i, nrows)
+			}
+			continue
+		}
+		switch v.Kind {
+		case vec.KindInt64:
+			if tag != tagInt64 {
+				return false, nil
+			}
+			val, w := binary.Varint(block[pos:])
+			if w <= 0 {
+				return false, fmt.Errorf("codec: corrupt varint at value %d", i)
+			}
+			pos += w
+			v.Int64s[i] = val
+		case vec.KindFloat64:
+			if tag != tagFloat64 {
+				return false, nil
+			}
+			if pos+8 > len(block) {
+				return false, fmt.Errorf("codec: truncated float at value %d", i)
+			}
+			v.Float64s[i] = math.Float64frombits(binary.BigEndian.Uint64(block[pos:]))
+			pos += 8
+		case vec.KindBool:
+			switch tag {
+			case tagTrue:
+				v.Bools[i] = true
+			case tagFalse:
+				v.Bools[i] = false
+			default:
+				return false, nil
+			}
+		case vec.KindString:
+			if tag != tagString {
+				return false, nil
+			}
+			sl, sw := binary.Uvarint(block[pos:])
+			if sw <= 0 || pos+sw+int(sl) > len(block) {
+				return false, fmt.Errorf("codec: corrupt string at value %d", i)
+			}
+			pos += sw
+			v.Strings[i] = string(block[pos : pos+int(sl)])
+			pos += int(sl)
+		case vec.KindWindow:
+			if tag != tagWindow {
+				return false, nil
+			}
+			start, w1 := binary.Varint(block[pos:])
+			if w1 <= 0 {
+				return false, fmt.Errorf("codec: corrupt window at value %d", i)
+			}
+			pos += w1
+			end, w2 := binary.Varint(block[pos:])
+			if w2 <= 0 {
+				return false, fmt.Errorf("codec: corrupt window at value %d", i)
+			}
+			pos += w2
+			v.WStarts[i] = start
+			v.WEnds[i] = end
+		default: // KindAny: decode boxed
+			d := Decoder{buf: block, off: pos - 1}
+			val, err := d.Value()
+			if err != nil {
+				return false, err
+			}
+			pos = d.off
+			v.Anys[i] = val
+		}
+	}
+	if pos != len(block) {
+		return false, fmt.Errorf("codec: column block has trailing bytes")
+	}
+	return true, nil
+}
+
+// VectorKeyString appends the encoded form of one grouping key drawn
+// from key column vectors at position i, reusing the encoder's buffer.
+// The bytes are identical to KeyString over the boxed values.
+func VectorKeyString(e *Encoder, keys []*vec.Vector, i int) {
+	for _, k := range keys {
+		e.PutVectorValue(k, i)
+	}
+}

@@ -442,7 +442,9 @@ func bindArith(op BinOp, l, r BoundExpr, src Expr) (BoundExpr, error) {
 		f = func(a, b float64) Value { return a * b }
 	case OpMod:
 		f = func(a, b float64) Value {
-			if b == 0 {
+			// Guard the truncated divisor, not b itself: 0 < b < 1
+			// truncates to 0 and would panic the integer modulo.
+			if int64(b) == 0 {
 				return nil
 			}
 			return float64(int64(a) % int64(b))

@@ -236,14 +236,14 @@ func WindowAssignFunc(timeEval func(sql.Row) sql.Value, w *sql.WindowExpr) Batch
 			if !ok {
 				continue // NULL event times drop, as in Spark
 			}
+			if arena == nil {
+				arena = NewRowArena(len(r) + 1)
+			}
 			if tumbling {
 				start := ts - ((ts%slide)+slide)%slide
 				if start != cachedStart {
 					cachedStart = start
 					cached = sql.Window{Start: start, End: start + size}
-				}
-				if arena == nil {
-					arena = NewRowArena(len(r) + 1)
 				}
 				nr := arena.Next()
 				copy(nr, r)
@@ -252,7 +252,7 @@ func WindowAssignFunc(timeEval func(sql.Row) sql.Value, w *sql.WindowExpr) Batch
 				continue
 			}
 			for _, win := range w.Windows(ts) {
-				nr := make(sql.Row, len(r)+1)
+				nr := arena.Next()
 				copy(nr, r)
 				nr[len(r)] = win
 				out = append(out, nr)

@@ -1,0 +1,315 @@
+package vec
+
+import "structream/internal/sql"
+
+// Kernels evaluate densely over [0, Len) regardless of the batch's
+// selection vector; null bits mask whatever a dead or NULL lane
+// computed. The one exception is the float-mod kernel, which must stay
+// selection-aware because the row path panics on fractional divisors in
+// (-1, 1) \ {0} and a dead lane must not reproduce that panic for a row
+// the row path would never have evaluated.
+
+// ordered covers the element types whose < and > match sql.Compare:
+// cmpOrdered for int64/float64 (including its NaN behaviour, where
+// neither < nor > holds so values compare "equal") and strings.Compare
+// for string. Every comparison kernel is therefore expressed in terms
+// of < and > only.
+type ordered interface{ ~int64 | ~float64 | ~string }
+
+// cmpVV compares two slabs lane-wise into out. The Eq/Ne/Le/Ge forms
+// are derived from < and > so NaN lanes behave exactly like
+// sql.cmpOrdered (NaN == anything under this ordering).
+func cmpVV[T ordered](op sql.BinOp, a, b []T, out []bool) {
+	switch op {
+	case sql.OpEq:
+		for i := range out {
+			out[i] = !(a[i] < b[i]) && !(a[i] > b[i])
+		}
+	case sql.OpNe:
+		for i := range out {
+			out[i] = a[i] < b[i] || a[i] > b[i]
+		}
+	case sql.OpLt:
+		for i := range out {
+			out[i] = a[i] < b[i]
+		}
+	case sql.OpLe:
+		for i := range out {
+			out[i] = !(a[i] > b[i])
+		}
+	case sql.OpGt:
+		for i := range out {
+			out[i] = a[i] > b[i]
+		}
+	case sql.OpGe:
+		for i := range out {
+			out[i] = !(a[i] < b[i])
+		}
+	}
+}
+
+// cmpVC compares a slab against a constant right operand.
+func cmpVC[T ordered](op sql.BinOp, a []T, c T, out []bool) {
+	switch op {
+	case sql.OpEq:
+		for i := range out {
+			out[i] = !(a[i] < c) && !(a[i] > c)
+		}
+	case sql.OpNe:
+		for i := range out {
+			out[i] = a[i] < c || a[i] > c
+		}
+	case sql.OpLt:
+		for i := range out {
+			out[i] = a[i] < c
+		}
+	case sql.OpLe:
+		for i := range out {
+			out[i] = !(a[i] > c)
+		}
+	case sql.OpGt:
+		for i := range out {
+			out[i] = a[i] > c
+		}
+	case sql.OpGe:
+		for i := range out {
+			out[i] = !(a[i] < c)
+		}
+	}
+}
+
+// flipCmp mirrors an operator so a constant LEFT operand can reuse the
+// vector-constant kernel: c < a[i] ⇔ a[i] > c, etc.
+func flipCmp(op sql.BinOp) sql.BinOp {
+	switch op {
+	case sql.OpLt:
+		return sql.OpGt
+	case sql.OpLe:
+		return sql.OpGe
+	case sql.OpGt:
+		return sql.OpLt
+	case sql.OpGe:
+		return sql.OpLe
+	}
+	return op // Eq/Ne are symmetric
+}
+
+// arithVV applies +, -, or * lane-wise. Works for int64 (wrapping, like
+// the row path) and float64.
+func arithVV[T int64 | float64](op sql.BinOp, a, b, out []T) {
+	switch op {
+	case sql.OpAdd:
+		for i := range out {
+			out[i] = a[i] + b[i]
+		}
+	case sql.OpSub:
+		for i := range out {
+			out[i] = a[i] - b[i]
+		}
+	case sql.OpMul:
+		for i := range out {
+			out[i] = a[i] * b[i]
+		}
+	}
+}
+
+// arithVC applies +, -, or * against a constant right operand.
+func arithVC[T int64 | float64](op sql.BinOp, a []T, c T, out []T) {
+	switch op {
+	case sql.OpAdd:
+		for i := range out {
+			out[i] = a[i] + c
+		}
+	case sql.OpSub:
+		for i := range out {
+			out[i] = a[i] - c
+		}
+	case sql.OpMul:
+		for i := range out {
+			out[i] = a[i] * c
+		}
+	}
+}
+
+// arithCV applies +, -, or * against a constant left operand (order
+// matters for subtraction).
+func arithCV[T int64 | float64](op sql.BinOp, c T, b, out []T) {
+	switch op {
+	case sql.OpAdd:
+		for i := range out {
+			out[i] = c + b[i]
+		}
+	case sql.OpSub:
+		for i := range out {
+			out[i] = c - b[i]
+		}
+	case sql.OpMul:
+		for i := range out {
+			out[i] = c * b[i]
+		}
+	}
+}
+
+// logical implements SQL three-valued AND/OR over bool vectors,
+// mirroring bindLogical: a known FALSE (AND) / TRUE (OR) dominates a
+// NULL on the other side. Value slots at NULL lanes are never consulted
+// (the null bit short-circuits them), so garbage there is harmless.
+func logical(l, r *Vector, n int, isAnd bool) *Vector {
+	out := NewVector(KindBool, n)
+	ln, rn := l.Nulls, r.Nulls
+	lb, rb := l.Bools, r.Bools
+	var nulls Bitmap
+	for i := 0; i < n; i++ {
+		lok := !ln.Get(i)
+		rok := !rn.Get(i)
+		if isAnd {
+			if lok && !lb[i] || rok && !rb[i] {
+				continue // definite false
+			}
+			if lok && rok {
+				out.Bools[i] = true
+				continue
+			}
+		} else {
+			if lok && lb[i] || rok && rb[i] {
+				out.Bools[i] = true
+				continue
+			}
+			if lok && rok {
+				continue // definite false
+			}
+		}
+		if nulls == nil {
+			nulls = out.EnsureNulls(n)
+		}
+		nulls.Set(i)
+	}
+	return out
+}
+
+// notKernel negates a bool vector; NULL stays NULL (the result bitmap
+// aliases the operand's, which is never mutated after creation).
+func notKernel(v *Vector, n int) *Vector {
+	out := NewVector(KindBool, n)
+	for i := 0; i < n; i++ {
+		out.Bools[i] = !v.Bools[i]
+	}
+	out.Nulls = v.Nulls
+	return out
+}
+
+// isNullKernel produces (child IS [NOT] NULL); the result is never NULL.
+func isNullKernel(v *Vector, n int, negate bool) *Vector {
+	out := NewVector(KindBool, n)
+	if v.Kind == KindAny {
+		for i := 0; i < n; i++ {
+			out.Bools[i] = (v.Anys[i] == nil) != negate
+		}
+		return out
+	}
+	if v.Nulls == nil {
+		if negate {
+			for i := range out.Bools {
+				out.Bools[i] = true
+			}
+		}
+		return out
+	}
+	for i := 0; i < n; i++ {
+		out.Bools[i] = v.Nulls.Get(i) != negate
+	}
+	return out
+}
+
+// boolsToInt64 widens a bool slab to int64 (false=0, true=1) so bool
+// comparisons reuse the int kernel; the mapping matches sql.Compare's
+// false < true ordering.
+func boolsToInt64(src []bool, n int) []int64 {
+	out := make([]int64, n)
+	for i := 0; i < n; i++ {
+		if src[i] {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// asFloat64s widens an int64 vector's slab to float64 (returns the
+// existing slab for float vectors), mirroring sql.AsFloat64 coercion in
+// the row path's mixed-type arithmetic and comparisons.
+func asFloat64s(v *Vector, n int) []float64 {
+	if v.Kind == KindFloat64 {
+		return v.Float64s
+	}
+	out := make([]float64, n)
+	for i, x := range v.Int64s[:n] {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// FilterSel returns the live positions where cond is TRUE (not false,
+// not NULL), respecting the batch's existing selection. The result is
+// always non-nil: an empty selection means "no rows", while a nil
+// Batch.Sel means "all rows".
+func FilterSel(b *Batch, cond *Vector) []int32 {
+	out := make([]int32, 0, b.NumLive())
+	cb := cond.Bools
+	if b.Sel != nil {
+		if cond.Nulls == nil {
+			for _, i := range b.Sel {
+				if cb[i] {
+					out = append(out, i)
+				}
+			}
+		} else {
+			for _, i := range b.Sel {
+				if cb[i] && !cond.Nulls.Get(int(i)) {
+					out = append(out, i)
+				}
+			}
+		}
+		return out
+	}
+	if cond.Nulls == nil {
+		for i := 0; i < b.Len; i++ {
+			if cb[i] {
+				out = append(out, int32(i))
+			}
+		}
+		return out
+	}
+	for i := 0; i < b.Len; i++ {
+		if cb[i] && !cond.Nulls.Get(i) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// MaxInt64 returns the maximum non-null int64 lane over [0, n), or
+// `min` when the vector has no valid int64 lanes (non-int64 vectors
+// never contribute, matching the row path's type assertion). Used for
+// watermark tracking over the raw, unfiltered batch.
+func MaxInt64(v *Vector, n int, min int64) int64 {
+	max := min
+	if v.Kind != KindInt64 {
+		return max
+	}
+	if v.Nulls == nil {
+		for _, x := range v.Int64s[:n] {
+			if x > max {
+				max = x
+			}
+		}
+		return max
+	}
+	for i := 0; i < n; i++ {
+		if !v.Nulls.Get(i) {
+			if x := v.Int64s[i]; x > max {
+				max = x
+			}
+		}
+	}
+	return max
+}

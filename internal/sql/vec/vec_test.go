@@ -1,0 +1,299 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"structream/internal/sql"
+)
+
+// testSchema covers every vectorized kind plus a timestamp (int64-backed).
+func testSchema() sql.Schema {
+	return sql.Schema{Fields: []sql.Field{
+		{Name: "i", Type: sql.TypeInt64},
+		{Name: "j", Type: sql.TypeInt64},
+		{Name: "f", Type: sql.TypeFloat64},
+		{Name: "g", Type: sql.TypeFloat64},
+		{Name: "s", Type: sql.TypeString},
+		{Name: "b", Type: sql.TypeBool},
+		{Name: "ts", Type: sql.TypeTimestamp},
+	}}
+}
+
+// randRows draws rows with adversarial values: nulls, zeros (division),
+// NaN/Inf, extremes, and empty strings.
+func randRows(rng *rand.Rand, n int) []sql.Row {
+	ints := []int64{0, 1, -1, 7, -128, math.MaxInt64, math.MinInt64}
+	floats := []float64{0, 1.5, -2.25, math.NaN(), math.Inf(1), math.Inf(-1), math.MaxFloat64}
+	strs := []string{"", "a", "abc", "zz", "Abc"}
+	rows := make([]sql.Row, n)
+	for r := range rows {
+		row := make(sql.Row, 7)
+		for c := 0; c < 7; c++ {
+			if rng.Intn(5) == 0 {
+				continue // NULL
+			}
+			switch c {
+			case 0, 1, 6:
+				row[c] = ints[rng.Intn(len(ints))]
+			case 2, 3:
+				row[c] = floats[rng.Intn(len(floats))]
+			case 4:
+				row[c] = strs[rng.Intn(len(strs))]
+			case 5:
+				row[c] = rng.Intn(2) == 0
+			}
+		}
+		rows[r] = row
+	}
+	return rows
+}
+
+// randExpr builds a random expression tree whose leaves are columns and
+// literals; produced shapes include comparisons, arithmetic (with /, %
+// by zero), logic, and null predicates — everything the compiler claims
+// to vectorize.
+func randExpr(rng *rand.Rand, depth int) sql.Expr {
+	if depth <= 0 {
+		switch rng.Intn(6) {
+		case 0:
+			return sql.Col("i")
+		case 1:
+			return sql.Col("j")
+		case 2:
+			return sql.Col("f")
+		case 3:
+			return sql.Lit(int64(rng.Intn(7) - 3))
+		case 4:
+			return sql.Lit(float64(rng.Intn(9))/2 - 2)
+		default:
+			return sql.Col("g")
+		}
+	}
+	switch rng.Intn(10) {
+	case 0:
+		return sql.NewBinary(sql.BinOp(rng.Intn(6)), randExpr(rng, depth-1), randExpr(rng, depth-1)) // comparison
+	case 1:
+		return sql.Add(randExpr(rng, depth-1), randExpr(rng, depth-1))
+	case 2:
+		return sql.Sub(randExpr(rng, depth-1), randExpr(rng, depth-1))
+	case 3:
+		return sql.Mul(randExpr(rng, depth-1), randExpr(rng, depth-1))
+	case 4:
+		return sql.Div(randExpr(rng, depth-1), randExpr(rng, depth-1))
+	case 5:
+		return sql.NewBinary(sql.OpMod, randExpr(rng, depth-1), randExpr(rng, depth-1))
+	case 6:
+		return sql.And(boolExpr(rng, depth-1), boolExpr(rng, depth-1))
+	case 7:
+		return sql.Or(boolExpr(rng, depth-1), boolExpr(rng, depth-1))
+	case 8:
+		return sql.IsNull(randExpr(rng, depth-1))
+	default:
+		return sql.Neg(randExpr(rng, depth-1))
+	}
+}
+
+func boolExpr(rng *rand.Rand, depth int) sql.Expr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		return sql.Gt(sql.Col("i"), sql.Lit(int64(0)))
+	}
+	return sql.NewBinary(sql.BinOp(rng.Intn(6)), randExpr(rng, depth-1), randExpr(rng, depth-1))
+}
+
+// normalize maps boxed values to comparable forms: NaN compares equal to
+// itself so reflect.DeepEqual can be used on rows containing NaN.
+func normalize(v sql.Value) sql.Value {
+	if f, ok := v.(float64); ok && math.IsNaN(f) {
+		return "NaN"
+	}
+	return v
+}
+
+// TestProgramMatchesRowEval is the core kernel differential: every
+// compiled program must produce, cell for cell, the value the bound row
+// expression produces — including NULL propagation, NaN comparisons,
+// division and modulo by zero, and integer overflow wraparound.
+func TestProgramMatchesRowEval(t *testing.T) {
+	schema := testSchema()
+	rng := rand.New(rand.NewSource(7))
+	rows := randRows(rng, 97)
+	batch, ok := FromRows(schema, rows)
+	if !ok {
+		t.Fatal("FromRows failed on schema-conforming rows")
+	}
+	compiled := 0
+	for trial := 0; trial < 500; trial++ {
+		e := randExpr(rng, 3)
+		prog, ok := Compile(e, schema)
+		if !ok {
+			continue
+		}
+		compiled++
+		bound, err := e.Bind(schema)
+		if err != nil {
+			t.Fatalf("%s: bind: %v", e, err)
+		}
+		v := prog.Run(batch)
+		for i, row := range rows {
+			want := normalize(bound.Eval(row))
+			got := normalize(v.Get(i))
+			// The row path leaves int64 timestamps as int64; kernels
+			// agree, so plain equality suffices.
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("%s: row %d (%v): row path %v (%T), kernel %v (%T)",
+					e, i, row, want, want, got, got)
+			}
+		}
+	}
+	if compiled < 100 {
+		t.Fatalf("only %d/500 random expressions compiled — generator or compiler too narrow", compiled)
+	}
+}
+
+// TestCompileRejectsRowOnlyExprs pins the fallback contract: expression
+// forms outside the kernel set must refuse to compile (the pipeline
+// compiler then seals the vector plan and the row path takes over).
+func TestCompileRejectsRowOnlyExprs(t *testing.T) {
+	schema := testSchema()
+	rowOnly := []sql.Expr{
+		sql.NewBinary(sql.OpLike, sql.Col("s"), sql.Lit("a%")),
+		sql.NewCast(sql.Col("i"), sql.TypeString),
+	}
+	for _, e := range rowOnly {
+		if _, ok := Compile(e, schema); ok {
+			t.Errorf("%s: compiled, want row-path fallback", e)
+		}
+	}
+}
+
+func TestFromRowsRoundTrip(t *testing.T) {
+	schema := testSchema()
+	rng := rand.New(rand.NewSource(11))
+	rows := randRows(rng, 64)
+	b, ok := FromRows(schema, rows)
+	if !ok {
+		t.Fatal("FromRows failed")
+	}
+	got := b.AppendRows(nil)
+	if len(got) != len(rows) {
+		t.Fatalf("round trip length %d, want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		for c := range rows[i] {
+			if !reflect.DeepEqual(normalize(rows[i][c]), normalize(got[i][c])) {
+				t.Fatalf("row %d col %d: %v != %v", i, c, rows[i][c], got[i][c])
+			}
+		}
+	}
+}
+
+func TestFromRowsTypeDrift(t *testing.T) {
+	schema := testSchema()
+	rows := randRows(rand.New(rand.NewSource(3)), 8)
+	rows[5] = rows[5].Clone()
+	rows[5][0] = "not an int"
+	if _, ok := FromRows(schema, rows); ok {
+		t.Fatal("FromRows accepted a string in an int64 column")
+	}
+	// int into a float column is also drift — the row path would have
+	// surfaced the dynamic int64, not a converted float.
+	rows2 := randRows(rand.New(rand.NewSource(4)), 8)
+	rows2[0] = rows2[0].Clone()
+	rows2[0][2] = int64(3)
+	if _, ok := FromRows(schema, rows2); ok {
+		t.Fatal("FromRows accepted an int64 in a float64 column")
+	}
+}
+
+// TestAppendRowsSelection checks the selection vector drives
+// materialization: only live positions appear, in selection order.
+func TestAppendRowsSelection(t *testing.T) {
+	schema := sql.Schema{Fields: []sql.Field{{Name: "i", Type: sql.TypeInt64}}}
+	rows := []sql.Row{{int64(10)}, {int64(11)}, {nil}, {int64(13)}}
+	b, ok := FromRows(schema, rows)
+	if !ok {
+		t.Fatal("FromRows failed")
+	}
+	b.Sel = []int32{3, 0}
+	got := b.AppendRows(nil)
+	want := []sql.Row{{int64(13)}, {int64(10)}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("AppendRows with sel = %v, want %v", got, want)
+	}
+	if b.NumLive() != 2 {
+		t.Fatalf("NumLive = %d, want 2", b.NumLive())
+	}
+}
+
+func TestFilterSel(t *testing.T) {
+	schema := sql.Schema{Fields: []sql.Field{
+		{Name: "i", Type: sql.TypeInt64},
+		{Name: "b", Type: sql.TypeBool},
+	}}
+	rows := []sql.Row{
+		{int64(0), true}, {int64(1), false}, {int64(2), nil}, {int64(3), true},
+	}
+	b, ok := FromRows(schema, rows)
+	if !ok {
+		t.Fatal("FromRows failed")
+	}
+	prog, ok := Compile(sql.Col("b"), b.Schema)
+	if !ok {
+		t.Fatal("column pick did not compile")
+	}
+	sel := FilterSel(b, prog.Run(b))
+	if want := []int32{0, 3}; !reflect.DeepEqual(sel, want) {
+		t.Fatalf("FilterSel = %v, want %v (false and NULL both drop)", sel, want)
+	}
+	// Composing with an existing selection narrows it.
+	b.Sel = []int32{3, 2, 1, 0}
+	sel = FilterSel(b, prog.Run(b))
+	if want := []int32{3, 0}; !reflect.DeepEqual(sel, want) {
+		t.Fatalf("FilterSel over sel = %v, want %v", sel, want)
+	}
+}
+
+func TestMaxInt64SkipsNulls(t *testing.T) {
+	v := NewVector(KindInt64, 4)
+	copy(v.Int64s, []int64{5, 99, 7, -3})
+	v.SetNull(1, 4)
+	if got := MaxInt64(v, 4, -1); got != 7 {
+		t.Fatalf("MaxInt64 = %d, want 7 (null 99 skipped)", got)
+	}
+	all := NewVector(KindInt64, 2)
+	all.SetNull(0, 2)
+	all.SetNull(1, 2)
+	if got := MaxInt64(all, 2, -1); got != -1 {
+		t.Fatalf("MaxInt64 over all-null = %d, want sentinel -1", got)
+	}
+}
+
+func TestBitmapUnion(t *testing.T) {
+	a := NewBitmap(130)
+	b := NewBitmap(130)
+	a.Set(0)
+	b.Set(129)
+	u := UnionNulls(130, a, b)
+	if !u.Get(0) || !u.Get(129) || u.Get(64) {
+		t.Fatal("UnionNulls lost or invented bits")
+	}
+	if UnionNulls(130, nil, nil) != nil {
+		t.Fatal("UnionNulls of two nil bitmaps should stay nil")
+	}
+}
+
+func TestBroadcastConst(t *testing.T) {
+	v := Broadcast(int64(42), KindInt64, 3)
+	for i := 0; i < 3; i++ {
+		if v.Get(i) != int64(42) {
+			t.Fatalf("Broadcast[%d] = %v", i, v.Get(i))
+		}
+	}
+	nv := Broadcast(nil, KindFloat64, 2)
+	if nv.Get(0) != nil || nv.Get(1) != nil {
+		t.Fatal("Broadcast(nil) must yield NULLs")
+	}
+}

@@ -162,8 +162,10 @@ func (p *Provider) storeDir(id ID) string {
 
 // Open returns the store for id positioned at the given committed version.
 // Version -1 means empty (before any epoch). When the cached live store is
-// already at that version it is reused without touching disk; otherwise the
-// state is reconstructed from the backend's files.
+// already at that version it is reused without touching disk; otherwise —
+// including after a failed commit, which may have left the backend's
+// in-memory structures with partially absorbed changes — the state is
+// reconstructed from the backend's files.
 func (p *Provider) Open(id ID, version int64) (*Store, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -171,7 +173,7 @@ func (p *Provider) Open(id ID, version int64) (*Store, error) {
 		return nil, fmt.Errorf("state: provider for %s is closed", p.dir)
 	}
 	s, cached := p.cache[id]
-	if cached && s.version == version {
+	if cached && s.version == version && !s.dirty {
 		p.cacheHits.Add(1)
 		return s, nil
 	}
@@ -199,7 +201,7 @@ func (p *Provider) Open(id ID, version int64) (*Store, error) {
 		}
 		return nil, err
 	}
-	s.version = version
+	s.version, s.dirty = version, false
 	p.cache[id] = s
 	return s, nil
 }
@@ -383,6 +385,14 @@ type Store struct {
 	backend  storeBackend
 	version  int64 // last committed version
 
+	// dirty marks a store whose commit failed partway: the backend's
+	// in-memory structures may have absorbed some of the batch even though
+	// the version never advanced, so the next Open must reconstruct the
+	// state from disk instead of reusing the live store. A retried epoch
+	// that reused it would read half-applied state (and, with the LSM
+	// backend, trip the tree's own version guard with a misleading error).
+	dirty bool
+
 	// pendingPut/pendingDel stage uncommitted mutations of the current
 	// epoch. Commit writes them as the next delta; Abort reloads.
 	pendingPut map[string][]byte
@@ -527,6 +537,7 @@ func (s *Store) Commit(version int64) error {
 		return fmt.Errorf("state: commit version %d not after current %d for %s", version, s.version, s.id)
 	}
 	if err := s.backend.commit(version, s.pendingPut, s.pendingDel); err != nil {
+		s.dirty = true
 		return err
 	}
 	s.pendingPut, s.pendingDel = nil, nil

@@ -8,6 +8,7 @@ import (
 	"structream/internal/msgbus"
 	"structream/internal/sources"
 	"structream/internal/sql"
+	"structream/internal/sql/physical"
 )
 
 // DataStreamReader builds streaming DataFrames from input connectors,
@@ -166,7 +167,10 @@ func (r *DataFrameReader) Load(path string) (*DataFrame, error) {
 		if err != nil {
 			return nil, err
 		}
-		r.s.RegisterTable(path, tbl.Schema, rows)
+		// Scans over the table read segments columnar (typed vectors, no
+		// per-cell boxing); rows is the boxed fallback view.
+		r.s.registerSourceTable(path, tbl.Schema, func() []sql.Row { return rows },
+			func() physical.RowSource { return colfmt.NewTableSource(tbl) })
 		return r.s.Table(path)
 	case "json":
 		if r.schema.Len() == 0 {

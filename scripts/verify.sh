@@ -19,7 +19,21 @@ smoke_json="$(mktemp /tmp/structream-bench-XXXXXX.json)"
 go run ./cmd/ssbench -experiment bench -events 100000 -rounds 1 -json "$smoke_json" >/dev/null
 grep -q '"tracingOverheadPct"' "$smoke_json" || { echo "bench smoke: bad report"; exit 1; }
 grep -q '"stateful-count-lsm-spill"' "$smoke_json" || { echo "bench smoke: missing state-backend scenarios"; exit 1; }
+grep -q '"microbatch-throughput-rowpath"' "$smoke_json" || { echo "bench smoke: missing row-path scenario"; exit 1; }
 rm -f "$smoke_json"
+# Vectorization differential smoke: the columnar path must be
+# byte-identical to the row path on randomized queries and data, and the
+# engine-level on/off runs must agree. (The full suite also runs under
+# `go test -race ./...` above; this line keeps the contract visible.)
+echo ">> vectorized/row differential smoke"
+go test -run 'TestDifferential|TestProgramMatchesRowEval|TestVectorizeOnOff' \
+	./internal/sql/vec/ ./internal/incremental/ ./internal/engine/ >/dev/null
+# Opt-in throughput regression gate against the committed BENCH baseline
+# (slow: reruns the 2M-event bench suite).
+if [ "${STRUCTREAM_BENCH_COMPARE:-}" = "1" ]; then
+	echo ">> make bench-compare (throughput regression gate)"
+	make bench-compare
+fi
 # Opt-in chaos tier: randomized fault schedule against the supervised
 # runtime (bounded by STRUCTREAM_CHAOS_SECONDS, default 20).
 if [ "${STRUCTREAM_CHAOS:-}" = "1" ]; then

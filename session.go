@@ -30,10 +30,13 @@ type Session struct {
 }
 
 // tableEntry is a static (or snapshot-backed) table. rows is a function so
-// memory-sink tables always serve a consistent current snapshot.
+// memory-sink tables always serve a consistent current snapshot. newSource
+// is an optional factory for a richer scan source (columnar file tables
+// serve typed column batches); when nil, scans read rows.
 type tableEntry struct {
-	schema sql.Schema
-	rows   func() []sql.Row
+	schema    sql.Schema
+	rows      func() []sql.Row
+	newSource func() physical.RowSource
 }
 
 // NewSession creates an empty session.
@@ -78,6 +81,15 @@ func (s *Session) registerLiveTable(name string, schema Schema, rows func() []sq
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.tables[name] = &tableEntry{schema: schema, rows: rows}
+}
+
+// registerSourceTable registers a table served by a scan-source factory
+// (columnar file tables); rows is the boxed fallback view of the same
+// data.
+func (s *Session) registerSourceTable(name string, schema Schema, rows func() []sql.Row, newSource func() physical.RowSource) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tables[name] = &tableEntry{schema: schema, rows: rows, newSource: newSource}
 }
 
 // RegisterStream binds a Source implementation under a name and returns a
@@ -139,15 +151,23 @@ func (s *Session) ResolveTable(name string) (logical.Plan, error) {
 // staticResolver resolves static Scan leaves during execution.
 func (s *Session) staticResolver(scan *logical.Scan) (physical.RowSource, error) {
 	if t, ok := scan.Handle.(*tableEntry); ok {
-		return physical.NewSliceSource(t.schema, t.rows()), nil
+		return t.source(), nil
 	}
 	s.mu.Lock()
 	t, ok := s.tables[scan.Name]
 	s.mu.Unlock()
 	if ok {
-		return physical.NewSliceSource(t.schema, t.rows()), nil
+		return t.source(), nil
 	}
 	return nil, fmt.Errorf("structream: no data registered for table %q", scan.Name)
+}
+
+// source builds a fresh scan source for the table.
+func (t *tableEntry) source() physical.RowSource {
+	if t.newSource != nil {
+		return t.newSource()
+	}
+	return physical.NewSliceSource(t.schema, t.rows())
 }
 
 // batchResolver additionally snapshots streaming scans so the same query

@@ -85,7 +85,8 @@ func (w *DataStreamWriter) Checkpoint(dir string) *DataStreamWriter {
 }
 
 // Option sets a sink/engine option ("partitions", "maxRecordsPerTrigger",
-// "stateBackend", "stateMemtableBytes", "stateBlockCacheBytes").
+// "stateBackend", "stateMemtableBytes", "stateBlockCacheBytes",
+// "vectorize" — "false" disables the columnar execution path).
 func (w *DataStreamWriter) Option(key, value string) *DataStreamWriter {
 	w.opts[key] = value
 	return w
@@ -204,6 +205,9 @@ func (w *DataStreamWriter) Start(path string) (*StreamingQuery, error) {
 	}
 	if n, err := strconv.ParseInt(w.opts["stateBlockCacheBytes"], 10, 64); err == nil && n > 0 {
 		opts.StateBlockCacheBytes = n
+	}
+	if v := w.opts["vectorize"]; v == "false" {
+		opts.Vectorize = engine.Bool(false)
 	}
 	sq, err := engine.Start(q, srcs, sink, opts)
 	if err != nil {
