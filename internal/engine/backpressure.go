@@ -125,3 +125,29 @@ func (l *aimdLimiter) Observe(elapsed time.Duration, inputRows int64, breakdown 
 			l.cap, elapsed.Round(time.Microsecond), l.target)
 	}
 }
+
+// ObserveBacklog feeds the LSM flush backlog into the rule. Sealed
+// memtables piling up faster than background maintenance drains them is
+// latency debt the epoch timer has not seen yet: left alone it ends in the
+// hard synchronous-fallback stall and, eventually, the watchdog. Once the
+// backlog exceeds one sealed memtable per store, intake halves — with a
+// decision naming the backlog rather than a stage, so the operator sees
+// why the engine is shedding while epochs still look fast.
+func (l *aimdLimiter) ObserveBacklog(backlog, stores, inputRows int64) {
+	if l.target <= 0 || inputRows <= 0 || stores <= 0 || backlog <= stores {
+		return
+	}
+	next := inputRows / 2
+	if next < l.floor {
+		next = l.floor
+	}
+	if l.cap == 0 || next < l.cap {
+		prev := "∞"
+		if l.cap > 0 {
+			prev = fmt.Sprintf("%d", l.cap)
+		}
+		l.cap = next
+		l.decision = fmt.Sprintf("cap %s→%d: lsm flush backlog %d sealed memtables across %d stores; shedding intake so maintenance can drain",
+			prev, next, backlog, stores)
+	}
+}

@@ -1,9 +1,11 @@
 package engine
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"structream/internal/sinks"
@@ -36,6 +38,10 @@ func TestLSMBackendSpillsAndRestoresVersions(t *testing.T) {
 		NumPartitions:      1,
 		StateBackend:       "lsm",
 		StateMemtableBytes: 2048, // total state is ~10× this: must spill
+		// Synchronous maintenance makes the flush/compaction counts this
+		// test asserts deterministic: with the background default the last
+		// compaction may still be in flight when progress is snapshotted.
+		StateSyncMaintenance: true,
 	})
 
 	// Every row gets a fresh group key, so state grows by exactly perEpoch
@@ -104,5 +110,59 @@ func TestLSMBackendSpillsAndRestoresVersions(t *testing.T) {
 		if got, want := int64(s.NumKeys()), (v+1)*perEpoch; got != want {
 			t.Errorf("version %d: NumKeys = %d, want %d", v, got, want)
 		}
+	}
+}
+
+// deferSched postpones every scheduler-decided maintenance step, so sealed
+// memtables pile up (bounded by the MaxPendingMemtables ceiling) and the
+// flush backlog is deterministically nonzero when progress is snapshotted.
+type deferSched struct{}
+
+func (deferSched) Async() bool              { return false }
+func (deferSched) StepsAfterCommit(int) int { return 0 }
+
+// TestLSMFlushBacklogSurfacesInProgress pins the admission-control signal's
+// reporting path: a backed-up tree must surface flushBacklog through
+// QueryProgress stateOperators[] — including in the marshaled JSON, where
+// the field is omitempty and so only a genuinely nonzero backlog proves the
+// plumbing.
+func TestLSMFlushBacklogSurfacesInProgress(t *testing.T) {
+	src := sources.NewMemorySource("events", eventsSchema)
+	plan := &logical.Aggregate{
+		Child: streamScan("events"),
+		Keys:  []sql.Expr{sql.Col("k")},
+		Aggs:  []logical.NamedAgg{{Agg: sql.CountAll(), Name: "cnt"}},
+	}
+	q := compile(t, plan, logical.Update, nil)
+	sink := sinks.NewMemorySink()
+	sq := startQuery(t, q, map[string]sources.Source{"events": src}, sink, Options{
+		Checkpoint:                t.TempDir(),
+		NumPartitions:             1,
+		StateBackend:              "lsm",
+		StateMemtableBytes:        1, // every commit seals
+		StateMaintenanceScheduler: deferSched{},
+	})
+	for e := 0; e < 3; e++ {
+		src.AddData(sql.Row{fmt.Sprintf("k%d", e), 1.0, int64(e) * sec})
+		if err := sq.ProcessAllAvailable(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, ok := sq.LastProgress()
+	if !ok || len(p.StateOperators) == 0 {
+		t.Fatalf("no stateOperators: %+v ok=%v", p, ok)
+	}
+	if p.StateOperators[0].FlushBacklog == 0 {
+		t.Fatalf("flushBacklog not surfaced: %+v", p.StateOperators[0])
+	}
+	raw, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"flushBacklog"`) {
+		t.Fatalf("progress JSON missing flushBacklog:\n%s", raw)
+	}
+	if got := sq.Metrics().Gauge("stateFlushBacklog").Value(); got == 0 {
+		t.Error("stateFlushBacklog gauge not populated")
 	}
 }

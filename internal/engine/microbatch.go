@@ -12,6 +12,7 @@ import (
 	"structream/internal/cluster"
 	"structream/internal/fsx"
 	"structream/internal/incremental"
+	"structream/internal/lsm"
 	"structream/internal/metrics"
 	"structream/internal/sinks"
 	"structream/internal/sources"
@@ -64,6 +65,17 @@ type Options struct {
 	// StateBlockCacheBytes bounds the lsm backend's block cache, shared
 	// across all of the query's state partitions (0 = 32 MiB).
 	StateBlockCacheBytes int64
+	// StateSyncMaintenance forces the lsm backend's flush and compaction to
+	// run synchronously inside each state commit. By default maintenance
+	// runs on a supervised background goroutine per store and commits wait
+	// only on their own delta's durability; crash recovery is identical
+	// either way (the delta log is the durability point).
+	StateSyncMaintenance bool
+	// StateMaintenanceScheduler overrides the lsm backend's maintenance
+	// scheduling. The crash-sweep torture harness injects a seeded
+	// deterministic scheduler so the background-maintenance code path keeps
+	// a reproducible mutating-op schedule.
+	StateMaintenanceScheduler lsm.MaintenanceScheduler
 	// RetainEpochs bounds checkpoint growth: every RetainEpochs epochs the
 	// engine purges WAL entries and state files older than the retention
 	// horizon (keeping everything needed to recover, plus that many epochs
@@ -207,6 +219,8 @@ func newExec(q *incremental.Query, srcs map[string]sources.Source, sink sinks.Si
 		prov.Backend = state.BackendLSM
 		prov.MemtableBytes = opts.StateMemtableBytes
 		prov.BlockCacheBytes = opts.StateBlockCacheBytes
+		prov.BackgroundMaintenance = !opts.StateSyncMaintenance
+		prov.Scheduler = opts.StateMaintenanceScheduler
 	default:
 		return nil, fmt.Errorf("engine: unknown state backend %q", opts.StateBackend)
 	}
@@ -852,6 +866,8 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 		if ps := e.prov.Stats(); ps.Backend == state.BackendLSM {
 			spState.SetAttr("ssTables", ps.SSTables)
 			spState.SetAttr("compactionBytes", ps.CompactionBytes)
+			spState.SetAttr("flushBacklog", ps.FlushBacklog)
+			spState.SetAttr("maintenanceStallUs", ps.MaintenanceStallUs)
 		}
 		et.AddStage("execution", redStart.Add(stateDur), redWall-stateDur)
 		bd["stateCommit"] += stateDur.Microseconds()
@@ -965,6 +981,14 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 	backpressureDecision := ""
 	if e.limiter != nil {
 		e.limiter.Observe(total, inputRows, bd)
+		if e.q.Stateful != nil {
+			// A growing flush backlog is latency debt the epoch timer has
+			// not seen yet: shed intake before the hard synchronous
+			// fallback (or the watchdog) is reached.
+			if ps := e.prov.Stats(); ps.Backend == state.BackendLSM {
+				e.limiter.ObserveBacklog(ps.FlushBacklog, int64(e.opts.NumPartitions), inputRows)
+			}
+		}
 		backpressureDecision = e.limiter.Decision()
 		e.reg.Gauge("admissionCapRecords").Set(e.admissionCap())
 	}
@@ -1042,6 +1066,10 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 			if lookups := ps.BlockCacheHits + ps.BlockCacheMisses; lookups > 0 {
 				sop.BlockCacheHitRate = float64(ps.BlockCacheHits) / float64(lookups)
 			}
+			sop.FlushBacklog = ps.FlushBacklog
+			sop.MaintenanceStallUs = ps.MaintenanceStallUs
+			e.reg.Gauge("stateFlushBacklog").Set(ps.FlushBacklog)
+			e.reg.Gauge("stateMaintenanceStallUs").Set(ps.MaintenanceStallUs)
 			e.reg.Gauge("stateMemtableBytes").Set(ps.MemtableBytes)
 			e.reg.Gauge("stateSSTables").Set(ps.SSTables)
 			e.reg.Gauge("stateSSTableBytes").Set(ps.SSTableBytes)

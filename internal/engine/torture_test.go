@@ -13,6 +13,7 @@ import (
 
 	"structream/internal/fsx"
 	"structream/internal/incremental"
+	"structream/internal/lsm"
 	"structream/internal/sinks"
 	"structream/internal/sources"
 	"structream/internal/sql"
@@ -56,7 +57,7 @@ func torturePlan(t *testing.T) *incremental.Query {
 // 1-byte memtable threshold so every state commit flushes an SSTable and
 // the tier fills up enough to compact inside the workload — crash points
 // land between flush, compaction output, and manifest writes.
-func launchTortureBackend(t *testing.T, ckpt, sinkDir string, fsys fsx.FS, rows int, backend string) (*StreamingQuery, error) {
+func launchTortureBackend(t *testing.T, ckpt, sinkDir string, fsys fsx.FS, rows int, backend string, tune ...func(*Options)) (*StreamingQuery, error) {
 	t.Helper()
 	sink := &sinks.JSONFileSink{Dir: sinkDir, FS: fsys}
 	opts := Options{
@@ -72,6 +73,9 @@ func launchTortureBackend(t *testing.T, ckpt, sinkDir string, fsys fsx.FS, rows 
 	if backend == "lsm" {
 		opts.StateMemtableBytes = 1
 	}
+	for _, fn := range tune {
+		fn(&opts)
+	}
 	sq, err := Start(torturePlan(t), map[string]sources.Source{"events": tortureSource(rows)}, sink, opts)
 	if err != nil {
 		return nil, err
@@ -85,9 +89,9 @@ func launchTorture(t *testing.T, ckpt, sinkDir string, fsys fsx.FS, rows int) (*
 	return launchTortureBackend(t, ckpt, sinkDir, fsys, rows, "")
 }
 
-func runTortureBackend(t *testing.T, ckpt, sinkDir string, fsys fsx.FS, rows int, backend string) error {
+func runTortureBackend(t *testing.T, ckpt, sinkDir string, fsys fsx.FS, rows int, backend string, tune ...func(*Options)) error {
 	t.Helper()
-	_, err := launchTortureBackend(t, ckpt, sinkDir, fsys, rows, backend)
+	_, err := launchTortureBackend(t, ckpt, sinkDir, fsys, rows, backend, tune...)
 	return err
 }
 
@@ -172,12 +176,32 @@ func TestCrashRecoveryTorture(t *testing.T) {
 // outputs, and manifest writes to the op schedule — so the sweep crashes
 // mid-flush and mid-compaction too. The golden output is produced by the
 // MEMORY backend: every recovery must converge byte-identical not only to
-// its own crash-free run but across backends.
+// its own crash-free run but across backends. Maintenance is pinned to
+// synchronous drain so every commit's op schedule includes its flush and
+// any compaction it triggers, keeping crash points maximally adversarial
+// (a crash can land between a delta and the flush it feeds).
 func TestCrashRecoveryTortureLSM(t *testing.T) {
-	crashSweepTorture(t, "lsm")
+	crashSweepTorture(t, "lsm", func(o *Options) { o.StateSyncMaintenance = true })
 }
 
-func crashSweepTorture(t *testing.T, backend string) {
+// TestCrashRecoveryTortureLSMBackground sweeps the engine's DEFAULT mode:
+// background maintenance, with the seeded scheduler standing in for the
+// goroutine so the op schedule stays deterministic (the scheduler runs the
+// same flush/compaction steps inline at commit boundaries, in an order
+// drawn from a fixed seed — exactly what the async goroutine would do,
+// minus the nondeterministic interleaving). The tune closure builds a
+// FRESH scheduler per run, so every run replays the identical schedule
+// and crash point N lands inside the same maintenance step every time.
+// RetainEpochs=2 forces GC of retired deltas, SSTables, and manifests
+// inside the sweep, adding remove ops to the crash surface.
+func TestCrashRecoveryTortureLSMBackground(t *testing.T) {
+	crashSweepTorture(t, "lsm", func(o *Options) {
+		o.StateMaintenanceScheduler = lsm.NewSeededScheduler(0x5EED)
+		o.RetainEpochs = 2
+	})
+}
+
+func crashSweepTorture(t *testing.T, backend string, tune ...func(*Options)) {
 	if testing.Short() {
 		t.Skip("crash sweep skipped with -short")
 	}
@@ -199,7 +223,7 @@ func crashSweepTorture(t *testing.T, backend string) {
 	// deterministic op schedule.
 	probe := fsx.NewFaultFS(fsx.NoSync())
 	probeSink := t.TempDir()
-	if err := runTortureBackend(t, t.TempDir(), probeSink, probe, rows, backend); err != nil {
+	if err := runTortureBackend(t, t.TempDir(), probeSink, probe, rows, backend, tune...); err != nil {
 		t.Fatalf("probe run: %v", err)
 	}
 	if d := sinkDiff(golden, dirContents(t, probeSink)); d != "" {
@@ -211,11 +235,16 @@ func crashSweepTorture(t *testing.T, backend string) {
 		t.Fatalf("workload has only %d mutating ops; need ≥25 crash points", total)
 	}
 	if backend == "lsm" {
-		// The schedule must include more SSTable writes than delta writes:
-		// every commit flushes (1-byte memtable), so any surplus is
-		// compaction output — proof the sweep crosses a compaction.
-		var ssts, deltas int
+		var tuned Options
+		for _, fn := range tune {
+			fn(&tuned)
+		}
+		var ssts, deltas, maint int
 		for _, op := range trace {
+			if strings.Contains(op.Path, ".sst") || strings.Contains(op.Path, ".manifest") ||
+				(op.Kind == fsx.OpRemove && strings.Contains(op.Path, ".delta")) {
+				maint++
+			}
 			switch {
 			case op.Kind == fsx.OpWrite && strings.Contains(op.Path, ".sst"):
 				ssts++
@@ -223,8 +252,21 @@ func crashSweepTorture(t *testing.T, backend string) {
 				deltas++
 			}
 		}
-		if ssts <= deltas {
-			t.Fatalf("schedule has %d SSTable writes vs %d deltas; no compaction inside the sweep", ssts, deltas)
+		if tuned.StateSyncMaintenance {
+			// With synchronous drain the schedule must include more SSTable
+			// writes than delta writes: every commit flushes (1-byte
+			// memtable), so any surplus is compaction output — proof the
+			// sweep crosses a compaction.
+			if ssts <= deltas {
+				t.Fatalf("schedule has %d SSTable writes vs %d deltas; no compaction inside the sweep", ssts, deltas)
+			}
+		} else {
+			// With the seeded scheduler the drain is partial by design; what
+			// matters is that the sweep plants enough crash points INSIDE
+			// maintenance — SSTable/manifest writes plus retired-delta GC.
+			if maint < 10 {
+				t.Fatalf("schedule has only %d maintenance ops (ssts=%d deltas=%d); need ≥10 crash points inside background maintenance", maint, ssts, deltas)
+			}
 		}
 	}
 
@@ -241,7 +283,7 @@ func crashSweepTorture(t *testing.T, backend string) {
 		ckpt, sinkDir := t.TempDir(), t.TempDir()
 		ffs := fsx.NewFaultFS(fsx.NoSync())
 		ffs.CrashAt, ffs.Mode = n, mode
-		err := runTortureBackend(t, ckpt, sinkDir, ffs, rows, backend)
+		err := runTortureBackend(t, ckpt, sinkDir, ffs, rows, backend, tune...)
 		if !ffs.Crashed() {
 			t.Fatalf("%s: crash never fired (err=%v)", label, err)
 		}
@@ -251,7 +293,7 @@ func crashSweepTorture(t *testing.T, backend string) {
 		categories[opCategory(t, trace[n-1])]++
 
 		// Restart over the surviving checkpoint on a healthy filesystem.
-		if err := runTortureBackend(t, ckpt, sinkDir, fsx.NoSync(), rows, backend); err != nil {
+		if err := runTortureBackend(t, ckpt, sinkDir, fsx.NoSync(), rows, backend, tune...); err != nil {
 			t.Fatalf("%s: restart failed: %v", label, err)
 		}
 		if d := sinkDiff(golden, dirContents(t, sinkDir)); d != "" {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"structream/internal/engine"
@@ -41,8 +42,11 @@ func stateBenchQuery() (*incremental.Query, error) {
 
 // runStateBackendBench bulk-processes n preloaded records whose keys cycle
 // through `keys` distinct groups, with the state store on the given
-// backend. memtableBytes applies only to the LSM backend (0 = default).
-func runStateBackendBench(name string, n, keys int64, backend string, memtableBytes int64, ckpt string) (BenchScenario, error) {
+// backend. memtableBytes applies only to the LSM backend (0 = default);
+// syncMaint pins flush/compaction inline on the commit path instead of the
+// engine's background-maintenance default — the on/off dimension of the
+// spill scenario.
+func runStateBackendBench(name string, n, keys int64, backend string, memtableBytes int64, syncMaint bool, ckpt string) (BenchScenario, error) {
 	src := sources.NewMemorySource("in", stateBenchSchema)
 	rows := make([]sql.Row, n)
 	for i := int64(0); i < n; i++ {
@@ -61,6 +65,7 @@ func runStateBackendBench(name string, n, keys int64, backend string, memtableBy
 		FS:                   fsx.NoSync(),
 		StateBackend:         backend,
 		StateMemtableBytes:   memtableBytes,
+		StateSyncMaintenance: syncMaint,
 	})
 	if err != nil {
 		return BenchScenario{}, err
@@ -71,19 +76,21 @@ func runStateBackendBench(name string, n, keys int64, backend string, memtableBy
 	elapsed := time.Since(start)
 	snap := sq.Metrics().Snapshot()
 	sc := BenchScenario{
-		Name:          name,
-		Mode:          "microbatch",
-		Traced:        true,
-		Backend:       backend,
-		Events:        n,
-		StateKeys:     keys,
-		Epochs:        snap["epochs"],
-		ElapsedMillis: elapsed.Milliseconds(),
-		RowsPerSec:    float64(n) / elapsed.Seconds(),
-		EpochP50Us:    snap["epoch.us.p50"],
-		EpochP99Us:    snap["epoch.us.p99"],
-		SSTables:      snap["stateSSTables"],
-		Compactions:   snap["stateCompactions"],
+		Name:               name,
+		Mode:               "microbatch",
+		Traced:             true,
+		Backend:            backend,
+		Events:             n,
+		StateKeys:          keys,
+		Epochs:             snap["epochs"],
+		ElapsedMillis:      elapsed.Milliseconds(),
+		RowsPerSec:         float64(n) / elapsed.Seconds(),
+		EpochP50Us:         snap["epoch.us.p50"],
+		EpochP99Us:         snap["epoch.us.p99"],
+		SSTables:           snap["stateSSTables"],
+		Compactions:        snap["stateCompactions"],
+		SyncMaintenance:    syncMaint,
+		MaintenanceStallUs: snap["stateMaintenanceStallUs"],
 	}
 	if traffic := snap["stateBlockCacheHits"] + snap["stateBlockCacheMisses"]; traffic > 0 {
 		sc.BlockCacheHitRatePct = 100 * float64(snap["stateBlockCacheHits"]) / float64(traffic)
@@ -91,9 +98,15 @@ func runStateBackendBench(name string, n, keys int64, backend string, memtableBy
 	return sc, nil
 }
 
-// runStateBackendSuite appends the four state-backend scenarios to the
-// report: {memory, lsm} × {memtable-resident, spilling}.
-func runStateBackendSuite(report *BenchReport, events int, tempDir func() string) error {
+// runStateBackendSuite appends the state-backend scenarios to the report:
+// {memory, lsm} × {memtable-resident, spilling}, plus the spilling LSM run
+// with background maintenance pinned off — the on/off dimension that shows
+// what moving flush/compaction off the commit path buys. Like the
+// microbatch scenarios, each row publishes its best of `rounds` runs: on a
+// single-core box a GC cycle or a load spike landing mid-run can halve one
+// round's throughput, and the best round is the one that measures the
+// engine rather than the interruption.
+func runStateBackendSuite(report *BenchReport, events, rounds int, tempDir func() string) error {
 	n := int64(events)
 	smallKeys := n / 200
 	if smallKeys < 1024 {
@@ -104,21 +117,34 @@ func runStateBackendSuite(report *BenchReport, events int, tempDir func() string
 	// smoke-test event counts too; the small scenarios use the default.
 	const spillMemtable = 256 << 10
 	for _, cfg := range []struct {
-		name     string
-		backend  string
-		keys     int64
-		memtable int64
+		name      string
+		backend   string
+		keys      int64
+		memtable  int64
+		syncMaint bool
 	}{
-		{"stateful-count-memory-small", "memory", smallKeys, 0},
-		{"stateful-count-lsm-small", "lsm", smallKeys, 0},
-		{"stateful-count-memory-spill", "memory", spillKeys, 0},
-		{"stateful-count-lsm-spill", "lsm", spillKeys, spillMemtable},
+		{"stateful-count-memory-small", "memory", smallKeys, 0, false},
+		{"stateful-count-lsm-small", "lsm", smallKeys, 0, false},
+		{"stateful-count-memory-spill", "memory", spillKeys, 0, false},
+		{"stateful-count-lsm-spill", "lsm", spillKeys, spillMemtable, false},
+		{"stateful-count-lsm-spill-syncmaint", "lsm", spillKeys, spillMemtable, true},
 	} {
-		sc, err := runStateBackendBench(cfg.name, n, cfg.keys, cfg.backend, cfg.memtable, tempDir())
-		if err != nil {
-			return fmt.Errorf("%s: %w", cfg.name, err)
+		var best BenchScenario
+		for r := 0; r < rounds; r++ {
+			// Collect the previous run's garbage first: with the suite's
+			// relaxed GC target, whichever run happens to follow the
+			// memory-backend spill would otherwise pay for collecting its
+			// heap.
+			runtime.GC()
+			sc, err := runStateBackendBench(cfg.name, n, cfg.keys, cfg.backend, cfg.memtable, cfg.syncMaint, tempDir())
+			if err != nil {
+				return fmt.Errorf("%s: %w", cfg.name, err)
+			}
+			if sc.RowsPerSec > best.RowsPerSec {
+				best = sc
+			}
 		}
-		report.Scenarios = append(report.Scenarios, sc)
+		report.Scenarios = append(report.Scenarios, best)
 	}
 	return nil
 }

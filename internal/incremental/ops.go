@@ -212,19 +212,27 @@ func (a *StatefulAggregate) decodeAggState(data []byte) ([]sql.AggBuffer, error)
 	return bufs, nil
 }
 
+// changedGroup carries one updated group from the merge loop to emission:
+// the boxed key values and the latest merged buffers, so Update-mode
+// emission reuses them instead of re-reading and re-decoding stored state.
+type changedGroup struct {
+	key  []sql.Value
+	bufs []sql.AggBuffer
+}
+
 // Process implements StatefulOp.
 func (a *StatefulAggregate) Process(ctx *EpochContext, store *state.Store, inputs [][]sql.Row) ([]sql.Row, error) {
-	changed := map[string][]sql.Value{} // encoded key → key values
-	var changedOrder []string
+	changed := make(map[string]*changedGroup, len(inputs[0]))
+	changedOrder := make([]string, 0, len(inputs[0]))
 	for _, r := range inputs[0] {
-		key := append([]sql.Value(nil), r[:a.NumKeys]...)
+		keyVals := r[:a.NumKeys:a.NumKeys]
 		// Drop data later than the watermark allows: its group was (or will
 		// be) finalized and evicted, and merging it would resurrect the
 		// group and violate append-mode's emit-once guarantee.
-		if a.EventKeyIdx >= 0 && ctx.Watermark > 0 && groupExpired(key[a.EventKeyIdx], ctx.Watermark) {
+		if a.EventKeyIdx >= 0 && ctx.Watermark > 0 && groupExpired(keyVals[a.EventKeyIdx], ctx.Watermark) {
 			continue
 		}
-		keyBytes := codec.EncodeValues(key)
+		keyBytes := codec.EncodeValues(keyVals)
 		// Merge the incoming partial buffers into stored state.
 		incoming := make([]sql.AggBuffer, len(a.Aggs))
 		for i := range a.Aggs {
@@ -256,9 +264,11 @@ func (a *StatefulAggregate) Process(ctx *EpochContext, store *state.Store, input
 			merged = incoming
 		}
 		store.Put(keyBytes, encodeAggState(merged))
-		ks := string(keyBytes)
-		if _, seen := changed[ks]; !seen {
-			changed[ks] = key
+		if g, seen := changed[string(keyBytes)]; seen {
+			g.bufs = merged
+		} else {
+			ks := string(keyBytes)
+			changed[ks] = &changedGroup{key: append([]sql.Value(nil), keyVals...), bufs: merged}
 			changedOrder = append(changedOrder, ks)
 		}
 	}
@@ -294,16 +304,12 @@ func (a *StatefulAggregate) Process(ctx *EpochContext, store *state.Store, input
 			return nil, iterErr
 		}
 	case logical.Update:
+		// The merge loop kept each group's final buffers; nothing in this
+		// epoch can have removed a changed key (eviction runs below), so
+		// emission needs no second store read.
 		for _, ks := range changedOrder {
-			v, ok := store.Get([]byte(ks))
-			if !ok {
-				continue
-			}
-			bufs, err := a.decodeAggState(v)
-			if err != nil {
-				return nil, err
-			}
-			emitRow(changed[ks], bufs)
+			g := changed[ks]
+			emitRow(g.key, g.bufs)
 		}
 	case logical.Append:
 		// Emission happens only via watermark finalization below.

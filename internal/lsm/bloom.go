@@ -32,8 +32,33 @@ func fnv64a(key []byte) uint64 {
 	return h
 }
 
+// fnv64aString is fnv64a over a string, avoiding a []byte conversion.
+func fnv64aString(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
 // buildBloom constructs a filter for keys at the given density.
 func buildBloom(keys []string, bitsPerKey int) []byte {
+	hashes := make([]uint64, len(keys))
+	for i, k := range keys {
+		hashes[i] = fnv64aString(k)
+	}
+	return buildBloomFromHashes(hashes, bitsPerKey)
+}
+
+// buildBloomFromHashes constructs a filter from pre-computed FNV-1a key
+// hashes — the table builder hashes each key as it streams in, so building
+// the filter never needs the key set resident.
+func buildBloomFromHashes(hashes []uint64, bitsPerKey int) []byte {
 	if bitsPerKey <= 0 {
 		bitsPerKey = bloomBitsPerKey
 	}
@@ -45,15 +70,14 @@ func buildBloom(keys []string, bitsPerKey int) []byte {
 	if k > bloomMaxProbes {
 		k = bloomMaxProbes
 	}
-	nBits := len(keys) * bitsPerKey
+	nBits := len(hashes) * bitsPerKey
 	if nBits < 64 {
 		nBits = 64
 	}
 	filter := make([]byte, 1+(nBits+7)/8)
 	filter[0] = byte(k)
 	bits := uint64(len(filter)-1) * 8
-	for _, key := range keys {
-		h := fnv64a([]byte(key))
+	for _, h := range hashes {
 		delta := h>>33 | h<<31
 		for i := 0; i < k; i++ {
 			pos := h % bits

@@ -1,22 +1,53 @@
 package lsm
 
+import "bytes"
+
 // kvIter is the common shape of memtable and SSTable iterators: a primed
 // cursor advanced with next(), exposing the current entry until exhaustion.
+// Keys and values are []byte views that are only guaranteed valid until the
+// iterator's next call to next() — consumers that hold a key across an
+// advance must copy it (mergeIter does exactly that for its winner).
 type kvIter interface {
 	// next advances to the following entry; false at exhaustion or error.
 	next() bool
-	entry() (key string, val []byte, tomb bool)
+	entry() (key []byte, val []byte, tomb bool)
 	error() error
+}
+
+// cmpStringBytes compares s with b lexicographically without allocating —
+// the bridge between index/bound strings and the []byte keys the read path
+// carries.
+func cmpStringBytes(s string, b []byte) int {
+	n := len(s)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if s[i] != b[i] {
+			if s[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(s) < len(b):
+		return -1
+	case len(s) > len(b):
+		return 1
+	}
+	return 0
 }
 
 // ----------------------------------------------------------- memtable iter
 
-// memIter walks a snapshot of the memtable in key order.
+// memIter walks a snapshot of the memtable in key order. The exposed key
+// lives in a buffer reused across next() calls.
 type memIter struct {
 	m    *memtable
 	keys []string
 	i    int
-	key  string
+	key  []byte
 	val  []byte
 	tomb bool
 }
@@ -33,18 +64,19 @@ func (it *memIter) next() bool {
 	if it.i >= len(it.keys) {
 		return false
 	}
-	it.key = it.keys[it.i]
-	e := it.m.entries[it.key]
+	k := it.keys[it.i]
+	it.key = append(it.key[:0], k...)
+	e := it.m.entries[k]
 	it.val, it.tomb = e.value, e.tomb
 	it.i++
 	return true
 }
 
-func (it *memIter) entry() (string, []byte, bool) { return it.key, it.val, it.tomb }
+func (it *memIter) entry() ([]byte, []byte, bool) { return it.key, it.val, it.tomb }
 func (it *memIter) error() error                  { return nil }
 
 // tableIter adapts to kvIter.
-func (it *tableIter) entry() (string, []byte, bool) { return it.key, it.val, it.tomb }
+func (it *tableIter) entry() ([]byte, []byte, bool) { return it.key, it.val, it.tomb }
 func (it *tableIter) error() error                  { return it.err }
 
 // ------------------------------------------------------------- merge iter
@@ -57,7 +89,7 @@ type mergeIter struct {
 	srcs  []kvIter // index 0 = newest
 	valid []bool
 
-	key  string
+	key  []byte // owned copy: stays valid while sources advance past it
 	val  []byte
 	tomb bool
 	err  error
@@ -81,30 +113,29 @@ func (m *mergeIter) next() bool {
 	// Find the smallest key across live sources; lowest index breaks ties,
 	// which is exactly newest-wins.
 	win := -1
+	var winKey []byte
 	for i, ok := range m.valid {
 		if !ok {
 			continue
 		}
 		k, _, _ := m.srcs[i].entry()
-		if win < 0 {
-			win = i
-			continue
-		}
-		wk, _, _ := m.srcs[win].entry()
-		if k < wk {
-			win = i
+		if win < 0 || bytes.Compare(k, winKey) < 0 {
+			win, winKey = i, k
 		}
 	}
 	if win < 0 {
 		return false
 	}
-	m.key, m.val, m.tomb = m.srcs[win].entry()
+	// Copy the winner's key before advancing any source: a source's entry
+	// buffer may be reused by its next().
+	m.key = append(m.key[:0], winKey...)
+	_, m.val, m.tomb = m.srcs[win].entry()
 	// Consume this key everywhere so shadowed older versions never surface.
 	for i, ok := range m.valid {
 		if !ok {
 			continue
 		}
-		if k, _, _ := m.srcs[i].entry(); k == m.key {
+		if k, _, _ := m.srcs[i].entry(); bytes.Equal(k, m.key) {
 			m.valid[i] = m.srcs[i].next()
 			if err := m.srcs[i].error(); err != nil {
 				m.err = err
@@ -115,5 +146,5 @@ func (m *mergeIter) next() bool {
 	return true
 }
 
-func (m *mergeIter) entry() (string, []byte, bool) { return m.key, m.val, m.tomb }
+func (m *mergeIter) entry() ([]byte, []byte, bool) { return m.key, m.val, m.tomb }
 func (m *mergeIter) error() error                  { return m.err }

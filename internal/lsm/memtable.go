@@ -26,8 +26,22 @@ func newMemtable() *memtable {
 	return &memtable{entries: map[string]memEntry{}}
 }
 
+// newMemtableSized pre-sizes the entry map. Epoch batches are large and
+// similar-sized, so seeding a fresh memtable with its predecessor's count
+// avoids ~17 incremental map rehashes per epoch on the commit path.
+func newMemtableSized(hint int) *memtable {
+	return &memtable{entries: make(map[string]memEntry, hint)}
+}
+
 func (m *memtable) get(key string) (memEntry, bool) {
 	e, ok := m.entries[key]
+	return e, ok
+}
+
+// getBytes is get for a []byte key; the string conversion in the map index
+// is allocation-elided by the compiler.
+func (m *memtable) getBytes(key []byte) (memEntry, bool) {
+	e, ok := m.entries[string(key)]
 	return e, ok
 }
 

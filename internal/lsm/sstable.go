@@ -1,9 +1,11 @@
 package lsm
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"structream/internal/fsx"
 )
@@ -51,7 +53,7 @@ type tableBuilder struct {
 	curFirst string
 	curCount int64
 	index    []blockMeta
-	keys     []string
+	hashes   []uint64 // bloom hash per key, computed as keys stream in
 	entries  int64
 }
 
@@ -68,6 +70,24 @@ func (b *tableBuilder) add(key string, value []byte, tomb bool) {
 	}
 	b.cur = binary.AppendUvarint(b.cur, uint64(len(key)))
 	b.cur = append(b.cur, key...)
+	b.hashes = append(b.hashes, fnv64aString(key))
+	b.addTail(value, tomb)
+}
+
+// addBytes is add for a []byte key — the compaction merge path, where keys
+// arrive as block slices and converting each to a string would allocate
+// per entry.
+func (b *tableBuilder) addBytes(key []byte, value []byte, tomb bool) {
+	if len(b.cur) == 0 {
+		b.curFirst = string(key)
+	}
+	b.cur = binary.AppendUvarint(b.cur, uint64(len(key)))
+	b.cur = append(b.cur, key...)
+	b.hashes = append(b.hashes, fnv64a(key))
+	b.addTail(value, tomb)
+}
+
+func (b *tableBuilder) addTail(value []byte, tomb bool) {
 	if tomb {
 		b.cur = binary.AppendUvarint(b.cur, 0)
 	} else {
@@ -75,7 +95,6 @@ func (b *tableBuilder) add(key string, value []byte, tomb bool) {
 		b.cur = append(b.cur, value...)
 	}
 	b.curCount++
-	b.keys = append(b.keys, key)
 	b.entries++
 	if len(b.cur) >= b.blockBytes {
 		b.sealBlock()
@@ -102,7 +121,7 @@ func (b *tableBuilder) sealBlock() {
 func (b *tableBuilder) finish() []byte {
 	b.sealBlock()
 	bloomOff := int64(len(b.buf))
-	bloom := buildBloom(b.keys, b.bloomBits)
+	bloom := buildBloomFromHashes(b.hashes, b.bloomBits)
 	b.buf = append(b.buf, bloom...)
 	indexOff := int64(len(b.buf))
 	var idx []byte
@@ -139,6 +158,14 @@ type Table struct {
 	bloom   []byte
 	index   []blockMeta
 	entries int64
+
+	// offsets[i] holds block i's entry start positions, built lazily on the
+	// first point lookup that touches the block. Blocks are immutable, so
+	// the positions stay valid even after the cached block bytes are
+	// evicted and re-read — point lookups binary-search entries instead of
+	// decoding the block linearly.
+	offMu   sync.Mutex
+	offsets [][]uint32
 }
 
 // openTable loads a table's footer, bloom filter, and index, verifying the
@@ -237,17 +264,19 @@ func (t *Table) block(i int) ([]byte, error) {
 }
 
 // decodeBlockEntry parses one entry at pos, returning the next position.
-func decodeBlockEntry(block []byte, pos int, path string) (key string, val []byte, tomb bool, next int, err error) {
+// The key and value alias the block — zero-copy: the read path compares
+// and yields byte slices, converting to string only at API boundaries.
+func decodeBlockEntry(block []byte, pos int, path string) (key, val []byte, tomb bool, next int, err error) {
 	klen, n := binary.Uvarint(block[pos:])
 	if n <= 0 || uint64(len(block)-pos-n) < klen {
-		return "", nil, false, 0, fmt.Errorf("lsm: %w: %s: corrupt block entry", fsx.ErrCorrupt, path)
+		return nil, nil, false, 0, fmt.Errorf("lsm: %w: %s: corrupt block entry", fsx.ErrCorrupt, path)
 	}
 	pos += n
-	key = string(block[pos : pos+int(klen)])
+	key = block[pos : pos+int(klen)]
 	pos += int(klen)
 	vcode, n := binary.Uvarint(block[pos:])
 	if n <= 0 {
-		return "", nil, false, 0, fmt.Errorf("lsm: %w: %s: corrupt block entry", fsx.ErrCorrupt, path)
+		return nil, nil, false, 0, fmt.Errorf("lsm: %w: %s: corrupt block entry", fsx.ErrCorrupt, path)
 	}
 	pos += n
 	if vcode == 0 {
@@ -255,21 +284,56 @@ func decodeBlockEntry(block []byte, pos int, path string) (key string, val []byt
 	}
 	vlen := int(vcode - 1)
 	if len(block)-pos < vlen {
-		return "", nil, false, 0, fmt.Errorf("lsm: %w: %s: corrupt block entry", fsx.ErrCorrupt, path)
+		return nil, nil, false, 0, fmt.Errorf("lsm: %w: %s: corrupt block entry", fsx.ErrCorrupt, path)
 	}
 	return key, block[pos : pos+vlen], false, pos + vlen, nil
 }
 
-// get performs a point lookup: bloom, block binary search, in-block scan.
-// ok=false means the table has no record of the key (the caller falls
-// through to older tables); tomb=true means the key is recorded deleted.
+// blockOffsets returns block i's entry start positions, building (and
+// memoizing) them on first use. The build walks the block with the checked
+// decoder, so every memoized offset is known to start a well-formed entry.
+func (t *Table) blockOffsets(i int, block []byte) ([]uint32, error) {
+	t.offMu.Lock()
+	if t.offsets == nil {
+		t.offsets = make([][]uint32, len(t.index))
+	}
+	if offs := t.offsets[i]; offs != nil {
+		t.offMu.Unlock()
+		return offs, nil
+	}
+	t.offMu.Unlock()
+	offs := make([]uint32, 0, t.index[i].entries)
+	for pos := 0; pos < len(block); {
+		offs = append(offs, uint32(pos))
+		_, _, _, next, err := decodeBlockEntry(block, pos, t.path)
+		if err != nil {
+			return nil, err
+		}
+		pos = next
+	}
+	t.offMu.Lock()
+	t.offsets[i] = offs
+	t.offMu.Unlock()
+	return offs, nil
+}
+
+// entryKeyAt returns the key of the entry starting at pos. Only valid for
+// positions vetted by blockOffsets.
+func entryKeyAt(block []byte, pos uint32) []byte {
+	klen, n := binary.Uvarint(block[pos:])
+	return block[int(pos)+n : int(pos)+n+int(klen)]
+}
+
+// get performs a point lookup: bloom, block binary search, then a binary
+// search over the block's entry offsets. ok=false means the table has no
+// record of the key (the caller falls through to older tables); tomb=true
+// means the key is recorded deleted.
 func (t *Table) get(key []byte) (val []byte, tomb, ok bool, err error) {
 	if len(t.index) == 0 || !bloomMayContain(t.bloom, key) {
 		return nil, false, false, nil
 	}
-	ks := string(key)
-	// First block whose firstKey is > ks; the candidate is the one before.
-	i := sort.Search(len(t.index), func(i int) bool { return t.index[i].firstKey > ks })
+	// First block whose firstKey is > key; the candidate is the one before.
+	i := sort.Search(len(t.index), func(i int) bool { return cmpStringBytes(t.index[i].firstKey, key) > 0 })
 	if i == 0 {
 		return nil, false, false, nil
 	}
@@ -277,20 +341,24 @@ func (t *Table) get(key []byte) (val []byte, tomb, ok bool, err error) {
 	if err != nil {
 		return nil, false, false, err
 	}
-	for pos := 0; pos < len(block); {
-		k, v, tb, next, err := decodeBlockEntry(block, pos, t.path)
-		if err != nil {
-			return nil, false, false, err
-		}
-		if k == ks {
-			return v, tb, true, nil
-		}
-		if k > ks {
-			return nil, false, false, nil
-		}
-		pos = next
+	offs, err := t.blockOffsets(i-1, block)
+	if err != nil {
+		return nil, false, false, err
 	}
-	return nil, false, false, nil
+	j := sort.Search(len(offs), func(j int) bool {
+		return bytes.Compare(entryKeyAt(block, offs[j]), key) >= 0
+	})
+	if j == len(offs) {
+		return nil, false, false, nil
+	}
+	k, v, tb, _, err := decodeBlockEntry(block, int(offs[j]), t.path)
+	if err != nil {
+		return nil, false, false, err
+	}
+	if !bytes.Equal(k, key) {
+		return nil, false, false, nil
+	}
+	return v, tb, true, nil
 }
 
 // ---------------------------------------------------------------- iterator
@@ -304,7 +372,7 @@ type tableIter struct {
 	pos   int
 	from  string // entries below this bound are skipped ("" = none)
 
-	key  string
+	key  []byte // aliases the current block
 	val  []byte
 	tomb bool
 	err  error
@@ -339,7 +407,7 @@ func (it *tableIter) next() bool {
 			it.bi++
 		}
 		it.key, it.val, it.tomb, it.pos, it.err = decodeBlockEntry(it.block, it.pos, it.t.path)
-		if it.err == nil && it.key >= it.from {
+		if it.err == nil && cmpStringBytes(it.from, it.key) <= 0 {
 			return true
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"structream/internal/fsx"
 )
@@ -12,8 +13,9 @@ import (
 type Options struct {
 	FS  fsx.FS
 	Dir string
-	// MemtableBytes is the flush threshold: once committed-but-unflushed
-	// state exceeds it, the memtable is sealed into an SSTable. Default 4 MiB.
+	// MemtableBytes is the seal threshold: once committed-but-unflushed
+	// state exceeds it, the memtable is sealed and queued for flush.
+	// Default 4 MiB.
 	MemtableBytes int64
 	// BlockBytes is the SSTable data-block target size. Default 4 KiB.
 	BlockBytes int
@@ -22,16 +24,32 @@ type Options struct {
 	MaxTierTables int
 	// Cache is the shared block cache; nil disables block caching.
 	Cache *BlockCache
-	// BackgroundCompaction moves compaction out of Commit into a goroutine.
-	// The engine keeps it off: synchronous compaction keeps the mutating-op
-	// schedule deterministic, which the crash-sweep torture harness requires.
+	// BackgroundCompaction moves flush, compaction, and manifest publication
+	// onto a supervised background goroutine: Commit waits only on its own
+	// delta's durability and seals full memtables into a flush queue behind
+	// it. The engine enables it by default; crash safety holds either way
+	// because the delta log, not the manifest, is the durability point.
 	BackgroundCompaction bool
+	// Scheduler overrides maintenance scheduling. nil picks the background
+	// goroutine when BackgroundCompaction is set and fully synchronous
+	// inline maintenance otherwise. A seeded scheduler (NewSeededScheduler)
+	// runs the background code path inline at commit boundaries, keeping the
+	// mutating-op schedule reproducible for crash sweeps.
+	Scheduler MaintenanceScheduler
+	// MaxPendingMemtables is the hard ceiling on sealed-but-unflushed
+	// memtables (default 4). Past it, Commit runs flush steps synchronously —
+	// the last-resort fallback when maintenance cannot keep up. Time spent
+	// there is surfaced in Stats.MaintenanceStallUs so the engine's admission
+	// control can shed intake before this point is reached.
+	MaxPendingMemtables int
 }
 
 // Stats is a point-in-time view of a tree's shape and write amplification.
 type Stats struct {
-	Version       int64
-	LiveKeys      int64
+	Version  int64
+	LiveKeys int64
+	// MemtableBytes counts all committed-but-unflushed state: the active
+	// memtable plus sealed memtables awaiting background flush.
 	MemtableBytes int64
 	MemtableKeys  int64
 	Tables        int64
@@ -40,31 +58,74 @@ type Stats struct {
 	Compactions   int64
 	// CompactionBytes is the cumulative input rewritten by compaction.
 	CompactionBytes int64
+	// FlushBacklog is the number of sealed memtables waiting for flush.
+	FlushBacklog int64
+	// MaintenanceStallUs is cumulative time Commit spent blocked on the
+	// MaxPendingMemtables ceiling running maintenance synchronously.
+	MaintenanceStallUs int64
+}
+
+// sealedMem is one immutable memtable awaiting background flush, with the
+// delta-version extent it covers and the tree-wide live-key count as of its
+// seal — the accounting the manifest needs when the flush installs.
+type sealedMem struct {
+	mem    *memtable
+	from   int64 // first delta version folded into this memtable
+	to     int64 // last delta version (the commit that sealed it)
+	liveAt int64 // tree-wide live keys as of version `to`
 }
 
 // Tree is one keyed state partition stored as an LSM: a mutable memtable
-// over immutable SSTables, with per-version delta logs and manifests making
-// every committed version individually loadable.
+// over a queue of sealed memtables over immutable SSTables, with per-version
+// delta logs and manifests making every committed version individually
+// loadable.
 type Tree struct {
-	fsys fsx.FS
-	dir  string
-	opts Options
+	fsys  fsx.FS
+	dir   string
+	opts  Options
+	sched MaintenanceScheduler
+
+	// maintMu serializes maintenance steps (flush, compaction, manifest
+	// publication, GC) against each other and against timeline changes
+	// (Load, Close, Maintain): a step never interleaves with a reload, so
+	// its snapshot of inputs and its allocated table sequence stay valid
+	// from snapshot to install. Lock order: maintMu before mu, never the
+	// reverse.
+	maintMu sync.Mutex
 
 	mu        sync.Mutex
 	mem       *memtable
-	tables    []*Table // oldest first; list order is the shadowing authority
+	memFrom   int64        // first delta version in the active memtable
+	sealed    []*sealedMem // oldest first: the flush queue
+	tables    []*Table     // oldest first; list order is the shadowing authority
 	version   int64
 	nextSeq   int64
-	logFrom   int64 // first delta version held by the memtable
 	liveKeys  int64
-	tableLive int64 // live keys in the table set alone (as of logFrom-1)
+	tableLive int64 // live keys in the table set alone
 
 	flushes         int64
 	compactions     int64
 	compactionBytes int64
+	stallUs         int64 // cumulative Commit time stalled on the backlog ceiling
+
+	// maintErr latches a background-maintenance failure. The next Commit
+	// fails with it, so the query's supervisor restarts from the checkpoint —
+	// an asynchronous flush error must surface as a restart, never as silent
+	// data loss. Load clears it: a reload re-derives everything the failed
+	// step would have installed.
+	maintErr error
+
+	// pruned records that stale manifests from an abandoned timeline were
+	// swept since the last Load. Manifests are sparse (one per maintenance
+	// step), so after a rollback a leftover higher-version manifest could
+	// out-anchor the new timeline's older one on a future Load — it must go
+	// before the first diverging commit. Pruning waits for that commit:
+	// loading an old version for a historical read must not destroy the
+	// newer manifests it did not supersede.
+	pruned bool
 
 	closed bool
-	bgCh   chan struct{}
+	bgWake chan struct{} // signals the maintenance goroutine; closed on Close
 	bgDone chan struct{}
 }
 
@@ -83,25 +144,40 @@ func Open(opts Options) (*Tree, error) {
 	if opts.MaxTierTables < 2 {
 		opts.MaxTierTables = defaultTierTables
 	}
+	if opts.MaxPendingMemtables <= 0 {
+		opts.MaxPendingMemtables = defaultMaxPendingMemtables
+	}
 	if err := opts.FS.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("lsm: %w", err)
 	}
 	t := &Tree{fsys: opts.FS, dir: opts.Dir, opts: opts, mem: newMemtable(), version: -1}
-	if opts.BackgroundCompaction {
-		t.bgCh = make(chan struct{}, 1)
+	t.sched = opts.Scheduler
+	if t.sched == nil {
+		if opts.BackgroundCompaction {
+			t.sched = asyncScheduler{}
+		} else {
+			t.sched = syncScheduler{}
+		}
+	}
+	if t.sched.Async() {
+		t.bgWake = make(chan struct{}, 1)
 		t.bgDone = make(chan struct{})
-		go t.bgLoop()
+		go t.maintLoop()
 	}
 	return t, nil
 }
 
+const defaultMaxPendingMemtables = 4
+
 // Load positions the tree at a committed version (-1 = empty): the newest
 // manifest at or below it supplies the table set, and the delta-log suffix
 // replays on top.
-// A missing manifest for the exact version is normal — it is the crash
-// window between delta (durable) and manifest, and after rollback, where
-// older manifests plus deltas still reconstruct the state.
+// A missing manifest for the exact version is normal — manifests are
+// published per maintenance step, not per commit, and the crash window
+// between delta (durable) and manifest is part of the recovery contract.
 func (t *Tree) Load(version int64) error {
+	t.maintMu.Lock()
+	defer t.maintMu.Unlock()
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	l, err := listDir(t.fsys, t.dir)
@@ -115,7 +191,10 @@ func (t *Tree) Load(version int64) error {
 	}
 	t.tables = nil
 	t.mem = newMemtable()
-	t.version, t.nextSeq, t.logFrom = version, 0, 0
+	t.sealed = nil
+	t.maintErr = nil
+	t.pruned = false
+	t.version, t.nextSeq, t.memFrom = version, 0, 0
 	t.liveKeys, t.tableLive = 0, 0
 
 	replayFrom := int64(0)
@@ -131,7 +210,7 @@ func (t *Tree) Load(version int64) error {
 			}
 			t.tables = append(t.tables, tbl)
 		}
-		t.nextSeq, t.logFrom = m.NextSeq, m.LogFrom
+		t.nextSeq, t.memFrom = m.NextSeq, m.LogFrom
 		// Start from the table-set count; replay re-derives the memtable's
 		// contribution with the same has-key checks the original commits ran.
 		t.liveKeys, t.tableLive = m.TableLive, m.TableLive
@@ -161,9 +240,9 @@ func (t *Tree) replayDeltaLocked(version int64) error {
 	}
 	return DecodeBatch(body,
 		func(key string, value []byte) error {
-			return t.applyPutLocked(key, append([]byte(nil), value...))
+			return t.applyPutLocked(key, append([]byte(nil), value...), nil)
 		},
-		func(key string) error { return t.applyDelLocked(key) },
+		func(key string) error { return t.applyDelLocked(key, nil) },
 	)
 }
 
@@ -171,6 +250,11 @@ func (t *Tree) replayDeltaLocked(version int64) error {
 func (t *Tree) hasLocked(key string) (bool, error) {
 	if e, ok := t.mem.get(key); ok {
 		return !e.tomb, nil
+	}
+	for i := len(t.sealed) - 1; i >= 0; i-- {
+		if e, ok := t.sealed[i].mem.get(key); ok {
+			return !e.tomb, nil
+		}
 	}
 	kb := []byte(key)
 	for i := len(t.tables) - 1; i >= 0; i-- {
@@ -185,10 +269,21 @@ func (t *Tree) hasLocked(key string) (bool, error) {
 	return false, nil
 }
 
-func (t *Tree) applyPutLocked(key string, value []byte) error {
-	has, err := t.hasLocked(key)
-	if err != nil {
-		return err
+// applyPutLocked applies one put, keeping the live-key count. hints, when
+// non-nil, memoizes committed-key existence the caller already learned by
+// reading this tree at this version — it short-circuits the table lookup
+// that would otherwise dominate commit cost.
+func (t *Tree) applyPutLocked(key string, value []byte, hints map[string]bool) error {
+	has, ok := false, false
+	if hints != nil {
+		has, ok = hints[key]
+	}
+	if !ok {
+		var err error
+		has, err = t.hasLocked(key)
+		if err != nil {
+			return err
+		}
 	}
 	if !has {
 		t.liveKeys++
@@ -197,10 +292,17 @@ func (t *Tree) applyPutLocked(key string, value []byte) error {
 	return nil
 }
 
-func (t *Tree) applyDelLocked(key string) error {
-	has, err := t.hasLocked(key)
-	if err != nil {
-		return err
+func (t *Tree) applyDelLocked(key string, hints map[string]bool) error {
+	has, ok := false, false
+	if hints != nil {
+		has, ok = hints[key]
+	}
+	if !ok {
+		var err error
+		has, err = t.hasLocked(key)
+		if err != nil {
+			return err
+		}
 	}
 	if has {
 		t.liveKeys--
@@ -212,17 +314,31 @@ func (t *Tree) applyDelLocked(key string) error {
 // Get returns the committed value for key. The returned slice aliases
 // internal storage and must not be mutated.
 func (t *Tree) Get(key string) ([]byte, bool, error) {
+	return t.GetBytes([]byte(key))
+}
+
+// GetBytes is Get for a []byte key — the per-row read path: memtable
+// lookups elide the string conversion and table probes take the bytes
+// directly, so a lookup allocates nothing.
+func (t *Tree) GetBytes(key []byte) ([]byte, bool, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if e, ok := t.mem.get(key); ok {
+	if e, ok := t.mem.getBytes(key); ok {
 		if e.tomb {
 			return nil, false, nil
 		}
 		return e.value, true, nil
 	}
-	kb := []byte(key)
+	for i := len(t.sealed) - 1; i >= 0; i-- {
+		if e, ok := t.sealed[i].mem.getBytes(key); ok {
+			if e.tomb {
+				return nil, false, nil
+			}
+			return e.value, true, nil
+		}
+	}
 	for i := len(t.tables) - 1; i >= 0; i-- {
-		v, tomb, ok, err := t.tables[i].get(kb)
+		v, tomb, ok, err := t.tables[i].get(key)
 		if err != nil {
 			return nil, false, err
 		}
@@ -236,97 +352,247 @@ func (t *Tree) Get(key string) ([]byte, bool, error) {
 	return nil, false, nil
 }
 
-// Commit durably applies one version's mutations: the delta log write is
-// the durability point, then the memtable absorbs the batch, spilling to an
-// SSTable past its threshold, compaction folds crowded tiers (synchronously
-// unless background mode is on), and the manifest pins the result. A key in
-// both maps is a delete, matching the delta encoding.
+// Commit durably applies one version's mutations. A key in both maps is a
+// delete, matching the delta encoding.
 func (t *Tree) Commit(version int64, puts map[string][]byte, dels map[string]bool) error {
+	return t.CommitWithHints(version, puts, dels, nil)
+}
+
+// CommitWithHints is Commit with an optional existence memo: hints[k]
+// reports whether k was live in committed state when the caller read it
+// during this epoch. The state layer passes the reads its operators already
+// performed, so live-key accounting skips a second lookup per mutated key.
+// Keys absent from the map fall back to a real lookup. A wrong hint can
+// only skew the NumKeys counter, never stored data — but callers must pass
+// only facts read from this tree at its current version.
+//
+// The delta-log write is the durability point and the epoch-commit
+// handshake: once it returns, the version is recoverable regardless of what
+// background maintenance has or has not done. Everything after — sealing a
+// full memtable, flush, compaction, manifest publication — is bookkeeping
+// the commit does not wait for, except the MaxPendingMemtables ceiling.
+func (t *Tree) CommitWithHints(version int64, puts map[string][]byte, dels map[string]bool, hints map[string]bool) error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
+	if t.closed {
+		t.mu.Unlock()
+		return fmt.Errorf("lsm: tree is closed")
+	}
+	if err := t.maintErr; err != nil {
+		t.mu.Unlock()
+		return fmt.Errorf("lsm: background maintenance failed, reload required: %w", err)
+	}
 	if version <= t.version {
+		t.mu.Unlock()
 		return fmt.Errorf("lsm: commit version %d not after current %d", version, t.version)
+	}
+	if !t.pruned {
+		// First commit since Load: the timeline diverges here. Any manifest
+		// newer than the loaded version describes the abandoned timeline
+		// and must never anchor a future Load — and its table sequences are
+		// about to be reused with different contents.
+		if err := t.pruneStaleManifestsLocked(); err != nil {
+			t.mu.Unlock()
+			return err
+		}
+		t.pruned = true
 	}
 	body := EncodeBatch(puts, dels)
 	path := filepath.Join(t.dir, fmt.Sprintf("%d.delta", version))
 	if err := fsx.WriteAtomic(t.fsys, path, fsx.Seal(body), 0o644); err != nil {
+		t.mu.Unlock()
 		return fmt.Errorf("lsm: %w", err)
 	}
+	prev := t.version
 	for k, v := range puts {
 		if dels[k] {
 			continue
 		}
-		if err := t.applyPutLocked(k, v); err != nil {
+		if err := t.applyPutLocked(k, v, hints); err != nil {
+			t.mu.Unlock()
 			return err
 		}
 	}
 	for k := range dels {
-		if err := t.applyDelLocked(k); err != nil {
+		if err := t.applyDelLocked(k, hints); err != nil {
+			t.mu.Unlock()
 			return err
 		}
 	}
-	prev := t.version
 	t.version = version
-	if err := t.commitTailLocked(); err != nil {
-		// The delta is already durable and the memtable has absorbed the
-		// batch, but the commit as a whole failed: restore the prior
-		// version so the tree does not claim a version its caller never
-		// saw commit. The memtable is not unwound — callers must reload
-		// from disk before retrying the version.
+	if t.mem.bytes >= t.opts.MemtableBytes && t.mem.len() > 0 {
+		t.sealLocked()
+	}
+	backlog := len(t.sealed)
+	async := t.sched.Async()
+	if async && backlog > 0 && !t.closed {
+		select {
+		case t.bgWake <- struct{}{}:
+		default:
+		}
+	}
+	t.mu.Unlock()
+
+	var err error
+	if async {
+		if backlog <= t.opts.MaxPendingMemtables {
+			return nil
+		}
+		// Hard ceiling: maintenance is not keeping up with intake. Run
+		// flush steps on the committing goroutine until the queue is back
+		// under the ceiling — the last-resort synchronous fallback. The
+		// stall is metered so admission control can react before the next
+		// one.
+		start := time.Now()
+		err = t.drainTo(t.opts.MaxPendingMemtables)
+		t.mu.Lock()
+		t.stallUs += time.Since(start).Microseconds()
+		t.mu.Unlock()
+	} else {
+		// Inline modes: the scheduler decides how much maintenance runs at
+		// this commit boundary; the ceiling still bounds the backlog.
+		err = t.runInlineSteps(t.sched.StepsAfterCommit(backlog))
+		if err == nil {
+			err = t.drainTo(t.opts.MaxPendingMemtables)
+		}
+	}
+	if err != nil {
+		// The delta is durable and the memtable absorbed the batch, but the
+		// commit as a whole failed: restore the prior version so the tree
+		// does not claim a version its caller never saw commit. In-memory
+		// state is not unwound — callers must reload before retrying.
+		t.mu.Lock()
 		t.version = prev
+		t.mu.Unlock()
 		return err
 	}
 	return nil
 }
 
-// commitTailLocked is the post-durability half of Commit: spill the
-// memtable past its threshold, fold crowded tiers, pin the result in the
-// manifest.
-func (t *Tree) commitTailLocked() error {
-	flushed := false
-	if t.mem.bytes >= t.opts.MemtableBytes && t.mem.len() > 0 {
-		if err := t.flushLocked(); err != nil {
-			return err
-		}
-		flushed = true
-	}
-	if t.opts.BackgroundCompaction {
-		if flushed {
-			select {
-			case t.bgCh <- struct{}{}:
-			default:
-			}
-		}
-	} else if err := t.compactLocked(); err != nil {
+// pruneStaleManifestsLocked removes manifests newer than the current
+// version. A crash mid-prune is safe: recovery reloads a version at or
+// below the current one, whose anchor search ignores newer manifests, and
+// the next first-commit prunes whatever remains.
+func (t *Tree) pruneStaleManifestsLocked() error {
+	l, err := listDir(t.fsys, t.dir)
+	if err != nil {
 		return err
 	}
-	return t.writeManifestLocked()
+	for _, mv := range l.manifests {
+		if mv <= t.version {
+			continue
+		}
+		if err := t.fsys.Remove(manifestPath(t.dir, mv)); err != nil {
+			return fmt.Errorf("lsm: pruning stale manifest %d: %w", mv, err)
+		}
+	}
+	return nil
 }
 
-func (t *Tree) writeManifestLocked() error {
-	m := manifest{
-		Version:   t.version,
-		NextSeq:   t.nextSeq,
-		LogFrom:   t.logFrom,
-		LiveKeys:  t.liveKeys,
-		TableLive: t.tableLive,
-	}
-	for _, tbl := range t.tables {
-		m.Tables = append(m.Tables, manifestTable{Seq: tbl.seq, Bytes: tbl.size, Entries: tbl.entries})
-	}
-	return writeManifest(t.fsys, t.dir, m)
+// sealLocked freezes the active memtable into the flush queue. The
+// replacement is pre-sized to the sealed table's count: epoch batches are
+// similar-sized, so the predecessor is the best available fill estimate.
+func (t *Tree) sealLocked() {
+	t.sealed = append(t.sealed, &sealedMem{
+		mem:    t.mem,
+		from:   t.memFrom,
+		to:     t.version,
+		liveAt: t.liveKeys,
+	})
+	t.mem = newMemtableSized(t.mem.len())
+	t.memFrom = t.version + 1
 }
 
-// flushLocked seals the memtable into a new newest SSTable. Tombstones are
-// kept — they must keep shadowing older tables until compaction can prove
-// nothing older remains.
-func (t *Tree) flushLocked() error {
+// logFromLocked is the first delta version not yet covered by the table
+// set: the replay floor every manifest records.
+func (t *Tree) logFromLocked() int64 {
+	if len(t.sealed) > 0 {
+		return t.sealed[0].from
+	}
+	return t.memFrom
+}
+
+// runInlineSteps runs up to n maintenance steps (all pending work if n < 0)
+// on the calling goroutine.
+func (t *Tree) runInlineSteps(n int) error {
+	for i := 0; n < 0 || i < n; i++ {
+		did, err := t.step()
+		if err != nil {
+			return err
+		}
+		if !did {
+			return nil
+		}
+	}
+	return nil
+}
+
+// drainTo runs maintenance steps until the flush backlog is at most max.
+func (t *Tree) drainTo(max int) error {
+	for {
+		t.mu.Lock()
+		if err := t.maintErr; err != nil {
+			t.mu.Unlock()
+			return fmt.Errorf("lsm: background maintenance failed, reload required: %w", err)
+		}
+		if len(t.sealed) <= max || t.closed {
+			t.mu.Unlock()
+			return nil
+		}
+		t.mu.Unlock()
+		did, err := t.step()
+		if err != nil {
+			return err
+		}
+		if !did {
+			return nil
+		}
+	}
+}
+
+// step performs one maintenance step: flush the oldest sealed memtable, or,
+// with nothing queued, one compaction merge — then publishes a manifest
+// pinning the result. It reports whether it did anything. The heavy work
+// (sorting, block building, the table write) runs outside t.mu against
+// immutable inputs; only the snapshot and the install take the lock.
+func (t *Tree) step() (bool, error) {
+	t.maintMu.Lock()
+	defer t.maintMu.Unlock()
+	t.mu.Lock()
+	if t.closed || t.maintErr != nil {
+		// An in-flight step finishes past this point; after Close no new
+		// step starts, so Close waits for at most one install.
+		t.mu.Unlock()
+		return false, nil
+	}
+	if len(t.sealed) > 0 {
+		sm := t.sealed[0]
+		seq := t.nextSeq
+		t.mu.Unlock()
+		return true, t.flushStep(sm, seq)
+	}
+	i, j := t.findRunLocked()
+	if i < 0 {
+		t.mu.Unlock()
+		return false, nil
+	}
+	run := append([]*Table(nil), t.tables[i:j]...)
+	seq := t.nextSeq
+	t.mu.Unlock()
+	return true, t.compactStep(i, j, run, seq)
+}
+
+// flushStep writes one sealed memtable as the newest SSTable and installs
+// it. Tombstones are kept — they must keep shadowing older tables until
+// compaction can prove nothing older remains. Between snapshot and install
+// only Commit can run (steps and reloads are serialized by maintMu), and
+// Commit never touches the sealed queue's head or the table list, so the
+// install point sees exactly the snapshotted structures.
+func (t *Tree) flushStep(sm *sealedMem, seq int64) error {
 	b := newTableBuilder(t.opts.BlockBytes, bloomBitsPerKey)
-	for _, k := range t.mem.sortedKeys() {
-		e := t.mem.entries[k]
+	for _, k := range sm.mem.sortedKeys() {
+		e := sm.mem.entries[k]
 		b.add(k, e.value, e.tomb)
 	}
-	seq := t.nextSeq
 	path := tablePath(t.dir, seq)
 	if t.opts.Cache != nil {
 		// After a rollback this seq can overwrite a stale table from the
@@ -340,13 +606,129 @@ func (t *Tree) flushLocked() error {
 	if err != nil {
 		return err
 	}
-	t.nextSeq++
+	t.mu.Lock()
+	t.nextSeq = seq + 1
 	t.tables = append(t.tables, tbl)
-	t.mem = newMemtable()
-	t.logFrom = t.version + 1
-	t.tableLive = t.liveKeys
+	t.sealed = t.sealed[1:]
+	t.tableLive = sm.liveAt
 	t.flushes++
-	return nil
+	m := t.manifestLocked()
+	t.mu.Unlock()
+	return writeManifest(t.fsys, t.dir, m)
+}
+
+// compactStep merges one run of tables into a replacement and installs it.
+// The inputs stay readable (and on disk) throughout: they leave the table
+// list only at the install point, which is also when their cached blocks
+// are evicted — the moment the manifest stops referencing them. Input files
+// are NOT deleted; older manifests still reference them, and Maintain
+// garbage-collects unreferenced tables once retention allows.
+func (t *Tree) compactStep(i, j int, run []*Table, seq int64) error {
+	srcs := make([]kvIter, 0, len(run))
+	var inBytes int64
+	for k := len(run) - 1; k >= 0; k-- { // newest first
+		srcs = append(srcs, run[k].iter(""))
+		inBytes += run[k].size
+	}
+	mi := newMergeIter(srcs)
+	// Tombstones drop only when the run includes the oldest table, i.e.
+	// when nothing older could be resurrected.
+	dropTombs := i == 0
+	b := newTableBuilder(t.opts.BlockBytes, bloomBitsPerKey)
+	for mi.next() {
+		k, v, tomb := mi.entry()
+		if tomb && dropTombs {
+			continue
+		}
+		b.addBytes(k, v, tomb)
+	}
+	if err := mi.error(); err != nil {
+		return err
+	}
+	var out []*Table
+	if b.entries > 0 {
+		path := tablePath(t.dir, seq)
+		if t.opts.Cache != nil {
+			t.opts.Cache.dropTable(path)
+		}
+		if err := fsx.WriteAtomic(t.fsys, path, b.finish(), 0o644); err != nil {
+			return fmt.Errorf("lsm: %w", err)
+		}
+		tbl, err := openTable(t.fsys, path, seq, t.opts.Cache)
+		if err != nil {
+			return err
+		}
+		out = []*Table{tbl}
+	}
+	t.mu.Lock()
+	if b.entries > 0 {
+		t.nextSeq = seq + 1
+	}
+	merged := make([]*Table, 0, len(t.tables)-(j-i)+1)
+	merged = append(merged, t.tables[:i]...)
+	merged = append(merged, out...)
+	merged = append(merged, t.tables[j:]...)
+	t.tables = merged
+	t.compactions++
+	t.compactionBytes += inBytes
+	m := t.manifestLocked()
+	t.mu.Unlock()
+	if t.opts.Cache != nil {
+		for _, tbl := range run {
+			t.opts.Cache.dropTable(tbl.path)
+		}
+	}
+	return writeManifest(t.fsys, t.dir, m)
+}
+
+// manifestLocked snapshots the manifest describing the current install.
+func (t *Tree) manifestLocked() manifest {
+	m := manifest{
+		Version:   t.version,
+		NextSeq:   t.nextSeq,
+		LogFrom:   t.logFromLocked(),
+		LiveKeys:  t.liveKeys,
+		TableLive: t.tableLive,
+	}
+	for _, tbl := range t.tables {
+		m.Tables = append(m.Tables, manifestTable{Seq: tbl.seq, Bytes: tbl.size, Entries: tbl.entries})
+	}
+	return m
+}
+
+// maintLoop is the supervised background maintenance goroutine: it drains
+// the flush queue and folds crowded tiers whenever a commit signals work,
+// publishing a manifest after every step. A failure (or panic) is latched
+// into maintErr and fails the next Commit — the query's supervisor then
+// restarts from the checkpoint; background maintenance must never decay
+// into silent data loss.
+func (t *Tree) maintLoop() {
+	defer close(t.bgDone)
+	defer func() {
+		if r := recover(); r != nil {
+			t.mu.Lock()
+			if t.maintErr == nil {
+				t.maintErr = fmt.Errorf("lsm: maintenance panic: %v", r)
+			}
+			t.mu.Unlock()
+		}
+	}()
+	for range t.bgWake {
+		for {
+			did, err := t.step()
+			if err != nil {
+				t.mu.Lock()
+				if t.maintErr == nil {
+					t.maintErr = err
+				}
+				t.mu.Unlock()
+				break
+			}
+			if !did {
+				break
+			}
+		}
+	}
 }
 
 // sizeTier buckets a table by size: tables within a power-of-two band above
@@ -360,27 +742,10 @@ func sizeTier(bytes int64) int {
 	return tier
 }
 
-// compactLocked runs size-tiered compaction to fixpoint: any run of
-// MaxTierTables age-adjacent tables in the same size tier is merged into
-// one. Only age-adjacent tables may merge — skipping a table in the middle
-// would reorder shadowing. Tombstones drop only when the run includes the
-// oldest table, i.e. when nothing older could be resurrected. Input tables
-// are NOT deleted: older manifests still reference them; Maintain garbage-
-// collects unreferenced tables once retention allows.
-func (t *Tree) compactLocked() error {
-	for {
-		i, j := t.findRunLocked()
-		if i < 0 {
-			return nil
-		}
-		if err := t.mergeRunLocked(i, j); err != nil {
-			return err
-		}
-	}
-}
-
 // findRunLocked locates the first maximal age-adjacent same-tier run of at
-// least MaxTierTables tables, returning [-1,-1) if none qualifies.
+// least MaxTierTables tables, returning [-1,-1) if none qualifies. Only
+// age-adjacent tables may merge — skipping a table in the middle would
+// reorder shadowing.
 func (t *Tree) findRunLocked() (int, int) {
 	for i := 0; i < len(t.tables); {
 		j := i + 1
@@ -395,89 +760,10 @@ func (t *Tree) findRunLocked() (int, int) {
 	return -1, -1
 }
 
-func (t *Tree) mergeRunLocked(i, j int) error {
-	srcs := make([]kvIter, 0, j-i)
-	var inBytes int64
-	for k := j - 1; k >= i; k-- { // newest first
-		srcs = append(srcs, t.tables[k].iter(""))
-		inBytes += t.tables[k].size
-	}
-	mi := newMergeIter(srcs)
-	dropTombs := i == 0
-	b := newTableBuilder(t.opts.BlockBytes, bloomBitsPerKey)
-	for mi.next() {
-		k, v, tomb := mi.entry()
-		if tomb && dropTombs {
-			continue
-		}
-		b.add(k, v, tomb)
-	}
-	if err := mi.error(); err != nil {
-		return err
-	}
-	var out []*Table
-	if b.entries > 0 {
-		seq := t.nextSeq
-		path := tablePath(t.dir, seq)
-		if t.opts.Cache != nil {
-			t.opts.Cache.dropTable(path)
-		}
-		if err := fsx.WriteAtomic(t.fsys, path, b.finish(), 0o644); err != nil {
-			return fmt.Errorf("lsm: %w", err)
-		}
-		tbl, err := openTable(t.fsys, path, seq, t.opts.Cache)
-		if err != nil {
-			return err
-		}
-		t.nextSeq++
-		out = []*Table{tbl}
-	}
-	if t.opts.Cache != nil {
-		for _, tbl := range t.tables[i:j] {
-			t.opts.Cache.dropTable(tbl.path)
-		}
-	}
-	merged := make([]*Table, 0, len(t.tables)-(j-i)+1)
-	merged = append(merged, t.tables[:i]...)
-	merged = append(merged, out...)
-	merged = append(merged, t.tables[j:]...)
-	t.tables = merged
-	t.compactions++
-	t.compactionBytes += inBytes
-	return nil
-}
-
-// Compact runs one synchronous compaction pass and refreshes the current
-// version's manifest if anything changed.
+// Compact runs maintenance to fixpoint synchronously: pending flushes, then
+// compaction merges, each published in its own manifest.
 func (t *Tree) Compact() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	before := t.compactions
-	if err := t.compactLocked(); err != nil {
-		return err
-	}
-	if t.compactions != before && t.version >= 0 {
-		return t.writeManifestLocked()
-	}
-	return nil
-}
-
-func (t *Tree) bgLoop() {
-	defer close(t.bgDone)
-	for range t.bgCh {
-		t.mu.Lock()
-		if t.closed {
-			t.mu.Unlock()
-			return
-		}
-		before := t.compactions
-		err := t.compactLocked()
-		if err == nil && t.compactions != before && t.version >= 0 {
-			err = t.writeManifestLocked()
-		}
-		t.mu.Unlock()
-		_ = err // background compaction is advisory; the next Commit retries
-	}
+	return t.runInlineSteps(-1)
 }
 
 // Range invokes fn for every live key in [from, to] ascending; empty bounds
@@ -485,21 +771,24 @@ func (t *Tree) bgLoop() {
 func (t *Tree) Range(from, to string, fn func(key string, value []byte) error) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	srcs := make([]kvIter, 0, len(t.tables)+1)
+	srcs := make([]kvIter, 0, len(t.tables)+len(t.sealed)+1)
 	srcs = append(srcs, newMemIter(t.mem, from))
+	for i := len(t.sealed) - 1; i >= 0; i-- {
+		srcs = append(srcs, newMemIter(t.sealed[i].mem, from))
+	}
 	for i := len(t.tables) - 1; i >= 0; i-- {
 		srcs = append(srcs, t.tables[i].iter(from))
 	}
 	mi := newMergeIter(srcs)
 	for mi.next() {
 		k, v, tomb := mi.entry()
-		if to != "" && k > to {
+		if to != "" && cmpStringBytes(to, k) < 0 {
 			break
 		}
 		if tomb {
 			continue
 		}
-		if err := fn(k, v); err != nil {
+		if err := fn(string(k), v); err != nil {
 			return err
 		}
 	}
@@ -525,14 +814,20 @@ func (t *Tree) Stats() Stats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	s := Stats{
-		Version:         t.version,
-		LiveKeys:        t.liveKeys,
-		MemtableBytes:   t.mem.bytes,
-		MemtableKeys:    int64(t.mem.len()),
-		Tables:          int64(len(t.tables)),
-		Flushes:         t.flushes,
-		Compactions:     t.compactions,
-		CompactionBytes: t.compactionBytes,
+		Version:            t.version,
+		LiveKeys:           t.liveKeys,
+		MemtableBytes:      t.mem.bytes,
+		MemtableKeys:       int64(t.mem.len()),
+		Tables:             int64(len(t.tables)),
+		Flushes:            t.flushes,
+		Compactions:        t.compactions,
+		CompactionBytes:    t.compactionBytes,
+		FlushBacklog:       int64(len(t.sealed)),
+		MaintenanceStallUs: t.stallUs,
+	}
+	for _, sm := range t.sealed {
+		s.MemtableBytes += sm.mem.bytes
+		s.MemtableKeys += int64(sm.mem.len())
 	}
 	for _, tbl := range t.tables {
 		s.TableBytes += tbl.size
@@ -563,24 +858,33 @@ func (t *Tree) DiskUsage() (int64, error) {
 // Maintain garbage-collects files no committed version >= keepFrom needs:
 // manifests older than the recovery anchor for keepFrom, the delta-log
 // prefix absorbed by every surviving manifest, and SSTables referenced by
-// none of them. The open tree's own tables stay pinned and their cached
-// blocks are dropped when their files go. Returns the removed file names.
+// none of them. It holds maintMu so GC never interleaves with a maintenance
+// step — a freshly written table that has not installed yet must not be
+// swept. The open tree's own tables stay pinned and their cached blocks are
+// dropped when their files go. Returns the removed file names.
 func (t *Tree) Maintain(keepFrom int64) ([]string, error) {
+	t.maintMu.Lock()
+	defer t.maintMu.Unlock()
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	pin := map[int64]bool{}
 	for _, tbl := range t.tables {
 		pin[tbl.seq] = true
 	}
-	return maintainDir(t.fsys, t.dir, keepFrom, pin, t.logFrom, func(path string) {
+	logFloor := t.logFromLocked()
+	t.mu.Unlock()
+	return maintainDir(t.fsys, t.dir, keepFrom, pin, logFloor, func(path string) {
 		if t.opts.Cache != nil {
 			t.opts.Cache.dropTable(path)
 		}
 	})
 }
 
-// Close releases the tree: stops background compaction and evicts its
-// tables' blocks from the shared cache. The tree must not be used after.
+// Close releases the tree. In background mode the maintenance goroutine is
+// stopped and an in-flight step is drained to completion — its manifest is
+// either fully published or never started, not partial — before Close
+// returns and the directory is reusable. Sealed-but-unflushed memtables are
+// simply dropped: their deltas are durable and replay on the next Load.
+// Cached blocks are evicted last, after the final install.
 func (t *Tree) Close() {
 	t.mu.Lock()
 	if t.closed {
@@ -588,14 +892,22 @@ func (t *Tree) Close() {
 		return
 	}
 	t.closed = true
+	if t.bgWake != nil {
+		// Closing under mu pairs with the wake send in Commit, which also
+		// holds mu: a send on a closed channel is impossible.
+		close(t.bgWake)
+	}
+	t.mu.Unlock()
+	if t.bgDone != nil {
+		<-t.bgDone
+	}
+	t.maintMu.Lock()
+	t.mu.Lock()
 	for _, tbl := range t.tables {
 		if t.opts.Cache != nil {
 			t.opts.Cache.dropTable(tbl.path)
 		}
 	}
 	t.mu.Unlock()
-	if t.bgCh != nil {
-		close(t.bgCh)
-		<-t.bgDone
-	}
+	t.maintMu.Unlock()
 }

@@ -367,9 +367,12 @@ func TestBackgroundCompaction(t *testing.T) {
 
 // TestLoadSurvivesMissingManifest models the crash window between the delta
 // write (durable) and the manifest write: recovery anchors on the previous
-// manifest and replays the delta suffix.
+// manifest and replays the delta suffix. MemtableBytes=1 forces a flush —
+// and therefore a manifest — per commit, so removing the newest manifest
+// reopens exactly that window.
 func TestLoadSurvivesMissingManifest(t *testing.T) {
 	opts := smallOpts(t)
+	opts.MemtableBytes = 1
 	tr := mustOpen(t, opts)
 	commit(t, tr, 1, map[string][]byte{"a": []byte("1")})
 	commit(t, tr, 2, map[string][]byte{"b": []byte("2")})

@@ -186,6 +186,11 @@ type StateOperatorProgress struct {
 	BlockCacheHits    int64   `json:"blockCacheHits,omitempty"`
 	BlockCacheMisses  int64   `json:"blockCacheMisses,omitempty"`
 	BlockCacheHitRate float64 `json:"blockCacheHitRate,omitempty"`
+	// FlushBacklog is the number of sealed memtables waiting on background
+	// flush at epoch end; MaintenanceStallUs is cumulative commit time
+	// spent blocked on the backlog ceiling running maintenance inline.
+	FlushBacklog       int64 `json:"flushBacklog,omitempty"`
+	MaintenanceStallUs int64 `json:"maintenanceStallUs,omitempty"`
 }
 
 // QueryProgress describes one epoch of a streaming query, mirroring

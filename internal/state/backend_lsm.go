@@ -22,8 +22,8 @@ type lsmBackend struct {
 
 var errStopIterate = errors.New("state: stop iteration")
 
-func (b *lsmBackend) get(key string) ([]byte, bool, error) {
-	v, ok, err := b.tree.Get(key)
+func (b *lsmBackend) get(key []byte) ([]byte, bool, error) {
+	v, ok, err := b.tree.GetBytes(key)
 	if err != nil {
 		return nil, false, fmt.Errorf("state: %w", err)
 	}
@@ -48,8 +48,8 @@ func (b *lsmBackend) iterate(fn func(key, value []byte) bool) error {
 
 func (b *lsmBackend) numKeys() (int64, error) { return b.tree.NumKeys(), nil }
 
-func (b *lsmBackend) commit(version int64, puts map[string][]byte, dels map[string]bool) error {
-	if err := b.tree.Commit(version, puts, dels); err != nil {
+func (b *lsmBackend) commit(version int64, puts map[string][]byte, dels map[string]bool, hints map[string]bool) error {
+	if err := b.tree.CommitWithHints(version, puts, dels, hints); err != nil {
 		return fmt.Errorf("state: %w", err)
 	}
 	b.provider.deltasWritten.Add(1)

@@ -27,8 +27,8 @@ type memBackend struct {
 	deltasSinceSnap int64
 }
 
-func (b *memBackend) get(key string) ([]byte, bool, error) {
-	v, ok := b.data[key]
+func (b *memBackend) get(key []byte) ([]byte, bool, error) {
+	v, ok := b.data[string(key)]
 	return v, ok, nil
 }
 
@@ -43,7 +43,8 @@ func (b *memBackend) iterate(fn func(key, value []byte) bool) error {
 
 func (b *memBackend) numKeys() (int64, error) { return int64(len(b.data)), nil }
 
-func (b *memBackend) commit(version int64, puts map[string][]byte, dels map[string]bool) error {
+// commit ignores hints: the map makes existence checks free.
+func (b *memBackend) commit(version int64, puts map[string][]byte, dels map[string]bool, _ map[string]bool) error {
 	path := filepath.Join(b.dir, fmt.Sprintf("%d.%s", version, kindDelta))
 	if err := b.atomicWrite(path, lsm.EncodeBatch(puts, dels)); err != nil {
 		return err

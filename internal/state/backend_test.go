@@ -344,3 +344,75 @@ func TestMaintenanceLSM(t *testing.T) {
 		t.Fatalf("NumKeys after cold maintenance = %d, want 30", got)
 	}
 }
+
+// deferScheduler postpones every maintenance step the scheduler is asked
+// about: nothing flushes until the MaxPendingMemtables ceiling forces a
+// synchronous drain. It makes the flush backlog deterministic and visible.
+type deferScheduler struct{}
+
+func (deferScheduler) Async() bool              { return false }
+func (deferScheduler) StepsAfterCommit(int) int { return 0 }
+
+// TestLSMBacklogStatsSurface pins the aggregation path for the admission
+// signal: per-tree FlushBacklog sums into ProviderStats, where the engine's
+// backpressure reads it.
+func TestLSMBacklogStatsSurface(t *testing.T) {
+	p := NewProvider(t.TempDir())
+	p.Backend = BackendLSM
+	p.MemtableBytes = 1 // every commit seals a memtable
+	p.Scheduler = deferScheduler{}
+	s := open(t, p, -1)
+	for v := int64(0); v < 8; v++ {
+		s.Put([]byte(fmt.Sprintf("k%d", v)), []byte("v"))
+		if err := s.Commit(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := p.Stats()
+	if st.FlushBacklog == 0 {
+		t.Fatalf("FlushBacklog not surfaced: %+v", st)
+	}
+	// The ceiling (default 4 pending memtables) must have bounded it.
+	if st.FlushBacklog > 4 {
+		t.Fatalf("FlushBacklog = %d exceeds the default ceiling", st.FlushBacklog)
+	}
+	// Reads must see through the backlog: sealed memtables stay readable.
+	for v := int64(0); v < 8; v++ {
+		if _, ok := s.Get([]byte(fmt.Sprintf("k%d", v))); !ok {
+			t.Fatalf("k%d unreadable while queued for flush", v)
+		}
+	}
+}
+
+// TestProviderBackgroundMaintenance round-trips the engine's default mode at
+// the provider layer: background flush/compaction on, a Close that drains
+// in-flight work, and a cold reopen that sees every committed key.
+func TestProviderBackgroundMaintenance(t *testing.T) {
+	dir := t.TempDir()
+	p := NewProvider(dir)
+	p.Backend = BackendLSM
+	p.MemtableBytes = 256
+	p.BackgroundMaintenance = true
+	s := open(t, p, -1)
+	payload := bytes.Repeat([]byte("x"), 100)
+	const versions = 30
+	for v := int64(0); v < versions; v++ {
+		s.Put([]byte(fmt.Sprintf("k%02d", v)), payload)
+		if err := s.Commit(v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.Close()
+
+	p2 := NewProvider(dir)
+	p2.Backend = BackendLSM
+	s2 := open(t, p2, versions-1)
+	for v := int64(0); v < versions; v++ {
+		if got, ok := s2.Get([]byte(fmt.Sprintf("k%02d", v))); !ok || !bytes.Equal(got, payload) {
+			t.Fatalf("k%02d after background run: ok=%v", v, ok)
+		}
+	}
+	if n := s2.NumKeys(); n != versions {
+		t.Fatalf("NumKeys = %d, want %d", n, versions)
+	}
+}

@@ -66,6 +66,15 @@ type Provider struct {
 	// BlockCacheBytes bounds the lsm block cache shared across this
 	// provider's stores (0 = 32 MiB).
 	BlockCacheBytes int64
+	// BackgroundMaintenance moves each lsm tree's flush/compaction onto a
+	// supervised background goroutine, so Commit waits only on its own
+	// delta's durability. The engine enables this by default; the zero
+	// value keeps maintenance synchronous inside Commit.
+	BackgroundMaintenance bool
+	// Scheduler overrides lsm maintenance scheduling (crash-sweep tests
+	// inject a seeded deterministic scheduler). nil = derive from
+	// BackgroundMaintenance.
+	Scheduler lsm.MaintenanceScheduler
 
 	mu         sync.Mutex
 	cache      map[ID]*Store
@@ -92,7 +101,7 @@ type ProviderStats struct {
 	DeltasWritten    int64
 	SnapshotsWritten int64
 
-	MemtableBytes    int64 // unflushed state across stores
+	MemtableBytes    int64 // unflushed state across stores (incl. sealed memtables)
 	SSTables         int64
 	SSTableBytes     int64
 	Flushes          int64
@@ -101,6 +110,11 @@ type ProviderStats struct {
 	BlockCacheHits   int64
 	BlockCacheMisses int64
 	BlockCacheBytes  int64 // resident cached block payload
+	// FlushBacklog counts sealed memtables awaiting background flush across
+	// stores; MaintenanceStallUs is cumulative commit time spent blocked on
+	// the per-tree backlog ceiling running maintenance synchronously.
+	FlushBacklog       int64
+	MaintenanceStallUs int64
 }
 
 // Stats reports the provider's cumulative cache and file activity.
@@ -126,6 +140,8 @@ func (p *Provider) Stats() ProviderStats {
 		st.Flushes += ts.Flushes
 		st.Compactions += ts.Compactions
 		st.CompactionBytes += ts.CompactionBytes
+		st.FlushBacklog += ts.FlushBacklog
+		st.MaintenanceStallUs += ts.MaintenanceStallUs
 	}
 	if p.blockCache != nil {
 		cs := p.blockCache.Stats()
@@ -194,7 +210,7 @@ func (p *Provider) Open(id ID, version int64) (*Store, error) {
 		}
 		s = &Store{id: id, dir: dir, provider: p, backend: backend, version: -1}
 	}
-	s.pendingPut, s.pendingDel, s.err = nil, nil, nil
+	s.pendingPut, s.pendingDel, s.known, s.err = nil, nil, nil, nil
 	if err := s.backend.load(version); err != nil {
 		if !cached {
 			s.backend.close()
@@ -219,10 +235,12 @@ func (p *Provider) newBackend(dir string) (storeBackend, error) {
 			p.blockCache = lsm.NewBlockCache(capBytes)
 		}
 		tree, err := lsm.Open(lsm.Options{
-			FS:            p.fs,
-			Dir:           dir,
-			MemtableBytes: p.MemtableBytes,
-			Cache:         p.blockCache,
+			FS:                   p.fs,
+			Dir:                  dir,
+			MemtableBytes:        p.MemtableBytes,
+			Cache:                p.blockCache,
+			BackgroundCompaction: p.BackgroundMaintenance,
+			Scheduler:            p.Scheduler,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("state: %w", err)
@@ -361,15 +379,18 @@ func latestSnapshotAtOrBelow(fsys fsx.FS, dir string, version int64) (int64, boo
 // versioned durability, and reconstruction. Staged (uncommitted) mutations
 // live above it in Store.
 type storeBackend interface {
-	// get reads committed state. ok=false means absent.
-	get(key string) (value []byte, ok bool, err error)
+	// get reads committed state. ok=false means absent. The key bytes are
+	// not retained.
+	get(key []byte) (value []byte, ok bool, err error)
 	// iterate visits committed keys; fn returning false stops early.
 	iterate(fn func(key, value []byte) bool) error
 	// numKeys counts committed live keys.
 	numKeys() (int64, error)
 	// commit durably applies one version's staged mutations. A key in both
-	// maps is a delete.
-	commit(version int64, puts map[string][]byte, dels map[string]bool) error
+	// maps is a delete. hints, when non-nil, memoizes committed-key
+	// existence the epoch already learned by reading — backends may use it
+	// to skip redundant lookups and may ignore it.
+	commit(version int64, puts map[string][]byte, dels map[string]bool, hints map[string]bool) error
 	// load repositions at a committed version; -1 resets to empty.
 	load(version int64) error
 	// close releases resources; the backend must not be used after.
@@ -403,6 +424,17 @@ type Store struct {
 	// failure surfaces at Commit, failing the epoch instead of silently
 	// committing results computed from wrong state.
 	err error
+
+	// known memoizes committed-key existence learned by this epoch's reads.
+	// Commit hands it to the backend so live-key accounting can skip a
+	// second lookup per mutated key; it is epoch-local, reset whenever
+	// committed state can change underneath (commit, abort, reload).
+	known map[string]bool
+
+	// putHint/knownHint remember the previous epoch's map sizes. Epoch
+	// batches are similar-sized, so pre-sizing the staging maps to their
+	// predecessors avoids repeated incremental rehashes on the row path.
+	putHint, knownHint int
 }
 
 // ID returns the store's identity.
@@ -414,19 +446,28 @@ func (s *Store) Version() int64 { return s.version }
 // Get returns the value for key, honoring uncommitted changes. A backend
 // read error reports absent and latches the error for Commit.
 func (s *Store) Get(key []byte) ([]byte, bool) {
-	k := string(key)
-	if s.pendingDel[k] {
+	// The string conversions in the map index expressions are
+	// allocation-elided; only noteKnown (which retains the key) allocates.
+	if s.pendingDel[string(key)] {
 		return nil, false
 	}
-	if v, ok := s.pendingPut[k]; ok {
+	if v, ok := s.pendingPut[string(key)]; ok {
 		return v, true
 	}
-	v, ok, err := s.backend.get(k)
+	v, ok, err := s.backend.get(key)
 	if err != nil {
 		s.fail(err)
 		return nil, false
 	}
+	s.noteKnown(string(key), ok)
 	return v, ok
+}
+
+func (s *Store) noteKnown(key string, has bool) {
+	if s.known == nil {
+		s.known = make(map[string]bool, s.knownHint)
+	}
+	s.known[key] = has
 }
 
 func (s *Store) fail(err error) {
@@ -435,21 +476,24 @@ func (s *Store) fail(err error) {
 	}
 }
 
-// Put stages a key/value write for the current epoch.
+// Put stages a key/value write for the current epoch. The store retains
+// the value slice — callers must not mutate it afterward. (Every operator
+// passes a freshly encoded buffer; copying it again here would double the
+// hot path's allocation rate.)
 func (s *Store) Put(key, value []byte) {
 	if s.pendingPut == nil {
-		s.pendingPut = map[string][]byte{}
+		s.pendingPut = make(map[string][]byte, s.putHint)
 		s.pendingDel = map[string]bool{}
 	}
 	k := string(key)
 	delete(s.pendingDel, k)
-	s.pendingPut[k] = append([]byte(nil), value...)
+	s.pendingPut[k] = value
 }
 
 // Remove stages a deletion.
 func (s *Store) Remove(key []byte) {
 	if s.pendingPut == nil {
-		s.pendingPut = map[string][]byte{}
+		s.pendingPut = make(map[string][]byte, s.putHint)
 		s.pendingDel = map[string]bool{}
 	}
 	k := string(key)
@@ -516,11 +560,15 @@ func (s *Store) NumKeys() int {
 }
 
 func (s *Store) committedHas(key string) bool {
-	_, ok, err := s.backend.get(key)
+	if has, ok := s.known[key]; ok {
+		return has
+	}
+	_, ok, err := s.backend.get([]byte(key))
 	if err != nil {
 		s.fail(err)
 		return false
 	}
+	s.noteKnown(key, ok)
 	return ok
 }
 
@@ -536,18 +584,19 @@ func (s *Store) Commit(version int64) error {
 	if version <= s.version {
 		return fmt.Errorf("state: commit version %d not after current %d for %s", version, s.version, s.id)
 	}
-	if err := s.backend.commit(version, s.pendingPut, s.pendingDel); err != nil {
+	if err := s.backend.commit(version, s.pendingPut, s.pendingDel, s.known); err != nil {
 		s.dirty = true
 		return err
 	}
-	s.pendingPut, s.pendingDel = nil, nil
+	s.putHint, s.knownHint = len(s.pendingPut), len(s.known)
+	s.pendingPut, s.pendingDel, s.known = nil, nil, nil
 	s.version = version
 	return nil
 }
 
 // Abort discards staged changes (and any latched read error with them).
 func (s *Store) Abort() {
-	s.pendingPut, s.pendingDel = nil, nil
+	s.pendingPut, s.pendingDel, s.known = nil, nil, nil
 	s.err = nil
 }
 

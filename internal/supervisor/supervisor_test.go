@@ -85,7 +85,12 @@ func TestSupervisorRestartsOnTransientFailure(t *testing.T) {
 		mu.Unlock()
 	})
 
-	waitFor(t, 10*time.Second, func() bool { return len(sink.Rows()) == 40 }, "all rows through the sink")
+	// The replacement instance can push rows before the supervisor finishes
+	// recording the restart, so wait for the bookkeeping too, not just the
+	// sink.
+	waitFor(t, 10*time.Second, func() bool {
+		return len(sink.Rows()) == 40 && sup.Restarts() >= 1 && sup.Status() == engine.StatusRunning
+	}, "all rows through the sink and restart recorded")
 	if got := sup.Restarts(); got < 1 {
 		t.Errorf("Restarts() = %d, want >= 1", got)
 	}
@@ -369,7 +374,10 @@ func TestSupervisorSurvivesFlakyBroker(t *testing.T) {
 	}
 	defer sup.Stop()
 
-	waitFor(t, 10*time.Second, func() bool { return len(sink.Rows()) == total }, "topic drained through the sink")
+	// As above: the sink can fill before the restart bookkeeping lands.
+	waitFor(t, 10*time.Second, func() bool {
+		return len(sink.Rows()) == total && sup.Restarts() >= 1 && sup.Status() == engine.StatusRunning
+	}, "topic drained through the sink and restart recorded")
 	if got := sup.Restarts(); got < 1 {
 		t.Errorf("Restarts() = %d, want >= 1 (fetch faults should have killed instance 1)", got)
 	}

@@ -296,7 +296,9 @@ func TestMonitorExposesLSMStateStats(t *testing.T) {
 	if lq == nil || lq["stateSSTables"] == 0 {
 		t.Errorf("/metrics: stateSSTables gauge missing or zero: %v", lq)
 	}
-	for _, g := range []string{"stateMemtableBytes", "stateSSTableBytes", "stateFlushes", "stateBlockCacheHits", "stateBlockCacheMisses"} {
+	for _, g := range []string{"stateMemtableBytes", "stateSSTableBytes", "stateFlushes",
+		"stateBlockCacheHits", "stateBlockCacheMisses",
+		"stateFlushBacklog", "stateMaintenanceStallUs"} {
 		if _, ok := lq[g]; !ok {
 			t.Errorf("/metrics: missing gauge %q", g)
 		}
@@ -304,5 +306,10 @@ func TestMonitorExposesLSMStateStats(t *testing.T) {
 	code, body = getBody(t, base+"/metrics?format=text")
 	if code != http.StatusOK || !strings.Contains(string(body), "lsmq.stateSSTables") {
 		t.Errorf("/metrics?format=text: status %d, missing lsmq.stateSSTables\n%s", code, body)
+	}
+	for _, line := range []string{"lsmq.stateFlushBacklog", "lsmq.stateMaintenanceStallUs"} {
+		if !strings.Contains(string(body), line) {
+			t.Errorf("/metrics?format=text: missing %s\n%s", line, body)
+		}
 	}
 }

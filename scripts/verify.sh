@@ -7,6 +7,15 @@ echo ">> go vet ./..."
 go vet ./...
 echo ">> go test -race ./..."
 go test -race ./...
+# Background-maintenance race round: the LSM locking protocol (commit vs
+# background flush/compaction vs readers vs Close) and the state layer on
+# top of it, under the race detector, including the seeded-scheduler
+# determinism check. Redundant with `go test -race ./...` above but named
+# so the crash-safety contract for background maintenance stays visible.
+echo ">> lsm/state background-maintenance race round"
+go test -race -count=1 \
+	-run 'Maintenance|Background|Close|Ceiling|Seeded|Backlog|Evicts' \
+	./internal/lsm/ ./internal/state/ >/dev/null
 # Fuzz smoke: a few seconds of coverage-guided input on the state record
 # framing shared by deltas, snapshots, and LSM batches — round-trips must
 # hold and corrupt input must never panic the decoder.

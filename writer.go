@@ -86,6 +86,8 @@ func (w *DataStreamWriter) Checkpoint(dir string) *DataStreamWriter {
 
 // Option sets a sink/engine option ("partitions", "maxRecordsPerTrigger",
 // "stateBackend", "stateMemtableBytes", "stateBlockCacheBytes",
+// "stateSyncMaintenance" — "true" pins LSM flush/compaction inline on the
+// commit path instead of the background goroutine,
 // "vectorize" — "false" disables the columnar execution path).
 func (w *DataStreamWriter) Option(key, value string) *DataStreamWriter {
 	w.opts[key] = value
@@ -205,6 +207,9 @@ func (w *DataStreamWriter) Start(path string) (*StreamingQuery, error) {
 	}
 	if n, err := strconv.ParseInt(w.opts["stateBlockCacheBytes"], 10, 64); err == nil && n > 0 {
 		opts.StateBlockCacheBytes = n
+	}
+	if w.opts["stateSyncMaintenance"] == "true" {
+		opts.StateSyncMaintenance = true
 	}
 	if v := w.opts["vectorize"]; v == "false" {
 		opts.Vectorize = engine.Bool(false)
