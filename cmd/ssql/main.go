@@ -12,12 +12,16 @@
 // §4.1 quickstart end to end. While watching, the process answers simple
 // commands on stdin — `:status` pretty-prints the last QueryProgress
 // (throughput, duration breakdown, bottleneck stage), `:metrics` dumps the
-// metric registry, `:quit` stops — and -monitor ADDR additionally serves
-// the §7.4 HTTP monitoring endpoint.
+// metric registry, `:subscribe` attaches a live subscription to the
+// query's serving hub and prints each committed epoch as a frame
+// (`:unsubscribe` detaches), `:quit` stops — and -monitor ADDR
+// additionally serves the §7.4 HTTP monitoring endpoint, including the
+// hub's /queries/{name}/subscribe, /poll and /state routes.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -27,6 +31,8 @@ import (
 	"time"
 
 	structream "structream"
+	"structream/internal/serve"
+	"structream/internal/sinks"
 	"structream/internal/sql"
 )
 
@@ -111,8 +117,18 @@ func main() {
 	if *watch {
 		trigger = structream.ProcessingTime(*interval)
 	}
-	q, err := df.WriteStream().Format("console").OutputMode(outputMode).
-		Trigger(trigger).Checkpoint(ckpt).Start("")
+	w := df.WriteStream().OutputMode(outputMode).Trigger(trigger).Checkpoint(ckpt)
+	var live *sinks.MemorySink
+	if *watch {
+		// Tee console output into a retained memory sink so the query is
+		// publishable: :subscribe locally, /subscribe under -monitor.
+		live = sinks.NewMemorySink()
+		live.SetRetention(64)
+		w.Sink(sinks.NewTeeSink(sinks.NewConsoleSink(os.Stdout), live))
+	} else {
+		w.Format("console")
+	}
+	q, err := w.Start("")
 	if err != nil {
 		fatal(err)
 	}
@@ -122,26 +138,40 @@ func main() {
 		}
 		return
 	}
+	hub := s.Publish(q, live, serve.HubOptions{})
 	if *monitorAt != "" {
 		m, err := s.Monitor(*monitorAt)
 		if err != nil {
 			fatal(err)
 		}
 		defer m.Close()
-		fmt.Fprintf(os.Stderr, "ssql: monitoring at http://%s/queries\n", m.Addr())
+		fmt.Fprintf(os.Stderr, "ssql: monitoring at http://%s/queries; subscribe at /queries/%s/subscribe\n", m.Addr(), q.Name())
 	}
-	fmt.Fprintf(os.Stderr, "ssql: watching; checkpoint at %s (:status, :metrics, :quit or Ctrl-C)\n", ckpt)
+	fmt.Fprintf(os.Stderr, "ssql: watching; checkpoint at %s (:status, :metrics, :subscribe, :quit or Ctrl-C)\n", ckpt)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
-	watchREPL(q, os.Stdin, os.Stdout, sig)
+	watchREPL(q, hub, os.Stdin, os.Stdout, sig)
 	if err := q.Stop(); err != nil {
 		fatal(err)
 	}
 }
 
 // watchREPL blocks until interrupted or told to :quit, answering :status
-// and :metrics commands with the query's live observability data.
-func watchREPL(q *structream.StreamingQuery, in io.Reader, out io.Writer, sig <-chan os.Signal) {
+// and :metrics commands with the query's live observability data and
+// :subscribe/:unsubscribe with a live frame stream from the serving hub.
+func watchREPL(q *structream.StreamingQuery, hub *serve.Hub, in io.Reader, out io.Writer, sig <-chan os.Signal) {
+	var (
+		subCancel context.CancelFunc
+		subDone   chan struct{}
+	)
+	unsubscribe := func() {
+		if subCancel != nil {
+			subCancel()
+			<-subDone
+			subCancel, subDone = nil, nil
+		}
+	}
+	defer unsubscribe()
 	lines := make(chan string)
 	go func() {
 		defer close(lines)
@@ -170,8 +200,47 @@ func watchREPL(q *structream.StreamingQuery, in io.Reader, out io.Writer, sig <-
 				fmt.Fprint(out, formatStatus(q.Name(), q.Status().String(), p, ok))
 			case ":metrics":
 				fmt.Fprint(out, formatMetrics(q.Name(), q.Metrics().Snapshot()))
+			case ":subscribe", ":sub":
+				if hub == nil {
+					fmt.Fprintln(out, "no serving hub published for this query")
+					break
+				}
+				if subCancel != nil {
+					fmt.Fprintln(out, "already subscribed (:unsubscribe to detach)")
+					break
+				}
+				sub, err := hub.Subscribe(serve.SubscribeOptions{Cursor: -1})
+				if err != nil {
+					fmt.Fprintf(out, "subscribe failed: %v\n", err)
+					break
+				}
+				ctx, cancel := context.WithCancel(context.Background())
+				done := make(chan struct{})
+				subCancel, subDone = cancel, done
+				go func() {
+					defer close(done)
+					defer sub.Close()
+					for {
+						f, err := sub.Next(ctx)
+						if err != nil {
+							if ctx.Err() == nil {
+								fmt.Fprintf(out, "[serve] subscription ended: %v\n", err)
+							}
+							return
+						}
+						fmt.Fprint(out, formatFrame(f))
+					}
+				}()
+				fmt.Fprintln(out, "subscribed: frames print as epochs commit (:unsubscribe to detach)")
+			case ":unsubscribe", ":unsub":
+				if subCancel == nil {
+					fmt.Fprintln(out, "not subscribed")
+					break
+				}
+				unsubscribe()
+				fmt.Fprintln(out, "unsubscribed")
 			default:
-				fmt.Fprintf(out, "unknown command %q (try :status, :metrics, :quit)\n", cmd)
+				fmt.Fprintf(out, "unknown command %q (try :status, :metrics, :subscribe, :quit)\n", cmd)
 			}
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"structream/internal/metrics"
+	"structream/internal/serve"
 )
 
 // statusStages is the display order of the duration breakdown — the
@@ -66,6 +67,28 @@ func formatStatus(name, status string, p metrics.QueryProgress, ok bool) string 
 		fmt.Fprintf(&b, "  watermark: %dµs\n", p.WatermarkMicros)
 	}
 	return b.String()
+}
+
+// formatFrame renders one serving-hub frame for the :subscribe REPL
+// command — a compact one-line summary per delivery.
+func formatFrame(f serve.Frame) string {
+	switch f.Kind {
+	case serve.FrameHello:
+		return fmt.Sprintf("[serve] hello: mode=%s cursor=%d schema=%v\n", f.Mode, f.Cursor, f.Schema)
+	case serve.FrameEpoch:
+		return fmt.Sprintf("[serve] epoch %d: %d rows (cursor %d)\n", f.Epoch, len(f.Rows), f.Cursor)
+	case serve.FrameSnapshot:
+		suffix := ""
+		if f.Reset {
+			suffix = " [reset: " + f.Reason + "]"
+		}
+		return fmt.Sprintf("[serve] snapshot: %d rows (cursor %d)%s\n", len(f.Rows), f.Cursor, suffix)
+	case serve.FrameHeartbeat:
+		return fmt.Sprintf("[serve] heartbeat (cursor %d)\n", f.Cursor)
+	default: // evicted, shutdown
+		return fmt.Sprintf("[serve] %s: %s (reconnect in ~%dms, resume with cursor=%d)\n",
+			f.Kind, f.Reason, f.RetryMillis, f.Cursor)
+	}
 }
 
 // formatMetrics renders a metric registry snapshot for the :metrics REPL

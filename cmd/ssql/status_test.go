@@ -124,12 +124,12 @@ func TestWatchREPL(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	in := strings.NewReader(":status\n:metrics\nbogus\n:quit\n")
+	in := strings.NewReader(":status\n:metrics\n:subscribe\nbogus\n:quit\n")
 	var out strings.Builder
 	sig := make(chan os.Signal)
 	done := make(chan struct{})
 	go func() {
-		watchREPL(q, in, &out, sig)
+		watchREPL(q, nil, in, &out, sig)
 		close(done)
 	}()
 	select {
@@ -144,6 +144,7 @@ func TestWatchREPL(t *testing.T) {
 		"duration breakdown:",
 		`metrics for "repl":`,
 		"inputRows",
+		"no serving hub published",
 		`unknown command "bogus"`,
 	} {
 		if !strings.Contains(got, want) {

@@ -29,6 +29,7 @@ type continuousExec struct {
 	opts Options
 
 	wal    *wal.Log
+	hook   *epochHook
 	log    *metrics.EventLog
 	reg    *metrics.Registry
 	tracer *trace.Tracer // nil when Options.DisableTracing
@@ -89,6 +90,7 @@ func startContinuous(q *incremental.Query, srcs map[string]sources.Source, sink 
 	ce := &continuousExec{
 		q: q, sink: sink, opts: opts,
 		wal:          w,
+		hook:         newEpochHook(),
 		log:          metrics.NewEventLog(opts.EventLogWriter),
 		reg:          metrics.NewRegistry(),
 		stopCh:       make(chan struct{}),
@@ -419,6 +421,7 @@ func (ce *continuousExec) markEpoch() {
 		ce.setErr(err)
 		return
 	}
+	ce.hook.notify(epoch)
 	et.EndSpan(spWAL)
 	walDur := time.Since(walStart)
 	// Refill the admission budget for the next epoch.

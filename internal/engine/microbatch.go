@@ -175,6 +175,11 @@ type exec struct {
 
 	limiter   *aimdLimiter // nil unless AdaptiveBackpressure
 	abandoned atomic.Bool  // set by the epoch watchdog; poisons late writes
+	// hook fans epoch-commit notifications to the serving layer;
+	// committedState is the newest state version covered by a WAL commit
+	// (readable without e.mu, which is held for whole epochs).
+	hook           *epochHook
+	committedState atomic.Int64
 	vectorize bool         // Options.Vectorize resolved (default true)
 	// colSink is non-nil when epochs may deliver columnar: the sink
 	// accepts column batches and the query is a map-only append (no
@@ -239,7 +244,9 @@ func newExec(q *incremental.Query, srcs map[string]sources.Source, sink sinks.Si
 		isrcs:            map[string]*sources.Instrumented{},
 		perPipeMax:       make([]int64, len(q.Pipelines)),
 		vectorize:        opts.Vectorize == nil || *opts.Vectorize,
+		hook:             newEpochHook(),
 	}
+	e.committedState.Store(-1)
 	e.log.SetRegistry(e.reg)
 	if !opts.DisableTracing {
 		e.tracer = trace.NewTracer(opts.Name, opts.TraceCapacity)
@@ -284,6 +291,9 @@ func (e *exec) recover() error {
 	e.reg.Counter("corruptionsDetected").Add(int64(len(rp.DroppedCorrupt)))
 	e.nextEpoch = rp.NextEpoch
 	e.watermark = rp.Watermark
+	// Seed the commit hook with the recovered prefix so LastCommittedEpoch
+	// is meaningful before this instance commits anything new.
+	e.hook.last.Store(rp.NextEpoch - 1)
 
 	// Determine committed start offsets.
 	if latest, ok, err := e.wal.LatestOffsets(); err != nil {
@@ -299,6 +309,7 @@ func (e *exec) recover() error {
 		return err
 	}
 	e.lastStateVersion = v
+	e.committedState.Store(v)
 	if rp.Replay != nil {
 		// Re-run the possibly-partial epoch with identical offsets; the
 		// sink's idempotence absorbs the duplicate delivery.
@@ -933,6 +944,8 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 	et.EndSpan(spCommit)
 	bd["walCommit"] += time.Since(commitStart).Microseconds()
 	et.SetAttr("committed", 1)
+	e.committedState.Store(e.lastStateVersion)
+	e.hook.notify(epoch)
 
 	// Advance bookkeeping for the next epoch.
 	for name, r := range ranges {

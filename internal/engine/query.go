@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"structream/internal/fsx"
 	"structream/internal/incremental"
 	"structream/internal/metrics"
 	"structream/internal/sinks"
@@ -46,6 +47,54 @@ func (s QueryStatus) String() string {
 		return "Restarting"
 	default:
 		return fmt.Sprintf("QueryStatus(%d)", int32(s))
+	}
+}
+
+// epochHook fans epoch-commit notifications out to registered listeners.
+// The engine calls notify directly on the commit path, so listeners must
+// be cheap and non-blocking (the serving layer's listener is an atomic
+// store plus a non-blocking channel send).
+type epochHook struct {
+	mu   sync.Mutex
+	fns  map[int64]func(epoch int64)
+	next int64
+	last atomic.Int64 // last committed epoch, -1 before any
+}
+
+func newEpochHook() *epochHook {
+	h := &epochHook{fns: map[int64]func(int64){}}
+	h.last.Store(-1)
+	return h
+}
+
+func (h *epochHook) add(fn func(int64)) (remove func()) {
+	h.mu.Lock()
+	id := h.next
+	h.next++
+	h.fns[id] = fn
+	h.mu.Unlock()
+	return func() {
+		h.mu.Lock()
+		delete(h.fns, id)
+		h.mu.Unlock()
+	}
+}
+
+func (h *epochHook) notify(epoch int64) {
+	for {
+		last := h.last.Load()
+		if epoch <= last || h.last.CompareAndSwap(last, epoch) {
+			break
+		}
+	}
+	h.mu.Lock()
+	fns := make([]func(int64), 0, len(h.fns))
+	for _, fn := range h.fns {
+		fns = append(fns, fn)
+	}
+	h.mu.Unlock()
+	for _, fn := range fns {
+		fn(epoch)
 	}
 }
 
@@ -259,6 +308,81 @@ func (q *StreamingQuery) LastProgress() (metrics.QueryProgress, bool) {
 		return metrics.QueryProgress{}, false
 	}
 	return recent[0], true
+}
+
+func (q *StreamingQuery) hook() *epochHook {
+	if q.exec != nil {
+		return q.exec.hook
+	}
+	if q.cont != nil {
+		return q.cont.hook
+	}
+	return nil
+}
+
+// AddEpochListener registers fn to be called after every epoch commit
+// (the WAL commit record is durable and the sink holds the epoch's rows).
+// fn runs on the engine's commit path and must not block; offload real
+// work to another goroutine. The returned function removes the listener.
+// Recovery replay of a previously committed epoch notifies again with the
+// same epoch number — listeners needing exactly-once should dedupe on it.
+func (q *StreamingQuery) AddEpochListener(fn func(epoch int64)) (remove func()) {
+	h := q.hook()
+	if h == nil {
+		return func() {}
+	}
+	return h.add(fn)
+}
+
+// LastCommittedEpoch returns the newest committed epoch, or -1 before any
+// epoch has committed in this instance's lifetime.
+func (q *StreamingQuery) LastCommittedEpoch() int64 {
+	h := q.hook()
+	if h == nil {
+		return -1
+	}
+	return h.last.Load()
+}
+
+// StateAccess describes where a query's committed state lives, for
+// point-in-time readers (the serving layer's queryable-state API). Version
+// is the newest state version covered by a WAL commit — opening every
+// partition at exactly that version yields a prefix-consistent snapshot.
+type StateAccess struct {
+	Checkpoint       string
+	FS               fsx.FS
+	Operator         string
+	Partitions       int
+	Version          int64
+	Backend          string
+	MemtableBytes    int64
+	BlockCacheBytes  int64
+	SnapshotInterval int64
+}
+
+// StateAccess reports how to open read-only snapshots of the query's
+// state store. ok is false when the query has no stateful operator (or is
+// running in continuous mode, which supports map-only pipelines).
+func (q *StreamingQuery) StateAccess() (StateAccess, bool) {
+	e := q.exec
+	if e == nil || e.q.Stateful == nil {
+		return StateAccess{}, false
+	}
+	backend := e.opts.StateBackend
+	if backend == "" {
+		backend = "memory"
+	}
+	return StateAccess{
+		Checkpoint:       e.opts.Checkpoint,
+		FS:               e.opts.FS,
+		Operator:         e.q.Stateful.Name(),
+		Partitions:       e.opts.NumPartitions,
+		Version:          e.committedState.Load(),
+		Backend:          backend,
+		MemtableBytes:    e.opts.StateMemtableBytes,
+		BlockCacheBytes:  e.opts.StateBlockCacheBytes,
+		SnapshotInterval: e.opts.StateSnapshotInterval,
+	}, true
 }
 
 // Watermark returns the current event-time watermark in µs.

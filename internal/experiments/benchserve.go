@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"context"
+
+	"structream/internal/engine"
+	"structream/internal/fsx"
+	"structream/internal/metrics"
+	"structream/internal/msgbus"
+	"structream/internal/serve"
+	"structream/internal/sinks"
+	"structream/internal/sources"
+	"structream/internal/sql"
+	"structream/internal/sql/codec"
+)
+
+// runServeFanout measures the live serving layer under wide fan-out: the
+// microbatch workload runs once with a published hub while `subscribers`
+// in-process subscriptions drain every committed epoch, recording each
+// frame's hub-to-subscriber delivery latency. The scenario exercises the
+// same Subscription.Next path the SSE and long-poll transports drive, so
+// its percentiles bound what a network client would see on top of the
+// wire.
+func runServeFanout(n int64, subscribers int, ckpt string) (BenchScenario, error) {
+	const partitions = 4
+	broker := msgbus.NewBroker()
+	topic, err := broker.CreateTopic("in", partitions)
+	if err != nil {
+		return BenchScenario{}, err
+	}
+	enc := codec.NewEncoder(32)
+	recs := make([][]msgbus.Record, partitions)
+	for i := int64(0); i < n; i++ {
+		enc.Reset()
+		enc.PutRow(sql.Row{i, int64(0)})
+		p := int(i) % partitions
+		recs[p] = append(recs[p], msgbus.Record{Value: append([]byte(nil), enc.Bytes()...)})
+	}
+	for p := 0; p < partitions; p++ {
+		if _, err := topic.Append(p, recs[p]...); err != nil {
+			return BenchScenario{}, err
+		}
+	}
+	q, err := fig7Query()
+	if err != nil {
+		return BenchScenario{}, err
+	}
+	src := sources.NewCodecBusSource("in", topic, fig7Schema)
+
+	ms := sinks.NewMemorySink()
+	hub := serve.NewHub("bench", ms, serve.HubOptions{MaxSubscribers: subscribers + 16})
+	defer hub.Close()
+
+	lat := metrics.NewRegistry().Histogram("deliver.us")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	var delivered atomic.Int64
+	subs := make([]*serve.Subscription, 0, subscribers)
+	for i := 0; i < subscribers; i++ {
+		sub, err := hub.Subscribe(serve.SubscribeOptions{Cursor: -1, From: "live", SkipHello: true})
+		if err != nil {
+			return BenchScenario{}, err
+		}
+		subs = append(subs, sub)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer sub.Close()
+			for {
+				f, err := sub.Next(ctx)
+				if err != nil {
+					return
+				}
+				if f.Kind == serve.FrameEpoch || f.Kind == serve.FrameSnapshot {
+					if f.EmitMicros > 0 {
+						lat.Observe(time.Now().UnixMicro() - f.EmitMicros)
+					}
+					delivered.Add(1)
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	sq, err := engine.Start(q, map[string]sources.Source{"in": src}, ms, engine.Options{
+		Checkpoint:           ckpt,
+		Trigger:              engine.AvailableNowTrigger{},
+		MaxRecordsPerTrigger: n/16 + 1,
+		FS:                   fsx.NoSync(),
+	})
+	if err != nil {
+		return BenchScenario{}, err
+	}
+	hub.Attach(sq)
+	if err := sq.AwaitTermination(); err != nil {
+		return BenchScenario{}, err
+	}
+	// The query is done; wait for every subscriber to drain the full
+	// committed prefix before stopping the clock.
+	target := ms.LastEpoch()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		done := true
+		for _, sub := range subs {
+			if sub.Cursor() < target {
+				done = false
+				break
+			}
+		}
+		if done || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	elapsed := time.Since(start)
+	cancel()
+	wg.Wait()
+	if got, want := delivered.Load(), int64(subscribers)*(target+1); got < want {
+		return BenchScenario{}, fmt.Errorf("serve-fanout: delivered %d frames, want %d (%d subscribers × %d epochs)",
+			got, want, subscribers, target+1)
+	}
+	snap := lat.Snapshot()
+	return BenchScenario{
+		Name:            "serve-fanout",
+		Mode:            "microbatch",
+		Traced:          true,
+		Vectorized:      true,
+		Events:          n,
+		Epochs:          target + 1,
+		Subscribers:     subscribers,
+		FramesDelivered: delivered.Load(),
+		ElapsedMillis:   elapsed.Milliseconds(),
+		RowsPerSec:      float64(n) / elapsed.Seconds(),
+		DeliverP50Us:    snap.P50,
+		DeliverP99Us:    snap.P99,
+	}, nil
+}

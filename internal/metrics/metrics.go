@@ -28,6 +28,16 @@ type Gauge struct{ v atomic.Int64 }
 // Set stores the gauge value.
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
+// SetMax raises the gauge to v if v is greater (high-water marks).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
 // Value reads the gauge.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 

@@ -9,9 +9,17 @@
 //	GET /queries                         query summaries
 //	GET /queries/{name}/progress         recent progress events (?n=K, default 1)
 //	GET /queries/{name}/trace            epoch traces (Chrome trace_event; ?format=jsonl for JSON lines)
+//
+// Queries published through the serving layer (internal/serve) add live
+// egress endpoints:
+//
+//	GET /queries/{name}/subscribe        SSE stream of committed epochs (?cursor=N resumes, ?from=latest|live|start)
+//	GET /queries/{name}/poll             long-poll batch of frames (?cursor=N&wait=1s&max=100)
+//	GET /queries/{name}/state            prefix-consistent queryable-state snapshot
 package monitor
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -19,9 +27,11 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"structream/internal/engine"
 	"structream/internal/metrics"
+	"structream/internal/serve"
 )
 
 // Server is an HTTP monitoring endpoint over a set of streaming queries.
@@ -29,16 +39,28 @@ import (
 // name replaces the first (the supervisor restart pattern: the
 // replacement query takes over its predecessor's monitoring slot).
 type Server struct {
-	mu      sync.Mutex
-	names   []string // registration order
-	queries map[string]*engine.StreamingQuery
-	httpSrv *http.Server
-	ln      net.Listener
+	// DrainTimeout bounds Close's graceful drain: in-flight requests and
+	// subscriptions get this long to finish their final frame before the
+	// listener is torn down (default 5s). Set before Serve.
+	DrainTimeout time.Duration
+
+	mu        sync.Mutex
+	names     []string // registration order
+	queries   map[string]*engine.StreamingQuery
+	hubs      map[string]*serve.Hub
+	httpSrv   *http.Server
+	ln        net.Listener
+	drain     chan struct{}
+	drainOnce sync.Once
 }
 
 // New creates a Server with no queries registered.
 func New() *Server {
-	return &Server{queries: map[string]*engine.StreamingQuery{}}
+	return &Server{
+		queries: map[string]*engine.StreamingQuery{},
+		hubs:    map[string]*serve.Hub{},
+		drain:   make(chan struct{}),
+	}
 }
 
 // Register adds (or replaces) a query under its name.
@@ -52,6 +74,34 @@ func (s *Server) Register(q *engine.StreamingQuery) {
 		s.names = append(s.names, q.Name())
 	}
 	s.queries[q.Name()] = q
+}
+
+// RegisterHub mounts a serving hub's subscribe/poll/state endpoints under
+// /queries/{name}/. Re-registering a name replaces the hub.
+func (s *Server) RegisterHub(h *serve.Hub) {
+	if h == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.hubs[h.Name()] = h
+}
+
+func (s *Server) hub(name string) (*serve.Hub, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.hubs[name]
+	return h, ok
+}
+
+func (s *Server) hubsSnapshot() map[string]*serve.Hub {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]*serve.Hub, len(s.hubs))
+	for k, v := range s.hubs {
+		out[k] = v
+	}
+	return out
 }
 
 // snapshot returns the registered queries in registration order.
@@ -73,14 +123,42 @@ func (s *Server) query(name string) (*engine.StreamingQuery, bool) {
 }
 
 // Handler returns the Server's routing handler — what Serve mounts, and
-// what tests drive through net/http/httptest.
+// what tests drive through net/http/httptest. Request contexts cancel
+// when Close begins draining, so long-lived subscriptions end with a
+// clean final frame instead of a torn connection.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /queries", s.handleQueries)
 	mux.HandleFunc("GET /queries/{name}/progress", s.handleProgress)
 	mux.HandleFunc("GET /queries/{name}/trace", s.handleTrace)
-	return mux
+	mux.HandleFunc("GET /queries/{name}/subscribe", s.handleHub((*serve.Hub).ServeSubscribe))
+	mux.HandleFunc("GET /queries/{name}/poll", s.handleHub((*serve.Hub).ServePoll))
+	mux.HandleFunc("GET /queries/{name}/state", s.handleHub((*serve.Hub).ServeState))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithCancel(r.Context())
+		defer cancel()
+		go func() {
+			select {
+			case <-s.drain:
+				cancel()
+			case <-ctx.Done():
+			}
+		}()
+		mux.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// handleHub routes /queries/{name}/<hub endpoint> to the registered hub.
+func (s *Server) handleHub(fn func(*serve.Hub, http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		h, ok := s.hub(r.PathValue("name"))
+		if !ok {
+			http.Error(w, "query is not published for serving", http.StatusNotFound)
+			return
+		}
+		fn(h, w, r)
+	}
 }
 
 // Serve starts listening on addr (e.g. "localhost:8080", ":0" for an
@@ -110,15 +188,30 @@ func (s *Server) Addr() string {
 	return s.ln.Addr().String()
 }
 
-// Close stops the listener. Registered queries are unaffected.
+// Close drains and stops the server: in-flight requests and
+// subscriptions see their contexts cancel (transports write a clean
+// terminal frame), then the listener shuts down gracefully within
+// DrainTimeout; whatever remains is aborted. Registered queries and hubs
+// are unaffected — the session owns their lifecycle.
 func (s *Server) Close() error {
+	s.drainOnce.Do(func() { close(s.drain) })
 	s.mu.Lock()
 	srv := s.httpSrv
+	timeout := s.DrainTimeout
 	s.mu.Unlock()
 	if srv == nil {
 		return nil
 	}
-	return srv.Close()
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		// The drain deadline passed with connections still open: abort.
+		return srv.Close()
+	}
+	return nil
 }
 
 // writeJSON renders v with stable formatting for golden tests.
@@ -134,10 +227,22 @@ func writeJSON(w http.ResponseWriter, v any) {
 // grep-shaped tooling.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	queries := s.snapshot()
+	hubs := s.hubsSnapshot()
+	// Serving-layer metrics merge into the owning query's section under a
+	// serve. prefix (serve.subscribers, serve.evictions, ...).
+	merged := func(q *engine.StreamingQuery) map[string]int64 {
+		snap := q.Metrics().Snapshot()
+		if h, ok := hubs[q.Name()]; ok {
+			for k, v := range h.Registry().Snapshot() {
+				snap["serve."+k] = v
+			}
+		}
+		return snap
+	}
 	if r.URL.Query().Get("format") == "text" {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		for _, q := range queries {
-			snap := q.Metrics().Snapshot()
+			snap := merged(q)
 			keys := make([]string, 0, len(snap))
 			for k := range snap {
 				keys = append(keys, k)
@@ -151,7 +256,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	out := map[string]map[string]int64{}
 	for _, q := range queries {
-		out[q.Name()] = q.Metrics().Snapshot()
+		out[q.Name()] = merged(q)
 	}
 	writeJSON(w, out)
 }
@@ -164,15 +269,23 @@ type QuerySummary struct {
 	Epochs int64 `json:"epochs"`
 	// LastProgress is the most recent progress event, if any.
 	LastProgress *metrics.QueryProgress `json:"lastProgress,omitempty"`
+	// Serving reports live-egress state for published queries.
+	Serving     bool  `json:"serving,omitempty"`
+	Subscribers int64 `json:"subscribers,omitempty"`
 }
 
 func (s *Server) handleQueries(w http.ResponseWriter, r *http.Request) {
 	var out []QuerySummary
+	hubs := s.hubsSnapshot()
 	for _, q := range s.snapshot() {
 		summary := QuerySummary{
 			Name:   q.Name(),
 			Status: q.Status().String(),
 			Epochs: q.Metrics().Counter("epochs").Value(),
+		}
+		if h, ok := hubs[q.Name()]; ok {
+			summary.Serving = true
+			summary.Subscribers = h.Registry().Gauge("subscribers").Value()
 		}
 		if p, ok := q.LastProgress(); ok {
 			p := p

@@ -1,0 +1,215 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// flushAdapter joins http.ResponseWriter + http.Flusher into FlushWriter.
+type flushAdapter struct {
+	w  http.ResponseWriter
+	fl http.Flusher
+}
+
+func (a flushAdapter) Write(p []byte) (int, error) { return a.w.Write(p) }
+func (a flushAdapter) Flush()                      { a.fl.Flush() }
+
+// parseSubscribeOptions reads cursor/from query parameters.
+func parseSubscribeOptions(r *http.Request) (SubscribeOptions, error) {
+	o := SubscribeOptions{Cursor: -1}
+	q := r.URL.Query()
+	if c := q.Get("cursor"); c != "" {
+		n, err := strconv.ParseInt(c, 10, 64)
+		if err != nil || n < -1 {
+			return o, fmt.Errorf("invalid cursor %q", c)
+		}
+		o.Cursor = n
+	}
+	switch from := q.Get("from"); from {
+	case "", "latest", "live", "start":
+		o.From = from
+	default:
+		return o, fmt.Errorf("invalid from %q (want latest|live|start)", from)
+	}
+	return o, nil
+}
+
+// rejectSubscribe maps Subscribe errors to HTTP: 503 + jittered
+// Retry-After for overload, 410 for a closed hub.
+func (h *Hub) rejectSubscribe(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrHubFull):
+		h.mu.Lock()
+		retry := h.retryJitterLocked()
+		h.mu.Unlock()
+		w.Header().Set("Retry-After", strconv.FormatInt((retry+999)/1000, 10))
+		http.Error(w, "subscriber limit reached; retry later", http.StatusServiceUnavailable)
+	case errors.Is(err, ErrHubClosed):
+		http.Error(w, "query hub closed", http.StatusGone)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (h *Hub) retryJitter() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.retryJitterLocked()
+}
+
+// writeFrame emits one SSE frame under the per-write deadline and flushes
+// it to the client.
+func writeFrame(out FlushWriter, rc *http.ResponseController, timeout time.Duration, f Frame) error {
+	data, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	// Deadline errors (recorders and HTTP/1 test servers may not support
+	// deadlines) are not delivery failures; the write itself decides.
+	_ = rc.SetWriteDeadline(time.Now().Add(timeout))
+	if _, err := fmt.Fprintf(out, "event: %s\ndata: %s\n\n", f.Kind, data); err != nil {
+		return err
+	}
+	out.Flush()
+	return nil
+}
+
+// ServeSubscribe is the SSE transport: an endless `event:`/`data:` stream
+// of frames with heartbeats on idle, per-write deadlines, and terminal
+// frames on eviction and shutdown. Clients resume with ?cursor=<n>.
+func (h *Hub) ServeSubscribe(w http.ResponseWriter, r *http.Request) {
+	opts, err := parseSubscribeOptions(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	sub, err := h.Subscribe(opts)
+	if err != nil {
+		h.rejectSubscribe(w, err)
+		return
+	}
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	var out FlushWriter = flushAdapter{w: w, fl: fl}
+	if h.opts.WrapWriter != nil {
+		out = h.opts.WrapWriter(out)
+	}
+	rc := http.NewResponseController(w)
+	// SSE-native reconnect guidance; each terminal frame re-jitters it.
+	if _, err := fmt.Fprintf(out, "retry: %d\n\n", h.retryJitter()); err != nil {
+		return
+	}
+	out.Flush()
+
+	for {
+		hbCtx, cancel := context.WithTimeout(r.Context(), h.opts.HeartbeatInterval)
+		f, err := sub.Next(hbCtx)
+		cancel()
+		switch {
+		case err == nil:
+		case errors.Is(err, context.DeadlineExceeded) && r.Context().Err() == nil:
+			f = sub.Heartbeat()
+		case r.Context().Err() != nil:
+			// Client gone or server draining: best-effort clean final
+			// frame so a live client reconnects with backoff.
+			_ = writeFrame(out, rc, h.opts.WriteTimeout, Frame{
+				Kind: FrameShutdown, Query: h.name, Cursor: sub.Cursor(),
+				Reason: "server closing", RetryMillis: h.retryJitter(),
+			})
+			return
+		default:
+			// Terminal error after its frame was already delivered.
+			return
+		}
+		if err := writeFrame(out, rc, h.opts.WriteTimeout, f); err != nil {
+			return // connection failed; the client resumes by cursor
+		}
+		if f.Kind == FrameEvicted || f.Kind == FrameShutdown {
+			return
+		}
+	}
+}
+
+// pollResponse is the long-poll payload: the frames drained this round
+// plus the cursor to pass back on the next poll.
+type pollResponse struct {
+	Query  string  `json:"query"`
+	Cursor int64   `json:"cursor"`
+	Frames []Frame `json:"frames"`
+}
+
+// ServePoll is the long-poll transport: one request drains up to
+// ?max=<n> frames, waiting up to ?wait=<dur> for the first. Clients loop
+// with the returned cursor; a terminal frame in the batch tells them to
+// back off RetryMillis before reconnecting.
+func (h *Hub) ServePoll(w http.ResponseWriter, r *http.Request) {
+	opts, err := parseSubscribeOptions(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	q := r.URL.Query()
+	var wait time.Duration
+	if s := q.Get("wait"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil || d < 0 {
+			http.Error(w, fmt.Sprintf("invalid wait %q", s), http.StatusBadRequest)
+			return
+		}
+		wait = d
+	}
+	if wait > h.opts.PollWaitMax {
+		wait = h.opts.PollWaitMax
+	}
+	maxFrames := 100
+	if s := q.Get("max"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			http.Error(w, fmt.Sprintf("invalid max %q", s), http.StatusBadRequest)
+			return
+		}
+		maxFrames = n
+	}
+	// Resuming polls skip the hello frame: the client already has the
+	// metadata, and every poll is a fresh subscription.
+	opts.SkipHello = opts.Cursor >= 0
+	sub, err := h.Subscribe(opts)
+	if err != nil {
+		h.rejectSubscribe(w, err)
+		return
+	}
+	defer sub.Close()
+
+	resp := pollResponse{Query: h.name, Frames: []Frame{}}
+	if wait > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), wait)
+		if f, err := sub.Next(ctx); err == nil {
+			resp.Frames = append(resp.Frames, f)
+		}
+		cancel()
+	}
+	for len(resp.Frames) < maxFrames {
+		f, ok, err := sub.TryNext()
+		if err != nil || !ok {
+			break
+		}
+		resp.Frames = append(resp.Frames, f)
+	}
+	resp.Cursor = sub.Cursor()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 
 	"structream/internal/sql"
@@ -105,6 +106,13 @@ type MemorySink struct {
 	mode       logical.OutputMode
 	hasMode    bool
 	epochs     []epochSub
+	// retain bounds append-mode growth to the last retain distinct epochs
+	// (0 = unlimited); floor is the newest epoch dropped by retention (-1
+	// before any) and lastEpoch the newest epoch ever delivered (-1 before
+	// any) — together they are the serving layer's replayable window.
+	retain    int
+	floor     int64
+	lastEpoch int64
 }
 
 type epochSub struct{ epoch, sub int64 }
@@ -115,6 +123,8 @@ func NewMemorySink() *MemorySink {
 		byEpoch:    map[epochSub][]sql.Row{},
 		vecByEpoch: map[epochSub][]*vec.Batch{},
 		keyed:      map[string]sql.Row{},
+		floor:      -1,
+		lastEpoch:  -1,
 	}
 }
 
@@ -127,14 +137,21 @@ func (s *MemorySink) AddBatch(b Batch) error {
 		return fmt.Errorf("sinks: memory sink mode changed from %s to %s", s.mode, b.Mode)
 	}
 	s.mode, s.hasMode = b.Mode, true
+	if b.Epoch > s.lastEpoch {
+		s.lastEpoch = b.Epoch
+	}
 	switch b.Mode {
 	case logical.Complete:
 		s.complete = cloneRows(b.Rows)
 	case logical.Append:
+		if b.Epoch <= s.floor {
+			return nil // retention already passed this epoch; drop the replay
+		}
 		key := epochSub{epoch: b.Epoch, sub: b.Sub}
 		s.registerEpochLocked(key)
 		s.byEpoch[key] = cloneRows(b.Rows) // replace: idempotent replay
 		delete(s.vecByEpoch, key)
+		s.enforceRetentionLocked()
 	case logical.Update:
 		ka := b.KeyArity
 		if ka <= 0 || ka > b.Schema.Len() {
@@ -170,11 +187,58 @@ func (s *MemorySink) AddColumnBatch(b Batch) error {
 		return fmt.Errorf("sinks: memory sink mode changed from %s to %s", s.mode, b.Mode)
 	}
 	s.mode, s.hasMode = b.Mode, true
+	if b.Epoch > s.lastEpoch {
+		s.lastEpoch = b.Epoch
+	}
+	if b.Epoch <= s.floor {
+		return nil // retention already passed this epoch; drop the replay
+	}
 	key := epochSub{epoch: b.Epoch, sub: b.Sub}
 	s.registerEpochLocked(key)
 	s.vecByEpoch[key] = b.Vecs
 	delete(s.byEpoch, key)
+	s.enforceRetentionLocked()
 	return nil
+}
+
+// SetRetention bounds the sink to the last n distinct committed epochs
+// (append mode); older epochs are dropped and the retention floor rises.
+// Cursor resume below the floor must restart from a snapshot. n <= 0
+// restores unbounded retention.
+func (s *MemorySink) SetRetention(n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.retain = n
+	s.enforceRetentionLocked()
+}
+
+// enforceRetentionLocked drops the oldest distinct epochs until at most
+// s.retain remain, advancing the floor past everything dropped.
+func (s *MemorySink) enforceRetentionLocked() {
+	if s.retain <= 0 {
+		return
+	}
+	distinct := 0
+	var prev int64 = -1
+	for _, e := range s.epochs {
+		if distinct == 0 || e.epoch != prev {
+			distinct++
+			prev = e.epoch
+		}
+	}
+	for distinct > s.retain {
+		oldest := s.epochs[0].epoch
+		i := 0
+		for ; i < len(s.epochs) && s.epochs[i].epoch == oldest; i++ {
+			delete(s.byEpoch, s.epochs[i])
+			delete(s.vecByEpoch, s.epochs[i])
+		}
+		s.epochs = append(s.epochs[:0], s.epochs[i:]...)
+		if oldest > s.floor {
+			s.floor = oldest
+		}
+		distinct--
+	}
 }
 
 // registerEpochLocked records a new (epoch, sub) pair in delivery order.
@@ -266,6 +330,76 @@ func (s *MemorySink) Truncate(keep int64) {
 		}
 	}
 	s.epochs = kept
+	if s.lastEpoch > keep {
+		s.lastEpoch = keep
+	}
+}
+
+// Mode reports the output mode the sink has been receiving, and whether
+// any batch has arrived yet.
+func (s *MemorySink) Mode() (logical.OutputMode, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mode, s.hasMode
+}
+
+// Floor returns the newest epoch dropped by retention, or -1 when nothing
+// has been dropped. Epochs at or below the floor are not replayable.
+func (s *MemorySink) Floor() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.floor
+}
+
+// LastEpoch returns the newest epoch delivered to the sink, or -1.
+func (s *MemorySink) LastEpoch() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastEpoch
+}
+
+// EpochRows returns one epoch's appended rows and whether the sink holds
+// them. ok is false for epochs at or below the retention floor, epochs
+// never delivered, and non-append modes (which do not retain per-epoch
+// deltas). Callers must not mutate the result.
+func (s *MemorySink) EpochRows(epoch int64) ([]sql.Row, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.mode != logical.Append || epoch <= s.floor {
+		return nil, false
+	}
+	var out []sql.Row
+	found := false
+	for _, e := range s.epochs {
+		if e.epoch == epoch {
+			found = true
+			out = append(out, s.epochRowsLocked(e)...)
+		}
+	}
+	return out, found
+}
+
+// SnapshotRows returns a consistent snapshot of the whole result table
+// together with the newest epoch reflected in it — the anchor a resuming
+// subscriber below the retention floor restarts from.
+func (s *MemorySink) SnapshotRows() ([]sql.Row, int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rows []sql.Row
+	switch s.mode {
+	case logical.Complete:
+		rows = cloneRows(s.complete)
+	case logical.Update:
+		rows = make([]sql.Row, 0, len(s.keyed))
+		for _, k := range s.keyOrder {
+			rows = append(rows, s.keyed[k].Clone())
+		}
+	default:
+		for _, e := range s.epochs {
+			rows = append(rows, cloneRows(s.epochRowsLocked(e))...)
+		}
+	}
+	return rows, s.lastEpoch
 }
 
 func cloneRows(rows []sql.Row) []sql.Row {
@@ -274,6 +408,67 @@ func cloneRows(rows []sql.Row) []sql.Row {
 		out[i] = r.Clone()
 	}
 	return out
+}
+
+// ---------------------------------------------------------------- tee
+
+// TeeSink fans every batch out to each target in order — e.g. console
+// output for a human plus a retained memory sink feeding the serving
+// layer. Targets must not mutate delivered rows (the built-in sinks never
+// do); the first error aborts the delivery, and replays restore
+// idempotency for targets that already absorbed the batch.
+type TeeSink struct {
+	Targets []Sink
+}
+
+// NewTeeSink creates a sink duplicating batches to each target.
+func NewTeeSink(targets ...Sink) *TeeSink { return &TeeSink{Targets: targets} }
+
+// AddBatch implements Sink.
+func (s *TeeSink) AddBatch(b Batch) error {
+	for _, t := range s.Targets {
+		if err := t.AddBatch(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddColumnBatch implements ColumnSink: columnar targets receive the
+// vectors as-is; row-only targets get the rows materialized once.
+func (s *TeeSink) AddColumnBatch(b Batch) error {
+	var rows []sql.Row
+	materialized := false
+	for _, t := range s.Targets {
+		if cs, ok := t.(ColumnSink); ok {
+			if err := cs.AddColumnBatch(b); err != nil {
+				return err
+			}
+			continue
+		}
+		if !materialized {
+			for _, vb := range b.Vecs {
+				rows = vb.AppendRows(rows)
+			}
+			materialized = true
+		}
+		rb := b
+		rb.Vecs = nil
+		rb.Rows = rows
+		if err := t.AddBatch(rb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Description implements the monitoring surface's sink naming.
+func (s *TeeSink) Description() string {
+	names := make([]string, len(s.Targets))
+	for i, t := range s.Targets {
+		names[i] = Describe(t)
+	}
+	return "tee(" + strings.Join(names, ",") + ")"
 }
 
 // ---------------------------------------------------------------- console

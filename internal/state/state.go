@@ -75,6 +75,14 @@ type Provider struct {
 	// inject a seeded deterministic scheduler). nil = derive from
 	// BackgroundMaintenance.
 	Scheduler lsm.MaintenanceScheduler
+	// ReadOnly marks the provider as a point-in-time reader of a checkpoint
+	// another (possibly live) provider owns: Open skips directory creation
+	// and orphaned-tmp reclamation — mutating a live query's store
+	// directory from a concurrent reader could delete a temp file the
+	// engine is about to rename into place — and callers must not Commit.
+	// Loads racing the owner's GC or compaction may fail; treat such
+	// errors as transient and retry.
+	ReadOnly bool
 
 	mu         sync.Mutex
 	cache      map[ID]*Store
@@ -195,13 +203,15 @@ func (p *Provider) Open(id ID, version int64) (*Store, error) {
 	}
 	p.cacheMisses.Add(1)
 	dir := p.storeDir(id)
-	if err := p.fs.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("state: %w", err)
-	}
-	// Reclaim orphaned temp files from an atomic write a crash interrupted,
-	// so they cannot accumulate across restarts.
-	if _, err := fsx.CleanupTmp(p.fs, dir); err != nil {
-		return nil, fmt.Errorf("state: reclaiming orphaned tmp files: %w", err)
+	if !p.ReadOnly {
+		if err := p.fs.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("state: %w", err)
+		}
+		// Reclaim orphaned temp files from an atomic write a crash
+		// interrupted, so they cannot accumulate across restarts.
+		if _, err := fsx.CleanupTmp(p.fs, dir); err != nil {
+			return nil, fmt.Errorf("state: reclaiming orphaned tmp files: %w", err)
+		}
 	}
 	if !cached {
 		backend, err := p.newBackend(dir)
@@ -593,6 +603,11 @@ func (s *Store) Commit(version int64) error {
 	s.version = version
 	return nil
 }
+
+// Err returns the latched backend read error, if any. Point-in-time
+// readers check it after Get/Iterate — reads racing the owning query's
+// GC or compaction fail here and should be retried against a fresh open.
+func (s *Store) Err() error { return s.err }
 
 // Abort discards staged changes (and any latched read error with them).
 func (s *Store) Abort() {

@@ -189,6 +189,10 @@ type Event struct {
 	Class Class
 	// Backoff is the delay slept before a Restarted event.
 	Backoff time.Duration
+	// Instance is the query handle a Started/Restarted event refers to,
+	// so layers holding stale handles (the serving hub) can re-attach to
+	// the replacement without polling Query.
+	Instance *engine.StreamingQuery
 	// Time is when the event occurred.
 	Time time.Time
 }
@@ -251,7 +255,7 @@ func Supervise(spec Spec) (*Supervisor, error) {
 	s.sq = sq
 	s.status = engine.StatusRunning
 	s.mu.Unlock()
-	s.emit(Event{Kind: QueryStarted, Query: spec.Name})
+	s.emit(Event{Kind: QueryStarted, Query: spec.Name, Instance: sq})
 	go s.run(sq)
 	return s, nil
 }
@@ -460,8 +464,8 @@ func (s *Supervisor) run(sq *engine.StreamingQuery) {
 		// registry so they surface in QueryProgress events.
 		next.Metrics().Counter("restarts").Add(restarts)
 		next.Metrics().Gauge("restartBackoffMillis").Set(sleep.Milliseconds())
-		s.emit(Event{Kind: QueryRestarted, Query: s.spec.Name, Backoff: sleep})
-		s.emit(Event{Kind: QueryStarted, Query: s.spec.Name})
+		s.emit(Event{Kind: QueryRestarted, Query: s.spec.Name, Backoff: sleep, Instance: next})
+		s.emit(Event{Kind: QueryStarted, Query: s.spec.Name, Instance: next})
 		sq = next
 	}
 }

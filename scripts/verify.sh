@@ -16,6 +16,12 @@ echo ">> lsm/state background-maintenance race round"
 go test -race -count=1 \
 	-run 'Maintenance|Background|Close|Ceiling|Seeded|Backlog|Evicts' \
 	./internal/lsm/ ./internal/state/ >/dev/null
+# Serving-layer race round: the subscription hub's fan-out, eviction
+# ladder, cursor resume, transports and churn chaos suite under the race
+# detector. Redundant with `go test -race ./...` above but named so the
+# live-serving robustness contract stays visible.
+echo ">> serve hub/churn race round"
+go test -race -count=1 ./internal/serve/ >/dev/null
 # Fuzz smoke: a few seconds of coverage-guided input on the state record
 # framing shared by deltas, snapshots, and LSM batches — round-trips must
 # hold and corrupt input must never panic the decoder.
@@ -29,6 +35,7 @@ go run ./cmd/ssbench -experiment bench -events 100000 -rounds 1 -json "$smoke_js
 grep -q '"tracingOverheadPct"' "$smoke_json" || { echo "bench smoke: bad report"; exit 1; }
 grep -q '"stateful-count-lsm-spill"' "$smoke_json" || { echo "bench smoke: missing state-backend scenarios"; exit 1; }
 grep -q '"microbatch-throughput-rowpath"' "$smoke_json" || { echo "bench smoke: missing row-path scenario"; exit 1; }
+grep -q '"serve-fanout"' "$smoke_json" || { echo "bench smoke: missing serve-fanout scenario"; exit 1; }
 rm -f "$smoke_json"
 # Vectorization differential smoke: the columnar path must be
 # byte-identical to the row path on randomized queries and data, and the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"structream/internal/engine"
 	"structream/internal/monitor"
+	"structream/internal/serve"
 	"structream/internal/sinks"
 	"sync"
 
@@ -27,6 +28,7 @@ type Session struct {
 	queries  []*StreamingQuery
 	broker   *msgbus.Broker
 	monitors []*monitor.Server
+	hubs     map[string]*serve.Hub
 }
 
 // tableEntry is a static (or snapshot-backed) table. rows is a function so
@@ -222,6 +224,42 @@ func (s *Session) trackQuery(q *StreamingQuery) {
 	}
 }
 
+// Publish attaches a live serving hub to a running query (the paper's §3
+// interactive-application surface): subscribers stream its committed
+// epochs over SSE/long-poll and read its operator state point-in-time,
+// with cursors, bounded fan-out and slow-consumer eviction (see
+// internal/serve). rep is the replay source — normally the query's
+// *sinks.MemorySink* (use SetRetention to bound it). The hub mounts on
+// every session monitor under /queries/{name}/subscribe|poll|state.
+// Publishing a name again (a manual restart) closes the previous hub.
+func (s *Session) Publish(q *StreamingQuery, rep serve.Replayer, opts serve.HubOptions) *serve.Hub {
+	hub := serve.NewHub(q.Name(), rep, opts)
+	hub.Attach(q)
+	s.mu.Lock()
+	if s.hubs == nil {
+		s.hubs = map[string]*serve.Hub{}
+	}
+	old := s.hubs[q.Name()]
+	s.hubs[q.Name()] = hub
+	mons := append([]*monitor.Server(nil), s.monitors...)
+	s.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	for _, m := range mons {
+		m.RegisterHub(hub)
+	}
+	return hub
+}
+
+// Hub returns the serving hub published for a query name, if any.
+func (s *Session) Hub(name string) (*serve.Hub, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.hubs[name]
+	return h, ok
+}
+
 // Monitor starts an HTTP monitoring endpoint (§7.4) serving /metrics,
 // /queries, /queries/{name}/progress, and /queries/{name}/trace for every
 // query in the session — those already running and any started later.
@@ -233,9 +271,16 @@ func (s *Session) Monitor(addr string) (*monitor.Server, error) {
 	s.mu.Lock()
 	s.monitors = append(s.monitors, m)
 	existing := append([]*StreamingQuery(nil), s.queries...)
+	hubs := make([]*serve.Hub, 0, len(s.hubs))
+	for _, h := range s.hubs {
+		hubs = append(hubs, h)
+	}
 	s.mu.Unlock()
 	for _, q := range existing {
 		m.Register(q)
+	}
+	for _, h := range hubs {
+		m.RegisterHub(h)
 	}
 	if _, err := m.Serve(addr); err != nil {
 		return nil, err
@@ -250,13 +295,25 @@ func (s *Session) ActiveQueries() []*StreamingQuery {
 	return append([]*StreamingQuery(nil), s.queries...)
 }
 
-// StopAll stops every active query, returning the first error.
+// StopAll stops every active query (returning the first error) and closes
+// any published serving hubs, so live subscribers receive a terminal
+// shutdown frame rather than waiting on a dead query.
 func (s *Session) StopAll() error {
 	var first error
 	for _, q := range s.ActiveQueries() {
 		if err := q.Stop(); err != nil && first == nil {
 			first = err
 		}
+	}
+	s.mu.Lock()
+	hubs := make([]*serve.Hub, 0, len(s.hubs))
+	for _, h := range s.hubs {
+		hubs = append(hubs, h)
+	}
+	s.hubs = nil
+	s.mu.Unlock()
+	for _, h := range hubs {
+		h.Close()
 	}
 	return first
 }

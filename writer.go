@@ -10,6 +10,7 @@ import (
 	"structream/internal/colfmt"
 	"structream/internal/engine"
 	"structream/internal/incremental"
+	"structream/internal/serve"
 	"structream/internal/sinks"
 	"structream/internal/sources"
 	"structream/internal/sql/analysis"
@@ -88,7 +89,11 @@ func (w *DataStreamWriter) Checkpoint(dir string) *DataStreamWriter {
 // "stateBackend", "stateMemtableBytes", "stateBlockCacheBytes",
 // "stateSyncMaintenance" — "true" pins LSM flush/compaction inline on the
 // commit path instead of the background goroutine,
-// "vectorize" — "false" disables the columnar execution path).
+// "vectorize" — "false" disables the columnar execution path,
+// "publish" — "true" attaches a live serving hub to the query (requires a
+// sink that supports replay, i.e. the memory sink; see Session.Publish),
+// "retainEpochs" — N bounds the memory sink to the last N committed
+// epochs; subscribers resuming below the floor restart from a snapshot).
 func (w *DataStreamWriter) Option(key, value string) *DataStreamWriter {
 	w.opts[key] = value
 	return w
@@ -219,7 +224,31 @@ func (w *DataStreamWriter) Start(path string) (*StreamingQuery, error) {
 		return nil, err
 	}
 	df.s.trackQuery(sq)
+	if w.opts["publish"] == "true" {
+		rep, ok := replayTarget(sink)
+		if !ok {
+			sq.Stop() //nolint:errcheck // surfacing the config error
+			return nil, fmt.Errorf("structream: publish requires a replayable sink (memory, or a tee including one), got %s", sinks.Describe(sink))
+		}
+		df.s.Publish(sq, rep, serve.HubOptions{})
+	}
 	return sq, nil
+}
+
+// replayTarget finds the serving layer's replay source inside a sink:
+// the memory sink itself, or the first replayable target of a tee.
+func replayTarget(s sinks.Sink) (serve.Replayer, bool) {
+	if rep, ok := s.(serve.Replayer); ok {
+		return rep, true
+	}
+	if tee, ok := s.(*sinks.TeeSink); ok {
+		for _, t := range tee.Targets {
+			if rep, ok := replayTarget(t); ok {
+				return rep, true
+			}
+		}
+	}
+	return nil, false
 }
 
 func (w *DataStreamWriter) queryName() string {
@@ -236,6 +265,9 @@ func (w *DataStreamWriter) buildSink(path string, q *incremental.Query) (sinks.S
 	switch w.format {
 	case "memory", "":
 		ms := sinks.NewMemorySink()
+		if n := atoiDefault(w.opts["retainEpochs"], 0); n > 0 {
+			ms.SetRetention(n)
+		}
 		if w.name != "" {
 			// Interactive queries over consistent snapshots of the result
 			// table (§3: "output to an in-memory table users can query").
