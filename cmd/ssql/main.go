@@ -12,7 +12,9 @@
 // §4.1 quickstart end to end. While watching, the process answers simple
 // commands on stdin — `:status` pretty-prints the last QueryProgress
 // (throughput, duration breakdown, bottleneck stage), `:metrics` dumps the
-// metric registry, `:subscribe` attaches a live subscription to the
+// metric registry, `:health` prints the health subsystem's report
+// (detector signals, latency lineage, flight-recorder bundles),
+// `:subscribe` attaches a live subscription to the
 // query's serving hub and prints each committed epoch as a frame
 // (`:unsubscribe` detaches), `:quit` stops — and -monitor ADDR
 // additionally serves the §7.4 HTTP monitoring endpoint, including the
@@ -147,7 +149,7 @@ func main() {
 		defer m.Close()
 		fmt.Fprintf(os.Stderr, "ssql: monitoring at http://%s/queries; subscribe at /queries/%s/subscribe\n", m.Addr(), q.Name())
 	}
-	fmt.Fprintf(os.Stderr, "ssql: watching; checkpoint at %s (:status, :metrics, :subscribe, :quit or Ctrl-C)\n", ckpt)
+	fmt.Fprintf(os.Stderr, "ssql: watching; checkpoint at %s (:status, :metrics, :health, :subscribe, :quit or Ctrl-C)\n", ckpt)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	watchREPL(q, hub, os.Stdin, os.Stdout, sig)
@@ -200,6 +202,8 @@ func watchREPL(q *structream.StreamingQuery, hub *serve.Hub, in io.Reader, out i
 				fmt.Fprint(out, formatStatus(q.Name(), q.Status().String(), p, ok))
 			case ":metrics":
 				fmt.Fprint(out, formatMetrics(q.Name(), q.Metrics().Snapshot()))
+			case ":health":
+				fmt.Fprint(out, formatHealth(q.Health().Health()))
 			case ":subscribe", ":sub":
 				if hub == nil {
 					fmt.Fprintln(out, "no serving hub published for this query")
@@ -240,7 +244,7 @@ func watchREPL(q *structream.StreamingQuery, hub *serve.Hub, in io.Reader, out i
 				unsubscribe()
 				fmt.Fprintln(out, "unsubscribed")
 			default:
-				fmt.Fprintf(out, "unknown command %q (try :status, :metrics, :subscribe, :quit)\n", cmd)
+				fmt.Fprintf(out, "unknown command %q (try :status, :metrics, :health, :subscribe, :quit)\n", cmd)
 			}
 		}
 	}

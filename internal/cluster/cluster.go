@@ -23,6 +23,12 @@ type Task struct {
 	Index int
 	// Fn performs the work and returns the task result.
 	Fn func() (any, error)
+	// NoSpeculate excludes the task from straggler backup copies. Set it
+	// when Fn mutates shared structures (a state store) and a concurrent
+	// duplicate would race the winning attempt rather than merely waste a
+	// slot. Sequential retry after failure is still allowed — only the
+	// concurrent speculative copy is suppressed.
+	NoSpeculate bool
 }
 
 // Config describes the simulated cluster.
@@ -330,6 +336,9 @@ func (c *Cluster) RunStage(tasks []Task) ([]any, error) {
 					threshold = t
 				}
 				for i, st := range states {
+					if tasks[i].NoSpeculate {
+						continue
+					}
 					st.mu.Lock()
 					runningLong := !st.done && st.running == 1 &&
 						now.Sub(st.started) > threshold &&

@@ -8,6 +8,7 @@ import (
 
 	"sort"
 
+	"structream/internal/health"
 	"structream/internal/incremental"
 	"structream/internal/metrics"
 	"structream/internal/sinks"
@@ -32,7 +33,8 @@ type continuousExec struct {
 	hook   *epochHook
 	log    *metrics.EventLog
 	reg    *metrics.Registry
-	tracer *trace.Tracer // nil when Options.DisableTracing
+	tracer *trace.Tracer   // nil when Options.DisableTracing
+	health *health.Tracker // nil when Options.DisableHealth
 
 	stopCh chan struct{}
 	failCh chan struct{} // closed on the first error; may precede worker exit
@@ -105,6 +107,9 @@ func startContinuous(q *incremental.Query, srcs map[string]sources.Source, sink 
 	ce.log.SetRegistry(ce.reg)
 	if !opts.DisableTracing {
 		ce.tracer = trace.NewTracer(opts.Name, opts.TraceCapacity)
+	}
+	if !opts.DisableHealth {
+		ce.health = health.New(healthConfig(opts, ce.reg, ce.tracer, ce.log))
 	}
 	ce.budget.Store(opts.MaxRecordsPerTrigger)
 
@@ -408,6 +413,12 @@ func (ce *continuousExec) markEpoch() {
 	intervalStart := ce.lastMark
 	et := ce.tracer.StartEpochAt(epoch, "continuous", intervalStart)
 	et.AddStage("planning", planStart, planDur)
+	// Lineage: in continuous mode records flow through workers as they
+	// arrive, so the epoch's ingest is the start of its interval and its
+	// execution is continuous across it; admission is the mark itself.
+	ce.health.StampIngest(epoch, intervalStart)
+	ce.health.StampExecute(epoch, intervalStart)
+	ce.health.StampAdmit(epoch, planStart)
 
 	spWAL := et.StartSpan("walCommit")
 	walStart := time.Now()
@@ -422,6 +433,7 @@ func (ce *continuousExec) markEpoch() {
 		return
 	}
 	ce.hook.notify(epoch)
+	ce.health.StampCommit(epoch, time.Now())
 	et.EndSpan(spWAL)
 	walDur := time.Since(walStart)
 	// Refill the admission budget for the next epoch.
@@ -516,5 +528,14 @@ func (ce *continuousExec) markEpoch() {
 		},
 		AdmissionCapRecords: ce.opts.MaxRecordsPerTrigger,
 		Restarts:            ce.reg.Counter("restarts").Value(),
+	})
+	// Continuous pipelines are map-only and unwatermarked; −1 skips the
+	// watermark-lag signal.
+	ce.health.ObserveEpoch(health.Sample{
+		Epoch:           epoch,
+		LatencyUs:       interval.Microseconds(),
+		InputRowsPerSec: metrics.RatePerSec(totalIn, interval),
+		WatermarkLagUs:  -1,
+		Restarts:        ce.reg.Counter("restarts").Value(),
 	})
 }

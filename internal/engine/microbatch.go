@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -11,6 +12,7 @@ import (
 
 	"structream/internal/cluster"
 	"structream/internal/fsx"
+	"structream/internal/health"
 	"structream/internal/incremental"
 	"structream/internal/lsm"
 	"structream/internal/metrics"
@@ -124,6 +126,20 @@ type Options struct {
 	// TraceCapacity bounds how many finished epoch traces are retained in
 	// the tracer's ring buffer (default 256).
 	TraceCapacity int
+	// DisableHealth turns off the health subsystem (latency lineage,
+	// anomaly detector, flight recorder). On by default; its per-epoch cost
+	// is a handful of timestamps and one mutex-protected ring write.
+	DisableHealth bool
+	// HealthDir overrides where flight-recorder bundles are written
+	// (default <Checkpoint>/_health). Bundles deliberately bypass
+	// Options.FS and use the real filesystem: a FaultFS counts mutating
+	// ops to schedule deterministic crashes, and a background diagnostic
+	// capture must not perturb that schedule.
+	HealthDir string
+	// HealthConfig overrides detector/recorder tuning (thresholds, bundle
+	// ring size, clock). Query, Registry, Tracer, and Events are always
+	// wired by the engine; Dir/FS are taken from the config when set.
+	HealthConfig *health.Config
 }
 
 // Bool returns a pointer to v, for the Options.Vectorize field.
@@ -158,6 +174,32 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// healthConfig assembles the health.Tracker config for a query: user
+// overrides from Options.HealthConfig, the engine's own registry, tracer
+// and event log (always wired, so bundles capture the query's real
+// telemetry), and the bundle ring under the checkpoint unless redirected.
+func healthConfig(opts Options, reg *metrics.Registry, tr *trace.Tracer, log *metrics.EventLog) health.Config {
+	cfg := health.Config{}
+	if opts.HealthConfig != nil {
+		cfg = *opts.HealthConfig
+	}
+	cfg.Query = opts.Name
+	cfg.Registry = reg
+	cfg.Tracer = tr
+	cfg.Events = log
+	if cfg.Dir == "" {
+		if opts.HealthDir != "" {
+			cfg.Dir = opts.HealthDir
+		} else {
+			cfg.Dir = filepath.Join(opts.Checkpoint, "_health")
+		}
+	}
+	// cfg.FS deliberately defaults to fsx.Real() inside health.New rather
+	// than opts.FS: fault-injecting filesystems schedule crashes by
+	// counting mutating ops, and diagnostics must not perturb that.
+	return cfg
+}
+
 // exec is the microbatch execution of one query.
 type exec struct {
 	q    *incremental.Query
@@ -171,6 +213,7 @@ type exec struct {
 	log    *metrics.EventLog
 	reg    *metrics.Registry
 	tracer *trace.Tracer                    // nil when Options.DisableTracing
+	health *health.Tracker                  // nil when Options.DisableHealth
 	isrcs  map[string]*sources.Instrumented // instrumented sources by name
 
 	limiter   *aimdLimiter // nil unless AdaptiveBackpressure
@@ -180,7 +223,7 @@ type exec struct {
 	// (readable without e.mu, which is held for whole epochs).
 	hook           *epochHook
 	committedState atomic.Int64
-	vectorize bool         // Options.Vectorize resolved (default true)
+	vectorize      bool // Options.Vectorize resolved (default true)
 	// colSink is non-nil when epochs may deliver columnar: the sink
 	// accepts column batches and the query is a map-only append (no
 	// stateful stage, so Post is the identity). Individual epochs still
@@ -250,6 +293,9 @@ func newExec(q *incremental.Query, srcs map[string]sources.Source, sink sinks.Si
 	e.log.SetRegistry(e.reg)
 	if !opts.DisableTracing {
 		e.tracer = trace.NewTracer(opts.Name, opts.TraceCapacity)
+	}
+	if !opts.DisableHealth {
+		e.health = health.New(healthConfig(opts, e.reg, e.tracer, e.log))
 	}
 	for i := range e.perPipeMax {
 		e.perPipeMax[i] = -1
@@ -321,6 +367,20 @@ func (e *exec) recover() error {
 		ranges := map[string][2]sources.Offsets{}
 		for _, s := range rp.Replay.Sources {
 			ranges[s.Source] = [2]sources.Offsets{s.Start, s.End}
+		}
+		// Replay reads the WAL's offset ranges before any planning pass has
+		// run, but pull-based sources (FileSource in particular) only
+		// discover their backing data during Latest(). Without this initial
+		// scan a replayed range like [2,3) fails with "out of bounds (have 0
+		// files)" even though the files are all still there.
+		seen := map[string]bool{}
+		for _, bp := range e.pipes {
+			if name := bp.src.Name(); !seen[name] {
+				seen[name] = true
+				if _, err := bp.src.Latest(); err != nil {
+					return fmt.Errorf("engine: recovery scan of source %q: %w", name, err)
+				}
+			}
 		}
 		e.watermark = rp.Replay.Watermark
 		if err := e.runEpochGuarded(rp.Replay.Epoch, ranges, true, time.Now(), 0); err != nil {
@@ -539,8 +599,16 @@ type mapResult struct {
 	direct  []sql.Row   // map-only output
 	vecOut  *vec.Batch  // map-only output kept columnar for a ColumnSink
 	maxTs   int64
-	rows    int64
-	vecRows int64 // rows that ran the columnar path (≤ rows)
+	// Event-time telemetry over the raw input rows (−1 / 0 when the
+	// pipeline has no watermark column): minTs pairs with maxTs, and
+	// sumTs/cntTs feed the epoch's event-time average. The sum is float64
+	// because µs timestamps summed over millions of rows overflow int64.
+	minTs     int64
+	sumTs     float64
+	cntTs     int64
+	rows      int64
+	vecRows   int64 // rows that ran the columnar path (≤ rows)
+	taskNanos int64 // the task's wall time, for per-partition accounting
 }
 
 // runVecMapTask is the columnar twin of the map-task body: watermark
@@ -548,9 +616,14 @@ type mapResult struct {
 // vector plan runs kernels until rows materialize at the shuffle (or
 // direct-output) boundary.
 func (e *exec) runVecMapTask(bp boundPipeline, batch *vec.Batch, nPart int) *mapResult {
-	res := &mapResult{side: bp.pipe.Side, maxTs: -1, rows: int64(batch.Len), vecRows: int64(batch.Len)}
+	res := &mapResult{side: bp.pipe.Side, maxTs: -1, minTs: -1, rows: int64(batch.Len), vecRows: int64(batch.Len)}
 	if bp.pipe.WatermarkEval != nil {
-		res.maxTs = vec.MaxInt64(batch.Cols[bp.pipe.WatermarkIdx], batch.Len, -1)
+		col := batch.Cols[bp.pipe.WatermarkIdx]
+		res.maxTs = vec.MaxInt64(col, batch.Len, -1)
+		if res.maxTs >= 0 {
+			res.minTs = vec.MinInt64(col, batch.Len, res.maxTs)
+			res.sumTs, res.cntTs = vec.SumInt64(col, batch.Len)
+		}
 	}
 	if bp.pipe.KeyEvals == nil {
 		if e.colSink != nil && bp.pipe.FullyVectorized() {
@@ -599,6 +672,7 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 		et.SetAttr("replay", 1)
 	}
 	et.AddStage("planning", planStart, planDur)
+	e.health.StampAdmit(epoch, planStart)
 	bd := map[string]int64{
 		"planning": planDur.Microseconds(), "getBatch": 0, "execution": 0,
 		"stateCommit": 0, "walCommit": 0, "sinkCommit": 0,
@@ -628,6 +702,7 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 	// records its source-read and pipeline time so the fused stage's wall
 	// time can be attributed to getBatch vs execution.
 	mapStart := time.Now()
+	e.health.StampIngest(epoch, mapStart)
 	spFetch := et.StartSpan("getBatch")
 	var readNanos, pipeNanos atomic.Int64
 	type taskSpec struct {
@@ -650,6 +725,11 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 		r := ranges[bp.src.Name()]
 		wantVec := e.vectorize && bp.pipe.Vec != nil
 		tasks[ti] = cluster.Task{Index: ti, Fn: func() (any, error) {
+			taskStart := time.Now()
+			finish := func(res *mapResult) (any, error) {
+				res.taskNanos = time.Since(taskStart).Nanoseconds()
+				return res, nil
+			}
 			var raw []sql.Row
 			var batch *vec.Batch
 			readStart := time.Now()
@@ -691,7 +771,7 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 				// columnar max scan; anything else takes the row path.
 				if bp.pipe.WatermarkEval == nil ||
 					(bp.pipe.WatermarkIdx >= 0 && batch.Cols[bp.pipe.WatermarkIdx].Kind == vec.KindInt64) {
-					return e.runVecMapTask(bp, batch, nPart), nil
+					return finish(e.runVecMapTask(bp, batch, nPart))
 				}
 				if raw == nil {
 					var err error
@@ -704,17 +784,26 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 					}
 				}
 			}
-			res := &mapResult{side: bp.pipe.Side, maxTs: -1, rows: int64(len(raw))}
+			res := &mapResult{side: bp.pipe.Side, maxTs: -1, minTs: -1, rows: int64(len(raw))}
 			if bp.pipe.WatermarkEval != nil {
 				for _, row := range raw {
-					if ts, ok := bp.pipe.WatermarkEval(row).(int64); ok && ts > res.maxTs {
+					ts, ok := bp.pipe.WatermarkEval(row).(int64)
+					if !ok {
+						continue
+					}
+					if ts > res.maxTs {
 						res.maxTs = ts
 					}
+					if res.minTs < 0 || ts < res.minTs {
+						res.minTs = ts
+					}
+					res.sumTs += float64(ts)
+					res.cntTs++
 				}
 			}
 			if bp.pipe.KeyEvals == nil {
 				res.direct = bp.pipe.Process(raw)
-				return res, nil
+				return finish(res)
 			}
 			// Push rows straight into shuffle buckets: no intermediate
 			// materialization between the fused pipeline and the shuffle.
@@ -727,7 +816,7 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 				b := int(codec.HashKey(key) % uint64(nPart))
 				res.buckets[b] = append(res.buckets[b], row)
 			})
-			return res, nil
+			return finish(res)
 		}}
 	}
 	results, err := e.clus.RunStage(tasks)
@@ -762,14 +851,35 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 	for i := range pipeMaxSeen {
 		pipeMaxSeen[i] = -1
 	}
+	// Event-time extremes/average over the epoch's raw input, plus each
+	// source's newest event time, for the eventTime progress section.
+	evtMin, evtMax := int64(-1), int64(-1)
+	var evtSum float64
+	var evtCnt int64
+	perSrcMaxTs := map[string]int64{}
 	for ti, r := range results {
 		res := r.(*mapResult)
 		inputRows += res.rows
 		vecRows += res.vecRows
-		perSrcRows[e.pipes[specs[ti].pipeIdx].src.Name()] += res.rows
+		srcName := e.pipes[specs[ti].pipeIdx].src.Name()
+		perSrcRows[srcName] += res.rows
 		if res.maxTs > pipeMaxSeen[specs[ti].pipeIdx] {
 			pipeMaxSeen[specs[ti].pipeIdx] = res.maxTs
 		}
+		if res.maxTs >= 0 {
+			if res.maxTs > evtMax {
+				evtMax = res.maxTs
+			}
+			if m, ok := perSrcMaxTs[srcName]; !ok || res.maxTs > m {
+				perSrcMaxTs[srcName] = res.maxTs
+			}
+		}
+		if res.minTs >= 0 && (evtMin < 0 || res.minTs < evtMin) {
+			evtMin = res.minTs
+		}
+		evtSum += res.sumTs
+		evtCnt += res.cntTs
+		e.health.ObservePartition("map", specs[ti].part, res.rows, time.Duration(res.taskNanos))
 		if res.vecOut != nil {
 			if colOut {
 				if res.vecOut.NumLive() > 0 {
@@ -809,6 +919,7 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 	et.AddStage("execution", mapStart.Add(fetchDur), mapWall-fetchDur)
 	bd["getBatch"] += fetchDur.Microseconds()
 	bd["execution"] += (mapWall - fetchDur).Microseconds()
+	e.health.StampExecute(epoch, mapStart.Add(fetchDur))
 
 	// ---- reduce stage: stateful operator per partition. Wall time splits
 	// into stateCommit (store open + commit) vs execution (op.Process).
@@ -826,12 +937,16 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 		prevVersion := e.lastStateVersion
 		reduceTasks := make([]cluster.Task, nPart)
 		type reduceResult struct {
-			rows []sql.Row
-			keys int64
+			rows  []sql.Row
+			keys  int64
+			nanos int64
 		}
 		for p := 0; p < nPart; p++ {
 			p := p
-			reduceTasks[p] = cluster.Task{Index: p, Fn: func() (any, error) {
+			// NoSpeculate: attempts of the same partition share one *Store
+			// via the provider cache, and a speculative duplicate's Open
+			// would reset the winning attempt's staged state mid-Process.
+			reduceTasks[p] = cluster.Task{Index: p, NoSpeculate: true, Fn: func() (any, error) {
 				openStart := time.Now()
 				store, err := e.prov.Open(state.ID{Operator: op.Name(), Partition: p}, prevVersion)
 				stateNanos.Add(time.Since(openStart).Nanoseconds())
@@ -851,17 +966,18 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 				if err != nil {
 					return nil, err
 				}
-				return &reduceResult{rows: out, keys: int64(store.NumKeys())}, nil
+				return &reduceResult{rows: out, keys: int64(store.NumKeys()), nanos: time.Since(openStart).Nanoseconds()}, nil
 			}}
 		}
 		reduceResults, err := e.clus.RunStage(reduceTasks)
 		if err != nil {
 			return err
 		}
-		for _, r := range reduceResults {
+		for p, r := range reduceResults {
 			rr := r.(*reduceResult)
 			stageRows = append(stageRows, rr.rows...)
 			stateRows += rr.keys
+			e.health.ObservePartition("reduce", p, rr.keys, time.Duration(rr.nanos))
 		}
 		e.lastStateVersion = epoch
 		if du, err := e.prov.DiskUsage(); err == nil {
@@ -944,6 +1060,7 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 	et.EndSpan(spCommit)
 	bd["walCommit"] += time.Since(commitStart).Microseconds()
 	et.SetAttr("committed", 1)
+	e.health.StampCommit(epoch, time.Now())
 	e.committedState.Store(e.lastStateVersion)
 	e.hook.notify(epoch)
 
@@ -982,6 +1099,59 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 	et.SetAttr("outputRows", outCount)
 	if vecRows > 0 {
 		et.SetAttr("vectorizedRows", vecRows)
+	}
+
+	// Watermark-lag telemetry: how far the event-time frontier trails
+	// processing time. −1 (and an absent eventTime section) means the query
+	// has no watermarked pipeline or the watermark has not advanced yet.
+	procUs := time.Now().UnixMicro()
+	hasWM := false
+	for _, bp := range e.pipes {
+		if bp.pipe.WatermarkEval != nil {
+			hasWM = true
+			break
+		}
+	}
+	wmLag := int64(-1)
+	if hasWM && e.watermark > 0 {
+		wmLag = procUs - e.watermark
+	}
+	if wmLag >= 0 {
+		e.reg.Histogram("watermarkLag.us").Observe(wmLag)
+		et.SetAttr("watermarkLagUs", wmLag)
+	}
+	if evtMin >= 0 {
+		et.SetAttr("eventTimeMinUs", evtMin)
+	}
+	if evtMax >= 0 {
+		et.SetAttr("eventTimeMaxUs", evtMax)
+	}
+	var evtProgress *metrics.EventTimeProgress
+	if hasWM {
+		evtProgress = &metrics.EventTimeProgress{WatermarkMicros: e.watermark}
+		if wmLag >= 0 {
+			evtProgress.WatermarkLagUs = wmLag
+		}
+		if evtMax >= 0 {
+			evtProgress.MinMicros = evtMin
+			evtProgress.MaxMicros = evtMax
+			if evtCnt > 0 {
+				evtProgress.AvgMicros = int64(evtSum / float64(evtCnt))
+			}
+		}
+	}
+	// Each source's own watermark candidate (max event time − delay, min
+	// across its watermarked pipelines) yields a per-source lag, so a
+	// single slow source is attributable in the progress event.
+	srcWM := map[string]int64{}
+	for i, bp := range e.pipes {
+		if bp.pipe.WatermarkEval == nil || e.perPipeMax[i] < 0 {
+			continue
+		}
+		wm := e.perPipeMax[i] - bp.pipe.WatermarkDelay
+		if cur, ok := srcWM[bp.src.Name()]; !ok || wm < cur {
+			srcWM[bp.src.Name()] = wm
+		}
 	}
 
 	// Per-stage latency histograms: the source of p50/p95/p99 in /metrics
@@ -1044,7 +1214,17 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 			sp.LatestOffsets = append([]int64(nil), latest...)
 		}
 		if is, ok := e.isrcs[name]; ok {
-			sp.ReadMicros = (is.Stats().ReadNanos - srcStatsBefore[name].ReadNanos) / 1e3
+			st := is.Stats()
+			sp.ReadMicros = (st.ReadNanos - srcStatsBefore[name].ReadNanos) / 1e3
+			sp.ReadErrors = st.Errors
+			sp.LastErrorAtMicros = st.LastErrorAtMicros
+			sp.LastError = st.LastError
+		}
+		if m, ok := perSrcMaxTs[name]; ok {
+			sp.EventTimeMaxMicros = m
+		}
+		if wm, ok := srcWM[name]; ok {
+			sp.WatermarkLagUs = procUs - wm
 		}
 		srcProgress = append(srcProgress, sp)
 	}
@@ -1065,6 +1245,9 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 			CacheMisses:      ps.CacheMisses,
 			SnapshotsWritten: ps.SnapshotsWritten,
 			DeltasWritten:    ps.DeltasWritten,
+		}
+		if wmLag >= 0 {
+			sop.WatermarkLagUs = wmLag
 		}
 		if ps.Backend == state.BackendLSM {
 			sop.Backend = string(ps.Backend)
@@ -1115,6 +1298,7 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 		BackpressureDecision: backpressureDecision,
 		Sources:              srcProgress,
 		Sink:                 sinkProgress,
+		EventTime:            evtProgress,
 		StateOperators:       stateOps,
 		SourceOffsets:        endTotals,
 		IORetries:            e.reg.Counter("ioRetries").Value(),
@@ -1123,6 +1307,14 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 		BacklogRecords:       e.lastBacklog,
 		Restarts:             e.reg.Counter("restarts").Value(),
 		RestartBackoffMillis: e.reg.Gauge("restartBackoffMillis").Value(),
+	})
+	e.health.ObserveEpoch(health.Sample{
+		Epoch:           epoch,
+		LatencyUs:       total.Microseconds(),
+		InputRowsPerSec: metrics.RatePerSec(inputRows, total),
+		BacklogRecords:  e.lastBacklog,
+		WatermarkLagUs:  wmLag,
+		Restarts:        e.reg.Counter("restarts").Value(),
 	})
 	return nil
 }

@@ -256,7 +256,10 @@ func TestDisableTracing(t *testing.T) {
 func TestBackpressureDecisionIsExplainable(t *testing.T) {
 	src := sources.NewMemorySource("events", eventsSchema)
 	q := compile(t, streamScan("events"), logical.Append, nil)
-	sink := &slowSink{inner: sinks.NewMemorySink(), delay: 3 * time.Millisecond}
+	// The delay must dominate WAL fsync time even on a loaded machine
+	// (fsyncs of 5-10ms show up under parallel test load), or the verdict
+	// legitimately — and flakily — blames walCommit instead.
+	sink := &slowSink{inner: sinks.NewMemorySink(), delay: 25 * time.Millisecond}
 	sq := startQuery(t, q, map[string]sources.Source{"events": src}, sink, Options{
 		AdaptiveBackpressure: true,
 		BackpressureTarget:   time.Millisecond,

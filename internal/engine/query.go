@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"structream/internal/fsx"
+	"structream/internal/health"
 	"structream/internal/incremental"
 	"structream/internal/metrics"
 	"structream/internal/sinks"
@@ -182,6 +183,12 @@ func (q *StreamingQuery) finish() {
 		// backend, their block-cache residency). Without this every
 		// supervised restart would leak the previous run's stores.
 		q.exec.prov.Close()
+		// Wait out any in-flight flight-recorder capture so a restart
+		// never races a half-written bundle against its replacement.
+		q.exec.health.Close()
+	}
+	if q.cont != nil {
+		q.cont.health.Close()
 	}
 	close(q.doneCh)
 }
@@ -289,6 +296,20 @@ func (q *StreamingQuery) Tracer() *trace.Tracer {
 	}
 	if q.cont != nil {
 		return q.cont.tracer
+	}
+	return nil
+}
+
+// Health exposes the query's health tracker: latency lineage stamps, the
+// anomaly detector's signal baselines, and the flight-recorder bundle
+// ring. Nil when Options.DisableHealth — every Tracker method is nil-safe,
+// so callers may use the result unconditionally.
+func (q *StreamingQuery) Health() *health.Tracker {
+	if q.exec != nil {
+		return q.exec.health
+	}
+	if q.cont != nil {
+		return q.cont.health
 	}
 	return nil
 }

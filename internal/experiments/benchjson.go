@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -9,11 +10,17 @@ import (
 
 	"structream/internal/engine"
 	"structream/internal/fsx"
+	"structream/internal/health"
+	"structream/internal/incremental"
 	"structream/internal/msgbus"
+	"structream/internal/serve"
 	"structream/internal/sinks"
 	"structream/internal/sources"
 	"structream/internal/sql"
+	"structream/internal/sql/analysis"
 	"structream/internal/sql/codec"
+	"structream/internal/sql/logical"
+	"structream/internal/sql/optimizer"
 )
 
 // BenchScenario is one machine-readable benchmark result in a BenchReport.
@@ -59,6 +66,18 @@ type BenchScenario struct {
 	FramesDelivered int64 `json:"framesDelivered,omitempty"`
 	DeliverP50Us    int64 `json:"deliverP50Us,omitempty"`
 	DeliverP99Us    int64 `json:"deliverP99Us,omitempty"`
+	// EndToEndLatencyP50Us/P99Us are true end-to-end freshness percentiles
+	// — source read to subscriber frame flush — from the health tracker's
+	// endToEndLatency.us histogram. Deliberately not omitempty: the fields
+	// appear in every scenario row (0 where nothing subscribed) so report
+	// consumers and the verify-script grep can rely on their presence.
+	EndToEndLatencyP50Us int64 `json:"endToEndLatencyP50Us"`
+	EndToEndLatencyP99Us int64 `json:"endToEndLatencyP99Us"`
+	// WatermarkLagP50Us/P99Us summarize the watermarkLag.us histogram —
+	// processing time minus the post-commit watermark, per epoch. 0 when
+	// the scenario's query carries no event-time watermark.
+	WatermarkLagP50Us int64 `json:"watermarkLagP50Us"`
+	WatermarkLagP99Us int64 `json:"watermarkLagP99Us"`
 }
 
 // BenchReport is the JSON document `make bench-json` writes to
@@ -84,6 +103,11 @@ type BenchReport struct {
 	// throughput (tracing on for both), i.e. how much the columnar path
 	// buys on this machine.
 	VectorizationSpeedup float64 `json:"vectorizationSpeedup,omitempty"`
+	// HealthOverheadPct is (nohealth − traced) / nohealth × 100 on
+	// microbatch throughput: what the health subsystem (lineage stamps,
+	// detector, event-time telemetry) costs, measured the same best-of way
+	// as TracingOverheadPct. Negative values are run noise.
+	HealthOverheadPct float64 `json:"healthOverheadPct"`
 }
 
 // String renders the report for the terminal.
@@ -106,78 +130,172 @@ func (r BenchReport) String() string {
 			fmt.Fprintf(&b, "   subs %4d  frames %7d  deliver p50 %6dµs  p99 %6dµs",
 				sc.Subscribers, sc.FramesDelivered, sc.DeliverP50Us, sc.DeliverP99Us)
 		}
+		if sc.EndToEndLatencyP99Us > 0 {
+			fmt.Fprintf(&b, "   e2e p50 %6dµs  p99 %6dµs", sc.EndToEndLatencyP50Us, sc.EndToEndLatencyP99Us)
+		}
+		if sc.WatermarkLagP99Us > 0 {
+			fmt.Fprintf(&b, "   wm lag p99 %6dµs", sc.WatermarkLagP99Us)
+		}
 		b.WriteString("\n")
 	}
 	fmt.Fprintf(&b, "  tracing+histogram overhead on microbatch throughput: %.2f%%\n", r.TracingOverheadPct)
+	fmt.Fprintf(&b, "  health-subsystem overhead on microbatch throughput: %.2f%%\n", r.HealthOverheadPct)
 	if r.VectorizationSpeedup > 0 {
 		fmt.Fprintf(&b, "  vectorized over row-path microbatch throughput: %.2fx\n", r.VectorizationSpeedup)
 	}
 	return b.String()
 }
 
-// runMicrobatchBench bulk-processes n preloaded records with the map query
-// under the microbatch engine, split into ~16 rate-limited epochs so the
-// epoch.us histogram has enough samples for percentiles.
-func runMicrobatchBench(n int64, disableTracing, vectorize bool, ckpt string) (BenchScenario, error) {
+// benchTopic preloads the bench workload into a bus topic: n records whose
+// event-time column carries the wall-clock instant the record was built,
+// so watermark lag over the run is real rather than synthetic.
+func benchTopic(n int64) (*msgbus.Topic, error) {
 	const partitions = 4
 	broker := msgbus.NewBroker()
 	topic, err := broker.CreateTopic("in", partitions)
 	if err != nil {
-		return BenchScenario{}, err
+		return nil, err
 	}
 	enc := codec.NewEncoder(32)
 	recs := make([][]msgbus.Record, partitions)
+	produced := time.Now().UnixMicro()
 	for i := int64(0); i < n; i++ {
 		enc.Reset()
-		enc.PutRow(sql.Row{i, int64(0)})
+		enc.PutRow(sql.Row{i, produced})
 		p := int(i) % partitions
 		recs[p] = append(recs[p], msgbus.Record{Value: append([]byte(nil), enc.Bytes()...)})
 	}
 	for p := 0; p < partitions; p++ {
 		if _, err := topic.Append(p, recs[p]...); err != nil {
-			return BenchScenario{}, err
+			return nil, err
 		}
 	}
-	q, err := fig7Query()
+	return topic, nil
+}
+
+// benchQuery is fig7's filter+project map query with an event-time
+// watermark on the produced column, so bench runs exercise the watermark
+// telemetry path the paper's freshness story depends on.
+func benchQuery() (*incremental.Query, error) {
+	plan := logical.Plan(&logical.Project{
+		Child: &logical.Filter{
+			Child: &logical.WithWatermark{
+				Child:  &logical.Scan{Name: "in", Streaming: true, Out: fig7Schema},
+				Column: "produced",
+				Delay:  int64(time.Second / time.Microsecond),
+			},
+			Cond: sql.Ge(sql.Col("value"), sql.Lit(0)),
+		},
+		Exprs: []sql.Expr{sql.Col("value"), sql.Col("produced")},
+	})
+	analyzed, err := analysis.Analyze(plan)
+	if err != nil {
+		return nil, err
+	}
+	return incremental.Compile(optimizer.Optimize(analyzed), logical.Append, nil)
+}
+
+// runMicrobatchBench bulk-processes n preloaded records with the map query
+// under the microbatch engine, split into ~16 rate-limited epochs so the
+// epoch.us histogram has enough samples for percentiles. A published hub
+// with one draining in-process subscriber closes each epoch's latency
+// lineage, so the scenario reports true end-to-end freshness alongside
+// throughput.
+func runMicrobatchBench(n int64, disableTracing, disableHealth, vectorize bool, ckpt string) (BenchScenario, error) {
+	topic, err := benchTopic(n)
+	if err != nil {
+		return BenchScenario{}, err
+	}
+	q, err := benchQuery()
 	if err != nil {
 		return BenchScenario{}, err
 	}
 	src := sources.NewCodecBusSource("in", topic, fig7Schema)
+
+	ms := sinks.NewMemorySink()
+	hub := serve.NewHub("bench", ms, serve.HubOptions{})
+	defer hub.Close()
+	sub, err := hub.Subscribe(serve.SubscribeOptions{Cursor: -1, From: "live", SkipHello: true})
+	if err != nil {
+		return BenchScenario{}, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer sub.Close()
+		for {
+			f, err := sub.Next(ctx)
+			if err != nil {
+				return
+			}
+			hub.Delivered(f)
+		}
+	}()
+
 	start := time.Now()
-	sq, err := engine.Start(q, map[string]sources.Source{"in": src}, sinks.NewMemorySink(), engine.Options{
+	sq, err := engine.Start(q, map[string]sources.Source{"in": src}, ms, engine.Options{
 		Checkpoint:           ckpt,
 		Trigger:              engine.AvailableNowTrigger{},
 		MaxRecordsPerTrigger: n/16 + 1,
 		FS:                   fsx.NoSync(),
 		DisableTracing:       disableTracing,
-		Vectorize:            engine.Bool(vectorize),
+		DisableHealth:        disableHealth,
+		// The scenario measures the health layer's steady-state cost
+		// (stamps, histograms, detector arithmetic). Flight-recorder
+		// capture is an event-driven diagnostic — a jittery warmup epoch
+		// reliably trips the detector, and shutdown waits for the capture
+		// (fsynced bundle files, 250ms CPU profile), which would charge a
+		// one-off to the throughput clock. MinSamples above the run's
+		// epoch count keeps the detector running but baseline-gated.
+		HealthConfig: &health.Config{DisableProfiles: true, MinSamples: 1 << 20},
+		Vectorize:    engine.Bool(vectorize),
 	})
 	if err != nil {
 		return BenchScenario{}, err
 	}
+	hub.Attach(sq)
 	if err := sq.AwaitTermination(); err != nil {
 		return BenchScenario{}, err
 	}
 	elapsed := time.Since(start)
+	// Let the subscriber flush the committed prefix (off the clock: the
+	// scenario's throughput is the engine's, freshness is the consumer's).
+	target := ms.LastEpoch()
+	deadline := time.Now().Add(10 * time.Second)
+	for sub.Cursor() < target && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-done
 	snap := sq.Metrics().Snapshot()
+	hists := sq.Metrics().Histograms()
 	name := "microbatch-throughput"
 	if disableTracing {
 		name += "-untraced"
+	}
+	if disableHealth {
+		name += "-nohealth"
 	}
 	if !vectorize {
 		name += "-rowpath"
 	}
 	return BenchScenario{
-		Name:          name,
-		Mode:          "microbatch",
-		Traced:        !disableTracing,
-		Vectorized:    vectorize,
-		Events:        n,
-		Epochs:        snap["epochs"],
-		ElapsedMillis: elapsed.Milliseconds(),
-		RowsPerSec:    float64(n) / elapsed.Seconds(),
-		EpochP50Us:    snap["epoch.us.p50"],
-		EpochP99Us:    snap["epoch.us.p99"],
+		Name:                 name,
+		Mode:                 "microbatch",
+		Traced:               !disableTracing,
+		Vectorized:           vectorize,
+		Events:               n,
+		Epochs:               snap["epochs"],
+		ElapsedMillis:        elapsed.Milliseconds(),
+		RowsPerSec:           float64(n) / elapsed.Seconds(),
+		EpochP50Us:           snap["epoch.us.p50"],
+		EpochP99Us:           snap["epoch.us.p99"],
+		EndToEndLatencyP50Us: hists["endToEndLatency.us"].P50,
+		EndToEndLatencyP99Us: hists["endToEndLatency.us"].P99,
+		WatermarkLagP50Us:    hists["watermarkLag.us"].P50,
+		WatermarkLagP99Us:    hists["watermarkLag.us"].P99,
 	}, nil
 }
 
@@ -204,7 +322,7 @@ func RunBenchSuite(events int, rounds int, tempDir func() string) (BenchReport, 
 	// One discarded warmup run: the first run through the engine pays
 	// allocator growth and lazy-init costs that would otherwise be charged
 	// to whichever variant happens to go first.
-	if _, err := runMicrobatchBench(int64(events), false, true, tempDir()); err != nil {
+	if _, err := runMicrobatchBench(int64(events), false, false, true, tempDir()); err != nil {
 		return BenchReport{}, err
 	}
 	// Alternating rounds: the variant order flips every round so the warm
@@ -214,7 +332,7 @@ func RunBenchSuite(events int, rounds int, tempDir func() string) (BenchReport, 
 	var traced, untraced BenchScenario
 	runVariant := func(disableTracing bool) error {
 		runtime.GC()
-		sc, err := runMicrobatchBench(int64(events), disableTracing, true, tempDir())
+		sc, err := runMicrobatchBench(int64(events), disableTracing, false, true, tempDir())
 		if err != nil {
 			return err
 		}
@@ -243,12 +361,31 @@ func RunBenchSuite(events int, rounds int, tempDir func() string) (BenchReport, 
 		report.TracingOverheadPct = 100 * (untraced.RowsPerSec - traced.RowsPerSec) / untraced.RowsPerSec
 	}
 
+	// Health-overhead dimension: the same workload with the health
+	// subsystem pinned off (tracing on), so the report carries what the
+	// lineage/detector/event-time layer costs on this machine.
+	var nohealth BenchScenario
+	for i := 0; i < rounds; i++ {
+		runtime.GC()
+		sc, err := runMicrobatchBench(int64(events), false, true, true, tempDir())
+		if err != nil {
+			return BenchReport{}, err
+		}
+		if sc.RowsPerSec > nohealth.RowsPerSec {
+			nohealth = sc
+		}
+	}
+	report.Scenarios = append(report.Scenarios, nohealth)
+	if nohealth.RowsPerSec > 0 {
+		report.HealthOverheadPct = 100 * (nohealth.RowsPerSec - traced.RowsPerSec) / nohealth.RowsPerSec
+	}
+
 	// Row-path dimension: the same workload with the columnar path forced
 	// off, so the report carries the vectorization delta on this machine.
 	var rowpath BenchScenario
 	for i := 0; i < rounds; i++ {
 		runtime.GC()
-		sc, err := runMicrobatchBench(int64(events), false, false, tempDir())
+		sc, err := runMicrobatchBench(int64(events), false, false, false, tempDir())
 		if err != nil {
 			return BenchReport{}, err
 		}

@@ -10,13 +10,11 @@ import (
 
 	"structream/internal/engine"
 	"structream/internal/fsx"
+	"structream/internal/health"
 	"structream/internal/metrics"
-	"structream/internal/msgbus"
 	"structream/internal/serve"
 	"structream/internal/sinks"
 	"structream/internal/sources"
-	"structream/internal/sql"
-	"structream/internal/sql/codec"
 )
 
 // runServeFanout measures the live serving layer under wide fan-out: the
@@ -27,26 +25,11 @@ import (
 // its percentiles bound what a network client would see on top of the
 // wire.
 func runServeFanout(n int64, subscribers int, ckpt string) (BenchScenario, error) {
-	const partitions = 4
-	broker := msgbus.NewBroker()
-	topic, err := broker.CreateTopic("in", partitions)
+	topic, err := benchTopic(n)
 	if err != nil {
 		return BenchScenario{}, err
 	}
-	enc := codec.NewEncoder(32)
-	recs := make([][]msgbus.Record, partitions)
-	for i := int64(0); i < n; i++ {
-		enc.Reset()
-		enc.PutRow(sql.Row{i, int64(0)})
-		p := int(i) % partitions
-		recs[p] = append(recs[p], msgbus.Record{Value: append([]byte(nil), enc.Bytes()...)})
-	}
-	for p := 0; p < partitions; p++ {
-		if _, err := topic.Append(p, recs[p]...); err != nil {
-			return BenchScenario{}, err
-		}
-	}
-	q, err := fig7Query()
+	q, err := benchQuery()
 	if err != nil {
 		return BenchScenario{}, err
 	}
@@ -81,6 +64,7 @@ func runServeFanout(n int64, subscribers int, ckpt string) (BenchScenario, error
 					if f.EmitMicros > 0 {
 						lat.Observe(time.Now().UnixMicro() - f.EmitMicros)
 					}
+					hub.Delivered(f)
 					delivered.Add(1)
 				}
 			}
@@ -93,6 +77,9 @@ func runServeFanout(n int64, subscribers int, ckpt string) (BenchScenario, error
 		Trigger:              engine.AvailableNowTrigger{},
 		MaxRecordsPerTrigger: n/16 + 1,
 		FS:                   fsx.NoSync(),
+		// No flight-recorder captures inside the timed window — see the
+		// HealthConfig comment in runMicrobatchBench.
+		HealthConfig: &health.Config{DisableProfiles: true, MinSamples: 1 << 20},
 	})
 	if err != nil {
 		return BenchScenario{}, err
@@ -126,18 +113,23 @@ func runServeFanout(n int64, subscribers int, ckpt string) (BenchScenario, error
 			got, want, subscribers, target+1)
 	}
 	snap := lat.Snapshot()
+	hists := sq.Metrics().Histograms()
 	return BenchScenario{
-		Name:            "serve-fanout",
-		Mode:            "microbatch",
-		Traced:          true,
-		Vectorized:      true,
-		Events:          n,
-		Epochs:          target + 1,
-		Subscribers:     subscribers,
-		FramesDelivered: delivered.Load(),
-		ElapsedMillis:   elapsed.Milliseconds(),
-		RowsPerSec:      float64(n) / elapsed.Seconds(),
-		DeliverP50Us:    snap.P50,
-		DeliverP99Us:    snap.P99,
+		Name:                 "serve-fanout",
+		Mode:                 "microbatch",
+		Traced:               true,
+		Vectorized:           true,
+		Events:               n,
+		Epochs:               target + 1,
+		Subscribers:          subscribers,
+		FramesDelivered:      delivered.Load(),
+		ElapsedMillis:        elapsed.Milliseconds(),
+		RowsPerSec:           float64(n) / elapsed.Seconds(),
+		DeliverP50Us:         snap.P50,
+		DeliverP99Us:         snap.P99,
+		EndToEndLatencyP50Us: hists["endToEndLatency.us"].P50,
+		EndToEndLatencyP99Us: hists["endToEndLatency.us"].P99,
+		WatermarkLagP50Us:    hists["watermarkLag.us"].P50,
+		WatermarkLagP99Us:    hists["watermarkLag.us"].P99,
 	}, nil
 }

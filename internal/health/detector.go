@@ -1,0 +1,136 @@
+package health
+
+import (
+	"math"
+	"sort"
+)
+
+// The anomaly detector keeps a rolling baseline per signal — a bounded
+// ring of recent samples — and trips when a new sample deviates from that
+// baseline both multiplicatively (v > mean×Mult) and, when the baseline
+// has spread, statistically (z-score above ZScore). Requiring both keeps
+// the detector quiet on two classic false-positive shapes: a tight
+// baseline where tiny absolute jitter yields huge z-scores (the
+// multiplicative bound filters it), and a noisy baseline where large
+// absolute excursions are normal (the z-score bound filters it).
+//
+// Signals are direction-aware: latency, backlog, watermark lag, and
+// restart rate are anomalous when HIGH; throughput is anomalous when LOW
+// (a stall, not a burst, is the problem). Outliers still enter the ring,
+// so a permanent regime change re-baselines within one window instead of
+// tripping forever; the capture cooldown in the Tracker bounds how many
+// bundles a sustained anomaly can cost.
+
+type direction int
+
+const (
+	high direction = +1 // anomalous when above baseline
+	low  direction = -1 // anomalous when below baseline
+)
+
+type signal struct {
+	name  string
+	dir   direction
+	ring  []float64
+	next  int
+	n     int
+	last  float64
+	trips int64
+}
+
+type detector struct {
+	window     int
+	minSamples int
+	mult       float64
+	zscore     float64
+	signals    map[string]*signal
+}
+
+func newDetector(window, minSamples int, mult, zscore float64) *detector {
+	return &detector{
+		window:     window,
+		minSamples: minSamples,
+		mult:       mult,
+		zscore:     zscore,
+		signals:    make(map[string]*signal),
+	}
+}
+
+// observe feeds one sample and returns a non-nil Anomaly on trip. Caller
+// holds the Tracker mutex.
+func (d *detector) observe(name string, v float64, dir direction) *Anomaly {
+	sig := d.signals[name]
+	if sig == nil {
+		sig = &signal{name: name, dir: dir, ring: make([]float64, 0, d.window)}
+		d.signals[name] = sig
+	}
+	mean, std := sig.baseline()
+	tripped := false
+	if sig.n >= d.minSamples {
+		switch dir {
+		case high:
+			// A mean==0 baseline (e.g. restarts) trips on any positive v.
+			if v > mean*d.mult && (std == 0 || (v-mean)/std > d.zscore) {
+				tripped = true
+			}
+		case low:
+			if mean > 0 && v < mean/d.mult && (std == 0 || (mean-v)/std > d.zscore) {
+				tripped = true
+			}
+		}
+	}
+	sig.push(v, d.window)
+	sig.last = v
+	if !tripped {
+		return nil
+	}
+	sig.trips++
+	return &Anomaly{Signal: name, Value: v, Mean: mean, Std: std}
+}
+
+func (s *signal) push(v float64, window int) {
+	if len(s.ring) < window {
+		s.ring = append(s.ring, v)
+	} else {
+		s.ring[s.next] = v
+		s.next = (s.next + 1) % window
+	}
+	s.n++
+}
+
+// baseline returns the mean and standard deviation of the ring contents
+// (the samples *before* the one being judged).
+func (s *signal) baseline() (mean, std float64) {
+	if len(s.ring) == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, v := range s.ring {
+		sum += v
+	}
+	mean = sum / float64(len(s.ring))
+	var varsum float64
+	for _, v := range s.ring {
+		d := v - mean
+		varsum += d * d
+	}
+	return mean, math.Sqrt(varsum / float64(len(s.ring)))
+}
+
+// statuses snapshots every signal for the health report, name-ordered.
+func (d *detector) statuses() []SignalStatus {
+	out := make([]SignalStatus, 0, len(d.signals))
+	for _, sig := range d.signals {
+		mean, std := sig.baseline()
+		out = append(out, SignalStatus{
+			Name:    sig.name,
+			Last:    sig.last,
+			Mean:    mean,
+			Std:     std,
+			Samples: sig.n,
+			Trips:   sig.trips,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

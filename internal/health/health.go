@@ -1,0 +1,522 @@
+// Package health is the streaming health subsystem: end-to-end latency
+// lineage, watermark-lag telemetry, and an anomaly-triggered flight
+// recorder. The paper's promise is prefix-consistent answers with bounded
+// end-to-end latency (§3–§4); this package makes that latency *observable*
+// — not just per-stage durations, but the full source-read →
+// subscriber-frame-flushed lineage of every epoch — and captures a
+// diagnostic bundle at the moment an epoch deviates from its own rolling
+// baseline, when the evidence (traces, profiles, progress history) still
+// exists.
+//
+// Everything here is nil-safe: a nil *Tracker ignores every call, so the
+// engine and serving layers stamp unconditionally and pay nothing when
+// health is disabled.
+package health
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"structream/internal/fsx"
+	"structream/internal/metrics"
+	"structream/internal/trace"
+)
+
+// Clock is the injectable time source. Both the detector and the recorder
+// consult it, so anomaly→capture is deterministically testable.
+type Clock func() time.Time
+
+// Stamp is one epoch's latency lineage: the wall-clock instants at which
+// its data was read from the source, admitted for planning, entered
+// execution, was durably committed, and was last flushed to a subscriber.
+// Zero means "not reached yet". DeliverMicros advances monotonically as
+// more subscribers flush the epoch's frame.
+type Stamp struct {
+	Epoch         int64 `json:"epoch"`
+	IngestMicros  int64 `json:"ingestMicros,omitempty"`
+	AdmitMicros   int64 `json:"admitMicros,omitempty"`
+	ExecuteMicros int64 `json:"executeMicros,omitempty"`
+	CommitMicros  int64 `json:"commitMicros,omitempty"`
+	DeliverMicros int64 `json:"deliverMicros,omitempty"`
+}
+
+// EndToEndMicros is the freshness of the epoch as seen by the slowest
+// subscriber so far: deliver − ingest, or 0 if either end is unstamped.
+func (s Stamp) EndToEndMicros() int64 {
+	if s.IngestMicros == 0 || s.DeliverMicros == 0 {
+		return 0
+	}
+	return s.DeliverMicros - s.IngestMicros
+}
+
+// Sample is one epoch's detector input, produced by the engine on the
+// commit path. WatermarkLagUs < 0 means "no watermarked pipeline" and the
+// signal is skipped for that epoch.
+type Sample struct {
+	Epoch           int64
+	LatencyUs       int64
+	InputRowsPerSec float64
+	BacklogRecords  int64
+	WatermarkLagUs  int64
+	Restarts        int64
+}
+
+// PartitionStat is the per-partition accounting hook laid down for the
+// sharded-execution refactor: rows and time attributed to one partition of
+// one stage. Until execution is actually partitioned, everything lands in
+// partition 0.
+type PartitionStat struct {
+	Stage     string `json:"stage"`
+	Partition int    `json:"partition"`
+	Rows      int64  `json:"rows"`
+	Micros    int64  `json:"micros"`
+}
+
+// Config wires a Tracker to its query's telemetry and its bundle
+// directory. Zero values get sane defaults from New.
+type Config struct {
+	Query string
+	// Dir is the bundle ring directory. Empty disables the recorder (the
+	// detector still runs and Report still surfaces anomalies).
+	Dir string
+	// FS is the filesystem bundles are written through (default fsx.Real).
+	FS fsx.FS
+	// Clock is the injectable time source (default time.Now).
+	Clock Clock
+
+	// MaxBundles bounds the on-disk bundle ring (default 8).
+	MaxBundles int
+	// Window is the rolling-baseline ring size per signal (default 64).
+	Window int
+	// MinSamples gates the detector until a baseline exists (default 8).
+	MinSamples int
+	// Mult is the multiplicative trip threshold: a sample is anomalous
+	// when it exceeds Mult× the rolling mean (default 3).
+	Mult float64
+	// ZScore is the z-score trip threshold applied when the baseline has
+	// nonzero spread (default 4).
+	ZScore float64
+	// CooldownEpochs suppresses re-capture for this many epochs after a
+	// trip, so a sustained anomaly yields one bundle, not one per epoch
+	// (default 32).
+	CooldownEpochs int64
+
+	// CPUProfileDuration is how long the capture's CPU profile runs
+	// (default 250ms; 0 with DisableProfiles skips profiles entirely).
+	CPUProfileDuration time.Duration
+	// DisableProfiles skips the pprof CPU/heap profiles and goroutine
+	// dump — for tests that need byte-deterministic bundles.
+	DisableProfiles bool
+	// SyncCapture runs bundle capture inline on the ObserveEpoch call
+	// instead of a background goroutine — for deterministic tests.
+	SyncCapture bool
+
+	// Registry receives the endToEndLatency.us observations made when
+	// deliver stamps land, and is snapshotted into bundles.
+	Registry *metrics.Registry
+	// Tracer's recent epoch window is exported into bundles.
+	Tracer *trace.Tracer
+	// Events' recent progress history is exported into bundles.
+	Events *metrics.EventLog
+}
+
+// stampRing bounds lineage memory: stamps for the most recent stampSlots
+// epochs, indexed by epoch modulo the ring size.
+const stampSlots = 256
+
+// Tracker is one query's health state: the lineage stamp ring, the
+// anomaly detector, the per-partition accumulators, and the flight
+// recorder. All methods are safe on a nil receiver and safe for
+// concurrent use.
+type Tracker struct {
+	cfg Config
+
+	mu       sync.Mutex
+	stamps   [stampSlots]Stamp
+	det      *detector
+	parts    map[string][]PartitionStat
+	last     Sample
+	lastSeen int64 // restarts value at the previous sample, for the rate signal
+	haveSeen bool
+
+	captureMu  sync.Mutex // serializes bundle captures
+	capturing  bool
+	seq        int
+	lastTrip   *Anomaly
+	cooldownTo int64 // epoch until which captures are suppressed
+
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// New builds a Tracker. A nil return (on nil-disabled configs) is itself
+// usable: every method no-ops.
+func New(cfg Config) *Tracker {
+	if cfg.FS == nil {
+		cfg.FS = fsx.Real()
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	if cfg.MaxBundles <= 0 {
+		cfg.MaxBundles = 8
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 64
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = 8
+	}
+	if cfg.Mult <= 1 {
+		cfg.Mult = 3
+	}
+	if cfg.ZScore <= 0 {
+		cfg.ZScore = 4
+	}
+	if cfg.CooldownEpochs <= 0 {
+		cfg.CooldownEpochs = 32
+	}
+	if cfg.CPUProfileDuration <= 0 {
+		cfg.CPUProfileDuration = 250 * time.Millisecond
+	}
+	t := &Tracker{cfg: cfg, parts: make(map[string][]PartitionStat)}
+	t.det = newDetector(cfg.Window, cfg.MinSamples, cfg.Mult, cfg.ZScore)
+	return t
+}
+
+// Close waits for any in-flight background capture to finish.
+func (t *Tracker) Close() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+	t.wg.Wait()
+}
+
+// ------------------------------------------------------------- stamping
+
+func (t *Tracker) slot(epoch int64) *Stamp {
+	s := &t.stamps[epoch%stampSlots]
+	if s.Epoch != epoch {
+		if s.Epoch > epoch {
+			return nil // a newer epoch already owns the slot
+		}
+		*s = Stamp{Epoch: epoch}
+	}
+	return s
+}
+
+// StampIngest records when the epoch's data was read from its source.
+// The earliest stamp wins: with several sources, freshness is measured
+// from the oldest data in the batch.
+func (t *Tracker) StampIngest(epoch int64, at time.Time) {
+	if t == nil {
+		return
+	}
+	us := at.UnixMicro()
+	t.mu.Lock()
+	if s := t.slot(epoch); s != nil && (s.IngestMicros == 0 || us < s.IngestMicros) {
+		s.IngestMicros = us
+	}
+	t.mu.Unlock()
+}
+
+// StampAdmit records when the epoch passed admission control and began
+// planning.
+func (t *Tracker) StampAdmit(epoch int64, at time.Time) {
+	t.stampOnce(epoch, at, func(s *Stamp, us int64) {
+		if s.AdmitMicros == 0 {
+			s.AdmitMicros = us
+		}
+	})
+}
+
+// StampExecute records when the epoch's operator pipeline started running.
+func (t *Tracker) StampExecute(epoch int64, at time.Time) {
+	t.stampOnce(epoch, at, func(s *Stamp, us int64) {
+		if s.ExecuteMicros == 0 {
+			s.ExecuteMicros = us
+		}
+	})
+}
+
+// StampCommit records when the epoch became durable (WAL commit marker).
+func (t *Tracker) StampCommit(epoch int64, at time.Time) {
+	t.stampOnce(epoch, at, func(s *Stamp, us int64) {
+		if s.CommitMicros == 0 {
+			s.CommitMicros = us
+		}
+	})
+}
+
+func (t *Tracker) stampOnce(epoch int64, at time.Time, set func(*Stamp, int64)) {
+	if t == nil {
+		return
+	}
+	us := at.UnixMicro()
+	t.mu.Lock()
+	if s := t.slot(epoch); s != nil {
+		set(s, us)
+	}
+	t.mu.Unlock()
+}
+
+// StampDeliver records that a subscriber flushed the epoch's frame at
+// `at`, advancing the epoch's deliver watermark and observing the full
+// source-read → frame-flushed latency into endToEndLatency.us. Called
+// once per subscriber per epoch by the serving layer.
+func (t *Tracker) StampDeliver(epoch int64, at time.Time) {
+	if t == nil {
+		return
+	}
+	us := at.UnixMicro()
+	var e2e int64 = -1
+	t.mu.Lock()
+	if s := t.slot(epoch); s != nil {
+		if us > s.DeliverMicros {
+			s.DeliverMicros = us
+		}
+		if s.IngestMicros > 0 {
+			e2e = us - s.IngestMicros
+		}
+	}
+	t.mu.Unlock()
+	if e2e >= 0 && t.cfg.Registry != nil {
+		t.cfg.Registry.Histogram("endToEndLatency.us").Observe(e2e)
+	}
+}
+
+// Stamp returns the lineage of one epoch, if it is still in the ring.
+func (t *Tracker) Stamp(epoch int64) (Stamp, bool) {
+	if t == nil {
+		return Stamp{}, false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := t.stamps[epoch%stampSlots]
+	return s, s.Epoch == epoch && s != (Stamp{})
+}
+
+// RecentStamps returns up to n of the newest stamps, oldest first.
+func (t *Tracker) RecentStamps(n int) []Stamp {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	all := make([]Stamp, 0, stampSlots)
+	for _, s := range t.stamps {
+		if s != (Stamp{}) {
+			all = append(all, s)
+		}
+	}
+	t.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].Epoch < all[j].Epoch })
+	if len(all) > n {
+		all = all[len(all)-n:]
+	}
+	return all
+}
+
+// ----------------------------------------------------------- partitions
+
+// ObservePartition accumulates rows/time attributed to one partition of a
+// stage. The sharded-execution refactor will call this per worker; today
+// the engine calls it with partition 0, so the surface (and its report
+// plumbing) is already exercised.
+func (t *Tracker) ObservePartition(stage string, partition int, rows int64, d time.Duration) {
+	if t == nil || partition < 0 {
+		return
+	}
+	t.mu.Lock()
+	cells := t.parts[stage]
+	for len(cells) <= partition {
+		cells = append(cells, PartitionStat{Stage: stage, Partition: len(cells)})
+	}
+	cells[partition].Rows += rows
+	cells[partition].Micros += d.Microseconds()
+	t.parts[stage] = cells
+	t.mu.Unlock()
+}
+
+// --------------------------------------------------------- the detector
+
+// ObserveEpoch feeds one committed epoch's signals to the anomaly
+// detector; a trip captures a flight-recorder bundle (in the background,
+// unless Config.SyncCapture).
+func (t *Tracker) ObserveEpoch(s Sample) {
+	if t == nil {
+		return
+	}
+	now := t.cfg.Clock()
+	t.mu.Lock()
+	restartDelta := s.Restarts
+	if t.haveSeen {
+		restartDelta = s.Restarts - t.lastSeen
+	}
+	t.lastSeen = s.Restarts
+	t.haveSeen = true
+	t.last = s
+
+	var trip *Anomaly
+	check := func(name string, v float64, dir direction) {
+		a := t.det.observe(name, v, dir)
+		if a != nil && trip == nil {
+			trip = a
+		}
+	}
+	check("epochLatencyUs", float64(s.LatencyUs), high)
+	if s.InputRowsPerSec > 0 {
+		check("inputRowsPerSec", s.InputRowsPerSec, low)
+	}
+	check("backlogRecords", float64(s.BacklogRecords), high)
+	if s.WatermarkLagUs >= 0 {
+		check("watermarkLagUs", float64(s.WatermarkLagUs), high)
+	}
+	check("restartsPerEpoch", float64(restartDelta), high)
+
+	capture := false
+	if trip != nil {
+		trip.Epoch = s.Epoch
+		trip.AtMicros = now.UnixMicro()
+		t.lastTrip = trip
+		if s.Epoch >= t.cooldownTo && !t.capturing && !t.closed {
+			t.cooldownTo = s.Epoch + t.cfg.CooldownEpochs
+			t.capturing = true
+			capture = true
+		}
+	}
+	closed := t.closed
+	t.mu.Unlock()
+
+	if !capture || closed {
+		return
+	}
+	if t.cfg.SyncCapture {
+		t.runCapture(*trip)
+		return
+	}
+	t.wg.Add(1)
+	go func() {
+		defer t.wg.Done()
+		t.runCapture(*trip)
+	}()
+}
+
+func (t *Tracker) runCapture(a Anomaly) {
+	defer func() {
+		t.mu.Lock()
+		t.capturing = false
+		t.mu.Unlock()
+	}()
+	id, err := t.capture(a)
+	t.mu.Lock()
+	if t.lastTrip != nil && t.lastTrip.Signal == a.Signal && t.lastTrip.Epoch == a.Epoch {
+		if err != nil {
+			t.lastTrip.CaptureError = err.Error()
+		} else {
+			t.lastTrip.BundleID = id
+		}
+	}
+	t.mu.Unlock()
+}
+
+// --------------------------------------------------------------- report
+
+// SignalStatus is one detector signal's rolling state for the report.
+type SignalStatus struct {
+	Name    string  `json:"name"`
+	Last    float64 `json:"last"`
+	Mean    float64 `json:"mean"`
+	Std     float64 `json:"std"`
+	Samples int     `json:"samples"`
+	Trips   int64   `json:"trips"`
+}
+
+// Anomaly describes one detector trip.
+type Anomaly struct {
+	Epoch        int64   `json:"epoch"`
+	Signal       string  `json:"signal"`
+	Value        float64 `json:"value"`
+	Mean         float64 `json:"mean"`
+	Std          float64 `json:"std"`
+	AtMicros     int64   `json:"atMicros"`
+	BundleID     string  `json:"bundleId,omitempty"`
+	CaptureError string  `json:"captureError,omitempty"`
+}
+
+// Report is the answer to GET /queries/{name}/health and `ssql :health`.
+type Report struct {
+	Query       string          `json:"query"`
+	Status      string          `json:"status"` // "ok" | "anomalous"
+	Signals     []SignalStatus  `json:"signals"`
+	LastAnomaly *Anomaly        `json:"lastAnomaly,omitempty"`
+	Stamps      []Stamp         `json:"recentStamps,omitempty"`
+	Partitions  []PartitionStat `json:"partitions,omitempty"`
+	Bundles     []BundleInfo    `json:"bundles,omitempty"`
+}
+
+// Health assembles the current report. Bundle listing reads the on-disk
+// ring, so the report reflects retention, not just memory.
+func (t *Tracker) Health() Report {
+	if t == nil {
+		return Report{Status: "disabled"}
+	}
+	t.mu.Lock()
+	r := Report{
+		Query:   t.cfg.Query,
+		Status:  "ok",
+		Signals: t.det.statuses(),
+	}
+	if t.lastTrip != nil {
+		a := *t.lastTrip
+		r.LastAnomaly = &a
+		if t.last.Epoch < t.cooldownTo {
+			r.Status = "anomalous"
+		}
+	}
+	for _, cells := range t.parts {
+		r.Partitions = append(r.Partitions, cells...)
+	}
+	t.mu.Unlock()
+	sort.Slice(r.Partitions, func(i, j int) bool {
+		if r.Partitions[i].Stage != r.Partitions[j].Stage {
+			return r.Partitions[i].Stage < r.Partitions[j].Stage
+		}
+		return r.Partitions[i].Partition < r.Partitions[j].Partition
+	})
+	r.Stamps = t.RecentStamps(8)
+	if bs, err := t.Bundles(); err == nil {
+		r.Bundles = bs
+	}
+	return r
+}
+
+// ---------------------------------------------------------------- names
+
+// sanitizeName maps a query name to a filesystem-safe bundle prefix.
+func sanitizeName(q string) string {
+	if q == "" {
+		return "query"
+	}
+	var b strings.Builder
+	for _, r := range q {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteRune('_')
+		}
+	}
+	return b.String()
+}
+
+func (t *Tracker) bundleDir(seq int, atMicros int64) (id, dir string) {
+	id = fmt.Sprintf("%s-%04d-%d", sanitizeName(t.cfg.Query), seq, atMicros)
+	return id, filepath.Join(t.cfg.Dir, id)
+}

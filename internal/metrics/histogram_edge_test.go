@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestHistogramEmptySnapshot: every statistic of an untouched histogram
+// is zero — quantiles must not invent values from empty buckets.
+func TestHistogramEmptySnapshot(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s != (HistogramSnapshot{}) {
+		t.Errorf("empty snapshot = %+v, want all zeros", s)
+	}
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if v := h.Quantile(q); v != 0 {
+			t.Errorf("empty Quantile(%v) = %d, want 0", q, v)
+		}
+	}
+}
+
+// TestHistogramSingleBucketQuantiles: when every observation lands in one
+// bucket, all quantiles agree, exact below the unit-bucket boundary and
+// max-capped above it.
+func TestHistogramSingleBucketQuantiles(t *testing.T) {
+	var small Histogram
+	for i := 0; i < 1000; i++ {
+		small.Observe(7) // exact unit bucket
+	}
+	s := small.Snapshot()
+	if s.P50 != 7 || s.P95 != 7 || s.P99 != 7 || s.Max != 7 {
+		t.Errorf("unit-bucket quantiles = %+v, want all 7", s)
+	}
+
+	var big Histogram
+	for i := 0; i < 1000; i++ {
+		big.Observe(100_000) // log-spaced bucket: midpoint capped at max
+	}
+	b := big.Snapshot()
+	if b.P50 != 100_000 || b.P99 != 100_000 || b.Max != 100_000 {
+		t.Errorf("log-bucket quantiles = %+v, want all capped at 100000", b)
+	}
+	if b.Count != 1000 || b.Sum != 100_000_000 {
+		t.Errorf("count/sum = %d/%d", b.Count, b.Sum)
+	}
+
+	// Quantile edges: q<=0 is the lowest occupied bucket, q>=1 the max.
+	var mixed Histogram
+	mixed.Observe(3)
+	mixed.Observe(500)
+	if v := mixed.Quantile(0); v != 3 {
+		t.Errorf("Quantile(0) = %d, want 3", v)
+	}
+	if v := mixed.Quantile(1); v != 500 {
+		t.Errorf("Quantile(1) = %d, want exact max 500", v)
+	}
+}
+
+// TestHistogramConcurrentObserveSnapshot hammers Observe from several
+// goroutines while snapshots are taken — the histogram is lock-free, so
+// this is primarily a -race exercise, plus sanity bounds on what a
+// mid-flight snapshot may report.
+func TestHistogramConcurrentObserveSnapshot(t *testing.T) {
+	var h Histogram
+	const writers, perWriter = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				h.Observe(seed + int64(i)%100)
+			}
+		}(int64(w + 1))
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		s := h.Snapshot()
+		if s.Count < 0 || s.Sum < 0 || s.Count > writers*perWriter {
+			t.Fatalf("impossible mid-flight snapshot: %+v", s)
+		}
+		if s.Max > 107 { // largest possible observation: seed 8 + 99
+			t.Fatalf("max %d beyond any observed value", s.Max)
+		}
+		select {
+		case <-done:
+			final := h.Snapshot()
+			if final.Count != writers*perWriter {
+				t.Fatalf("final count = %d, want %d", final.Count, writers*perWriter)
+			}
+			if final.P50 > final.Max || final.P99 > final.Max {
+				t.Fatalf("quantiles exceed max: %+v", final)
+			}
+			return
+		default:
+		}
+	}
+}

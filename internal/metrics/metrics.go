@@ -117,6 +117,29 @@ func (r *Registry) Snapshot() map[string]int64 {
 	return out
 }
 
+// Counters returns the current value of every counter by name. The
+// Prometheus exposition renderer uses it to type counter series.
+func (r *Registry) Counters() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// Gauges returns the current value of every gauge by name.
+func (r *Registry) Gauges() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.gauges))
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	return out
+}
+
 // Histograms returns a snapshot of every histogram by name.
 func (r *Registry) Histograms() map[string]HistogramSnapshot {
 	r.mu.Lock()
@@ -161,6 +184,18 @@ type SourceProgress struct {
 	InputRowsPerSec float64 `json:"inputRowsPerSecond"`
 	// ReadMicros is the summed source-read time across this epoch's tasks.
 	ReadMicros int64 `json:"readMicros,omitempty"`
+	// EventTimeMaxMicros is the newest event time this source contributed
+	// this epoch; WatermarkLagUs is processing time minus this source's own
+	// watermark candidate (max event time − declared delay). Both are
+	// omitted for sources feeding no watermarked pipeline.
+	EventTimeMaxMicros int64 `json:"eventTimeMaxMicros,omitempty"`
+	WatermarkLagUs     int64 `json:"watermarkLagUs,omitempty"`
+	// ReadErrors counts failed reads against this source since the query
+	// started (including retried transient failures); LastErrorAtMicros and
+	// LastError describe the most recent one.
+	ReadErrors        int64  `json:"readErrors,omitempty"`
+	LastErrorAtMicros int64  `json:"lastErrorAtMicros,omitempty"`
+	LastError         string `json:"lastError,omitempty"`
 }
 
 // SinkProgress is the per-sink section of QueryProgress.
@@ -201,6 +236,27 @@ type StateOperatorProgress struct {
 	// spent blocked on the backlog ceiling running maintenance inline.
 	FlushBacklog       int64 `json:"flushBacklog,omitempty"`
 	MaintenanceStallUs int64 `json:"maintenanceStallUs,omitempty"`
+	// WatermarkLagUs is processing time minus the watermark this operator
+	// ran under — how far behind real time its event-time frontier is.
+	WatermarkLagUs int64 `json:"watermarkLagUs,omitempty"`
+}
+
+// EventTimeProgress is the epoch's event-time section, mirroring Spark's
+// eventTime block: the min/avg/max event time observed across this
+// epoch's raw input rows, the watermark in force, and the watermark's lag
+// behind processing time. Present only for queries with at least one
+// watermarked pipeline.
+type EventTimeProgress struct {
+	MinMicros int64 `json:"minMicros,omitempty"`
+	AvgMicros int64 `json:"avgMicros,omitempty"`
+	MaxMicros int64 `json:"maxMicros,omitempty"`
+	// WatermarkMicros duplicates QueryProgress.WatermarkMicros so the
+	// section is self-contained for consumers that only read eventTime.
+	WatermarkMicros int64 `json:"watermarkMicros"`
+	// WatermarkLagUs is processing time minus the watermark — the staleness
+	// bound on what stateful operators may still revise. Omitted until the
+	// watermark first advances.
+	WatermarkLagUs int64 `json:"watermarkLagUs,omitempty"`
 }
 
 // QueryProgress describes one epoch of a streaming query, mirroring
@@ -242,6 +298,10 @@ type QueryProgress struct {
 	BackpressureDecision string           `json:"backpressureDecision,omitempty"`
 	Sources              []SourceProgress `json:"sources,omitempty"`
 	Sink                 *SinkProgress    `json:"sink,omitempty"`
+	// EventTime is the epoch's event-time telemetry (min/avg/max event
+	// time, watermark, watermark lag); nil for queries with no watermarked
+	// pipeline.
+	EventTime *EventTimeProgress `json:"eventTime,omitempty"`
 	// StateOperators reports per-stateful-operator state store activity.
 	StateOperators []StateOperatorProgress `json:"stateOperators,omitempty"`
 	SourceOffsets  map[string]int64        `json:"sourceEndOffsetTotals,omitempty"`

@@ -5,10 +5,13 @@
 // Chrome trace_event format, so `curl | jq` and chrome://tracing both work
 // against a live engine:
 //
-//	GET /metrics                         all queries' metrics (JSON; ?format=text for plain text)
+//	GET /metrics                         all queries' metrics (JSON; ?format=text for Prometheus exposition)
 //	GET /queries                         query summaries
 //	GET /queries/{name}/progress         recent progress events (?n=K, default 1)
 //	GET /queries/{name}/trace            epoch traces (Chrome trace_event; ?format=jsonl for JSON lines)
+//	GET /queries/{name}/health           health report: lineage stamps, detector signals, bundles
+//	GET /debug/bundles                   flight-recorder bundle listing across all queries
+//	GET /debug/bundles/{id}              one verified bundle's manifest (?file=N fetches a member)
 //
 // Queries published through the serving layer (internal/serve) add live
 // egress endpoints:
@@ -22,6 +25,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sort"
@@ -30,6 +34,7 @@ import (
 	"time"
 
 	"structream/internal/engine"
+	"structream/internal/health"
 	"structream/internal/metrics"
 	"structream/internal/serve"
 )
@@ -132,6 +137,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /queries", s.handleQueries)
 	mux.HandleFunc("GET /queries/{name}/progress", s.handleProgress)
 	mux.HandleFunc("GET /queries/{name}/trace", s.handleTrace)
+	mux.HandleFunc("GET /queries/{name}/health", s.handleHealth)
+	mux.HandleFunc("GET /debug/bundles", s.handleBundleList)
+	mux.HandleFunc("GET /debug/bundles/{id}", s.handleBundle)
 	mux.HandleFunc("GET /queries/{name}/subscribe", s.handleHub((*serve.Hub).ServeSubscribe))
 	mux.HandleFunc("GET /queries/{name}/poll", s.handleHub((*serve.Hub).ServePoll))
 	mux.HandleFunc("GET /queries/{name}/state", s.handleHub((*serve.Hub).ServeState))
@@ -223,42 +231,195 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 // handleMetrics renders every query's metric snapshot. JSON by default;
-// ?format=text emits `<query>.<metric> <value>` lines for scraping with
-// grep-shaped tooling.
+// ?format=text emits the Prometheus text exposition format: `# HELP` and
+// `# TYPE` per family, one `{query="..."}`-labeled sample per query, and
+// histogram quantiles as labeled gauges, so a stock Prometheus scrape of
+// /metrics?format=text works unmodified.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	queries := s.snapshot()
 	hubs := s.hubsSnapshot()
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.writePromText(w, queries, hubs)
+		return
+	}
 	// Serving-layer metrics merge into the owning query's section under a
 	// serve. prefix (serve.subscribers, serve.evictions, ...).
-	merged := func(q *engine.StreamingQuery) map[string]int64 {
+	out := map[string]map[string]int64{}
+	for _, q := range queries {
 		snap := q.Metrics().Snapshot()
 		if h, ok := hubs[q.Name()]; ok {
 			for k, v := range h.Registry().Snapshot() {
 				snap["serve."+k] = v
 			}
 		}
-		return snap
-	}
-	if r.URL.Query().Get("format") == "text" {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		for _, q := range queries {
-			snap := merged(q)
-			keys := make([]string, 0, len(snap))
-			for k := range snap {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			for _, k := range keys {
-				fmt.Fprintf(w, "%s.%s %d\n", q.Name(), k, snap[k])
-			}
-		}
-		return
-	}
-	out := map[string]map[string]int64{}
-	for _, q := range queries {
-		out[q.Name()] = merged(q)
+		out[q.Name()] = snap
 	}
 	writeJSON(w, out)
+}
+
+// promName maps a registry metric name onto the Prometheus charset
+// ([a-zA-Z0-9_:]) under a structream_ namespace: dots and other
+// separators collapse to underscores (epoch.us → structream_epoch_us).
+func promName(name string) string {
+	b := []byte("structream_" + name)
+	for i := range b {
+		c := b[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == ':' {
+			continue
+		}
+		b[i] = '_'
+	}
+	return string(b)
+}
+
+// promFamily accumulates one metric family's samples across queries so
+// HELP/TYPE are emitted exactly once per family, as the format requires.
+type promFamily struct {
+	typ   string
+	help  string
+	lines []string
+}
+
+type promWriter struct {
+	fams  map[string]*promFamily
+	order []string
+}
+
+func (p *promWriter) add(name, typ, help, line string) {
+	f, ok := p.fams[name]
+	if !ok {
+		f = &promFamily{typ: typ, help: help}
+		p.fams[name] = f
+		p.order = append(p.order, name)
+	}
+	f.lines = append(f.lines, line)
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// promSource is one registry to render: a query's own, or its serving
+// hub's under the serve. prefix.
+type promSource struct {
+	query  string
+	prefix string
+	reg    *metrics.Registry
+}
+
+// writePromText renders every query's registry — and its serving hub's,
+// under a serve. prefix — in Prometheus exposition format.
+func (s *Server) writePromText(w io.Writer, queries []*engine.StreamingQuery, hubs map[string]*serve.Hub) {
+	var srcs []promSource
+	for _, q := range queries {
+		srcs = append(srcs, promSource{query: q.Name(), reg: q.Metrics()})
+		if h, ok := hubs[q.Name()]; ok {
+			srcs = append(srcs, promSource{query: q.Name(), prefix: "serve.", reg: h.Registry()})
+		}
+	}
+	writeProm(w, srcs)
+}
+
+func writeProm(w io.Writer, srcs []promSource) {
+	p := &promWriter{fams: map[string]*promFamily{}}
+	for _, src := range srcs {
+		label := fmt.Sprintf("{query=%q}", src.query)
+		counters := src.reg.Counters()
+		for _, k := range sortedKeys(counters) {
+			fam := promName(src.prefix + k)
+			p.add(fam, "counter", fmt.Sprintf("Value of the %s%s counter.", src.prefix, k),
+				fmt.Sprintf("%s%s %d", fam, label, counters[k]))
+		}
+		gauges := src.reg.Gauges()
+		for _, k := range sortedKeys(gauges) {
+			fam := promName(src.prefix + k)
+			p.add(fam, "gauge", fmt.Sprintf("Value of the %s%s gauge.", src.prefix, k),
+				fmt.Sprintf("%s%s %d", fam, label, gauges[k]))
+		}
+		hists := src.reg.Histograms()
+		for _, k := range sortedKeys(hists) {
+			hs := hists[k]
+			fam := promName(src.prefix + k)
+			help := fmt.Sprintf("Quantiles of the %s%s latency histogram.", src.prefix, k)
+			for _, qu := range []struct {
+				q string
+				v int64
+			}{{"0.5", hs.P50}, {"0.95", hs.P95}, {"0.99", hs.P99}, {"1", hs.Max}} {
+				p.add(fam, "gauge", help,
+					fmt.Sprintf("%s{query=%q,quantile=%q} %d", fam, src.query, qu.q, qu.v))
+			}
+			p.add(fam+"_count", "counter", fmt.Sprintf("Observation count of %s%s.", src.prefix, k),
+				fmt.Sprintf("%s_count%s %d", fam, label, hs.Count))
+			p.add(fam+"_sum", "counter", fmt.Sprintf("Observation sum of %s%s.", src.prefix, k),
+				fmt.Sprintf("%s_sum%s %d", fam, label, hs.Sum))
+		}
+	}
+	for _, name := range p.order {
+		f := p.fams[name]
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, f.help, name, f.typ)
+		for _, line := range f.lines {
+			fmt.Fprintln(w, line)
+		}
+	}
+}
+
+// handleHealth renders one query's health report: lineage stamps,
+// detector signal baselines, per-partition stats, and the bundle ring.
+// Queries running with DisableHealth answer {"status":"disabled"}.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	q, ok := s.query(r.PathValue("name"))
+	if !ok {
+		http.Error(w, "unknown query", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, q.Health().Health())
+}
+
+// handleBundleList renders every registered query's flight-recorder
+// bundles, oldest first per query.
+func (s *Server) handleBundleList(w http.ResponseWriter, r *http.Request) {
+	out := []health.BundleInfo{}
+	for _, q := range s.snapshot() {
+		infos, err := q.Health().Bundles()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		out = append(out, infos...)
+	}
+	writeJSON(w, out)
+}
+
+// handleBundle verifies one bundle end to end (manifest frame CRC plus
+// every member file's length and CRC32C) and renders its manifest; with
+// ?file=<name> it streams that member's verified bytes instead.
+func (s *Server) handleBundle(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	for _, q := range s.snapshot() {
+		m, err := q.Health().Bundle(id)
+		if err != nil {
+			continue // not this query's ring (or its recorder is off)
+		}
+		if name := r.URL.Query().Get("file"); name != "" {
+			data, err := q.Health().BundleFile(id, name)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusNotFound)
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Write(data) //nolint:errcheck // client gone: nothing to do
+			return
+		}
+		writeJSON(w, m)
+		return
+	}
+	http.Error(w, "unknown bundle", http.StatusNotFound)
 }
 
 // QuerySummary is one row of GET /queries.

@@ -265,15 +265,17 @@ func TestMetricsMergeServePrefix(t *testing.T) {
 		t.Fatalf("engine metrics missing from merged snapshot: %v", snap)
 	}
 
-	// Text format carries the same merged keys.
+	// Prometheus text format carries the same merged keys as labeled
+	// samples under sanitized family names.
 	resp, err = http.Get(ts.URL + "/metrics?format=text")
 	if err != nil {
 		t.Fatal(err)
 	}
 	body, _ := io.ReadAll(resp.Body)
 	resp.Body.Close()
-	if !strings.Contains(string(body), sq.Name()+".serve.subscribers 1") {
-		t.Fatalf("text metrics missing serve prefix:\n%s", body)
+	want := fmt.Sprintf("structream_serve_subscribers{query=%q} 1", sq.Name())
+	if !strings.Contains(string(body), want) {
+		t.Fatalf("text metrics missing %s:\n%s", want, body)
 	}
 }
 

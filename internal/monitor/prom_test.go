@@ -1,0 +1,129 @@
+package monitor
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"structream/internal/health"
+	"structream/internal/metrics"
+)
+
+// TestPromExpositionGolden pins the exact Prometheus text rendered from a
+// hand-built registry set: HELP/TYPE once per family even across queries,
+// sanitized names, histogram quantiles as labeled gauges plus _count and
+// _sum counters, and serve-prefixed hub metrics.
+func TestPromExpositionGolden(t *testing.T) {
+	r1 := metrics.NewRegistry()
+	r1.Counter("epochs").Add(2)
+	r1.Gauge("backlog").Set(5)
+	r1.Histogram("epoch.us").Observe(1000)
+	hub := metrics.NewRegistry()
+	hub.Counter("frames").Add(3)
+	r2 := metrics.NewRegistry()
+	r2.Counter("epochs").Add(7)
+
+	var b strings.Builder
+	writeProm(&b, []promSource{
+		{query: "q1", reg: r1},
+		{query: "q1", prefix: "serve.", reg: hub},
+		{query: "q2", reg: r2},
+	})
+
+	const golden = `# HELP structream_epochs Value of the epochs counter.
+# TYPE structream_epochs counter
+structream_epochs{query="q1"} 2
+structream_epochs{query="q2"} 7
+# HELP structream_backlog Value of the backlog gauge.
+# TYPE structream_backlog gauge
+structream_backlog{query="q1"} 5
+# HELP structream_epoch_us Quantiles of the epoch.us latency histogram.
+# TYPE structream_epoch_us gauge
+structream_epoch_us{query="q1",quantile="0.5"} 1000
+structream_epoch_us{query="q1",quantile="0.95"} 1000
+structream_epoch_us{query="q1",quantile="0.99"} 1000
+structream_epoch_us{query="q1",quantile="1"} 1000
+# HELP structream_epoch_us_count Observation count of epoch.us.
+# TYPE structream_epoch_us_count counter
+structream_epoch_us_count{query="q1"} 1
+# HELP structream_epoch_us_sum Observation sum of epoch.us.
+# TYPE structream_epoch_us_sum counter
+structream_epoch_us_sum{query="q1"} 1000
+# HELP structream_serve_frames Value of the serve.frames counter.
+# TYPE structream_serve_frames counter
+structream_serve_frames{query="q1"} 3
+`
+	if got := b.String(); got != golden {
+		t.Errorf("prometheus exposition drifted:\n--- got ---\n%s--- want ---\n%s", got, golden)
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	for in, want := range map[string]string{
+		"epochs":              "structream_epochs",
+		"epoch.us":            "structream_epoch_us",
+		"serve.sub-count":     "structream_serve_sub_count",
+		"stateSSTables":       "structream_stateSSTables",
+		"weird metric/name%2": "structream_weird_metric_name_2",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestHealthEndpoint: /queries/{name}/health serves the live health
+// report, and the bundle listing answers (empty) before any anomaly.
+func TestHealthEndpoint(t *testing.T) {
+	s, sq, _ := publishedServer(t)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/queries/" + sq.Name() + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("health status = %d", resp.StatusCode)
+	}
+	var rep health.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != "ok" || rep.Query != sq.Name() {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.Signals) == 0 || len(rep.Stamps) == 0 {
+		t.Fatalf("report missing signals/stamps: %+v", rep)
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/bundles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bundles status = %d", resp.StatusCode)
+	}
+	var infos []health.BundleInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 0 {
+		t.Fatalf("unexpected bundles before any anomaly: %+v", infos)
+	}
+
+	if resp, err := http.Get(ts.URL + "/queries/nope/health"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown query health status = %d", resp.StatusCode)
+	}
+	if resp, err := http.Get(ts.URL + "/debug/bundles/no-such-bundle"); err != nil {
+		t.Fatal(err)
+	} else if resp.Body.Close(); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown bundle status = %d", resp.StatusCode)
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"structream/internal/engine"
+	"structream/internal/health"
 	"structream/internal/metrics"
 	"structream/internal/sql"
 	"structream/internal/sql/logical"
@@ -82,8 +83,8 @@ type Frame struct {
 	Cursor int64  `json:"cursor"`
 	// Reset on a snapshot frame tells the client its prior accumulated
 	// view (if any) is not a prefix of this one — discard and re-anchor.
-	Reset  bool   `json:"reset,omitempty"`
-	Reason string `json:"reason,omitempty"`
+	Reset  bool      `json:"reset,omitempty"`
+	Reason string    `json:"reason,omitempty"`
 	Schema []string  `json:"schema,omitempty"`
 	Mode   string    `json:"mode,omitempty"`
 	Rows   []sql.Row `json:"rows,omitempty"`
@@ -94,6 +95,11 @@ type Frame struct {
 	// EmitMicros is the hub's broadcast timestamp (µs since epoch), the
 	// basis for per-subscriber delivery-latency percentiles.
 	EmitMicros int64 `json:"emitMicros,omitempty"`
+	// IngestMicros is when the frame's epoch was read from its source
+	// (from the engine's latency lineage), letting clients compute their
+	// own end-to-end freshness. 0 when health is disabled or the stamp
+	// aged out of the lineage ring.
+	IngestMicros int64 `json:"ingestMicros,omitempty"`
 }
 
 // HubOptions tunes a hub's robustness envelope. Zero values get the
@@ -197,6 +203,7 @@ type Hub struct {
 	detach   func() // removes the engine epoch listener
 	attached *engine.StreamingQuery
 	query    *engine.StreamingQuery // newest attached instance (for state reads)
+	health   *health.Tracker        // attached instance's health tracker (nil-safe)
 	rng      *rand.Rand
 }
 
@@ -251,6 +258,7 @@ func (h *Hub) Attach(q *engine.StreamingQuery) {
 	detach := h.detach
 	h.attached = q
 	h.query = q
+	h.health = q.Health()
 	h.mu.Unlock()
 	if detach != nil {
 		detach()
@@ -369,7 +377,7 @@ func (h *Hub) advance() {
 			if ep < latest {
 				ep = latest
 			}
-			f = Frame{Kind: FrameSnapshot, Query: h.name, Epoch: ep, Cursor: ep, Rows: rows, EmitMicros: now.UnixMicro()}
+			f = Frame{Kind: FrameSnapshot, Query: h.name, Epoch: ep, Cursor: ep, Rows: rows, EmitMicros: now.UnixMicro(), IngestMicros: h.ingestMicrosLocked(ep)}
 			h.last = ep
 		case next <= h.rep.Floor():
 			// Retention already dropped epochs the rings never saw (the
@@ -379,14 +387,14 @@ func (h *Hub) advance() {
 			if ep < next {
 				ep = next
 			}
-			f = Frame{Kind: FrameSnapshot, Query: h.name, Epoch: ep, Cursor: ep, Reset: true, Reason: "retention floor passed broadcast cursor", Rows: rows, EmitMicros: now.UnixMicro()}
+			f = Frame{Kind: FrameSnapshot, Query: h.name, Epoch: ep, Cursor: ep, Reset: true, Reason: "retention floor passed broadcast cursor", Rows: rows, EmitMicros: now.UnixMicro(), IngestMicros: h.ingestMicrosLocked(ep)}
 			h.last = ep
 		default:
 			// The engine committed `next`: the sink write happens before
 			// the WAL commit, so absence means a legitimately empty epoch
 			// (e.g. continuous mode emits no sub-batches without output).
 			rows, _ := h.rep.EpochRows(next)
-			f = Frame{Kind: FrameEpoch, Query: h.name, Epoch: next, Cursor: next, Rows: rows, EmitMicros: now.UnixMicro()}
+			f = Frame{Kind: FrameEpoch, Query: h.name, Epoch: next, Cursor: next, Rows: rows, EmitMicros: now.UnixMicro(), IngestMicros: h.ingestMicrosLocked(next)}
 			h.last = next
 		}
 		h.broadcastLocked(f, now)
@@ -469,6 +477,32 @@ func (h *Hub) evictLocked(sub *Subscription, reason string) {
 	sub.evictReason = reason
 	h.reg.Counter("evictions").Add(1)
 	sub.wakeLocked()
+}
+
+// ingestMicrosLocked looks up an epoch's source-read instant from the
+// attached query's lineage ring. Caller holds h.mu; the tracker has its
+// own lock and never takes the hub's, so the nesting is safe.
+func (h *Hub) ingestMicrosLocked(epoch int64) int64 {
+	if s, ok := h.health.Stamp(epoch); ok {
+		return s.IngestMicros
+	}
+	return 0
+}
+
+// Delivered tells the health subsystem that a subscriber flushed f — the
+// terminal hop of the epoch's latency lineage, observed into the query's
+// endToEndLatency.us histogram. Transports call it after each successful
+// frame write; in-process consumers (the fan-out bench, ssql) call it
+// directly after applying a frame.
+func (h *Hub) Delivered(f Frame) {
+	if f.Kind != FrameEpoch && f.Kind != FrameSnapshot {
+		return
+	}
+	h.mu.Lock()
+	tr := h.health
+	now := h.opts.Clock()
+	h.mu.Unlock()
+	tr.StampDeliver(f.Epoch, now)
 }
 
 // retryJitterLocked returns the reconnect guidance for one frame:
@@ -695,7 +729,8 @@ func (s *Subscription) step() (Frame, bool, error) {
 			return Frame{
 				Kind: FrameSnapshot, Query: h.name, Epoch: ep, Cursor: ep,
 				Reset: true, Reason: reason, Rows: rows,
-				EmitMicros: now.UnixMicro(),
+				EmitMicros:   now.UnixMicro(),
+				IngestMicros: h.ingestMicrosLocked(ep),
 			}, true, nil
 		case s.lagged:
 			next := s.cursor + 1
@@ -726,6 +761,7 @@ func (s *Subscription) step() (Frame, bool, error) {
 			return Frame{
 				Kind: FrameEpoch, Query: h.name, Epoch: next, Cursor: next,
 				Rows: rows, EmitMicros: now.UnixMicro(),
+				IngestMicros: h.ingestMicrosLocked(next),
 			}, true, nil
 		case len(s.ring) > 0:
 			f := s.ring[0]

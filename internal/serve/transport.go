@@ -138,6 +138,7 @@ func (h *Hub) ServeSubscribe(w http.ResponseWriter, r *http.Request) {
 		if err := writeFrame(out, rc, h.opts.WriteTimeout, f); err != nil {
 			return // connection failed; the client resumes by cursor
 		}
+		h.Delivered(f)
 		if f.Kind == FrameEvicted || f.Kind == FrameShutdown {
 			return
 		}
@@ -211,5 +212,10 @@ func (h *Hub) ServePoll(w http.ResponseWriter, r *http.Request) {
 	}
 	resp.Cursor = sub.Cursor()
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(resp)
+	if err := json.NewEncoder(w).Encode(resp); err == nil {
+		// The batch reached the client: the poll response is the delivery.
+		for _, f := range resp.Frames {
+			h.Delivered(f)
+		}
+	}
 }

@@ -20,6 +20,15 @@ type Instrumented struct {
 	rows      atomic.Int64
 	readNanos atomic.Int64
 	errors    atomic.Int64
+	lastErrAt atomic.Int64 // UnixMicro of the most recent read error
+	lastErr   atomic.Value // string: the most recent read error's text
+}
+
+// noteError records a failed read for the per-source health section.
+func (s *Instrumented) noteError(err error) {
+	s.errors.Add(1)
+	s.lastErrAt.Store(time.Now().UnixMicro())
+	s.lastErr.Store(err.Error())
 }
 
 // Instrument wraps src; wrapping an already-instrumented source returns it
@@ -32,21 +41,30 @@ func Instrument(src Source) *Instrumented {
 }
 
 // SourceStats is a point-in-time snapshot of a source's read activity.
+// Errors counts failed Read/ReadVec calls (each retry attempt counts);
+// LastErrorAtMicros/LastError describe the most recent failure.
 type SourceStats struct {
-	Reads     int64
-	Rows      int64
-	ReadNanos int64
-	Errors    int64
+	Reads             int64
+	Rows              int64
+	ReadNanos         int64
+	Errors            int64
+	LastErrorAtMicros int64
+	LastError         string
 }
 
 // Stats reports the cumulative read counters.
 func (s *Instrumented) Stats() SourceStats {
-	return SourceStats{
-		Reads:     s.reads.Load(),
-		Rows:      s.rows.Load(),
-		ReadNanos: s.readNanos.Load(),
-		Errors:    s.errors.Load(),
+	st := SourceStats{
+		Reads:             s.reads.Load(),
+		Rows:              s.rows.Load(),
+		ReadNanos:         s.readNanos.Load(),
+		Errors:            s.errors.Load(),
+		LastErrorAtMicros: s.lastErrAt.Load(),
 	}
+	if v, ok := s.lastErr.Load().(string); ok {
+		st.LastError = v
+	}
+	return st
 }
 
 // Name implements Source.
@@ -71,7 +89,7 @@ func (s *Instrumented) Read(p int, from, to int64) ([]sql.Row, error) {
 	s.readNanos.Add(time.Since(start).Nanoseconds())
 	s.reads.Add(1)
 	if err != nil {
-		s.errors.Add(1)
+		s.noteError(err)
 		return nil, err
 	}
 	s.rows.Add(int64(len(rows)))
@@ -91,7 +109,7 @@ func (s *Instrumented) ReadVec(p int, from, to int64) (*vec.Batch, bool, error) 
 	b, ok, err := vr.ReadVec(p, from, to)
 	s.readNanos.Add(time.Since(start).Nanoseconds())
 	if err != nil {
-		s.errors.Add(1)
+		s.noteError(err)
 		return nil, false, err
 	}
 	if !ok {

@@ -313,3 +313,51 @@ func MaxInt64(v *Vector, n int, min int64) int64 {
 	}
 	return max
 }
+
+// MinInt64 is MaxInt64's twin: the minimum non-null int64 lane over
+// [0, n), or `max` when no valid lane exists. Used with MaxInt64 and
+// SumInt64 for the per-batch event-time min/avg/max telemetry.
+func MinInt64(v *Vector, n int, max int64) int64 {
+	min := max
+	if v.Kind != KindInt64 {
+		return min
+	}
+	if v.Nulls == nil {
+		for _, x := range v.Int64s[:n] {
+			if x < min {
+				min = x
+			}
+		}
+		return min
+	}
+	for i := 0; i < n; i++ {
+		if !v.Nulls.Get(i) {
+			if x := v.Int64s[i]; x < min {
+				min = x
+			}
+		}
+	}
+	return min
+}
+
+// SumInt64 returns the sum (as float64 — µs timestamps summed over
+// millions of rows overflow int64) and count of the non-null int64 lanes
+// over [0, n).
+func SumInt64(v *Vector, n int) (sum float64, count int64) {
+	if v.Kind != KindInt64 {
+		return 0, 0
+	}
+	if v.Nulls == nil {
+		for _, x := range v.Int64s[:n] {
+			sum += float64(x)
+		}
+		return sum, int64(n)
+	}
+	for i := 0; i < n; i++ {
+		if !v.Nulls.Get(i) {
+			sum += float64(v.Int64s[i])
+			count++
+		}
+	}
+	return sum, count
+}

@@ -171,8 +171,11 @@ func TestMonitorEndpoints(t *testing.T) {
 		t.Errorf("/metrics: missing epoch.us.p99 histogram percentile: %v", mon)
 	}
 	code, body = getBody(t, base+"/metrics?format=text")
-	if code != http.StatusOK || !strings.Contains(string(body), "mon.epochs 2") {
+	if code != http.StatusOK || !strings.Contains(string(body), `structream_epochs{query="mon"} 2`) {
 		t.Errorf("/metrics?format=text: status %d\n%s", code, body)
+	}
+	if !strings.Contains(string(body), "# TYPE structream_epochs counter") {
+		t.Errorf("/metrics?format=text: missing TYPE line for structream_epochs\n%s", body)
 	}
 
 	// ---- unknown query
@@ -304,10 +307,10 @@ func TestMonitorExposesLSMStateStats(t *testing.T) {
 		}
 	}
 	code, body = getBody(t, base+"/metrics?format=text")
-	if code != http.StatusOK || !strings.Contains(string(body), "lsmq.stateSSTables") {
-		t.Errorf("/metrics?format=text: status %d, missing lsmq.stateSSTables\n%s", code, body)
+	if code != http.StatusOK || !strings.Contains(string(body), `structream_stateSSTables{query="lsmq"}`) {
+		t.Errorf("/metrics?format=text: status %d, missing structream_stateSSTables\n%s", code, body)
 	}
-	for _, line := range []string{"lsmq.stateFlushBacklog", "lsmq.stateMaintenanceStallUs"} {
+	for _, line := range []string{`structream_stateFlushBacklog{query="lsmq"}`, `structream_stateMaintenanceStallUs{query="lsmq"}`} {
 		if !strings.Contains(string(body), line) {
 			t.Errorf("/metrics?format=text: missing %s\n%s", line, body)
 		}

@@ -36,7 +36,19 @@ grep -q '"tracingOverheadPct"' "$smoke_json" || { echo "bench smoke: bad report"
 grep -q '"stateful-count-lsm-spill"' "$smoke_json" || { echo "bench smoke: missing state-backend scenarios"; exit 1; }
 grep -q '"microbatch-throughput-rowpath"' "$smoke_json" || { echo "bench smoke: missing row-path scenario"; exit 1; }
 grep -q '"serve-fanout"' "$smoke_json" || { echo "bench smoke: missing serve-fanout scenario"; exit 1; }
+grep -q '"endToEndLatencyP50Us"' "$smoke_json" || { echo "bench smoke: missing end-to-end freshness percentiles"; exit 1; }
+grep -q '"watermarkLagP99Us"' "$smoke_json" || { echo "bench smoke: missing watermark-lag percentiles"; exit 1; }
+grep -q '"healthOverheadPct"' "$smoke_json" || { echo "bench smoke: missing health-overhead comparison"; exit 1; }
 rm -f "$smoke_json"
+# Health-subsystem race round: latency lineage, the anomaly detector and
+# flight recorder, the engine wiring for both modes, and the serve-layer
+# deliver stamps, under the race detector. Redundant with
+# `go test -race ./...` above but named so the health contract stays
+# visible.
+echo ">> health lineage/recorder race round"
+go test -race -count=1 ./internal/health/ >/dev/null
+go test -race -count=1 -run 'Health|Lineage|EventTime|Anomaly|Bundle' \
+	./internal/engine/ ./internal/serve/ ./internal/monitor/ >/dev/null
 # Vectorization differential smoke: the columnar path must be
 # byte-identical to the row path on randomized queries and data, and the
 # engine-level on/off runs must agree. (The full suite also runs under
