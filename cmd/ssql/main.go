@@ -29,6 +29,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"time"
 
@@ -49,6 +50,7 @@ func main() {
 		interval   = flag.Duration("interval", time.Second, "trigger interval with -watch")
 		checkpoint = flag.String("checkpoint", "", "checkpoint directory (streaming)")
 		monitorAt  = flag.String("monitor", "", "with -watch, serve the HTTP monitoring endpoint on this address (e.g. localhost:8080)")
+		workers    = flag.Int("workers", 0, "run epochs on the partitioned parallel runtime with this many workers (>1)")
 	)
 	flag.Parse()
 	if *query == "" {
@@ -120,6 +122,9 @@ func main() {
 		trigger = structream.ProcessingTime(*interval)
 	}
 	w := df.WriteStream().OutputMode(outputMode).Trigger(trigger).Checkpoint(ckpt)
+	if *workers > 1 {
+		w.Option("workers", strconv.Itoa(*workers))
+	}
 	var live *sinks.MemorySink
 	if *watch {
 		// Tee console output into a retained memory sink so the query is

@@ -16,6 +16,7 @@ import (
 	"structream/internal/incremental"
 	"structream/internal/lsm"
 	"structream/internal/metrics"
+	"structream/internal/shard"
 	"structream/internal/sinks"
 	"structream/internal/sources"
 	"structream/internal/sql"
@@ -39,6 +40,19 @@ type Options struct {
 	Trigger Trigger
 	// NumPartitions is the shuffle/state partition count (default 4).
 	NumPartitions int
+	// Workers selects the partitioned parallel execution runtime: when
+	// > 1, epochs run on a pool of that many real worker goroutines —
+	// each source partition shard-splits into contiguous offset slices so
+	// several workers feed from it concurrently, fully vectorized
+	// pipelines route to state partitions through the columnar exchange,
+	// each state partition commits under its own store and seals its own
+	// WAL segment, and the epoch commits through a sharded barrier that
+	// verifies every seal before writing the single commit manifest.
+	// 0 or 1 keeps the classic path (one task per source partition on the
+	// in-process simulated cluster). Output is byte-identical either way:
+	// shards are contiguous and concatenate in task order, and the
+	// exchange hashes exactly as the row path does.
+	Workers int
 	// MaxRecordsPerTrigger caps records per epoch per source (0 =
 	// unlimited). With the default unlimited setting the engine exhibits
 	// the paper's adaptive batching: a backlog produces proportionally
@@ -210,6 +224,7 @@ type exec struct {
 	wal    *wal.Log
 	prov   *state.Provider
 	clus   *cluster.Cluster
+	pool   *shard.Pool // non-nil when Options.Workers > 1
 	log    *metrics.EventLog
 	reg    *metrics.Registry
 	tracer *trace.Tracer                    // nil when Options.DisableTracing
@@ -320,10 +335,39 @@ func newExec(q *incremental.Query, srcs map[string]sources.Source, sink sinks.Si
 	if opts.AdaptiveBackpressure {
 		e.limiter = newAIMDLimiter(opts.BackpressureTarget, opts.MaxRecordsPerTrigger, opts.MinRecordsPerTrigger, e.reg)
 	}
+	if opts.Workers > 1 {
+		// The pool must exist before recovery: a replayed epoch runs the
+		// same sharded path (and re-seals the same segments) as the run
+		// that crashed.
+		e.pool = shard.NewPool(opts.Workers)
+	}
 	if err := e.recover(); err != nil {
+		e.closePool()
 		return nil, err
 	}
 	return e, nil
+}
+
+// closePool stops the sharded runtime's workers, if any.
+func (e *exec) closePool() {
+	if e.pool != nil {
+		e.pool.Close()
+	}
+}
+
+// runStage dispatches one stage of tasks: to the shard pool's real worker
+// goroutines when Options.Workers > 1, else to the in-process simulated
+// cluster. Both return results ordered by Task.Index and settle every
+// task before reporting the lowest-indexed failure.
+func (e *exec) runStage(tasks []cluster.Task) ([]any, error) {
+	if e.pool == nil {
+		return e.clus.RunStage(tasks)
+	}
+	st := make([]shard.Task, len(tasks))
+	for i, t := range tasks {
+		st[i] = shard.Task{Index: t.Index, Fn: t.Fn}
+	}
+	return e.pool.Run(st)
 }
 
 // recover implements the §6.1 restart protocol.
@@ -592,6 +636,11 @@ func (e *exec) withRetry(fn func() error) error {
 	}
 }
 
+// minRecordsPerShard floors the sharded runtime's map-slice size: a tiny
+// epoch is not worth fanning across workers — per-task overhead would
+// dominate — so small ranges produce fewer shards than workers.
+const minRecordsPerShard = 256
+
 // mapResult is one map task's output.
 type mapResult struct {
 	side    int
@@ -633,6 +682,14 @@ func (e *exec) runVecMapTask(bp boundPipeline, batch *vec.Batch, nPart int) *map
 			return res
 		}
 		bp.pipe.ProcessBatchTo(batch, func(row sql.Row) { res.direct = append(res.direct, row) })
+		return res
+	}
+	if bp.pipe.KeyIdxs != nil && bp.pipe.FullyVectorized() {
+		// Columnar exchange: the batch stays columnar through the whole
+		// pipeline, so route it by hashing the key column vectors lane by
+		// lane — same hash, same materialization order as the per-row
+		// path below, without boxing a key per row first.
+		res.buckets = shard.Scatter(bp.pipe.ApplyVec(batch), bp.pipe.KeyIdxs, nPart)
 		return res
 	}
 	res.buckets = make([][]sql.Row, nPart)
@@ -706,15 +763,32 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 	spFetch := et.StartSpan("getBatch")
 	var readNanos, pipeNanos atomic.Int64
 	type taskSpec struct {
-		pipeIdx int
-		part    int
+		pipeIdx  int
+		part     int
+		from, to int64 // this task's offset slice of the source partition
+		shardIdx int   // slice index within the partition's shard plan
+		nShards  int   // slices the partition split into (1 = unsharded)
 	}
 	var specs []taskSpec
 	for i, bp := range e.pipes {
 		r := ranges[bp.src.Name()]
 		for p := 0; p < bp.src.Partitions(); p++ {
-			if p < len(r[0]) && r[1][p] > r[0][p] {
-				specs = append(specs, taskSpec{pipeIdx: i, part: p})
+			if p >= len(r[0]) || r[1][p] <= r[0][p] {
+				continue
+			}
+			if e.pool == nil {
+				specs = append(specs, taskSpec{pipeIdx: i, part: p, from: r[0][p], to: r[1][p], nShards: 1})
+				continue
+			}
+			// Sharded runtime: split the partition's offset range into
+			// contiguous near-equal slices, one task each, so every worker
+			// gets map work even from a single hot partition. The split is
+			// a pure function of (range, workers), so a replayed epoch
+			// re-plans the identical shards, and concatenating shard
+			// outputs in task order reproduces the single-task row order.
+			shards := shard.Split(r[0][p], r[1][p], e.pool.Workers(), minRecordsPerShard)
+			for si, sr := range shards {
+				specs = append(specs, taskSpec{pipeIdx: i, part: p, from: sr[0], to: sr[1], shardIdx: si, nShards: len(shards)})
 			}
 		}
 	}
@@ -736,11 +810,27 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 			if err := e.withRetry(func() error {
 				raw, batch = nil, nil
 				if wantVec {
+					if spec.nShards > 1 {
+						// Sharded fast path: the source computes this
+						// worker's slice itself (shard.Range), so sibling
+						// shards fetch and decode concurrently with no
+						// head-of-line lock on the full range.
+						if pr, isPart := bp.src.(sources.PartitionReader); isPart {
+							b, ok, rerr := pr.ReadPartition(spec.part, r[0][spec.part], r[1][spec.part], spec.shardIdx, spec.nShards)
+							if rerr != nil {
+								return rerr
+							}
+							if ok {
+								batch = b
+								return nil
+							}
+						}
+					}
 					// Columnar fast path: codec-framed sources decode the
 					// range straight into typed vectors; ok=false (type
 					// drift, or no columnar decode) re-reads boxed below.
 					if vr, isVec := bp.src.(sources.VectorReader); isVec {
-						b, ok, rerr := vr.ReadVec(spec.part, r[0][spec.part], r[1][spec.part])
+						b, ok, rerr := vr.ReadVec(spec.part, spec.from, spec.to)
 						if rerr != nil {
 							return rerr
 						}
@@ -751,7 +841,7 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 					}
 				}
 				var rerr error
-				raw, rerr = bp.src.Read(spec.part, r[0][spec.part], r[1][spec.part])
+				raw, rerr = bp.src.Read(spec.part, spec.from, spec.to)
 				return rerr
 			}); err != nil {
 				return nil, err
@@ -777,7 +867,7 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 					var err error
 					if err = e.withRetry(func() error {
 						var rerr error
-						raw, rerr = bp.src.Read(spec.part, r[0][spec.part], r[1][spec.part])
+						raw, rerr = bp.src.Read(spec.part, spec.from, spec.to)
 						return rerr
 					}); err != nil {
 						return nil, err
@@ -819,7 +909,7 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 			return finish(res)
 		}}
 	}
-	results, err := e.clus.RunStage(tasks)
+	results, err := e.runStage(tasks)
 	if err != nil {
 		return err
 	}
@@ -966,10 +1056,33 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 				if err != nil {
 					return nil, err
 				}
+				if e.pool != nil {
+					// Sharded barrier, phase one: seal this partition's WAL
+					// segment now that its state is durable. The seal is a
+					// promise, not a commit — the epoch commits only when
+					// the barrier below verifies all seals and writes the
+					// single manifest. Segments carry no timestamp, so a
+					// replayed epoch re-seals byte-identical files.
+					sealStart := time.Now()
+					err = e.withRetry(func() error {
+						return e.wal.WriteSegment(wal.Segment{
+							Epoch:        epoch,
+							Partition:    p,
+							StateVersion: epoch,
+							RowsIn:       int64(len(inputsByPart[p][0]) + len(inputsByPart[p][1])),
+							RowsOut:      int64(len(out)),
+							StateKeys:    int64(store.NumKeys()),
+						})
+					})
+					stateNanos.Add(time.Since(sealStart).Nanoseconds())
+					if err != nil {
+						return nil, err
+					}
+				}
 				return &reduceResult{rows: out, keys: int64(store.NumKeys()), nanos: time.Since(openStart).Nanoseconds()}, nil
 			}}
 		}
-		reduceResults, err := e.clus.RunStage(reduceTasks)
+		reduceResults, err := e.runStage(reduceTasks)
 		if err != nil {
 			return err
 		}
@@ -1054,7 +1167,15 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 	}
 	spCommit := et.StartSpan("walCommit")
 	commitStart := time.Now()
-	if err := e.wal.WriteCommit(epoch); err != nil {
+	if e.pool != nil && e.q.Stateful != nil {
+		// Sharded barrier, phase two: verify every partition's seal, then
+		// write the one commit manifest referencing their digests. Crash
+		// anywhere before this write and recovery replays the epoch,
+		// discarding the orphaned seals.
+		if err := e.wal.CommitBarrier(epoch, nPart); err != nil {
+			return err
+		}
+	} else if err := e.wal.WriteCommit(epoch); err != nil {
 		return err
 	}
 	et.EndSpan(spCommit)
@@ -1191,6 +1312,15 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 	e.reg.Gauge("clusterTasksRun").Set(cs.TasksRun)
 	e.reg.Gauge("clusterStagesRun").Set(cs.StagesRun)
 	e.reg.Gauge("clusterTaskMicros").Set(cs.TaskTime.Microseconds())
+	if e.pool != nil {
+		ss := e.pool.Stats()
+		e.reg.Gauge("workers").Set(int64(ss.Workers))
+		e.reg.Gauge("shardTasksRun").Set(ss.TasksRun)
+		e.reg.Gauge("shardStagesRun").Set(ss.StagesRun)
+		e.reg.Gauge("shardBusyMicros").Set(ss.BusyNanos / 1e3)
+		e.reg.Gauge("walSegmentsWritten").Set(ws.SegmentsWritten)
+		et.SetAttr("workers", int64(ss.Workers))
+	}
 
 	// Per-source, per-sink, and per-state-operator progress sections.
 	endTotals := map[string]int64{}
@@ -1286,6 +1416,7 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 		NumOutputRows:        outCount,
 		Vectorized:           e.vectorize,
 		VectorizedRows:       vecRows,
+		Workers:              e.opts.Workers,
 		ProcessingMillis:     total.Milliseconds(),
 		ProcessingMicros:     total.Microseconds(),
 		WatermarkMicros:      e.watermark,

@@ -1,0 +1,291 @@
+package engine
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"structream/internal/fsx"
+	"structream/internal/incremental"
+	"structream/internal/sinks"
+	"structream/internal/sources"
+	"structream/internal/sql"
+	"structream/internal/sql/logical"
+)
+
+// Differential and crash tests for the partitioned runtime
+// (Options.Workers > 1): N workers must produce byte-identical output to
+// the classic single-goroutine path, including through crashes that land
+// between the per-partition segment seals and the barrier manifest.
+
+// partSchema uses an int64 measure so every aggregate is exact: float
+// sums re-associate under sharding, integers don't.
+var partSchema = sql.NewSchema(
+	sql.Field{Name: "k", Type: sql.TypeString},
+	sql.Field{Name: "n", Type: sql.TypeInt64},
+	sql.Field{Name: "ts", Type: sql.TypeTimestamp},
+)
+
+func partScan() *logical.Scan {
+	return &logical.Scan{Name: "events", Streaming: true, Out: partSchema}
+}
+
+// partSource deals seeded rows across srcParts partitions. The deal is a
+// pure function of (seed, rows, srcParts), so every run over the same
+// arguments streams identical data.
+func partSource(seed int64, rows, srcParts int) *sources.PartitionedSource {
+	rng := rand.New(rand.NewSource(seed))
+	parts := make([][]sql.Row, srcParts)
+	for i := 0; i < rows; i++ {
+		p := i % srcParts
+		parts[p] = append(parts[p], sql.Row{
+			fmt.Sprintf("k%d", rng.Intn(8)),
+			int64(rng.Intn(100)),
+			int64(i/srcParts) * sec,
+		})
+	}
+	return sources.NewPartitionedSource("events", partSchema, parts)
+}
+
+// partPlans are the fuzzed query shapes: stateless, dedup (the fully
+// vectorized exchange path), and keyed/windowed aggregation (the
+// partial-agg shuffle path).
+func partPlans(t *testing.T) map[string]*incremental.Query {
+	t.Helper()
+	return map[string]*incremental.Query{
+		"stateless-append": compile(t, &logical.Project{
+			Child: &logical.Filter{Child: partScan(),
+				Cond: sql.Gt(sql.Col("n"), sql.Lit(int64(30)))},
+			Exprs: []sql.Expr{sql.Col("k"),
+				sql.As(sql.Mul(sql.Col("n"), sql.Lit(int64(2))), "n2"),
+				sql.Col("ts")},
+		}, logical.Append, nil),
+		"distinct-append": compile(t, &logical.Distinct{
+			Child: partScan(), Cols: []string{"k", "n"},
+		}, logical.Append, nil),
+		"keyed-agg-update": compile(t, &logical.Aggregate{
+			Child: partScan(),
+			Keys:  []sql.Expr{sql.Col("k")},
+			Aggs: []logical.NamedAgg{
+				{Agg: sql.CountAll(), Name: "cnt"},
+				{Agg: sql.SumOf(sql.Col("n")), Name: "total"},
+				{Agg: sql.MinOf(sql.Col("n")), Name: "lo"},
+				{Agg: sql.MaxOf(sql.Col("n")), Name: "hi"},
+			},
+		}, logical.Update, nil),
+		"windowed-agg-update": compile(t, &logical.Aggregate{
+			Child: partScan(),
+			Keys: []sql.Expr{
+				sql.NewWindow(sql.Col("ts"), 10*time.Second, 5*time.Second),
+				sql.Col("k"),
+			},
+			Aggs: []logical.NamedAgg{
+				{Agg: sql.CountAll(), Name: "cnt"},
+				{Agg: sql.SumOf(sql.Col("n")), Name: "total"},
+			},
+		}, logical.Update, nil),
+	}
+}
+
+// runPartitioned drives one preloaded query to completion and returns its
+// sink.
+func runPartitioned(t *testing.T, q *incremental.Query, seed int64, workers int, vectorize bool) *sinks.MemorySink {
+	t.Helper()
+	sink := sinks.NewMemorySink()
+	sq := startQuery(t, q, map[string]sources.Source{"events": partSource(seed, 96, 2)}, sink, Options{
+		Workers:              workers,
+		NumPartitions:        2,
+		MaxRecordsPerTrigger: 16,
+		Vectorize:            Bool(vectorize),
+	})
+	if err := sq.ProcessAllAvailable(); err != nil {
+		t.Fatalf("workers=%d vectorize=%v: %v", workers, vectorize, err)
+	}
+	if err := sq.Stop(); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	return sink
+}
+
+// TestPartitionDifferentialFuzz is the tentpole's correctness gate: for
+// every fuzzed query shape, vectorize setting, and worker degree, the
+// sharded runtime's sink must match the single-worker run row for row, in
+// order.
+func TestPartitionDifferentialFuzz(t *testing.T) {
+	for name, q := range partPlans(t) {
+		for _, vectorize := range []bool{false, true} {
+			for _, seed := range []int64{1, 99} {
+				golden := runPartitioned(t, q, seed, 1, vectorize).Rows()
+				if len(golden) == 0 {
+					t.Fatalf("%s: golden run emitted nothing", name)
+				}
+				for _, workers := range []int{2, 4} {
+					got := runPartitioned(t, q, seed, workers, vectorize).Rows()
+					ctx := fmt.Sprintf("%s seed=%d vectorize=%v workers=%d", name, seed, vectorize, workers)
+					rowsExactlyEqual(t, got, golden, ctx)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionProgressReportsWorkers checks the sharded runtime is
+// visible in telemetry: progress events carry the worker count and the
+// pool/segment gauges move.
+func TestPartitionProgressReportsWorkers(t *testing.T) {
+	q := partPlans(t)["keyed-agg-update"]
+	sink := sinks.NewMemorySink()
+	sq := startQuery(t, q, map[string]sources.Source{"events": partSource(1, 48, 2)}, sink, Options{
+		Workers:              3,
+		NumPartitions:        2,
+		MaxRecordsPerTrigger: 16,
+	})
+	if err := sq.ProcessAllAvailable(); err != nil {
+		t.Fatal(err)
+	}
+	prog, ok := sq.LastProgress()
+	if !ok || prog.Workers != 3 {
+		t.Fatalf("progress = %+v (ok=%v), want workers=3", prog, ok)
+	}
+	reg := sq.Metrics()
+	if got := reg.Gauge("workers").Value(); got != 3 {
+		t.Fatalf("workers gauge = %d", got)
+	}
+	if got := reg.Gauge("shardTasksRun").Value(); got == 0 {
+		t.Fatal("shardTasksRun gauge never moved")
+	}
+	if got := reg.Gauge("walSegmentsWritten").Value(); got == 0 {
+		t.Fatal("walSegmentsWritten gauge never moved")
+	}
+}
+
+// ------------------------------------------------------------- torture
+
+// launchPartitionTorture runs the keyed-agg workload over a JSON file
+// sink with the given worker degree; the op schedule under workers > 1 is
+// concurrency-nondeterministic, which is exactly what the CrashWhen
+// predicates below are for.
+func runPartitionTorture(t *testing.T, ckpt, sinkDir string, fsys fsx.FS, workers int) error {
+	t.Helper()
+	q := compile(t, &logical.Aggregate{
+		Child: partScan(),
+		Keys:  []sql.Expr{sql.Col("k")},
+		Aggs: []logical.NamedAgg{
+			{Agg: sql.CountAll(), Name: "cnt"},
+			{Agg: sql.SumOf(sql.Col("n")), Name: "total"},
+		},
+	}, logical.Update, nil)
+	sink := &sinks.JSONFileSink{Dir: sinkDir, FS: fsys}
+	sq, err := Start(q, map[string]sources.Source{"events": partSource(7, 48, 2)}, sink, Options{
+		Checkpoint:           ckpt,
+		FS:                   fsys,
+		Workers:              workers,
+		NumPartitions:        2,
+		MaxRecordsPerTrigger: 8,
+		Trigger:              ProcessingTimeTrigger{Interval: time.Hour}, // driven manually
+		RetryBackoff:         time.Microsecond,
+	})
+	if err != nil {
+		return err
+	}
+	t.Cleanup(func() { sq.Stop() })
+	return sq.ProcessAllAvailable()
+}
+
+// segmentWrites matches the n-th mutating write of a partition seal.
+func segmentWrites(target int) func(fsx.OpKind, string) bool {
+	seen := 0
+	return func(kind fsx.OpKind, path string) bool {
+		if kind != fsx.OpWrite || !strings.Contains(filepath.ToSlash(path), "/segments/") {
+			return false
+		}
+		seen++
+		return seen == target
+	}
+}
+
+// manifestWrites matches the n-th barrier manifest write.
+func manifestWrites(target int) func(fsx.OpKind, string) bool {
+	seen := 0
+	return func(kind fsx.OpKind, path string) bool {
+		if kind != fsx.OpWrite || !strings.Contains(filepath.ToSlash(path), "/commits/") {
+			return false
+		}
+		seen++
+		return seen == target
+	}
+}
+
+// TestPartitionCrashTorture crashes the sharded runtime at every
+// interesting point of the barrier protocol — at the first seal, between
+// the two partitions' seals, and at the manifest itself, in
+// before/torn/after flavors — then restarts at the SAME worker degree and
+// at degree 1 (mixed-degree recovery), requiring both to converge to the
+// single-worker crash-free output byte for byte.
+func TestPartitionCrashTorture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("crash torture skipped with -short")
+	}
+
+	// Golden: single-worker, fault-free. Workers must not change the bytes.
+	goldenSink := t.TempDir()
+	if err := runPartitionTorture(t, t.TempDir(), goldenSink, fsx.NoSync(), 1); err != nil {
+		t.Fatalf("golden run: %v", err)
+	}
+	golden := dirContents(t, goldenSink)
+	if len(golden) < 2 {
+		t.Fatalf("golden run produced too little output: %v", golden)
+	}
+
+	// Sharded fault-free differential before any crashing.
+	plainSink := t.TempDir()
+	if err := runPartitionTorture(t, t.TempDir(), plainSink, fsx.NoSync(), 2); err != nil {
+		t.Fatalf("sharded run: %v", err)
+	}
+	if d := sinkDiff(golden, dirContents(t, plainSink)); d != "" {
+		t.Fatalf("sharded run diverged from single-worker golden:\n%s", d)
+	}
+
+	specs := []struct {
+		name string
+		pred func() func(fsx.OpKind, string) bool
+		mode fsx.CrashMode
+	}{
+		{"first-seal-before", func() func(fsx.OpKind, string) bool { return segmentWrites(1) }, fsx.CrashBefore},
+		{"first-seal-torn", func() func(fsx.OpKind, string) bool { return segmentWrites(1) }, fsx.CrashTorn},
+		{"between-seals-after", func() func(fsx.OpKind, string) bool { return segmentWrites(1) }, fsx.CrashAfter},
+		{"second-seal-torn", func() func(fsx.OpKind, string) bool { return segmentWrites(2) }, fsx.CrashTorn},
+		{"later-epoch-seal-torn", func() func(fsx.OpKind, string) bool { return segmentWrites(7) }, fsx.CrashTorn},
+		{"manifest-before", func() func(fsx.OpKind, string) bool { return manifestWrites(1) }, fsx.CrashBefore},
+		{"manifest-torn", func() func(fsx.OpKind, string) bool { return manifestWrites(1) }, fsx.CrashTorn},
+		{"manifest-after", func() func(fsx.OpKind, string) bool { return manifestWrites(1) }, fsx.CrashAfter},
+		{"later-manifest-torn", func() func(fsx.OpKind, string) bool { return manifestWrites(3) }, fsx.CrashTorn},
+	}
+	for _, spec := range specs {
+		for _, restartWorkers := range []int{2, 1} {
+			label := fmt.Sprintf("%s restart-w%d", spec.name, restartWorkers)
+			ckpt, sinkDir := t.TempDir(), t.TempDir()
+			ffs := fsx.NewFaultFS(fsx.NoSync())
+			ffs.CrashWhen, ffs.Mode = spec.pred(), spec.mode
+			err := runPartitionTorture(t, ckpt, sinkDir, ffs, 2)
+			if !ffs.Crashed() {
+				t.Fatalf("%s: crash never fired (err=%v)", label, err)
+			}
+			if err == nil {
+				t.Fatalf("%s: crashed run reported success", label)
+			}
+			// Restart over the surviving checkpoint — at the crashed degree
+			// or at degree 1, which must read the same WAL and drop the
+			// orphaned seals either way.
+			if err := runPartitionTorture(t, ckpt, sinkDir, fsx.NoSync(), restartWorkers); err != nil {
+				t.Fatalf("%s: restart failed: %v", label, err)
+			}
+			if d := sinkDiff(golden, dirContents(t, sinkDir)); d != "" {
+				t.Fatalf("%s: sink did not converge to the crash-free output:\n%s", label, d)
+			}
+		}
+	}
+}

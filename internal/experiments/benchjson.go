@@ -31,11 +31,24 @@ type BenchScenario struct {
 	// Vectorized records whether the columnar execution path was enabled
 	// for the run (microbatch scenarios; the "-rowpath" variant forces it
 	// off to expose the delta).
-	Vectorized    bool    `json:"vectorized,omitempty"`
-	Events        int64   `json:"events"`
-	Epochs        int64   `json:"epochs,omitempty"`
-	ElapsedMillis int64   `json:"elapsedMillis"`
-	RowsPerSec    float64 `json:"rowsPerSec"`
+	Vectorized bool `json:"vectorized,omitempty"`
+	// Workers is the partitioned-runtime degree the scenario ran at
+	// (engine.Options.Workers; 1 = the classic single-goroutine path).
+	// GoMaxProcs and NumCPU record the Go scheduler width and the
+	// machine's core count at run time, per scenario rather than once per
+	// report: the scaling rows pin GOMAXPROCS to their worker count, so a
+	// single top-level figure would misdescribe them.
+	Workers    int `json:"workers,omitempty"`
+	GoMaxProcs int `json:"goMaxProcs,omitempty"`
+	NumCPU     int `json:"numCpu,omitempty"`
+	// ScalingEfficiencyPct is 100 × rowsPerSec ÷ (workers × the matching
+	// 1-worker row's rowsPerSec): parallel efficiency of a scaling row
+	// against its own serial baseline (100 = perfect linear scaling).
+	ScalingEfficiencyPct float64 `json:"scalingEfficiencyPct,omitempty"`
+	Events               int64   `json:"events"`
+	Epochs               int64   `json:"epochs,omitempty"`
+	ElapsedMillis        int64   `json:"elapsedMillis"`
+	RowsPerSec           float64 `json:"rowsPerSec"`
 	// EpochP50Us/EpochP99Us come from the engine's own epoch.us latency
 	// histogram (microbatch scenarios).
 	EpochP50Us int64 `json:"epochP50Us,omitempty"`
@@ -84,11 +97,12 @@ type BenchScenario struct {
 // BENCH_<date>.json: per-scenario throughput and tail latency, plus the
 // measured overhead of the observability layer (ISSUE 3 bounds it at 5%).
 type BenchReport struct {
-	GeneratedAt string          `json:"generatedAt"`
-	GoMaxProcs  int             `json:"goMaxProcs"`
-	Events      int             `json:"events"`
-	Rounds      int             `json:"rounds"`
-	Scenarios   []BenchScenario `json:"scenarios"`
+	GeneratedAt string `json:"generatedAt"`
+	Events      int    `json:"events"`
+	Rounds      int    `json:"rounds"`
+	// Runtime context (GOMAXPROCS, core count, worker degree) lives on
+	// each scenario row, not here: scaling rows run at different widths.
+	Scenarios []BenchScenario `json:"scenarios"`
 	// TracingOverheadPct is (untraced − traced) / untraced × 100 on
 	// microbatch throughput, computed between each variant's best round —
 	// the same rounds the scenario rows publish. Rounds alternate which
@@ -144,6 +158,16 @@ func (r BenchReport) String() string {
 		fmt.Fprintf(&b, "  vectorized over row-path microbatch throughput: %.2fx\n", r.VectorizationSpeedup)
 	}
 	return b.String()
+}
+
+// stampRuntime records a scenario's execution context: its worker degree
+// and the ACTUAL scheduler width and core count at the moment it ran
+// (scaling rows change GOMAXPROCS mid-suite, so this must be read per
+// run, not once per report).
+func stampRuntime(sc *BenchScenario, workers int) {
+	sc.Workers = workers
+	sc.GoMaxProcs = runtime.GOMAXPROCS(0)
+	sc.NumCPU = runtime.NumCPU()
 }
 
 // benchTopic preloads the bench workload into a bus topic: n records whose
@@ -281,7 +305,7 @@ func runMicrobatchBench(n int64, disableTracing, disableHealth, vectorize bool, 
 	if !vectorize {
 		name += "-rowpath"
 	}
-	return BenchScenario{
+	sc := BenchScenario{
 		Name:                 name,
 		Mode:                 "microbatch",
 		Traced:               !disableTracing,
@@ -296,7 +320,9 @@ func runMicrobatchBench(n int64, disableTracing, disableHealth, vectorize bool, 
 		EndToEndLatencyP99Us: hists["endToEndLatency.us"].P99,
 		WatermarkLagP50Us:    hists["watermarkLag.us"].P50,
 		WatermarkLagP99Us:    hists["watermarkLag.us"].P99,
-	}, nil
+	}
+	stampRuntime(&sc, 1)
+	return sc, nil
 }
 
 // RunBenchSuite measures the benchmark scenarios behind `make bench-json`:
@@ -314,7 +340,6 @@ func RunBenchSuite(events int, rounds int, tempDir func() string) (BenchReport, 
 
 	report := BenchReport{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Events:      events,
 		Rounds:      rounds,
 	}
@@ -434,5 +459,19 @@ func RunBenchSuite(events int, rounds int, tempDir func() string) (BenchReport, 
 		}
 	}
 	report.Scenarios = append(report.Scenarios, fanout)
+
+	// Scaling dimension: the partitioned runtime at 1/2/4/8 workers over
+	// CPU-bound and fetch-latency-bound workloads.
+	if err := runScalingSuite(&report, events, rounds, tempDir); err != nil {
+		return BenchReport{}, err
+	}
+
+	// Scenarios built by runners that predate per-row runtime stamping
+	// (continuous, serve-fanout) get their context filled in here.
+	for i := range report.Scenarios {
+		if report.Scenarios[i].Workers == 0 {
+			stampRuntime(&report.Scenarios[i], 1)
+		}
+	}
 	return report, nil
 }

@@ -95,6 +95,7 @@ func runStateBackendBench(name string, n, keys int64, backend string, memtableBy
 	if traffic := snap["stateBlockCacheHits"] + snap["stateBlockCacheMisses"]; traffic > 0 {
 		sc.BlockCacheHitRatePct = 100 * float64(snap["stateBlockCacheHits"]) / float64(traffic)
 	}
+	stampRuntime(&sc, 1)
 	return sc, nil
 }
 

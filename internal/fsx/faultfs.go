@@ -60,6 +60,13 @@ type FaultFS struct {
 	// CrashAt schedules a simulated crash at the CrashAt-th mutating
 	// operation (1-based; 0 disables).
 	CrashAt int64
+	// CrashWhen, when set, latches CrashAt to the first counted operation
+	// the predicate matches. It exists for concurrent workloads (the
+	// sharded engine), where operation numbers shift between runs but the
+	// shape of the target operation — "the first segment seal", "the
+	// barrier manifest rename" — does not. Once latched, the crash follows
+	// the ordinary CrashAt/Mode path, so traces still pinpoint the op.
+	CrashWhen func(kind OpKind, path string) bool
 	// Mode selects where in the operation the crash strikes.
 	Mode CrashMode
 	// FailAt injects a one-shot error instead of performing the n-th
@@ -116,6 +123,9 @@ func (f *FaultFS) begin(kind OpKind, path string) (int64, error) {
 	f.n++
 	n := f.n
 	f.trace = append(f.trace, Op{N: n, Kind: kind, Path: path})
+	if f.CrashWhen != nil && f.CrashAt == 0 && f.CrashWhen(kind, path) {
+		f.CrashAt = n
+	}
 	if err, ok := f.FailAt[n]; ok {
 		delete(f.FailAt, n)
 		return n, fmt.Errorf("%w (op %d: %s %s)", err, n, kind, path)

@@ -733,6 +733,7 @@ func (c *compiler) compileDistinct(d *logical.Distinct, q *Query) (StatefulOp, e
 		}
 		for _, p := range pipes {
 			p.KeyEvals = evals
+			p.KeyIdxs = keyIdxs
 		}
 	}
 	q.Pipelines = pipes
@@ -866,12 +867,15 @@ func (c *compiler) compileStreamStreamJoin(j *logical.Join, q *Query) (StatefulO
 // n columns.
 func routeByLeadingColumns(pipes []*Pipeline, n int) {
 	evals := make([]func(sql.Row) sql.Value, n)
+	idxs := make([]int, n)
 	for i := 0; i < n; i++ {
 		i := i
 		evals[i] = func(r sql.Row) sql.Value { return r[i] }
+		idxs[i] = i
 	}
 	for _, p := range pipes {
 		p.KeyEvals = evals
+		p.KeyIdxs = idxs
 	}
 }
 

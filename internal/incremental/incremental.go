@@ -76,6 +76,12 @@ type Pipeline struct {
 	// KeyEvals route stage output rows to state partitions; nil for
 	// map-only queries.
 	KeyEvals []func(sql.Row) sql.Value
+	// KeyIdxs, when non-nil, are the stage-output column indexes behind
+	// KeyEvals (every current routing key is a plain column). A fully
+	// vectorized pipeline uses them to hash keys straight from the column
+	// vectors at the shuffle boundary instead of boxing each row first;
+	// KeyEvals remain the semantic source of truth.
+	KeyIdxs []int
 	// WatermarkEval extracts the event-time value from a *raw source row*
 	// for watermark tracking; nil when the source has no watermark.
 	WatermarkEval func(sql.Row) sql.Value

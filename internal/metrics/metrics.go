@@ -279,6 +279,9 @@ type QueryProgress struct {
 	// to kernels.
 	Vectorized     bool  `json:"vectorized,omitempty"`
 	VectorizedRows int64 `json:"vectorizedRows,omitempty"`
+	// Workers is the sharded-runtime worker count (Options.Workers); omitted
+	// on the classic single-goroutine path.
+	Workers int `json:"workers,omitempty"`
 	// ProcessingMicros is the epoch's wall time at µs resolution;
 	// ProcessingMillis is this rounded down. Sub-millisecond epochs report
 	// 0 ms but keep a meaningful µs figure, which is what rates and the

@@ -1,0 +1,155 @@
+// Package shard implements the partitioned parallel execution runtime
+// behind engine.Options.Workers: a fixed pool of real worker goroutines
+// that runs an epoch's map shards and reduce partitions concurrently, a
+// deterministic contiguous offset-range splitter so each source partition
+// can feed several workers, and a columnar exchange that routes fully
+// vectorized batches to state partitions by hashing key vectors instead
+// of boxing every row.
+//
+// The pool is deliberately simpler than internal/cluster, which simulates
+// a Spark-like scheduler (slots, retries, speculative duplicates) for the
+// paper's §6 experiments. Shard workers are the real-parallelism
+// substrate: tasks run exactly once, results return in task order, and
+// the first failure (by task index) is reported after every task has
+// settled — an epoch never abandons a task mid-commit.
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Task is one unit of epoch work: a map shard or a reduce partition.
+// Index orders results and error reporting.
+type Task struct {
+	Index int
+	Fn    func() (any, error)
+}
+
+// Stats is a point-in-time snapshot of a pool's cumulative activity.
+type Stats struct {
+	// Workers is the fixed pool size.
+	Workers int
+	// TasksRun counts completed tasks (failed ones included).
+	TasksRun int64
+	// StagesRun counts Run calls.
+	StagesRun int64
+	// BusyNanos is the summed wall time workers spent inside task
+	// functions; BusyNanos / (Workers × stage wall time) is pool
+	// utilization.
+	BusyNanos int64
+}
+
+// Pool runs tasks on a fixed set of worker goroutines. It is safe for
+// concurrent use; tasks submitted by concurrent Run calls interleave over
+// the same workers.
+type Pool struct {
+	workers int
+	queue   chan job
+	wg      sync.WaitGroup
+
+	closeOnce sync.Once
+	closed    atomic.Bool
+
+	tasksRun  atomic.Int64
+	stagesRun atomic.Int64
+	busyNanos atomic.Int64
+}
+
+// job is one queued task plus the slot its result lands in.
+type job struct {
+	fn   func() (any, error)
+	out  *stage
+	slot int
+}
+
+// stage collects one Run call's results.
+type stage struct {
+	results []any
+	errs    []error
+	wg      sync.WaitGroup
+}
+
+// NewPool starts workers goroutines (minimum 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{workers: workers, queue: make(chan job)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the fixed pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		j.out.results[j.slot], j.out.errs[j.slot] = p.runOne(j.fn)
+		p.tasksRun.Add(1)
+		j.out.wg.Done()
+	}
+}
+
+// runOne executes one task, converting a panic into an error so a bad
+// task cannot take a pool worker down with it.
+func (p *Pool) runOne(fn func() (any, error)) (res any, err error) {
+	start := time.Now()
+	defer func() {
+		p.busyNanos.Add(time.Since(start).Nanoseconds())
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("shard: task panicked: %v", r)
+		}
+	}()
+	return fn()
+}
+
+// Run executes tasks on the pool and returns their results ordered by
+// Task.Index. Every task runs to completion even when another fails —
+// partial epochs must settle, not race a replacement — and the error
+// returned is the failed task with the lowest index, so a multi-failure
+// stage reports deterministically.
+func (p *Pool) Run(tasks []Task) ([]any, error) {
+	if p.closed.Load() {
+		return nil, fmt.Errorf("shard: pool is closed")
+	}
+	st := &stage{results: make([]any, len(tasks)), errs: make([]error, len(tasks))}
+	st.wg.Add(len(tasks))
+	p.stagesRun.Add(1)
+	for _, t := range tasks {
+		p.queue <- job{fn: t.Fn, out: st, slot: t.Index}
+	}
+	st.wg.Wait()
+	for i, err := range st.errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard: task %d: %w", i, err)
+		}
+	}
+	return st.results, nil
+}
+
+// Close stops the workers after the queued tasks drain. Further Run calls
+// fail; Close is idempotent.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() {
+		p.closed.Store(true)
+		close(p.queue)
+	})
+	p.wg.Wait()
+}
+
+// Stats reports the pool's cumulative counters.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Workers:   p.workers,
+		TasksRun:  p.tasksRun.Load(),
+		StagesRun: p.stagesRun.Load(),
+		BusyNanos: p.busyNanos.Load(),
+	}
+}

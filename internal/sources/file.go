@@ -10,7 +10,9 @@ import (
 	"strings"
 	"sync"
 
+	"structream/internal/shard"
 	"structream/internal/sql"
+	"structream/internal/sql/vec"
 )
 
 // FileSource treats a directory of JSON-lines files as a stream, the way
@@ -101,6 +103,19 @@ func (s *FileSource) Read(p int, from, to int64) ([]sql.Row, error) {
 		out = append(out, rows...)
 	}
 	return out, nil
+}
+
+// ReadPartition implements PartitionReader: the lock covers only the
+// file-list snapshot, so workers parse their file slices concurrently
+// instead of queueing behind one whole-range read.
+func (s *FileSource) ReadPartition(p int, from, to int64, n, of int) (*vec.Batch, bool, error) {
+	lo, hi := shard.Range(from, to, n, of)
+	rows, err := s.Read(p, lo, hi)
+	if err != nil {
+		return nil, false, err
+	}
+	b, ok := vec.FromRows(s.schema, rows)
+	return b, ok, nil
 }
 
 func (s *FileSource) readFile(path string) ([]sql.Row, error) {
@@ -261,4 +276,36 @@ func (s *RateSource) Read(p int, from, to int64) ([]sql.Row, error) {
 		out = append(out, sql.Row{value, ts})
 	}
 	return out, nil
+}
+
+// ReadVec implements VectorReader: rows synthesize straight into the two
+// int64 slabs — no sql.Row, no boxing, and (rows being a pure function
+// of position) no lock.
+func (s *RateSource) ReadVec(p int, from, to int64) (*vec.Batch, bool, error) {
+	if p < 0 || p >= s.partitions {
+		return nil, false, fmt.Errorf("sources: partition %d out of range", p)
+	}
+	if to < from {
+		return nil, false, fmt.Errorf("sources: rate range [%d,%d) is inverted", from, to)
+	}
+	n := int64(s.partitions)
+	perPartRate := s.rowsPerSec / n
+	if perPartRate == 0 {
+		perPartRate = 1
+	}
+	b := vec.NewBatch(RateSchema, int(to-from))
+	values, stamps := b.Cols[0].Int64s, b.Cols[1].Int64s
+	for off := from; off < to; off++ {
+		i := off - from
+		values[i] = int64(p) + off*n
+		stamps[i] = s.startMicro + off*1_000_000/perPartRate
+	}
+	return b, true, nil
+}
+
+// ReadPartition implements PartitionReader: the generator needs no
+// shared cursor at all, so worker slices are embarrassingly parallel.
+func (s *RateSource) ReadPartition(p int, from, to int64, n, of int) (*vec.Batch, bool, error) {
+	lo, hi := shard.Range(from, to, n, of)
+	return s.ReadVec(p, lo, hi)
 }

@@ -1,0 +1,136 @@
+package sources
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"structream/internal/msgbus"
+	"structream/internal/sql"
+	"structream/internal/sql/codec"
+)
+
+// concatPartitions reads slices 0..of-1 through ReadPartition and
+// concatenates their materialized rows in slice order.
+func concatPartitions(t *testing.T, pr PartitionReader, p int, from, to int64, of int) []sql.Row {
+	t.Helper()
+	var out []sql.Row
+	for n := 0; n < of; n++ {
+		b, ok, err := pr.ReadPartition(p, from, to, n, of)
+		if err != nil {
+			t.Fatalf("slice %d/%d: %v", n, of, err)
+		}
+		if !ok {
+			t.Fatalf("slice %d/%d: fell back to the row path", n, of)
+		}
+		out = b.AppendRows(out)
+	}
+	return out
+}
+
+// requireSameRows compares materialized rows in order.
+func requireSameRows(t *testing.T, got, want []sql.Row, ctx string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d rows, want %d", ctx, len(got), len(want))
+	}
+	for i := range got {
+		if got[i].String() != want[i].String() {
+			t.Fatalf("%s: row %d = %s, want %s", ctx, i, got[i], want[i])
+		}
+	}
+}
+
+// TestPartitionReadConcat is the splitter contract: for every source
+// kind, concatenating the `of` worker slices reproduces the full-range
+// read exactly — same rows, same order — for every split degree,
+// including degrees exceeding the row count.
+func TestPartitionReadConcat(t *testing.T) {
+	const rows = 23
+
+	sources := map[string]struct {
+		src  Source
+		part int
+	}{}
+
+	// Bus: codec-framed topic, 2 partitions.
+	broker := msgbus.NewBroker()
+	topic, _ := broker.CreateTopic("events", 2)
+	for i := 0; i < rows; i++ {
+		topic.Append(i%2, msgbus.Record{Value: codec.EncodeRow(sql.Row{int64(i), fmt.Sprintf("r%d", i)})})
+	}
+	sources["bus"] = struct {
+		src  Source
+		part int
+	}{NewCodecBusSource("events", topic, testSchema), 1}
+
+	// Rate: pure generator.
+	rate := NewRateSource("rate", 2, 100, 1_000_000)
+	rate.SetAvailable(rows)
+	sources["rate"] = struct {
+		src  Source
+		part int
+	}{rate, 0}
+
+	// Partitioned: preloaded immutable rows.
+	var pre []sql.Row
+	for i := 0; i < rows; i++ {
+		pre = append(pre, sql.Row{int64(i * 10), fmt.Sprintf("p%d", i)})
+	}
+	sources["partitioned"] = struct {
+		src  Source
+		part int
+	}{NewPartitionedSource("events", testSchema, [][]sql.Row{pre}), 0}
+
+	// File: JSON-lines directory.
+	dir := t.TempDir()
+	for f := 0; f < 5; f++ {
+		var lines string
+		for j := 0; j < 3; j++ {
+			lines += fmt.Sprintf("{\"id\": %d, \"name\": \"f%d\"}\n", f*3+j, f)
+		}
+		if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("batch-%02d.json", f)), []byte(lines), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fileSrc := NewFileSource("files", dir, testSchema)
+	if _, err := fileSrc.Latest(); err != nil {
+		t.Fatal(err)
+	}
+	sources["file"] = struct {
+		src  Source
+		part int
+	}{fileSrc, 0}
+
+	for name, tc := range sources {
+		// Instrumented wrapping must forward the splitter too.
+		for _, wrap := range []bool{false, true} {
+			src := tc.src
+			if wrap {
+				src = Instrument(src)
+			}
+			pr, ok := src.(PartitionReader)
+			if !ok {
+				t.Fatalf("%s (wrap=%v): source does not implement PartitionReader", name, wrap)
+			}
+			latest, err := src.Latest()
+			if err != nil {
+				t.Fatal(err)
+			}
+			to := latest[tc.part]
+			want, err := src.Read(tc.part, 0, to)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(want) == 0 {
+				t.Fatalf("%s: full read returned nothing", name)
+			}
+			for _, of := range []int{1, 2, 3, 7, int(to) + 5} {
+				ctx := fmt.Sprintf("%s wrap=%v of=%d", name, wrap, of)
+				got := concatPartitions(t, pr, tc.part, 0, to, of)
+				requireSameRows(t, got, want, ctx)
+			}
+		}
+	}
+}

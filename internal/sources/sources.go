@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"structream/internal/msgbus"
+	"structream/internal/shard"
 	"structream/internal/sql"
 	"structream/internal/sql/codec"
 	"structream/internal/sql/vec"
@@ -71,6 +72,22 @@ type Source interface {
 // returns the identical logical rows.
 type VectorReader interface {
 	ReadVec(p int, from, to int64) (b *vec.Batch, ok bool, err error)
+}
+
+// PartitionReader is an optional Source extension for the sharded
+// runtime (engine.Options.Workers > 1): ReadPartition serves the n-th of
+// `of` contiguous slices of partition p's offset range [from, to) as a
+// typed column batch. Slice boundaries are shard.Range, so concatenating
+// slices 0..of-1 reproduces the full range exactly — the splitter
+// changes who reads, never what is read. ok=false means the slice cannot
+// be represented columnar and the caller must fall back to Read over the
+// same shard.Range slice, as with VectorReader.
+//
+// The point is head-of-line freedom: each worker fetches and decodes
+// only its own slice concurrently, instead of one reader materializing
+// the whole range under a lock and fanning rows out afterwards.
+type PartitionReader interface {
+	ReadPartition(p int, from, to int64, n, of int) (b *vec.Batch, ok bool, err error)
 }
 
 // ---------------------------------------------------------------- bus
@@ -170,6 +187,15 @@ func (s *BusSource) ReadVec(p int, from, to int64) (*vec.Batch, bool, error) {
 	return b, true, nil
 }
 
+// ReadPartition implements PartitionReader: each worker fetches and
+// decodes only its own slice of the offset range, concurrently with its
+// siblings — the topic's fetch path has no whole-range lock to contend
+// on.
+func (s *BusSource) ReadPartition(p int, from, to int64, n, of int) (*vec.Batch, bool, error) {
+	lo, hi := shard.Range(from, to, n, of)
+	return s.ReadVec(p, lo, hi)
+}
+
 // Topic exposes the underlying topic (used by continuous-mode workers to
 // block on new data).
 func (s *BusSource) Topic() *msgbus.Topic { return s.topic }
@@ -230,6 +256,18 @@ func (s *PartitionedSource) Read(p int, from, to int64) ([]sql.Row, error) {
 		return nil, fmt.Errorf("sources: range [%d,%d) out of bounds for partition %d", from, to, p)
 	}
 	return s.parts[p][from:to], nil
+}
+
+// ReadPartition implements PartitionReader: the slice is a sub-slice of
+// the immutable partition — no lock, no copy — columnarized per worker.
+func (s *PartitionedSource) ReadPartition(p int, from, to int64, n, of int) (*vec.Batch, bool, error) {
+	lo, hi := shard.Range(from, to, n, of)
+	rows, err := s.Read(p, lo, hi)
+	if err != nil {
+		return nil, false, err
+	}
+	b, ok := vec.FromRows(s.schema, rows)
+	return b, ok, nil
 }
 
 // ---------------------------------------------------------------- memory

@@ -290,3 +290,20 @@ func VectorKeyString(e *Encoder, keys []*vec.Vector, i int) {
 		e.PutVectorValue(k, i)
 	}
 }
+
+// HashVec computes the shuffle-routing hash of the grouping key drawn
+// from key column vectors at position i, reusing the encoder's buffer.
+// The result equals HashKey over the boxed key values bit for bit — the
+// columnar exchange and the row path must route every key to the same
+// partition.
+func HashVec(e *Encoder, keys []*vec.Vector, i int) uint64 {
+	e.Reset()
+	VectorKeyString(e, keys, i)
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, b := range e.Bytes() {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}

@@ -84,8 +84,14 @@ type Provider struct {
 	// errors as transient and retry.
 	ReadOnly bool
 
+	// mu guards only the maps and flags below; it is never held across
+	// backend I/O. Open serializes per store through locks[id] instead, so
+	// the sharded runtime's workers can load and reconstruct different
+	// partitions' stores concurrently without queueing behind one global
+	// lock. Lock order where both are taken: locks[id] before mu.
 	mu         sync.Mutex
 	cache      map[ID]*Store
+	locks      map[ID]*sync.Mutex
 	closed     bool
 	blockCache *lsm.BlockCache
 
@@ -191,12 +197,21 @@ func (p *Provider) storeDir(id ID) string {
 // in-memory structures with partially absorbed changes — the state is
 // reconstructed from the backend's files.
 func (p *Provider) Open(id ID, version int64) (*Store, error) {
+	lk, err := p.lockFor(id)
+	if err != nil {
+		return nil, err
+	}
+	lk.Lock()
+	defer lk.Unlock()
+
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		return nil, fmt.Errorf("state: provider for %s is closed", p.dir)
 	}
 	s, cached := p.cache[id]
+	p.mu.Unlock()
+
 	if cached && s.version == version && !s.dirty {
 		p.cacheHits.Add(1)
 		return s, nil
@@ -228,8 +243,41 @@ func (p *Provider) Open(id ID, version int64) (*Store, error) {
 		return nil, err
 	}
 	s.version, s.dirty = version, false
+
+	p.mu.Lock()
+	if p.closed {
+		// Close ran while we were loading. A cached store is on Close's
+		// list — it closes the backend once it wins our id lock; a fresh
+		// one is ours alone to release.
+		p.mu.Unlock()
+		if !cached {
+			s.backend.close()
+		}
+		return nil, fmt.Errorf("state: provider for %s is closed", p.dir)
+	}
 	p.cache[id] = s
+	p.mu.Unlock()
 	return s, nil
+}
+
+// lockFor returns the per-store open lock for id, creating it on first
+// use. The lock outlives evictions: a store's disk directory is a
+// singleton even when its in-memory incarnation is not.
+func (p *Provider) lockFor(id ID) (*sync.Mutex, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, fmt.Errorf("state: provider for %s is closed", p.dir)
+	}
+	lk := p.locks[id]
+	if lk == nil {
+		if p.locks == nil {
+			p.locks = map[ID]*sync.Mutex{}
+		}
+		lk = &sync.Mutex{}
+		p.locks[id] = lk
+	}
+	return lk, nil
 }
 
 func (p *Provider) newBackend(dir string) (storeBackend, error) {
@@ -237,6 +285,10 @@ func (p *Provider) newBackend(dir string) (storeBackend, error) {
 	case BackendMemory:
 		return &memBackend{provider: p, dir: dir, data: map[string][]byte{}}, nil
 	case BackendLSM:
+		// Concurrent Opens of different stores share the lazily built
+		// block cache; creation needs p.mu now that newBackend runs
+		// outside it.
+		p.mu.Lock()
 		if p.blockCache == nil {
 			capBytes := p.BlockCacheBytes
 			if capBytes <= 0 {
@@ -244,11 +296,13 @@ func (p *Provider) newBackend(dir string) (storeBackend, error) {
 			}
 			p.blockCache = lsm.NewBlockCache(capBytes)
 		}
+		cache := p.blockCache
+		p.mu.Unlock()
 		tree, err := lsm.Open(lsm.Options{
 			FS:                   p.fs,
 			Dir:                  dir,
 			MemtableBytes:        p.MemtableBytes,
-			Cache:                p.blockCache,
+			Cache:                cache,
 			BackgroundCompaction: p.BackgroundMaintenance,
 			Scheduler:            p.Scheduler,
 		})
@@ -267,20 +321,47 @@ func (p *Provider) newBackend(dir string) (storeBackend, error) {
 // residency — alive forever.
 func (p *Provider) Close() {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		return
 	}
 	p.closed = true
+	type closing struct {
+		lk *sync.Mutex
+		s  *Store
+	}
+	var list []closing
 	for id, s := range p.cache {
-		s.backend.close()
+		list = append(list, closing{p.locks[id], s})
 		delete(p.cache, id)
+	}
+	p.mu.Unlock()
+	// Backends close outside p.mu but under each store's open lock, so an
+	// Open that was mid-load when we flipped closed finishes (and fails at
+	// its own closed re-check) before its backend is torn down.
+	for _, c := range list {
+		if c.lk != nil {
+			c.lk.Lock()
+		}
+		c.s.backend.close()
+		if c.lk != nil {
+			c.lk.Unlock()
+		}
 	}
 }
 
 // Evict drops one store from the live cache, releasing its resources. The
 // next Open reconstructs it from disk.
 func (p *Provider) Evict(id ID) {
+	p.mu.Lock()
+	lk := p.locks[id]
+	p.mu.Unlock()
+	if lk != nil {
+		// Respect the lock order (locks[id] before mu) and wait out any
+		// in-flight Open of the same store.
+		lk.Lock()
+		defer lk.Unlock()
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if s, ok := p.cache[id]; ok {

@@ -1,0 +1,187 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func seal(t *testing.T, l *Log, epoch int64, part int) {
+	t.Helper()
+	if err := l.WriteSegment(Segment{
+		Epoch: epoch, Partition: part, StateVersion: epoch,
+		RowsIn: 10 * int64(part+1), RowsOut: 5, StateKeys: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPartitionSegmentRoundtrip(t *testing.T) {
+	l := openLog(t)
+	seal(t, l, 7, 2)
+	s, ok, err := l.ReadSegment(7, 2)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if s.Epoch != 7 || s.Partition != 2 || s.StateVersion != 7 || s.RowsIn != 30 {
+		t.Fatalf("segment = %+v", s)
+	}
+	if s.CRC32C == "" || s.LengthBytes == 0 {
+		t.Fatalf("segment not framed: %+v", s)
+	}
+	if _, ok, err := l.ReadSegment(7, 3); ok || err != nil {
+		t.Fatalf("missing seal: ok=%v err=%v", ok, err)
+	}
+	if n := l.Stats().SegmentsWritten; n != 1 {
+		t.Fatalf("segmentsWritten = %d", n)
+	}
+}
+
+// TestPartitionSegmentResealByteIdentical is the replay property the whole
+// barrier design rests on: segments carry no timestamp, so a replayed
+// epoch re-seals the exact same bytes.
+func TestPartitionSegmentResealByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seal(t, l, 4, 1)
+	path := filepath.Join(dir, "segments", "000000000004.part-001.json")
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seal(t, l, 4, 1) // replayed epoch re-seals
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatalf("re-seal changed bytes:\n--- first\n%s\n--- second\n%s", first, second)
+	}
+}
+
+func TestPartitionSegmentCorruptionDetected(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir)
+	seal(t, l, 2, 0)
+	path := filepath.Join(dir, "segments", "000000000002.part-000.json")
+	data, _ := os.ReadFile(path)
+	tampered := strings.Replace(string(data), `"rowsIn": 10`, `"rowsIn": 99`, 1)
+	if tampered == string(data) {
+		t.Fatal("tamper target not found")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := l.ReadSegment(2, 0); err == nil {
+		t.Fatal("tampered seal loaded without error")
+	}
+}
+
+func TestPartitionCommitBarrier(t *testing.T) {
+	l := openLog(t)
+	if err := l.WriteOffsets(entry(0, 0, 50)); err != nil {
+		t.Fatal(err)
+	}
+	// Barrier over an incomplete seal set must fail and leave no commit.
+	seal(t, l, 0, 0)
+	seal(t, l, 0, 2)
+	if err := l.CommitBarrier(0, 3); err == nil || !strings.Contains(err.Error(), "partition 1") {
+		t.Fatalf("barrier with missing seal: %v", err)
+	}
+	if _, ok, _ := l.LatestCommit(); ok {
+		t.Fatal("failed barrier left a commit behind")
+	}
+	// Complete the seal set: barrier writes one manifest with all digests.
+	seal(t, l, 0, 1)
+	if err := l.CommitBarrier(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	c, ok, err := l.ReadCommit(0)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if c.Partitions != 3 || len(c.Segments) != 3 {
+		t.Fatalf("manifest = %+v", c)
+	}
+	for p, ref := range c.Segments {
+		if ref.Partition != p || ref.CRC32C == "" {
+			t.Fatalf("ref %d = %+v", p, ref)
+		}
+		s, _, _ := l.ReadSegment(0, p)
+		if ref.CRC32C != s.CRC32C {
+			t.Fatalf("manifest digest %q != seal digest %q", ref.CRC32C, s.CRC32C)
+		}
+	}
+	if parts, _ := l.SegmentPartitions(0); !reflect.DeepEqual(parts, []int{0, 1, 2}) {
+		t.Fatalf("partitions = %v", parts)
+	}
+}
+
+// TestPartitionRecoverDropsUncommittedSeals checks the restart invariant:
+// seals of an epoch without a manifest vanish; committed epochs keep
+// theirs.
+func TestPartitionRecoverDropsUncommittedSeals(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := Open(dir)
+	l.WriteOffsets(entry(0, 0, 10))
+	seal(t, l, 0, 0)
+	seal(t, l, 0, 1)
+	if err := l.CommitBarrier(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Epoch 1 crashes mid-barrier: offsets written, only one seal landed.
+	l.WriteOffsets(entry(1, 10, 20))
+	seal(t, l, 1, 0)
+
+	l2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := l2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Replay == nil || rec.Replay.Epoch != 1 {
+		t.Fatalf("recovery = %+v", rec)
+	}
+	if parts, _ := l2.SegmentPartitions(1); parts != nil {
+		t.Fatalf("uncommitted seals survived restart: %v", parts)
+	}
+	if parts, _ := l2.SegmentPartitions(0); !reflect.DeepEqual(parts, []int{0, 1}) {
+		t.Fatalf("committed seals dropped: %v", parts)
+	}
+}
+
+func TestPartitionRollbackAndPurgePruneSeals(t *testing.T) {
+	l := openLog(t)
+	for e := int64(0); e < 3; e++ {
+		l.WriteOffsets(entry(e, e*10, e*10+10))
+		seal(t, l, e, 0)
+		if err := l.CommitBarrier(e, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.RollbackTo(1); err != nil {
+		t.Fatal(err)
+	}
+	if parts, _ := l.SegmentPartitions(2); parts != nil {
+		t.Fatalf("rollback kept epoch-2 seals: %v", parts)
+	}
+	if parts, _ := l.SegmentPartitions(1); parts == nil {
+		t.Fatal("rollback dropped a kept epoch's seals")
+	}
+	if err := l.Purge(1); err != nil {
+		t.Fatal(err)
+	}
+	if parts, _ := l.SegmentPartitions(0); parts != nil {
+		t.Fatalf("purge kept epoch-0 seals: %v", parts)
+	}
+	if parts, _ := l.SegmentPartitions(1); parts == nil {
+		t.Fatal("purge dropped the latest committed epoch's seals")
+	}
+}

@@ -51,6 +51,13 @@ type Commit struct {
 	Epoch     int64  `json:"epoch"`
 	Timestamp string `json:"timestamp"`
 
+	// Partitions and Segments are set only by CommitBarrier: the commit is
+	// then a barrier manifest recording how many per-partition WAL segments
+	// the epoch sealed and the digest each one carried. Plain (unsharded)
+	// commits leave both zero.
+	Partitions int          `json:"partitions,omitempty"`
+	Segments   []SegmentRef `json:"segments,omitempty"`
+
 	LengthBytes int64  `json:"lengthBytes,omitempty"`
 	CRC32C      string `json:"crc32c,omitempty"`
 }
@@ -58,17 +65,19 @@ type Commit struct {
 // Log is a write-ahead log rooted at a checkpoint directory, holding an
 // offsets log and a commit log.
 type Log struct {
-	fs         fsx.FS
-	dir        string
-	offsetsDir string
-	commitsDir string
+	fs          fsx.FS
+	dir         string
+	offsetsDir  string
+	commitsDir  string
+	segmentsDir string
 
 	// Observability counters (§7.4): cumulative write activity, exposed via
 	// Stats so the monitoring layer can report WAL pressure per query.
-	offsetsWritten atomic.Int64
-	commitsWritten atomic.Int64
-	bytesWritten   atomic.Int64
-	writeNanos     atomic.Int64
+	offsetsWritten  atomic.Int64
+	commitsWritten  atomic.Int64
+	segmentsWritten atomic.Int64
+	bytesWritten    atomic.Int64
+	writeNanos      atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of the log's write activity.
@@ -77,6 +86,9 @@ type Stats struct {
 	OffsetsWritten int64
 	// CommitsWritten counts durably recorded epoch commits.
 	CommitsWritten int64
+	// SegmentsWritten counts durably sealed per-partition segments
+	// (sharded barrier commits only).
+	SegmentsWritten int64
 	// BytesWritten is the total framed bytes handed to the filesystem.
 	BytesWritten int64
 	// WriteNanos is the cumulative wall time spent inside atomic WAL
@@ -87,10 +99,11 @@ type Stats struct {
 // Stats reports the log's cumulative write counters.
 func (l *Log) Stats() Stats {
 	return Stats{
-		OffsetsWritten: l.offsetsWritten.Load(),
-		CommitsWritten: l.commitsWritten.Load(),
-		BytesWritten:   l.bytesWritten.Load(),
-		WriteNanos:     l.writeNanos.Load(),
+		OffsetsWritten:  l.offsetsWritten.Load(),
+		CommitsWritten:  l.commitsWritten.Load(),
+		SegmentsWritten: l.segmentsWritten.Load(),
+		BytesWritten:    l.bytesWritten.Load(),
+		WriteNanos:      l.writeNanos.Load(),
 	}
 }
 
@@ -103,12 +116,13 @@ func Open(dir string) (*Log, error) { return OpenFS(fsx.Real(), dir) }
 // here, so they cannot accumulate across restarts.
 func OpenFS(fsys fsx.FS, dir string) (*Log, error) {
 	l := &Log{
-		fs:         fsys,
-		dir:        dir,
-		offsetsDir: filepath.Join(dir, "offsets"),
-		commitsDir: filepath.Join(dir, "commits"),
+		fs:          fsys,
+		dir:         dir,
+		offsetsDir:  filepath.Join(dir, "offsets"),
+		commitsDir:  filepath.Join(dir, "commits"),
+		segmentsDir: filepath.Join(dir, "segments"),
 	}
-	for _, d := range []string{l.offsetsDir, l.commitsDir} {
+	for _, d := range []string{l.offsetsDir, l.commitsDir, l.segmentsDir} {
 		if err := fsys.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("wal: %w", err)
 		}
@@ -331,7 +345,7 @@ func (l *Log) RollbackTo(keep int64) error {
 			}
 		}
 	}
-	return nil
+	return l.pruneSegments(func(e int64) bool { return e <= keep })
 }
 
 // Purge removes entries older than before (exclusive), bounding log growth.
@@ -358,7 +372,7 @@ func (l *Log) Purge(before int64) error {
 			}
 		}
 	}
-	return nil
+	return l.pruneSegments(func(e int64) bool { return e >= before })
 }
 
 // RecoveryPoint describes where a restarted query resumes: the next epoch
@@ -394,6 +408,11 @@ func (l *Log) Recover() (RecoveryPoint, error) {
 		return RecoveryPoint{}, err
 	}
 	if len(epochs) == 0 {
+		// A fresh (or fully rolled-back) log may still hold orphaned seals
+		// from a crash before the first barrier; drop them.
+		if err := l.dropUncommittedSegments(0, false); err != nil {
+			return RecoveryPoint{}, err
+		}
 		return RecoveryPoint{NextEpoch: 0}, nil
 	}
 	for i := 1; i < len(epochs); i++ {
@@ -405,6 +424,12 @@ func (l *Log) Recover() (RecoveryPoint, error) {
 	}
 	committed, anyCommit, err := l.LatestCommit()
 	if err != nil {
+		return RecoveryPoint{}, err
+	}
+	// Orphaned per-partition seals from a crash mid-barrier belong to an
+	// epoch that never committed: remove them so no partial-barrier state
+	// survives a restart — the replayed epoch re-seals them bit for bit.
+	if err := l.dropUncommittedSegments(committed, anyCommit); err != nil {
 		return RecoveryPoint{}, err
 	}
 

@@ -39,6 +39,8 @@ grep -q '"serve-fanout"' "$smoke_json" || { echo "bench smoke: missing serve-fan
 grep -q '"endToEndLatencyP50Us"' "$smoke_json" || { echo "bench smoke: missing end-to-end freshness percentiles"; exit 1; }
 grep -q '"watermarkLagP99Us"' "$smoke_json" || { echo "bench smoke: missing watermark-lag percentiles"; exit 1; }
 grep -q '"healthOverheadPct"' "$smoke_json" || { echo "bench smoke: missing health-overhead comparison"; exit 1; }
+grep -q '"scaling-microbatch-w4"' "$smoke_json" || { echo "bench smoke: missing scaling scenarios"; exit 1; }
+grep -q '"scalingEfficiencyPct"' "$smoke_json" || { echo "bench smoke: missing scaling efficiency"; exit 1; }
 rm -f "$smoke_json"
 # Health-subsystem race round: latency lineage, the anomaly detector and
 # flight recorder, the engine wiring for both modes, and the serve-layer
@@ -49,6 +51,12 @@ echo ">> health lineage/recorder race round"
 go test -race -count=1 ./internal/health/ >/dev/null
 go test -race -count=1 -run 'Health|Lineage|EventTime|Anomaly|Bundle' \
 	./internal/engine/ ./internal/serve/ ./internal/monitor/ >/dev/null
+# Partitioned-runtime race round: the shard pool/splitter/exchange and
+# the engine's N-worker differential plus barrier crash torture under the
+# race detector. Redundant with `go test -race ./...` above but named so
+# the sharded-commit contract stays visible.
+echo ">> shard partitioned-runtime race round"
+go test -race -count=1 -run Partition ./internal/shard/ ./internal/engine/ >/dev/null
 # Vectorization differential smoke: the columnar path must be
 # byte-identical to the row path on randomized queries and data, and the
 # engine-level on/off runs must agree. (The full suite also runs under

@@ -86,6 +86,9 @@ func (w *DataStreamWriter) Checkpoint(dir string) *DataStreamWriter {
 }
 
 // Option sets a sink/engine option ("partitions", "maxRecordsPerTrigger",
+// "workers" — N > 1 runs epochs on the partitioned parallel runtime
+// (per-partition pipelines, sharded epoch-commit barrier; see
+// engine.Options.Workers),
 // "stateBackend", "stateMemtableBytes", "stateBlockCacheBytes",
 // "stateSyncMaintenance" — "true" pins LSM flush/compaction inline on the
 // commit path instead of the background goroutine,
@@ -203,6 +206,9 @@ func (w *DataStreamWriter) Start(path string) (*StreamingQuery, error) {
 	}
 	if n, err := strconv.ParseInt(w.opts["maxRecordsPerTrigger"], 10, 64); err == nil && n > 0 {
 		opts.MaxRecordsPerTrigger = n
+	}
+	if n, err := strconv.Atoi(w.opts["workers"]); err == nil && n > 1 {
+		opts.Workers = n
 	}
 	if b := w.opts["stateBackend"]; b != "" {
 		opts.StateBackend = b
