@@ -692,6 +692,15 @@ func (e *exec) runVecMapTask(bp boundPipeline, batch *vec.Batch, nPart int) *map
 		res.buckets = shard.Scatter(bp.pipe.ApplyVec(batch), bp.pipe.KeyIdxs, nPart)
 		return res
 	}
+	if bp.pipe.Vec.Agg != nil && bp.pipe.KeyIdxs != nil {
+		// Columnar partial aggregation: the whole map side — kernels,
+		// grouping, aggregate folding, shuffle routing — runs without boxing
+		// a row. Groups render straight into buckets, routed by hashing
+		// each group's cached key encoding (identical buckets to the boxed
+		// KeyEvals + HashKey path below).
+		res.buckets = bp.pipe.ProcessBatchScatter(batch, nPart)
+		return res
+	}
 	res.buckets = make([][]sql.Row, nPart)
 	key := make([]sql.Value, len(bp.pipe.KeyEvals))
 	bp.pipe.ProcessBatchTo(batch, func(row sql.Row) {
@@ -1023,6 +1032,7 @@ func (e *exec) runEpoch(epoch int64, ranges map[string][2]sources.Offsets, repla
 			Watermark: e.watermark,
 			ProcTime:  time.Now().UnixMicro(),
 			Mode:      e.q.Mode,
+			Vectorize: e.vectorize,
 		}
 		prevVersion := e.lastStateVersion
 		reduceTasks := make([]cluster.Task, nPart)

@@ -6,34 +6,53 @@ import (
 )
 
 // CompareBenchBaseline is the throughput regression gate behind
-// `make bench-compare`: it fails when the fresh report's
-// microbatch-throughput falls more than 10% below the baseline report
-// (the committed BENCH_<date>.json artifact, passed as raw JSON).
+// `make bench-compare`: it fails when a fresh report's throughput falls
+// more than 10% below the baseline report (the committed BENCH_<date>.json
+// artifact, passed as raw JSON) on any gated scenario. The gate covers the
+// headline stateless row ("microbatch-throughput") and the vectorized
+// stateful grid, so a regression in the columnar stateful path — batched
+// partial aggregation, batched state access, the vectorized watermark
+// gate — fails the build just like a stateless one. Scenarios absent from
+// an older baseline are skipped, so the gate stays usable against reports
+// that predate a scenario's introduction.
 func CompareBenchBaseline(baselineJSON []byte, r BenchReport) error {
 	var base BenchReport
 	if err := json.Unmarshal(baselineJSON, &base); err != nil {
 		return fmt.Errorf("parse baseline report: %w", err)
 	}
-	const scenario = "microbatch-throughput"
-	find := func(rep BenchReport) (BenchScenario, bool) {
+	gated := []string{
+		"microbatch-throughput",
+		"stateful-count-memory-small-vec",
+		"stateful-count-lsm-small-vec",
+		"stateful-count-memory-spill-vec",
+		"stateful-count-lsm-spill-vec",
+	}
+	find := func(rep BenchReport, name string) (BenchScenario, bool) {
 		for _, sc := range rep.Scenarios {
-			if sc.Name == scenario {
+			if sc.Name == name {
 				return sc, true
 			}
 		}
 		return BenchScenario{}, false
 	}
-	old, ok := find(base)
-	if !ok {
-		return fmt.Errorf("baseline report has no %q scenario", scenario)
+	checked := 0
+	for _, scenario := range gated {
+		old, ok := find(base, scenario)
+		if !ok {
+			continue // baseline predates this scenario
+		}
+		cur, ok := find(r, scenario)
+		if !ok {
+			return fmt.Errorf("fresh report has no %q scenario", scenario)
+		}
+		if floor := 0.9 * old.RowsPerSec; cur.RowsPerSec < floor {
+			return fmt.Errorf("%s regressed: %.0f rows/s is more than 10%% below the baseline's %.0f",
+				scenario, cur.RowsPerSec, old.RowsPerSec)
+		}
+		checked++
 	}
-	cur, ok := find(r)
-	if !ok {
-		return fmt.Errorf("fresh report has no %q scenario", scenario)
-	}
-	if floor := 0.9 * old.RowsPerSec; cur.RowsPerSec < floor {
-		return fmt.Errorf("%s regressed: %.0f rows/s is more than 10%% below the baseline's %.0f",
-			scenario, cur.RowsPerSec, old.RowsPerSec)
+	if checked == 0 {
+		return fmt.Errorf("baseline report has none of the gated scenarios %v", gated)
 	}
 	return nil
 }

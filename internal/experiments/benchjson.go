@@ -65,6 +65,11 @@ type BenchScenario struct {
 	SSTables             int64   `json:"ssTables,omitempty"`
 	Compactions          int64   `json:"compactions,omitempty"`
 	BlockCacheHitRatePct float64 `json:"blockCacheHitRatePct,omitempty"`
+	// VsRowPathSpeedup is this scenario's throughput divided by its paired
+	// "-rowpath" scenario's (same backend, key count, and memtable, with
+	// the columnar stateful path forced off) — present only on the "-vec"
+	// state-backend rows.
+	VsRowPathSpeedup float64 `json:"vsRowPathSpeedup,omitempty"`
 	// SyncMaintenance marks LSM runs with background maintenance pinned off
 	// (flush/compaction inline on the commit path); MaintenanceStallUs is
 	// cumulative commit time spent on the MaxPendingMemtables ceiling's

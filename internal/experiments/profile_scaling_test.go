@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+func TestProfileScalingStateful(t *testing.T) {
+	if os.Getenv("PROFILE_SCALING") == "" {
+		t.Skip("set PROFILE_SCALING=1")
+	}
+	workers := 8
+	if os.Getenv("PROFILE_W") == "1" {
+		workers = 1
+	}
+	sc, err := runScalingRun("stateful-count", 1_000_000, workers, 0, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("w%d: %.0f rows/s elapsed=%dms", workers, sc.RowsPerSec, sc.ElapsedMillis)
+}

@@ -1,0 +1,18 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+func TestProfileStatefulCount(t *testing.T) {
+	if os.Getenv("PROFILE_STATE") == "" {
+		t.Skip("set PROFILE_STATE=1")
+	}
+	vec := os.Getenv("PROFILE_ROWPATH") == ""
+	sc, err := runStateBackendBench("profile", 1_000_000, 5000, "memory", 0, false, vec, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("vec=%v: %.0f rows/s elapsed=%dms", vec, sc.RowsPerSec, sc.ElapsedMillis)
+}

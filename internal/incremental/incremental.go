@@ -12,6 +12,8 @@
 package incremental
 
 import (
+	"sync"
+
 	"structream/internal/sql"
 	"structream/internal/sql/logical"
 	"structream/internal/sql/physical"
@@ -34,6 +36,11 @@ type EpochContext struct {
 	ProcTime int64
 	// Mode is the sink output mode of the query.
 	Mode logical.OutputMode
+	// Vectorize selects the batched reduce-side implementation in
+	// stateful operators (batched state-store reads, scratch-buffer
+	// merge, vectorized watermark gate). Off = the per-row baseline.
+	// Both implementations must produce byte-identical output.
+	Vectorize bool
 }
 
 // StatefulOp is a reduce-side streaming operator processing one state
@@ -95,6 +102,25 @@ type Pipeline struct {
 	// the pipeline vectorizes. Stages remains the source of truth for
 	// semantics — Vec must produce byte-identical output.
 	Vec *VecPlan
+	// aggPool recycles columnar partial-aggregation hash tables across
+	// map tasks. Safe because shuffle rows alias nothing inside the
+	// table: renderRow copies the boxed key values and EncodeValues
+	// allocates fresh buffer bytes.
+	aggPool sync.Pool
+}
+
+// getPartialAgg takes a reset partial-aggregation table from the pool (or
+// builds one) for the pipeline's columnar agg plan.
+func (p *Pipeline) getPartialAgg() *partialAgg {
+	if h, ok := p.aggPool.Get().(*partialAgg); ok {
+		return h
+	}
+	return newPartialAgg(nil, p.Vec.Agg.Aggs)
+}
+
+func (p *Pipeline) putPartialAgg(h *partialAgg) {
+	h.reset()
+	p.aggPool.Put(h)
 }
 
 // VecPlan mirrors a pipeline prefix as columnar kernels. Ops[i] computes
@@ -134,11 +160,12 @@ func (p *Pipeline) ProcessBatchTo(b *vec.Batch, sink RowEmit) {
 		b = op.Apply(b)
 	}
 	if a := p.Vec.Agg; a != nil {
-		h := newPartialAgg(nil, a.Aggs)
+		h := p.getPartialAgg()
 		h.updateBatch(b, a)
 		for _, row := range h.shuffleRows() {
 			sink(row)
 		}
+		p.putPartialAgg(h)
 		return
 	}
 	emit, flushes := p.instantiateFrom(len(p.Vec.Ops), sink)
@@ -146,6 +173,26 @@ func (p *Pipeline) ProcessBatchTo(b *vec.Batch, sink RowEmit) {
 	for _, f := range flushes {
 		f()
 	}
+}
+
+// ProcessBatchScatter runs one task's column batch through the vectorized
+// ops and the columnar partial aggregation, then renders the groups
+// straight into nPart shuffle buckets, routing by each group's cached
+// encoded key bytes. Valid only when p.Vec != nil, p.Vec.Agg != nil, and
+// KeyIdxs is non-nil (the compiler guarantees the shuffle key columns lead
+// the aggregation's grouping key, so hashing the cached key encoding
+// routes identically to boxing the row and calling codec.HashKey). This is
+// what keeps agg pipelines columnar across the exchange: one hash+encode
+// per input lane, one render per group, zero per-row boxing.
+func (p *Pipeline) ProcessBatchScatter(b *vec.Batch, nPart int) [][]sql.Row {
+	for _, op := range p.Vec.Ops {
+		b = op.Apply(b)
+	}
+	h := p.getPartialAgg()
+	h.updateBatch(b, p.Vec.Agg)
+	buckets := h.scatter(nPart)
+	p.putPartialAgg(h)
+	return buckets
 }
 
 // FullyVectorized reports whether the vector plan covers every stage with

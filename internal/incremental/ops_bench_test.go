@@ -1,0 +1,101 @@
+package incremental
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"structream/internal/sql"
+	"structream/internal/sql/vec"
+)
+
+// Micro-benchmarks for the map-side partial aggregator: the per-row update
+// path (whose group hits now compare cached key bytes instead of
+// re-rendering the key), and the columnar updateBatch (grouping pass +
+// bulk kernels, no per-row boxing).
+
+func benchAggs() []sql.BoundAgg {
+	countAll := sql.BoundAgg{Kind: sql.AggCountAll, ResultType: sql.TypeInt64}
+	sum := sql.BoundAgg{
+		Kind:       sql.AggSum,
+		Input:      func(r sql.Row) sql.Value { return r[1] },
+		ResultType: sql.TypeFloat64,
+	}
+	return []sql.BoundAgg{countAll, sum}
+}
+
+func benchRows(n, keys int) []sql.Row {
+	rng := rand.New(rand.NewSource(1))
+	rows := make([]sql.Row, n)
+	for i := range rows {
+		rows[i] = sql.Row{fmt.Sprintf("key-%05d", rng.Intn(keys)), rng.Float64() * 100}
+	}
+	return rows
+}
+
+var benchSchema = sql.NewSchema(
+	sql.Field{Name: "k", Type: sql.TypeString},
+	sql.Field{Name: "v", Type: sql.TypeFloat64},
+)
+
+// BenchmarkPartialAggUpdate measures the row path: one update per row,
+// hot-path dominated by key encode + hash-table hit.
+func BenchmarkPartialAggUpdate(b *testing.B) {
+	for _, keys := range []int{16, 4096} {
+		b.Run(fmt.Sprintf("keys=%d", keys), func(b *testing.B) {
+			rows := benchRows(8192, keys)
+			keyEval := []func(sql.Row) sql.Value{func(r sql.Row) sql.Value { return r[0] }}
+			aggs := benchAggs()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := newPartialAgg(keyEval, aggs)
+				for _, r := range rows {
+					p.update(r)
+				}
+				if len(p.groups) == 0 {
+					b.Fatal("no groups")
+				}
+			}
+			b.SetBytes(8192)
+		})
+	}
+}
+
+// BenchmarkPartialAggUpdateBatch measures the columnar path over the same
+// data: batch grouping pass plus bulk count/sum kernels.
+func BenchmarkPartialAggUpdateBatch(b *testing.B) {
+	for _, keys := range []int{16, 4096} {
+		b.Run(fmt.Sprintf("keys=%d", keys), func(b *testing.B) {
+			rows := benchRows(8192, keys)
+			batch, ok := vec.FromRows(benchSchema, rows)
+			if !ok {
+				b.Fatal("FromRows failed")
+			}
+			keyProg, ok := vec.Compile(sql.Col("k"), benchSchema)
+			if !ok {
+				b.Fatal("key compile failed")
+			}
+			inProg, ok := vec.Compile(sql.Col("v"), benchSchema)
+			if !ok {
+				b.Fatal("input compile failed")
+			}
+			aggs := benchAggs()
+			plan := &VecAggPlan{
+				KeyProgs:   []*vec.Program{keyProg},
+				InputProgs: []*vec.Program{nil, inProg},
+				Aggs:       aggs,
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := newPartialAgg(nil, aggs)
+				p.updateBatch(batch, plan)
+				if len(p.groups) == 0 {
+					b.Fatal("no groups")
+				}
+			}
+			b.SetBytes(8192)
+		})
+	}
+}

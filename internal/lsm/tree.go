@@ -352,6 +352,63 @@ func (t *Tree) GetBytes(key []byte) ([]byte, bool, error) {
 	return nil, false, nil
 }
 
+// GetBatchBytes resolves a vector of keys under ONE lock acquisition,
+// probing structure-at-a-time instead of key-at-a-time: all unresolved
+// keys sweep the active memtable, then each sealed memtable newest-first,
+// then each table newest-first. Per-key shadowing order is identical to
+// GetBytes — a key resolves at the newest structure that knows it, and a
+// tombstone there is a definitive miss — but the per-structure sweep means
+// a batch pays the lock once and each SSTable's bloom filter and index
+// stay hot in cache while every remaining key probes them. Results land in
+// values/oks positionally (both must be len(keys)); value slices alias
+// internal storage and must not be mutated.
+func (t *Tree) GetBatchBytes(keys [][]byte, values [][]byte, oks []bool) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// pending holds the positions still unresolved after each structure.
+	pending := make([]int, 0, len(keys))
+	for i := range keys {
+		values[i], oks[i] = nil, false
+		pending = append(pending, i)
+	}
+	resolve := func(getMem func(key []byte) (memEntry, bool)) {
+		next := pending[:0]
+		for _, i := range pending {
+			if e, ok := getMem(keys[i]); ok {
+				if !e.tomb {
+					values[i], oks[i] = e.value, true
+				}
+				continue
+			}
+			next = append(next, i)
+		}
+		pending = next
+	}
+	resolve(t.mem.getBytes)
+	for s := len(t.sealed) - 1; s >= 0 && len(pending) > 0; s-- {
+		resolve(t.sealed[s].mem.getBytes)
+	}
+	for ti := len(t.tables) - 1; ti >= 0 && len(pending) > 0; ti-- {
+		tbl := t.tables[ti]
+		next := pending[:0]
+		for _, i := range pending {
+			v, tomb, ok, err := tbl.get(keys[i])
+			if err != nil {
+				return err
+			}
+			if ok {
+				if !tomb {
+					values[i], oks[i] = v, true
+				}
+				continue
+			}
+			next = append(next, i)
+		}
+		pending = next
+	}
+	return nil
+}
+
 // Commit durably applies one version's mutations. A key in both maps is a
 // delete, matching the delta encoding.
 func (t *Tree) Commit(version int64, puts map[string][]byte, dels map[string]bool) error {

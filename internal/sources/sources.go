@@ -175,7 +175,9 @@ func (s *BusSource) ReadVec(p int, from, to int64) (*vec.Batch, bool, error) {
 	b := vec.NewBatch(s.schema, len(recs))
 	n := 0
 	for _, rec := range recs {
-		added, compat := codec.DecodeRowToBatch(rec.Value, b.Cols, n, len(recs))
+		// Shared-string decode is safe here: topic records are append-once
+		// and never mutated, so string cells can alias them directly.
+		added, compat := codec.DecodeRowToBatchShared(rec.Value, b.Cols, n, len(recs))
 		if !compat {
 			return nil, false, nil
 		}

@@ -223,11 +223,55 @@ type AggBuffer interface {
 	Deserialize(vals []Value) error
 }
 
+// Bulk update interfaces let the columnar hash-aggregate fold a whole
+// vector's worth of per-group input into a buffer with one call instead of
+// one Update per row. The contract that keeps results bit-identical to the
+// row path: the caller accumulates each group's lanes in row order into a
+// scalar (int64 wrap-around add, or float64 add starting from +0 on a
+// fresh buffer) and hands over the partial exactly once, so the addition
+// sequence the buffer observes matches what repeated Update calls would
+// have produced.
+
+// BulkCounter is implemented by buffers that count rows (count/count(*)).
+type BulkCounter interface {
+	// AddCount adds n accepted rows in one step.
+	AddCount(n int64)
+}
+
+// BulkInt64Summer is implemented by buffers that sum int64 inputs.
+type BulkInt64Summer interface {
+	// AddInt64Sum adds a partial sum over n accepted (non-NULL int64) rows.
+	AddInt64Sum(sum int64, n int64)
+}
+
+// BulkFloat64Summer is implemented by buffers that sum float64-coercible
+// inputs.
+type BulkFloat64Summer interface {
+	// AddFloat64Sum adds a partial sum over n accepted (non-NULL numeric)
+	// rows.
+	AddFloat64Sum(sum float64, n int64)
+}
+
+// canonNaN collapses any NaN to the canonical quiet NaN before
+// serialization. The same mathematical sum can carry different NaN
+// payloads depending on generated code (hardware NaN propagation picks
+// the destination operand's payload, and operand placement differs
+// between the row path's per-value Update and the columnar path's slab
+// accumulation), so buffers canonicalize at the serialization boundary to
+// keep shuffle rows and stored state byte-identical across paths.
+func canonNaN(f float64) float64 {
+	if math.IsNaN(f) {
+		return math.NaN()
+	}
+	return f
+}
+
 // ---------------------------------------------------------------- count
 
 type countBuffer struct{ n int64 }
 
 func (b *countBuffer) Update(v Value)        { b.n++ }
+func (b *countBuffer) AddCount(n int64)      { b.n += n }
 func (b *countBuffer) Merge(other AggBuffer) { b.n += other.(*countBuffer).n }
 func (b *countBuffer) Result() Value         { return b.n }
 func (b *countBuffer) Serialize() []Value    { return []Value{b.n} }
@@ -250,6 +294,12 @@ type sumIntBuffer struct {
 func (b *sumIntBuffer) Update(v Value) {
 	if n, ok := v.(int64); ok {
 		b.sum += n
+		b.any = true
+	}
+}
+func (b *sumIntBuffer) AddInt64Sum(sum int64, n int64) {
+	if n > 0 {
+		b.sum += sum
 		b.any = true
 	}
 }
@@ -286,6 +336,12 @@ func (b *sumFloatBuffer) Update(v Value) {
 		b.any = true
 	}
 }
+func (b *sumFloatBuffer) AddFloat64Sum(sum float64, n int64) {
+	if n > 0 {
+		b.sum += sum
+		b.any = true
+	}
+}
 func (b *sumFloatBuffer) Merge(other AggBuffer) {
 	o := other.(*sumFloatBuffer)
 	b.sum += o.sum
@@ -297,7 +353,7 @@ func (b *sumFloatBuffer) Result() Value {
 	}
 	return b.sum
 }
-func (b *sumFloatBuffer) Serialize() []Value { return []Value{b.sum, b.any} }
+func (b *sumFloatBuffer) Serialize() []Value { return []Value{canonNaN(b.sum), b.any} }
 func (b *sumFloatBuffer) Deserialize(vals []Value) error {
 	sum, ok1 := vals[0].(float64)
 	anyv, ok2 := vals[1].(bool)
@@ -321,6 +377,12 @@ func (b *avgBuffer) Update(v Value) {
 		b.n++
 	}
 }
+func (b *avgBuffer) AddFloat64Sum(sum float64, n int64) {
+	if n > 0 {
+		b.sum += sum
+		b.n += n
+	}
+}
 func (b *avgBuffer) Merge(other AggBuffer) {
 	o := other.(*avgBuffer)
 	b.sum += o.sum
@@ -332,7 +394,7 @@ func (b *avgBuffer) Result() Value {
 	}
 	return b.sum / float64(b.n)
 }
-func (b *avgBuffer) Serialize() []Value { return []Value{b.sum, b.n} }
+func (b *avgBuffer) Serialize() []Value { return []Value{canonNaN(b.sum), b.n} }
 func (b *avgBuffer) Deserialize(vals []Value) error {
 	sum, ok1 := vals[0].(float64)
 	n, ok2 := vals[1].(int64)

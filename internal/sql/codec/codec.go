@@ -228,13 +228,22 @@ func KeyString(vals []sql.Value) string {
 // HashKey computes a 64-bit hash of a grouping key, used to route rows to
 // shuffle partitions.
 func HashKey(vals []sql.Value) uint64 {
-	const offset, prime = 14695981039346656037, 1099511628211
-	h := uint64(offset)
 	e := NewEncoder(16 * len(vals))
 	for _, v := range vals {
 		e.PutValue(v)
 	}
-	for _, b := range e.Bytes() {
+	return HashBytes(e.Bytes())
+}
+
+// HashBytes computes the shuffle-routing hash over an already-encoded
+// grouping key. HashKey(vals) == HashBytes(EncodeValues(vals)) bit for
+// bit, so callers that cached a key's encoded bytes (the columnar
+// partial aggregator, the batched state path) can route without
+// re-encoding — or re-boxing — the key.
+func HashBytes(key []byte) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for _, b := range key {
 		h ^= uint64(b)
 		h *= prime
 	}

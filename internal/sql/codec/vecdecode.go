@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"unsafe"
 
 	"structream/internal/sql/vec"
 )
@@ -87,6 +88,21 @@ func (e *Encoder) PutVectorValue(v *vec.Vector, i int) {
 //     it, and silently skipping would diverge from the row path (which
 //     keeps such rows), so the caller must redo the whole batch boxed.
 func DecodeRowToBatch(buf []byte, cols []*vec.Vector, i int, nrows int) (added, compat bool) {
+	return decodeRowToBatch(buf, cols, i, nrows, false)
+}
+
+// DecodeRowToBatchShared is DecodeRowToBatch with zero-copy strings:
+// string cells alias buf instead of copying it, eliminating the one
+// remaining per-row allocation on the columnar decode path. The caller
+// must guarantee buf is never mutated after the call — the message bus's
+// append-once records satisfy this, a reused read buffer does not. The
+// garbage collector keeps the backing array live for as long as any
+// aliasing string is, so lifetime needs no management beyond that rule.
+func DecodeRowToBatchShared(buf []byte, cols []*vec.Vector, i int, nrows int) (added, compat bool) {
+	return decodeRowToBatch(buf, cols, i, nrows, true)
+}
+
+func decodeRowToBatch(buf []byte, cols []*vec.Vector, i int, nrows int, alias bool) (added, compat bool) {
 	n, w := binary.Uvarint(buf)
 	pos := w
 	if w <= 0 || int(n) != len(cols) {
@@ -145,7 +161,11 @@ func DecodeRowToBatch(buf []byte, cols []*vec.Vector, i int, nrows int) (added, 
 				return abandonRow(cols, i, c)
 			}
 			pos += sw
-			col.Strings[i] = string(buf[pos : pos+int(sl)])
+			if alias && sl > 0 {
+				col.Strings[i] = unsafe.String(&buf[pos], int(sl))
+			} else {
+				col.Strings[i] = string(buf[pos : pos+int(sl)])
+			}
 			pos += int(sl)
 		case vec.KindWindow:
 			if tag != tagWindow {

@@ -340,6 +340,27 @@ func MinInt64(v *Vector, n int, max int64) int64 {
 	return min
 }
 
+// ExpirySel is the vectorized watermark gate. The three slabs describe
+// each lane's event-time key in the stateful operators' normal form:
+// valid[i] reports whether the lane has a comparable event time at all
+// (non-NULL int64 timestamp or window), evt[i] is the timestamp (window
+// End for window keys), and isWin[i] distinguishes the two comparison
+// rules — windows expire when End <= watermark, plain timestamps when
+// ts < watermark. Lanes land in out when their expiry verdict matches
+// `expired`, so one pass computes either the survivor selection or the
+// late-drop selection. The returned slice is `out` re-sliced; it is
+// always non-nil, matching FilterSel's "empty ≠ all" convention.
+func ExpirySel(evt []int64, isWin, valid []bool, wm int64, expired bool, out []int32) []int32 {
+	out = out[:0]
+	for i := range evt {
+		exp := valid[i] && (evt[i] < wm || (isWin[i] && evt[i] == wm))
+		if exp == expired {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
 // SumInt64 returns the sum (as float64 — µs timestamps summed over
 // millions of rows overflow int64) and count of the non-null int64 lanes
 // over [0, n).

@@ -30,6 +30,15 @@ func (b *lsmBackend) get(key []byte) ([]byte, bool, error) {
 	return v, ok, nil
 }
 
+func (b *lsmBackend) getBatch(keys [][]byte) ([][]byte, []bool, error) {
+	values := make([][]byte, len(keys))
+	oks := make([]bool, len(keys))
+	if err := b.tree.GetBatchBytes(keys, values, oks); err != nil {
+		return nil, nil, fmt.Errorf("state: %w", err)
+	}
+	return values, oks, nil
+}
+
 func (b *lsmBackend) iterate(fn func(key, value []byte) bool) error {
 	err := b.tree.Range("", "", func(key string, value []byte) error {
 		if !fn([]byte(key), value) {

@@ -32,6 +32,15 @@ func (b *memBackend) get(key []byte) ([]byte, bool, error) {
 	return v, ok, nil
 }
 
+func (b *memBackend) getBatch(keys [][]byte) ([][]byte, []bool, error) {
+	values := make([][]byte, len(keys))
+	oks := make([]bool, len(keys))
+	for i, key := range keys {
+		values[i], oks[i] = b.data[string(key)]
+	}
+	return values, oks, nil
+}
+
 func (b *memBackend) iterate(fn func(key, value []byte) bool) error {
 	for k, v := range b.data {
 		if !fn([]byte(k), v) {

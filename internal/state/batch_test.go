@@ -1,0 +1,151 @@
+package state
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The batch API differential: GetBatch must agree with per-key Get across
+// every resolution layer — staged puts, staged deletes, committed state in
+// the memtable/sealed/SSTable stack (lsm) or the map (memory) — including
+// duplicate keys within one batch.
+
+func TestGetBatchMatchesGet(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, mk func(string) *Provider) {
+		p := mk(t.TempDir())
+		defer p.Close()
+		s := open(t, p, -1)
+		rng := rand.New(rand.NewSource(99))
+		key := func(i int) []byte { return []byte(fmt.Sprintf("key-%04d", i)) }
+
+		// Several committed epochs so the lsm backend accumulates sealed
+		// memtables and tables (2KiB memtable from forEachBackend), with
+		// overwrites and deletes so shadowing order matters.
+		const keys = 300
+		version := int64(0)
+		for epoch := 0; epoch < 6; epoch++ {
+			for i := 0; i < 120; i++ {
+				k := rng.Intn(keys)
+				if rng.Intn(5) == 0 {
+					s.Remove(key(k))
+				} else {
+					s.Put(key(k), []byte(fmt.Sprintf("v%d-%d", epoch, k)))
+				}
+			}
+			if err := s.Commit(version); err != nil {
+				t.Fatal(err)
+			}
+			version++
+		}
+		// Leave a staged overlay uncommitted: puts, deletes, and a
+		// delete-then-put so every pending branch is exercised.
+		for i := 0; i < 60; i++ {
+			k := rng.Intn(keys)
+			switch rng.Intn(3) {
+			case 0:
+				s.Put(key(k), []byte(fmt.Sprintf("staged-%d", k)))
+			case 1:
+				s.Remove(key(k))
+			default:
+				s.Remove(key(k))
+				s.Put(key(k), []byte(fmt.Sprintf("flip-%d", k)))
+			}
+		}
+
+		// A batch with every key plus duplicates and never-written keys.
+		var batch [][]byte
+		for i := 0; i < keys; i++ {
+			batch = append(batch, key(i))
+		}
+		for i := 0; i < 50; i++ {
+			batch = append(batch, key(rng.Intn(keys)))
+		}
+		batch = append(batch, []byte("never-written"), []byte(""))
+
+		vals, oks := s.GetBatch(batch)
+		if len(vals) != len(batch) || len(oks) != len(batch) {
+			t.Fatalf("GetBatch returned %d/%d results for %d keys", len(vals), len(oks), len(batch))
+		}
+		for i, k := range batch {
+			wantV, wantOK := s.Get(k)
+			if oks[i] != wantOK || !bytes.Equal(vals[i], wantV) {
+				t.Fatalf("key %q: GetBatch = (%q, %v), Get = (%q, %v)", k, vals[i], oks[i], wantV, wantOK)
+			}
+		}
+		if err := s.Err(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestApplyBatchStagesMerges pins ApplyBatch's contract: merge sees the
+// pre-batch value, non-nil results stage puts, nil results stage deletes.
+func TestApplyBatchStagesMerges(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, mk func(string) *Provider) {
+		p := mk(t.TempDir())
+		defer p.Close()
+		s := open(t, p, -1)
+		s.Put([]byte("a"), []byte("1"))
+		s.Put([]byte("dead"), []byte("x"))
+		if err := s.Commit(0); err != nil {
+			t.Fatal(err)
+		}
+		keys := [][]byte{[]byte("a"), []byte("new"), []byte("dead")}
+		s.ApplyBatch(keys, func(i int, existing []byte, ok bool) []byte {
+			switch string(keys[i]) {
+			case "a":
+				if !ok || string(existing) != "1" {
+					t.Fatalf("merge(a) saw (%q, %v)", existing, ok)
+				}
+				return append(existing, '+')
+			case "new":
+				if ok {
+					t.Fatalf("merge(new) unexpectedly found %q", existing)
+				}
+				return []byte("fresh")
+			default:
+				return nil // delete
+			}
+		})
+		if err := s.Commit(1); err != nil {
+			t.Fatal(err)
+		}
+		if v, ok := s.Get([]byte("a")); !ok || string(v) != "1+" {
+			t.Fatalf("a = (%q, %v), want 1+", v, ok)
+		}
+		if v, ok := s.Get([]byte("new")); !ok || string(v) != "fresh" {
+			t.Fatalf("new = (%q, %v), want fresh", v, ok)
+		}
+		if _, ok := s.Get([]byte("dead")); ok {
+			t.Fatal("dead survived ApplyBatch delete")
+		}
+	})
+}
+
+// TestPutBatchStagesAll pins PutBatch against per-key Put, including a key
+// that was staged-deleted first.
+func TestPutBatchStagesAll(t *testing.T) {
+	forEachBackend(t, func(t *testing.T, mk func(string) *Provider) {
+		p := mk(t.TempDir())
+		defer p.Close()
+		s := open(t, p, -1)
+		s.Remove([]byte("b"))
+		s.PutBatch(
+			[][]byte{[]byte("a"), []byte("b")},
+			[][]byte{[]byte("1"), []byte("2")},
+		)
+		for k, want := range map[string]string{"a": "1", "b": "2"} {
+			if v, ok := s.Get([]byte(k)); !ok || string(v) != want {
+				t.Fatalf("Get(%s) = (%q, %v), want %q", k, v, ok, want)
+			}
+		}
+		if err := s.Commit(0); err != nil {
+			t.Fatal(err)
+		}
+		if n := s.NumKeys(); n != 2 {
+			t.Fatalf("NumKeys = %d, want 2", n)
+		}
+	})
+}

@@ -473,6 +473,11 @@ type storeBackend interface {
 	// get reads committed state. ok=false means absent. The key bytes are
 	// not retained.
 	get(key []byte) (value []byte, ok bool, err error)
+	// getBatch reads committed state for a vector of keys in one call, so
+	// backends can amortize per-read overhead (lock acquisition, memtable
+	// and bloom probes) across the batch. Result slices are positionally
+	// aligned with keys; key bytes are not retained.
+	getBatch(keys [][]byte) (values [][]byte, oks []bool, err error)
 	// iterate visits committed keys; fn returning false stops early.
 	iterate(fn func(key, value []byte) bool) error
 	// numKeys counts committed live keys.
@@ -552,6 +557,76 @@ func (s *Store) Get(key []byte) ([]byte, bool) {
 	}
 	s.noteKnown(string(key), ok)
 	return v, ok
+}
+
+// GetBatch resolves a vector of keys in one pass: staged mutations answer
+// first (exactly like Get), and every remaining key goes to the backend in
+// a single getBatch call. Results are positionally aligned with keys;
+// duplicate keys are allowed and resolve independently. A backend read
+// error reports the affected keys absent and latches the error for Commit,
+// matching Get's contract.
+func (s *Store) GetBatch(keys [][]byte) (values [][]byte, oks []bool) {
+	values = make([][]byte, len(keys))
+	oks = make([]bool, len(keys))
+	var needIdx []int
+	var needKeys [][]byte
+	for i, key := range keys {
+		if s.pendingDel[string(key)] {
+			continue
+		}
+		if v, ok := s.pendingPut[string(key)]; ok {
+			values[i], oks[i] = v, true
+			continue
+		}
+		needIdx = append(needIdx, i)
+		needKeys = append(needKeys, key)
+	}
+	if len(needIdx) == 0 {
+		return values, oks
+	}
+	bv, bok, err := s.backend.getBatch(needKeys)
+	if err != nil {
+		s.fail(err)
+		return values, oks
+	}
+	for j, i := range needIdx {
+		values[i], oks[i] = bv[j], bok[j]
+		s.noteKnown(string(keys[i]), bok[j])
+	}
+	return values, oks
+}
+
+// PutBatch stages a vector of writes. Like Put, the store retains the
+// value slices.
+func (s *Store) PutBatch(keys, values [][]byte) {
+	if len(keys) == 0 {
+		return
+	}
+	if s.pendingPut == nil {
+		s.pendingPut = make(map[string][]byte, max(s.putHint, len(keys)))
+		s.pendingDel = map[string]bool{}
+	}
+	for i, key := range keys {
+		k := string(key)
+		delete(s.pendingDel, k)
+		s.pendingPut[k] = values[i]
+	}
+}
+
+// ApplyBatch reads a vector of keys with one batched backend probe and
+// stages merge(i, existing, ok) as each key's new value. A nil result from
+// merge stages a deletion. Duplicate keys all observe the pre-batch state;
+// callers that need read-your-write semantics within the batch must
+// deduplicate first.
+func (s *Store) ApplyBatch(keys [][]byte, merge func(i int, existing []byte, ok bool) []byte) {
+	values, oks := s.GetBatch(keys)
+	for i, key := range keys {
+		if v := merge(i, values[i], oks[i]); v != nil {
+			s.Put(key, v)
+		} else {
+			s.Remove(key)
+		}
+	}
 }
 
 func (s *Store) noteKnown(key string, has bool) {

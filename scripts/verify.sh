@@ -33,7 +33,10 @@ echo ">> ssbench bench smoke"
 smoke_json="$(mktemp /tmp/structream-bench-XXXXXX.json)"
 go run ./cmd/ssbench -experiment bench -events 100000 -rounds 1 -json "$smoke_json" >/dev/null
 grep -q '"tracingOverheadPct"' "$smoke_json" || { echo "bench smoke: bad report"; exit 1; }
-grep -q '"stateful-count-lsm-spill"' "$smoke_json" || { echo "bench smoke: missing state-backend scenarios"; exit 1; }
+grep -q '"stateful-count-lsm-spill-vec"' "$smoke_json" || { echo "bench smoke: missing state-backend scenarios"; exit 1; }
+grep -q '"stateful-count-memory-small-vec"' "$smoke_json" || { echo "bench smoke: missing vectorized stateful scenarios"; exit 1; }
+grep -q '"stateful-count-memory-small-rowpath"' "$smoke_json" || { echo "bench smoke: missing stateful row-path scenarios"; exit 1; }
+grep -q '"vsRowPathSpeedup"' "$smoke_json" || { echo "bench smoke: missing stateful vec-vs-rowpath speedup"; exit 1; }
 grep -q '"microbatch-throughput-rowpath"' "$smoke_json" || { echo "bench smoke: missing row-path scenario"; exit 1; }
 grep -q '"serve-fanout"' "$smoke_json" || { echo "bench smoke: missing serve-fanout scenario"; exit 1; }
 grep -q '"endToEndLatencyP50Us"' "$smoke_json" || { echo "bench smoke: missing end-to-end freshness percentiles"; exit 1; }
@@ -64,6 +67,14 @@ go test -race -count=1 -run Partition ./internal/shard/ ./internal/engine/ >/dev
 echo ">> vectorized/row differential smoke"
 go test -run 'TestDifferential|TestProgramMatchesRowEval|TestVectorizeOnOff' \
 	./internal/sql/vec/ ./internal/incremental/ ./internal/engine/ >/dev/null
+# Stateful-vectorization race round: the columnar stateful path (batched
+# partial aggregation, batched state reads, the vectorized watermark gate)
+# against the row path, across both state backends and worker counts
+# 1/2/4, under the race detector. Redundant with `go test -race ./...`
+# above but named so the stateful bit-identity contract stays visible.
+echo ">> stateful vectorization race round"
+go test -race -count=1 -run 'TestStatefulVectorize|TestGetBatch|TestApplyBatch|TestPutBatch' \
+	./internal/engine/ ./internal/state/ ./internal/lsm/ >/dev/null
 # Opt-in throughput regression gate against the committed BENCH baseline
 # (slow: reruns the 2M-event bench suite).
 if [ "${STRUCTREAM_BENCH_COMPARE:-}" = "1" ]; then
